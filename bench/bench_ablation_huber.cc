@@ -1,0 +1,62 @@
+// Ablation (DESIGN.md A2): why the What-if Engine uses a Huber regressor.
+// Production telemetry contains outliers (stragglers, hardware hiccups,
+// monitoring glitches); this bench contaminates the simulated telemetry with
+// increasing fractions of corrupted latency observations and compares the
+// slope error of OLS vs Huber fits against the clean-data fit.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/whatif.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Ablation A2 - Huber vs OLS under telemetry contamination",
+      "Huber slope error stays flat as contamination grows; OLS degrades");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/800);
+  env.Run(0, sim::kHoursPerWeek);
+
+  // Reference fit on clean telemetry.
+  core::WhatIfEngine::Options ols_opt;
+  ols_opt.regressor = core::RegressorKind::kOls;
+  auto clean = core::WhatIfEngine::Fit(env.store, nullptr, ols_opt);
+  if (!clean.ok()) return 1;
+  const sim::MachineGroupKey probe{0, 2};  // SC1-Gen2.2.
+  double clean_slope = clean->models().at(probe).f.coefficients()[0];
+
+  bench::PrintRow({"contamination", "ols_slope_err", "huber_slope_err"}, 18);
+  Rng rng(9);
+  bool huber_wins = true;
+  for (double rate : {0.0, 0.02, 0.05, 0.10}) {
+    // Corrupt a fraction of latency observations with 50x blowups
+    // (monitoring glitches / pathological stragglers).
+    telemetry::TelemetryStore corrupted;
+    for (auto r : env.store.records()) {
+      if (rng.Bernoulli(rate)) r.avg_task_latency_s *= 50.0;
+      corrupted.Append(r);
+    }
+    auto ols = core::WhatIfEngine::Fit(corrupted, nullptr, ols_opt);
+    core::WhatIfEngine::Options huber_opt;
+    huber_opt.regressor = core::RegressorKind::kHuber;
+    auto huber = core::WhatIfEngine::Fit(corrupted, nullptr, huber_opt);
+    if (!ols.ok() || !huber.ok()) return 1;
+
+    double ols_err = std::fabs(ols->models().at(probe).f.coefficients()[0] -
+                               clean_slope) /
+                     std::fabs(clean_slope);
+    double huber_err = std::fabs(huber->models().at(probe).f.coefficients()[0] -
+                                 clean_slope) /
+                       std::fabs(clean_slope);
+    bench::PrintRow({bench::Pct(rate, 0), bench::Pct(ols_err, 1),
+                     bench::Pct(huber_err, 1)},
+                    18);
+    if (rate >= 0.05 && huber_err > ols_err) huber_wins = false;
+  }
+  std::printf("\nHuber more robust than OLS at >=5%% contamination: %s "
+              "(paper: 'more robust to outliers')\n",
+              huber_wins ? "yes" : "no");
+  return huber_wins ? 0 : 1;
+}

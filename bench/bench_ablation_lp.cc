@@ -1,0 +1,72 @@
+// Ablation (DESIGN.md A1): the paper's LP formulation freezes the throughput
+// weights l_k n_k at the current operating point to linearize the
+// cluster-latency ratio constraint (Eq. 8-10). This bench compares the
+// linearized LP against an exact integer search over the true nonlinear
+// ratio, on the same fitted What-if models.
+
+#include <chrono>
+#include <cstdio>
+
+#include "apps/yarn_tuner.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Ablation A1 - linearized LP vs exact integer search (YARN tuning)",
+      "LP matches exact-search capacity gain within a fraction of a percent, "
+      "orders of magnitude faster");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/1500);
+  env.Run(0, sim::kHoursPerWeek);
+
+  auto engine = core::WhatIfEngine::Fit(env.store, nullptr,
+                                        core::WhatIfEngine::Options());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintRow({"max_step", "method", "capacity_gain", "latency_after/before",
+                   "time_ms"},
+                  22);
+  bool consistent = true;
+  for (int step : {1, 2}) {
+    apps::YarnConfigTuner::Options options;
+    options.max_step = step;
+    apps::YarnConfigTuner tuner(options);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto lp = tuner.ProposeFromEngine(*engine, env.cluster);
+    auto t1 = std::chrono::steady_clock::now();
+    auto exact = tuner.ProposeExact(*engine, env.cluster);
+    auto t2 = std::chrono::steady_clock::now();
+    if (!lp.ok() || !exact.ok()) {
+      std::fprintf(stderr, "optimization failed\n");
+      return 1;
+    }
+    double lp_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double exact_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+    bench::PrintRow({std::to_string(step), "LP (linearized)",
+                     bench::Pct(lp->predicted_capacity_gain, 2),
+                     bench::Fmt(lp->predicted_latency_after_s /
+                                    lp->predicted_latency_before_s, 4),
+                     bench::Fmt(lp_ms, 1)},
+                    22);
+    bench::PrintRow({std::to_string(step), "exact integer search",
+                     bench::Pct(exact->predicted_capacity_gain, 2),
+                     bench::Fmt(exact->predicted_latency_after_s /
+                                    exact->predicted_latency_before_s, 4),
+                     bench::Fmt(exact_ms, 1)},
+                    22);
+
+    if (std::fabs(lp->predicted_capacity_gain - exact->predicted_capacity_gain) >
+        0.02) {
+      consistent = false;
+    }
+  }
+  std::printf("\nLP and exact search agree within 2%% capacity: %s\n",
+              consistent ? "yes" : "no");
+  return consistent ? 0 : 1;
+}

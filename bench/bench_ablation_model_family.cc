@@ -1,0 +1,86 @@
+// Ablation (model family, Section 5.1): the paper lists "linear regression
+// (LR), support vector machines (SVM), or deep neural nets (DNN)" as
+// candidate predictors and chooses linear models because they are "more
+// explainable, which is critical for domain experts". This bench fits the
+// f_k relationship (utilization -> task latency) per machine group with the
+// Huber-linear model and a small MLP, and compares holdout RMSE: the MLP
+// buys little on these near-linear relationships, so explainability wins.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ml/mlp.h"
+#include "ml/regression.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Ablation A3 - linear (Huber) vs MLP predictors for f_k",
+      "holdout RMSE within a few percent of each other: linearity holds, "
+      "explainable models win");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/800);
+  env.Run(0, sim::kHoursPerWeek);
+
+  bench::PrintRow({"group", "n_train", "linear_rmse", "mlp_rmse", "mlp_gain"},
+                  16);
+  double worst_gain = 0.0;
+  int groups_done = 0;
+  for (const auto& [key, records] : env.store.GroupByKey()) {
+    if (key.sc != 0) continue;  // One SC is enough for the comparison.
+    // Split even/odd machine-hours into train/holdout.
+    ml::Vector train_x, train_y, test_x, test_y;
+    size_t i = 0;
+    for (const auto& r : records) {
+      if (r.tasks_finished <= 0.0) continue;
+      if (i++ % 2 == 0) {
+        train_x.push_back(r.cpu_utilization);
+        train_y.push_back(r.avg_task_latency_s);
+      } else {
+        test_x.push_back(r.cpu_utilization);
+        test_y.push_back(r.avg_task_latency_s);
+      }
+    }
+    if (train_x.size() < 500) continue;
+    ml::Dataset train = ml::MakeDataset1D(train_x, train_y);
+
+    ml::HuberRegressor huber;
+    auto linear = huber.Fit(train);
+    if (!linear.ok()) continue;
+
+    ml::MlpRegressor::Options mopt;
+    mopt.epochs = 150;
+    mopt.hidden_units = 12;
+    ml::MlpRegressor mlp_regressor(mopt);
+    auto mlp = mlp_regressor.Fit(train);
+    if (!mlp.ok()) continue;
+
+    auto rmse = [&](auto&& predict) {
+      double sq = 0.0;
+      for (size_t j = 0; j < test_x.size(); ++j) {
+        double err = test_y[j] - predict(test_x[j]);
+        sq += err * err;
+      }
+      return std::sqrt(sq / static_cast<double>(test_x.size()));
+    };
+    double linear_rmse = rmse([&](double x) { return linear->Predict1D(x); });
+    double mlp_rmse = rmse([&](double x) { return mlp->Predict({x}); });
+    double gain = 1.0 - mlp_rmse / linear_rmse;
+    worst_gain = std::max(worst_gain, gain);
+    ++groups_done;
+
+    bench::PrintRow({sim::GroupLabel(key), std::to_string(train_x.size()),
+                     bench::Fmt(linear_rmse, 3), bench::Fmt(mlp_rmse, 3),
+                     bench::Pct(gain, 1)},
+                    16);
+  }
+
+  std::printf("\nlargest MLP accuracy gain over the linear model: %s\n",
+              bench::Pct(worst_gain, 1).c_str());
+  bool linear_sufficient = worst_gain < 0.10 && groups_done >= 4;
+  std::printf("linear models within 10%% of the MLP everywhere: %s "
+              "(paper: 'linear models are more explainable')\n",
+              linear_sufficient ? "yes" : "no");
+  return linear_sufficient ? 0 : 1;
+}

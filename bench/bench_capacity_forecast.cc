@@ -1,0 +1,71 @@
+// Capacity-planning bench (Abstract / Section 1: KEA models "inform our
+// leadership in critical decisions around ... capacity management"): fit a
+// seasonal-trend forecaster on weeks of demand telemetry from a growing
+// workload, and project when the cluster exhausts its container capacity and
+// how many new machines the horizon requires.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/capacity_planner.h"
+#include "bench/bench_util.h"
+#include "sim/fluid_engine.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Capacity planning - demand forecast and time-to-exhaustion",
+      "forecaster recovers the planted weekly growth; exhaustion within the "
+      "horizon triggers a machine purchase recommendation");
+
+  const double kPlantedGrowth = 0.025;  // +2.5% demand per week.
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadSpec wspec = sim::WorkloadSpec::Default();
+  wspec.weekly_growth = kPlantedGrowth;
+  wspec.base_demand_fraction = 0.70;
+  auto workload = sim::WorkloadModel::Create(wspec);
+  if (!workload.ok()) return 1;
+  sim::ClusterSpec cspec = sim::ClusterSpec::Default();
+  cspec.total_machines = 800;
+  auto cluster = sim::Cluster::Build(model.catalog(), cspec);
+  if (!cluster.ok()) return 1;
+
+  sim::FluidEngine engine(&model, &cluster.value(), &workload.value(),
+                          sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  const int kWeeks = 5;
+  if (!engine.Run(0, kWeeks * sim::kHoursPerWeek, &store).ok()) return 1;
+
+  apps::CapacityPlanner planner;
+  double slots = static_cast<double>(cluster->TotalContainerSlots());
+  // New machines are Gen4.1-class: 16 slots each at the baseline config.
+  auto report = planner.Plan(store, nullptr, slots, 16.0);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("history: %zu hourly demand points over %d weeks\n",
+              report->demand_history.size(), kWeeks);
+  std::printf("fitted weekly growth: %+.2f%% (planted %+.2f%%), in-sample MAPE %.1f%%\n",
+              report->weekly_growth * 100.0, kPlantedGrowth * 100.0,
+              report->in_sample_mape * 100.0);
+
+  std::printf("\ncapacity: %.0f container slots (threshold 98%%)\n", slots);
+  if (report->hours_to_exhaustion >= 0) {
+    std::printf("capacity exhausted in %.1f weeks\n",
+                static_cast<double>(report->hours_to_exhaustion) /
+                    sim::kHoursPerWeek);
+  } else {
+    std::printf("capacity not exhausted within the horizon\n");
+  }
+  std::printf("to survive the 26-week horizon: %.0f extra slots = %.0f new "
+              "Gen4.1 machines\n",
+              report->extra_slots_needed, report->extra_machines_needed);
+
+  bool ok = std::fabs(report->weekly_growth - kPlantedGrowth) < 0.012 &&
+            report->hours_to_exhaustion >= 0 && report->extra_machines_needed > 0;
+  std::printf("\ngrowth recovered and exhaustion projected: %s\n",
+              ok ? "yes" : "no");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Regenerates Figure 11: runtime distributions for the three benchmark jobs
+// before and after the KEA deployment. The paper reports a ~6% average
+// runtime improvement from the re-balancing.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/yarn_tuner.h"
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "ml/stats.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Figure 11 - benchmark job runtimes before/after KEA deployment",
+      "runtime distributions shift left; mean improves a few percent");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/600, /*seed=*/3);
+  env.Run(0, sim::kHoursPerWeek);
+
+  auto run_jobs = [&](uint64_t seed) {
+    sim::JobSimulator::Options options;
+    options.seed = seed;
+    sim::JobSimulator job_sim(&env.model, &env.cluster, &env.workload, options);
+    return job_sim.Run(sim::BenchmarkJobTemplates(), 10 * sim::kSecondsPerHour);
+  };
+
+  auto before = run_jobs(1234);
+  if (!before.ok()) return 1;
+
+  // Observational tuning + conservative rollout.
+  apps::YarnConfigTuner tuner;
+  auto plan = tuner.Propose(env.store, nullptr, env.cluster);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  core::DeploymentModule deploy;
+  if (!deploy.ApplyConservatively(plan->recommendations, &env.cluster).ok()) return 1;
+
+  auto after = run_jobs(1234);
+  if (!after.ok()) return 1;
+
+  auto collect = [](const std::vector<telemetry::JobRecord>& jobs) {
+    std::map<int, std::vector<double>> by_template;
+    for (const auto& j : jobs) by_template[j.template_id].push_back(j.runtime_s);
+    return by_template;
+  };
+  auto before_by = collect(before->jobs);
+  auto after_by = collect(after->jobs);
+  auto templates = sim::BenchmarkJobTemplates();
+
+  bench::PrintRow({"job", "n_before", "n_after", "mean_before_s", "mean_after_s",
+                   "p90_before_s", "p90_after_s", "change"});
+  double total_change = 0.0;
+  int cases = 0;
+  for (const auto& [tid, before_sample] : before_by) {
+    auto it = after_by.find(tid);
+    if (it == after_by.end()) continue;
+    double mb = ml::Mean(before_sample);
+    double ma = ml::Mean(it->second);
+    double p90b = ml::Quantile(before_sample, 0.9).value_or(0.0);
+    double p90a = ml::Quantile(it->second, 0.9).value_or(0.0);
+    double change = ma / mb - 1.0;
+    total_change += change;
+    ++cases;
+    bench::PrintRow({templates[static_cast<size_t>(tid)].name,
+                     std::to_string(before_sample.size()),
+                     std::to_string(it->second.size()), bench::Fmt(mb, 1),
+                     bench::Fmt(ma, 1), bench::Fmt(p90b, 1), bench::Fmt(p90a, 1),
+                     bench::Pct(change, 1)});
+  }
+  double avg_change = total_change / cases;
+  std::printf("\naverage benchmark runtime change: %s (paper: -6%%)\n",
+              bench::Pct(avg_change, 1).c_str());
+  return avg_change < 0.02 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Regenerates Figure 13: SSD and RAM usage versus CPU cores used, with the
+// fitted linear projections s = p(c) and r = q(c) of Eq. (11)-(12) that the
+// SKU-design Monte-Carlo consumes.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/sku_designer.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Figure 13 - SSD / RAM usage vs cores used, with fitted p(c), q(c)",
+      "linear growth; per-core slopes have visible spread (the MC's input)");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/800);
+  env.Run(0, 96);
+
+  // Binned view of the raw telemetry (the figure's point cloud).
+  const int kBins = 12;
+  std::vector<double> ssd_sum(kBins, 0.0), ram_sum(kBins, 0.0);
+  std::vector<int> counts(kBins, 0);
+  double max_cores = 0.0;
+  for (const auto& r : env.store.records()) max_cores = std::max(max_cores, r.cores_used);
+  for (const auto& r : env.store.records()) {
+    int bin = std::min(kBins - 1,
+                       static_cast<int>(r.cores_used / max_cores * kBins));
+    ssd_sum[static_cast<size_t>(bin)] += r.ssd_used_gb;
+    ram_sum[static_cast<size_t>(bin)] += r.ram_used_gb;
+    counts[static_cast<size_t>(bin)] += 1;
+  }
+  bench::PrintRow({"cores_used", "mean_ssd_gb", "mean_ram_gb", "n"});
+  for (int b = 0; b < kBins; ++b) {
+    if (counts[static_cast<size_t>(b)] == 0) continue;
+    double center = (b + 0.5) * max_cores / kBins;
+    bench::PrintRow({bench::Fmt(center, 1),
+                     bench::Fmt(ssd_sum[static_cast<size_t>(b)] / counts[static_cast<size_t>(b)], 1),
+                     bench::Fmt(ram_sum[static_cast<size_t>(b)] / counts[static_cast<size_t>(b)], 1),
+                     std::to_string(counts[static_cast<size_t>(b)])});
+  }
+
+  // The fitted projections (reuse the designer's fitting path).
+  apps::SkuDesigner::Options options = apps::SkuDesigner::Options::Default();
+  options.mc_iterations = 50;  // We only need p and q here.
+  options.ssd_candidates_gb = {800.0};
+  options.ram_candidates_gb = {400.0};
+  apps::SkuDesigner designer(options);
+  Rng rng(5);
+  auto result = designer.Design(env.store, nullptr, &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nfitted p(c): ssd_gb = %.1f + %.2f * cores   (R2 = %.3f)\n",
+              result->p.intercept(), result->p.coefficients()[0], result->p_fit.r2);
+  std::printf("fitted q(c): ram_gb = %.1f + %.2f * cores   (R2 = %.3f)\n",
+              result->q.intercept(), result->q.coefficients()[0], result->q_fit.r2);
+  std::printf("ground truth:        40.0 + 6.00 * cores (SSD), 10.0 + 3.20 * cores (RAM)\n");
+
+  bool ok = result->p.coefficients()[0] > 0.0 && result->q.coefficients()[0] > 0.0;
+  std::printf("\nusage grows linearly with cores used: %s\n", ok ? "yes" : "no");
+  return ok ? 0 : 1;
+}

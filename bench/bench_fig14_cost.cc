@@ -1,0 +1,60 @@
+// Regenerates Figure 14: expected machine cost over candidate (SSD, RAM)
+// designs for the future 128-core SKU, estimated with 1000 Monte-Carlo draws
+// per candidate. The paper's shape: under-provisioned designs are dominated
+// by out-of-SSD/RAM penalties, over-provisioned designs by idle-resource
+// cost, with a "sweet spot" in the interior.
+
+#include <cstdio>
+
+#include "apps/sku_designer.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Figure 14 - expected cost vs (SSD, RAM) design, 1000 MC draws each",
+      "U-shaped cost surface with an interior sweet spot");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/800);
+  env.Run(0, 96);
+
+  apps::SkuDesigner designer;  // Default grid, 1000 iterations, 128 cores.
+  Rng rng(17);
+  auto result = designer.Design(env.store, nullptr, &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Surface as a matrix: rows = SSD, columns = RAM. Costs normalized to the
+  // best design = 1.0, matching the paper's "normalized cost".
+  double best_cost = result->best().expected_cost;
+  const auto options = apps::SkuDesigner::Options::Default();
+  std::vector<std::string> header = {"ssd_gb \\ ram_gb"};
+  for (double ram : options.ram_candidates_gb) header.push_back(bench::Fmt(ram, 0));
+  bench::PrintRow(header, 10);
+
+  size_t index = 0;
+  for (double ssd : options.ssd_candidates_gb) {
+    std::vector<std::string> row = {bench::Fmt(ssd, 0)};
+    for (size_t r = 0; r < options.ram_candidates_gb.size(); ++r) {
+      row.push_back(bench::Fmt(result->surface[index].expected_cost / best_cost, 2));
+      ++index;
+    }
+    bench::PrintRow(row, 10);
+  }
+
+  const auto& best = result->best();
+  std::printf("\nsweet spot: SSD %.0f GB, RAM %.0f GB (cost %.0f, +-%.0f)\n",
+              best.ssd_gb, best.ram_gb, best.expected_cost, best.standard_error);
+  std::printf("stranding probability at sweet spot: out-of-SSD %.3f, out-of-RAM %.3f\n",
+              best.p_out_of_ssd, best.p_out_of_ram);
+
+  bool interior = best.ssd_gb > options.ssd_candidates_gb.front() &&
+                  best.ssd_gb < options.ssd_candidates_gb.back() &&
+                  best.ram_gb > options.ram_candidates_gb.front() &&
+                  best.ram_gb < options.ram_candidates_gb.back();
+  std::printf("\nsweet spot interior to the grid: %s (paper: 'sweet spot')\n",
+              interior ? "yes" : "no");
+  return interior ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Regenerates Figure 9: the set of calibrated models per SC-SKU combination —
+// running containers vs CPU utilization (g_k) and task execution time vs CPU
+// utilization (f_k), fit with the Huber regressor, with the median operating
+// point (the figure's large dot).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/whatif.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Figure 9 - calibrated What-if models per SC-SKU combination",
+      "per-group linear fits; slower groups show steeper latency growth");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/1500);
+  env.Run(0, sim::kHoursPerWeek);
+
+  core::WhatIfEngine::Options options;
+  options.regressor = core::RegressorKind::kHuber;
+  auto engine = core::WhatIfEngine::Fit(env.store, nullptr, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n-- g_k: utilization = a + b * running_containers --\n");
+  bench::PrintRow({"group", "n_k", "a", "b", "R2", "median_m", "median_util"});
+  for (const auto& [key, gm] : engine->models()) {
+    bench::PrintRow({sim::GroupLabel(key), std::to_string(gm.num_machines),
+                     bench::Fmt(gm.g.intercept(), 4),
+                     bench::Fmt(gm.g.coefficients()[0], 4),
+                     bench::Fmt(gm.g_fit.r2, 3),
+                     bench::Fmt(gm.current_containers, 2),
+                     bench::Fmt(gm.current_utilization, 3)});
+  }
+
+  std::printf("\n-- f_k: task latency (s) = a + b * utilization --\n");
+  bench::PrintRow({"group", "a", "b", "R2", "median_latency_s"});
+  bool ok = true;
+  for (const auto& [key, gm] : engine->models()) {
+    bench::PrintRow({sim::GroupLabel(key), bench::Fmt(gm.f.intercept(), 2),
+                     bench::Fmt(gm.f.coefficients()[0], 2),
+                     bench::Fmt(gm.f_fit.r2, 3),
+                     bench::Fmt(gm.current_latency_s, 2)});
+    if (gm.f.coefficients()[0] <= 0.0) ok = false;  // Latency must grow with load.
+    if (gm.g.coefficients()[0] <= 0.0) ok = false;
+  }
+
+  std::printf("\n-- h_k: tasks/hour = a + b * utilization --\n");
+  bench::PrintRow({"group", "a", "b", "R2", "median_tasks_per_hour"});
+  for (const auto& [key, gm] : engine->models()) {
+    bench::PrintRow({sim::GroupLabel(key), bench::Fmt(gm.h.intercept(), 1),
+                     bench::Fmt(gm.h.coefficients()[0], 1),
+                     bench::Fmt(gm.h_fit.r2, 3),
+                     bench::Fmt(gm.current_tasks_per_hour, 1)});
+  }
+  std::printf("\nall calibrated slopes physically sensible: %s\n",
+              ok ? "yes" : "no");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Google-benchmark microbenchmarks for KEA's computational kernels: the
+// simplex solver, the regressors, the fluid simulation engine, and the
+// discrete-event job engine. These bound the cost of a daily tuning pass.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/yarn_tuner.h"
+#include "bench/bench_util.h"
+#include "core/whatif.h"
+#include "ml/forecast.h"
+#include "ml/mlp.h"
+#include "ml/regression.h"
+#include "opt/lp.h"
+
+namespace {
+
+using namespace kea;
+
+void BM_SimplexYarnShapedLp(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  opt::LpProblem lp(k, opt::LpDirection::kMaximize);
+  for (size_t i = 0; i < k; ++i) {
+    (void)lp.SetObjectiveCoefficient(i, 100.0 + static_cast<double>(i));
+    (void)lp.SetBounds(i, 5.0, 20.0);
+  }
+  opt::LpConstraint latency;
+  latency.coefficients.assign(k, 1.0);
+  latency.sense = opt::ConstraintSense::kLessEqual;
+  latency.rhs = 12.0 * static_cast<double>(k);
+  (void)lp.AddConstraint(latency);
+  opt::SimplexSolver solver;
+  for (auto _ : state) {
+    auto solution = solver.Solve(lp);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_SimplexYarnShapedLp)->Arg(6)->Arg(12)->Arg(24)->Arg(48);
+
+void BM_HuberFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  ml::Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 2.0 + 3.0 * x[i] + rng.Gaussian(0, 0.5);
+  }
+  ml::Dataset data = ml::MakeDataset1D(x, y);
+  ml::HuberRegressor regressor;
+  for (auto _ : state) {
+    auto model = regressor.Fit(data);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HuberFit)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_OlsFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  ml::Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 2.0 + 3.0 * x[i] + rng.Gaussian(0, 0.5);
+  }
+  ml::Dataset data = ml::MakeDataset1D(x, y);
+  ml::LinearRegressor regressor;
+  for (auto _ : state) {
+    auto model = regressor.Fit(data);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OlsFit)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_FluidEngineHour(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(static_cast<int>(state.range(0)));
+  int hour = 0;
+  for (auto _ : state) {
+    env.store.Clear();
+    (void)env.engine->Run(hour++, 1, &env.store);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FluidEngineHour)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_WhatIfFit(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(500);
+  env.Run(0, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto engine = core::WhatIfEngine::Fit(env.store, nullptr,
+                                          core::WhatIfEngine::Options());
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_WhatIfFit)->Arg(48)->Arg(168);
+
+void BM_JobSimulatorHour(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(200);
+  sim::JobSimulator::Options options;
+  options.seed = 3;
+  for (auto _ : state) {
+    sim::JobSimulator job_sim(&env.model, &env.cluster, &env.workload, options);
+    auto result = job_sim.Run(sim::BenchmarkJobTemplates(), sim::kSecondsPerHour);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JobSimulatorHour);
+
+void BM_SeasonalForecastFit(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> series;
+  const int weeks = static_cast<int>(state.range(0));
+  for (int t = 0; t < weeks * 168; ++t) {
+    series.push_back((1000.0 + 0.5 * t) *
+                     (1.0 + 0.15 * std::sin(2 * 3.14159 * (t % 168) / 168.0)) *
+                     rng.LogNormal(0.0, 0.03));
+  }
+  for (auto _ : state) {
+    auto f = ml::SeasonalTrendForecaster::Fit(series);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_SeasonalForecastFit)->Arg(4)->Arg(12)->Arg(52);
+
+void BM_MlpFit(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  ml::Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 2.0 + 3.0 * x[i] + rng.Gaussian(0, 0.5);
+  }
+  ml::Dataset data = ml::MakeDataset1D(x, y);
+  ml::MlpRegressor::Options options;
+  options.epochs = 50;
+  ml::MlpRegressor mlp(options);
+  for (auto _ : state) {
+    auto model = mlp.Fit(data);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_MlpFit)->Arg(1000)->Arg(5000);
+
+void BM_FullObservationalTuningPass(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(1000);
+  env.Run(0, sim::kHoursPerWeek);
+  apps::YarnConfigTuner tuner;
+  for (auto _ : state) {
+    auto plan = tuner.Propose(env.store, nullptr, env.cluster);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_FullObservationalTuningPass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

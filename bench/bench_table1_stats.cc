@@ -1,0 +1,61 @@
+// Regenerates Table 1: infrastructure statistics. The paper reports fleet
+// totals for Cosmos (>300k machines, >600k jobs/day, >4B tasks/day...). The
+// simulated fleet is smaller by design; this bench reports the simulated
+// scale and the per-machine rates, then extrapolates to the paper's fleet
+// size to show the rates are of the right order.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "telemetry/perf_monitor.h"
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Table 1 - infrastructure statistics (simulated scale + extrapolation)",
+      "per-machine task rates extrapolate to billions of tasks/day at 300k "
+      "machines");
+
+  bench::BenchEnv env = bench::BenchEnv::Make(/*machines=*/2000);
+  env.Run(0, 48);
+
+  telemetry::PerformanceMonitor monitor(&env.store);
+  double total_tasks = monitor.TotalTasksFinished();
+  double machine_hours = static_cast<double>(env.store.size());
+  double tasks_per_machine_day = total_tasks / machine_hours * 24.0;
+
+  // DES layer: jobs per day per simulated sub-cluster.
+  sim::JobSimulator::Options jopt;
+  jopt.seed = 13;
+  sim::JobSimulator job_sim(&env.model, &env.cluster, &env.workload, jopt);
+  auto jobs = job_sim.Run(sim::BenchmarkJobTemplates(), 6 * sim::kSecondsPerHour);
+  double jobs_per_hour =
+      jobs.ok() ? static_cast<double>(jobs->jobs.size()) / 6.0 : 0.0;
+
+  const double kPaperMachines = 300000.0;
+  double sim_machines = static_cast<double>(env.cluster.size());
+
+  bench::PrintRow({"description", "simulated", "paper"}, 40);
+  bench::PrintRow({"total machines", bench::Fmt(sim_machines, 0), ">300k"}, 40);
+  bench::PrintRow({"machines per cluster", bench::Fmt(sim_machines, 0), ">45k"}, 40);
+  bench::PrintRow({"hardware generations (SKUs)",
+                   std::to_string(env.model.catalog().size()), "20+ (6-9 per cluster)"},
+                  40);
+  bench::PrintRow({"software configurations", "2 (SC1, SC2)", "2 main"}, 40);
+  bench::PrintRow({"tasks per machine-day",
+                   bench::Fmt(tasks_per_machine_day, 0), "~13k (4B / 300k)"},
+                  40);
+  double extrapolated_tasks = tasks_per_machine_day * kPaperMachines;
+  bench::PrintRow({"tasks/day extrapolated to 300k machines",
+                   bench::Fmt(extrapolated_tasks / 1e9, 2) + "B", ">4B"},
+                  40);
+  bench::PrintRow({"benchmark jobs/hour (DES sub-cluster)",
+                   bench::Fmt(jobs_per_hour, 1), "600k jobs/day fleet-wide"},
+                  40);
+
+  // Right order of magnitude: extrapolated tasks/day within [1B, 20B].
+  bool plausible = extrapolated_tasks > 1e9 && extrapolated_tasks < 2e10;
+  std::printf("\nextrapolated task rate within the paper's order of magnitude: %s\n",
+              plausible ? "yes" : "no");
+  return plausible ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Fleet report: the operator-facing artifacts KEA produces on its daily
+// cadence (Section 4.1's dashboards "embraced by the engineering teams").
+// Simulates two weeks, then prints/saves:
+//   - the weekly utilization dashboard (Figure 1 view),
+//   - the scatter view for one machine group (Figure 8 view),
+//   - the calibrated What-if model report as CSV (the Phase II artifact),
+//   - an experiment sizing plan for the next A/B study, and
+//   - a telemetry CSV export sample.
+//
+// Build & run:  ./build/examples/fleet_report
+
+#include <cstdio>
+
+#include "kea.h"
+#include "apps/experiment_planner.h"
+
+int main() {
+  using namespace kea;
+
+  apps::KeaSession::Config config;
+  config.machines = 600;
+  auto session_or = apps::KeaSession::Create(config);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
+    return 1;
+  }
+  apps::KeaSession& session = **session_or;
+  if (Status s = session.Simulate(2 * sim::kHoursPerWeek); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- Dashboard: weekly utilization --------------------------------------
+  auto week = telemetry::RenderUtilizationWeek(
+      session.store(), telemetry::HourRangeFilter(0, sim::kHoursPerWeek));
+  if (week.ok()) std::printf("%s\n", week->c_str());
+
+  // --- Dashboard: the Figure 8 scatter for SC2-Gen4.1 ---------------------
+  telemetry::PerformanceMonitor monitor(session.mutable_store());
+  auto points =
+      monitor.UtilizationThroughputScatter(1200, telemetry::GroupFilter({1, 5}));
+  auto scatter = telemetry::RenderScatter(points, 12, 60, "cpu_utilization",
+                                          "data_read_mb (SC2-Gen4.1)");
+  if (scatter.ok()) std::printf("%s\n", scatter->c_str());
+
+  // --- Phase II artifact: the calibrated model report ---------------------
+  auto whatif = core::WhatIfEngine::Fit(session.store(), nullptr,
+                                        core::WhatIfEngine::Options());
+  if (!whatif.ok()) {
+    std::fprintf(stderr, "%s\n", whatif.status().ToString().c_str());
+    return 1;
+  }
+  std::string model_csv = core::WhatIfModelsToCsv(*whatif);
+  std::printf("calibrated model report (%zu groups):\n%s\n",
+              whatif->models().size(),
+              model_csv.substr(0, model_csv.find('\n')).c_str());
+  const char* model_path = "/tmp/kea_models.csv";
+  if (core::SaveWhatIfModels(*whatif, model_path).ok()) {
+    std::printf("  full report written to %s\n\n", model_path);
+  }
+
+  // --- Next experiment sizing ----------------------------------------------
+  apps::ExperimentPlanner::Options popt;
+  popt.min_detectable_effect = 0.01;
+  apps::ExperimentPlanner planner(popt);
+  auto plan = planner.PlanDataReadExperiment(session.store(), session.cluster(),
+                                             /*sku=*/4);
+  if (plan.ok()) {
+    std::printf("to detect a 1%% Total-Data-Read effect on Gen3.2 "
+                "(noise %.1f%% per machine-day):\n",
+                plan->relative_stddev * 100.0);
+    std::printf("  %lld machine-days per arm -> %d machines x %d days "
+                "(%s; achieved MDE %.2f%%)\n\n",
+                static_cast<long long>(plan->machine_days_per_arm),
+                plan->machines_per_arm, plan->days,
+                plan->feasible ? "feasible" : "NOT feasible on this cluster",
+                plan->achieved_mde * 100.0);
+  }
+
+  // --- Telemetry export -----------------------------------------------------
+  telemetry::TelemetryStore sample;
+  for (size_t i = 0; i < 5 && i < session.store().size(); ++i) {
+    sample.Append(session.store().records()[i]);
+  }
+  std::printf("telemetry CSV sample (5 of %zu machine-hours):\n%s",
+              session.store().size(), sample.ToCsv().c_str());
+  return 0;
+}

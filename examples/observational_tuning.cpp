@@ -1,0 +1,145 @@
+// Observational tuning, end to end (Section 5 of the paper): the full
+// production loop KEA runs for the YARN max_num_running_containers parameter.
+//
+//   baseline month -> fit models -> LP optimization -> pilot flighting ->
+//   conservative rollout -> after month -> treatment effects & capacity $$.
+//
+// Build & run:  ./build/examples/observational_tuning
+
+#include <cstdio>
+
+#include "apps/capacity.h"
+#include "apps/yarn_tuner.h"
+#include "core/deployment.h"
+#include "core/flighting.h"
+#include "core/treatment.h"
+#include "sim/fluid_engine.h"
+#include "telemetry/perf_monitor.h"
+
+namespace {
+
+constexpr int kMonthHours = 28 * kea::sim::kHoursPerDay;
+
+int Fail(const kea::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kea;
+
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 1000;
+  auto cluster_or = sim::Cluster::Build(model.catalog(), spec);
+  if (!cluster_or.ok()) return Fail(cluster_or.status());
+  sim::Cluster& cluster = cluster_or.value();
+
+  sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+
+  // ---- Phase I/II: observe a month, fit, optimize -------------------------
+  std::printf("[1/5] simulating the baseline month...\n");
+  if (Status s = engine.Run(0, kMonthHours, &store); !s.ok()) return Fail(s);
+
+  std::printf("[2/5] fitting the What-if Engine and solving the LP...\n");
+  apps::YarnConfigTuner::Options topt;
+  topt.max_step = 2;
+  apps::YarnConfigTuner tuner(topt);
+  auto plan = tuner.Propose(store, telemetry::HourRangeFilter(0, kMonthHours),
+                            cluster);
+  if (!plan.ok()) return Fail(plan.status());
+  std::printf("      predicted capacity gain %+.2f%%, predicted latency ratio %.4f\n",
+              plan->predicted_capacity_gain * 100.0,
+              plan->predicted_latency_after_s / plan->predicted_latency_before_s);
+
+  // ---- Phase III: pilot flighting (the Section 5.2.2 ladder) --------------
+  std::printf("[3/5] pilot flighting on 40 machines of one group...\n");
+  const core::GroupRecommendation* pilot = nullptr;
+  for (const auto& rec : plan->recommendations) {
+    if (rec.recommended_max_containers > rec.current_max_containers) pilot = &rec;
+  }
+  if (pilot == nullptr) {
+    std::fprintf(stderr, "no group grows; nothing to pilot\n");
+    return 1;
+  }
+  std::vector<int> pilot_machines;
+  for (int id : cluster.groups().at(pilot->group)) {
+    pilot_machines.push_back(id);
+    if (pilot_machines.size() == 40) break;
+  }
+  core::FlightingService flighting;
+  core::ConfigPatch patch;
+  patch.max_containers = pilot->current_max_containers + 1;
+  auto flight = flighting.CreateFlight(
+      {"pilot_increase", pilot_machines, kMonthHours, kMonthHours + 48, patch});
+  if (!flight.ok()) return Fail(flight.status());
+  if (Status s = flighting.Begin(*flight, &cluster); !s.ok()) return Fail(s);
+  if (Status s = engine.Run(kMonthHours, 48, &store); !s.ok()) return Fail(s);
+  if (Status s = flighting.End(*flight, &cluster); !s.ok()) return Fail(s);
+
+  auto pilot_window = telemetry::AndFilter(
+      telemetry::HourRangeFilter(kMonthHours, kMonthHours + 48),
+      telemetry::MachineSetFilter(pilot_machines));
+  double pilot_containers = 0.0;
+  size_t pilot_count = 0;
+  for (const auto& r : store.Query(pilot_window)) {
+    pilot_containers += r.avg_running_containers;
+    ++pilot_count;
+  }
+  std::printf("      pilot group ran %.2f containers/machine (config %d)\n",
+              pilot_containers / static_cast<double>(pilot_count),
+              pilot->current_max_containers + 1);
+
+  // ---- Conservative production rollout -------------------------------------
+  std::printf("[4/5] rolling out (max +-1 per group per round)...\n");
+  core::DeploymentModule deploy;
+  auto applied = deploy.ApplyConservatively(plan->recommendations, &cluster);
+  if (!applied.ok()) return Fail(applied.status());
+  for (const auto& change : *applied) {
+    std::printf("      %-10s %d -> %d%s\n", sim::GroupLabel(change.group).c_str(),
+                change.old_max_containers, change.new_max_containers,
+                change.clamped ? "  (clamped)" : "");
+  }
+
+  // ---- After month + evaluation --------------------------------------------
+  std::printf("[5/5] simulating the after month and evaluating...\n");
+  const int after_start = kMonthHours + 48;
+  if (Status s = engine.Run(after_start, kMonthHours, &store); !s.ok()) return Fail(s);
+
+  auto before = telemetry::HourRangeFilter(0, kMonthHours);
+  auto after = telemetry::HourRangeFilter(after_start, after_start + kMonthHours);
+  telemetry::PerformanceMonitor monitor(&store);
+
+  auto data_before = store.Extract(
+      [](const telemetry::MachineHourRecord& r) { return r.data_read_mb; }, before);
+  auto data_after = store.Extract(
+      [](const telemetry::MachineHourRecord& r) { return r.data_read_mb; }, after);
+  auto effect = core::EstimateTreatmentEffect("Total Data Read", data_before,
+                                              data_after);
+  if (!effect.ok()) return Fail(effect.status());
+
+  auto lat_before = monitor.ClusterAverageTaskLatency(before);
+  auto lat_after = monitor.ClusterAverageTaskLatency(after);
+  if (!lat_before.ok() || !lat_after.ok()) return Fail(lat_before.status());
+
+  apps::CapacityConverter converter;
+  auto capacity = converter.FromWindows(store, before, after);
+  if (!capacity.ok()) return Fail(capacity.status());
+
+  std::printf("\n================ deployment report ================\n");
+  std::printf("throughput:  %+.2f%% (t = %.2f, %s)\n",
+              effect->percent_change * 100.0, effect->t_value,
+              effect->significant ? "significant" : "not significant");
+  std::printf("latency:     %.2fs -> %.2fs (%+.2f%%)\n", *lat_before, *lat_after,
+              (*lat_after / *lat_before - 1.0) * 100.0);
+  std::printf("capacity:    %+.2f%% at %s latency\n",
+              capacity->capacity_gain * 100.0,
+              capacity->latency_neutral ? "equal" : "CHANGED");
+  std::printf("fleet value: $%.1fM per year at 300k machines\n",
+              capacity->dollars_per_year / 1e6);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Hypothetical tuning (Section 6 of the paper): size SSD and RAM for a
+// future 128-core machine generation from observational telemetry only — no
+// flighting, no deployment (the machines don't exist yet).
+//
+// Build & run:  ./build/examples/sku_design
+
+#include <cstdio>
+
+#include "apps/sku_designer.h"
+#include "sim/fluid_engine.h"
+
+int main() {
+  using namespace kea;
+
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 600;
+  auto cluster = sim::Cluster::Build(model.catalog(), spec);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("collecting resource-usage telemetry (4 days)...\n");
+  sim::FluidEngine engine(&model, &cluster.value(), &workload,
+                          sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  if (Status s = engine.Run(0, 96, &store); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  apps::SkuDesigner designer;  // 128 cores, default candidate grids, 1000 MC draws.
+  Rng rng(2026);
+  auto result = designer.Design(store, nullptr, &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nfitted projections (Eq. 11-12):\n");
+  std::printf("  SSD: s = %.1f + %.2f * cores   (R2 %.3f)\n",
+              result->p.intercept(), result->p.coefficients()[0], result->p_fit.r2);
+  std::printf("  RAM: r = %.1f + %.2f * cores   (R2 %.3f)\n",
+              result->q.intercept(), result->q.coefficients()[0], result->q_fit.r2);
+
+  std::printf("\nexpected-cost surface (normalized to the best design):\n");
+  const auto options = apps::SkuDesigner::Options::Default();
+  double best = result->best().expected_cost;
+  std::printf("%8s", "ssd\\ram");
+  for (double ram : options.ram_candidates_gb) std::printf("%8.0f", ram);
+  std::printf("\n");
+  size_t index = 0;
+  for (double ssd : options.ssd_candidates_gb) {
+    std::printf("%8.0f", ssd);
+    for (size_t r = 0; r < options.ram_candidates_gb.size(); ++r) {
+      std::printf("%8.2f", result->surface[index++].expected_cost / best);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nrecommended design for the 128-core machine: %.0f GB SSD, "
+              "%.0f GB RAM\n",
+              result->best().ssd_gb, result->best().ram_gb);
+  std::printf("stranding risk at that design: SSD %.1f%%, RAM %.1f%%\n",
+              result->best().p_out_of_ssd * 100.0,
+              result->best().p_out_of_ram * 100.0);
+  return 0;
+}

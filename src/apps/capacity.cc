@@ -1,0 +1,58 @@
+#include "apps/capacity.h"
+
+#include <cmath>
+
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+
+StatusOr<CapacityConverter::Report> CapacityConverter::FromWindows(
+    const telemetry::TelemetryStore& store, const telemetry::RecordFilter& before,
+    const telemetry::RecordFilter& after) const {
+  telemetry::PerformanceMonitor monitor(&store);
+
+  struct WindowStats {
+    double containers = 0.0;
+    double data_mb = 0.0;
+    double latency_s = 0.0;
+    size_t hours = 0;
+  };
+  auto measure = [&](const telemetry::RecordFilter& filter) -> StatusOr<WindowStats> {
+    WindowStats w;
+    double weighted_latency = 0.0, tasks = 0.0;
+    for (const auto& r : store.records()) {
+      if (filter && !filter(r)) continue;
+      w.containers += r.avg_running_containers;
+      w.data_mb += r.data_read_mb;
+      weighted_latency += r.avg_task_latency_s * r.tasks_finished;
+      tasks += r.tasks_finished;
+      ++w.hours;
+    }
+    if (w.hours == 0 || tasks <= 0.0) {
+      return Status::FailedPrecondition("empty telemetry window");
+    }
+    w.latency_s = weighted_latency / tasks;
+    // Normalize totals per machine-hour so unequal window lengths compare.
+    w.containers /= static_cast<double>(w.hours);
+    w.data_mb /= static_cast<double>(w.hours);
+    return w;
+  };
+
+  KEA_ASSIGN_OR_RETURN(WindowStats b, measure(before));
+  KEA_ASSIGN_OR_RETURN(WindowStats a, measure(after));
+  if (b.containers <= 0.0 || b.data_mb <= 0.0 || b.latency_s <= 0.0) {
+    return Status::FailedPrecondition("degenerate baseline window");
+  }
+
+  Report report;
+  report.capacity_gain = a.containers / b.containers - 1.0;
+  report.throughput_change = a.data_mb / b.data_mb - 1.0;
+  report.latency_change = a.latency_s / b.latency_s - 1.0;
+  report.latency_neutral = std::fabs(report.latency_change) < 0.01;
+  report.equivalent_machines = report.capacity_gain * options_.fleet_machines;
+  report.dollars_per_year =
+      report.equivalent_machines * options_.machine_cost_usd_per_year;
+  return report;
+}
+
+}  // namespace kea::apps

@@ -1,0 +1,53 @@
+#ifndef KEA_APPS_CAPACITY_H_
+#define KEA_APPS_CAPACITY_H_
+
+#include "common/status.h"
+#include "core/treatment.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Converts performance improvements into sellable capacity and dollars
+/// (Section 5.3: "KEA can also be used to convert any performance improvement
+/// into capacity gain (given the same task latency), allowing detailed
+/// quantitative evaluation for all engineering changes in monetary values").
+class CapacityConverter {
+ public:
+  struct Options {
+    /// Yearly amortized cost of one machine in USD (hardware + datacenter).
+    double machine_cost_usd_per_year = 4500.0;
+    /// Fleet size the gain extrapolates to (Cosmos: >300k machines).
+    double fleet_machines = 300000.0;
+  };
+
+  struct Report {
+    /// Fractional container-capacity gain at equal cluster latency.
+    double capacity_gain = 0.0;
+    /// Throughput change (Total Data Read) between the windows.
+    double throughput_change = 0.0;
+    /// Latency change between the windows (should be ~0 for a valid claim).
+    double latency_change = 0.0;
+    /// Machines' worth of capacity unlocked.
+    double equivalent_machines = 0.0;
+    double dollars_per_year = 0.0;
+    bool latency_neutral = false;  ///< |latency change| under 1%.
+  };
+
+  CapacityConverter() : options_(Options()) {}
+  explicit CapacityConverter(const Options& options) : options_(options) {}
+
+  /// Compares two telemetry windows (before/after a deployment) and converts
+  /// the container-capacity delta into a monetary estimate. The capacity
+  /// gain is the change in average running containers across the fleet;
+  /// the report flags whether the latency constraint actually held.
+  StatusOr<Report> FromWindows(const telemetry::TelemetryStore& store,
+                               const telemetry::RecordFilter& before,
+                               const telemetry::RecordFilter& after) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_CAPACITY_H_

@@ -1,0 +1,67 @@
+#include "apps/capacity_planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace kea::apps {
+
+StatusOr<CapacityPlanner::Report> CapacityPlanner::Plan(
+    const telemetry::TelemetryStore& store, const telemetry::RecordFilter& filter,
+    double total_slots, double slots_per_new_machine) const {
+  if (total_slots <= 0.0) {
+    return Status::InvalidArgument("total_slots must be positive");
+  }
+  if (slots_per_new_machine <= 0.0) {
+    return Status::InvalidArgument("slots_per_new_machine must be positive");
+  }
+
+  // Hourly demand = running + queued + rejected containers across the fleet
+  // (what the users *wanted* to run, not just what fit).
+  std::map<sim::HourIndex, double> by_hour;
+  for (const auto& r : store.records()) {
+    if (filter && !filter(r)) continue;
+    by_hour[r.hour] +=
+        r.avg_running_containers + r.queued_containers + r.rejected_containers;
+  }
+  if (by_hour.size() < 2 * sim::kHoursPerWeek) {
+    return Status::FailedPrecondition(
+        "capacity planning needs at least two weeks of hourly telemetry");
+  }
+
+  Report report;
+  report.demand_history.reserve(by_hour.size());
+  for (const auto& [hour, demand] : by_hour) {
+    report.demand_history.push_back(demand);
+  }
+
+  KEA_ASSIGN_OR_RETURN(report.forecaster,
+                       ml::SeasonalTrendForecaster::Fit(report.demand_history,
+                                                        sim::kHoursPerWeek));
+  report.in_sample_mape = report.forecaster.TrainingMape();
+
+  double current_level =
+      report.forecaster.trend_intercept() +
+      report.forecaster.trend_slope() *
+          static_cast<double>(report.demand_history.size());
+  if (current_level > 1e-9) {
+    report.weekly_growth = report.forecaster.trend_slope() *
+                           static_cast<double>(sim::kHoursPerWeek) / current_level;
+  }
+
+  double threshold = options_.capacity_threshold * total_slots;
+  int horizon_hours = options_.horizon_weeks * sim::kHoursPerWeek;
+  std::vector<double> forecast = report.forecaster.Forecast(horizon_hours);
+  double peak = 0.0;
+  for (int h = 0; h < horizon_hours; ++h) {
+    peak = std::max(peak, forecast[static_cast<size_t>(h)]);
+    if (report.hours_to_exhaustion < 0 &&
+        forecast[static_cast<size_t>(h)] > threshold) {
+      report.hours_to_exhaustion = h;
+    }
+  }
+  report.extra_slots_needed = std::max(0.0, peak - threshold);
+  report.extra_machines_needed = report.extra_slots_needed / slots_per_new_machine;
+  return report;
+}
+
+}  // namespace kea::apps

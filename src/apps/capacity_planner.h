@@ -1,0 +1,63 @@
+#ifndef KEA_APPS_CAPACITY_PLANNER_H_
+#define KEA_APPS_CAPACITY_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/forecast.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Hypothetical tuning for fleet growth: forecasts cluster demand from
+/// telemetry and projects when the cluster exhausts its container capacity —
+/// the kind of analysis KEA feeds to "leadership in critical decisions
+/// around engineering and capacity management" (Abstract / Section 1).
+///
+/// Demand is measured as total desired containers per hour (running +
+/// queued + rejected); capacity is the cluster's current container slots.
+class CapacityPlanner {
+ public:
+  struct Options {
+    /// Capacity is considered exhausted when forecast demand exceeds this
+    /// fraction of total slots (headroom for failures and rollouts).
+    double capacity_threshold = 0.98;
+    /// Weeks to forecast ahead.
+    int horizon_weeks = 26;
+  };
+
+  struct Report {
+    /// Hourly demand series extracted from telemetry.
+    std::vector<double> demand_history;
+    ml::SeasonalTrendForecaster forecaster;
+    /// Estimated weekly demand growth implied by the fitted trend, as a
+    /// fraction of current demand.
+    double weekly_growth = 0.0;
+    /// First forecast hour (offset from the end of history) where demand
+    /// exceeds the capacity threshold; -1 if never within the horizon.
+    int hours_to_exhaustion = -1;
+    /// Extra container slots needed to survive the full horizon.
+    double extra_slots_needed = 0.0;
+    /// Extra machines of the newest SKU needed (given its slots/machine).
+    double extra_machines_needed = 0.0;
+    double in_sample_mape = 0.0;
+  };
+
+  CapacityPlanner() : options_(Options()) {}
+  explicit CapacityPlanner(const Options& options) : options_(options) {}
+
+  /// Builds the demand series from `store` (matching `filter`), fits the
+  /// forecaster and projects capacity exhaustion against `total_slots`
+  /// capacity. `slots_per_new_machine` sizes the purchase recommendation.
+  /// Needs at least two weeks of hourly telemetry.
+  StatusOr<Report> Plan(const telemetry::TelemetryStore& store,
+                        const telemetry::RecordFilter& filter, double total_slots,
+                        double slots_per_new_machine) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_CAPACITY_PLANNER_H_

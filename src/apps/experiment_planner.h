@@ -1,0 +1,58 @@
+#ifndef KEA_APPS_EXPERIMENT_PLANNER_H_
+#define KEA_APPS_EXPERIMENT_PLANNER_H_
+
+#include "common/status.h"
+#include "core/power_analysis.h"
+#include "sim/cluster.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Sizes an experimental-tuning study before running it (Section 7: a fair
+/// comparison needs controlled variables *and* "a relatively large sample
+/// size"). From telemetry, estimates the per-machine-day noise of the target
+/// metric for one SKU, then uses power analysis to recommend how many
+/// machines x days each arm needs to detect a given effect.
+class ExperimentPlanner {
+ public:
+  struct Options {
+    /// Smallest relative effect the experiment must detect (e.g. 0.01 = 1%).
+    double min_detectable_effect = 0.01;
+    core::PowerAnalysis power;
+    /// Maximum workdays an experiment may run (the paper's studies run 1-5).
+    int max_days = 10;
+  };
+
+  struct Plan {
+    sim::SkuId sku = 0;
+    /// Estimated per-machine-day relative standard deviation of the metric.
+    double relative_stddev = 0.0;
+    /// Machine-day observations needed per arm.
+    int64_t machine_days_per_arm = 0;
+    /// A concrete (machines, days) recommendation within the day budget.
+    int machines_per_arm = 0;
+    int days = 0;
+    /// Whether the cluster has enough machines of the SKU for two arms.
+    bool feasible = false;
+    /// The effect actually detectable with the recommended shape.
+    double achieved_mde = 0.0;
+  };
+
+  ExperimentPlanner() : options_(Options()) {}
+  explicit ExperimentPlanner(const Options& options) : options_(options) {}
+
+  /// Plans an A/B experiment on `sku` using `store` to estimate the noise of
+  /// per-machine-day Total Data Read. Returns FailedPrecondition when the
+  /// telemetry has too few machine-days of the SKU, InvalidArgument on bad
+  /// options.
+  StatusOr<Plan> PlanDataReadExperiment(const telemetry::TelemetryStore& store,
+                                        const sim::Cluster& cluster,
+                                        sim::SkuId sku) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_EXPERIMENT_PLANNER_H_

@@ -1,0 +1,181 @@
+#include "apps/power_capping.h"
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/flighting.h"
+#include "core/treatment.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+
+namespace {
+
+/// Group-level normalized metrics over a telemetry window.
+struct GroupWindowMetrics {
+  double bytes_per_cpu_time = 0.0;
+  double bytes_per_second = 0.0;
+  double avg_power_watts = 0.0;
+  /// Per-machine-hour Bytes-per-CPU-Time samples for significance testing.
+  std::vector<double> bytes_per_cpu_samples;
+};
+
+StatusOr<GroupWindowMetrics> MeasureGroup(const telemetry::TelemetryStore& store,
+                                          const std::vector<int>& machine_ids,
+                                          sim::HourIndex begin, sim::HourIndex end) {
+  auto filter = telemetry::AndFilter(telemetry::HourRangeFilter(begin, end),
+                                     telemetry::MachineSetFilter(machine_ids));
+  double data = 0.0, cpu_s = 0.0, exec_s = 0.0, power = 0.0;
+  size_t count = 0;
+  GroupWindowMetrics m;
+  for (const auto& r : store.records()) {
+    if (!filter(r)) continue;
+    data += r.data_read_mb;
+    cpu_s += r.cpu_time_core_s;
+    exec_s += r.avg_task_latency_s * r.tasks_finished;
+    power += r.power_watts;
+    if (r.cpu_time_core_s > 0.0) m.bytes_per_cpu_samples.push_back(r.BytesPerCpuTime());
+    ++count;
+  }
+  if (count == 0 || cpu_s <= 0.0 || exec_s <= 0.0) {
+    return Status::FailedPrecondition("no usable telemetry for the group window");
+  }
+  m.bytes_per_cpu_time = data / cpu_s;
+  m.bytes_per_second = data / exec_s;
+  m.avg_power_watts = power / static_cast<double>(count);
+  return m;
+}
+
+}  // namespace
+
+StatusOr<PowerCappingStudy::Result> PowerCappingStudy::Run(
+    const sim::PerfModel& model, sim::Cluster* cluster, sim::FluidEngine* engine,
+    telemetry::TelemetryStore* store, sim::HourIndex start_hour) const {
+  if (cluster == nullptr || engine == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null cluster/engine/store");
+  }
+  if (options_.cap_levels.empty()) {
+    return Status::InvalidArgument("no cap levels to test");
+  }
+  for (double cap : options_.cap_levels) {
+    if (cap <= 0.0 || cap >= 1.0) {
+      return Status::InvalidArgument("cap levels must be in (0, 1)");
+    }
+  }
+
+  KEA_ASSIGN_OR_RETURN(auto groups,
+                       core::HybridGroups(*cluster, options_.sku, 4,
+                                          options_.group_size));
+  const std::vector<int>& group_a = groups[0];
+  const std::vector<int>& group_b = groups[1];
+  const std::vector<int>& group_c = groups[2];
+  const std::vector<int>& group_d = groups[3];
+
+  Result result;
+  sim::HourIndex hour = start_hour;
+  bool emitted_feature_only = false;
+
+  for (double cap : options_.cap_levels) {
+    core::FlightingService flighting;
+
+    core::ConfigPatch feature_on;
+    feature_on.feature_enabled = true;
+    core::ConfigPatch cap_only;
+    cap_only.power_cap_fraction = cap;
+    core::ConfigPatch cap_and_feature;
+    cap_and_feature.power_cap_fraction = cap;
+    cap_and_feature.feature_enabled = true;
+
+    sim::HourIndex round_end = hour + options_.hours_per_round;
+    KEA_ASSIGN_OR_RETURN(
+        core::FlightId fb,
+        flighting.CreateFlight({"B_feature", group_b, hour, round_end, feature_on}));
+    KEA_ASSIGN_OR_RETURN(
+        core::FlightId fc,
+        flighting.CreateFlight({"C_cap", group_c, hour, round_end, cap_only}));
+    KEA_ASSIGN_OR_RETURN(
+        core::FlightId fd,
+        flighting.CreateFlight(
+            {"D_cap_feature", group_d, hour, round_end, cap_and_feature}));
+
+    KEA_RETURN_IF_ERROR(flighting.Begin(fb, cluster));
+    KEA_RETURN_IF_ERROR(flighting.Begin(fc, cluster));
+    KEA_RETURN_IF_ERROR(flighting.Begin(fd, cluster));
+
+    KEA_RETURN_IF_ERROR(engine->Run(hour, options_.hours_per_round, store));
+
+    KEA_RETURN_IF_ERROR(flighting.End(fb, cluster));
+    KEA_RETURN_IF_ERROR(flighting.End(fc, cluster));
+    KEA_RETURN_IF_ERROR(flighting.End(fd, cluster));
+
+    KEA_ASSIGN_OR_RETURN(GroupWindowMetrics a,
+                         MeasureGroup(*store, group_a, hour, round_end));
+    KEA_ASSIGN_OR_RETURN(GroupWindowMetrics b,
+                         MeasureGroup(*store, group_b, hour, round_end));
+    KEA_ASSIGN_OR_RETURN(GroupWindowMetrics c,
+                         MeasureGroup(*store, group_c, hour, round_end));
+    KEA_ASSIGN_OR_RETURN(GroupWindowMetrics d,
+                         MeasureGroup(*store, group_d, hour, round_end));
+
+    auto attach_significance = [&a](Cell* cell, const GroupWindowMetrics& x) {
+      auto test = core::EstimateTreatmentEffectWelch(
+          "bytes_per_cpu", a.bytes_per_cpu_samples, x.bytes_per_cpu_samples);
+      if (test.ok()) {
+        cell->t_value = test->t_value;
+        cell->significant = test->significant;
+      }
+    };
+
+    if (!emitted_feature_only) {
+      Cell cell;
+      cell.cap_level = 0.0;
+      cell.capped = false;
+      cell.feature = true;
+      cell.bytes_per_cpu_time_change =
+          b.bytes_per_cpu_time / a.bytes_per_cpu_time - 1.0;
+      cell.bytes_per_second_change = b.bytes_per_second / a.bytes_per_second - 1.0;
+      cell.avg_power_watts = b.avg_power_watts;
+      attach_significance(&cell, b);
+      result.cells.push_back(cell);
+      emitted_feature_only = true;
+    }
+
+    Cell off;
+    off.cap_level = cap;
+    off.capped = true;
+    off.feature = false;
+    off.bytes_per_cpu_time_change = c.bytes_per_cpu_time / a.bytes_per_cpu_time - 1.0;
+    off.bytes_per_second_change = c.bytes_per_second / a.bytes_per_second - 1.0;
+    off.avg_power_watts = c.avg_power_watts;
+    attach_significance(&off, c);
+    result.cells.push_back(off);
+
+    Cell on;
+    on.cap_level = cap;
+    on.capped = true;
+    on.feature = true;
+    on.bytes_per_cpu_time_change = d.bytes_per_cpu_time / a.bytes_per_cpu_time - 1.0;
+    on.bytes_per_second_change = d.bytes_per_second / a.bytes_per_second - 1.0;
+    on.avg_power_watts = d.avg_power_watts;
+    attach_significance(&on, d);
+    result.cells.push_back(on);
+
+    hour = round_end;
+  }
+
+  // Recommend the deepest cap whose Feature-enabled cell keeps Bytes per CPU
+  // Time within 1% of the uncapped baseline.
+  for (const Cell& cell : result.cells) {
+    if (!cell.capped || !cell.feature) continue;
+    if (cell.bytes_per_cpu_time_change >= -0.01 &&
+        cell.cap_level > result.recommended_cap_level) {
+      result.recommended_cap_level = cell.cap_level;
+    }
+  }
+  result.provisioned_watts_saved_per_machine =
+      result.recommended_cap_level *
+      model.catalog().spec(options_.sku).provisioned_watts;
+  return result;
+}
+
+}  // namespace kea::apps

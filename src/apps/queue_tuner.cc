@@ -1,0 +1,123 @@
+#include "apps/queue_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/lp.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+
+StatusOr<QueueTuner::Plan> QueueTuner::Propose(
+    const telemetry::TelemetryStore& store, const telemetry::RecordFilter& filter,
+    const sim::Cluster& cluster) const {
+  // Overloaded machine-hours only: the queue model is identified from hours
+  // where a queue actually formed.
+  auto overloaded = telemetry::AndFilter(
+      filter, [](const telemetry::MachineHourRecord& r) {
+        return r.queued_containers > 0.05 && r.queue_latency_ms > 0.0;
+      });
+  auto grouped = store.GroupByKey(overloaded);
+  if (grouped.empty()) {
+    return Status::FailedPrecondition(
+        "no overloaded machine-hours; queue tuning needs queued telemetry");
+  }
+
+  Plan plan;
+  for (const auto& [key, records] : grouped) {
+    if (records.size() < options_.min_observations) continue;
+    std::vector<double> queued, latency;
+    queued.reserve(records.size());
+    latency.reserve(records.size());
+    for (const auto& r : records) {
+      queued.push_back(r.queued_containers);
+      latency.push_back(r.queue_latency_ms);
+    }
+    ml::HuberRegressor regressor;
+    auto model = regressor.Fit(ml::MakeDataset1D(queued, latency));
+    if (!model.ok()) continue;
+    // A usable model must show latency growing with queue depth.
+    if (model->coefficients()[0] <= 0.0) continue;
+
+    GroupPlan gp;
+    gp.group = key;
+    gp.num_machines = cluster.GroupSize(key);
+    if (gp.num_machines == 0) continue;
+    gp.latency_vs_queued = std::move(model).value();
+    KEA_ASSIGN_OR_RETURN(
+        gp.fit, ml::Evaluate(gp.latency_vs_queued, ml::MakeDataset1D(queued, latency)));
+    int any_machine = cluster.groups().at(key).front();
+    gp.current_max_queued =
+        cluster.machines()[static_cast<size_t>(any_machine)].max_queued_containers;
+    gp.full_queue_latency_before_ms =
+        gp.latency_vs_queued.Predict1D(gp.current_max_queued);
+    plan.groups.push_back(std::move(gp));
+  }
+  if (plan.groups.empty()) {
+    return Status::FailedPrecondition("no group had enough queued observations");
+  }
+
+  // Min-max LP over (q_1..q_K, t).
+  const size_t k_count = plan.groups.size();
+  opt::LpProblem lp(k_count + 1, opt::LpDirection::kMinimize);
+  const size_t t_index = k_count;
+  KEA_RETURN_IF_ERROR(lp.SetObjectiveCoefficient(t_index, 1.0));
+  double total_capacity = 0.0;
+  for (size_t i = 0; i < k_count; ++i) {
+    const GroupPlan& gp = plan.groups[i];
+    KEA_RETURN_IF_ERROR(lp.SetBounds(i, options_.min_queue, options_.max_queue));
+    total_capacity += static_cast<double>(gp.num_machines) * gp.current_max_queued;
+
+    // a_k + b_k q_k - t <= 0.
+    opt::LpConstraint epigraph;
+    epigraph.name = "latency_" + sim::GroupLabel(gp.group);
+    epigraph.coefficients.assign(k_count + 1, 0.0);
+    epigraph.coefficients[i] = gp.latency_vs_queued.coefficients()[0];
+    epigraph.coefficients[t_index] = -1.0;
+    epigraph.sense = opt::ConstraintSense::kLessEqual;
+    epigraph.rhs = -gp.latency_vs_queued.intercept();
+    KEA_RETURN_IF_ERROR(lp.AddConstraint(std::move(epigraph)));
+  }
+  // Keep the cluster's total queue capacity: sum_k n_k q_k = current total.
+  opt::LpConstraint capacity;
+  capacity.name = "total_queue_capacity";
+  capacity.coefficients.assign(k_count + 1, 0.0);
+  for (size_t i = 0; i < k_count; ++i) {
+    capacity.coefficients[i] = static_cast<double>(plan.groups[i].num_machines);
+  }
+  capacity.sense = opt::ConstraintSense::kEqual;
+  capacity.rhs = total_capacity;
+  KEA_RETURN_IF_ERROR(lp.AddConstraint(std::move(capacity)));
+  // t is free to grow as needed.
+  KEA_RETURN_IF_ERROR(lp.SetBounds(t_index, 0.0, opt::LpProblem::kInfinity));
+
+  opt::SimplexSolver solver;
+  KEA_ASSIGN_OR_RETURN(opt::LpSolution solution, solver.Solve(lp));
+
+  plan.worst_latency_before_ms = 0.0;
+  plan.worst_latency_after_ms = 0.0;
+  for (size_t i = 0; i < k_count; ++i) {
+    GroupPlan& gp = plan.groups[i];
+    gp.recommended_max_queued = std::clamp(
+        static_cast<int>(std::lround(solution.x[i])), options_.min_queue,
+        options_.max_queue);
+    gp.full_queue_latency_after_ms =
+        gp.latency_vs_queued.Predict1D(gp.recommended_max_queued);
+    plan.worst_latency_before_ms =
+        std::max(plan.worst_latency_before_ms, gp.full_queue_latency_before_ms);
+    plan.worst_latency_after_ms =
+        std::max(plan.worst_latency_after_ms, gp.full_queue_latency_after_ms);
+  }
+  return plan;
+}
+
+Status QueueTuner::Apply(const Plan& plan, sim::Cluster* cluster) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  for (const GroupPlan& gp : plan.groups) {
+    KEA_RETURN_IF_ERROR(
+        cluster->SetGroupMaxQueued(gp.group, gp.recommended_max_queued));
+  }
+  return Status::OK();
+}
+
+}  // namespace kea::apps

@@ -1,0 +1,79 @@
+#ifndef KEA_APPS_QUEUE_TUNER_H_
+#define KEA_APPS_QUEUE_TUNER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/regression.h"
+#include "sim/cluster.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Observational tuning of the per-group maximum queue length (the Section
+/// 5.3 extension): "as faster machines have faster de-queue rate, we can
+/// allow more containers to be queued on them ... to learn the relationship
+/// between the tuned parameters, i.e. the maximum queuing length, and the
+/// objective performance metrics, such as variance of queuing latency, to
+/// achieve better queuing distribution."
+///
+/// Methodology — the same What-if pattern as the container tuner:
+///  1. From overloaded machine-hours, fit per-group models
+///     queue_latency_ms = a_k + b_k * queued_containers (the de-queue rate is
+///     a property of the group, invariant to the queue cap itself).
+///  2. Solve the min-max LP: choose per-group queue caps q_k that minimize
+///     the worst-group full-queue latency, holding the cluster's total queue
+///     capacity constant:
+///        min t   s.t.  a_k + b_k q_k <= t,  sum_k n_k q_k = sum_k n_k q'_k,
+///                      q_min <= q_k <= q_max.
+class QueueTuner {
+ public:
+  struct Options {
+    /// Minimum overloaded machine-hours per group to fit a model.
+    size_t min_observations = 24;
+    /// Bounds on any group's queue cap.
+    int min_queue = 2;
+    int max_queue = 64;
+  };
+
+  /// One group's fitted queue model and recommendation.
+  struct GroupPlan {
+    sim::MachineGroupKey group;
+    int num_machines = 0;
+    ml::LinearModel latency_vs_queued;  ///< queue latency (ms) vs queued count.
+    ml::RegressionMetrics fit;
+    int current_max_queued = 0;
+    int recommended_max_queued = 0;
+    /// Predicted latency with the queue at its cap, before and after.
+    double full_queue_latency_before_ms = 0.0;
+    double full_queue_latency_after_ms = 0.0;
+  };
+
+  struct Plan {
+    std::vector<GroupPlan> groups;
+    /// Worst-group full-queue latency before/after (the min-max objective).
+    double worst_latency_before_ms = 0.0;
+    double worst_latency_after_ms = 0.0;
+  };
+
+  QueueTuner() : options_(Options()) {}
+  explicit QueueTuner(const Options& options) : options_(options) {}
+
+  /// Fits queue models on the telemetry matching `filter` and solves the
+  /// min-max LP. Needs overloaded hours (queued > 0) in the data; returns
+  /// FailedPrecondition otherwise.
+  StatusOr<Plan> Propose(const telemetry::TelemetryStore& store,
+                         const telemetry::RecordFilter& filter,
+                         const sim::Cluster& cluster) const;
+
+  /// Applies a plan's recommendations to the cluster.
+  static Status Apply(const Plan& plan, sim::Cluster* cluster);
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_QUEUE_TUNER_H_

@@ -1,0 +1,120 @@
+#include "apps/sc_selector.h"
+
+#include <map>
+
+#include "core/flighting.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+
+namespace {
+
+/// Aggregates per-machine-day observations of a metric over a window.
+std::vector<double> PerMachineDay(
+    const telemetry::TelemetryStore& store, const std::vector<int>& machine_ids,
+    sim::HourIndex begin, sim::HourIndex end,
+    const std::function<double(double sum_data, double sum_exec_s, double sum_tasks)>&
+        reduce) {
+  auto filter = telemetry::AndFilter(telemetry::HourRangeFilter(begin, end),
+                                     telemetry::MachineSetFilter(machine_ids));
+  // (machine, day) -> sums.
+  struct Sums {
+    double data = 0.0;
+    double exec_s = 0.0;
+    double tasks = 0.0;
+  };
+  std::map<std::pair<int, int>, Sums> by_day;
+  for (const auto& r : store.records()) {
+    if (!filter(r)) continue;
+    Sums& s = by_day[{r.machine_id, r.hour / sim::kHoursPerDay}];
+    s.data += r.data_read_mb;
+    s.exec_s += r.avg_task_latency_s * r.tasks_finished;
+    s.tasks += r.tasks_finished;
+  }
+  std::vector<double> out;
+  out.reserve(by_day.size());
+  for (const auto& [key, s] : by_day) {
+    out.push_back(reduce(s.data, s.exec_s, s.tasks));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ScSelector::Result> ScSelector::Run(sim::Cluster* cluster,
+                                             sim::FluidEngine* engine,
+                                             telemetry::TelemetryStore* store,
+                                             sim::HourIndex start_hour) const {
+  if (cluster == nullptr || engine == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null cluster/engine/store");
+  }
+  if (options_.workdays <= 0) {
+    return Status::InvalidArgument("workdays must be positive");
+  }
+
+  Result result;
+  KEA_ASSIGN_OR_RETURN(result.assignment,
+                       core::IdealAssignment(*cluster, options_.sku,
+                                             options_.max_racks,
+                                             options_.min_machines_per_arm));
+  result.balance = core::CheckBalance(*cluster, result.assignment);
+
+  sim::HourIndex end_hour = start_hour + options_.workdays * sim::kHoursPerDay;
+
+  // Both arms start from SC1; the treatment arm flights SC2.
+  core::FlightingService flighting;
+  core::ConfigPatch to_sc1;
+  to_sc1.software_config = 0;
+  core::ConfigPatch to_sc2;
+  to_sc2.software_config = 1;
+
+  std::vector<int> all_machines = result.assignment.control;
+  all_machines.insert(all_machines.end(), result.assignment.treatment.begin(),
+                      result.assignment.treatment.end());
+  KEA_ASSIGN_OR_RETURN(core::FlightId baseline_flight,
+                       flighting.CreateFlight({"sc1_baseline", all_machines,
+                                               start_hour, end_hour, to_sc1}));
+  KEA_ASSIGN_OR_RETURN(
+      core::FlightId treatment_flight,
+      flighting.CreateFlight({"sc2_treatment", result.assignment.treatment,
+                              start_hour, end_hour, to_sc2}));
+
+  KEA_RETURN_IF_ERROR(flighting.Begin(baseline_flight, cluster));
+  KEA_RETURN_IF_ERROR(flighting.Begin(treatment_flight, cluster));
+
+  KEA_RETURN_IF_ERROR(
+      engine->Run(start_hour, options_.workdays * sim::kHoursPerDay, store));
+
+  KEA_RETURN_IF_ERROR(flighting.End(treatment_flight, cluster));
+  KEA_RETURN_IF_ERROR(flighting.End(baseline_flight, cluster));
+
+  // Table 4 metrics, per machine-day.
+  auto data_metric = [](double data, double, double) { return data; };
+  auto latency_metric = [](double, double exec_s, double tasks) {
+    return tasks > 0.0 ? exec_s / tasks : 0.0;
+  };
+  std::vector<double> control_data = PerMachineDay(
+      *store, result.assignment.control, start_hour, end_hour, data_metric);
+  std::vector<double> treatment_data = PerMachineDay(
+      *store, result.assignment.treatment, start_hour, end_hour, data_metric);
+  std::vector<double> control_latency = PerMachineDay(
+      *store, result.assignment.control, start_hour, end_hour, latency_metric);
+  std::vector<double> treatment_latency = PerMachineDay(
+      *store, result.assignment.treatment, start_hour, end_hour, latency_metric);
+
+  KEA_ASSIGN_OR_RETURN(result.data_read,
+                       core::EstimateTreatmentEffect("Total Data Read (MB/day)",
+                                                     control_data, treatment_data));
+  KEA_ASSIGN_OR_RETURN(
+      result.task_latency,
+      core::EstimateTreatmentEffect("Average Task Execution Time (s)",
+                                    control_latency, treatment_latency));
+
+  result.sc2_dominates = result.data_read.percent_change > 0.0 &&
+                         result.data_read.significant &&
+                         result.task_latency.percent_change < 0.0 &&
+                         result.task_latency.significant;
+  return result;
+}
+
+}  // namespace kea::apps

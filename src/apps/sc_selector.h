@@ -1,0 +1,62 @@
+#ifndef KEA_APPS_SC_SELECTOR_H_
+#define KEA_APPS_SC_SELECTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/experiment.h"
+#include "core/treatment.h"
+#include "sim/cluster.h"
+#include "sim/fluid_engine.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Experimental tuning: selecting between software configurations SC1 (local
+/// temp store on HDD) and SC2 (local temp store on SSD), Section 7.1.
+///
+/// Uses the *ideal* experiment setting: every other machine in the same
+/// racks forms the control (SC1) vs. treatment (SC2) arm, so both arms see
+/// statistically identical workloads. The experiment runs over consecutive
+/// workdays and reports the Table 4 metrics with Student t-values.
+class ScSelector {
+ public:
+  struct Options {
+    sim::SkuId sku = 3;  ///< Default: Gen3.1.
+    /// Racks to enroll (the paper used two rows of ~700 machines each; with
+    /// 40-machine racks, 35 racks give ~700 per arm).
+    int max_racks = 35;
+    int min_machines_per_arm = 50;
+    /// Consecutive workdays of data collection (the paper used five).
+    int workdays = 5;
+  };
+
+  struct Result {
+    core::ExperimentAssignment assignment;
+    core::BalanceReport balance;
+    /// Table 4 rows: per-machine-day Total Data Read and mean task latency.
+    core::TreatmentEffect data_read;
+    core::TreatmentEffect task_latency;
+    /// True when SC2 dominates: higher throughput and lower latency, both
+    /// significant.
+    bool sc2_dominates = false;
+  };
+
+  ScSelector() : options_(Options()) {}
+  explicit ScSelector(const Options& options) : options_(options) {}
+
+  /// Runs the experiment on the simulator: forces both arms to SC1, flights
+  /// SC2 on the treatment arm, simulates `workdays` x 24 hours starting at
+  /// `start_hour` (align to a Monday to avoid weekend effects), analyzes and
+  /// reverts.
+  StatusOr<Result> Run(sim::Cluster* cluster, sim::FluidEngine* engine,
+                       telemetry::TelemetryStore* store,
+                       sim::HourIndex start_hour) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_SC_SELECTOR_H_

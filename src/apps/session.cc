@@ -1,0 +1,109 @@
+#include "apps/session.h"
+
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+
+StatusOr<std::unique_ptr<KeaSession>> KeaSession::Create(const Config& config) {
+  KEA_ASSIGN_OR_RETURN(sim::PerfModel perf_model,
+                       sim::PerfModel::Create(sim::SkuCatalog::Default(),
+                                              sim::DefaultSoftwareConfigs(),
+                                              config.perf_params));
+  KEA_ASSIGN_OR_RETURN(sim::WorkloadModel workload,
+                       sim::WorkloadModel::Create(config.workload));
+
+  // A unique_ptr keeps the engine's pointers into the session stable.
+  std::unique_ptr<KeaSession> session(
+      new KeaSession(std::move(perf_model), std::move(workload)));
+
+  sim::ClusterSpec cluster_spec = config.cluster;
+  if (cluster_spec.sku_fractions.empty()) {
+    cluster_spec = sim::ClusterSpec::Default();
+  }
+  cluster_spec.total_machines = config.machines;
+  KEA_ASSIGN_OR_RETURN(
+      session->cluster_,
+      sim::Cluster::Build(session->perf_model_.catalog(), cluster_spec));
+
+  sim::FluidEngine::Options engine_options = config.engine;
+  engine_options.seed = config.seed;
+  session->engine_ = std::make_unique<sim::FluidEngine>(
+      &session->perf_model_, &session->cluster_, &session->workload_,
+      engine_options);
+  return session;
+}
+
+Status KeaSession::Simulate(int hours) {
+  KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &store_));
+  now_ += hours;
+  return Status::OK();
+}
+
+StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
+    const YarnConfigTuner::Options& options, int lookback_hours,
+    int deploy_max_step) {
+  if (lookback_hours <= 0) {
+    return Status::InvalidArgument("lookback_hours must be positive");
+  }
+  if (now_ == 0) {
+    return Status::FailedPrecondition("simulate telemetry before tuning");
+  }
+  sim::HourIndex begin = std::max(0, now_ - lookback_hours);
+
+  KEA_ASSIGN_OR_RETURN(
+      core::WhatIfEngine engine,
+      core::WhatIfEngine::Fit(store_, telemetry::HourRangeFilter(begin, now_),
+                              options.whatif));
+  YarnConfigTuner tuner(options);
+  TuningRound round;
+  KEA_ASSIGN_OR_RETURN(round.plan, tuner.ProposeFromEngine(engine, cluster_));
+  round.fit_begin = begin;
+  round.fit_end = now_;
+
+  core::DeploymentModule::Options deploy_options;
+  deploy_options.max_step = deploy_max_step;
+  deployment_ = core::DeploymentModule(deploy_options);
+  KEA_ASSIGN_OR_RETURN(round.applied, deployment_.ApplyConservatively(
+                                          round.plan.recommendations, &cluster_));
+
+  has_round_ = true;
+  last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
+  last_fit_begin_ = begin;
+  last_deploy_hour_ = now_;
+  return round;
+}
+
+StatusOr<core::ValidationReport> KeaSession::ValidateModels(
+    const core::ModelValidator::Options& options) const {
+  if (!has_round_) {
+    return Status::FailedPrecondition("no tuning round to validate");
+  }
+  if (now_ <= last_deploy_hour_) {
+    return Status::FailedPrecondition(
+        "simulate post-deployment telemetry before validating");
+  }
+  core::ModelValidator validator(options);
+  return validator.Validate(*last_engine_, store_,
+                            telemetry::HourRangeFilter(last_deploy_hour_, now_));
+}
+
+Status KeaSession::RollbackLastDeployment() {
+  return deployment_.RollbackLast(&cluster_);
+}
+
+StatusOr<CapacityConverter::Report> KeaSession::EstimateCapacityValue(
+    const CapacityConverter::Options& options) const {
+  if (!has_round_) {
+    return Status::FailedPrecondition("no tuning round to value");
+  }
+  if (now_ <= last_deploy_hour_) {
+    return Status::FailedPrecondition(
+        "simulate post-deployment telemetry before valuation");
+  }
+  CapacityConverter converter(options);
+  return converter.FromWindows(
+      store_, telemetry::HourRangeFilter(last_fit_begin_, last_deploy_hour_),
+      telemetry::HourRangeFilter(last_deploy_hour_, now_));
+}
+
+}  // namespace kea::apps

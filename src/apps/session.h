@@ -1,0 +1,106 @@
+#ifndef KEA_APPS_SESSION_H_
+#define KEA_APPS_SESSION_H_
+
+#include <memory>
+
+#include "apps/capacity.h"
+#include "apps/yarn_tuner.h"
+#include "common/status.h"
+#include "core/deployment.h"
+#include "core/validation.h"
+#include "core/whatif.h"
+#include "sim/fluid_engine.h"
+#include "sim/perf_model.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// A complete KEA environment bound to one (simulated) cluster: ground-truth
+/// model, workload, fluid engine, telemetry store, and a simulation clock.
+/// Wraps the recurring Phase I-III production loop of Figure 3 into a small
+/// API so downstream users don't have to wire the modules by hand:
+///
+///   KeaSession session = ... Create(config) ...
+///   session.Simulate(a month);
+///   auto round = session.RunYarnTuningRound(options);   // fit + LP + deploy
+///   session.Simulate(another month);
+///   auto validation = session.ValidateModels();         // drift check
+///   auto value = session.EstimateCapacityValue(...);    // $$ conversion
+class KeaSession {
+ public:
+  struct Config {
+    int machines = 1000;
+    uint64_t seed = 42;
+    sim::PerfModel::Params perf_params;
+    sim::WorkloadSpec workload = sim::WorkloadSpec::Default();
+    sim::ClusterSpec cluster;  ///< sku_fractions defaulted when empty.
+    sim::FluidEngine::Options engine;
+  };
+
+  /// One observational-tuning round's artifacts.
+  struct TuningRound {
+    YarnConfigTuner::Plan plan;
+    std::vector<core::AppliedChange> applied;
+    /// Telemetry window (hours) the models were fit on.
+    sim::HourIndex fit_begin = 0;
+    sim::HourIndex fit_end = 0;
+  };
+
+  /// Builds the environment. Returns InvalidArgument for malformed specs.
+  static StatusOr<std::unique_ptr<KeaSession>> Create(const Config& config);
+
+  /// Advances the simulated cluster by `hours`, appending telemetry.
+  Status Simulate(int hours);
+
+  /// Current simulation clock (hours since session start).
+  sim::HourIndex now() const { return now_; }
+
+  /// Runs one observational-tuning round on the telemetry window
+  /// [now - lookback_hours, now): fit the What-if Engine, solve the LP, and
+  /// deploy conservatively with the given per-round step.
+  StatusOr<TuningRound> RunYarnTuningRound(const YarnConfigTuner::Options& options,
+                                           int lookback_hours, int deploy_max_step);
+
+  /// Validates the last tuning round's models against telemetry collected
+  /// *after* the deployment. FailedPrecondition when no round has run or no
+  /// post-deployment telemetry exists.
+  StatusOr<core::ValidationReport> ValidateModels(
+      const core::ModelValidator::Options& options) const;
+
+  /// Rolls back the last deployment (the Phase III escape hatch).
+  Status RollbackLastDeployment();
+
+  /// Converts the last round's before/after windows into capacity dollars.
+  StatusOr<CapacityConverter::Report> EstimateCapacityValue(
+      const CapacityConverter::Options& options) const;
+
+  const sim::Cluster& cluster() const { return cluster_; }
+  sim::Cluster* mutable_cluster() { return &cluster_; }
+  const telemetry::TelemetryStore& store() const { return store_; }
+  telemetry::TelemetryStore* mutable_store() { return &store_; }
+  const sim::PerfModel& perf_model() const { return perf_model_; }
+  sim::FluidEngine* engine() { return engine_.get(); }
+  const sim::WorkloadModel& workload() const { return workload_; }
+
+ private:
+  KeaSession(sim::PerfModel perf_model, sim::WorkloadModel workload)
+      : perf_model_(std::move(perf_model)), workload_(std::move(workload)) {}
+
+  sim::PerfModel perf_model_;
+  sim::WorkloadModel workload_;
+  sim::Cluster cluster_;
+  telemetry::TelemetryStore store_;
+  std::unique_ptr<sim::FluidEngine> engine_;
+  core::DeploymentModule deployment_;
+
+  sim::HourIndex now_ = 0;
+  // Last tuning round bookkeeping for validation / valuation.
+  bool has_round_ = false;
+  std::unique_ptr<core::WhatIfEngine> last_engine_;
+  sim::HourIndex last_fit_begin_ = 0;
+  sim::HourIndex last_deploy_hour_ = 0;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_SESSION_H_

@@ -1,0 +1,174 @@
+#include "apps/sku_designer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/montecarlo.h"
+
+namespace kea::apps {
+
+SkuDesigner::Options SkuDesigner::Options::Default() {
+  Options o;
+  for (double ssd = 400.0; ssd <= 1600.0 + 1e-9; ssd += 200.0) {
+    o.ssd_candidates_gb.push_back(ssd);
+  }
+  for (double ram = 200.0; ram <= 800.0 + 1e-9; ram += 100.0) {
+    o.ram_candidates_gb.push_back(ram);
+  }
+  return o;
+}
+
+StatusOr<SkuDesigner::Result> SkuDesigner::Design(
+    const telemetry::TelemetryStore& store, const telemetry::RecordFilter& filter,
+    Rng* rng) const {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (options_.ssd_candidates_gb.empty() || options_.ram_candidates_gb.empty()) {
+    return Status::InvalidArgument("empty candidate grids");
+  }
+  if (options_.new_machine_cores <= 0) {
+    return Status::InvalidArgument("new machine cores must be positive");
+  }
+
+  const bool use_nic = !options_.nic_candidates_mbps.empty();
+
+  // Usable observations: machine-hours with enough busy cores to identify
+  // the per-core slope.
+  std::vector<double> cores, ssd, ram, nic;
+  for (const auto& r : store.records()) {
+    if (filter && !filter(r)) continue;
+    if (r.cores_used < 1.0) continue;
+    cores.push_back(r.cores_used);
+    ssd.push_back(r.ssd_used_gb);
+    ram.push_back(r.ram_used_gb);
+    nic.push_back(r.network_used_mbps);
+  }
+  if (cores.size() < 50) {
+    return Status::FailedPrecondition("not enough busy machine-hours to fit p, q");
+  }
+
+  Result result;
+  ml::LinearRegressor regressor;
+  KEA_ASSIGN_OR_RETURN(result.p, regressor.Fit(ml::MakeDataset1D(cores, ssd)));
+  KEA_ASSIGN_OR_RETURN(result.q, regressor.Fit(ml::MakeDataset1D(cores, ram)));
+  KEA_ASSIGN_OR_RETURN(result.p_fit,
+                       ml::Evaluate(result.p, ml::MakeDataset1D(cores, ssd)));
+  KEA_ASSIGN_OR_RETURN(result.q_fit,
+                       ml::Evaluate(result.q, ml::MakeDataset1D(cores, ram)));
+  if (use_nic) {
+    KEA_ASSIGN_OR_RETURN(result.n, regressor.Fit(ml::MakeDataset1D(cores, nic)));
+    KEA_ASSIGN_OR_RETURN(result.n_fit,
+                         ml::Evaluate(result.n, ml::MakeDataset1D(cores, nic)));
+  }
+
+  // Per-observation slopes beta = (usage - alpha) / cores form the empirical
+  // distributions the Monte-Carlo draws from ("drawing random numbers beta_s
+  // and beta_r from the observational data").
+  double alpha_s = result.p.intercept();
+  double alpha_r = result.q.intercept();
+  double alpha_n = use_nic ? result.n.intercept() : 0.0;
+  std::vector<double> beta_s_samples, beta_r_samples, beta_n_samples;
+  beta_s_samples.reserve(cores.size());
+  beta_r_samples.reserve(cores.size());
+  for (size_t i = 0; i < cores.size(); ++i) {
+    beta_s_samples.push_back(std::max(0.0, (ssd[i] - alpha_s) / cores[i]));
+    beta_r_samples.push_back(std::max(0.0, (ram[i] - alpha_r) / cores[i]));
+    if (use_nic) {
+      beta_n_samples.push_back(std::max(0.0, (nic[i] - alpha_n) / cores[i]));
+    }
+  }
+  KEA_ASSIGN_OR_RETURN(ml::EmpiricalDistribution beta_s,
+                       ml::EmpiricalDistribution::FromSamples(beta_s_samples));
+  KEA_ASSIGN_OR_RETURN(ml::EmpiricalDistribution beta_r,
+                       ml::EmpiricalDistribution::FromSamples(beta_r_samples));
+  ml::EmpiricalDistribution beta_n = beta_s;  // Placeholder when !use_nic.
+  if (use_nic) {
+    KEA_ASSIGN_OR_RETURN(beta_n,
+                         ml::EmpiricalDistribution::FromSamples(beta_n_samples));
+  }
+
+  const double total_cores = static_cast<double>(options_.new_machine_cores);
+
+  constexpr double kUnbounded = 1e18;
+
+  // One Monte-Carlo draw of the cost of design (S, R, N); also tallies
+  // stranding events through the out-parameters. N = kUnbounded disables the
+  // NIC dimension.
+  auto draw_cost = [&](double S, double R, double N, Rng* r, bool* out_ssd,
+                       bool* out_ram, bool* out_nic) {
+    double bs = std::max(beta_s.Sample(r), 1e-6);
+    double br = std::max(beta_r.Sample(r), 1e-6);
+    double bn = use_nic ? std::max(beta_n.Sample(r), 1e-6) : 1e-6;
+    // Max cores supportable by each resource: inverse of the projections
+    // with the drawn slopes.
+    double c_ssd = (S - alpha_s) / bs;
+    double c_ram = (R - alpha_r) / br;
+    double c_nic = use_nic ? (N - alpha_n) / bn : kUnbounded;
+    double c = std::min({total_cores, c_ssd, c_ram, c_nic});
+    c = std::max(c, 0.0);
+
+    double idle_cores = total_cores - c;
+    double idle_ssd = std::max(0.0, S - (alpha_s + bs * c));
+    double idle_ram = std::max(0.0, R - (alpha_r + br * c));
+    double idle_nic = use_nic ? std::max(0.0, N - (alpha_n + bn * c)) : 0.0;
+
+    double cost = idle_cores * options_.cost_per_idle_core +
+                  idle_ssd * options_.cost_per_idle_ssd_gb +
+                  idle_ram * options_.cost_per_idle_ram_gb +
+                  idle_nic * options_.cost_per_idle_nic_mbps;
+    // Stranded: the binding resource is exhausted while cores remain idle.
+    double binding = std::min({c_ssd, c_ram, c_nic});
+    if (binding < total_cores) {
+      if (c_ssd <= binding + 1e-12) {
+        cost += options_.out_of_ssd_penalty;
+        *out_ssd = true;
+      } else if (c_ram <= binding + 1e-12) {
+        cost += options_.out_of_ram_penalty;
+        *out_ram = true;
+      } else {
+        cost += options_.out_of_nic_penalty;
+        *out_nic = true;
+      }
+    }
+    return cost;
+  };
+
+  std::vector<double> nic_candidates = options_.nic_candidates_mbps;
+  if (!use_nic) nic_candidates = {kUnbounded};
+
+  for (double S : options_.ssd_candidates_gb) {
+    for (double R : options_.ram_candidates_gb) {
+      for (double N : nic_candidates) {
+        int ssd_strand = 0, ram_strand = 0, nic_strand = 0;
+        auto sampler = [&](Rng* r) {
+          bool os = false, orm = false, on = false;
+          double cost = draw_cost(S, R, N, r, &os, &orm, &on);
+          if (os) ++ssd_strand;
+          if (orm) ++ram_strand;
+          if (on) ++nic_strand;
+          return cost;
+        };
+        KEA_ASSIGN_OR_RETURN(
+            opt::MonteCarloEstimate estimate,
+            opt::EstimateExpectation(sampler, options_.mc_iterations, rng));
+        DesignPoint point;
+        point.ssd_gb = S;
+        point.ram_gb = R;
+        point.nic_mbps = use_nic ? N : 0.0;
+        point.expected_cost = estimate.mean;
+        point.standard_error = estimate.standard_error;
+        double iters = static_cast<double>(estimate.iterations);
+        point.p_out_of_ssd = static_cast<double>(ssd_strand) / iters;
+        point.p_out_of_ram = static_cast<double>(ram_strand) / iters;
+        point.p_out_of_nic = static_cast<double>(nic_strand) / iters;
+        if (!result.surface.empty() &&
+            point.expected_cost < result.surface[result.best_index].expected_cost) {
+          result.best_index = result.surface.size();
+        }
+        result.surface.push_back(point);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kea::apps

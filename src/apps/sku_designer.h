@@ -1,0 +1,99 @@
+#ifndef KEA_APPS_SKU_DESIGNER_H_
+#define KEA_APPS_SKU_DESIGNER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/empirical.h"
+#include "ml/regression.h"
+#include "telemetry/store.h"
+
+namespace kea::apps {
+
+/// Hypothetical tuning: sizing SSD and RAM for a future machine generation
+/// (Section 6.1). The CPU core count is already fixed; KEA projects SSD/RAM
+/// demand as linear functions of cores used (Eq. 11-12), then runs a
+/// Monte-Carlo over candidate (SSD, RAM) designs, drawing the per-core usage
+/// slopes from the observational data, and picks the design minimizing the
+/// expected cost of idle resources and out-of-resource stranding (Figure 14).
+class SkuDesigner {
+ public:
+  struct Options {
+    /// Cores of the future machine (the paper's new generation has 128).
+    int new_machine_cores = 128;
+
+    std::vector<double> ssd_candidates_gb;
+    std::vector<double> ram_candidates_gb;
+    /// Optional third resource (Section 6.2: "other resources utilization,
+    /// such as network bandwidth"). Leave empty for the two-resource design
+    /// of Section 6.1.
+    std::vector<double> nic_candidates_mbps;
+
+    /// Monte-Carlo draws per candidate (the paper uses 1000).
+    int mc_iterations = 1000;
+
+    /// Unit costs (USD, amortized): the penalty of an *idle* unit.
+    double cost_per_idle_core = 40.0;
+    double cost_per_idle_ssd_gb = 0.25;
+    double cost_per_idle_ram_gb = 2.0;
+    double cost_per_idle_nic_mbps = 0.06;
+
+    /// Extra penalty when the machine runs out of SSD / RAM. "Running out of
+    /// CPU is handled more gracefully in our system than running out of RAM
+    /// or SSD" — so these dominate.
+    double out_of_ssd_penalty = 4000.0;
+    double out_of_ram_penalty = 5000.0;
+    double out_of_nic_penalty = 3000.0;
+
+    static Options Default();
+  };
+
+  /// Expected cost at one candidate design.
+  struct DesignPoint {
+    double ssd_gb = 0.0;
+    double ram_gb = 0.0;
+    /// 0 when the NIC dimension is not part of the search.
+    double nic_mbps = 0.0;
+    double expected_cost = 0.0;
+    double standard_error = 0.0;
+    /// Fraction of draws stranded by each resource.
+    double p_out_of_ssd = 0.0;
+    double p_out_of_ram = 0.0;
+    double p_out_of_nic = 0.0;
+  };
+
+  struct Result {
+    /// Fitted projections s = p(c), r = q(c) (and n(c) when NIC is searched).
+    ml::LinearModel p;  ///< cores used -> SSD GB.
+    ml::LinearModel q;  ///< cores used -> RAM GB.
+    ml::LinearModel n;  ///< cores used -> network Mbps (NIC mode only).
+    ml::RegressionMetrics p_fit;
+    ml::RegressionMetrics q_fit;
+    ml::RegressionMetrics n_fit;
+
+    /// The cost surface over candidates, row-major over
+    /// (ssd_candidates x ram_candidates x nic_candidates), with the NIC
+    /// dimension collapsed to one entry when not searched.
+    std::vector<DesignPoint> surface;
+    size_t best_index = 0;
+
+    const DesignPoint& best() const { return surface[best_index]; }
+  };
+
+  SkuDesigner() : options_(Options::Default()) {}
+  explicit SkuDesigner(const Options& options) : options_(options) {}
+
+  /// Runs the full hypothetical-tuning pass on the telemetry matching
+  /// `filter`. Returns FailedPrecondition when there is not enough usable
+  /// telemetry (needs machine-hours with meaningfully busy cores).
+  StatusOr<Result> Design(const telemetry::TelemetryStore& store,
+                          const telemetry::RecordFilter& filter, Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::apps
+
+#endif  // KEA_APPS_SKU_DESIGNER_H_

@@ -1,0 +1,226 @@
+#include "apps/yarn_tuner.h"
+
+#include <cmath>
+
+#include "opt/lp.h"
+#include "opt/search.h"
+
+namespace kea::apps {
+
+StatusOr<std::map<sim::MachineGroupKey, int>> YarnConfigTuner::ConfiguredMax(
+    const sim::Cluster& cluster) {
+  std::map<sim::MachineGroupKey, int> out;
+  for (const auto& [key, ids] : cluster.groups()) {
+    if (ids.empty()) continue;
+    out[key] = cluster.machines()[static_cast<size_t>(ids.front())].max_containers;
+  }
+  if (out.empty()) return Status::FailedPrecondition("cluster has no machine groups");
+  return out;
+}
+
+StatusOr<YarnConfigTuner::Plan> YarnConfigTuner::Propose(
+    const telemetry::TelemetryStore& store, const telemetry::RecordFilter& filter,
+    const sim::Cluster& cluster) const {
+  KEA_ASSIGN_OR_RETURN(core::WhatIfEngine engine,
+                       core::WhatIfEngine::Fit(store, filter, options_.whatif));
+  return ProposeFromEngine(engine, cluster);
+}
+
+StatusOr<YarnConfigTuner::Plan> YarnConfigTuner::ProposeFromEngine(
+    const core::WhatIfEngine& engine, const sim::Cluster& cluster) const {
+  const auto& models = engine.models();
+  if (models.empty()) return Status::FailedPrecondition("engine has no models");
+  KEA_ASSIGN_OR_RETURN(auto configured_max, ConfiguredMax(cluster));
+
+  const size_t k_count = models.size();
+  std::vector<sim::MachineGroupKey> keys;
+  keys.reserve(k_count);
+  for (const auto& [key, gm] : models) keys.push_back(key);
+
+  // Linearized latency coefficients: w_k(m) = a_k + b_k m with the
+  // throughput weights L_k n_k frozen at the current operating point.
+  std::vector<double> a(k_count), b(k_count), weight(k_count);
+  std::vector<double> current(k_count), n(k_count);
+  double weight_total = 0.0;
+  for (size_t i = 0; i < k_count; ++i) {
+    const core::GroupModels& gm = models.at(keys[i]);
+    double g0 = gm.g.intercept();
+    double g1 = gm.g.coefficients()[0];
+    double f0 = gm.f.intercept();
+    double f1 = gm.f.coefficients()[0];
+    a[i] = f0 + f1 * g0;
+    b[i] = f1 * g1;
+    current[i] = gm.current_containers;
+    n[i] = static_cast<double>(gm.num_machines);
+    weight[i] = gm.current_tasks_per_hour * n[i];
+    weight_total += weight[i];
+  }
+  if (weight_total <= 0.0) {
+    return Status::FailedPrecondition("zero task throughput in telemetry");
+  }
+
+  // W-bar' under the same linearization, so the current point is feasible by
+  // construction.
+  double current_latency = 0.0;
+  for (size_t i = 0; i < k_count; ++i) {
+    current_latency += (a[i] + b[i] * current[i]) * weight[i];
+  }
+  current_latency /= weight_total;
+
+  opt::LpProblem lp(k_count, opt::LpDirection::kMaximize);
+  for (size_t i = 0; i < k_count; ++i) {
+    KEA_RETURN_IF_ERROR(lp.SetObjectiveCoefficient(i, n[i]));
+    double lo = std::max(static_cast<double>(options_.min_containers),
+                         current[i] - options_.max_step);
+    double hi = current[i] + options_.max_step;
+    KEA_RETURN_IF_ERROR(lp.SetBounds(i, lo, hi));
+  }
+
+  // Latency constraint: sum_k (a_k + b_k m_k) weight_k <= slack * W' * total.
+  opt::LpConstraint latency;
+  latency.name = "cluster_avg_latency";
+  latency.coefficients.assign(k_count, 0.0);
+  latency.sense = opt::ConstraintSense::kLessEqual;
+  latency.rhs = options_.latency_slack * current_latency * weight_total;
+  for (size_t i = 0; i < k_count; ++i) {
+    latency.coefficients[i] = b[i] * weight[i];
+    latency.rhs -= a[i] * weight[i];
+  }
+  KEA_RETURN_IF_ERROR(lp.AddConstraint(std::move(latency)));
+
+  // Per-group predicted utilization cap: g0 + g1 m <= max_utilization.
+  for (size_t i = 0; i < k_count; ++i) {
+    const core::GroupModels& gm = models.at(keys[i]);
+    double g1 = gm.g.coefficients()[0];
+    if (g1 <= 0.0) continue;  // A flat/negative fit can't bind meaningfully.
+    opt::LpConstraint util;
+    util.name = "util_" + sim::GroupLabel(keys[i]);
+    util.coefficients.assign(k_count, 0.0);
+    util.coefficients[i] = g1;
+    util.sense = opt::ConstraintSense::kLessEqual;
+    util.rhs = options_.max_utilization - gm.g.intercept();
+    KEA_RETURN_IF_ERROR(lp.AddConstraint(std::move(util)));
+  }
+
+  opt::SimplexSolver solver;
+  KEA_ASSIGN_OR_RETURN(opt::LpSolution solution, solver.Solve(lp));
+
+  Plan plan;
+  double capacity_before = 0.0, capacity_after = 0.0;
+  std::map<sim::MachineGroupKey, double> proposed;
+  for (size_t i = 0; i < k_count; ++i) {
+    plan.lp_solution[keys[i]] = solution.x[i];
+    proposed[keys[i]] = solution.x[i];
+    capacity_before += current[i] * n[i];
+    capacity_after += solution.x[i] * n[i];
+
+    int delta = static_cast<int>(std::lround(solution.x[i] - current[i]));
+    auto it = configured_max.find(keys[i]);
+    if (it == configured_max.end()) continue;
+    core::GroupRecommendation rec;
+    rec.group = keys[i];
+    rec.current_max_containers = it->second;
+    rec.recommended_max_containers = std::max(options_.min_containers,
+                                              it->second + delta);
+    plan.recommendations.push_back(rec);
+  }
+  plan.predicted_capacity_gain = capacity_after / capacity_before - 1.0;
+
+  // Report the *exact* (unlinearized) model prediction for both points.
+  std::map<sim::MachineGroupKey, double> current_map;
+  for (size_t i = 0; i < k_count; ++i) current_map[keys[i]] = current[i];
+  KEA_ASSIGN_OR_RETURN(plan.predicted_latency_before_s,
+                       engine.PredictClusterLatency(current_map));
+  KEA_ASSIGN_OR_RETURN(plan.predicted_latency_after_s,
+                       engine.PredictClusterLatency(proposed));
+  return plan;
+}
+
+StatusOr<YarnConfigTuner::Plan> YarnConfigTuner::ProposeExact(
+    const core::WhatIfEngine& engine, const sim::Cluster& cluster) const {
+  const auto& models = engine.models();
+  if (models.empty()) return Status::FailedPrecondition("engine has no models");
+  KEA_ASSIGN_OR_RETURN(auto configured_max, ConfiguredMax(cluster));
+
+  std::vector<sim::MachineGroupKey> keys;
+  std::vector<double> current, n;
+  for (const auto& [key, gm] : models) {
+    keys.push_back(key);
+    current.push_back(gm.current_containers);
+    n.push_back(static_cast<double>(gm.num_machines));
+  }
+  const size_t k_count = keys.size();
+
+  std::map<sim::MachineGroupKey, double> current_map;
+  for (size_t i = 0; i < k_count; ++i) current_map[keys[i]] = current[i];
+  KEA_ASSIGN_OR_RETURN(double latency_budget,
+                       engine.PredictClusterLatency(current_map));
+  latency_budget *= options_.latency_slack;
+
+  auto to_map = [&](const std::vector<int>& deltas) {
+    std::map<sim::MachineGroupKey, double> m;
+    for (size_t i = 0; i < k_count; ++i) {
+      m[keys[i]] = std::max(static_cast<double>(options_.min_containers),
+                            current[i] + deltas[i]);
+    }
+    return m;
+  };
+
+  auto objective = [&](const std::vector<int>& deltas) {
+    double total = 0.0;
+    for (size_t i = 0; i < k_count; ++i) {
+      total += std::max(static_cast<double>(options_.min_containers),
+                        current[i] + deltas[i]) *
+               n[i];
+    }
+    return total;
+  };
+  auto feasible = [&](const std::vector<int>& deltas) {
+    auto m = to_map(deltas);
+    for (size_t i = 0; i < k_count; ++i) {
+      auto util = engine.PredictUtilization(keys[i], m[keys[i]]);
+      if (!util.ok() || util.value() > options_.max_utilization) return false;
+    }
+    auto latency = engine.PredictClusterLatency(m);
+    return latency.ok() && latency.value() <= latency_budget + 1e-12;
+  };
+
+  opt::IntegerDomain domain;
+  domain.lo.assign(k_count, -options_.max_step);
+  domain.hi.assign(k_count, options_.max_step);
+
+  constexpr size_t kExhaustiveCap = 300'000;
+  StatusOr<opt::SearchResult> search = Status::Internal("unset");
+  if (domain.CardinalityCapped(kExhaustiveCap) <= kExhaustiveCap) {
+    search = opt::ExhaustiveSearch(domain, objective, feasible, kExhaustiveCap);
+  } else {
+    std::vector<int> start(k_count, 0);
+    search = opt::CoordinateAscent(domain, start, objective, feasible);
+  }
+  KEA_RETURN_IF_ERROR(search.status());
+  const opt::SearchResult& best = search.value();
+
+  Plan plan;
+  double capacity_before = 0.0;
+  for (size_t i = 0; i < k_count; ++i) capacity_before += current[i] * n[i];
+  plan.predicted_capacity_gain = best.objective_value / capacity_before - 1.0;
+  auto best_map = to_map(best.x);
+  for (size_t i = 0; i < k_count; ++i) {
+    plan.lp_solution[keys[i]] = best_map[keys[i]];
+    auto it = configured_max.find(keys[i]);
+    if (it == configured_max.end()) continue;
+    core::GroupRecommendation rec;
+    rec.group = keys[i];
+    rec.current_max_containers = it->second;
+    rec.recommended_max_containers =
+        std::max(options_.min_containers, it->second + best.x[i]);
+    plan.recommendations.push_back(rec);
+  }
+  KEA_ASSIGN_OR_RETURN(plan.predicted_latency_before_s,
+                       engine.PredictClusterLatency(current_map));
+  KEA_ASSIGN_OR_RETURN(plan.predicted_latency_after_s,
+                       engine.PredictClusterLatency(best_map));
+  return plan;
+}
+
+}  // namespace kea::apps

@@ -1,0 +1,144 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace kea {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRowText(const std::vector<std::string>& row, std::string* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += QuoteCell(row[i]);
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+Status CsvWriter::AppendRow(const std::vector<std::string>& row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    return Status::InvalidArgument("CSV row width " + std::to_string(row.size()) +
+                                   " does not match header width " +
+                                   std::to_string(header_.size()));
+  }
+  rows_.push_back(row);
+  return Status::OK();
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  if (!header_.empty()) AppendRowText(header_, &out);
+  for (const auto& row : rows_) AppendRowText(row, &out);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open file for writing: " + path);
+  file << ToString();
+  if (!file) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> all_rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&]() {
+    row.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&]() {
+    end_cell();
+    all_rows.push_back(row);
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else {
+      if (c == '"' && !cell_started) {
+        in_quotes = true;
+        cell_started = true;
+      } else if (c == ',') {
+        end_cell();
+      } else if (c == '\n') {
+        end_row();
+      } else if (c == '\r') {
+        // Swallow; \r\n is handled by the \n branch.
+      } else {
+        cell += c;
+        cell_started = true;
+      }
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted CSV cell");
+  if (cell_started || !row.empty() || !cell.empty()) end_row();
+
+  if (all_rows.empty()) return Status::InvalidArgument("empty CSV input");
+
+  CsvTable table;
+  table.header = all_rows.front();
+  for (size_t i = 1; i < all_rows.size(); ++i) {
+    if (all_rows[i].size() != table.header.size()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(i) + " has width " +
+                                     std::to_string(all_rows[i].size()) +
+                                     ", expected " + std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(all_rows[i]));
+  }
+  return table;
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace kea

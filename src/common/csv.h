@@ -1,0 +1,54 @@
+#ifndef KEA_COMMON_CSV_H_
+#define KEA_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea {
+
+/// A parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Returns the column index of `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Writes rows of string cells as RFC-4180-style CSV (cells containing commas,
+/// quotes, or newlines are quoted). The telemetry pipeline uses this to dump
+/// machine-hour records for offline inspection.
+class CsvWriter {
+ public:
+  /// Sets the header row; must be called before AppendRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Returns InvalidArgument if the width differs from
+  /// the header.
+  Status AppendRow(const std::vector<std::string>& row);
+
+  /// Serializes the table to a string.
+  std::string ToString() const;
+
+  /// Writes the table to `path`. Returns an error on I/O failure.
+  Status WriteFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text produced by CsvWriter (handles quoted cells with embedded
+/// commas/quotes/newlines). The first row is treated as the header.
+StatusOr<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_CSV_H_

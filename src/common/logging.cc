@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace kea {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger;
+  return *logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (quiet_ || static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[kea %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace kea

@@ -1,0 +1,72 @@
+#ifndef KEA_COMMON_LOGGING_H_
+#define KEA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kea {
+
+/// Severity levels for the KEA logger, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Not a full logging framework:
+/// enough for library diagnostics without external dependencies.
+///
+/// Usage: `KEA_LOG(Info) << "fitted " << n << " models";`
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Get();
+
+  /// Messages below `level` are dropped.
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Silences all output (used by tests).
+  void set_quiet(bool quiet) { quiet_ = quiet; }
+  bool quiet() const { return quiet_; }
+
+  /// Writes one formatted line if `level` passes the filter.
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kInfo;
+  bool quiet_ = false;
+};
+
+namespace internal_logging {
+
+/// Accumulates one log statement and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define KEA_LOG(severity) \
+  ::kea::internal_logging::LogMessage(::kea::LogLevel::k##severity)
+
+#define KEA_LOG_DEBUG KEA_LOG(Debug)
+#define KEA_LOG_INFO KEA_LOG(Info)
+#define KEA_LOG_WARNING KEA_LOG(Warning)
+#define KEA_LOG_ERROR KEA_LOG(Error)
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_LOGGING_H_

@@ -1,0 +1,96 @@
+#ifndef KEA_COMMON_RANDOM_H_
+#define KEA_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace kea {
+
+/// Deterministic pseudo-random generator used across the simulator and the
+/// Monte-Carlo machinery. Wraps std::mt19937_64 with convenience samplers so
+/// call sites don't instantiate distribution objects.
+///
+/// All KEA randomness flows through explicitly seeded Rng instances: runs are
+/// reproducible given the seed, which the tests and benches rely on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Exponential draw with the given rate (lambda > 0).
+  double Exponential(double rate) {
+    assert(rate > 0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Log-normal draw parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto draw with scale x_m > 0 and shape alpha > 0 (heavy-tailed work).
+  double Pareto(double x_m, double alpha) {
+    assert(x_m > 0 && alpha > 0);
+    double u = 1.0 - Uniform();  // in (0, 1]
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Poisson draw with the given mean.
+  int64_t Poisson(double mean) {
+    assert(mean >= 0);
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights) {
+    return std::discrete_distribution<size_t>(weights.begin(), weights.end())(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// machine / worker its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_RANDOM_H_

@@ -1,0 +1,162 @@
+#ifndef KEA_COMMON_STATUS_H_
+#define KEA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kea {
+
+/// Canonical error codes, modeled after absl::StatusCode. Library code never
+/// throws; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kInfeasible = 9,   ///< Optimization problem has no feasible solution.
+  kUnbounded = 10,   ///< Optimization problem is unbounded.
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result for operations with no payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalized to an empty message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? "" : std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A union of a Status and a value of type T: either holds an OK status and a
+/// value, or a non-OK status and no value.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status without a
+  /// value is a programming error and is converted to an internal error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status but no value");
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Asserts in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define KEA_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::kea::Status _kea_status = (expr);      \
+    if (!_kea_status.ok()) return _kea_status; \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define KEA_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto KEA_CONCAT_(_kea_statusor_, __LINE__) = (expr);  \
+  if (!KEA_CONCAT_(_kea_statusor_, __LINE__).ok())      \
+    return KEA_CONCAT_(_kea_statusor_, __LINE__).status(); \
+  lhs = std::move(KEA_CONCAT_(_kea_statusor_, __LINE__)).value()
+
+#define KEA_CONCAT_IMPL_(a, b) a##b
+#define KEA_CONCAT_(a, b) KEA_CONCAT_IMPL_(a, b)
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+
+namespace kea::core {
+
+StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
+    const std::vector<GroupRecommendation>& recommendations, sim::Cluster* cluster) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (recommendations.empty()) {
+    return Status::InvalidArgument("no recommendations to deploy");
+  }
+
+  std::vector<AppliedChange> applied;
+  for (const GroupRecommendation& rec : recommendations) {
+    int delta = rec.recommended_max_containers - rec.current_max_containers;
+    int clamped_delta = std::clamp(delta, -options_.max_step, options_.max_step);
+    int target = std::max(rec.current_max_containers + clamped_delta,
+                          options_.min_containers);
+    if (target == rec.current_max_containers) continue;
+
+    KEA_RETURN_IF_ERROR(cluster->SetGroupMaxContainers(rec.group, target));
+
+    AppliedChange change;
+    change.group = rec.group;
+    change.old_max_containers = rec.current_max_containers;
+    change.new_max_containers = target;
+    change.clamped = clamped_delta != delta;
+    applied.push_back(change);
+  }
+  last_batch_ = applied;
+  history_.insert(history_.end(), applied.begin(), applied.end());
+  return applied;
+}
+
+Status DeploymentModule::RollbackLast(sim::Cluster* cluster) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (last_batch_.empty()) {
+    return Status::FailedPrecondition("nothing to roll back");
+  }
+  for (const AppliedChange& change : last_batch_) {
+    KEA_RETURN_IF_ERROR(
+        cluster->SetGroupMaxContainers(change.group, change.old_max_containers));
+  }
+  last_batch_.clear();
+  return Status::OK();
+}
+
+}  // namespace kea::core

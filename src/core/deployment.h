@@ -1,0 +1,65 @@
+#ifndef KEA_CORE_DEPLOYMENT_H_
+#define KEA_CORE_DEPLOYMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cluster.h"
+
+namespace kea::core {
+
+/// A per-group configuration recommendation produced by an optimizer.
+struct GroupRecommendation {
+  sim::MachineGroupKey group;
+  int current_max_containers = 0;
+  int recommended_max_containers = 0;
+};
+
+/// One change the deployment module actually applied.
+struct AppliedChange {
+  sim::MachineGroupKey group;
+  int old_max_containers = 0;
+  int new_max_containers = 0;
+  bool clamped = false;  ///< True when the recommendation exceeded max_step.
+};
+
+/// The Deployment Module: rolls recommendations out to the full cluster with
+/// the production guardrails of Section 5.2.2 — "we only modify the
+/// configuration by a small margin, i.e. decrease or increase the maximum
+/// running containers for each group of machines by one" (max_step below).
+class DeploymentModule {
+ public:
+  struct Options {
+    /// Largest per-round change in max_containers per group.
+    int max_step = 1;
+    /// Floor for any group's max_containers.
+    int min_containers = 1;
+  };
+
+  DeploymentModule() : options_(Options()) {}
+  explicit DeploymentModule(const Options& options) : options_(options) {}
+
+  /// Clamps each recommendation to +-max_step of its current value and
+  /// applies it to the cluster. No-op recommendations (delta 0 after
+  /// clamping) are skipped. Returns the changes applied, which are also kept
+  /// in history().
+  StatusOr<std::vector<AppliedChange>> ApplyConservatively(
+      const std::vector<GroupRecommendation>& recommendations,
+      sim::Cluster* cluster);
+
+  /// All changes applied through this module, in order.
+  const std::vector<AppliedChange>& history() const { return history_; }
+
+  /// Restores the configuration prior to the last ApplyConservatively call
+  /// (the rollback path when flighting invalidates a model).
+  Status RollbackLast(sim::Cluster* cluster);
+
+ private:
+  Options options_;
+  std::vector<AppliedChange> history_;
+  std::vector<AppliedChange> last_batch_;
+};
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_DEPLOYMENT_H_

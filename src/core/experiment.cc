@@ -1,0 +1,159 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kea::core {
+
+StatusOr<ExperimentAssignment> IdealAssignment(const sim::Cluster& cluster,
+                                               sim::SkuId sku, int max_racks,
+                                               int min_per_arm) {
+  if (max_racks <= 0) return Status::InvalidArgument("max_racks must be positive");
+  if (min_per_arm <= 0) return Status::InvalidArgument("min_per_arm must be positive");
+
+  // Machines of the SKU, by rack, in id order (racks are homogeneous in SKU).
+  std::map<int, std::vector<int>> by_rack;
+  for (const sim::Machine& m : cluster.machines()) {
+    if (m.sku == sku) by_rack[m.rack].push_back(m.id);
+  }
+  if (by_rack.empty()) {
+    return Status::FailedPrecondition("no machines with the requested SKU");
+  }
+
+  ExperimentAssignment assignment;
+  int racks_used = 0;
+  for (const auto& [rack, ids] : by_rack) {
+    if (racks_used >= max_racks) break;
+    ++racks_used;
+    // "Every other machine in the rack", stratified by software
+    // configuration: machines alternate SC within a rack, so pairing must
+    // happen within each SC or the arms would each get a single SC and the
+    // comparison would measure SC2-vs-SC1 instead of the treatment.
+    std::map<sim::ScId, std::vector<int>> by_sc;
+    for (int id : ids) {
+      by_sc[cluster.machines()[static_cast<size_t>(id)].sc].push_back(id);
+    }
+    for (const auto& [sc, sc_ids] : by_sc) {
+      for (size_t i = 0; i < sc_ids.size(); ++i) {
+        if (i % 2 == 0) {
+          assignment.control.push_back(sc_ids[i]);
+        } else {
+          assignment.treatment.push_back(sc_ids[i]);
+        }
+      }
+    }
+  }
+  if (assignment.control.size() < static_cast<size_t>(min_per_arm) ||
+      assignment.treatment.size() < static_cast<size_t>(min_per_arm)) {
+    return Status::FailedPrecondition(
+        "not enough machines for the ideal experiment setting");
+  }
+  return assignment;
+}
+
+StatusOr<std::vector<TimeSlice>> TimeSlicingSchedule(sim::HourIndex start_hour,
+                                                     sim::HourIndex end_hour,
+                                                     int window_hours) {
+  if (end_hour <= start_hour) {
+    return Status::InvalidArgument("empty time-slicing horizon");
+  }
+  if (window_hours <= 0) {
+    return Status::InvalidArgument("window_hours must be positive");
+  }
+  if ((end_hour - start_hour) < 2 * window_hours) {
+    return Status::InvalidArgument("horizon shorter than two windows");
+  }
+  std::vector<TimeSlice> slices;
+  bool treatment = false;
+  for (sim::HourIndex h = start_hour; h + window_hours <= end_hour; h += window_hours) {
+    slices.push_back(TimeSlice{h, h + window_hours, treatment});
+    treatment = !treatment;
+  }
+  return slices;
+}
+
+StatusOr<std::vector<std::vector<int>>> HybridGroups(const sim::Cluster& cluster,
+                                                     sim::SkuId sku, int num_groups,
+                                                     int group_size) {
+  if (num_groups <= 0 || group_size <= 0) {
+    return Status::InvalidArgument("groups and sizes must be positive");
+  }
+  // Stratify candidates by software configuration: machines alternate SC
+  // within a rack, so a naive round-robin deal would assign each group a
+  // single SC and confound the experiment (group differences would measure
+  // SC2-vs-SC1, not the treatment). Dealing each SC stratum separately keeps
+  // every group balanced in both SC and rack coverage.
+  std::map<sim::ScId, std::vector<int>> strata;
+  size_t available = 0;
+  for (const sim::Machine& m : cluster.machines()) {
+    if (m.sku == sku) {
+      strata[m.sc].push_back(m.id);
+      ++available;
+    }
+  }
+  size_t needed = static_cast<size_t>(num_groups) * static_cast<size_t>(group_size);
+  if (available < needed) {
+    return Status::FailedPrecondition(
+        "not enough machines of the SKU for the hybrid setting: need " +
+        std::to_string(needed) + ", have " + std::to_string(available));
+  }
+  std::vector<std::vector<int>> groups(static_cast<size_t>(num_groups));
+  size_t deal = 0;
+  for (const auto& [sc, ids] : strata) {
+    for (int id : ids) {
+      size_t g = deal % static_cast<size_t>(num_groups);
+      if (groups[g].size() < static_cast<size_t>(group_size)) {
+        groups[g].push_back(id);
+      }
+      ++deal;
+    }
+  }
+  // Top up any group left short by stratum boundaries from leftover ids.
+  for (auto& group : groups) {
+    if (group.size() == static_cast<size_t>(group_size)) continue;
+    std::set<int> used;
+    for (const auto& g : groups) used.insert(g.begin(), g.end());
+    for (const auto& [sc, ids] : strata) {
+      for (int id : ids) {
+        if (group.size() == static_cast<size_t>(group_size)) break;
+        if (!used.count(id)) {
+          group.push_back(id);
+          used.insert(id);
+        }
+      }
+    }
+  }
+  for (const auto& group : groups) {
+    if (group.size() != static_cast<size_t>(group_size)) {
+      return Status::Internal("hybrid group dealing failed to fill groups");
+    }
+  }
+  return groups;
+}
+
+BalanceReport CheckBalance(const sim::Cluster& cluster,
+                           const ExperimentAssignment& assignment) {
+  BalanceReport report;
+  report.control_size = assignment.control.size();
+  report.treatment_size = assignment.treatment.size();
+
+  std::map<int, int> rack_delta;
+  for (int id : assignment.control) {
+    rack_delta[cluster.machines()[static_cast<size_t>(id)].rack] += 1;
+  }
+  for (int id : assignment.treatment) {
+    rack_delta[cluster.machines()[static_cast<size_t>(id)].rack] -= 1;
+  }
+  for (const auto& [rack, delta] : rack_delta) {
+    report.max_rack_imbalance = std::max(report.max_rack_imbalance, std::abs(delta));
+  }
+  size_t size_gap = report.control_size > report.treatment_size
+                        ? report.control_size - report.treatment_size
+                        : report.treatment_size - report.control_size;
+  report.balanced = size_gap <= report.control_size / 10 + 1 &&
+                    report.max_rack_imbalance <= 1;
+  return report;
+}
+
+}  // namespace kea::core

@@ -1,0 +1,68 @@
+#ifndef KEA_CORE_EXPERIMENT_H_
+#define KEA_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/cluster.h"
+
+namespace kea::core {
+
+/// Assignment of machines to the arms of an experiment.
+struct ExperimentAssignment {
+  std::vector<int> control;
+  std::vector<int> treatment;
+};
+
+/// The *ideal* experiment setting (Section 7): control and treatment
+/// interleave within the same racks — "choosing every other machine in the
+/// same rack" — so both arms receive statistically identical workloads.
+/// Selects machines of `sku` from up to `max_racks` racks. Returns
+/// FailedPrecondition if fewer than `min_per_arm` machines land in each arm.
+StatusOr<ExperimentAssignment> IdealAssignment(const sim::Cluster& cluster,
+                                               sim::SkuId sku, int max_racks,
+                                               int min_per_arm);
+
+/// One window of a time-slicing experiment.
+struct TimeSlice {
+  sim::HourIndex start_hour = 0;
+  sim::HourIndex end_hour = 0;
+  bool treatment = false;  ///< Which configuration runs during the window.
+};
+
+/// The *time-slicing* setting: the same machines run the old and new
+/// configuration in alternating windows. The paper warns against 24h-aligned
+/// windows (day-of-week confounds); window_hours defaults to 5 for that
+/// reason. Returns InvalidArgument on a degenerate horizon or window.
+StatusOr<std::vector<TimeSlice>> TimeSlicingSchedule(sim::HourIndex start_hour,
+                                                     sim::HourIndex end_hour,
+                                                     int window_hours);
+
+/// The *hybrid* setting: different machine groups get different
+/// configurations. Machines of the given SKU are split into `num_groups`
+/// groups of exactly `group_size`, balanced across racks (round-robin over a
+/// rack-sorted list) so the groups have similar characteristics. Used by the
+/// power-capping study (groups A-D). Returns FailedPrecondition when there
+/// are not enough machines.
+StatusOr<std::vector<std::vector<int>>> HybridGroups(const sim::Cluster& cluster,
+                                                     sim::SkuId sku, int num_groups,
+                                                     int group_size);
+
+/// Balance diagnostics for an assignment: both arms should have nearly equal
+/// size and matching rack coverage.
+struct BalanceReport {
+  size_t control_size = 0;
+  size_t treatment_size = 0;
+  /// Max over racks of | #control - #treatment | within the rack.
+  int max_rack_imbalance = 0;
+  bool balanced = false;
+};
+
+BalanceReport CheckBalance(const sim::Cluster& cluster,
+                           const ExperimentAssignment& assignment);
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_EXPERIMENT_H_

@@ -1,0 +1,75 @@
+#include "core/experiment_runner.h"
+
+#include "telemetry/perf_monitor.h"
+
+namespace kea::core {
+
+StatusOr<TimeSlicingResult> RunTimeSlicingExperiment(
+    sim::Cluster* cluster, sim::FluidEngine* engine,
+    telemetry::TelemetryStore* store, const std::vector<int>& machines,
+    const ConfigPatch& treatment, sim::HourIndex start_hour,
+    sim::HourIndex end_hour, int window_hours) {
+  if (cluster == nullptr || engine == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null cluster/engine/store");
+  }
+  if (machines.empty()) return Status::InvalidArgument("no experiment machines");
+  if (treatment.empty()) return Status::InvalidArgument("empty treatment patch");
+
+  TimeSlicingResult result;
+  KEA_ASSIGN_OR_RETURN(result.schedule,
+                       TimeSlicingSchedule(start_hour, end_hour, window_hours));
+
+  FlightingService flighting;
+  for (const TimeSlice& slice : result.schedule) {
+    if (slice.treatment) {
+      KEA_ASSIGN_OR_RETURN(
+          FlightId flight,
+          flighting.CreateFlight({"slice", machines, slice.start_hour,
+                                  slice.end_hour, treatment}));
+      KEA_RETURN_IF_ERROR(flighting.Begin(flight, cluster));
+      KEA_RETURN_IF_ERROR(engine->Run(slice.start_hour,
+                                      slice.end_hour - slice.start_hour, store));
+      KEA_RETURN_IF_ERROR(flighting.End(flight, cluster));
+      result.treatment_hours += slice.end_hour - slice.start_hour;
+    } else {
+      KEA_RETURN_IF_ERROR(engine->Run(slice.start_hour,
+                                      slice.end_hour - slice.start_hour, store));
+      result.control_hours += slice.end_hour - slice.start_hour;
+    }
+  }
+
+  // Split the machine-hour observations by which arm's window they fall in.
+  auto in_arm = [&result](sim::HourIndex hour, bool treatment_arm) {
+    for (const TimeSlice& slice : result.schedule) {
+      if (hour >= slice.start_hour && hour < slice.end_hour) {
+        return slice.treatment == treatment_arm;
+      }
+    }
+    return false;
+  };
+  auto machine_filter = telemetry::MachineSetFilter(machines);
+
+  std::vector<double> control_data, treatment_data;
+  std::vector<double> control_latency, treatment_latency;
+  for (const auto& r : store->records()) {
+    if (!machine_filter(r) || r.tasks_finished <= 0.0) continue;
+    if (in_arm(r.hour, false)) {
+      control_data.push_back(r.data_read_mb);
+      control_latency.push_back(r.avg_task_latency_s);
+    } else if (in_arm(r.hour, true)) {
+      treatment_data.push_back(r.data_read_mb);
+      treatment_latency.push_back(r.avg_task_latency_s);
+    }
+  }
+
+  KEA_ASSIGN_OR_RETURN(result.data_read,
+                       EstimateTreatmentEffect("Total Data Read (MB/machine-hour)",
+                                               control_data, treatment_data));
+  KEA_ASSIGN_OR_RETURN(
+      result.task_latency,
+      EstimateTreatmentEffect("Average Task Execution Time (s)", control_latency,
+                              treatment_latency));
+  return result;
+}
+
+}  // namespace kea::core

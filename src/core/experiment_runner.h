@@ -1,0 +1,43 @@
+#ifndef KEA_CORE_EXPERIMENT_RUNNER_H_
+#define KEA_CORE_EXPERIMENT_RUNNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/experiment.h"
+#include "core/flighting.h"
+#include "core/treatment.h"
+#include "sim/fluid_engine.h"
+#include "telemetry/store.h"
+
+namespace kea::core {
+
+/// Outcome of a time-slicing A/B experiment.
+struct TimeSlicingResult {
+  std::vector<TimeSlice> schedule;
+  int control_hours = 0;
+  int treatment_hours = 0;
+  /// Effects computed over per-machine-hour observations: Total Data Read
+  /// and mean task latency.
+  TreatmentEffect data_read;
+  TreatmentEffect task_latency;
+};
+
+/// Executes the *time-slicing* experiment setting (Section 7): the same
+/// machines run the old and new configuration in alternating windows; the
+/// treatment patch is flighted on and off at each boundary. The paper warns
+/// that this popular industry setting is fragile — the window length
+/// interacts with workload seasonality (use 5h, not 24h, "to avoid day of
+/// week effects") — which the experiment-design ablation bench demonstrates.
+///
+/// Returns InvalidArgument on a degenerate horizon/window (via
+/// TimeSlicingSchedule) and propagates simulator errors.
+StatusOr<TimeSlicingResult> RunTimeSlicingExperiment(
+    sim::Cluster* cluster, sim::FluidEngine* engine,
+    telemetry::TelemetryStore* store, const std::vector<int>& machines,
+    const ConfigPatch& treatment, sim::HourIndex start_hour,
+    sim::HourIndex end_hour, int window_hours);
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_EXPERIMENT_RUNNER_H_

@@ -1,0 +1,39 @@
+#include "core/model_report.h"
+
+#include "common/csv.h"
+
+namespace kea::core {
+
+std::string WhatIfModelsToCsv(const WhatIfEngine& engine) {
+  CsvWriter writer;
+  writer.SetHeader({"group", "num_machines",
+                    "g_intercept", "g_slope", "g_r2",
+                    "h_intercept", "h_slope", "h_r2",
+                    "f_intercept", "f_slope", "f_r2",
+                    "median_containers", "median_utilization",
+                    "median_tasks_per_hour", "median_latency_s"});
+  auto d = [](double v) { return std::to_string(v); };
+  for (const auto& [key, gm] : engine.models()) {
+    (void)writer.AppendRow({sim::GroupLabel(key), std::to_string(gm.num_machines),
+                            d(gm.g.intercept()), d(gm.g.coefficients()[0]),
+                            d(gm.g_fit.r2), d(gm.h.intercept()),
+                            d(gm.h.coefficients()[0]), d(gm.h_fit.r2),
+                            d(gm.f.intercept()), d(gm.f.coefficients()[0]),
+                            d(gm.f_fit.r2), d(gm.current_containers),
+                            d(gm.current_utilization), d(gm.current_tasks_per_hour),
+                            d(gm.current_latency_s)});
+  }
+  return writer.ToString();
+}
+
+Status SaveWhatIfModels(const WhatIfEngine& engine, const std::string& path) {
+  KEA_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(WhatIfModelsToCsv(engine)));
+  CsvWriter writer;
+  writer.SetHeader(table.header);
+  for (const auto& row : table.rows) {
+    KEA_RETURN_IF_ERROR(writer.AppendRow(row));
+  }
+  return writer.WriteFile(path);
+}
+
+}  // namespace kea::core

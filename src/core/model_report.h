@@ -1,0 +1,22 @@
+#ifndef KEA_CORE_MODEL_REPORT_H_
+#define KEA_CORE_MODEL_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/whatif.h"
+
+namespace kea::core {
+
+/// Serializes a fitted What-if Engine's calibrated models as CSV — the
+/// review artifact the DS hands the DX in Phase II ("results are interpreted
+/// and validated by DX", Section 3.1). One row per SC-SKU group with the
+/// g/h/f coefficients, fit quality, and the current operating point.
+std::string WhatIfModelsToCsv(const WhatIfEngine& engine);
+
+/// Writes the report to a file.
+Status SaveWhatIfModels(const WhatIfEngine& engine, const std::string& path);
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_MODEL_REPORT_H_

@@ -1,0 +1,84 @@
+#include "core/power_analysis.h"
+
+#include <cmath>
+
+namespace kea::core {
+
+StatusOr<double> NormalQuantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    return Status::InvalidArgument("normal quantile needs p in (0, 1)");
+  }
+  // Acklam's rational approximation for the inverse normal CDF.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+namespace {
+
+Status ValidateOptions(const PowerAnalysis& options) {
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.power <= 0.0 || options.power >= 1.0) {
+    return Status::InvalidArgument("power must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<int64_t> RequiredSampleSizePerArm(double effect_size, double stddev,
+                                           const PowerAnalysis& options) {
+  KEA_RETURN_IF_ERROR(ValidateOptions(options));
+  if (effect_size <= 0.0) {
+    return Status::InvalidArgument("effect size must be positive");
+  }
+  if (stddev <= 0.0) return Status::InvalidArgument("stddev must be positive");
+
+  KEA_ASSIGN_OR_RETURN(double z_alpha, NormalQuantile(1.0 - options.alpha / 2.0));
+  KEA_ASSIGN_OR_RETURN(double z_beta, NormalQuantile(options.power));
+  double ratio = (z_alpha + z_beta) * stddev / effect_size;
+  double n = 2.0 * ratio * ratio;
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+StatusOr<double> MinimumDetectableEffect(int64_t n_per_arm, double stddev,
+                                         const PowerAnalysis& options) {
+  KEA_RETURN_IF_ERROR(ValidateOptions(options));
+  if (n_per_arm < 2) return Status::InvalidArgument("need >= 2 per arm");
+  if (stddev <= 0.0) return Status::InvalidArgument("stddev must be positive");
+
+  KEA_ASSIGN_OR_RETURN(double z_alpha, NormalQuantile(1.0 - options.alpha / 2.0));
+  KEA_ASSIGN_OR_RETURN(double z_beta, NormalQuantile(options.power));
+  return (z_alpha + z_beta) * stddev *
+         std::sqrt(2.0 / static_cast<double>(n_per_arm));
+}
+
+}  // namespace kea::core

@@ -1,0 +1,37 @@
+#ifndef KEA_CORE_POWER_ANALYSIS_H_
+#define KEA_CORE_POWER_ANALYSIS_H_
+
+#include "common/status.h"
+
+namespace kea::core {
+
+/// Statistical power analysis for the experimental-tuning designs (Section
+/// 7: "To have statistical significance, we also want to have a relatively
+/// large sample size"). Two-sample two-sided tests under the normal
+/// approximation: n per arm = 2 * ((z_{1-a/2} + z_{1-b}) * sigma / delta)^2.
+struct PowerAnalysis {
+  /// Two-sided significance level (probability of a false positive).
+  double alpha = 0.05;
+  /// Target power 1 - beta (probability of detecting a true effect).
+  double power = 0.8;
+};
+
+/// Quantile of the standard normal distribution (inverse CDF), via the
+/// Acklam rational approximation (|error| < 1.2e-9). p must be in (0, 1).
+StatusOr<double> NormalQuantile(double p);
+
+/// Observations needed *per arm* to detect a mean difference of
+/// `effect_size` when the per-observation standard deviation is `stddev`.
+/// Returns InvalidArgument on non-positive inputs or out-of-range
+/// alpha/power.
+StatusOr<int64_t> RequiredSampleSizePerArm(double effect_size, double stddev,
+                                           const PowerAnalysis& options);
+
+/// The smallest mean difference detectable with `n_per_arm` observations per
+/// arm at the given alpha/power.
+StatusOr<double> MinimumDetectableEffect(int64_t n_per_arm, double stddev,
+                                         const PowerAnalysis& options);
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_POWER_ANALYSIS_H_

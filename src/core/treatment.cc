@@ -1,0 +1,87 @@
+#include "core/treatment.h"
+
+#include <cmath>
+
+namespace kea::core {
+
+namespace {
+
+StatusOr<TreatmentEffect> FromTest(const std::string& metric,
+                                   const std::vector<double>& control,
+                                   const std::vector<double>& treatment,
+                                   const ml::TTestResult& test) {
+  double control_mean = ml::Mean(control);
+  if (std::fabs(control_mean) < 1e-12) {
+    return Status::FailedPrecondition("control mean ~0; percent change undefined");
+  }
+  TreatmentEffect effect;
+  effect.metric = metric;
+  effect.control_mean = control_mean;
+  effect.treatment_mean = ml::Mean(treatment);
+  effect.percent_change = (effect.treatment_mean - control_mean) / control_mean;
+  // Sign convention: positive t when treatment exceeds control.
+  effect.t_value = -test.t_statistic;
+  effect.p_value = test.p_value;
+  effect.significant = test.significant_at_05;
+  return effect;
+}
+
+}  // namespace
+
+StatusOr<TreatmentEffect> EstimateTreatmentEffect(const std::string& metric,
+                                                  const std::vector<double>& control,
+                                                  const std::vector<double>& treatment) {
+  KEA_ASSIGN_OR_RETURN(ml::TTestResult test, ml::StudentTTest(control, treatment));
+  return FromTest(metric, control, treatment, test);
+}
+
+StatusOr<TreatmentEffect> EstimateTreatmentEffectWelch(
+    const std::string& metric, const std::vector<double>& control,
+    const std::vector<double>& treatment) {
+  KEA_ASSIGN_OR_RETURN(ml::TTestResult test, ml::WelchTTest(control, treatment));
+  return FromTest(metric, control, treatment, test);
+}
+
+StatusOr<DifferenceInDifferences> EstimateDifferenceInDifferences(
+    const std::string& metric, const std::vector<double>& control_before,
+    const std::vector<double>& control_after,
+    const std::vector<double>& treated_before,
+    const std::vector<double>& treated_after) {
+  if (control_before.size() != control_after.size() ||
+      treated_before.size() != treated_after.size()) {
+    return Status::InvalidArgument("before/after samples must pair per unit");
+  }
+  if (control_before.size() < 2 || treated_before.size() < 2) {
+    return Status::InvalidArgument("DiD needs >= 2 units per group");
+  }
+  double treated_base = ml::Mean(treated_before);
+  if (std::fabs(treated_base) < 1e-12) {
+    return Status::FailedPrecondition("treated before-mean ~0");
+  }
+
+  // Per-unit deltas.
+  std::vector<double> control_delta(control_before.size());
+  for (size_t i = 0; i < control_before.size(); ++i) {
+    control_delta[i] = control_after[i] - control_before[i];
+  }
+  std::vector<double> treated_delta(treated_before.size());
+  for (size_t i = 0; i < treated_before.size(); ++i) {
+    treated_delta[i] = treated_after[i] - treated_before[i];
+  }
+
+  DifferenceInDifferences did;
+  did.metric = metric;
+  did.control_change = ml::Mean(control_delta);
+  did.treatment_change = ml::Mean(treated_delta);
+  did.effect = did.treatment_change - did.control_change;
+  did.percent_effect = did.effect / treated_base;
+
+  KEA_ASSIGN_OR_RETURN(ml::TTestResult test,
+                       ml::WelchTTest(control_delta, treated_delta));
+  did.t_value = -test.t_statistic;  // Positive when treated change exceeds control.
+  did.p_value = test.p_value;
+  did.significant = test.significant_at_05;
+  return did;
+}
+
+}  // namespace kea::core

@@ -1,0 +1,72 @@
+#ifndef KEA_CORE_VALIDATION_H_
+#define KEA_CORE_VALIDATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/whatif.h"
+#include "telemetry/store.h"
+
+namespace kea::core {
+
+/// Per-group comparison of the What-if Engine's predictions against
+/// post-deployment observations.
+struct GroupValidation {
+  sim::MachineGroupKey group;
+  size_t observations = 0;
+
+  double observed_containers = 0.0;  ///< Median over the window.
+  double predicted_utilization = 0.0;
+  double observed_utilization = 0.0;
+  double predicted_latency_s = 0.0;
+  double observed_latency_s = 0.0;
+
+  /// Relative errors |predicted - observed| / observed.
+  double utilization_error = 0.0;
+  double latency_error = 0.0;
+  bool within_tolerance = false;
+};
+
+/// Deployment-window validation report.
+struct ValidationReport {
+  std::vector<GroupValidation> groups;
+  double max_latency_error = 0.0;
+  double max_utilization_error = 0.0;
+  /// True when every validated group is within tolerance. When false, the
+  /// Phase III loop should re-fit the models before the next rollout round.
+  bool models_valid = false;
+  /// Groups present in the telemetry but missing from the engine (new SKUs
+  /// rolled out since the fit — a re-fit trigger on its own).
+  std::vector<sim::MachineGroupKey> unmodeled_groups;
+};
+
+/// Phase III of the KEA methodology (Section 3.1): after flighting or
+/// deployment, "DS fine-tunes the models and works closely with DX to
+/// monitor the cluster behavior". The validator feeds that loop: it replays
+/// the calibrated models against a post-change telemetry window and flags
+/// drift — the signal to re-fit before trusting the next optimization round.
+class ModelValidator {
+ public:
+  struct Options {
+    /// Maximum tolerated relative error on group latency and utilization.
+    double tolerance = 0.15;
+    /// Minimum machine-hours per group to attempt validation.
+    size_t min_observations = 24;
+  };
+
+  ModelValidator() : options_(Options()) {}
+  explicit ModelValidator(const Options& options) : options_(options) {}
+
+  /// Validates `engine` against the telemetry matching `window`. Returns
+  /// FailedPrecondition when no group has enough observations.
+  StatusOr<ValidationReport> Validate(const WhatIfEngine& engine,
+                                      const telemetry::TelemetryStore& store,
+                                      const telemetry::RecordFilter& window) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_VALIDATION_H_

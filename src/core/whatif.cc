@@ -1,0 +1,137 @@
+#include "core/whatif.h"
+
+#include <unordered_set>
+
+#include "ml/model_selection.h"
+#include "ml/stats.h"
+
+namespace kea::core {
+
+namespace {
+
+StatusOr<ml::LinearModel> FitPairs(const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   RegressorKind kind) {
+  ml::Dataset data = ml::MakeDataset1D(x, y);
+  if (kind == RegressorKind::kAuto) {
+    KEA_ASSIGN_OR_RETURN(ml::RegressorFamily family, ml::SelectRegressor(data));
+    return ml::FitFamily(data, family);
+  }
+  if (kind == RegressorKind::kHuber) {
+    ml::HuberRegressor regressor;
+    return regressor.Fit(data);
+  }
+  ml::LinearRegressor regressor;
+  return regressor.Fit(data);
+}
+
+}  // namespace
+
+StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
+                                         const telemetry::RecordFilter& filter,
+                                         const Options& options) {
+  auto grouped = store.GroupByKey(filter);
+  if (grouped.empty()) {
+    return Status::FailedPrecondition("no telemetry to fit the What-if Engine");
+  }
+
+  std::map<sim::MachineGroupKey, GroupModels> models;
+  for (const auto& [key, records] : grouped) {
+    if (records.size() < options.min_observations) continue;
+
+    std::vector<double> containers, util, tasks, latency;
+    std::unordered_set<int> machines;
+    containers.reserve(records.size());
+    util.reserve(records.size());
+    tasks.reserve(records.size());
+    latency.reserve(records.size());
+    for (const auto& r : records) {
+      // Idle machine-hours carry no task-latency signal; skip them, matching
+      // the production pipeline's data preparation.
+      if (r.tasks_finished <= 0.0) continue;
+      machines.insert(r.machine_id);
+      containers.push_back(r.avg_running_containers);
+      util.push_back(r.cpu_utilization);
+      tasks.push_back(r.tasks_finished);
+      latency.push_back(r.avg_task_latency_s);
+    }
+    if (containers.size() < options.min_observations) continue;
+
+    GroupModels gm;
+    gm.group = key;
+    gm.num_machines = static_cast<int>(machines.size());
+
+    KEA_ASSIGN_OR_RETURN(gm.g, FitPairs(containers, util, options.regressor));
+    KEA_ASSIGN_OR_RETURN(gm.h, FitPairs(util, tasks, options.regressor));
+    KEA_ASSIGN_OR_RETURN(gm.f, FitPairs(util, latency, options.regressor));
+
+    KEA_ASSIGN_OR_RETURN(gm.g_fit, ml::Evaluate(gm.g, ml::MakeDataset1D(containers, util)));
+    KEA_ASSIGN_OR_RETURN(gm.h_fit, ml::Evaluate(gm.h, ml::MakeDataset1D(util, tasks)));
+    KEA_ASSIGN_OR_RETURN(gm.f_fit, ml::Evaluate(gm.f, ml::MakeDataset1D(util, latency)));
+
+    // Median operating point (the large dot of Figure 9).
+    KEA_ASSIGN_OR_RETURN(gm.current_containers, ml::Quantile(containers, 0.5));
+    KEA_ASSIGN_OR_RETURN(gm.current_utilization, ml::Quantile(util, 0.5));
+    KEA_ASSIGN_OR_RETURN(gm.current_tasks_per_hour, ml::Quantile(tasks, 0.5));
+    KEA_ASSIGN_OR_RETURN(gm.current_latency_s, ml::Quantile(latency, 0.5));
+
+    models[key] = std::move(gm);
+  }
+  if (models.empty()) {
+    return Status::FailedPrecondition(
+        "no machine group has enough observations for the What-if Engine");
+  }
+  return WhatIfEngine(std::move(models));
+}
+
+StatusOr<const GroupModels*> WhatIfEngine::Find(sim::MachineGroupKey group) const {
+  auto it = models_.find(group);
+  if (it == models_.end()) {
+    return Status::NotFound("no calibrated models for group " + sim::GroupLabel(group));
+  }
+  return &it->second;
+}
+
+StatusOr<double> WhatIfEngine::PredictUtilization(sim::MachineGroupKey group,
+                                                  double containers) const {
+  KEA_ASSIGN_OR_RETURN(const GroupModels* m, Find(group));
+  return m->g.Predict1D(containers);
+}
+
+StatusOr<double> WhatIfEngine::PredictTasksPerHour(sim::MachineGroupKey group,
+                                                   double containers) const {
+  KEA_ASSIGN_OR_RETURN(const GroupModels* m, Find(group));
+  return m->h.Predict1D(m->g.Predict1D(containers));
+}
+
+StatusOr<double> WhatIfEngine::PredictTaskLatency(sim::MachineGroupKey group,
+                                                  double containers) const {
+  KEA_ASSIGN_OR_RETURN(const GroupModels* m, Find(group));
+  return m->f.Predict1D(m->g.Predict1D(containers));
+}
+
+StatusOr<double> WhatIfEngine::PredictClusterLatency(
+    const std::map<sim::MachineGroupKey, double>& containers_per_machine) const {
+  double weighted = 0.0, weight = 0.0;
+  for (const auto& [key, m_k] : containers_per_machine) {
+    KEA_ASSIGN_OR_RETURN(const GroupModels* gm, Find(key));
+    double util = gm->g.Predict1D(m_k);
+    double tasks = gm->h.Predict1D(util);
+    double latency = gm->f.Predict1D(util);
+    double n_k = static_cast<double>(gm->num_machines);
+    weighted += latency * tasks * n_k;
+    weight += tasks * n_k;
+  }
+  if (weight <= 0.0) {
+    return Status::FailedPrecondition("predicted zero task throughput");
+  }
+  return weighted / weight;
+}
+
+StatusOr<double> WhatIfEngine::CurrentClusterLatency() const {
+  std::map<sim::MachineGroupKey, double> current;
+  for (const auto& [key, gm] : models_) current[key] = gm.current_containers;
+  return PredictClusterLatency(current);
+}
+
+}  // namespace kea::core

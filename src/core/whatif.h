@@ -1,0 +1,91 @@
+#ifndef KEA_CORE_WHATIF_H_
+#define KEA_CORE_WHATIF_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "ml/regression.h"
+#include "telemetry/perf_monitor.h"
+#include "telemetry/store.h"
+
+namespace kea::core {
+
+/// Which regression family the What-if Engine fits. The paper uses a Huber
+/// regressor in production ("more robust to outliers", Section 5.2.1); OLS is
+/// kept for the ablation bench; kAuto picks per relationship by 5-fold
+/// cross-validation.
+enum class RegressorKind { kOls, kHuber, kAuto };
+
+/// The calibrated model set for one SC-SKU combination k (Figure 9):
+///   g_k: running containers -> CPU utilization      (Eq. 1-2)
+///   h_k: CPU utilization    -> tasks finished /hour (Eq. 3-4)
+///   f_k: CPU utilization    -> mean task latency    (Eq. 5-6)
+/// plus the group's current operating point, used as the reference
+/// configuration m'_k.
+struct GroupModels {
+  sim::MachineGroupKey group;
+  int num_machines = 0;  ///< n_k of Eq. (7).
+
+  ml::LinearModel g;  ///< containers -> utilization.
+  ml::LinearModel h;  ///< utilization -> tasks/hour.
+  ml::LinearModel f;  ///< utilization -> task latency (s).
+
+  ml::RegressionMetrics g_fit;
+  ml::RegressionMetrics h_fit;
+  ml::RegressionMetrics f_fit;
+
+  /// Current (median) operating point from telemetry.
+  double current_containers = 0.0;
+  double current_utilization = 0.0;
+  double current_tasks_per_hour = 0.0;
+  double current_latency_s = 0.0;
+};
+
+/// The What-if Engine (Section 5.1): predicts the performance metrics of a
+/// machine group under a *hypothetical* container allocation, using models
+/// fit purely on observational telemetry — no experiments. The key property
+/// it relies on: the relationships g/h/f reflect hardware and workload
+/// mechanics and are invariant to the YARN configuration itself.
+class WhatIfEngine {
+ public:
+  struct Options {
+    RegressorKind regressor = RegressorKind::kHuber;
+    /// Minimum machine-hours per group to fit a model.
+    size_t min_observations = 24;
+  };
+
+  /// Fits per-group models from the telemetry matching `filter`. Returns
+  /// FailedPrecondition when no group has enough observations.
+  static StatusOr<WhatIfEngine> Fit(const telemetry::TelemetryStore& store,
+                                    const telemetry::RecordFilter& filter,
+                                    const Options& options);
+
+  const std::map<sim::MachineGroupKey, GroupModels>& models() const { return models_; }
+
+  /// Per-group predictions under a hypothetical container count. NotFound if
+  /// the group has no calibrated models.
+  StatusOr<double> PredictUtilization(sim::MachineGroupKey group, double containers) const;
+  StatusOr<double> PredictTasksPerHour(sim::MachineGroupKey group, double containers) const;
+  StatusOr<double> PredictTaskLatency(sim::MachineGroupKey group, double containers) const;
+
+  /// The cluster-wide average task latency W-bar of Eq. (9) under a
+  /// hypothetical per-group allocation: the task-weighted mean of the
+  /// predicted group latencies. Missing groups are an error.
+  StatusOr<double> PredictClusterLatency(
+      const std::map<sim::MachineGroupKey, double>& containers_per_machine) const;
+
+  /// W-bar' — the same quantity at the current operating point (Eq. 10).
+  StatusOr<double> CurrentClusterLatency() const;
+
+ private:
+  explicit WhatIfEngine(std::map<sim::MachineGroupKey, GroupModels> models)
+      : models_(std::move(models)) {}
+
+  StatusOr<const GroupModels*> Find(sim::MachineGroupKey group) const;
+
+  std::map<sim::MachineGroupKey, GroupModels> models_;
+};
+
+}  // namespace kea::core
+
+#endif  // KEA_CORE_WHATIF_H_

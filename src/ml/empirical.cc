@@ -1,0 +1,82 @@
+#include "ml/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kea::ml {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sorted)
+    : sorted_(std::move(sorted)) {
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  mean_ = sum / static_cast<double>(sorted_.size());
+}
+
+StatusOr<EmpiricalDistribution> EmpiricalDistribution::FromSamples(
+    std::vector<double> samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("empirical distribution needs samples");
+  }
+  std::sort(samples.begin(), samples.end());
+  return EmpiricalDistribution(std::move(samples));
+}
+
+double EmpiricalDistribution::Sample(Rng* rng) const {
+  size_t i = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(sorted_.size()) - 1));
+  return sorted_[i];
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+StatusOr<BootstrapInterval> BootstrapCi(
+    const std::vector<double>& sample,
+    double (*statistic)(const std::vector<double>&), double level, int iterations,
+    Rng* rng) {
+  if (sample.empty()) return Status::InvalidArgument("empty sample");
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("confidence level must be in (0, 1)");
+  }
+  if (iterations < 10) return Status::InvalidArgument("too few bootstrap iterations");
+
+  std::vector<double> stats;
+  stats.reserve(static_cast<size_t>(iterations));
+  std::vector<double> resample(sample.size());
+  for (int it = 0; it < iterations; ++it) {
+    for (size_t i = 0; i < sample.size(); ++i) {
+      size_t j = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(sample.size()) - 1));
+      resample[i] = sample[j];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  double alpha = 1.0 - level;
+  auto pick = [&](double q) {
+    double pos = q * static_cast<double>(stats.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, stats.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return stats[lo] * (1.0 - frac) + stats[hi] * frac;
+  };
+  BootstrapInterval ci;
+  ci.lo = pick(alpha / 2.0);
+  ci.hi = pick(1.0 - alpha / 2.0);
+  ci.point_estimate = statistic(sample);
+  return ci;
+}
+
+}  // namespace kea::ml

@@ -1,0 +1,54 @@
+#ifndef KEA_ML_EMPIRICAL_H_
+#define KEA_ML_EMPIRICAL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace kea::ml {
+
+/// An empirical distribution backed by observed samples. The SKU-design
+/// Monte-Carlo (Section 6.1) draws per-core usage slopes (beta_s, beta_r)
+/// from the observational data rather than assuming a parametric form.
+class EmpiricalDistribution {
+ public:
+  /// Returns InvalidArgument for an empty sample set.
+  static StatusOr<EmpiricalDistribution> FromSamples(std::vector<double> samples);
+
+  /// Draws a sample uniformly from the observations (bootstrap draw).
+  double Sample(Rng* rng) const;
+
+  /// Empirical CDF at x: fraction of observations <= x.
+  double Cdf(double x) const;
+
+  /// Empirical quantile (inverse CDF), q in [0, 1].
+  double Quantile(double q) const;
+
+  double mean() const { return mean_; }
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  explicit EmpiricalDistribution(std::vector<double> sorted);
+
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+/// Draws `iterations` bootstrap resamples of `sample`, applies `statistic` to
+/// each, and returns the percentile confidence interval [lo, hi] at the given
+/// level (e.g., 0.95).
+struct BootstrapInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point_estimate = 0.0;
+};
+
+StatusOr<BootstrapInterval> BootstrapCi(
+    const std::vector<double>& sample,
+    double (*statistic)(const std::vector<double>&), double level, int iterations,
+    Rng* rng);
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_EMPIRICAL_H_

@@ -1,0 +1,107 @@
+#include "ml/forecast.h"
+
+#include <cmath>
+
+#include "ml/regression.h"
+
+namespace kea::ml {
+
+StatusOr<SeasonalTrendForecaster> SeasonalTrendForecaster::Fit(
+    const std::vector<double>& series, int season_length) {
+  if (season_length <= 0) {
+    return Status::InvalidArgument("season_length must be positive");
+  }
+  if (series.size() < 2 * static_cast<size_t>(season_length)) {
+    return Status::InvalidArgument("need at least two full seasons of data");
+  }
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  if (mean <= 1e-12) {
+    return Status::FailedPrecondition("series mean must be positive");
+  }
+
+  SeasonalTrendForecaster f;
+  f.fitted_length_ = static_cast<int64_t>(series.size());
+  f.seasonal_.assign(static_cast<size_t>(season_length), 1.0);
+
+  // Backfitting: alternate (a) OLS trend on the seasonally adjusted series
+  // and (b) seasonal factors from the detrended series. One pass is biased —
+  // the seasonal phase correlates with the global time index — so iterate to
+  // convergence (three rounds suffice for these smooth series).
+  Vector t(series.size());
+  for (size_t i = 0; i < series.size(); ++i) t[i] = static_cast<double>(i);
+  LinearRegressor regressor;
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    // (a) Trend on y / seasonal.
+    Vector adjusted(series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      double s = f.seasonal_[i % static_cast<size_t>(season_length)];
+      adjusted[i] = s > 1e-12 ? series[i] / s : series[i];
+    }
+    KEA_ASSIGN_OR_RETURN(LinearModel trend,
+                         regressor.Fit(MakeDataset1D(t, adjusted)));
+    f.intercept_ = trend.intercept();
+    f.slope_ = trend.coefficients()[0];
+
+    // (b) Seasonal factors = mean ratio of observed to trend per phase.
+    std::vector<double> sums(static_cast<size_t>(season_length), 0.0);
+    std::vector<int> counts(static_cast<size_t>(season_length), 0);
+    for (size_t i = 0; i < series.size(); ++i) {
+      double base = f.intercept_ + f.slope_ * static_cast<double>(i);
+      if (base <= 1e-12) continue;
+      size_t phase = i % static_cast<size_t>(season_length);
+      sums[phase] += series[i] / base;
+      ++counts[phase];
+    }
+    for (size_t p = 0; p < f.seasonal_.size(); ++p) {
+      f.seasonal_[p] =
+          counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 1.0;
+    }
+  }
+
+  // In-sample accuracy.
+  double mape = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (std::fabs(series[i]) < 1e-12) continue;
+    double pred = f.Predict(static_cast<int64_t>(i));
+    mape += std::fabs(pred - series[i]) / std::fabs(series[i]);
+    ++used;
+  }
+  f.training_mape_ = used > 0 ? mape / static_cast<double>(used) : 0.0;
+  return f;
+}
+
+double SeasonalTrendForecaster::Predict(int64_t t) const {
+  double base = intercept_ + slope_ * static_cast<double>(t);
+  size_t phase = static_cast<size_t>(t % static_cast<int64_t>(seasonal_.size()));
+  return base * seasonal_[phase];
+}
+
+std::vector<double> SeasonalTrendForecaster::Forecast(int horizon) const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(std::max(horizon, 0)));
+  for (int h = 0; h < horizon; ++h) {
+    out.push_back(Predict(fitted_length_ + h));
+  }
+  return out;
+}
+
+StatusOr<double> MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                             const std::vector<double>& predicted) {
+  if (actual.size() != predicted.size()) {
+    return Status::InvalidArgument("size mismatch in MAPE");
+  }
+  if (actual.empty()) return Status::InvalidArgument("empty series in MAPE");
+  double total = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::fabs(actual[i]) < 1e-12) {
+      return Status::FailedPrecondition("actual value ~0 in MAPE");
+    }
+    total += std::fabs(predicted[i] - actual[i]) / std::fabs(actual[i]);
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+}  // namespace kea::ml

@@ -1,0 +1,60 @@
+#ifndef KEA_ML_FORECAST_H_
+#define KEA_ML_FORECAST_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea::ml {
+
+/// Multiplicative seasonal-trend forecaster for hourly infrastructure
+/// series: y_t = (a + b*t) * s[t mod season]. Fit in two stages — OLS linear
+/// trend, then per-phase seasonal factors from the detrended series. This is
+/// the workhorse behind KEA's capacity planning: demand series have strong
+/// diurnal/weekly seasonality plus slow organic growth, and "long-term
+/// workload seasonalities impose long observation windows" (Section 2).
+class SeasonalTrendForecaster {
+ public:
+  /// Constructs a trivial (all-zero) forecaster; use Fit() to obtain a
+  /// usable one. Exists so result structs can hold a forecaster by value.
+  SeasonalTrendForecaster() = default;
+
+  /// Fits on `series` (one value per hour). Requires at least two full
+  /// seasons of data and a positive mean. season_length defaults to one week
+  /// of hours.
+  static StatusOr<SeasonalTrendForecaster> Fit(const std::vector<double>& series,
+                                               int season_length = 168);
+
+  /// Predicted value at absolute index t (t = 0 is the first fitted hour;
+  /// t >= series size extrapolates).
+  double Predict(int64_t t) const;
+
+  /// Forecasts `horizon` hours beyond the end of the fitted series.
+  std::vector<double> Forecast(int horizon) const;
+
+  double trend_intercept() const { return intercept_; }
+  double trend_slope() const { return slope_; }
+  const std::vector<double>& seasonal_factors() const { return seasonal_; }
+  int64_t fitted_length() const { return fitted_length_; }
+
+  /// In-sample mean absolute percentage error.
+  double TrainingMape() const { return training_mape_; }
+
+ private:
+
+  double intercept_ = 0.0;
+  double slope_ = 0.0;
+  std::vector<double> seasonal_;
+  int64_t fitted_length_ = 0;
+  double training_mape_ = 0.0;
+};
+
+/// Mean absolute percentage error between a forecast and actuals; returns
+/// InvalidArgument on size mismatch or empty input, FailedPrecondition if an
+/// actual is ~0.
+StatusOr<double> MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                             const std::vector<double>& predicted);
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_FORECAST_H_

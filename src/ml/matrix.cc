@@ -1,0 +1,189 @@
+#include "ml/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace kea::ml {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_);
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix shape mismatch in multiply");
+  }
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Vector> Matrix::Multiply(const Vector& v) const {
+  if (cols_ != v.size()) {
+    return Status::InvalidArgument("matrix-vector shape mismatch");
+  }
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = (*this)(r, i);
+      if (a == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        g(i, j) += a * (*this)(r, j);
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+StatusOr<Vector> Matrix::TransposedMultiply(const Vector& v) const {
+  if (rows_ != v.size()) {
+    return Status::InvalidArgument("transposed matrix-vector shape mismatch");
+  }
+  Vector out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double w = v[r];
+    if (w == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c) * w;
+  }
+  return out;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+StatusOr<Vector> SolveLinearSystem(Matrix a, Vector b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem shape mismatch");
+  }
+  const size_t n = a.rows();
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular matrix in SolveLinearSystem");
+    }
+    if (pivot != col) {
+      for (size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  Vector x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+StatusOr<Vector> SolveCholesky(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveCholesky shape mismatch");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 1e-14) {
+          return Status::FailedPrecondition("matrix not positive definite in SolveCholesky");
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Solve L y = b.
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Solve L^T x = y.
+  Vector x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace kea::ml

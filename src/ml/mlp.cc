@@ -1,0 +1,144 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kea::ml {
+
+double MlpRegressor::Model::Predict(const Vector& features) const {
+  double out = b2_;
+  for (size_t h = 0; h < w1_.size(); ++h) {
+    double z = b1_[h];
+    for (size_t j = 0; j < features.size(); ++j) {
+      double x = x_std_[j] > 1e-12 ? (features[j] - x_mean_[j]) / x_std_[j] : 0.0;
+      z += w1_[h][j] * x;
+    }
+    out += w2_[h] * std::tanh(z);
+  }
+  return out * y_std_ + y_mean_;
+}
+
+StatusOr<Vector> MlpRegressor::Model::PredictBatch(const Matrix& features) const {
+  if (features.cols() != input_dim()) {
+    return Status::InvalidArgument("feature width mismatch in MLP PredictBatch");
+  }
+  Vector out(features.rows());
+  Vector row(features.cols());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (size_t c = 0; c < features.cols(); ++c) row[c] = features(r, c);
+    out[r] = Predict(row);
+  }
+  return out;
+}
+
+StatusOr<MlpRegressor::Model> MlpRegressor::Fit(const Dataset& data) const {
+  const size_t n = data.size();
+  const size_t d = data.x.cols();
+  if (n < 2 || d == 0) return Status::InvalidArgument("degenerate MLP dataset");
+  if (data.x.rows() != n) return Status::InvalidArgument("shape mismatch");
+  if (options_.hidden_units <= 0 || options_.epochs <= 0 ||
+      options_.batch_size <= 0 || options_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("invalid MLP options");
+  }
+
+  Model model;
+  const size_t hidden = static_cast<size_t>(options_.hidden_units);
+
+  // Standardize features and target (SGD on raw scales diverges).
+  model.x_mean_.assign(d, 0.0);
+  model.x_std_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) model.x_mean_[c] += data.x(r, c);
+  }
+  for (double& m : model.x_mean_) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      double delta = data.x(r, c) - model.x_mean_[c];
+      model.x_std_[c] += delta * delta;
+    }
+  }
+  for (double& s : model.x_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;
+  }
+  model.y_mean_ = 0.0;
+  for (double v : data.y) model.y_mean_ += v;
+  model.y_mean_ /= static_cast<double>(n);
+  double y_var = 0.0;
+  for (double v : data.y) {
+    double delta = v - model.y_mean_;
+    y_var += delta * delta;
+  }
+  model.y_std_ = std::sqrt(y_var / static_cast<double>(n));
+  if (model.y_std_ < 1e-12) model.y_std_ = 1.0;
+
+  // Standardized copies.
+  std::vector<Vector> xs(n, Vector(d));
+  Vector ys(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      xs[r][c] = (data.x(r, c) - model.x_mean_[c]) / model.x_std_[c];
+    }
+    ys[r] = (data.y[r] - model.y_mean_) / model.y_std_;
+  }
+
+  // Xavier-ish init.
+  Rng rng(options_.seed);
+  double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  model.w1_.assign(hidden, Vector(d));
+  model.b1_.assign(hidden, 0.0);
+  model.w2_.assign(hidden, 0.0);
+  for (size_t h = 0; h < hidden; ++h) {
+    for (size_t j = 0; j < d; ++j) model.w1_[h][j] = rng.Gaussian(0.0, scale);
+    model.w2_[h] = rng.Gaussian(0.0, 1.0 / std::sqrt(static_cast<double>(hidden)));
+  }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  Vector hidden_act(hidden);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate /
+                (1.0 + 0.01 * static_cast<double>(epoch));
+    for (size_t start = 0; start < n; start += static_cast<size_t>(options_.batch_size)) {
+      size_t end = std::min(n, start + static_cast<size_t>(options_.batch_size));
+      // Accumulate gradients over the batch.
+      std::vector<Vector> g_w1(hidden, Vector(d, 0.0));
+      Vector g_b1(hidden, 0.0), g_w2(hidden, 0.0);
+      double g_b2 = 0.0;
+      for (size_t bi = start; bi < end; ++bi) {
+        const Vector& x = xs[order[bi]];
+        double y = ys[order[bi]];
+        double pred = model.b2_;
+        for (size_t h = 0; h < hidden; ++h) {
+          double z = model.b1_[h];
+          for (size_t j = 0; j < d; ++j) z += model.w1_[h][j] * x[j];
+          hidden_act[h] = std::tanh(z);
+          pred += model.w2_[h] * hidden_act[h];
+        }
+        double err = pred - y;  // d(0.5 err^2)/d pred.
+        g_b2 += err;
+        for (size_t h = 0; h < hidden; ++h) {
+          g_w2[h] += err * hidden_act[h];
+          double back = err * model.w2_[h] * (1.0 - hidden_act[h] * hidden_act[h]);
+          g_b1[h] += back;
+          for (size_t j = 0; j < d; ++j) g_w1[h][j] += back * x[j];
+        }
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      model.b2_ -= lr * g_b2 * inv;
+      for (size_t h = 0; h < hidden; ++h) {
+        model.w2_[h] -= lr * (g_w2[h] * inv + options_.l2 * model.w2_[h]);
+        model.b1_[h] -= lr * g_b1[h] * inv;
+        for (size_t j = 0; j < d; ++j) {
+          model.w1_[h][j] -=
+              lr * (g_w1[h][j] * inv + options_.l2 * model.w1_[h][j]);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace kea::ml

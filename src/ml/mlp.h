@@ -1,0 +1,64 @@
+#ifndef KEA_ML_MLP_H_
+#define KEA_ML_MLP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/regression.h"
+
+namespace kea::ml {
+
+/// A small feed-forward neural regressor: one tanh hidden layer trained with
+/// mini-batch SGD on standardized inputs/targets. Section 5.1 lists DNNs
+/// among the What-if Engine's candidate predictors; in practice "linear
+/// models are more explainable, which is critical for domain experts" — the
+/// ablation bench quantifies how little accuracy the MLP buys on the
+/// near-linear machine-group relationships.
+class MlpRegressor {
+ public:
+  struct Options {
+    int hidden_units = 16;
+    int epochs = 200;
+    int batch_size = 32;
+    double learning_rate = 0.01;
+    double l2 = 1e-4;
+    uint64_t seed = 1;
+  };
+
+  /// A fitted network (value type; cheap to copy at these sizes).
+  class Model {
+   public:
+    /// Predicts a single observation; feature width must match training.
+    double Predict(const Vector& features) const;
+    /// Predicts every row; returns InvalidArgument on width mismatch.
+    StatusOr<Vector> PredictBatch(const Matrix& features) const;
+
+    size_t input_dim() const { return w1_.empty() ? 0 : w1_[0].size(); }
+    int hidden_units() const { return static_cast<int>(w1_.size()); }
+
+   private:
+    friend class MlpRegressor;
+    std::vector<Vector> w1_;  ///< hidden x input.
+    Vector b1_;               ///< hidden.
+    Vector w2_;               ///< hidden.
+    double b2_ = 0.0;
+    // Standardization parameters.
+    Vector x_mean_, x_std_;
+    double y_mean_ = 0.0, y_std_ = 1.0;
+  };
+
+  MlpRegressor() : options_(Options()) {}
+  explicit MlpRegressor(const Options& options) : options_(options) {}
+
+  /// Trains on the dataset. Returns InvalidArgument on degenerate data
+  /// (empty, fewer rows than 2, non-positive options).
+  StatusOr<Model> Fit(const Dataset& data) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_MLP_H_

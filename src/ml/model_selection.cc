@@ -1,0 +1,67 @@
+#include "ml/model_selection.h"
+
+#include <cmath>
+
+namespace kea::ml {
+
+StatusOr<LinearModel> FitFamily(const Dataset& data, RegressorFamily family) {
+  if (family == RegressorFamily::kHuber) {
+    HuberRegressor regressor;
+    return regressor.Fit(data);
+  }
+  LinearRegressor regressor;
+  return regressor.Fit(data);
+}
+
+StatusOr<double> CrossValidateRmse(const Dataset& data, RegressorFamily family,
+                                   int folds) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  size_t n = data.size();
+  size_t d = data.x.cols();
+  if (n < static_cast<size_t>(folds) * (d + 2)) {
+    return Status::InvalidArgument("dataset too small for the requested folds");
+  }
+
+  double total_sq = 0.0;
+  size_t total_count = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    // Deterministic stride split: observation i is in fold i % folds.
+    Dataset train;
+    std::vector<size_t> test_rows;
+    size_t train_rows = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) {
+        test_rows.push_back(i);
+      } else {
+        ++train_rows;
+      }
+    }
+    train.x = Matrix(train_rows, d);
+    train.y.resize(train_rows);
+    size_t row = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) continue;
+      for (size_t c = 0; c < d; ++c) train.x(row, c) = data.x(i, c);
+      train.y[row] = data.y[i];
+      ++row;
+    }
+    KEA_ASSIGN_OR_RETURN(LinearModel model, FitFamily(train, family));
+    for (size_t i : test_rows) {
+      Vector features(d);
+      for (size_t c = 0; c < d; ++c) features[c] = data.x(i, c);
+      double err = data.y[i] - model.Predict(features);
+      total_sq += err * err;
+      ++total_count;
+    }
+  }
+  return std::sqrt(total_sq / static_cast<double>(total_count));
+}
+
+StatusOr<RegressorFamily> SelectRegressor(const Dataset& data, int folds) {
+  KEA_ASSIGN_OR_RETURN(double ols, CrossValidateRmse(data, RegressorFamily::kOls, folds));
+  KEA_ASSIGN_OR_RETURN(double huber,
+                       CrossValidateRmse(data, RegressorFamily::kHuber, folds));
+  return huber < ols ? RegressorFamily::kHuber : RegressorFamily::kOls;
+}
+
+}  // namespace kea::ml

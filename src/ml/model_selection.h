@@ -1,0 +1,35 @@
+#ifndef KEA_ML_MODEL_SELECTION_H_
+#define KEA_ML_MODEL_SELECTION_H_
+
+#include "common/status.h"
+#include "ml/regression.h"
+
+namespace kea::ml {
+
+/// Regression families the What-if Engine can choose between. "In general,
+/// we use regression models as the predictors, such as linear regression
+/// (LR), support vector machines (SVM)... Linear models are more explainable,
+/// which is critical for domain experts" (Section 5.1) — within the linear
+/// family, the choice that matters in production is plain OLS vs the
+/// outlier-robust Huber loss.
+enum class RegressorFamily { kOls, kHuber };
+
+/// K-fold cross-validated RMSE of a family on a dataset. Folds are assigned
+/// deterministically by index stride (observation i belongs to fold
+/// i % folds), so results are reproducible without an RNG. Returns
+/// InvalidArgument for folds < 2 or datasets too small to leave every fold a
+/// valid training set.
+StatusOr<double> CrossValidateRmse(const Dataset& data, RegressorFamily family,
+                                   int folds);
+
+/// Picks the family with the lower cross-validated RMSE. On clean data the
+/// two are nearly tied (OLS wins on efficiency); under contamination Huber
+/// wins decisively.
+StatusOr<RegressorFamily> SelectRegressor(const Dataset& data, int folds = 5);
+
+/// Fits the given family on the full dataset.
+StatusOr<LinearModel> FitFamily(const Dataset& data, RegressorFamily family);
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_MODEL_SELECTION_H_

@@ -1,0 +1,190 @@
+#include "ml/regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kea::ml {
+
+namespace {
+
+/// Builds the design matrix with a leading intercept column.
+Matrix WithIntercept(const Matrix& x) {
+  Matrix d(x.rows(), x.cols() + 1, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    d(r, 0) = 1.0;
+    for (size_t c = 0; c < x.cols(); ++c) d(r, c + 1) = x(r, c);
+  }
+  return d;
+}
+
+Status ValidateDataset(const Dataset& data) {
+  if (data.y.empty()) return Status::InvalidArgument("empty dataset");
+  if (data.x.rows() != data.y.size()) {
+    return Status::InvalidArgument("feature/target row count mismatch");
+  }
+  if (data.x.cols() == 0) return Status::InvalidArgument("dataset has no features");
+  if (data.y.size() < data.x.cols() + 1) {
+    return Status::InvalidArgument("fewer observations than parameters");
+  }
+  return Status::OK();
+}
+
+LinearModel ModelFromSolution(const Vector& beta) {
+  Vector coef(beta.begin() + 1, beta.end());
+  return LinearModel(beta[0], std::move(coef));
+}
+
+/// Median of |values|; used for the robust residual scale (MAD).
+double MedianAbs(Vector values) {
+  for (double& v : values) v = std::fabs(v);
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    std::nth_element(values.begin(), values.begin() + mid - 1, values.begin() + mid);
+    m = 0.5 * (m + values[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace
+
+double LinearModel::Predict(const Vector& features) const {
+  assert(features.size() == coefficients_.size());
+  return intercept_ + Dot(features, coefficients_);
+}
+
+double LinearModel::Predict1D(double x) const {
+  assert(coefficients_.size() == 1);
+  return intercept_ + coefficients_[0] * x;
+}
+
+StatusOr<Vector> LinearModel::PredictBatch(const Matrix& features) const {
+  if (features.cols() != coefficients_.size()) {
+    return Status::InvalidArgument("feature width mismatch in PredictBatch");
+  }
+  Vector out(features.rows(), 0.0);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    double sum = intercept_;
+    for (size_t c = 0; c < features.cols(); ++c) {
+      sum += features(r, c) * coefficients_[c];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+StatusOr<double> LinearModel::Invert1D(double y) const {
+  if (coefficients_.size() != 1) {
+    return Status::FailedPrecondition("Invert1D requires a 1-D model");
+  }
+  if (std::fabs(coefficients_[0]) < 1e-12) {
+    return Status::FailedPrecondition("cannot invert a flat model");
+  }
+  return (y - intercept_) / coefficients_[0];
+}
+
+StatusOr<LinearModel> LinearRegressor::Fit(const Dataset& data) const {
+  Vector ones(data.y.size(), 1.0);
+  return FitWeighted(data, ones);
+}
+
+StatusOr<LinearModel> LinearRegressor::FitWeighted(const Dataset& data,
+                                                   const Vector& weights) const {
+  KEA_RETURN_IF_ERROR(ValidateDataset(data));
+  if (weights.size() != data.y.size()) {
+    return Status::InvalidArgument("weight count mismatch");
+  }
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative observation weight");
+  }
+
+  Matrix design = WithIntercept(data.x);
+  // Scale rows by sqrt(w): (W^1/2 X)^T (W^1/2 X) beta = (W^1/2 X)^T W^1/2 y.
+  Vector scaled_y(data.y.size());
+  for (size_t r = 0; r < design.rows(); ++r) {
+    double s = std::sqrt(weights[r]);
+    for (size_t c = 0; c < design.cols(); ++c) design(r, c) *= s;
+    scaled_y[r] = data.y[r] * s;
+  }
+
+  Matrix gram = design.Gram();
+  if (l2_ > 0.0) {
+    // Regularize coefficients only; the intercept (index 0) stays free.
+    for (size_t i = 1; i < gram.rows(); ++i) gram(i, i) += l2_;
+  }
+  KEA_ASSIGN_OR_RETURN(Vector rhs, design.TransposedMultiply(scaled_y));
+
+  auto chol = SolveCholesky(gram, rhs);
+  if (chol.ok()) return ModelFromSolution(chol.value());
+  // Fall back to pivoted Gaussian elimination for semi-definite cases.
+  KEA_ASSIGN_OR_RETURN(Vector beta, SolveLinearSystem(gram, rhs));
+  return ModelFromSolution(beta);
+}
+
+StatusOr<LinearModel> HuberRegressor::Fit(const Dataset& data) const {
+  KEA_RETURN_IF_ERROR(ValidateDataset(data));
+  LinearRegressor inner(options_.l2);
+
+  KEA_ASSIGN_OR_RETURN(LinearModel model, inner.Fit(data));
+  Vector weights(data.y.size(), 1.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Residuals of the current model.
+    Vector residuals(data.y.size());
+    for (size_t r = 0; r < data.y.size(); ++r) {
+      Vector features(data.x.cols());
+      for (size_t c = 0; c < data.x.cols(); ++c) features[c] = data.x(r, c);
+      residuals[r] = data.y[r] - model.Predict(features);
+    }
+    // Robust scale: MAD / 0.6745 (consistent with sigma under normality).
+    double scale = MedianAbs(residuals) / 0.6745;
+    if (scale < 1e-12) scale = 1e-12;
+
+    double max_weight_change = 0.0;
+    for (size_t r = 0; r < residuals.size(); ++r) {
+      double z = std::fabs(residuals[r]) / scale;
+      double w = z <= options_.delta ? 1.0 : options_.delta / z;
+      max_weight_change = std::max(max_weight_change, std::fabs(w - weights[r]));
+      weights[r] = w;
+    }
+    KEA_ASSIGN_OR_RETURN(model, inner.FitWeighted(data, weights));
+    if (max_weight_change < options_.tolerance) break;
+  }
+  return model;
+}
+
+StatusOr<RegressionMetrics> Evaluate(const LinearModel& model, const Dataset& data) {
+  KEA_RETURN_IF_ERROR(ValidateDataset(data));
+  KEA_ASSIGN_OR_RETURN(Vector pred, model.PredictBatch(data.x));
+
+  double mean_y = 0.0;
+  for (double v : data.y) mean_y += v;
+  mean_y /= static_cast<double>(data.y.size());
+
+  double ss_res = 0.0, ss_tot = 0.0, abs_sum = 0.0;
+  for (size_t i = 0; i < data.y.size(); ++i) {
+    double e = data.y[i] - pred[i];
+    ss_res += e * e;
+    abs_sum += std::fabs(e);
+    double d = data.y[i] - mean_y;
+    ss_tot += d * d;
+  }
+  RegressionMetrics m;
+  m.rmse = std::sqrt(ss_res / static_cast<double>(data.y.size()));
+  m.mae = abs_sum / static_cast<double>(data.y.size());
+  m.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : (ss_res == 0.0 ? 1.0 : 0.0);
+  return m;
+}
+
+Dataset MakeDataset1D(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  Dataset d;
+  d.x = Matrix(x.size(), 1);
+  for (size_t i = 0; i < x.size(); ++i) d.x(i, 0) = x[i];
+  d.y = y;
+  return d;
+}
+
+}  // namespace kea::ml

@@ -1,0 +1,110 @@
+#ifndef KEA_ML_REGRESSION_H_
+#define KEA_ML_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace kea::ml {
+
+/// A dataset for regression: each row of `x` is one observation's features;
+/// `y` holds the targets. An intercept column is added internally by the
+/// regressors (do not add one yourself).
+struct Dataset {
+  Matrix x;  ///< n x d feature matrix.
+  Vector y;  ///< n targets.
+
+  size_t size() const { return y.size(); }
+};
+
+/// A fitted linear model: y_hat = intercept + dot(coefficients, features).
+class LinearModel {
+ public:
+  LinearModel() = default;
+  LinearModel(double intercept, Vector coefficients)
+      : intercept_(intercept), coefficients_(std::move(coefficients)) {}
+
+  double intercept() const { return intercept_; }
+  const Vector& coefficients() const { return coefficients_; }
+
+  /// Predicts a single observation; requires features.size() == coefficients().size().
+  double Predict(const Vector& features) const;
+
+  /// Convenience for 1-D models: predict from a scalar feature.
+  double Predict1D(double x) const;
+
+  /// Predicts every row of the feature matrix.
+  StatusOr<Vector> PredictBatch(const Matrix& features) const;
+
+  /// Inverts a 1-D model: returns the x with Predict1D(x) == y. Returns
+  /// FailedPrecondition if the model is not 1-D or the slope is ~0.
+  StatusOr<double> Invert1D(double y) const;
+
+ private:
+  double intercept_ = 0.0;
+  Vector coefficients_;
+};
+
+/// Ordinary least squares (optionally ridge-regularized) linear regression.
+/// Solves the normal equations via Cholesky with a Gaussian-elimination
+/// fallback. Suitable for the small design matrices KEA fits per SC-SKU
+/// group.
+class LinearRegressor {
+ public:
+  /// l2 >= 0 adds ridge regularization on the coefficients (not the
+  /// intercept).
+  explicit LinearRegressor(double l2 = 0.0) : l2_(l2) {}
+
+  /// Fits the model. Returns InvalidArgument if the dataset is empty or
+  /// shapes mismatch; FailedPrecondition if the system is singular.
+  StatusOr<LinearModel> Fit(const Dataset& data) const;
+
+  /// Weighted fit; `weights` must be non-negative, one per observation.
+  StatusOr<LinearModel> FitWeighted(const Dataset& data, const Vector& weights) const;
+
+ private:
+  double l2_;
+};
+
+/// Robust linear regression with the Huber loss, fit by iteratively
+/// reweighted least squares (IRLS). This is the estimator the paper uses for
+/// the What-if Engine models (Section 5.2.1): "more robust to outliers
+/// compared to the Least Squares Regression".
+class HuberRegressor {
+ public:
+  struct Options {
+    /// Residuals beyond delta * (robust residual scale) get linear loss.
+    double delta = 1.345;
+    int max_iterations = 50;
+    double tolerance = 1e-8;
+    /// Ridge term passed to the inner weighted least squares.
+    double l2 = 0.0;
+  };
+
+  explicit HuberRegressor() : options_(Options()) {}
+  explicit HuberRegressor(const Options& options) : options_(options) {}
+
+  /// Fits the model; error conditions match LinearRegressor::Fit.
+  StatusOr<LinearModel> Fit(const Dataset& data) const;
+
+ private:
+  Options options_;
+};
+
+/// Goodness-of-fit metrics for a fitted model on a dataset.
+struct RegressionMetrics {
+  double r2 = 0.0;    ///< Coefficient of determination.
+  double rmse = 0.0;  ///< Root mean squared error.
+  double mae = 0.0;   ///< Mean absolute error.
+};
+
+/// Evaluates `model` on `data`.
+StatusOr<RegressionMetrics> Evaluate(const LinearModel& model, const Dataset& data);
+
+/// Builds a 1-D dataset from paired samples (x_i, y_i).
+Dataset MakeDataset1D(const Vector& x, const Vector& y);
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_REGRESSION_H_

@@ -1,0 +1,85 @@
+#ifndef KEA_ML_STATS_H_
+#define KEA_ML_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea::ml {
+
+/// Descriptive summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the descriptive summary; returns InvalidArgument for an empty
+/// sample.
+StatusOr<Summary> Summarize(const std::vector<double>& sample);
+
+/// Arithmetic mean; returns 0 for an empty sample.
+double Mean(const std::vector<double>& sample);
+
+/// Unbiased sample variance; returns 0 for samples of size < 2.
+double Variance(const std::vector<double>& sample);
+
+/// Linear-interpolation quantile, q in [0, 1]. Returns InvalidArgument for an
+/// empty sample or q outside [0, 1]. q=0.5 is the median.
+StatusOr<double> Quantile(std::vector<double> sample, double q);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> counts;
+
+  /// Bucket center of bin i.
+  double BinCenter(size_t i) const;
+};
+
+/// Builds a histogram. Returns InvalidArgument if bins == 0 or hi <= lo.
+StatusOr<Histogram> MakeHistogram(const std::vector<double>& sample, double lo,
+                                  double hi, size_t bins);
+
+/// Result of a two-sample t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;        ///< Two-sided p-value.
+  double mean_difference = 0.0;  ///< mean(a) - mean(b).
+  bool significant_at_05 = false;
+};
+
+/// Student's two-sample t-test with pooled variance (assumes equal variances).
+/// This is the test the paper uses for before/after comparisons (§5.2.2, §7).
+/// Requires both samples to have >= 2 observations.
+StatusOr<TTestResult> StudentTTest(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Welch's t-test (unequal variances) with Welch-Satterthwaite dof.
+StatusOr<TTestResult> WelchTTest(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// CDF of the Student-t distribution with `dof` degrees of freedom, via the
+/// regularized incomplete beta function.
+double StudentTCdf(double t, double dof);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Lentz's algorithm).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Pearson correlation coefficient; returns InvalidArgument on size mismatch
+/// or fewer than 2 observations, FailedPrecondition if either sample is
+/// constant.
+StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+}  // namespace kea::ml
+
+#endif  // KEA_ML_STATS_H_

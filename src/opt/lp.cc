@@ -1,0 +1,272 @@
+#include "opt/lp.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace kea::opt {
+
+LpProblem::LpProblem(size_t num_variables, LpDirection direction)
+    : direction_(direction),
+      objective_(num_variables, 0.0),
+      lower_bounds_(num_variables, 0.0),
+      upper_bounds_(num_variables, kInfinity) {}
+
+Status LpProblem::SetObjectiveCoefficient(size_t i, double value) {
+  if (i >= objective_.size()) return Status::OutOfRange("objective index");
+  objective_[i] = value;
+  return Status::OK();
+}
+
+Status LpProblem::SetBounds(size_t i, double lo, double hi) {
+  if (i >= objective_.size()) return Status::OutOfRange("bounds index");
+  if (!std::isfinite(lo)) return Status::InvalidArgument("lower bound must be finite");
+  if (lo > hi) return Status::InvalidArgument("lower bound exceeds upper bound");
+  lower_bounds_[i] = lo;
+  upper_bounds_[i] = hi;
+  return Status::OK();
+}
+
+Status LpProblem::AddConstraint(LpConstraint constraint) {
+  if (constraint.coefficients.size() != objective_.size()) {
+    return Status::InvalidArgument("constraint width mismatch");
+  }
+  constraints_.push_back(std::move(constraint));
+  return Status::OK();
+}
+
+namespace {
+
+/// Internal standard-form tableau: maximize c^T y, A y = b, y >= 0, b >= 0.
+struct Tableau {
+  size_t rows;       // number of constraints
+  size_t cols;       // structural + slack + artificial columns
+  size_t artificial_start;
+  std::vector<std::vector<double>> a;  // rows x cols
+  std::vector<double> b;               // rhs
+  std::vector<size_t> basis;           // basic column per row
+};
+
+/// Pivot on (row, col): normalize the pivot row and eliminate the column from
+/// every other row.
+void Pivot(Tableau* t, size_t row, size_t col) {
+  double pivot = t->a[row][col];
+  for (size_t c = 0; c < t->cols; ++c) t->a[row][c] /= pivot;
+  t->b[row] /= pivot;
+  for (size_t r = 0; r < t->rows; ++r) {
+    if (r == row) continue;
+    double factor = t->a[r][col];
+    if (factor == 0.0) continue;
+    for (size_t c = 0; c < t->cols; ++c) t->a[r][c] -= factor * t->a[row][c];
+    t->b[r] -= factor * t->b[row];
+  }
+  t->basis[row] = col;
+}
+
+/// Runs primal simplex with the given objective (maximize). Uses Bland's rule
+/// (smallest eligible index) so no anti-cycling perturbation is needed.
+/// `allowed(col)` filters columns (used in phase 2 to freeze artificials).
+/// Returns kUnbounded if a column with positive reduced cost has no leaving
+/// row, or an iteration count otherwise.
+StatusOr<int> RunSimplex(Tableau* t, const std::vector<double>& objective,
+                         const std::vector<bool>& allowed, int max_iterations,
+                         double tol) {
+  int iterations = 0;
+  while (true) {
+    if (++iterations > max_iterations) {
+      return Status::ResourceExhausted("simplex iteration limit reached");
+    }
+    // Reduced costs: z_j - c_j = c_B^T B^-1 A_j - c_j, tracked implicitly by
+    // recomputing from the current tableau.
+    // cost_j = objective[j] - sum_r objective[basis[r]] * a[r][j]
+    size_t entering = t->cols;
+    for (size_t j = 0; j < t->cols; ++j) {
+      if (!allowed[j]) continue;
+      double reduced = objective[j];
+      for (size_t r = 0; r < t->rows; ++r) {
+        double cb = objective[t->basis[r]];
+        if (cb != 0.0) reduced -= cb * t->a[r][j];
+      }
+      if (reduced > tol) {
+        entering = j;  // Bland: first eligible index.
+        break;
+      }
+    }
+    if (entering == t->cols) return iterations - 1;  // Optimal.
+
+    // Ratio test with Bland tie-breaking on the basis variable index.
+    size_t leaving = t->rows;
+    double best_ratio = 0.0;
+    for (size_t r = 0; r < t->rows; ++r) {
+      if (t->a[r][entering] > tol) {
+        double ratio = t->b[r] / t->a[r][entering];
+        if (leaving == t->rows || ratio < best_ratio - tol ||
+            (std::fabs(ratio - best_ratio) <= tol &&
+             t->basis[r] < t->basis[leaving])) {
+          leaving = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leaving == t->rows) {
+      return Status::Unbounded("LP objective unbounded");
+    }
+    Pivot(t, leaving, entering);
+  }
+}
+
+}  // namespace
+
+StatusOr<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
+  const size_t n = problem.num_variables();
+  const double tol = options_.tolerance;
+
+  // Shift variables by their lower bounds: y = x - lo >= 0. Finite upper
+  // bounds become extra <= rows.
+  std::vector<LpConstraint> rows = problem.constraints();
+  double objective_shift = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double lo = problem.lower_bounds()[i];
+    objective_shift += problem.objective()[i] * lo;
+    for (auto& row : rows) {
+      row.rhs -= row.coefficients[i] * lo;
+    }
+    double hi = problem.upper_bounds()[i];
+    if (std::isfinite(hi)) {
+      LpConstraint ub;
+      ub.coefficients.assign(n, 0.0);
+      ub.coefficients[i] = 1.0;
+      ub.sense = ConstraintSense::kLessEqual;
+      ub.rhs = hi - lo;
+      rows.push_back(std::move(ub));
+    }
+  }
+
+  // Internal objective: always maximize.
+  std::vector<double> c(n);
+  double sign = problem.direction() == LpDirection::kMaximize ? 1.0 : -1.0;
+  for (size_t i = 0; i < n; ++i) c[i] = sign * problem.objective()[i];
+
+  // Normalize rows so rhs >= 0.
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& v : row.coefficients) v = -v;
+      row.rhs = -row.rhs;
+      if (row.sense == ConstraintSense::kLessEqual) {
+        row.sense = ConstraintSense::kGreaterEqual;
+      } else if (row.sense == ConstraintSense::kGreaterEqual) {
+        row.sense = ConstraintSense::kLessEqual;
+      }
+    }
+  }
+
+  const size_t m = rows.size();
+  // Count slack columns: <= and >= rows each get one (+1 / -1).
+  size_t num_slack = 0;
+  for (const auto& row : rows) {
+    if (row.sense != ConstraintSense::kEqual) ++num_slack;
+  }
+  // Artificials for >= and = rows (and <= rows never need one).
+  size_t num_artificial = 0;
+  for (const auto& row : rows) {
+    if (row.sense != ConstraintSense::kLessEqual) ++num_artificial;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.artificial_start = n + num_slack;
+  t.cols = n + num_slack + num_artificial;
+  t.a.assign(m, std::vector<double>(t.cols, 0.0));
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  size_t slack_col = n;
+  size_t art_col = t.artificial_start;
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t j = 0; j < n; ++j) t.a[r][j] = rows[r].coefficients[j];
+    t.b[r] = rows[r].rhs;
+    switch (rows[r].sense) {
+      case ConstraintSense::kLessEqual:
+        t.a[r][slack_col] = 1.0;
+        t.basis[r] = slack_col++;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        t.a[r][slack_col] = -1.0;
+        ++slack_col;
+        t.a[r][art_col] = 1.0;
+        t.basis[r] = art_col++;
+        break;
+      case ConstraintSense::kEqual:
+        t.a[r][art_col] = 1.0;
+        t.basis[r] = art_col++;
+        break;
+    }
+  }
+
+  std::vector<bool> all_allowed(t.cols, true);
+
+  // Phase 1: maximize -(sum of artificials).
+  if (num_artificial > 0) {
+    std::vector<double> phase1(t.cols, 0.0);
+    for (size_t j = t.artificial_start; j < t.cols; ++j) phase1[j] = -1.0;
+    KEA_ASSIGN_OR_RETURN(int p1_iters,
+                         RunSimplex(&t, phase1, all_allowed,
+                                    options_.max_iterations, tol));
+    (void)p1_iters;
+    double infeasibility = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= t.artificial_start) infeasibility += t.b[r];
+    }
+    if (infeasibility > 1e-7) {
+      return Status::Infeasible("LP has no feasible solution");
+    }
+    // Drive any degenerate artificial basics out of the basis.
+    for (size_t r = 0; r < m; ++r) {
+      if (t.basis[r] < t.artificial_start) continue;
+      size_t replacement = t.cols;
+      for (size_t j = 0; j < t.artificial_start; ++j) {
+        if (std::fabs(t.a[r][j]) > tol) {
+          replacement = j;
+          break;
+        }
+      }
+      if (replacement != t.cols) {
+        Pivot(&t, r, replacement);
+      }
+      // If the row is all-zero over structural columns it is redundant; the
+      // artificial stays basic at value 0, which phase 2 leaves untouched.
+    }
+  }
+
+  // Phase 2: artificial columns are frozen out.
+  std::vector<bool> allowed(t.cols, true);
+  for (size_t j = t.artificial_start; j < t.cols; ++j) allowed[j] = false;
+  std::vector<double> phase2(t.cols, 0.0);
+  for (size_t j = 0; j < n; ++j) phase2[j] = c[j];
+
+  auto p2 = RunSimplex(&t, phase2, allowed, options_.max_iterations, tol);
+  if (!p2.ok()) {
+    if (p2.status().code() == StatusCode::kUnbounded &&
+        problem.direction() == LpDirection::kMinimize) {
+      return Status::Unbounded("LP objective unbounded below");
+    }
+    return p2.status();
+  }
+
+  LpSolution solution;
+  solution.iterations = p2.value();
+  solution.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) solution.x[t.basis[r]] = t.b[r];
+  }
+  // Un-shift lower bounds.
+  double objective_value = objective_shift;
+  for (size_t i = 0; i < n; ++i) {
+    solution.x[i] += problem.lower_bounds()[i];
+    objective_value += problem.objective()[i] * (solution.x[i] - problem.lower_bounds()[i]);
+  }
+  solution.objective_value = objective_value;
+  return solution;
+}
+
+}  // namespace kea::opt

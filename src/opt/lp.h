@@ -1,0 +1,92 @@
+#ifndef KEA_OPT_LP_H_
+#define KEA_OPT_LP_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea::opt {
+
+/// Direction of a linear constraint row.
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: dot(coefficients, x) <sense> rhs.
+struct LpConstraint {
+  std::vector<double> coefficients;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Whether to maximize or minimize the objective.
+enum class LpDirection { kMaximize, kMinimize };
+
+/// A linear program over `num_variables` variables with box bounds. All
+/// variables default to [0, +inf). The YARN container problem (Eq. 7-10) is
+/// expressed through this builder.
+class LpProblem {
+ public:
+  explicit LpProblem(size_t num_variables, LpDirection direction = LpDirection::kMaximize);
+
+  size_t num_variables() const { return objective_.size(); }
+  LpDirection direction() const { return direction_; }
+
+  /// Sets the objective coefficient of variable i.
+  Status SetObjectiveCoefficient(size_t i, double value);
+
+  /// Sets [lo, hi] bounds on variable i. Requires lo <= hi and lo finite
+  /// (KEA's tuning variables are physical quantities with natural lower
+  /// bounds). hi may be +infinity.
+  Status SetBounds(size_t i, double lo, double hi);
+
+  /// Adds a constraint row. The coefficient vector must have num_variables
+  /// entries.
+  Status AddConstraint(LpConstraint constraint);
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& lower_bounds() const { return lower_bounds_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<LpConstraint>& constraints() const { return constraints_; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  LpDirection direction_;
+  std::vector<double> objective_;
+  std::vector<double> lower_bounds_;
+  std::vector<double> upper_bounds_;
+  std::vector<LpConstraint> constraints_;
+};
+
+/// Solution of an LP.
+struct LpSolution {
+  std::vector<double> x;
+  double objective_value = 0.0;
+  int iterations = 0;
+};
+
+/// Dense two-phase primal simplex. Exact (up to numerics) for the small LPs
+/// KEA builds: K <= a few dozen machine-group variables. Returns:
+///  - kInfeasible if no feasible point exists,
+///  - kUnbounded if the objective is unbounded over the feasible region.
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 10000;
+    double tolerance = 1e-9;
+  };
+
+  SimplexSolver() : options_(Options()) {}
+  explicit SimplexSolver(const Options& options) : options_(options) {}
+
+  StatusOr<LpSolution> Solve(const LpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kea::opt
+
+#endif  // KEA_OPT_LP_H_

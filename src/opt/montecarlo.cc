@@ -1,0 +1,48 @@
+#include "opt/montecarlo.h"
+
+#include <cmath>
+
+namespace kea::opt {
+
+StatusOr<MonteCarloEstimate> EstimateExpectation(
+    const std::function<double(Rng*)>& sample, int iterations, Rng* rng) {
+  if (iterations < 2) {
+    return Status::InvalidArgument("Monte-Carlo needs >= 2 iterations");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+
+  // Welford's online mean/variance.
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    double x = sample(rng);
+    double delta = x - mean;
+    mean += delta / static_cast<double>(i + 1);
+    m2 += delta * (x - mean);
+  }
+  MonteCarloEstimate e;
+  e.iterations = iterations;
+  e.mean = mean;
+  double variance = m2 / static_cast<double>(iterations - 1);
+  e.stddev = std::sqrt(variance);
+  e.standard_error = e.stddev / std::sqrt(static_cast<double>(iterations));
+  return e;
+}
+
+StatusOr<GridEstimate> EstimateOverGrid(
+    size_t num_candidates, const std::function<double(size_t, Rng*)>& sample,
+    int iterations_per_candidate, Rng* rng) {
+  if (num_candidates == 0) return Status::InvalidArgument("empty candidate grid");
+  GridEstimate grid;
+  grid.estimates.reserve(num_candidates);
+  for (size_t i = 0; i < num_candidates; ++i) {
+    auto bound = [&sample, i](Rng* r) { return sample(i, r); };
+    KEA_ASSIGN_OR_RETURN(MonteCarloEstimate e,
+                         EstimateExpectation(bound, iterations_per_candidate, rng));
+    grid.estimates.push_back(e);
+    if (e.mean < grid.estimates[grid.best_index].mean) grid.best_index = i;
+  }
+  return grid;
+}
+
+}  // namespace kea::opt

@@ -1,0 +1,40 @@
+#ifndef KEA_OPT_MONTECARLO_H_
+#define KEA_OPT_MONTECARLO_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace kea::opt {
+
+/// Aggregate of a Monte-Carlo estimation run.
+struct MonteCarloEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;        ///< Sample standard deviation of the draws.
+  double standard_error = 0.0;  ///< stddev / sqrt(n).
+  int iterations = 0;
+};
+
+/// Estimates E[f] by averaging `iterations` draws of `sample(rng)`. The SKU
+/// design application (Section 6.1) uses 1000 iterations per (SSD, RAM)
+/// candidate to estimate the expected machine cost.
+StatusOr<MonteCarloEstimate> EstimateExpectation(
+    const std::function<double(Rng*)>& sample, int iterations, Rng* rng);
+
+/// Evaluates `sample` over a grid of candidate configurations and returns the
+/// estimate per candidate plus the argmin index. `sample(i, rng)` draws one
+/// cost observation for candidate i.
+struct GridEstimate {
+  std::vector<MonteCarloEstimate> estimates;
+  size_t best_index = 0;  ///< Index with the smallest mean.
+};
+
+StatusOr<GridEstimate> EstimateOverGrid(
+    size_t num_candidates, const std::function<double(size_t, Rng*)>& sample,
+    int iterations_per_candidate, Rng* rng);
+
+}  // namespace kea::opt
+
+#endif  // KEA_OPT_MONTECARLO_H_

@@ -1,0 +1,153 @@
+#include "opt/search.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace kea::opt {
+
+namespace {
+
+Status ValidateDomain(const IntegerDomain& domain) {
+  if (domain.lo.size() != domain.hi.size()) {
+    return Status::InvalidArgument("domain lo/hi size mismatch");
+  }
+  if (domain.lo.empty()) return Status::InvalidArgument("empty domain");
+  for (size_t i = 0; i < domain.lo.size(); ++i) {
+    if (domain.lo[i] > domain.hi[i]) {
+      return Status::InvalidArgument("domain lo > hi at index " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t IntegerDomain::CardinalityCapped(size_t cap) const {
+  size_t total = 1;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    size_t width = static_cast<size_t>(hi[i] - lo[i]) + 1;
+    if (total > cap / width) return cap + 1;  // Would overflow the cap.
+    total *= width;
+  }
+  return total;
+}
+
+StatusOr<SearchResult> ExhaustiveSearch(const IntegerDomain& domain,
+                                        const ObjectiveFn& objective,
+                                        const FeasibleFn& feasible,
+                                        size_t max_evaluations) {
+  KEA_RETURN_IF_ERROR(ValidateDomain(domain));
+  if (domain.CardinalityCapped(max_evaluations) > max_evaluations) {
+    return Status::ResourceExhausted("integer grid larger than max_evaluations");
+  }
+
+  std::vector<int> point = domain.lo;
+  SearchResult best;
+  bool found = false;
+  size_t evaluations = 0;
+
+  while (true) {
+    ++evaluations;
+    if (feasible(point)) {
+      double value = objective(point);
+      if (!found || value > best.objective_value) {
+        best.x = point;
+        best.objective_value = value;
+        found = true;
+      }
+    }
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < domain.size(); ++i) {
+      if (point[i] < domain.hi[i]) {
+        ++point[i];
+        break;
+      }
+      point[i] = domain.lo[i];
+    }
+    if (i == domain.size()) break;
+  }
+
+  if (!found) return Status::Infeasible("no feasible grid point");
+  best.evaluations = evaluations;
+  return best;
+}
+
+StatusOr<SearchResult> CoordinateAscent(const IntegerDomain& domain,
+                                        std::vector<int> start,
+                                        const ObjectiveFn& objective,
+                                        const FeasibleFn& feasible,
+                                        int max_sweeps) {
+  KEA_RETURN_IF_ERROR(ValidateDomain(domain));
+  if (start.size() != domain.size()) {
+    return Status::InvalidArgument("start point dimension mismatch");
+  }
+  for (size_t i = 0; i < start.size(); ++i) {
+    if (start[i] < domain.lo[i] || start[i] > domain.hi[i]) {
+      return Status::InvalidArgument("start point outside domain");
+    }
+  }
+  if (!feasible(start)) {
+    return Status::Infeasible("start point infeasible for coordinate ascent");
+  }
+
+  SearchResult best;
+  best.x = std::move(start);
+  best.objective_value = objective(best.x);
+  best.evaluations = 1;
+
+  auto try_candidate = [&](std::vector<int> candidate) {
+    for (size_t i = 0; i < domain.size(); ++i) {
+      if (candidate[i] < domain.lo[i] || candidate[i] > domain.hi[i]) return false;
+    }
+    ++best.evaluations;
+    if (!feasible(candidate)) return false;
+    double value = objective(candidate);
+    if (value > best.objective_value + 1e-12) {
+      best.x = std::move(candidate);
+      best.objective_value = value;
+      return true;
+    }
+    return false;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    // Single-coordinate moves.
+    for (size_t i = 0; i < domain.size(); ++i) {
+      for (int delta : {+1, -1}) {
+        std::vector<int> candidate = best.x;
+        candidate[i] += delta;
+        if (try_candidate(std::move(candidate))) {
+          improved = true;
+          break;
+        }
+      }
+    }
+    // Paired moves: needed to cross tight coupling constraints where one
+    // coordinate must give before another can take.
+    if (!improved) {
+      for (size_t i = 0; i < domain.size() && !improved; ++i) {
+        for (size_t j = 0; j < domain.size() && !improved; ++j) {
+          if (i == j) continue;
+          for (int di : {+1, -1}) {
+            for (int dj : {+1, -1}) {
+              std::vector<int> candidate = best.x;
+              candidate[i] += di;
+              candidate[j] += dj;
+              if (try_candidate(std::move(candidate))) {
+                improved = true;
+                break;
+              }
+            }
+            if (improved) break;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace kea::opt

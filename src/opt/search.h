@@ -1,0 +1,62 @@
+#ifndef KEA_OPT_SEARCH_H_
+#define KEA_OPT_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea::opt {
+
+/// Integer box domain for derivative-free search: variable i ranges over
+/// [lo[i], hi[i]] inclusive with unit step.
+struct IntegerDomain {
+  std::vector<int> lo;
+  std::vector<int> hi;
+
+  size_t size() const { return lo.size(); }
+  /// Total number of grid points (saturates at SIZE_MAX).
+  size_t CardinalityCapped(size_t cap) const;
+};
+
+/// Result of a derivative-free search.
+struct SearchResult {
+  std::vector<int> x;
+  double objective_value = 0.0;
+  size_t evaluations = 0;
+};
+
+using ObjectiveFn = std::function<double(const std::vector<int>&)>;
+using FeasibleFn = std::function<bool(const std::vector<int>&)>;
+
+/// Exhaustively enumerates the integer grid and returns the feasible point
+/// maximizing `objective`. Returns:
+///  - InvalidArgument on malformed domains,
+///  - ResourceExhausted if the grid exceeds `max_evaluations`,
+///  - kInfeasible if no grid point satisfies `feasible`.
+///
+/// Used as the exact (non-linearized) fallback for the YARN container
+/// problem, where the latency constraint W-bar <= W-bar' is a ratio of
+/// quadratics (see DESIGN.md).
+StatusOr<SearchResult> ExhaustiveSearch(const IntegerDomain& domain,
+                                        const ObjectiveFn& objective,
+                                        const FeasibleFn& feasible,
+                                        size_t max_evaluations = 2'000'000);
+
+/// Coordinate-ascent hill climbing over the integer grid from `start`:
+/// repeatedly tries single +-1 moves on each coordinate, and when no single
+/// move improves, paired moves (+-1 on two coordinates simultaneously).
+/// The paired neighborhood matters for problems with a tight coupling
+/// constraint — e.g. the YARN latency budget, where capacity must be shed on
+/// one machine group before another can absorb it. Accepts feasible
+/// improvements until a full sweep yields none. Scales to domains where
+/// exhaustive search is intractable; finds a local optimum.
+StatusOr<SearchResult> CoordinateAscent(const IntegerDomain& domain,
+                                        std::vector<int> start,
+                                        const ObjectiveFn& objective,
+                                        const FeasibleFn& feasible,
+                                        int max_sweeps = 100);
+
+}  // namespace kea::opt
+
+#endif  // KEA_OPT_SEARCH_H_

@@ -1,0 +1,202 @@
+#include "sim/cluster.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace kea::sim {
+
+ClusterSpec ClusterSpec::Default() {
+  ClusterSpec spec;
+  spec.total_machines = 2000;
+  spec.machines_per_rack = 40;
+  // Older generations are a shrinking share of the fleet (Figure 2, left).
+  spec.sku_fractions = {0.10, 0.12, 0.13, 0.20, 0.25, 0.20};
+  // Manual tuning has pushed old generations near their limit while new
+  // generations run conservatively (Figure 2, right): with 2 cores per
+  // container these correspond to target utilizations of roughly
+  // 0.88, 0.75, 0.75, 0.69, 0.58, 0.50.
+  spec.baseline_max_containers = {7, 9, 9, 11, 14, 16};
+  spec.sc2_fraction = 0.5;
+  spec.racks_per_subcluster = 10;
+  return spec;
+}
+
+StatusOr<Cluster> Cluster::Build(const SkuCatalog& catalog, const ClusterSpec& spec) {
+  if (spec.total_machines <= 0) {
+    return Status::InvalidArgument("total_machines must be positive");
+  }
+  if (spec.machines_per_rack <= 0) {
+    return Status::InvalidArgument("machines_per_rack must be positive");
+  }
+  if (spec.sku_fractions.size() != catalog.size()) {
+    return Status::InvalidArgument("sku_fractions size must match catalog");
+  }
+  if (spec.baseline_max_containers.size() != catalog.size()) {
+    return Status::InvalidArgument("baseline_max_containers size must match catalog");
+  }
+  double fraction_sum = std::accumulate(spec.sku_fractions.begin(),
+                                        spec.sku_fractions.end(), 0.0);
+  if (std::fabs(fraction_sum - 1.0) > 0.01) {
+    return Status::InvalidArgument("sku_fractions must sum to 1");
+  }
+  if (spec.sc2_fraction < 0.0 || spec.sc2_fraction > 1.0) {
+    return Status::InvalidArgument("sc2_fraction must be in [0, 1]");
+  }
+  for (int m : spec.baseline_max_containers) {
+    if (m <= 0) return Status::InvalidArgument("baseline max_containers must be positive");
+  }
+  if (spec.baseline_max_queued < 0) {
+    return Status::InvalidArgument("baseline_max_queued must be non-negative");
+  }
+  if (spec.racks_per_subcluster <= 0) {
+    return Status::InvalidArgument("racks_per_subcluster must be positive");
+  }
+
+  // Per-SKU machine counts; remainder goes to the last SKU.
+  std::vector<int> counts(catalog.size(), 0);
+  int assigned = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    counts[i] = static_cast<int>(std::floor(spec.sku_fractions[i] *
+                                            static_cast<double>(spec.total_machines)));
+    assigned += counts[i];
+  }
+  counts.back() += spec.total_machines - assigned;
+
+  Cluster cluster;
+  cluster.machines_.reserve(static_cast<size_t>(spec.total_machines));
+
+  // Racks are homogeneous in SKU (machines in a rack are purchased together)
+  // but mixed in SC: machines alternate SC1/SC2 within the rack so the ideal
+  // experiment setting of Section 7 ("every other machine in the same rack")
+  // is available.
+  int id = 0;
+  int rack = 0;
+  for (size_t sku = 0; sku < catalog.size(); ++sku) {
+    int remaining = counts[sku];
+    while (remaining > 0) {
+      int in_rack = std::min(remaining, spec.machines_per_rack);
+      for (int i = 0; i < in_rack; ++i) {
+        Machine m;
+        m.id = id++;
+        m.rack = rack;
+        m.sub_cluster = rack / spec.racks_per_subcluster;
+        m.sku = static_cast<SkuId>(sku);
+        // Bresenham-style spreading: machine i in the rack is SC2 iff the
+        // running count of SC2 machines must advance to track the fraction.
+        // For sc2_fraction = 0.5 this alternates SC1/SC2 ("every other
+        // machine in the same rack", Section 7.1).
+        double f = spec.sc2_fraction;
+        bool is_sc2 = std::floor(static_cast<double>(i + 1) * f) >
+                      std::floor(static_cast<double>(i) * f);
+        m.sc = is_sc2 ? 1 : 0;
+        m.max_containers = spec.baseline_max_containers[sku];
+        m.max_queued_containers = spec.baseline_max_queued;
+        cluster.machines_.push_back(m);
+      }
+      remaining -= in_rack;
+      ++rack;
+    }
+  }
+  cluster.num_racks_ = rack;
+  cluster.num_subclusters_ = (rack + spec.racks_per_subcluster - 1) /
+                             spec.racks_per_subcluster;
+  cluster.RebuildGroups();
+  return cluster;
+}
+
+void Cluster::RebuildGroups() {
+  groups_.clear();
+  for (const Machine& m : machines_) {
+    groups_[m.group()].push_back(m.id);
+  }
+}
+
+int Cluster::GroupSize(MachineGroupKey key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int64_t Cluster::TotalContainerSlots() const {
+  int64_t total = 0;
+  for (const Machine& m : machines_) total += m.max_containers;
+  return total;
+}
+
+Status Cluster::SetGroupMaxContainers(MachineGroupKey key, int max_containers) {
+  if (max_containers <= 0) {
+    return Status::InvalidArgument("max_containers must be positive");
+  }
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    return Status::NotFound("no machines in group " + GroupLabel(key));
+  }
+  for (int id : it->second) {
+    machines_[static_cast<size_t>(id)].max_containers = max_containers;
+  }
+  return Status::OK();
+}
+
+std::vector<int> Cluster::SubClusterMachines(int sub_cluster) const {
+  std::vector<int> out;
+  for (const Machine& m : machines_) {
+    if (m.sub_cluster == sub_cluster) out.push_back(m.id);
+  }
+  return out;
+}
+
+Status Cluster::SetGroupMaxQueued(MachineGroupKey key, int max_queued) {
+  if (max_queued < 0) {
+    return Status::InvalidArgument("max_queued must be non-negative");
+  }
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    return Status::NotFound("no machines in group " + GroupLabel(key));
+  }
+  for (int id : it->second) {
+    machines_[static_cast<size_t>(id)].max_queued_containers = max_queued;
+  }
+  return Status::OK();
+}
+
+int64_t Cluster::TotalQueueSlots() const {
+  int64_t total = 0;
+  for (const Machine& m : machines_) total += m.max_queued_containers;
+  return total;
+}
+
+Status Cluster::SetPowerCap(const std::vector<int>& machine_ids, double cap_fraction) {
+  if (cap_fraction < 0.0 || cap_fraction >= 1.0) {
+    return Status::InvalidArgument("cap_fraction must be in [0, 1)");
+  }
+  for (int id : machine_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
+      return Status::OutOfRange("machine id " + std::to_string(id));
+    }
+    machines_[static_cast<size_t>(id)].power_cap_fraction = cap_fraction;
+  }
+  return Status::OK();
+}
+
+Status Cluster::SetFeature(const std::vector<int>& machine_ids, bool enabled) {
+  for (int id : machine_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
+      return Status::OutOfRange("machine id " + std::to_string(id));
+    }
+    machines_[static_cast<size_t>(id)].feature_enabled = enabled;
+  }
+  return Status::OK();
+}
+
+Status Cluster::SetSoftwareConfig(const std::vector<int>& machine_ids, ScId sc) {
+  if (sc < 0) return Status::InvalidArgument("invalid software configuration id");
+  for (int id : machine_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
+      return Status::OutOfRange("machine id " + std::to_string(id));
+    }
+    machines_[static_cast<size_t>(id)].sc = sc;
+  }
+  RebuildGroups();
+  return Status::OK();
+}
+
+}  // namespace kea::sim

@@ -1,0 +1,130 @@
+#ifndef KEA_SIM_CLUSTER_H_
+#define KEA_SIM_CLUSTER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sku.h"
+#include "sim/types.h"
+
+namespace kea::sim {
+
+/// One machine in the simulated fleet, with its currently effective
+/// configuration. Configuration fields are mutated by the flighting /
+/// deployment modules through Cluster.
+struct Machine {
+  int id = 0;
+  int rack = 0;
+  /// Sub-cluster (Hydra-style federation unit [18]); pilot flightings in
+  /// Section 5.2.2 target whole sub-clusters.
+  int sub_cluster = 0;
+  SkuId sku = 0;
+  ScId sc = 0;
+
+  /// YARN max_num_running_containers for this machine.
+  int max_containers = 0;
+  /// Maximum low-priority containers that may queue on this machine
+  /// (Section 5.3); excess is rejected back to the scheduler.
+  int max_queued_containers = 0;
+  /// Power cap as a fraction below provisioned level (0 = uncapped).
+  double power_cap_fraction = 0.0;
+  /// Processor Feature flag (Section 7.2).
+  bool feature_enabled = false;
+
+  MachineGroupKey group() const { return MachineGroupKey{sc, sku}; }
+};
+
+/// Describes the fleet to build. The default mirrors Figure 2: older
+/// generations are fewer and run hotter (their manual tuning has had years to
+/// push them), newer generations are plentiful but conservatively configured.
+struct ClusterSpec {
+  int total_machines = 2000;
+  int machines_per_rack = 40;
+
+  /// Fraction of the fleet per SKU; must have one entry per catalog SKU and
+  /// sum to ~1.
+  std::vector<double> sku_fractions;
+
+  /// Baseline max_num_running_containers per SKU (the manually tuned
+  /// starting point KEA improves on).
+  std::vector<int> baseline_max_containers;
+
+  /// Baseline maximum queued low-priority containers per machine; the
+  /// manual default is one flat value for every SKU (the very practice the
+  /// Section 5.3 queue tuning replaces with per-SKU values).
+  int baseline_max_queued = 12;
+
+  /// Fraction of machines deployed with SC2 (temp store on SSD). Machines
+  /// alternate SC within a rack so both groups see identical workloads.
+  double sc2_fraction = 0.5;
+
+  /// Racks per sub-cluster (the federated resource-manager unit).
+  int racks_per_subcluster = 10;
+
+  /// The default spec for the default six-SKU catalog.
+  static ClusterSpec Default();
+};
+
+/// The simulated fleet: machines with their racks, SKUs, SCs and effective
+/// configuration, plus group indexes used by the engines and by KEA.
+class Cluster {
+ public:
+  /// Creates an empty cluster (no machines); populate via Build().
+  Cluster() = default;
+
+  /// Builds the fleet deterministically from the spec. Returns
+  /// InvalidArgument when the spec is inconsistent with the catalog.
+  static StatusOr<Cluster> Build(const SkuCatalog& catalog, const ClusterSpec& spec);
+
+  const std::vector<Machine>& machines() const { return machines_; }
+  std::vector<Machine>& mutable_machines() { return machines_; }
+
+  size_t size() const { return machines_.size(); }
+  int num_racks() const { return num_racks_; }
+
+  /// Machine ids per machine group (SC-SKU combination), ordered by key.
+  const std::map<MachineGroupKey, std::vector<int>>& groups() const { return groups_; }
+
+  /// Number of machines n_k in a group; 0 if the group doesn't exist.
+  int GroupSize(MachineGroupKey key) const;
+
+  /// Sum of max_containers over all machines (the cluster's container
+  /// capacity under the current configuration).
+  int64_t TotalContainerSlots() const;
+
+  /// Sets max_containers for every machine in the group. NotFound if the
+  /// group is empty.
+  Status SetGroupMaxContainers(MachineGroupKey key, int max_containers);
+
+  /// Sets max_queued_containers for every machine in the group.
+  Status SetGroupMaxQueued(MachineGroupKey key, int max_queued);
+
+  /// Sum of max_queued_containers over all machines.
+  int64_t TotalQueueSlots() const;
+
+  /// Machine ids of one sub-cluster; empty when out of range.
+  std::vector<int> SubClusterMachines(int sub_cluster) const;
+
+  int num_subclusters() const { return num_subclusters_; }
+
+  /// Sets the power cap fraction / Feature flag on a set of machines.
+  /// OutOfRange on a bad machine id.
+  Status SetPowerCap(const std::vector<int>& machine_ids, double cap_fraction);
+  Status SetFeature(const std::vector<int>& machine_ids, bool enabled);
+
+  /// Reassigns the software configuration of a set of machines.
+  Status SetSoftwareConfig(const std::vector<int>& machine_ids, ScId sc);
+
+ private:
+  void RebuildGroups();
+
+  std::vector<Machine> machines_;
+  std::map<MachineGroupKey, std::vector<int>> groups_;
+  int num_racks_ = 0;
+  int num_subclusters_ = 0;
+};
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_CLUSTER_H_

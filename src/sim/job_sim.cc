@@ -1,0 +1,328 @@
+#include "sim/job_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+namespace kea::sim {
+
+std::vector<JobTemplateSpec> BenchmarkJobTemplates() {
+  return {
+      // Scan-heavy join pipeline (TPC-H-like).
+      {"bench_scan_join", {48, 24, 8}, 900.0, 1.0},
+      // Deep aggregation tree (TPC-DS-like).
+      {"bench_agg_tree", {64, 32, 16, 4}, 1200.0, 0.8},
+      // Short reporting job.
+      {"bench_report", {16, 4}, 600.0, 0.6},
+  };
+}
+
+namespace {
+
+/// A task waiting to run or running.
+struct PendingTask {
+  size_t job_index;
+  int stage;
+  int task_index;
+  int task_type;
+  double work_multiplier;  // type cpu multiplier * template scale * tail draw
+  double temp_multiplier;
+  int attempt = 0;  // Retry count for this task.
+};
+
+struct JobState {
+  int64_t job_id;
+  int template_id;
+  double submit_time;
+  /// Content stream: drives this job's task types and work draws. Seeded
+  /// from (simulation seed, template, instance), so the *workload* is
+  /// identical across runs that differ only in cluster configuration —
+  /// before/after comparisons (Figure 11) are paired by construction.
+  Rng content_rng{0};
+  int current_stage = 0;
+  int remaining_in_stage = 0;
+  bool finished = false;
+  /// Max task duration seen in the current stage and the record index of
+  /// that task (for critical-path marking).
+  double stage_max_duration = -1.0;
+  size_t stage_critical_record = 0;
+};
+
+struct Completion {
+  double time;
+  int machine_id;
+  size_t record_index;  // into Result::tasks
+  size_t job_index;
+  PendingTask task;  // Retained for retry on failure.
+
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+struct Arrival {
+  double time;
+  size_t template_index;
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+JobSimulator::JobSimulator(const PerfModel* model, const Cluster* cluster,
+                           const WorkloadModel* workload, const Options& options)
+    : model_(model), cluster_(cluster), workload_(workload), options_(options),
+      rng_(options.seed) {}
+
+StatusOr<JobSimulator::Result> JobSimulator::Run(
+    const std::vector<JobTemplateSpec>& templates, double duration_s) {
+  if (templates.empty()) return Status::InvalidArgument("no job templates");
+  if (duration_s <= 0.0) return Status::InvalidArgument("duration must be positive");
+  for (const auto& t : templates) {
+    if (t.stage_tasks.empty()) {
+      return Status::InvalidArgument("template " + t.name + " has no stages");
+    }
+    for (int n : t.stage_tasks) {
+      if (n <= 0) {
+        return Status::InvalidArgument("template " + t.name + " has an empty stage");
+      }
+    }
+    if (t.mean_interarrival_s <= 0.0) {
+      return Status::InvalidArgument("template " + t.name + " needs positive interarrival");
+    }
+    if (t.work_scale <= 0.0) {
+      return Status::InvalidArgument("template " + t.name + " needs positive work scale");
+    }
+  }
+
+  if (options_.background_load_fraction < 0.0 ||
+      options_.background_load_fraction >= 1.0) {
+    return Status::InvalidArgument("background_load_fraction must be in [0, 1)");
+  }
+
+  const auto& machines = cluster_->machines();
+  const size_t n_machines = machines.size();
+  // Background production containers occupy a fraction of every machine's
+  // slots for the whole run (at least one slot stays free for the benchmark
+  // jobs). They contribute to utilization-driven interference.
+  std::vector<int> running(n_machines, 0);
+  // The slot pool holds one entry per free container slot (machine id).
+  // Picking a uniformly random *slot* matches the randomizing scheduler: a
+  // machine's placement probability is proportional to its free capacity,
+  // exactly like the fluid engine's slot-proportional assignment.
+  std::vector<int> slot_pool;
+  for (size_t i = 0; i < n_machines; ++i) {
+    if (machines[i].max_containers <= 0) continue;
+    int background = static_cast<int>(options_.background_load_fraction *
+                                      machines[i].max_containers);
+    background = std::min(background, machines[i].max_containers - 1);
+    running[i] = background;
+    for (int s = background; s < machines[i].max_containers; ++s) {
+      slot_pool.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Acquires the slot at pool index `pick` (swap-remove, O(1)).
+  auto acquire_slot = [&](size_t pick) {
+    int machine_id = slot_pool[pick];
+    slot_pool[pick] = slot_pool.back();
+    slot_pool.pop_back();
+    ++running[static_cast<size_t>(machine_id)];
+    return machine_id;
+  };
+  auto release_slot = [&](int machine_id) {
+    --running[static_cast<size_t>(machine_id)];
+    slot_pool.push_back(machine_id);
+  };
+
+  Result result;
+  std::vector<JobState> jobs;
+  std::deque<PendingTask> waiting;
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals;
+
+  // Per-template arrival streams: the submission times of template t do not
+  // depend on anything else in the simulation, so the job population is
+  // identical across configurations.
+  constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  std::vector<Rng> arrival_rngs;
+  arrival_rngs.reserve(templates.size());
+  for (size_t t = 0; t < templates.size(); ++t) {
+    arrival_rngs.emplace_back(options_.seed ^ (kGolden * (t + 1)));
+    arrivals.push(
+        {arrival_rngs[t].Exponential(1.0 / templates[t].mean_interarrival_s), t});
+  }
+  std::vector<int64_t> instances_per_template(templates.size(), 0);
+
+  int64_t next_job_id = 0;
+  size_t total_tasks = 0;
+
+  const PerfModel::Params& params = model_->params();
+  const auto& task_types = workload_->spec().task_types;
+
+  // Computes a task's duration on `machine` given its current occupancy.
+  auto task_duration = [&](const PendingTask& task, const Machine& m) {
+    double util = model_->Utilization(
+        m.sku, static_cast<double>(running[static_cast<size_t>(m.id)]));
+    const SkuSpec& spec = model_->catalog().spec(m.sku);
+    double speed = spec.core_speed *
+                   model_->ThrottleFactor(m.sku, util, m.power_cap_fraction,
+                                          m.feature_enabled);
+    if (m.feature_enabled) speed *= params.feature_speed_boost;
+    double cpu_s = params.task_cpu_work * task.work_multiplier / speed;
+    cpu_s *= 1.0 + params.interference * util * util;
+    const ScSpec& sc = model_->software_configs()[static_cast<size_t>(m.sc)];
+    double medium = sc.temp_store_on_ssd ? spec.ssd_mbps : spec.hdd_mbps;
+    double share = std::max<double>(running[static_cast<size_t>(m.id)], 1.0);
+    double io_s = params.task_temp_mb * task.temp_multiplier * share / medium;
+    double noisy = (cpu_s + io_s) * rng_.LogNormal(0.0, options_.task_noise_sigma);
+    return noisy;
+  };
+
+  // Places `task` on a uniformly random free slot (if any); returns true if
+  // dispatched.
+  auto try_dispatch = [&](const PendingTask& task, double now) {
+    if (slot_pool.empty()) return false;
+    size_t pick = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(slot_pool.size()) - 1));
+    int machine_id = acquire_slot(pick);
+    const Machine& m = machines[static_cast<size_t>(machine_id)];
+
+    double duration = task_duration(task, m);
+
+    telemetry::TaskRecord record;
+    record.job_id = jobs[task.job_index].job_id;
+    record.stage = task.stage;
+    record.task_type = task.task_type;
+    record.machine_id = machine_id;
+    record.rack = m.rack;
+    record.sku = m.sku;
+    record.sc = m.sc;
+    record.start_time_s = now;
+    record.duration_s = duration;
+    record.on_critical_path = false;
+    size_t record_index = result.tasks.size();
+    result.tasks.push_back(record);
+
+    completions.push(
+        {now + duration, machine_id, record_index, task.job_index, task});
+    return true;
+  };
+
+  // Enqueues all tasks of `stage` for job `job_index` at time `now`.
+  auto launch_stage = [&](size_t job_index, int stage, double now) {
+    JobState& job = jobs[job_index];
+    const JobTemplateSpec& tmpl =
+        templates[static_cast<size_t>(job.template_id)];
+    int count = tmpl.stage_tasks[static_cast<size_t>(stage)];
+    job.current_stage = stage;
+    job.remaining_in_stage = count;
+    job.stage_max_duration = -1.0;
+    for (int i = 0; i < count; ++i) {
+      PendingTask task;
+      task.job_index = job_index;
+      task.stage = stage;
+      task.task_index = i;
+      task.task_type = static_cast<int>(workload_->SampleTaskType(&job.content_rng));
+      const TaskType& type = task_types[static_cast<size_t>(task.task_type)];
+      // Heavy-tailed work: Pareto with mean normalized to 1.
+      double tail = job.content_rng.Pareto(1.0, options_.work_pareto_alpha) *
+                    (options_.work_pareto_alpha - 1.0) / options_.work_pareto_alpha;
+      task.work_multiplier = type.cpu_work_multiplier * tmpl.work_scale * tail;
+      task.temp_multiplier = type.temp_mb_multiplier;
+      ++total_tasks;
+      if (!try_dispatch(task, now)) waiting.push_back(task);
+    }
+  };
+
+  double now = 0.0;
+  while (now < duration_s) {
+    bool has_arrival = !arrivals.empty();
+    bool has_completion = !completions.empty();
+    if (!has_arrival && !has_completion) break;
+    if (total_tasks > options_.max_tasks) {
+      return Status::ResourceExhausted("job simulation exceeded max_tasks");
+    }
+
+    double arrival_time = has_arrival ? arrivals.top().time : 1e300;
+    double completion_time = has_completion ? completions.top().time : 1e300;
+
+    if (arrival_time <= completion_time) {
+      Arrival a = arrivals.top();
+      arrivals.pop();
+      now = a.time;
+      if (now >= duration_s) break;
+      // Schedule the next submission of this template.
+      const JobTemplateSpec& tmpl = templates[a.template_index];
+      arrivals.push({now + arrival_rngs[a.template_index].Exponential(
+                               1.0 / tmpl.mean_interarrival_s),
+                     a.template_index});
+      JobState job;
+      job.job_id = next_job_id++;
+      job.template_id = static_cast<int>(a.template_index);
+      job.submit_time = now;
+      int64_t instance = instances_per_template[a.template_index]++;
+      job.content_rng = Rng(options_.seed ^ (kGolden * (a.template_index + 101)) ^
+                            (kGolden * static_cast<uint64_t>(instance * 2 + 1)));
+      jobs.push_back(job);
+      launch_stage(jobs.size() - 1, 0, now);
+    } else {
+      Completion c = completions.top();
+      completions.pop();
+      now = c.time;
+
+      // Free the slot and pull from the FIFO queue.
+      release_slot(c.machine_id);
+      while (!waiting.empty() && !slot_pool.empty()) {
+        PendingTask task = waiting.front();
+        waiting.pop_front();
+        try_dispatch(task, now);
+      }
+
+      // Failure injection: the completed attempt may actually have failed;
+      // the framework retries it on a (usually different) machine. Failed
+      // attempts never finish a stage and never join the critical path.
+      if (options_.task_failure_probability > 0.0 &&
+          c.task.attempt < options_.max_task_retries &&
+          rng_.Bernoulli(options_.task_failure_probability)) {
+        ++result.task_retries;
+        PendingTask retry = c.task;
+        ++retry.attempt;
+        ++total_tasks;
+        if (!try_dispatch(retry, now)) waiting.push_back(retry);
+        continue;
+      }
+
+      JobState& job = jobs[c.job_index];
+      const telemetry::TaskRecord& record = result.tasks[c.record_index];
+      if (record.duration_s > job.stage_max_duration) {
+        job.stage_max_duration = record.duration_s;
+        job.stage_critical_record = c.record_index;
+      }
+      if (--job.remaining_in_stage == 0) {
+        // The slowest task of the completed stage is on the critical path.
+        result.tasks[job.stage_critical_record].on_critical_path = true;
+        const JobTemplateSpec& tmpl =
+            templates[static_cast<size_t>(job.template_id)];
+        int next_stage = job.current_stage + 1;
+        if (next_stage < static_cast<int>(tmpl.stage_tasks.size())) {
+          launch_stage(c.job_index, next_stage, now);
+        } else {
+          job.finished = true;
+          telemetry::JobRecord jr;
+          jr.job_id = job.job_id;
+          jr.template_id = job.template_id;
+          jr.submit_time_s = job.submit_time;
+          jr.runtime_s = now - job.submit_time;
+          result.jobs.push_back(jr);
+        }
+      }
+    }
+  }
+
+  for (const JobState& job : jobs) {
+    if (!job.finished) ++result.unfinished_jobs;
+  }
+  return result;
+}
+
+}  // namespace kea::sim

@@ -1,0 +1,101 @@
+#ifndef KEA_SIM_JOB_SIM_H_
+#define KEA_SIM_JOB_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/cluster.h"
+#include "sim/perf_model.h"
+#include "sim/workload.h"
+#include "telemetry/record.h"
+
+namespace kea::sim {
+
+/// A recurring job template: a sequence of stages with a barrier between
+/// consecutive stages (SCOPE stage semantics). Each stage runs `stage_tasks`
+/// parallel tasks whose types are drawn from the workload mix.
+struct JobTemplateSpec {
+  std::string name;
+  std::vector<int> stage_tasks;
+  /// Mean seconds between consecutive submissions of this template.
+  double mean_interarrival_s = 600.0;
+  /// Multiplier on task work for this template.
+  double work_scale = 1.0;
+};
+
+/// Three benchmark templates standing in for the paper's TPC-H / TPC-DS
+/// derived jobs (Figure 11).
+std::vector<JobTemplateSpec> BenchmarkJobTemplates();
+
+/// Discrete-event task/job-level simulator. This is the detail layer of the
+/// two-layer design (see DESIGN.md): it runs full job DAGs on a (sub)cluster
+/// to answer task-level questions the fluid engine cannot:
+///  - which tasks land on which racks/SKUs (Figure 6),
+///  - how task duration distributions differ across SKUs and which tasks end
+///    up on the critical path (Figure 5),
+///  - end-to-end job runtimes before/after a configuration change
+///    (Figure 11).
+///
+/// Scheduling model: a ready task is placed on a machine drawn uniformly at
+/// random among machines with a free container slot; when no slot is free
+/// the task waits in a FIFO queue that drains on completions. This mirrors
+/// the monolithic resource manager's randomized placement (Section 3.2).
+class JobSimulator {
+ public:
+  struct Options {
+    uint64_t seed = 7;
+    /// Lognormal sigma on individual task durations (input skew, GC...).
+    double task_noise_sigma = 0.25;
+    /// Pareto shape for the heavy tail of task work (lower = heavier).
+    double work_pareto_alpha = 2.6;
+    /// Fraction of each machine's container slots occupied by background
+    /// production load for the whole run. The benchmark jobs compete with
+    /// this load for slots and experience its CPU interference — this is
+    /// what makes configuration changes (max_containers re-balancing)
+    /// visible in job runtimes (Figure 11). At least one slot per machine is
+    /// kept free.
+    double background_load_fraction = 0.8;
+    /// Per-attempt probability that a task fails and must retry on another
+    /// machine (hardware hiccups, preemptions). Big-data frameworks mask
+    /// these failures with re-execution; retries lengthen job critical paths.
+    double task_failure_probability = 0.0;
+    /// Retries per task before the job gives the task up (and the paper's
+    /// resilient substrate would blacklist the machine); attempts beyond
+    /// this succeed unconditionally to keep jobs finite.
+    int max_task_retries = 3;
+    /// Safety valve on total simulated tasks.
+    size_t max_tasks = 5'000'000;
+  };
+
+  struct Result {
+    std::vector<telemetry::TaskRecord> tasks;
+    std::vector<telemetry::JobRecord> jobs;
+    /// Jobs still running at the horizon (excluded from `jobs`).
+    size_t unfinished_jobs = 0;
+    /// Task attempts that failed and were retried.
+    size_t task_retries = 0;
+  };
+
+  /// `model`, `cluster` and `workload` must outlive the simulator. The
+  /// cluster's max_containers / power / feature configuration is honored.
+  JobSimulator(const PerfModel* model, const Cluster* cluster,
+               const WorkloadModel* workload, const Options& options);
+
+  /// Simulates `duration_s` seconds of job arrivals and executions. Returns
+  /// InvalidArgument on malformed templates or horizon.
+  StatusOr<Result> Run(const std::vector<JobTemplateSpec>& templates,
+                       double duration_s);
+
+ private:
+  const PerfModel* model_;
+  const Cluster* cluster_;
+  const WorkloadModel* workload_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_JOB_SIM_H_

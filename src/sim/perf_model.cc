@@ -1,0 +1,115 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kea::sim {
+
+StatusOr<PerfModel> PerfModel::Create(SkuCatalog catalog,
+                                      std::vector<ScSpec> software_configs,
+                                      Params params) {
+  if (software_configs.empty()) {
+    return Status::InvalidArgument("need at least one software configuration");
+  }
+  if (params.cores_per_container <= 0.0 || params.task_cpu_work <= 0.0) {
+    return Status::InvalidArgument("invalid workload parameters");
+  }
+  if (params.interference < 0.0) {
+    return Status::InvalidArgument("interference must be non-negative");
+  }
+  return PerfModel(std::move(catalog), std::move(software_configs), params);
+}
+
+PerfModel PerfModel::CreateDefault() {
+  auto model = Create(SkuCatalog::Default(), DefaultSoftwareConfigs(), Params());
+  return std::move(model).value();
+}
+
+double PerfModel::Utilization(SkuId sku, double containers) const {
+  const SkuSpec& spec = catalog_.spec(sku);
+  double demand = containers * params_.cores_per_container;
+  return std::clamp(demand / static_cast<double>(spec.cores), 0.0, 1.0);
+}
+
+double PerfModel::CapWatts(SkuId sku, double cap_fraction) const {
+  const SkuSpec& spec = catalog_.spec(sku);
+  return spec.provisioned_watts * (1.0 - cap_fraction);
+}
+
+double PerfModel::ThrottleFactor(SkuId sku, double utilization, double cap_fraction,
+                                 bool feature_enabled) const {
+  if (cap_fraction <= 0.0) return 1.0;
+  const SkuSpec& spec = catalog_.spec(sku);
+  double dynamic = spec.peak_watts - spec.idle_watts;
+  if (feature_enabled) dynamic *= params_.feature_power_discount;
+  double load = std::pow(utilization, params_.power_util_exponent);
+  double uncapped = spec.idle_watts + dynamic * load;
+  double cap = CapWatts(sku, cap_fraction);
+  if (uncapped <= cap) return 1.0;
+  // Frequency scaling brings dynamic power down; idle power is fixed. The
+  // achievable speed fraction follows a sub-linear power/frequency relation.
+  double needed = (cap - spec.idle_watts) / (dynamic * load);
+  needed = std::clamp(needed, 0.25, 1.0);
+  return std::pow(needed, params_.power_elasticity);
+}
+
+double PerfModel::TaskLatencySeconds(MachineGroupKey group, double utilization,
+                                     double containers, double cap_fraction,
+                                     bool feature_enabled) const {
+  const SkuSpec& spec = catalog_.spec(group.sku);
+  const ScSpec& sc = software_configs_[static_cast<size_t>(group.sc)];
+
+  double speed = spec.core_speed;
+  speed *= ThrottleFactor(group.sku, utilization, cap_fraction, feature_enabled);
+  if (feature_enabled) speed *= params_.feature_speed_boost;
+
+  double cpu_seconds = params_.task_cpu_work / speed;
+  cpu_seconds *= 1.0 + params_.interference * utilization * utilization;
+
+  // Temp-store I/O: the medium's bandwidth is shared by concurrent
+  // containers, so per-task I/O time grows with the container count.
+  double medium_mbps = sc.temp_store_on_ssd ? spec.ssd_mbps : spec.hdd_mbps;
+  double share = std::max(containers, 1.0);
+  double io_seconds = params_.task_temp_mb * share / medium_mbps;
+
+  return cpu_seconds + io_seconds;
+}
+
+double PerfModel::TasksPerHour(double containers, double task_latency_seconds) const {
+  if (task_latency_seconds <= 0.0) return 0.0;
+  return containers * kSecondsPerHour / task_latency_seconds;
+}
+
+double PerfModel::DataReadMbPerHour(double tasks_per_hour) const {
+  return tasks_per_hour * params_.task_input_mb;
+}
+
+double PerfModel::PowerWatts(SkuId sku, double utilization, double cap_fraction,
+                             bool feature_enabled) const {
+  const SkuSpec& spec = catalog_.spec(sku);
+  double dynamic = spec.peak_watts - spec.idle_watts;
+  if (feature_enabled) dynamic *= params_.feature_power_discount;
+  double load = std::pow(utilization, params_.power_util_exponent);
+  double uncapped = spec.idle_watts + dynamic * load;
+  if (cap_fraction <= 0.0) return uncapped;
+  return std::min(uncapped, CapWatts(sku, cap_fraction));
+}
+
+double PerfModel::CoresUsed(SkuId sku, double utilization) const {
+  return utilization * static_cast<double>(catalog_.spec(sku).cores);
+}
+
+double PerfModel::SsdUsedGb(double cores_used, double slope_gb_per_core) const {
+  return params_.ssd_base_gb + slope_gb_per_core * cores_used;
+}
+
+double PerfModel::RamUsedGb(double cores_used, double slope_gb_per_core) const {
+  return params_.ram_base_gb + slope_gb_per_core * cores_used;
+}
+
+double PerfModel::NetworkUsedMbps(double cores_used,
+                                  double slope_mbps_per_core) const {
+  return params_.nic_base_mbps + slope_mbps_per_core * cores_used;
+}
+
+}  // namespace kea::sim

@@ -1,0 +1,140 @@
+#ifndef KEA_SIM_PERF_MODEL_H_
+#define KEA_SIM_PERF_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sku.h"
+#include "sim/types.h"
+
+namespace kea::sim {
+
+/// Ground-truth machine performance model. This encodes "how the hardware
+/// actually behaves" — the relationships KEA's What-if Engine must *learn*
+/// from telemetry. KEA code never calls into this class; only the simulator
+/// engines do.
+///
+/// Relationships implemented (see DESIGN.md):
+///  - running containers -> CPU utilization          (learned as g_k, Eq. 1)
+///  - utilization        -> tasks finished per hour  (learned as h_k, Eq. 3)
+///  - utilization        -> average task latency     (learned as f_k, Eq. 5)
+///  - cores used         -> SSD / RAM usage          (learned as p, q; Eq. 11-12)
+///  - utilization        -> power draw; power caps throttle core frequency
+class PerfModel {
+ public:
+  struct Params {
+    /// Average CPU demand of one running container, in cores.
+    double cores_per_container = 2.0;
+
+    /// CPU work of an average task in core-seconds at reference speed 1.0.
+    double task_cpu_work = 80.0;
+
+    /// Input bytes read per task (drives "Total Data Read"), in MB.
+    double task_input_mb = 600.0;
+
+    /// Local temp-store traffic per task, in MB. SC1 serves it from HDD,
+    /// SC2 from SSD (Section 7.1).
+    double task_temp_mb = 220.0;
+
+    /// Quadratic interference coefficient: latency multiplier is
+    /// (1 + interference * util^2).
+    double interference = 0.65;
+
+    /// Processor "Feature" (Section 7.2): effective speed multiplier when
+    /// enabled, and multiplier on dynamic power.
+    double feature_speed_boost = 1.05;
+    double feature_power_discount = 0.94;
+
+    /// Exponent relating the required power reduction to the frequency
+    /// reduction under capping (frequency/voltage scaling).
+    double power_elasticity = 0.85;
+
+    /// Dynamic power is concave in utilization: P = idle + dyn * util^e with
+    /// e < 1 (low-load frequency boosting draws disproportionate power).
+    /// This is why the original conservative provisioning is wasteful and
+    /// why moderate caps start to bind at realistic utilizations (Fig. 15).
+    double power_util_exponent = 0.6;
+
+    /// Baseline (cores-independent) SSD and RAM usage in GB, and mean /
+    /// stddev of the per-core usage slopes. The SKU-design study (Section
+    /// 6.1) estimates these from telemetry.
+    double ssd_base_gb = 40.0;
+    double ssd_gb_per_core_mean = 6.0;
+    double ssd_gb_per_core_stddev = 1.2;
+    double ram_base_gb = 10.0;
+    double ram_gb_per_core_mean = 3.2;
+    double ram_gb_per_core_stddev = 0.7;
+
+    /// Network usage model (Section 6.2 extends the same methodology to
+    /// "other resources utilization, such as network bandwidth").
+    double nic_base_mbps = 150.0;
+    double nic_mbps_per_core_mean = 45.0;
+    double nic_mbps_per_core_stddev = 12.0;
+  };
+
+  /// Builds a model over the given catalogs. `software_configs` must be
+  /// non-empty.
+  static StatusOr<PerfModel> Create(SkuCatalog catalog, std::vector<ScSpec> software_configs,
+                                    Params params);
+
+  /// Same with default params; the default catalog is always valid.
+  static PerfModel CreateDefault();
+
+  const SkuCatalog& catalog() const { return catalog_; }
+  const std::vector<ScSpec>& software_configs() const { return software_configs_; }
+  const Params& params() const { return params_; }
+
+  /// CPU utilization in [0, 1] when `containers` run simultaneously on the
+  /// SKU (deterministic part; engines add observation noise).
+  double Utilization(SkuId sku, double containers) const;
+
+  /// Core-speed multiplier in (0, 1] implied by a power cap.
+  /// `cap_fraction` is the fraction *below* the provisioned level (0 = no
+  /// capping, 0.2 = capped 20% below provisioned), matching the paper's
+  /// "% below current provision level" tuning parameter.
+  double ThrottleFactor(SkuId sku, double utilization, double cap_fraction,
+                        bool feature_enabled) const;
+
+  /// Mean task latency in seconds for a machine of the group at the given
+  /// utilization and container count.
+  double TaskLatencySeconds(MachineGroupKey group, double utilization,
+                            double containers, double cap_fraction,
+                            bool feature_enabled) const;
+
+  /// Tasks finished per hour given the container count and mean latency.
+  double TasksPerHour(double containers, double task_latency_seconds) const;
+
+  /// Bytes read per machine-hour in MB, given tasks finished per hour.
+  double DataReadMbPerHour(double tasks_per_hour) const;
+
+  /// Electrical power draw in watts at the given utilization (after the cap
+  /// is applied, draw never exceeds the cap).
+  double PowerWatts(SkuId sku, double utilization, double cap_fraction,
+                    bool feature_enabled) const;
+
+  /// Cap in watts implied by `cap_fraction` below provisioned power.
+  double CapWatts(SkuId sku, double cap_fraction) const;
+
+  /// Number of cores busy at the given utilization.
+  double CoresUsed(SkuId sku, double utilization) const;
+
+  /// SSD / RAM usage in GB when `cores_used` cores are busy, with the given
+  /// per-core slope draw (pass the mean for the deterministic value).
+  double SsdUsedGb(double cores_used, double slope_gb_per_core) const;
+  double RamUsedGb(double cores_used, double slope_gb_per_core) const;
+  double NetworkUsedMbps(double cores_used, double slope_mbps_per_core) const;
+
+ private:
+  PerfModel(SkuCatalog catalog, std::vector<ScSpec> software_configs, Params params)
+      : catalog_(std::move(catalog)),
+        software_configs_(std::move(software_configs)),
+        params_(params) {}
+
+  SkuCatalog catalog_;
+  std::vector<ScSpec> software_configs_;
+  Params params_;
+};
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_PERF_MODEL_H_

@@ -1,0 +1,64 @@
+#include "sim/sku.h"
+
+namespace kea::sim {
+
+SkuCatalog SkuCatalog::Default() {
+  // Six generations spanning a decade of hardware. Numbers are synthetic but
+  // ordered like real fleet evolution: core counts and speeds grow, HDD
+  // bandwidth stagnates while SSD bandwidth grows.
+  std::vector<SkuSpec> specs = {
+      // name, cores, ram, ssd, speed, hdd, ssd_bw, idle, peak, provisioned
+      // HDD bandwidth grows with machine size (more spindles per chassis);
+      // SSD bandwidth grows faster across generations.
+      {"Gen1.1", 16, 64.0, 240.0, 0.60, 120.0, 350.0, 90.0, 280.0, 294.0},
+      {"Gen2.1", 24, 96.0, 480.0, 0.72, 170.0, 500.0, 95.0, 320.0, 336.0},
+      {"Gen2.2", 24, 128.0, 480.0, 0.78, 180.0, 520.0, 95.0, 330.0, 346.5},
+      {"Gen3.1", 32, 192.0, 960.0, 0.88, 260.0, 900.0, 100.0, 380.0, 399.0},
+      {"Gen3.2", 48, 256.0, 1200.0, 1.00, 380.0, 1100.0, 105.0, 420.0, 441.0},
+      {"Gen4.1", 64, 384.0, 1920.0, 1.18, 520.0, 1600.0, 110.0, 480.0, 504.0},
+  };
+  auto catalog = Create(std::move(specs));
+  // The default catalog is well-formed by construction.
+  return std::move(catalog).value();
+}
+
+StatusOr<SkuCatalog> SkuCatalog::Create(std::vector<SkuSpec> specs) {
+  if (specs.empty()) return Status::InvalidArgument("empty SKU catalog");
+  for (const auto& s : specs) {
+    if (s.name.empty()) return Status::InvalidArgument("SKU with empty name");
+    if (s.cores <= 0) return Status::InvalidArgument(s.name + ": cores must be positive");
+    if (s.core_speed <= 0.0) {
+      return Status::InvalidArgument(s.name + ": core_speed must be positive");
+    }
+    if (s.ram_gb <= 0.0 || s.ssd_gb < 0.0) {
+      return Status::InvalidArgument(s.name + ": invalid memory sizes");
+    }
+    if (s.hdd_mbps <= 0.0 || s.ssd_mbps <= 0.0) {
+      return Status::InvalidArgument(s.name + ": invalid I/O bandwidth");
+    }
+    if (s.peak_watts <= s.idle_watts || s.idle_watts <= 0.0) {
+      return Status::InvalidArgument(s.name + ": invalid power envelope");
+    }
+    if (s.provisioned_watts < s.peak_watts) {
+      return Status::InvalidArgument(s.name +
+                                     ": provisioned power below peak draw");
+    }
+  }
+  return SkuCatalog(std::move(specs));
+}
+
+StatusOr<SkuId> SkuCatalog::FindByName(const std::string& name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return static_cast<SkuId>(i);
+  }
+  return Status::NotFound("SKU not found: " + name);
+}
+
+std::vector<ScSpec> DefaultSoftwareConfigs() {
+  return {
+      {"SC1", /*temp_store_on_ssd=*/false},
+      {"SC2", /*temp_store_on_ssd=*/true},
+  };
+}
+
+}  // namespace kea::sim

@@ -1,0 +1,79 @@
+#ifndef KEA_SIM_SKU_H_
+#define KEA_SIM_SKU_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/types.h"
+
+namespace kea::sim {
+
+/// Hardware description of one machine generation. Cosmos operates 20+
+/// generations; the default catalog models six representative ones
+/// (Gen 1.1 ... Gen 4.1), matching the generations shown in Figures 2 and 9.
+struct SkuSpec {
+  std::string name;
+
+  int cores = 0;
+  double ram_gb = 0.0;
+  double ssd_gb = 0.0;
+
+  /// Per-core speed relative to the reference generation (Gen 3.2 = 1.0).
+  /// Older generations are slower; their tasks dominate job critical paths
+  /// (Figure 5).
+  double core_speed = 1.0;
+
+  /// Sequential I/O bandwidth of the local HDD array / SSD in MB/s. The SC1
+  /// vs SC2 experiment (Section 7.1) is about which medium hosts the local
+  /// temp store.
+  double hdd_mbps = 0.0;
+  double ssd_mbps = 0.0;
+
+  /// Power envelope: watts at idle and at 100% CPU utilization.
+  double idle_watts = 0.0;
+  double peak_watts = 0.0;
+
+  /// Provisioned power before capping; the original conservative limit the
+  /// power-capping application (Section 7.2) reduces.
+  double provisioned_watts = 0.0;
+};
+
+/// An immutable, indexable collection of SKU specs.
+class SkuCatalog {
+ public:
+  /// The default six-generation catalog used by examples/benches. Older
+  /// generations have fewer, slower cores; newer generations are faster and
+  /// larger, mirroring Figure 2.
+  static SkuCatalog Default();
+
+  /// Builds a catalog from explicit specs; returns InvalidArgument when empty
+  /// or when a spec is malformed (non-positive cores/speed, peak < idle...).
+  static StatusOr<SkuCatalog> Create(std::vector<SkuSpec> specs);
+
+  size_t size() const { return specs_.size(); }
+  const SkuSpec& spec(SkuId id) const { return specs_[static_cast<size_t>(id)]; }
+
+  /// Finds a SKU by name; NotFound if absent.
+  StatusOr<SkuId> FindByName(const std::string& name) const;
+
+  const std::vector<SkuSpec>& specs() const { return specs_; }
+
+ private:
+  explicit SkuCatalog(std::vector<SkuSpec> specs) : specs_(std::move(specs)) {}
+  std::vector<SkuSpec> specs_;
+};
+
+/// Software configuration: the mapping of the local temp store to physical
+/// media (Section 7.1). SC1 = temp on HDD, SC2 = temp on SSD.
+struct ScSpec {
+  std::string name;
+  bool temp_store_on_ssd = false;
+};
+
+/// The two software configurations studied in the paper.
+std::vector<ScSpec> DefaultSoftwareConfigs();
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_SKU_H_

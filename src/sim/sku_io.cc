@@ -1,0 +1,98 @@
+#include "sim/sku_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace kea::sim {
+
+namespace {
+
+const char* const kColumns[] = {"name",     "cores",    "ram_gb",
+                                "ssd_gb",   "core_speed", "hdd_mbps",
+                                "ssd_mbps", "idle_watts", "peak_watts",
+                                "provisioned_watts"};
+
+StatusOr<double> ParseDouble(const std::string& cell, const std::string& column) {
+  char* end = nullptr;
+  double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') {
+    return Status::InvalidArgument("unparsable number '" + cell + "' in column " +
+                                   column);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string SkuCatalogToCsv(const SkuCatalog& catalog) {
+  CsvWriter writer;
+  std::vector<std::string> header(std::begin(kColumns), std::end(kColumns));
+  writer.SetHeader(header);
+  for (const SkuSpec& s : catalog.specs()) {
+    auto d = [](double v) { return std::to_string(v); };
+    (void)writer.AppendRow({s.name, std::to_string(s.cores), d(s.ram_gb),
+                            d(s.ssd_gb), d(s.core_speed), d(s.hdd_mbps),
+                            d(s.ssd_mbps), d(s.idle_watts), d(s.peak_watts),
+                            d(s.provisioned_watts)});
+  }
+  return writer.ToString();
+}
+
+StatusOr<SkuCatalog> SkuCatalogFromCsv(const std::string& csv_text) {
+  KEA_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(csv_text));
+
+  std::vector<int> column_index;
+  for (const char* column : kColumns) {
+    int index = table.ColumnIndex(column);
+    if (index < 0) {
+      return Status::InvalidArgument(std::string("missing column: ") + column);
+    }
+    column_index.push_back(index);
+  }
+
+  std::vector<SkuSpec> specs;
+  for (const auto& row : table.rows) {
+    SkuSpec s;
+    s.name = row[static_cast<size_t>(column_index[0])];
+    auto cell = [&](int i) { return row[static_cast<size_t>(column_index[i])]; };
+    KEA_ASSIGN_OR_RETURN(double cores, ParseDouble(cell(1), "cores"));
+    s.cores = static_cast<int>(cores);
+    KEA_ASSIGN_OR_RETURN(s.ram_gb, ParseDouble(cell(2), "ram_gb"));
+    KEA_ASSIGN_OR_RETURN(s.ssd_gb, ParseDouble(cell(3), "ssd_gb"));
+    KEA_ASSIGN_OR_RETURN(s.core_speed, ParseDouble(cell(4), "core_speed"));
+    KEA_ASSIGN_OR_RETURN(s.hdd_mbps, ParseDouble(cell(5), "hdd_mbps"));
+    KEA_ASSIGN_OR_RETURN(s.ssd_mbps, ParseDouble(cell(6), "ssd_mbps"));
+    KEA_ASSIGN_OR_RETURN(s.idle_watts, ParseDouble(cell(7), "idle_watts"));
+    KEA_ASSIGN_OR_RETURN(s.peak_watts, ParseDouble(cell(8), "peak_watts"));
+    KEA_ASSIGN_OR_RETURN(s.provisioned_watts,
+                         ParseDouble(cell(9), "provisioned_watts"));
+    specs.push_back(std::move(s));
+  }
+  return SkuCatalog::Create(std::move(specs));
+}
+
+Status SaveSkuCatalog(const SkuCatalog& catalog, const std::string& path) {
+  CsvWriter writer;
+  // Reuse the serialized text through the generic file writer.
+  std::string text = SkuCatalogToCsv(catalog);
+  KEA_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(text));
+  writer.SetHeader(table.header);
+  for (const auto& row : table.rows) {
+    KEA_RETURN_IF_ERROR(writer.AppendRow(row));
+  }
+  return writer.WriteFile(path);
+}
+
+StatusOr<SkuCatalog> LoadSkuCatalog(const std::string& path) {
+  KEA_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  // Rebuild the text for the shared parser.
+  CsvWriter writer;
+  writer.SetHeader(table.header);
+  for (const auto& row : table.rows) {
+    KEA_RETURN_IF_ERROR(writer.AppendRow(row));
+  }
+  return SkuCatalogFromCsv(writer.ToString());
+}
+
+}  // namespace kea::sim

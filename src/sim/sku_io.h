@@ -1,0 +1,27 @@
+#ifndef KEA_SIM_SKU_IO_H_
+#define KEA_SIM_SKU_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/sku.h"
+
+namespace kea::sim {
+
+/// Serializes a SKU catalog as CSV (one row per hardware generation) so
+/// operators can review and version fleet descriptions alongside
+/// configuration.
+std::string SkuCatalogToCsv(const SkuCatalog& catalog);
+
+/// Parses a catalog from CSV produced by SkuCatalogToCsv (or hand-written
+/// with the same header). Returns InvalidArgument on unknown/missing columns
+/// or unparsable numbers, and propagates SkuCatalog::Create validation.
+StatusOr<SkuCatalog> SkuCatalogFromCsv(const std::string& csv_text);
+
+/// Convenience file wrappers.
+Status SaveSkuCatalog(const SkuCatalog& catalog, const std::string& path);
+StatusOr<SkuCatalog> LoadSkuCatalog(const std::string& path);
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_SKU_IO_H_

@@ -1,0 +1,87 @@
+#include "sim/workload.h"
+
+#include <cmath>
+
+namespace kea::sim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+WorkloadSpec WorkloadSpec::Default() {
+  WorkloadSpec spec;
+  spec.task_types = {
+      {"extract", 0.7, 1.6, 0.8, 0.35},
+      {"process", 1.3, 0.8, 1.2, 0.30},
+      {"aggregate", 1.1, 0.7, 1.4, 0.20},
+      {"output", 0.6, 0.4, 0.6, 0.15},
+  };
+  return spec;
+}
+
+StatusOr<WorkloadModel> WorkloadModel::Create(WorkloadSpec spec) {
+  if (spec.task_types.empty()) {
+    return Status::InvalidArgument("workload needs at least one task type");
+  }
+  if (spec.base_demand_fraction <= 0.0) {
+    return Status::InvalidArgument("base demand must be positive");
+  }
+  if (spec.diurnal_amplitude < 0.0 || spec.diurnal_amplitude >= 1.0) {
+    return Status::InvalidArgument("diurnal amplitude must be in [0, 1)");
+  }
+  if (spec.weekend_factor <= 0.0) {
+    return Status::InvalidArgument("weekend factor must be positive");
+  }
+  if (spec.weekly_growth <= -1.0) {
+    return Status::InvalidArgument("weekly growth must exceed -100%");
+  }
+  for (const auto& t : spec.task_types) {
+    if (t.weight <= 0.0) {
+      return Status::InvalidArgument("task type weight must be positive: " + t.name);
+    }
+    if (t.cpu_work_multiplier <= 0.0 || t.input_mb_multiplier < 0.0 ||
+        t.temp_mb_multiplier < 0.0) {
+      return Status::InvalidArgument("invalid multipliers for task type " + t.name);
+    }
+  }
+  return WorkloadModel(std::move(spec));
+}
+
+WorkloadModel WorkloadModel::CreateDefault() {
+  auto model = Create(WorkloadSpec::Default());
+  return std::move(model).value();
+}
+
+WorkloadModel::WorkloadModel(WorkloadSpec spec) : spec_(std::move(spec)) {
+  weights_.reserve(spec_.task_types.size());
+  for (const auto& t : spec_.task_types) weights_.push_back(t.weight);
+}
+
+double WorkloadModel::SeasonalDemandFraction(HourIndex hour) const {
+  double hour_of_day = static_cast<double>(hour % kHoursPerDay);
+  int day_of_week = (hour / kHoursPerDay) % 7;
+
+  double phase = 2.0 * kPi * (hour_of_day - spec_.peak_hour) / 24.0;
+  double diurnal = 1.0 + spec_.diurnal_amplitude * std::cos(phase);
+  double weekly = (day_of_week >= 5) ? spec_.weekend_factor : 1.0;
+  double growth = spec_.weekly_growth != 0.0
+                      ? std::pow(1.0 + spec_.weekly_growth,
+                                 static_cast<double>(hour) / kHoursPerWeek)
+                      : 1.0;
+  return spec_.base_demand_fraction * diurnal * weekly * growth;
+}
+
+double WorkloadModel::DemandContainers(HourIndex hour, double baseline_slots,
+                                       Rng* rng) const {
+  double fraction = SeasonalDemandFraction(hour);
+  if (rng != nullptr && spec_.demand_noise_sigma > 0.0) {
+    fraction *= rng->LogNormal(0.0, spec_.demand_noise_sigma);
+  }
+  return fraction * baseline_slots;
+}
+
+size_t WorkloadModel::SampleTaskType(Rng* rng) const {
+  return rng->Categorical(weights_);
+}
+
+}  // namespace kea::sim

@@ -1,0 +1,87 @@
+#ifndef KEA_SIM_WORKLOAD_H_
+#define KEA_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/types.h"
+
+namespace kea::sim {
+
+/// A class of tasks in the SCOPE-like workload (extract, process, aggregate,
+/// output...). Multipliers scale the PerfModel's average task parameters.
+struct TaskType {
+  std::string name;
+  double cpu_work_multiplier = 1.0;
+  double input_mb_multiplier = 1.0;
+  double temp_mb_multiplier = 1.0;
+  /// Relative frequency in the task mix.
+  double weight = 1.0;
+};
+
+/// Cluster-wide offered load with diurnal and weekly seasonality — the "long
+/// windows of observation" problem of Section 1 in miniature. Demand is
+/// expressed as a fraction of the cluster's *baseline* container capacity so
+/// configuration changes alter how the demand is absorbed, not the demand
+/// itself.
+struct WorkloadSpec {
+  /// Mean demand as a fraction of baseline container slots. Values slightly
+  /// above 1 keep the cluster demand-bound, so extra container slots convert
+  /// into sellable capacity (the paper's headline metric).
+  double base_demand_fraction = 1.02;
+
+  /// Peak-to-mean amplitude of the diurnal sine.
+  double diurnal_amplitude = 0.16;
+
+  /// Hour of day (0-23) at which demand peaks.
+  double peak_hour = 14.0;
+
+  /// Demand multiplier applied on Saturday/Sunday.
+  double weekend_factor = 0.86;
+
+  /// Multiplicative lognormal noise sigma on the hourly demand.
+  double demand_noise_sigma = 0.03;
+
+  /// Organic demand growth per week (compounded), e.g. 0.01 = +1%/week.
+  /// Drives the capacity-planning application ("how much memory to use for
+  /// future machines", when does the cluster run out of capacity).
+  double weekly_growth = 0.0;
+
+  /// The task mix. Uniform random placement of this mix across machines is
+  /// what justifies abstraction Levels IV-V (Figure 6).
+  std::vector<TaskType> task_types;
+
+  static WorkloadSpec Default();
+};
+
+/// Samples hour-by-hour demand and task types.
+class WorkloadModel {
+ public:
+  /// Returns InvalidArgument for malformed specs (empty task mix, negative
+  /// amplitudes...).
+  static StatusOr<WorkloadModel> Create(WorkloadSpec spec);
+  static WorkloadModel CreateDefault();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Deterministic seasonal demand fraction at `hour` (no noise).
+  double SeasonalDemandFraction(HourIndex hour) const;
+
+  /// Noisy demand in container-slots given the baseline capacity.
+  double DemandContainers(HourIndex hour, double baseline_slots, Rng* rng) const;
+
+  /// Samples a task type index according to the mix weights.
+  size_t SampleTaskType(Rng* rng) const;
+
+ private:
+  explicit WorkloadModel(WorkloadSpec spec);
+
+  WorkloadSpec spec_;
+  std::vector<double> weights_;
+};
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_WORKLOAD_H_

@@ -1,0 +1,244 @@
+#include "telemetry/perf_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+namespace kea::telemetry {
+
+StatusOr<std::map<sim::MachineGroupKey, GroupMetrics>>
+PerformanceMonitor::GroupMetricsByKey(const RecordFilter& filter) const {
+  auto grouped = store_->GroupByKey(filter);
+  if (grouped.empty()) {
+    return Status::FailedPrecondition("no telemetry records match the filter");
+  }
+  std::map<sim::MachineGroupKey, GroupMetrics> out;
+  for (const auto& [key, records] : grouped) {
+    GroupMetrics m;
+    m.group = key;
+    m.machine_hours = records.size();
+
+    std::unordered_set<int> machines;
+    double sum_containers = 0.0, sum_util = 0.0, sum_tasks = 0.0, sum_data = 0.0;
+    double sum_latency_weighted = 0.0;
+    double sum_exec_seconds = 0.0, sum_cpu_seconds = 0.0;
+    double sum_queued = 0.0, sum_power = 0.0;
+    std::vector<double> queue_latencies;
+    queue_latencies.reserve(records.size());
+
+    for (const auto& r : records) {
+      machines.insert(r.machine_id);
+      sum_containers += r.avg_running_containers;
+      sum_util += r.cpu_utilization;
+      sum_tasks += r.tasks_finished;
+      sum_data += r.data_read_mb;
+      sum_latency_weighted += r.avg_task_latency_s * r.tasks_finished;
+      sum_exec_seconds += r.avg_task_latency_s * r.tasks_finished;
+      sum_cpu_seconds += r.cpu_time_core_s;
+      sum_queued += r.queued_containers;
+      sum_power += r.power_watts;
+      queue_latencies.push_back(r.queue_latency_ms);
+    }
+    double n = static_cast<double>(records.size());
+    m.num_machines = static_cast<int>(machines.size());
+    m.avg_running_containers = sum_containers / n;
+    m.avg_cpu_utilization = sum_util / n;
+    m.avg_tasks_per_hour = sum_tasks / n;
+    m.avg_data_read_mb_per_hour = sum_data / n;
+    m.avg_task_latency_s = sum_tasks > 0.0 ? sum_latency_weighted / sum_tasks : 0.0;
+    m.bytes_per_second = sum_exec_seconds > 0.0 ? sum_data / sum_exec_seconds : 0.0;
+    m.bytes_per_cpu_time = sum_cpu_seconds > 0.0 ? sum_data / sum_cpu_seconds : 0.0;
+    m.avg_queued_containers = sum_queued / n;
+    m.avg_power_watts = sum_power / n;
+
+    std::sort(queue_latencies.begin(), queue_latencies.end());
+    size_t p99 = static_cast<size_t>(0.99 * static_cast<double>(queue_latencies.size()));
+    p99 = std::min(p99, queue_latencies.size() - 1);
+    m.p99_queue_latency_ms = queue_latencies[p99];
+
+    out[key] = m;
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::pair<sim::HourIndex, double>>>
+PerformanceMonitor::HourlyClusterUtilization(const RecordFilter& filter) const {
+  std::map<sim::HourIndex, std::pair<double, size_t>> by_hour;
+  for (const auto& r : store_->records()) {
+    if (filter && !filter(r)) continue;
+    auto& [sum, count] = by_hour[r.hour];
+    sum += r.cpu_utilization;
+    ++count;
+  }
+  if (by_hour.empty()) {
+    return Status::FailedPrecondition("no telemetry records match the filter");
+  }
+  std::vector<std::pair<sim::HourIndex, double>> out;
+  out.reserve(by_hour.size());
+  for (const auto& [hour, agg] : by_hour) {
+    out.emplace_back(hour, agg.first / static_cast<double>(agg.second));
+  }
+  return out;
+}
+
+std::vector<ScatterPoint> PerformanceMonitor::UtilizationThroughputScatter(
+    size_t max_points, const RecordFilter& filter) const {
+  std::vector<ScatterPoint> points;
+  const auto& records = store_->records();
+  size_t matching = 0;
+  for (const auto& r : records) {
+    if (filter && !filter(r)) continue;
+    ++matching;
+  }
+  if (matching == 0) return points;
+  size_t stride = std::max<size_t>(1, matching / std::max<size_t>(1, max_points));
+  size_t index = 0;
+  for (const auto& r : records) {
+    if (filter && !filter(r)) continue;
+    if (index++ % stride != 0) continue;
+    ScatterPoint p;
+    p.x = r.cpu_utilization;
+    p.y = r.data_read_mb;
+    p.group = r.group();
+    points.push_back(p);
+  }
+  return points;
+}
+
+StatusOr<double> PerformanceMonitor::ClusterAverageTaskLatency(
+    const RecordFilter& filter) const {
+  double weighted = 0.0, tasks = 0.0;
+  for (const auto& r : store_->records()) {
+    if (filter && !filter(r)) continue;
+    weighted += r.avg_task_latency_s * r.tasks_finished;
+    tasks += r.tasks_finished;
+  }
+  if (tasks <= 0.0) {
+    return Status::FailedPrecondition("no finished tasks in the filtered telemetry");
+  }
+  return weighted / tasks;
+}
+
+double PerformanceMonitor::TotalDataReadMb(const RecordFilter& filter) const {
+  double total = 0.0;
+  for (const auto& r : store_->records()) {
+    if (filter && !filter(r)) continue;
+    total += r.data_read_mb;
+  }
+  return total;
+}
+
+double PerformanceMonitor::TotalTasksFinished(const RecordFilter& filter) const {
+  double total = 0.0;
+  for (const auto& r : store_->records()) {
+    if (filter && !filter(r)) continue;
+    total += r.tasks_finished;
+  }
+  return total;
+}
+
+RecordFilter HourRangeFilter(sim::HourIndex begin, sim::HourIndex end) {
+  return [begin, end](const MachineHourRecord& r) {
+    return r.hour >= begin && r.hour < end;
+  };
+}
+
+RecordFilter MachineSetFilter(std::vector<int> machine_ids) {
+  auto set = std::make_shared<std::unordered_set<int>>(machine_ids.begin(),
+                                                       machine_ids.end());
+  return [set](const MachineHourRecord& r) { return set->count(r.machine_id) > 0; };
+}
+
+RecordFilter GroupFilter(sim::MachineGroupKey key) {
+  return [key](const MachineHourRecord& r) { return r.group() == key; };
+}
+
+RecordFilter AndFilter(RecordFilter a, RecordFilter b) {
+  return [a = std::move(a), b = std::move(b)](const MachineHourRecord& r) {
+    return (!a || a(r)) && (!b || b(r));
+  };
+}
+
+std::vector<MachineHourRecord> RollUpDaily(const TelemetryStore& store,
+                                           const RecordFilter& filter) {
+  // (machine, day) -> accumulated record + hour count.
+  std::map<std::pair<int, int>, std::pair<MachineHourRecord, int>> days;
+  for (const auto& r : store.records()) {
+    if (filter && !filter(r)) continue;
+    int day = r.hour / sim::kHoursPerDay;
+    auto [it, inserted] = days.try_emplace({r.machine_id, day});
+    MachineHourRecord& acc = it->second.first;
+    if (inserted) {
+      acc = r;
+      acc.hour = day;
+      // Convert the mean-latency field to total execution seconds while
+      // accumulating; divided back out at the end.
+      acc.avg_task_latency_s = r.avg_task_latency_s * r.tasks_finished;
+      it->second.second = 1;
+      continue;
+    }
+    acc.avg_running_containers += r.avg_running_containers;
+    acc.cpu_utilization += r.cpu_utilization;
+    acc.tasks_finished += r.tasks_finished;
+    acc.data_read_mb += r.data_read_mb;
+    acc.avg_task_latency_s += r.avg_task_latency_s * r.tasks_finished;
+    acc.cpu_time_core_s += r.cpu_time_core_s;
+    acc.queued_containers += r.queued_containers;
+    acc.queue_latency_ms += r.queue_latency_ms;
+    acc.rejected_containers += r.rejected_containers;
+    acc.cores_used += r.cores_used;
+    acc.ssd_used_gb += r.ssd_used_gb;
+    acc.ram_used_gb += r.ram_used_gb;
+    acc.network_used_mbps += r.network_used_mbps;
+    acc.power_watts += r.power_watts;
+    it->second.second += 1;
+  }
+
+  std::vector<MachineHourRecord> out;
+  out.reserve(days.size());
+  for (auto& [key, entry] : days) {
+    MachineHourRecord& acc = entry.first;
+    double hours = static_cast<double>(entry.second);
+    // Level metrics back to time averages.
+    acc.avg_running_containers /= hours;
+    acc.cpu_utilization /= hours;
+    acc.queued_containers /= hours;
+    acc.queue_latency_ms /= hours;
+    acc.cores_used /= hours;
+    acc.ssd_used_gb /= hours;
+    acc.ram_used_gb /= hours;
+    acc.network_used_mbps /= hours;
+    acc.power_watts /= hours;
+    // Task-weighted mean latency.
+    acc.avg_task_latency_s =
+        acc.tasks_finished > 0.0 ? acc.avg_task_latency_s / acc.tasks_finished : 0.0;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<MachineHourRecord> ScreenRecords(const std::vector<MachineHourRecord>& records,
+                                             size_t* dropped) {
+  std::vector<MachineHourRecord> clean;
+  clean.reserve(records.size());
+  size_t bad = 0;
+  for (const auto& r : records) {
+    bool ok = std::isfinite(r.cpu_utilization) && r.cpu_utilization >= 0.0 &&
+              r.cpu_utilization <= 1.0 && std::isfinite(r.avg_running_containers) &&
+              r.avg_running_containers >= 0.0 && std::isfinite(r.tasks_finished) &&
+              r.tasks_finished >= 0.0 && std::isfinite(r.data_read_mb) &&
+              r.data_read_mb >= 0.0 && std::isfinite(r.avg_task_latency_s) &&
+              r.avg_task_latency_s >= 0.0 &&
+              !(r.tasks_finished <= 0.0 && r.avg_task_latency_s > 0.0);
+    if (ok) {
+      clean.push_back(r);
+    } else {
+      ++bad;
+    }
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return clean;
+}
+
+}  // namespace kea::telemetry

@@ -1,0 +1,60 @@
+#ifndef KEA_TELEMETRY_STORE_H_
+#define KEA_TELEMETRY_STORE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/record.h"
+
+namespace kea::telemetry {
+
+/// Predicate over machine-hour records used by queries.
+using RecordFilter = std::function<bool(const MachineHourRecord&)>;
+
+/// In-memory column-agnostic store of machine-hour telemetry. In production
+/// this is the output of the daily data-orchestration pipeline; here the
+/// simulation engines append into it and KEA's performance monitor queries
+/// it.
+class TelemetryStore {
+ public:
+  void Append(const MachineHourRecord& record) { records_.push_back(record); }
+  void AppendAll(const std::vector<MachineHourRecord>& records);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<MachineHourRecord>& records() const { return records_; }
+
+  /// Returns the records matching `filter` (all records when filter is null).
+  std::vector<MachineHourRecord> Query(const RecordFilter& filter) const;
+
+  /// Returns records grouped by SC-SKU combination.
+  std::map<sim::MachineGroupKey, std::vector<MachineHourRecord>> GroupByKey(
+      const RecordFilter& filter = nullptr) const;
+
+  /// Extracts one numeric field from each matching record.
+  std::vector<double> Extract(const std::function<double(const MachineHourRecord&)>& field,
+                              const RecordFilter& filter = nullptr) const;
+
+  /// Hour range covered by the store: [min_hour, max_hour]. Returns
+  /// FailedPrecondition when empty.
+  StatusOr<std::pair<sim::HourIndex, sim::HourIndex>> HourRange() const;
+
+  /// Serializes all records as CSV text (header + rows).
+  std::string ToCsv() const;
+
+  /// Parses a store from CSV produced by ToCsv (or an external trace with
+  /// the same header). Returns InvalidArgument on unknown columns or
+  /// unparsable numbers.
+  static StatusOr<TelemetryStore> FromCsv(const std::string& text);
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<MachineHourRecord> records_;
+};
+
+}  // namespace kea::telemetry
+
+#endif  // KEA_TELEMETRY_STORE_H_

@@ -1,0 +1,96 @@
+#include "apps/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::apps {
+namespace {
+
+/// Simulates a cluster whose demand grows week over week.
+struct GrowthFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  explicit GrowthFixture(double weekly_growth, int weeks = 4, int machines = 300,
+                         double base_demand = 0.85) {
+    sim::WorkloadSpec wspec = sim::WorkloadSpec::Default();
+    wspec.weekly_growth = weekly_growth;
+    wspec.base_demand_fraction = base_demand;
+    workload = std::move(sim::WorkloadModel::Create(wspec)).value();
+
+    sim::ClusterSpec cspec = sim::ClusterSpec::Default();
+    cspec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), cspec)).value();
+
+    sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+    (void)engine.Run(0, weeks * sim::kHoursPerWeek, &store);
+  }
+};
+
+TEST(CapacityPlannerTest, Validation) {
+  GrowthFixture fx(0.0, 2);
+  CapacityPlanner planner;
+  EXPECT_FALSE(planner.Plan(fx.store, nullptr, 0.0, 16.0).ok());
+  EXPECT_FALSE(planner.Plan(fx.store, nullptr, 1000.0, 0.0).ok());
+
+  telemetry::TelemetryStore empty;
+  EXPECT_EQ(planner.Plan(empty, nullptr, 1000.0, 16.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CapacityPlannerTest, RecoversGrowthRate) {
+  GrowthFixture fx(0.02, 5);
+  CapacityPlanner planner;
+  double slots = static_cast<double>(fx.cluster.TotalContainerSlots());
+  auto report = planner.Plan(fx.store, nullptr, slots, 16.0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NEAR(report->weekly_growth, 0.02, 0.012);
+  EXPECT_LT(report->in_sample_mape, 0.10);
+}
+
+TEST(CapacityPlannerTest, GrowingDemandExhaustsCapacity) {
+  GrowthFixture fx(0.03, 4, 300, 0.9);
+  CapacityPlanner planner;
+  double slots = static_cast<double>(fx.cluster.TotalContainerSlots());
+  auto report = planner.Plan(fx.store, nullptr, slots, 16.0);
+  ASSERT_TRUE(report.ok());
+  // At +3%/week from 90% load, exhaustion lands within the 26-week horizon.
+  EXPECT_GE(report->hours_to_exhaustion, 0);
+  EXPECT_LT(report->hours_to_exhaustion, 26 * sim::kHoursPerWeek);
+  EXPECT_GT(report->extra_slots_needed, 0.0);
+  EXPECT_GT(report->extra_machines_needed, 0.0);
+}
+
+TEST(CapacityPlannerTest, FlatDemandNeverExhausts) {
+  GrowthFixture fx(0.0, 4, 300, 0.7);
+  CapacityPlanner::Options options;
+  options.horizon_weeks = 12;
+  CapacityPlanner planner(options);
+  double slots = static_cast<double>(fx.cluster.TotalContainerSlots());
+  auto report = planner.Plan(fx.store, nullptr, slots, 16.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->hours_to_exhaustion, -1);
+  EXPECT_DOUBLE_EQ(report->extra_machines_needed, 0.0);
+}
+
+TEST(CapacityPlannerTest, HigherGrowthExhaustsSooner) {
+  GrowthFixture slow(0.015, 4, 300, 0.9);
+  GrowthFixture fast(0.05, 4, 300, 0.9);
+  CapacityPlanner planner;
+  double slots_slow = static_cast<double>(slow.cluster.TotalContainerSlots());
+  double slots_fast = static_cast<double>(fast.cluster.TotalContainerSlots());
+  auto report_slow = planner.Plan(slow.store, nullptr, slots_slow, 16.0);
+  auto report_fast = planner.Plan(fast.store, nullptr, slots_fast, 16.0);
+  ASSERT_TRUE(report_slow.ok());
+  ASSERT_TRUE(report_fast.ok());
+  ASSERT_GE(report_fast->hours_to_exhaustion, 0);
+  if (report_slow->hours_to_exhaustion >= 0) {
+    EXPECT_LT(report_fast->hours_to_exhaustion, report_slow->hours_to_exhaustion);
+  }
+}
+
+}  // namespace
+}  // namespace kea::apps

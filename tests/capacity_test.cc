@@ -1,0 +1,79 @@
+#include "apps/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+namespace {
+
+telemetry::MachineHourRecord Rec(int machine, int hour, double containers,
+                                 double data, double tasks, double latency) {
+  telemetry::MachineHourRecord r;
+  r.machine_id = machine;
+  r.hour = hour;
+  r.avg_running_containers = containers;
+  r.data_read_mb = data;
+  r.tasks_finished = tasks;
+  r.avg_task_latency_s = latency;
+  return r;
+}
+
+TEST(CapacityConverterTest, ComputesGainFromWindows) {
+  telemetry::TelemetryStore store;
+  // Before (hours 0-9): 10 containers, 1000 MB, latency 20.
+  for (int h = 0; h < 10; ++h) store.Append(Rec(0, h, 10.0, 1000.0, 50.0, 20.0));
+  // After (hours 10-19): 2% more containers, 9% more data, same latency.
+  for (int h = 10; h < 20; ++h) store.Append(Rec(0, h, 10.2, 1090.0, 52.0, 20.0));
+
+  CapacityConverter::Options options;
+  options.fleet_machines = 300000.0;
+  options.machine_cost_usd_per_year = 4500.0;
+  CapacityConverter converter(options);
+  auto report = converter.FromWindows(store, telemetry::HourRangeFilter(0, 10),
+                                      telemetry::HourRangeFilter(10, 20));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NEAR(report->capacity_gain, 0.02, 1e-9);
+  EXPECT_NEAR(report->throughput_change, 0.09, 1e-9);
+  EXPECT_NEAR(report->latency_change, 0.0, 1e-12);
+  EXPECT_TRUE(report->latency_neutral);
+  // 2% of 300k machines at $4.5k/yr = $27M/yr: "tens of millions".
+  EXPECT_NEAR(report->equivalent_machines, 6000.0, 1e-6);
+  EXPECT_NEAR(report->dollars_per_year, 27e6, 1.0);
+}
+
+TEST(CapacityConverterTest, FlagsLatencyRegression) {
+  telemetry::TelemetryStore store;
+  for (int h = 0; h < 5; ++h) store.Append(Rec(0, h, 10.0, 1000.0, 50.0, 20.0));
+  for (int h = 5; h < 10; ++h) store.Append(Rec(0, h, 11.0, 1100.0, 50.0, 23.0));
+  CapacityConverter converter;
+  auto report = converter.FromWindows(store, telemetry::HourRangeFilter(0, 5),
+                                      telemetry::HourRangeFilter(5, 10));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->latency_neutral);
+  EXPECT_GT(report->latency_change, 0.1);
+}
+
+TEST(CapacityConverterTest, UnequalWindowLengthsNormalized) {
+  telemetry::TelemetryStore store;
+  for (int h = 0; h < 4; ++h) store.Append(Rec(0, h, 10.0, 1000.0, 50.0, 20.0));
+  for (int h = 4; h < 12; ++h) store.Append(Rec(0, h, 10.0, 1000.0, 50.0, 20.0));
+  CapacityConverter converter;
+  auto report = converter.FromWindows(store, telemetry::HourRangeFilter(0, 4),
+                                      telemetry::HourRangeFilter(4, 12));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->capacity_gain, 0.0, 1e-12);
+  EXPECT_NEAR(report->throughput_change, 0.0, 1e-12);
+}
+
+TEST(CapacityConverterTest, EmptyWindowFails) {
+  telemetry::TelemetryStore store;
+  for (int h = 0; h < 4; ++h) store.Append(Rec(0, h, 10.0, 1000.0, 50.0, 20.0));
+  CapacityConverter converter;
+  auto report = converter.FromWindows(store, telemetry::HourRangeFilter(0, 4),
+                                      telemetry::HourRangeFilter(100, 110));
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kea::apps

@@ -1,0 +1,171 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace kea::sim {
+namespace {
+
+Cluster BuildDefault(int machines = 400) {
+  ClusterSpec spec = ClusterSpec::Default();
+  spec.total_machines = machines;
+  auto cluster = Cluster::Build(SkuCatalog::Default(), spec);
+  return std::move(cluster).value();
+}
+
+TEST(ClusterBuildTest, TotalMachineCount) {
+  Cluster cluster = BuildDefault(400);
+  EXPECT_EQ(cluster.size(), 400u);
+}
+
+TEST(ClusterBuildTest, SkuFractionsApproximatelyRespected) {
+  Cluster cluster = BuildDefault(2000);
+  std::map<SkuId, int> counts;
+  for (const Machine& m : cluster.machines()) counts[m.sku]++;
+  ClusterSpec spec = ClusterSpec::Default();
+  for (size_t sku = 0; sku < 6; ++sku) {
+    double expected = spec.sku_fractions[sku] * 2000.0;
+    EXPECT_NEAR(counts[static_cast<SkuId>(sku)], expected, expected * 0.05 + 2);
+  }
+}
+
+TEST(ClusterBuildTest, RacksAreSkuHomogeneous) {
+  Cluster cluster = BuildDefault(800);
+  std::map<int, SkuId> rack_sku;
+  for (const Machine& m : cluster.machines()) {
+    auto it = rack_sku.find(m.rack);
+    if (it == rack_sku.end()) {
+      rack_sku[m.rack] = m.sku;
+    } else {
+      EXPECT_EQ(it->second, m.sku) << "rack " << m.rack;
+    }
+  }
+}
+
+TEST(ClusterBuildTest, ScAlternatesWithinRack) {
+  Cluster cluster = BuildDefault(400);
+  // With sc2_fraction = 0.5, consecutive machines in a rack alternate SC.
+  const auto& machines = cluster.machines();
+  for (size_t i = 1; i < machines.size(); ++i) {
+    if (machines[i].rack == machines[i - 1].rack) {
+      EXPECT_NE(machines[i].sc, machines[i - 1].sc) << "machine " << i;
+    }
+  }
+}
+
+TEST(ClusterBuildTest, ScFractionZeroAndOne) {
+  ClusterSpec spec = ClusterSpec::Default();
+  spec.total_machines = 200;
+  spec.sc2_fraction = 0.0;
+  auto all_sc1 = Cluster::Build(SkuCatalog::Default(), spec);
+  ASSERT_TRUE(all_sc1.ok());
+  for (const Machine& m : all_sc1->machines()) EXPECT_EQ(m.sc, 0);
+
+  spec.sc2_fraction = 1.0;
+  auto all_sc2 = Cluster::Build(SkuCatalog::Default(), spec);
+  ASSERT_TRUE(all_sc2.ok());
+  for (const Machine& m : all_sc2->machines()) EXPECT_EQ(m.sc, 1);
+}
+
+TEST(ClusterBuildTest, BaselineMaxContainersPerSku) {
+  Cluster cluster = BuildDefault(400);
+  ClusterSpec spec = ClusterSpec::Default();
+  for (const Machine& m : cluster.machines()) {
+    EXPECT_EQ(m.max_containers,
+              spec.baseline_max_containers[static_cast<size_t>(m.sku)]);
+    EXPECT_DOUBLE_EQ(m.power_cap_fraction, 0.0);
+    EXPECT_FALSE(m.feature_enabled);
+  }
+}
+
+TEST(ClusterBuildTest, GroupsIndexConsistent) {
+  Cluster cluster = BuildDefault(400);
+  size_t total = 0;
+  for (const auto& [key, ids] : cluster.groups()) {
+    total += ids.size();
+    for (int id : ids) {
+      EXPECT_EQ(cluster.machines()[static_cast<size_t>(id)].group(), key);
+    }
+    EXPECT_EQ(cluster.GroupSize(key), static_cast<int>(ids.size()));
+  }
+  EXPECT_EQ(total, cluster.size());
+  EXPECT_EQ(cluster.GroupSize({7, 99}), 0);
+}
+
+TEST(ClusterBuildTest, Validation) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  ClusterSpec spec = ClusterSpec::Default();
+  spec.total_machines = 0;
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+
+  spec = ClusterSpec::Default();
+  spec.sku_fractions = {1.0};
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+
+  spec = ClusterSpec::Default();
+  spec.sku_fractions = {0.5, 0.1, 0.1, 0.1, 0.1, 0.5};  // Sums to 1.4.
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+
+  spec = ClusterSpec::Default();
+  spec.sc2_fraction = 1.5;
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+
+  spec = ClusterSpec::Default();
+  spec.baseline_max_containers[2] = 0;
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+
+  spec = ClusterSpec::Default();
+  spec.machines_per_rack = -1;
+  EXPECT_FALSE(Cluster::Build(catalog, spec).ok());
+}
+
+TEST(ClusterConfigTest, TotalContainerSlots) {
+  Cluster cluster = BuildDefault(400);
+  int64_t expected = 0;
+  for (const Machine& m : cluster.machines()) expected += m.max_containers;
+  EXPECT_EQ(cluster.TotalContainerSlots(), expected);
+}
+
+TEST(ClusterConfigTest, SetGroupMaxContainers) {
+  Cluster cluster = BuildDefault(400);
+  MachineGroupKey key = cluster.groups().begin()->first;
+  ASSERT_TRUE(cluster.SetGroupMaxContainers(key, 20).ok());
+  for (int id : cluster.groups().at(key)) {
+    EXPECT_EQ(cluster.machines()[static_cast<size_t>(id)].max_containers, 20);
+  }
+  EXPECT_EQ(cluster.SetGroupMaxContainers({9, 9}, 5).code(), StatusCode::kNotFound);
+  EXPECT_EQ(cluster.SetGroupMaxContainers(key, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigTest, SetPowerCapAndFeature) {
+  Cluster cluster = BuildDefault(400);
+  std::vector<int> ids = {0, 1, 2};
+  ASSERT_TRUE(cluster.SetPowerCap(ids, 0.2).ok());
+  ASSERT_TRUE(cluster.SetFeature(ids, true).ok());
+  EXPECT_DOUBLE_EQ(cluster.machines()[1].power_cap_fraction, 0.2);
+  EXPECT_TRUE(cluster.machines()[2].feature_enabled);
+  EXPECT_FALSE(cluster.machines()[3].feature_enabled);
+
+  EXPECT_EQ(cluster.SetPowerCap({-1}, 0.2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cluster.SetPowerCap(ids, 1.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster.SetFeature({99999}, true).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ClusterConfigTest, SetSoftwareConfigRebuildsGroups) {
+  Cluster cluster = BuildDefault(400);
+  const Machine& m0 = cluster.machines()[0];
+  MachineGroupKey old_key = m0.group();
+  int old_size = cluster.GroupSize(old_key);
+
+  ScId new_sc = m0.sc == 0 ? 1 : 0;
+  ASSERT_TRUE(cluster.SetSoftwareConfig({0}, new_sc).ok());
+  EXPECT_EQ(cluster.machines()[0].sc, new_sc);
+  EXPECT_EQ(cluster.GroupSize(old_key), old_size - 1);
+
+  EXPECT_EQ(cluster.SetSoftwareConfig({0}, -1).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kea::sim

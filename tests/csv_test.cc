@@ -1,0 +1,113 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kea {
+namespace {
+
+TEST(CsvWriterTest, SimpleTable) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  ASSERT_TRUE(w.AppendRow({"1", "2"}).ok());
+  ASSERT_TRUE(w.AppendRow({"3", "4"}).ok());
+  EXPECT_EQ(w.ToString(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWidthMismatch) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  Status s = w.AppendRow({"only one"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.SetHeader({"x"});
+  ASSERT_TRUE(w.AppendRow({"has,comma"}).ok());
+  ASSERT_TRUE(w.AppendRow({"has\"quote"}).ok());
+  ASSERT_TRUE(w.AppendRow({"has\nnewline"}).ok());
+  EXPECT_EQ(w.ToString(), "x\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvParseTest, RoundTripsWriterOutput) {
+  CsvWriter w;
+  w.SetHeader({"name", "note"});
+  ASSERT_TRUE(w.AppendRow({"a,b", "line1\nline2"}).ok());
+  ASSERT_TRUE(w.AppendRow({"quote\"inside", "plain"}).ok());
+
+  auto parsed = ParseCsv(w.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->header, (std::vector<std::string>{"name", "note"}));
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  EXPECT_EQ(parsed->rows[0][0], "a,b");
+  EXPECT_EQ(parsed->rows[0][1], "line1\nline2");
+  EXPECT_EQ(parsed->rows[1][0], "quote\"inside");
+}
+
+TEST(CsvParseTest, HandlesCrLf) {
+  auto parsed = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  EXPECT_EQ(parsed->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, MissingTrailingNewlineStillParsesLastRow) {
+  auto parsed = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  EXPECT_EQ(parsed->rows[0][0], "1");
+}
+
+TEST(CsvParseTest, RejectsEmptyInput) {
+  EXPECT_EQ(ParseCsv("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsRaggedRows) {
+  auto parsed = ParseCsv("a,b\n1\n");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  auto parsed = ParseCsv("a\n\"open");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTableTest, ColumnIndexLookup) {
+  auto parsed = ParseCsv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ColumnIndex("y"), 1);
+  EXPECT_EQ(parsed->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/kea_csv_test.csv";
+  CsvWriter w;
+  w.SetHeader({"k", "v"});
+  ASSERT_TRUE(w.AppendRow({"alpha", "1"}).ok());
+  ASSERT_TRUE(w.WriteFile(path).ok());
+
+  auto parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  EXPECT_EQ(parsed->rows[0][0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, ReadMissingFileIsNotFound) {
+  auto parsed = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvParseTest, EmptyCellsPreserved) {
+  auto parsed = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  EXPECT_EQ(parsed->rows[0][0], "");
+  EXPECT_EQ(parsed->rows[0][2], "");
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,167 @@
+// Tests for the text dashboard, the power analysis, and the telemetry CSV
+// import path.
+
+#include <gtest/gtest.h>
+
+#include "core/power_analysis.h"
+#include "sim/fluid_engine.h"
+#include "telemetry/dashboard.h"
+#include "telemetry/store.h"
+
+namespace kea {
+namespace {
+
+TEST(RenderScatterTest, Validation) {
+  EXPECT_FALSE(telemetry::RenderScatter({}, 10, 40, "x", "y").ok());
+  std::vector<telemetry::ScatterPoint> one = {{0.5, 1.0, {}}};
+  EXPECT_FALSE(telemetry::RenderScatter(one, 1, 40, "x", "y").ok());
+}
+
+TEST(RenderScatterTest, PlacesPointsInGrid) {
+  std::vector<telemetry::ScatterPoint> points = {
+      {0.0, 0.0, {}}, {1.0, 1.0, {}}, {1.0, 1.0, {}}};
+  auto rendered = telemetry::RenderScatter(points, 5, 10, "util", "data");
+  ASSERT_TRUE(rendered.ok());
+  // Corner cells: origin bottom-left is '.', top-right has 2 points -> ':'.
+  EXPECT_NE(rendered->find("util"), std::string::npos);
+  EXPECT_NE(rendered->find("data"), std::string::npos);
+  EXPECT_NE(rendered->find(':'), std::string::npos);
+  EXPECT_NE(rendered->find('.'), std::string::npos);
+}
+
+TEST(RenderSparklineTest, HeightsFollowValues) {
+  auto line = telemetry::RenderSparkline({0.0, 0.5, 1.0}, 3);
+  ASSERT_TRUE(line.ok());
+  ASSERT_EQ(line->size(), 3u);
+  // Monotone values -> non-decreasing glyph "height" order in the level set.
+  std::string levels = " .:-=#@";
+  EXPECT_LT(levels.find((*line)[0]), levels.find((*line)[2]));
+}
+
+TEST(RenderSparklineTest, Validation) {
+  EXPECT_FALSE(telemetry::RenderSparkline({}, 10).ok());
+  EXPECT_FALSE(telemetry::RenderSparkline({1.0, 2.0}, 1).ok());
+  // Constant series still renders.
+  EXPECT_TRUE(telemetry::RenderSparkline({2.0, 2.0, 2.0}, 3).ok());
+}
+
+TEST(RenderUtilizationWeekTest, OneRowPerDay) {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 100;
+  auto cluster = sim::Cluster::Build(model.catalog(), spec);
+  ASSERT_TRUE(cluster.ok());
+  sim::FluidEngine engine(&model, &cluster.value(), &workload,
+                          sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 3 * sim::kHoursPerDay, &store).ok());
+
+  auto rendered = telemetry::RenderUtilizationWeek(store);
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  EXPECT_NE(rendered->find("day 0"), std::string::npos);
+  EXPECT_NE(rendered->find("day 2"), std::string::npos);
+  EXPECT_EQ(rendered->find("day 3"), std::string::npos);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(core::NormalQuantile(0.5).value(), 0.0, 1e-8);
+  EXPECT_NEAR(core::NormalQuantile(0.975).value(), 1.959964, 1e-5);
+  EXPECT_NEAR(core::NormalQuantile(0.8).value(), 0.8416212, 1e-5);
+  EXPECT_NEAR(core::NormalQuantile(0.025).value(), -1.959964, 1e-5);
+  EXPECT_NEAR(core::NormalQuantile(1e-6).value(), -4.753424, 1e-4);
+  EXPECT_FALSE(core::NormalQuantile(0.0).ok());
+  EXPECT_FALSE(core::NormalQuantile(1.0).ok());
+}
+
+TEST(PowerAnalysisTest, TextbookSampleSize) {
+  // Detecting a 0.5-sigma effect at alpha 0.05, power 0.8: n = 2*(2.8/0.5)^2
+  // * sigma^2 ... the classic answer is ~63 per arm.
+  core::PowerAnalysis options;
+  auto n = core::RequiredSampleSizePerArm(0.5, 1.0, options);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(static_cast<double>(*n), 63.0, 1.0);
+}
+
+TEST(PowerAnalysisTest, SmallerEffectsNeedMoreSamples) {
+  core::PowerAnalysis options;
+  auto big = core::RequiredSampleSizePerArm(1.0, 1.0, options);
+  auto small = core::RequiredSampleSizePerArm(0.1, 1.0, options);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_NEAR(static_cast<double>(*small) / static_cast<double>(*big), 100.0, 5.0);
+}
+
+TEST(PowerAnalysisTest, MdeInvertsSampleSize) {
+  core::PowerAnalysis options;
+  auto n = core::RequiredSampleSizePerArm(0.3, 2.0, options);
+  ASSERT_TRUE(n.ok());
+  auto mde = core::MinimumDetectableEffect(*n, 2.0, options);
+  ASSERT_TRUE(mde.ok());
+  EXPECT_LE(*mde, 0.3 + 1e-6);
+  EXPECT_GT(*mde, 0.28);
+}
+
+TEST(PowerAnalysisTest, Validation) {
+  core::PowerAnalysis options;
+  EXPECT_FALSE(core::RequiredSampleSizePerArm(0.0, 1.0, options).ok());
+  EXPECT_FALSE(core::RequiredSampleSizePerArm(0.5, 0.0, options).ok());
+  EXPECT_FALSE(core::MinimumDetectableEffect(1, 1.0, options).ok());
+  core::PowerAnalysis bad;
+  bad.alpha = 1.5;
+  EXPECT_FALSE(core::RequiredSampleSizePerArm(0.5, 1.0, bad).ok());
+  bad = core::PowerAnalysis();
+  bad.power = 0.0;
+  EXPECT_FALSE(core::RequiredSampleSizePerArm(0.5, 1.0, bad).ok());
+}
+
+TEST(PowerAnalysisTest, PaperScaleExperimentIsWellPowered) {
+  // Table 4: ~700 machines x 5 workdays per arm. With per-machine-day
+  // noise around 10% of the mean, the minimum detectable effect is a
+  // fraction of a percent — consistent with the paper's enormous t-values.
+  core::PowerAnalysis options;
+  auto mde = core::MinimumDetectableEffect(3500, 0.10, options);
+  ASSERT_TRUE(mde.ok());
+  EXPECT_LT(*mde, 0.01);
+}
+
+TEST(TelemetryCsvImportTest, RoundTrip) {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 60;
+  auto cluster = sim::Cluster::Build(model.catalog(), spec);
+  ASSERT_TRUE(cluster.ok());
+  sim::FluidEngine engine(&model, &cluster.value(), &workload,
+                          sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 6, &store).ok());
+
+  auto loaded = telemetry::TelemetryStore::FromCsv(store.ToCsv());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    const auto& a = store.records()[i];
+    const auto& b = loaded->records()[i];
+    EXPECT_EQ(a.machine_id, b.machine_id);
+    EXPECT_EQ(a.hour, b.hour);
+    EXPECT_NEAR(a.cpu_utilization, b.cpu_utilization, 1e-5);
+    EXPECT_NEAR(a.data_read_mb, b.data_read_mb, a.data_read_mb * 1e-5 + 1e-5);
+    EXPECT_NEAR(a.network_used_mbps, b.network_used_mbps,
+                a.network_used_mbps * 1e-5 + 1e-5);
+  }
+}
+
+TEST(TelemetryCsvImportTest, Validation) {
+  EXPECT_FALSE(telemetry::TelemetryStore::FromCsv("bogus,header\n1,2\n").ok());
+  std::string good_header;
+  for (const auto& column : telemetry::MachineHourCsvHeader()) {
+    if (!good_header.empty()) good_header += ",";
+    good_header += column;
+  }
+  EXPECT_FALSE(
+      telemetry::TelemetryStore::FromCsv(good_header + "\n1,2,not_a_number\n").ok());
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,133 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::core {
+namespace {
+
+sim::Cluster MakeCluster(int machines = 400) {
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = machines;
+  return std::move(sim::Cluster::Build(sim::SkuCatalog::Default(), spec)).value();
+}
+
+int GroupMax(const sim::Cluster& cluster, sim::MachineGroupKey key) {
+  int id = cluster.groups().at(key).front();
+  return cluster.machines()[static_cast<size_t>(id)].max_containers;
+}
+
+TEST(DeploymentTest, AppliesWithinStep) {
+  sim::Cluster cluster = MakeCluster();
+  sim::MachineGroupKey key{0, 0};
+  int current = GroupMax(cluster, key);
+
+  DeploymentModule deploy;  // max_step = 1.
+  std::vector<GroupRecommendation> recs = {{key, current, current + 1}};
+  auto applied = deploy.ApplyConservatively(recs, &cluster);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->size(), 1u);
+  EXPECT_FALSE((*applied)[0].clamped);
+  EXPECT_EQ(GroupMax(cluster, key), current + 1);
+}
+
+TEST(DeploymentTest, ClampsLargeRecommendations) {
+  sim::Cluster cluster = MakeCluster();
+  sim::MachineGroupKey key{0, 5};
+  int current = GroupMax(cluster, key);
+
+  DeploymentModule deploy;  // max_step = 1.
+  std::vector<GroupRecommendation> recs = {{key, current, current + 10}};
+  auto applied = deploy.ApplyConservatively(recs, &cluster);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->size(), 1u);
+  EXPECT_TRUE((*applied)[0].clamped);
+  EXPECT_EQ(GroupMax(cluster, key), current + 1);
+}
+
+TEST(DeploymentTest, ClampsDecreasesToo) {
+  sim::Cluster cluster = MakeCluster();
+  sim::MachineGroupKey key{0, 0};
+  int current = GroupMax(cluster, key);
+
+  DeploymentModule::Options options;
+  options.max_step = 2;
+  DeploymentModule deploy(options);
+  std::vector<GroupRecommendation> recs = {{key, current, current - 6}};
+  auto applied = deploy.ApplyConservatively(recs, &cluster);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(GroupMax(cluster, key), current - 2);
+}
+
+TEST(DeploymentTest, SkipsNoopRecommendations) {
+  sim::Cluster cluster = MakeCluster();
+  sim::MachineGroupKey key{0, 2};
+  int current = GroupMax(cluster, key);
+
+  DeploymentModule deploy;
+  std::vector<GroupRecommendation> recs = {{key, current, current}};
+  auto applied = deploy.ApplyConservatively(recs, &cluster);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->empty());
+}
+
+TEST(DeploymentTest, RespectsMinContainers) {
+  sim::Cluster cluster = MakeCluster();
+  sim::MachineGroupKey key{0, 0};
+  // Force the group low first.
+  ASSERT_TRUE(cluster.SetGroupMaxContainers(key, 1).ok());
+
+  DeploymentModule deploy;
+  std::vector<GroupRecommendation> recs = {{key, 1, 0}};
+  auto applied = deploy.ApplyConservatively(recs, &cluster);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->empty());  // Clamped to min 1 == current, no-op.
+  EXPECT_EQ(GroupMax(cluster, key), 1);
+}
+
+TEST(DeploymentTest, HistoryAccumulates) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey a{0, 0}, b{0, 5};
+  int ca = GroupMax(cluster, a), cb = GroupMax(cluster, b);
+
+  ASSERT_TRUE(deploy.ApplyConservatively({{a, ca, ca - 1}}, &cluster).ok());
+  ASSERT_TRUE(deploy.ApplyConservatively({{b, cb, cb + 1}}, &cluster).ok());
+  EXPECT_EQ(deploy.history().size(), 2u);
+}
+
+TEST(DeploymentTest, RollbackRestoresLastBatch) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey key{1, 5};
+  int current = GroupMax(cluster, key);
+
+  ASSERT_TRUE(deploy.ApplyConservatively({{key, current, current + 1}}, &cluster).ok());
+  EXPECT_EQ(GroupMax(cluster, key), current + 1);
+  ASSERT_TRUE(deploy.RollbackLast(&cluster).ok());
+  EXPECT_EQ(GroupMax(cluster, key), current);
+  // Second rollback has nothing to undo.
+  EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DeploymentTest, Validation) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  EXPECT_EQ(deploy.ApplyConservatively({}, &cluster).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(deploy
+                .ApplyConservatively({{sim::MachineGroupKey{0, 0}, 5, 6}},
+                                     nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Unknown group propagates NotFound from the cluster.
+  EXPECT_EQ(deploy
+                .ApplyConservatively({{sim::MachineGroupKey{8, 8}, 5, 6}},
+                                     &cluster)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kea::core

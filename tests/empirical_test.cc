@@ -1,0 +1,84 @@
+#include "ml/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/stats.h"
+
+namespace kea::ml {
+namespace {
+
+TEST(EmpiricalDistributionTest, RejectsEmpty) {
+  EXPECT_EQ(EmpiricalDistribution::FromSamples({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EmpiricalDistributionTest, MeanAndSize) {
+  auto d = EmpiricalDistribution::FromSamples({1.0, 2.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_EQ(d->size(), 3u);
+}
+
+TEST(EmpiricalDistributionTest, CdfSteps) {
+  auto d = EmpiricalDistribution::FromSamples({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d->Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d->Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d->Cdf(10.0), 1.0);
+}
+
+TEST(EmpiricalDistributionTest, QuantileInterpolates) {
+  auto d = EmpiricalDistribution::FromSamples({0.0, 10.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d->Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d->Quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalDistributionTest, SampleDrawsOnlyObservedValues) {
+  auto d = EmpiricalDistribution::FromSamples({1.0, 5.0, 9.0});
+  ASSERT_TRUE(d.ok());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double v = d->Sample(&rng);
+    EXPECT_TRUE(v == 1.0 || v == 5.0 || v == 9.0);
+  }
+}
+
+TEST(EmpiricalDistributionTest, SampleMeanConverges) {
+  std::vector<double> samples;
+  Rng gen(2);
+  for (int i = 0; i < 1000; ++i) samples.push_back(gen.Gaussian(7.0, 2.0));
+  auto d = EmpiricalDistribution::FromSamples(samples);
+  ASSERT_TRUE(d.ok());
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += d->Sample(&rng);
+  EXPECT_NEAR(sum / n, d->mean(), 0.05);
+}
+
+TEST(BootstrapCiTest, CoversTrueMean) {
+  Rng gen(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 400; ++i) sample.push_back(gen.Gaussian(10.0, 3.0));
+  Rng rng(5);
+  auto ci = BootstrapCi(sample, &Mean, 0.95, 2000, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lo, 10.0);
+  EXPECT_GT(ci->hi, 10.0);
+  EXPECT_NEAR(ci->point_estimate, 10.0, 0.5);
+  // Width ~ 2 * 1.96 * 3/sqrt(400) ~ 0.59.
+  EXPECT_NEAR(ci->hi - ci->lo, 0.59, 0.2);
+}
+
+TEST(BootstrapCiTest, Validation) {
+  Rng rng(6);
+  EXPECT_FALSE(BootstrapCi({}, &Mean, 0.95, 100, &rng).ok());
+  EXPECT_FALSE(BootstrapCi({1.0, 2.0}, &Mean, 1.5, 100, &rng).ok());
+  EXPECT_FALSE(BootstrapCi({1.0, 2.0}, &Mean, 0.95, 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace kea::ml

@@ -1,0 +1,88 @@
+#include "apps/experiment_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::apps {
+namespace {
+
+struct PlannerFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  explicit PlannerFixture(int machines = 800) {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+    (void)engine.Run(0, sim::kHoursPerWeek, &store);
+  }
+};
+
+TEST(ExperimentPlannerTest, ProducesFeasiblePlanOnLargeSku) {
+  PlannerFixture fx;
+  ExperimentPlanner planner;
+  auto plan = planner.PlanDataReadExperiment(fx.store, fx.cluster, 4);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GT(plan->relative_stddev, 0.0);
+  EXPECT_GT(plan->machine_days_per_arm, 0);
+  EXPECT_GT(plan->machines_per_arm, 0);
+  EXPECT_GE(plan->days, 1);
+  EXPECT_LE(plan->days, 10);
+  EXPECT_TRUE(plan->feasible);
+  // The recommended shape must actually achieve the requested MDE.
+  EXPECT_LE(plan->achieved_mde, 0.0105);
+}
+
+TEST(ExperimentPlannerTest, SmallerEffectNeedsMoreMachineDays) {
+  PlannerFixture fx;
+  ExperimentPlanner::Options coarse;
+  coarse.min_detectable_effect = 0.05;
+  ExperimentPlanner::Options fine;
+  fine.min_detectable_effect = 0.005;
+  auto coarse_plan =
+      ExperimentPlanner(coarse).PlanDataReadExperiment(fx.store, fx.cluster, 4);
+  auto fine_plan =
+      ExperimentPlanner(fine).PlanDataReadExperiment(fx.store, fx.cluster, 4);
+  ASSERT_TRUE(coarse_plan.ok());
+  ASSERT_TRUE(fine_plan.ok());
+  EXPECT_GT(fine_plan->machine_days_per_arm,
+            coarse_plan->machine_days_per_arm * 20);
+}
+
+TEST(ExperimentPlannerTest, InfeasibleOnTinySku) {
+  // A tiny cluster can't field enough machines for a very fine experiment.
+  PlannerFixture fx(100);
+  ExperimentPlanner::Options options;
+  options.min_detectable_effect = 0.001;
+  options.max_days = 2;
+  ExperimentPlanner planner(options);
+  auto plan = planner.PlanDataReadExperiment(fx.store, fx.cluster, 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->feasible);
+}
+
+TEST(ExperimentPlannerTest, Validation) {
+  PlannerFixture fx(100);
+  ExperimentPlanner::Options bad;
+  bad.min_detectable_effect = 0.0;
+  EXPECT_FALSE(ExperimentPlanner(bad)
+                   .PlanDataReadExperiment(fx.store, fx.cluster, 0)
+                   .ok());
+  bad = ExperimentPlanner::Options();
+  bad.max_days = 0;
+  EXPECT_FALSE(ExperimentPlanner(bad)
+                   .PlanDataReadExperiment(fx.store, fx.cluster, 0)
+                   .ok());
+
+  telemetry::TelemetryStore empty;
+  ExperimentPlanner planner;
+  EXPECT_EQ(planner.PlanDataReadExperiment(empty, fx.cluster, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kea::apps

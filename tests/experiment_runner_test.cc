@@ -1,0 +1,113 @@
+#include "core/experiment_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::core {
+namespace {
+
+struct RunnerFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  std::unique_ptr<sim::FluidEngine> engine;
+  telemetry::TelemetryStore store;
+
+  explicit RunnerFixture(int machines = 600) {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    engine = std::make_unique<sim::FluidEngine>(&model, &cluster, &workload,
+                                                sim::FluidEngine::Options());
+  }
+
+  std::vector<int> MachinesOfSku(sim::SkuId sku, size_t count) {
+    std::vector<int> out;
+    for (const sim::Machine& m : cluster.machines()) {
+      if (m.sku == sku && out.size() < count) out.push_back(m.id);
+    }
+    return out;
+  }
+};
+
+TEST(TimeSlicingRunnerTest, Validation) {
+  RunnerFixture fx(100);
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto machines = fx.MachinesOfSku(3, 20);
+
+  EXPECT_FALSE(RunTimeSlicingExperiment(nullptr, fx.engine.get(), &fx.store,
+                                        machines, patch, 0, 100, 5)
+                   .ok());
+  EXPECT_FALSE(RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                        {}, patch, 0, 100, 5)
+                   .ok());
+  ConfigPatch empty;
+  EXPECT_FALSE(RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                        machines, empty, 0, 100, 5)
+                   .ok());
+  EXPECT_FALSE(RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                        machines, patch, 0, 6, 5)
+                   .ok());
+}
+
+TEST(TimeSlicingRunnerTest, DetectsFeatureEffect) {
+  RunnerFixture fx;
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto machines = fx.MachinesOfSku(4, 100);
+  ASSERT_EQ(machines.size(), 100u);
+
+  auto result = RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                         machines, patch, 0, 168, 5);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The Feature cuts task latency; the treatment windows must show it.
+  EXPECT_LT(result->task_latency.percent_change, -0.01);
+  EXPECT_TRUE(result->task_latency.significant);
+  EXPECT_GT(result->data_read.percent_change, 0.01);
+}
+
+TEST(TimeSlicingRunnerTest, ConfigRestoredBetweenWindows) {
+  RunnerFixture fx(200);
+  ConfigPatch patch;
+  patch.power_cap_fraction = 0.25;
+  auto machines = fx.MachinesOfSku(4, 20);
+
+  auto result = RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                         machines, patch, 0, 40, 5);
+  ASSERT_TRUE(result.ok());
+  // After the experiment every machine is back to its original config.
+  for (const sim::Machine& m : fx.cluster.machines()) {
+    EXPECT_DOUBLE_EQ(m.power_cap_fraction, 0.0) << m.id;
+  }
+}
+
+TEST(TimeSlicingRunnerTest, HoursSplitMatchesSchedule) {
+  RunnerFixture fx(200);
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto machines = fx.MachinesOfSku(3, 20);
+
+  auto result = RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                         machines, patch, 0, 50, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schedule.size(), 10u);
+  EXPECT_EQ(result->control_hours, 25);
+  EXPECT_EQ(result->treatment_hours, 25);
+}
+
+TEST(TimeSlicingRunnerTest, NullEffectWhenPatchMatchesBaseline) {
+  RunnerFixture fx;
+  // "Treatment" that sets the power cap to a level that never binds: the
+  // measured effect should be statistically indistinguishable from zero.
+  ConfigPatch patch;
+  patch.power_cap_fraction = 0.01;
+  auto machines = fx.MachinesOfSku(4, 100);
+
+  auto result = RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                         machines, patch, 0, 168, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->task_latency.percent_change, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace kea::core

@@ -1,0 +1,181 @@
+#include "core/flighting.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::core {
+namespace {
+
+sim::Cluster MakeCluster(int machines = 200) {
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = machines;
+  return std::move(sim::Cluster::Build(sim::SkuCatalog::Default(), spec)).value();
+}
+
+TEST(ConfigPatchTest, EmptyDetection) {
+  ConfigPatch patch;
+  EXPECT_TRUE(patch.empty());
+  patch.feature_enabled = true;
+  EXPECT_FALSE(patch.empty());
+}
+
+TEST(ApplyPatchTest, AppliesAllFields) {
+  sim::Cluster cluster = MakeCluster();
+  ConfigPatch patch;
+  patch.max_containers = 25;
+  patch.power_cap_fraction = 0.15;
+  patch.feature_enabled = true;
+  patch.software_config = 1;
+  ASSERT_TRUE(ApplyPatch(patch, {0, 1}, &cluster).ok());
+  const sim::Machine& m = cluster.machines()[0];
+  EXPECT_EQ(m.max_containers, 25);
+  EXPECT_DOUBLE_EQ(m.power_cap_fraction, 0.15);
+  EXPECT_TRUE(m.feature_enabled);
+  EXPECT_EQ(m.sc, 1);
+  // Machine 2 untouched.
+  EXPECT_NE(cluster.machines()[2].max_containers, 25);
+}
+
+TEST(ApplyPatchTest, Validation) {
+  sim::Cluster cluster = MakeCluster();
+  ConfigPatch patch;
+  patch.max_containers = 0;
+  EXPECT_EQ(ApplyPatch(patch, {0}, &cluster).code(), StatusCode::kInvalidArgument);
+
+  ConfigPatch good;
+  good.feature_enabled = true;
+  EXPECT_EQ(ApplyPatch(good, {99999}, &cluster).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ApplyPatch(good, {0}, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlightingServiceTest, CreateValidation) {
+  FlightingService service;
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+
+  EXPECT_EQ(service.CreateFlight({"f", {}, 0, 5, patch}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.CreateFlight({"f", {0}, 5, 5, patch}).status().code(),
+            StatusCode::kInvalidArgument);
+  ConfigPatch empty;
+  EXPECT_EQ(service.CreateFlight({"f", {0}, 0, 5, empty}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service.CreateFlight({"f", {0}, 0, 5, patch}).ok());
+}
+
+TEST(FlightingServiceTest, BeginAppliesAndEndRestores) {
+  sim::Cluster cluster = MakeCluster();
+  int original_max = cluster.machines()[0].max_containers;
+
+  FlightingService service;
+  ConfigPatch patch;
+  patch.max_containers = original_max + 5;
+  auto id = service.CreateFlight({"bump", {0, 1, 2}, 0, 24, patch});
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(service.Begin(*id, &cluster).ok());
+  EXPECT_EQ(cluster.machines()[1].max_containers, original_max + 5);
+  EXPECT_TRUE(service.IsActive(*id).value());
+
+  ASSERT_TRUE(service.End(*id, &cluster).ok());
+  EXPECT_EQ(cluster.machines()[1].max_containers, original_max);
+  EXPECT_FALSE(service.IsActive(*id).value());
+}
+
+TEST(FlightingServiceTest, DoubleBeginFails) {
+  sim::Cluster cluster = MakeCluster();
+  FlightingService service;
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto id = service.CreateFlight({"f", {0}, 0, 24, patch});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Begin(*id, &cluster).ok());
+  EXPECT_EQ(service.Begin(*id, &cluster).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlightingServiceTest, EndWithoutBeginFails) {
+  sim::Cluster cluster = MakeCluster();
+  FlightingService service;
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto id = service.CreateFlight({"f", {0}, 0, 24, patch});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service.End(*id, &cluster).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlightingServiceTest, UnknownIdIsNotFound) {
+  sim::Cluster cluster = MakeCluster();
+  FlightingService service;
+  EXPECT_EQ(service.Begin(42, &cluster).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.End(42, &cluster).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.IsActive(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FlightingServiceTest, ScFlightRestoresGroups) {
+  sim::Cluster cluster = MakeCluster();
+  // Pick a machine currently on SC1.
+  int target = -1;
+  for (const sim::Machine& m : cluster.machines()) {
+    if (m.sc == 0) {
+      target = m.id;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  sim::MachineGroupKey old_group = cluster.machines()[static_cast<size_t>(target)].group();
+  int old_size = cluster.GroupSize(old_group);
+
+  FlightingService service;
+  ConfigPatch patch;
+  patch.software_config = 1;
+  auto id = service.CreateFlight({"sc2", {target}, 0, 24, patch});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Begin(*id, &cluster).ok());
+  EXPECT_EQ(cluster.GroupSize(old_group), old_size - 1);
+
+  ASSERT_TRUE(service.End(*id, &cluster).ok());
+  EXPECT_EQ(cluster.machines()[static_cast<size_t>(target)].sc, 0);
+  EXPECT_EQ(cluster.GroupSize(old_group), old_size);
+}
+
+TEST(FlightingServiceTest, OverlappingFlightsOnDisjointMachines) {
+  sim::Cluster cluster = MakeCluster();
+  FlightingService service;
+  ConfigPatch cap;
+  cap.power_cap_fraction = 0.2;
+  ConfigPatch feature;
+  feature.feature_enabled = true;
+
+  auto f1 = service.CreateFlight({"cap", {0, 1}, 0, 24, cap});
+  auto f2 = service.CreateFlight({"feat", {2, 3}, 0, 24, feature});
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(service.Begin(*f1, &cluster).ok());
+  ASSERT_TRUE(service.Begin(*f2, &cluster).ok());
+  EXPECT_DOUBLE_EQ(cluster.machines()[0].power_cap_fraction, 0.2);
+  EXPECT_TRUE(cluster.machines()[3].feature_enabled);
+
+  ASSERT_TRUE(service.End(*f1, &cluster).ok());
+  // f2 still active.
+  EXPECT_TRUE(cluster.machines()[2].feature_enabled);
+  EXPECT_DOUBLE_EQ(cluster.machines()[0].power_cap_fraction, 0.0);
+  ASSERT_TRUE(service.End(*f2, &cluster).ok());
+  EXPECT_FALSE(cluster.machines()[2].feature_enabled);
+}
+
+TEST(FlightingServiceTest, BeginEndCycleCanRepeat) {
+  sim::Cluster cluster = MakeCluster();
+  FlightingService service;
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto id = service.CreateFlight({"f", {0}, 0, 24, patch});
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Begin(*id, &cluster).ok());
+    EXPECT_TRUE(cluster.machines()[0].feature_enabled);
+    ASSERT_TRUE(service.End(*id, &cluster).ok());
+    EXPECT_FALSE(cluster.machines()[0].feature_enabled);
+  }
+}
+
+}  // namespace
+}  // namespace kea::core

@@ -1,0 +1,213 @@
+#include "sim/fluid_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/stats.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::sim {
+namespace {
+
+struct SimFixture {
+  PerfModel model = PerfModel::CreateDefault();
+  WorkloadModel workload = WorkloadModel::CreateDefault();
+  Cluster cluster;
+
+  explicit SimFixture(int machines = 300) {
+    ClusterSpec spec = ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(Cluster::Build(model.catalog(), spec)).value();
+  }
+};
+
+TEST(FluidEngineTest, EmitsOneRecordPerMachinePerHour) {
+  SimFixture fx(200);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 5, &store).ok());
+  EXPECT_EQ(store.size(), 200u * 5u);
+}
+
+TEST(FluidEngineTest, Validation) {
+  SimFixture fx(50);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  EXPECT_EQ(engine.Run(0, 0, &store).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Run(0, 5, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FluidEngineTest, ContainersNeverExceedMax) {
+  SimFixture fx(300);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+  for (const auto& r : store.records()) {
+    const Machine& m = fx.cluster.machines()[static_cast<size_t>(r.machine_id)];
+    EXPECT_LE(r.avg_running_containers, static_cast<double>(m.max_containers) + 1e-9);
+    EXPECT_GE(r.avg_running_containers, 0.0);
+  }
+}
+
+TEST(FluidEngineTest, UtilizationWithinBounds) {
+  SimFixture fx(200);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+  for (const auto& r : store.records()) {
+    EXPECT_GE(r.cpu_utilization, 0.0);
+    EXPECT_LE(r.cpu_utilization, 1.0);
+    EXPECT_GE(r.power_watts, 0.0);
+    EXPECT_GE(r.tasks_finished, 0.0);
+  }
+}
+
+TEST(FluidEngineTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    SimFixture fx(100);
+    FluidEngine::Options options;
+    options.seed = seed;
+    FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, options);
+    telemetry::TelemetryStore store;
+    (void)engine.Run(0, 3, &store);
+    double sum = 0.0;
+    for (const auto& r : store.records()) sum += r.data_read_mb;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(FluidEngineTest, ClusterRunsAboveSixtyPercentUtilization) {
+  // The paper's headline operating point (Figure 1).
+  SimFixture fx(500);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, kHoursPerWeek, &store).ok());
+  telemetry::PerformanceMonitor monitor(&store);
+  auto hourly = monitor.HourlyClusterUtilization();
+  ASSERT_TRUE(hourly.ok());
+  double sum = 0.0;
+  for (const auto& [h, u] : *hourly) sum += u;
+  double avg = sum / static_cast<double>(hourly->size());
+  EXPECT_GT(avg, 0.60);
+  EXPECT_LT(avg, 0.95);
+}
+
+TEST(FluidEngineTest, OlderSkusRunHotter) {
+  // Figure 2 (right): manual tuning pushed old generations harder.
+  SimFixture fx(600);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 48, &store).ok());
+  telemetry::PerformanceMonitor monitor(&store);
+  auto metrics = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(metrics.ok());
+  double gen11 = metrics->at({0, 0}).avg_cpu_utilization;
+  double gen41 = metrics->at({0, 5}).avg_cpu_utilization;
+  EXPECT_GT(gen11, gen41 + 0.1);
+}
+
+TEST(FluidEngineTest, QueueAppearsOnlyUnderOverload) {
+  SimFixture fx(200);
+  // Crank demand far above capacity.
+  WorkloadSpec heavy = WorkloadSpec::Default();
+  heavy.base_demand_fraction = 1.6;
+  heavy.diurnal_amplitude = 0.0;
+  WorkloadModel heavy_model = std::move(WorkloadModel::Create(heavy)).value();
+  FluidEngine engine(&fx.model, &fx.cluster, &heavy_model, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 6, &store).ok());
+  double queued = 0.0;
+  for (const auto& r : store.records()) queued += r.queued_containers;
+  EXPECT_GT(queued, 0.0);
+
+  // Light demand: no queuing.
+  WorkloadSpec light = WorkloadSpec::Default();
+  light.base_demand_fraction = 0.5;
+  light.diurnal_amplitude = 0.0;
+  light.demand_noise_sigma = 0.0;
+  WorkloadModel light_model = std::move(WorkloadModel::Create(light)).value();
+  SimFixture fx2(200);
+  FluidEngine engine2(&fx2.model, &fx2.cluster, &light_model, FluidEngine::Options());
+  telemetry::TelemetryStore store2;
+  ASSERT_TRUE(engine2.Run(0, 6, &store2).ok());
+  double queued2 = 0.0;
+  for (const auto& r : store2.records()) queued2 += r.queued_containers;
+  EXPECT_NEAR(queued2, 0.0, 1e-6);
+}
+
+TEST(FluidEngineTest, WorkConservationAbsorbsDemand) {
+  // With demand below capacity, assigned containers should total ~demand.
+  SimFixture fx(300);
+  WorkloadSpec spec = WorkloadSpec::Default();
+  spec.base_demand_fraction = 0.8;
+  spec.diurnal_amplitude = 0.0;
+  spec.demand_noise_sigma = 0.0;
+  WorkloadModel wl = std::move(WorkloadModel::Create(spec)).value();
+  FluidEngine engine(&fx.model, &fx.cluster, &wl, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 1, &store).ok());
+  double assigned = 0.0;
+  for (const auto& r : store.records()) assigned += r.avg_running_containers;
+  double expected = 0.8 * engine.baseline_slots();
+  EXPECT_NEAR(assigned, expected, expected * 0.02);
+}
+
+TEST(FluidEngineTest, ConfigChangesBetweenRunsTakeEffect) {
+  SimFixture fx(300);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 12, &store).ok());
+
+  // Cut Gen1.1 (both SCs) to 3 containers, then simulate more hours.
+  ASSERT_TRUE(fx.cluster.SetGroupMaxContainers({0, 0}, 3).ok());
+  ASSERT_TRUE(fx.cluster.SetGroupMaxContainers({1, 0}, 3).ok());
+  ASSERT_TRUE(engine.Run(12, 12, &store).ok());
+
+  for (const auto& r : store.records()) {
+    if (r.sku == 0 && r.hour >= 12) {
+      EXPECT_LE(r.avg_running_containers, 3.0 + 1e-9);
+    }
+  }
+}
+
+TEST(FluidEngineTest, DiurnalPatternVisibleInUtilization) {
+  SimFixture fx(300);
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+  telemetry::PerformanceMonitor monitor(&store);
+  auto hourly = monitor.HourlyClusterUtilization();
+  ASSERT_TRUE(hourly.ok());
+  // Peak-hour utilization should exceed trough-hour utilization.
+  double peak = (*hourly)[14].second;
+  double trough = (*hourly)[2].second;
+  EXPECT_GT(peak, trough);
+}
+
+TEST(FluidEngineTest, PowerCappedMachinesReportLowerPower) {
+  SimFixture fx(300);
+  // Cap half the Gen3.2 machines deeply.
+  std::vector<int> capped;
+  for (const Machine& m : fx.cluster.machines()) {
+    if (m.sku == 4 && capped.size() < 30) capped.push_back(m.id);
+  }
+  ASSERT_GE(capped.size(), 10u);
+  ASSERT_TRUE(fx.cluster.SetPowerCap(capped, 0.35).ok());
+
+  FluidEngine engine(&fx.model, &fx.cluster, &fx.workload, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+
+  double cap_watts = fx.model.CapWatts(4, 0.35);
+  for (const auto& r : store.records()) {
+    for (int id : capped) {
+      if (r.machine_id == id) {
+        EXPECT_LE(r.power_watts, cap_watts + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kea::sim

@@ -1,0 +1,103 @@
+#include "ml/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kea::ml {
+namespace {
+
+/// Builds a synthetic series: (base + slope*t) * seasonal(t) * noise.
+std::vector<double> MakeSeries(int hours, double base, double slope,
+                               double season_amplitude, double noise_sigma,
+                               Rng* rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(hours));
+  for (int t = 0; t < hours; ++t) {
+    double trend = base + slope * t;
+    double season =
+        1.0 + season_amplitude * std::sin(2.0 * 3.14159265358979 * (t % 168) / 168.0);
+    double noise = rng != nullptr ? rng->LogNormal(0.0, noise_sigma) : 1.0;
+    out.push_back(trend * season * noise);
+  }
+  return out;
+}
+
+TEST(ForecastTest, Validation) {
+  EXPECT_FALSE(SeasonalTrendForecaster::Fit({1.0, 2.0}, 168).ok());
+  EXPECT_FALSE(SeasonalTrendForecaster::Fit(std::vector<double>(400, 1.0), 0).ok());
+  // Zero-mean series rejected.
+  EXPECT_EQ(SeasonalTrendForecaster::Fit(std::vector<double>(400, 0.0), 100)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ForecastTest, RecoversTrendOnCleanSeries) {
+  auto series = MakeSeries(4 * 168, 1000.0, 0.5, 0.1, 0.0, nullptr);
+  auto f = SeasonalTrendForecaster::Fit(series);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_NEAR(f->trend_slope(), 0.5, 0.05);
+  EXPECT_NEAR(f->trend_intercept(), 1000.0, 40.0);
+  EXPECT_LT(f->TrainingMape(), 0.02);
+}
+
+TEST(ForecastTest, SeasonalFactorsCaptureShape) {
+  auto series = MakeSeries(4 * 168, 1000.0, 0.0, 0.2, 0.0, nullptr);
+  auto f = SeasonalTrendForecaster::Fit(series);
+  ASSERT_TRUE(f.ok());
+  // Factor at the seasonal peak (~42 hours in) should exceed the trough's.
+  EXPECT_GT(f->seasonal_factors()[42], f->seasonal_factors()[126]);
+  EXPECT_NEAR(f->seasonal_factors()[42], 1.2, 0.03);
+  EXPECT_NEAR(f->seasonal_factors()[126], 0.8, 0.03);
+}
+
+TEST(ForecastTest, ForecastContinuesTrendAndSeason) {
+  auto series = MakeSeries(4 * 168, 1000.0, 1.0, 0.15, 0.0, nullptr);
+  auto f = SeasonalTrendForecaster::Fit(series);
+  ASSERT_TRUE(f.ok());
+  auto horizon = f->Forecast(168);
+  ASSERT_EQ(horizon.size(), 168u);
+  // Compare against the ground-truth generator one week ahead.
+  auto truth = MakeSeries(5 * 168, 1000.0, 1.0, 0.15, 0.0, nullptr);
+  std::vector<double> actual(truth.end() - 168, truth.end());
+  auto mape = MeanAbsolutePercentageError(actual, horizon);
+  ASSERT_TRUE(mape.ok());
+  EXPECT_LT(*mape, 0.03);
+}
+
+TEST(ForecastTest, HandlesNoisySeries) {
+  Rng rng(5);
+  auto series = MakeSeries(6 * 168, 2000.0, 0.8, 0.15, 0.05, &rng);
+  auto f = SeasonalTrendForecaster::Fit(series);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->trend_slope(), 0.8, 0.25);
+  EXPECT_LT(f->TrainingMape(), 0.08);
+}
+
+TEST(ForecastTest, PredictMatchesForecastIndexing) {
+  auto series = MakeSeries(2 * 168, 500.0, 0.2, 0.1, 0.0, nullptr);
+  auto f = SeasonalTrendForecaster::Fit(series);
+  ASSERT_TRUE(f.ok());
+  auto horizon = f->Forecast(10);
+  for (int h = 0; h < 10; ++h) {
+    EXPECT_DOUBLE_EQ(horizon[static_cast<size_t>(h)],
+                     f->Predict(f->fitted_length() + h));
+  }
+}
+
+TEST(MapeTest, ComputesAndValidates) {
+  auto mape = MeanAbsolutePercentageError({100.0, 200.0}, {110.0, 180.0});
+  ASSERT_TRUE(mape.ok());
+  EXPECT_NEAR(*mape, 0.1, 1e-12);
+
+  EXPECT_FALSE(MeanAbsolutePercentageError({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MeanAbsolutePercentageError({}, {}).ok());
+  EXPECT_EQ(MeanAbsolutePercentageError({0.0}, {1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kea::ml

@@ -1,0 +1,274 @@
+#include "sim/job_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace kea::sim {
+namespace {
+
+struct JobSimFixture {
+  PerfModel model = PerfModel::CreateDefault();
+  WorkloadModel workload = WorkloadModel::CreateDefault();
+  Cluster cluster;
+
+  explicit JobSimFixture(int machines = 200) {
+    ClusterSpec spec = ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(Cluster::Build(model.catalog(), spec)).value();
+  }
+
+  JobSimulator MakeSim(uint64_t seed = 7) {
+    JobSimulator::Options options;
+    options.seed = seed;
+    return JobSimulator(&model, &cluster, &workload, options);
+  }
+};
+
+TEST(JobSimTest, Validation) {
+  JobSimFixture fx(50);
+  JobSimulator sim = fx.MakeSim();
+  EXPECT_EQ(sim.Run({}, 100.0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sim.Run(BenchmarkJobTemplates(), -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JobTemplateSpec no_stages{"bad", {}, 100.0, 1.0};
+  EXPECT_FALSE(sim.Run({no_stages}, 100.0).ok());
+
+  JobTemplateSpec empty_stage{"bad", {0}, 100.0, 1.0};
+  EXPECT_FALSE(sim.Run({empty_stage}, 100.0).ok());
+
+  JobTemplateSpec bad_rate{"bad", {4}, 0.0, 1.0};
+  EXPECT_FALSE(sim.Run({bad_rate}, 100.0).ok());
+
+  JobTemplateSpec bad_scale{"bad", {4}, 100.0, 0.0};
+  EXPECT_FALSE(sim.Run({bad_scale}, 100.0).ok());
+}
+
+TEST(JobSimTest, JobsCompleteWithPositiveRuntimes) {
+  JobSimFixture fx;
+  JobSimulator sim = fx.MakeSim();
+  auto result = sim.Run(BenchmarkJobTemplates(), 4.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->jobs.size(), 10u);
+  for (const auto& job : result->jobs) {
+    EXPECT_GT(job.runtime_s, 0.0);
+    EXPECT_GE(job.submit_time_s, 0.0);
+  }
+}
+
+TEST(JobSimTest, TaskCountMatchesTemplates) {
+  JobSimFixture fx;
+  JobSimulator sim = fx.MakeSim();
+  std::vector<JobTemplateSpec> templates = {{"tiny", {3, 2}, 400.0, 0.5}};
+  auto result = sim.Run(templates, 2.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+  // Each completed job contributes exactly 5 tasks; in-flight jobs may add
+  // partial stages.
+  std::map<int64_t, int> per_job;
+  for (const auto& t : result->tasks) per_job[t.job_id]++;
+  int complete = 0;
+  for (const auto& job : result->jobs) {
+    EXPECT_EQ(per_job[job.job_id], 5) << "job " << job.job_id;
+    ++complete;
+  }
+  EXPECT_GT(complete, 0);
+}
+
+TEST(JobSimTest, StageBarrierRespected) {
+  JobSimFixture fx;
+  JobSimulator sim = fx.MakeSim();
+  std::vector<JobTemplateSpec> templates = {{"barrier", {6, 6}, 600.0, 0.7}};
+  auto result = sim.Run(templates, 3.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  // For every finished job: min start of stage 1 >= max end of stage 0.
+  std::map<int64_t, double> stage0_max_end, stage1_min_start;
+  for (const auto& t : result->tasks) {
+    if (t.stage == 0) {
+      double end = t.start_time_s + t.duration_s;
+      auto [it, inserted] = stage0_max_end.try_emplace(t.job_id, end);
+      if (!inserted) it->second = std::max(it->second, end);
+    } else {
+      auto [it, inserted] = stage1_min_start.try_emplace(t.job_id, t.start_time_s);
+      if (!inserted) it->second = std::min(it->second, t.start_time_s);
+    }
+  }
+  int checked = 0;
+  for (const auto& job : result->jobs) {
+    ASSERT_TRUE(stage0_max_end.count(job.job_id));
+    ASSERT_TRUE(stage1_min_start.count(job.job_id));
+    EXPECT_GE(stage1_min_start[job.job_id], stage0_max_end[job.job_id] - 1e-6);
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(JobSimTest, ExactlyOneCriticalTaskPerFinishedStage) {
+  JobSimFixture fx;
+  JobSimulator sim = fx.MakeSim();
+  std::vector<JobTemplateSpec> templates = {{"crit", {8, 4}, 500.0, 0.6}};
+  auto result = sim.Run(templates, 3.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  std::set<int64_t> finished;
+  for (const auto& job : result->jobs) finished.insert(job.job_id);
+
+  std::map<std::pair<int64_t, int>, int> critical_per_stage;
+  for (const auto& t : result->tasks) {
+    if (t.on_critical_path) critical_per_stage[{t.job_id, t.stage}]++;
+  }
+  for (int64_t job_id : finished) {
+    EXPECT_EQ((critical_per_stage[{job_id, 0}]), 1) << "job " << job_id;
+    EXPECT_EQ((critical_per_stage[{job_id, 1}]), 1) << "job " << job_id;
+  }
+}
+
+TEST(JobSimTest, CriticalTaskIsStageSlowest) {
+  JobSimFixture fx;
+  JobSimulator sim = fx.MakeSim();
+  std::vector<JobTemplateSpec> templates = {{"slowest", {10}, 700.0, 0.8}};
+  auto result = sim.Run(templates, 2.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  std::set<int64_t> finished;
+  for (const auto& job : result->jobs) finished.insert(job.job_id);
+
+  std::map<int64_t, double> max_duration;
+  for (const auto& t : result->tasks) {
+    if (!finished.count(t.job_id)) continue;
+    auto [it, inserted] = max_duration.try_emplace(t.job_id, t.duration_s);
+    if (!inserted) it->second = std::max(it->second, t.duration_s);
+  }
+  for (const auto& t : result->tasks) {
+    if (!finished.count(t.job_id) || !t.on_critical_path) continue;
+    EXPECT_DOUBLE_EQ(t.duration_s, max_duration[t.job_id]);
+  }
+}
+
+TEST(JobSimTest, PlacementProportionalToFreeSlots) {
+  // The randomizing scheduler picks a free *slot* uniformly, so a machine's
+  // expected task share is proportional to its free capacity (its slots
+  // minus the background-production occupancy) — the Level IV abstraction.
+  JobSimFixture fx(100);
+  JobSimulator::Options options;
+  options.seed = 7;
+  JobSimulator sim(&fx.model, &fx.cluster, &fx.workload, options);
+  auto result = sim.Run(BenchmarkJobTemplates(), 6.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+  std::map<int, int> per_machine;
+  for (const auto& t : result->tasks) per_machine[t.machine_id]++;
+  EXPECT_GT(per_machine.size(), 95u);  // Nearly all machines used.
+
+  // Expected share per machine: free slots / total free slots.
+  double total_free = 0.0;
+  std::map<int, double> free_slots;
+  for (const Machine& m : fx.cluster.machines()) {
+    int background = static_cast<int>(options.background_load_fraction *
+                                      m.max_containers);
+    background = std::min(background, m.max_containers - 1);
+    free_slots[m.id] = static_cast<double>(m.max_containers - background);
+    total_free += free_slots[m.id];
+  }
+  double total = static_cast<double>(result->tasks.size());
+  for (const auto& [machine, count] : per_machine) {
+    double expected = total * free_slots[machine] / total_free;
+    EXPECT_NEAR(count, expected, expected * 0.6) << "machine " << machine;
+  }
+}
+
+TEST(JobSimTest, TaskTypeMixUniformAcrossSkus) {
+  // Figure 6 (right): task-type distribution should look the same per SKU.
+  JobSimFixture fx(150);
+  JobSimulator sim = fx.MakeSim();
+  auto result = sim.Run(BenchmarkJobTemplates(), 6.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  std::map<SkuId, std::map<int, double>> by_sku;
+  std::map<SkuId, double> totals;
+  for (const auto& t : result->tasks) {
+    by_sku[t.sku][t.task_type] += 1.0;
+    totals[t.sku] += 1.0;
+  }
+  // Compare each SKU's type shares to the global shares.
+  std::map<int, double> global;
+  double global_total = static_cast<double>(result->tasks.size());
+  for (const auto& t : result->tasks) global[t.task_type] += 1.0;
+  for (auto& [type, count] : global) count /= global_total;
+
+  for (const auto& [sku, type_counts] : by_sku) {
+    if (totals[sku] < 500) continue;  // Skip tiny groups.
+    for (const auto& [type, count] : type_counts) {
+      double share = count / totals[sku];
+      EXPECT_NEAR(share, global[type], 0.05) << "sku " << sku << " type " << type;
+    }
+  }
+}
+
+TEST(JobSimTest, SlowerSkusProduceSlowerTasks) {
+  // Figure 5: task duration distributions shift right on older SKUs.
+  JobSimFixture fx(200);
+  JobSimulator sim = fx.MakeSim();
+  auto result = sim.Run(BenchmarkJobTemplates(), 6.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  std::map<SkuId, std::pair<double, int>> durations;
+  for (const auto& t : result->tasks) {
+    durations[t.sku].first += t.duration_s;
+    durations[t.sku].second += 1;
+  }
+  ASSERT_TRUE(durations.count(0));
+  ASSERT_TRUE(durations.count(5));
+  double slow = durations[0].first / durations[0].second;
+  double fast = durations[5].first / durations[5].second;
+  EXPECT_GT(slow, fast * 1.3);
+}
+
+TEST(JobSimTest, CriticalPathSkewedTowardSlowSkus) {
+  // Figure 5's punchline: tasks on slower machines are disproportionately on
+  // the critical path.
+  JobSimFixture fx(200);
+  JobSimulator sim = fx.MakeSim();
+  auto result = sim.Run(BenchmarkJobTemplates(), 8.0 * kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+
+  std::map<SkuId, std::pair<int, int>> counts;  // (critical, total).
+  for (const auto& t : result->tasks) {
+    counts[t.sku].second++;
+    if (t.on_critical_path) counts[t.sku].first++;
+  }
+  auto rate = [&](SkuId sku) {
+    return static_cast<double>(counts[sku].first) /
+           static_cast<double>(counts[sku].second);
+  };
+  ASSERT_GT(counts[0].second, 100);
+  ASSERT_GT(counts[5].second, 100);
+  EXPECT_GT(rate(0), rate(5) * 1.2);
+}
+
+TEST(JobSimTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    JobSimFixture fx(80);
+    JobSimulator sim = fx.MakeSim(seed);
+    auto result = sim.Run(BenchmarkJobTemplates(), 2.0 * kSecondsPerHour);
+    double sum = 0.0;
+    for (const auto& job : result->jobs) sum += job.runtime_s;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(JobSimTest, UnfinishedJobsTracked) {
+  JobSimFixture fx(30);
+  JobSimulator sim = fx.MakeSim();
+  // Very short horizon: most jobs won't finish.
+  std::vector<JobTemplateSpec> templates = {{"long", {40, 40, 40}, 60.0, 3.0}};
+  auto result = sim.Run(templates, 120.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->unfinished_jobs, 0u);
+}
+
+}  // namespace
+}  // namespace kea::sim

@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "sim/types.h"
+
+namespace kea {
+namespace {
+
+// The logger writes to stderr; these tests cover its observable state and
+// that the macros compose without side effects on control flow.
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::Get().min_level();
+    saved_quiet_ = Logger::Get().quiet();
+    Logger::Get().set_quiet(true);  // Keep test output clean.
+  }
+  void TearDown() override {
+    Logger::Get().set_min_level(saved_level_);
+    Logger::Get().set_quiet(saved_quiet_);
+  }
+  LogLevel saved_level_{};
+  bool saved_quiet_{};
+};
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning), static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, MinLevelRoundTrips) {
+  Logger::Get().set_min_level(LogLevel::kError);
+  EXPECT_EQ(Logger::Get().min_level(), LogLevel::kError);
+  Logger::Get().set_min_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::Get().min_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, QuietModeToggles) {
+  Logger::Get().set_quiet(true);
+  EXPECT_TRUE(Logger::Get().quiet());
+  Logger::Get().set_quiet(false);
+  EXPECT_FALSE(Logger::Get().quiet());
+  Logger::Get().set_quiet(true);
+}
+
+TEST_F(LoggingTest, MacrosStreamArbitraryTypes) {
+  // Must compile and not crash for mixed stream arguments.
+  KEA_LOG(Info) << "fitted " << 12 << " models at " << 0.5 << " tolerance";
+  KEA_LOG_WARNING << "drift on group " << sim::GroupLabel({0, 3});
+  KEA_LOG_ERROR << "status " << Status::NotFound("x");
+  KEA_LOG_DEBUG << "detail";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, SingletonIsStable) {
+  Logger* a = &Logger::Get();
+  Logger* b = &Logger::Get();
+  EXPECT_EQ(a, b);
+}
+
+TEST(GroupKeyHashTest, HashDistinguishesKeys) {
+  std::hash<sim::MachineGroupKey> hasher;
+  EXPECT_NE(hasher({0, 1}), hasher({1, 0}));
+  EXPECT_EQ(hasher({1, 4}), hasher({1, 4}));
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,287 @@
+#include "opt/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kea::opt {
+namespace {
+
+TEST(LpProblemTest, BuilderValidation) {
+  LpProblem lp(2);
+  EXPECT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  EXPECT_EQ(lp.SetObjectiveCoefficient(5, 1.0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(lp.SetBounds(0, 2.0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(lp.SetBounds(9, 0.0, 1.0).code(), StatusCode::kOutOfRange);
+
+  LpConstraint bad;
+  bad.coefficients = {1.0};  // Wrong width.
+  EXPECT_EQ(lp.AddConstraint(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj=12.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 3.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 2.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kLessEqual, 4.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 3.0}, ConstraintSense::kLessEqual, 6.0, ""}).ok());
+
+  SimplexSolver solver;
+  auto solution = solver.Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 12.0, 1e-8);
+  EXPECT_NEAR(solution->x[0], 4.0, 1e-8);
+  EXPECT_NEAR(solution->x[1], 0.0, 1e-8);
+}
+
+TEST(SimplexTest, ClassicTwoVariableProblem) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 5.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 4.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{6.0, 4.0}, ConstraintSense::kLessEqual, 24.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 2.0}, ConstraintSense::kLessEqual, 6.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 21.0, 1e-8);
+  EXPECT_NEAR(solution->x[0], 3.0, 1e-8);
+  EXPECT_NEAR(solution->x[1], 1.5, 1e-8);
+}
+
+TEST(SimplexTest, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10 (y=0)? cost 20 at (10, 0);
+  // (2, 8) costs 28. Optimum: x=10, y=0, obj=20.
+  LpProblem lp(2, LpDirection::kMinimize);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 2.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 3.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kGreaterEqual, 10.0, ""}).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 2.0, LpProblem::kInfinity).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 20.0, 1e-8);
+  EXPECT_NEAR(solution->x[0], 10.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y s.t. x + y = 5, x <= 3 -> obj 5.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kEqual, 5.0, ""}).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 0.0, 3.0).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 5.0, 1e-8);
+  EXPECT_NEAR(solution->x[0] + solution->x[1], 5.0, 1e-8);
+}
+
+TEST(SimplexTest, VariableBoundsRespected) {
+  // max x + y with 1 <= x <= 2, 3 <= y <= 4 -> (2, 4).
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 1.0).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 1.0, 2.0).ok());
+  ASSERT_TRUE(lp.SetBounds(1, 3.0, 4.0).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(solution->x[1], 4.0, 1e-8);
+  EXPECT_NEAR(solution->objective_value, 6.0, 1e-8);
+}
+
+TEST(SimplexTest, NonZeroLowerBoundsShiftCorrectly) {
+  // min x + y with x >= 5, y >= 7, x + y >= 15 -> obj 15.
+  LpProblem lp(2, LpDirection::kMinimize);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 1.0).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 5.0, LpProblem::kInfinity).ok());
+  ASSERT_TRUE(lp.SetBounds(1, 7.0, LpProblem::kInfinity).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kGreaterEqual, 15.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 15.0, 1e-8);
+  EXPECT_GE(solution->x[0], 5.0 - 1e-9);
+  EXPECT_GE(solution->x[1], 7.0 - 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem lp(1);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0}, ConstraintSense::kLessEqual, 1.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0}, ConstraintSense::kGreaterEqual, 2.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  EXPECT_EQ(solution.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp(1);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  EXPECT_EQ(solution.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // max x s.t. -x <= -3 (i.e., x >= 3), x <= 10.
+  LpProblem lp(1);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{-1.0}, ConstraintSense::kLessEqual, -3.0, ""}).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 0.0, 10.0).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->x[0], 10.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 1.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 0.0}, ConstraintSense::kLessEqual, 1.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kLessEqual, 2.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{0.0, 1.0}, ConstraintSense::kLessEqual, 1.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{2.0, 2.0}, ConstraintSense::kLessEqual, 4.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective_value, 2.0, 1e-8);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, 2.0).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, 1.0).ok());
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kEqual, 2.0, ""}).ok());
+  ASSERT_TRUE(lp.AddConstraint({{2.0, 2.0}, ConstraintSense::kEqual, 4.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_NEAR(solution->objective_value, 4.0, 1e-8);
+  EXPECT_NEAR(solution->x[0], 2.0, 1e-8);
+}
+
+TEST(SimplexTest, MimicsYarnProblemShape) {
+  // A miniature of the Eq. (7)-(10) LP: maximize n1*m1 + n2*m2 subject to a
+  // weighted latency budget and box bounds around the current point.
+  const double n1 = 100, n2 = 300;
+  // Latency grows with m: w1 = 10 + 2 m1 (slow SKU), w2 = 5 + 0.5 m2.
+  // Weights (tasks * machines): l1 n1 = 2000, l2 n2 = 9000.
+  // Current m1 = 7, m2 = 14 -> W' = (2000*24 + 9000*12)/11000 = 14.18.
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(0, n1).ok());
+  ASSERT_TRUE(lp.SetObjectiveCoefficient(1, n2).ok());
+  ASSERT_TRUE(lp.SetBounds(0, 5.0, 9.0).ok());
+  ASSERT_TRUE(lp.SetBounds(1, 12.0, 16.0).ok());
+  double w_budget = (2000.0 * 24.0 + 9000.0 * 12.0);  // Current total.
+  LpConstraint latency;
+  latency.coefficients = {2.0 * 2000.0, 0.5 * 9000.0};
+  latency.sense = ConstraintSense::kLessEqual;
+  latency.rhs = w_budget - 10.0 * 2000.0 - 5.0 * 9000.0;
+  ASSERT_TRUE(lp.AddConstraint(latency).ok());
+
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  // The optimizer should shed containers on the latency-expensive slow SKU
+  // and add them to the cheap fast SKU.
+  EXPECT_LT(solution->x[0], 7.0);
+  EXPECT_GT(solution->x[1], 14.0);
+  // Total capacity should not decrease.
+  EXPECT_GE(n1 * solution->x[0] + n2 * solution->x[1], n1 * 7.0 + n2 * 14.0);
+}
+
+TEST(SimplexTest, IterationLimit) {
+  SimplexSolver::Options options;
+  options.max_iterations = 1;
+  SimplexSolver solver(options);
+  LpProblem lp(3);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(lp.SetObjectiveCoefficient(i, 1.0).ok());
+    ASSERT_TRUE(lp.SetBounds(i, 0.0, 1.0).ok());
+  }
+  auto solution = solver.Solve(lp);
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SimplexTest, ZeroObjectiveReturnsFeasiblePoint) {
+  LpProblem lp(2);
+  ASSERT_TRUE(lp.AddConstraint({{1.0, 1.0}, ConstraintSense::kEqual, 3.0, ""}).ok());
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->x[0] + solution->x[1], 3.0, 1e-8);
+}
+
+
+// Property sweep: on random boxed LPs, the simplex solution must be feasible
+// and dominate thousands of random feasible points.
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, SolutionFeasibleAndDominant) {
+  kea::Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 4;
+  LpProblem lp(n);
+  std::vector<double> lo(n), hi(n), c(n);
+  for (size_t i = 0; i < n; ++i) {
+    lo[i] = rng.Uniform(0.0, 5.0);
+    hi[i] = lo[i] + rng.Uniform(1.0, 10.0);
+    c[i] = rng.Uniform(-5.0, 5.0);
+    ASSERT_TRUE(lp.SetBounds(i, lo[i], hi[i]).ok());
+    ASSERT_TRUE(lp.SetObjectiveCoefficient(i, c[i]).ok());
+  }
+  // Two random <= constraints guaranteed feasible at the lower corner.
+  std::vector<std::vector<double>> rows;
+  for (int r = 0; r < 2; ++r) {
+    LpConstraint con;
+    con.coefficients.resize(n);
+    double at_lo = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      con.coefficients[i] = rng.Uniform(0.0, 2.0);
+      at_lo += con.coefficients[i] * lo[i];
+    }
+    con.sense = ConstraintSense::kLessEqual;
+    con.rhs = at_lo + rng.Uniform(1.0, 20.0);
+    rows.push_back(con.coefficients);
+    ASSERT_TRUE(lp.AddConstraint(con).ok());
+  }
+  const auto& constraints = lp.constraints();
+
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+
+  // Feasibility of the reported solution.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(solution->x[i], lo[i] - 1e-7);
+    EXPECT_LE(solution->x[i], hi[i] + 1e-7);
+  }
+  for (const auto& con : constraints) {
+    double lhs = 0.0;
+    for (size_t i = 0; i < n; ++i) lhs += con.coefficients[i] * solution->x[i];
+    EXPECT_LE(lhs, con.rhs + 1e-6);
+  }
+
+  // Dominance over random feasible points.
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i) x[i] = rng.Uniform(lo[i], hi[i]);
+    bool feasible = true;
+    for (const auto& con : constraints) {
+      double lhs = 0.0;
+      for (size_t i = 0; i < n; ++i) lhs += con.coefficients[i] * x[i];
+      if (lhs > con.rhs) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double value = 0.0;
+    for (size_t i = 0; i < n; ++i) value += c[i] * x[i];
+    EXPECT_LE(value, solution->objective_value + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace kea::opt

@@ -1,0 +1,168 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kea::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 2), 0.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatrixMultiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_EQ(a.Multiply(b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixTest, MatrixVectorMultiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto v = a.Multiply(Vector{1.0, 1.0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*v)[1], 7.0);
+}
+
+TEST(MatrixTest, VectorShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(a.Multiply(Vector{1.0}).ok());
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Matrix x = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix gram = x.Gram();
+  auto expected = x.Transposed().Multiply(x);
+  ASSERT_TRUE(expected.ok());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(gram(r, c), (*expected)(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedMultiply) {
+  Matrix x = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  auto v = x.TransposedMultiply(Vector{1.0, 1.0, 1.0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)[0], 9.0);
+  EXPECT_DOUBLE_EQ((*v)[1], 12.0);
+}
+
+TEST(MatrixTest, AddToDiagonal) {
+  Matrix m(2, 2, 0.0);
+  m.AddToDiagonal(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  Matrix a = {{2.0, 1.0}, {1.0, -1.0}};
+  auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(SolveLinearSystem(a, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(SolveLinearSystem(a, {1.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveLinearSystemTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveCholeskyTest, SolvesSpdSystem) {
+  Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  auto x = SolveCholesky(a, {8.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4.0 * (*x)[0] + 2.0 * (*x)[1], 8.0, 1e-10);
+  EXPECT_NEAR(2.0 * (*x)[0] + 3.0 * (*x)[1], 7.0, 1e-10);
+}
+
+TEST(SolveCholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3, -1.
+  EXPECT_EQ(SolveCholesky(a, {1.0, 1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveCholeskyTest, AgreesWithGaussianElimination) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random SPD matrix: A = B^T B + I.
+    Matrix b(4, 4);
+    for (size_t r = 0; r < 4; ++r) {
+      for (size_t c = 0; c < 4; ++c) b(r, c) = rng.Gaussian();
+    }
+    Matrix a = b.Gram();
+    a.AddToDiagonal(1.0);
+    Vector rhs = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    auto x1 = SolveCholesky(a, rhs);
+    auto x2 = SolveLinearSystem(a, rhs);
+    ASSERT_TRUE(x1.ok());
+    ASSERT_TRUE(x2.ok());
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR((*x1)[i], (*x2)[i], 1e-8);
+    }
+  }
+}
+
+TEST(DotTest, ComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace kea::ml

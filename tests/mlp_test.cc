@@ -1,0 +1,135 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kea::ml {
+namespace {
+
+Dataset MakeNonlinear(size_t n, Rng* rng, double noise = 0.0) {
+  // y = sin(x) + 0.5 x over x in [-3, 3].
+  Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng->Uniform(-3.0, 3.0);
+    y[i] = std::sin(x[i]) + 0.5 * x[i] + (noise > 0 ? rng->Gaussian(0, noise) : 0.0);
+  }
+  return MakeDataset1D(x, y);
+}
+
+TEST(MlpTest, Validation) {
+  MlpRegressor mlp;
+  Dataset empty;
+  EXPECT_FALSE(mlp.Fit(empty).ok());
+
+  MlpRegressor::Options bad;
+  bad.hidden_units = 0;
+  Rng rng(1);
+  Dataset data = MakeNonlinear(50, &rng);
+  EXPECT_FALSE(MlpRegressor(bad).Fit(data).ok());
+}
+
+TEST(MlpTest, FitsLinearFunction) {
+  Rng rng(2);
+  Vector x(400), y(400);
+  for (size_t i = 0; i < 400; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 2.0 + 3.0 * x[i];
+  }
+  Dataset data = MakeDataset1D(x, y);
+  MlpRegressor::Options options;
+  options.epochs = 800;
+  options.learning_rate = 0.03;
+  MlpRegressor mlp(options);
+  auto model = mlp.Fit(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto metrics_pred = model->PredictBatch(data.x);
+  ASSERT_TRUE(metrics_pred.ok());
+  double sq = 0.0;
+  for (size_t i = 0; i < 400; ++i) {
+    double err = (*metrics_pred)[i] - y[i];
+    sq += err * err;
+  }
+  double rmse = std::sqrt(sq / 400.0);
+  // y spans [2, 32]; RMSE within ~2% of the range (tanh saturation leaves a
+  // little edge error).
+  EXPECT_LT(rmse, 0.6);
+}
+
+TEST(MlpTest, FitsNonlinearFunctionBetterThanLinear) {
+  Rng rng(3);
+  Dataset data = MakeNonlinear(1500, &rng, 0.02);
+  MlpRegressor::Options options;
+  options.epochs = 400;
+  options.hidden_units = 24;
+  MlpRegressor mlp(options);
+  auto model = mlp.Fit(data);
+  ASSERT_TRUE(model.ok());
+
+  LinearRegressor ols;
+  auto linear = ols.Fit(data);
+  ASSERT_TRUE(linear.ok());
+
+  auto rmse_of = [&](auto&& predict) {
+    double sq = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double err = data.y[i] - predict(data.x(i, 0));
+      sq += err * err;
+    }
+    return std::sqrt(sq / static_cast<double>(data.size()));
+  };
+  double mlp_rmse = rmse_of([&](double x) { return model->Predict({x}); });
+  double lin_rmse = rmse_of([&](double x) { return linear->Predict1D(x); });
+  EXPECT_LT(mlp_rmse, lin_rmse * 0.5);
+  EXPECT_LT(mlp_rmse, 0.15);
+}
+
+TEST(MlpTest, PredictBatchShapeMismatch) {
+  Rng rng(4);
+  Dataset data = MakeNonlinear(100, &rng);
+  auto model = MlpRegressor().Fit(data);
+  ASSERT_TRUE(model.ok());
+  Matrix wrong(5, 3);
+  EXPECT_FALSE(model->PredictBatch(wrong).ok());
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  Dataset data = MakeNonlinear(200, &rng);
+  MlpRegressor::Options options;
+  options.seed = 99;
+  auto a = MlpRegressor(options).Fit(data);
+  auto b = MlpRegressor(options).Fit(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->Predict({1.5}), b->Predict({1.5}));
+}
+
+TEST(MlpTest, MultivariateInputs) {
+  Rng rng(6);
+  const size_t n = 1200;
+  Dataset data;
+  data.x = Matrix(n, 2);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    data.x(i, 0) = a;
+    data.x(i, 1) = b;
+    data.y[i] = a * b;  // Not representable by a linear model.
+  }
+  MlpRegressor::Options options;
+  options.epochs = 500;
+  options.hidden_units = 32;
+  auto model = MlpRegressor(options).Fit(data);
+  ASSERT_TRUE(model.ok());
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double err = data.y[i] - model->Predict({data.x(i, 0), data.x(i, 1)});
+    sq += err * err;
+  }
+  double rmse = std::sqrt(sq / static_cast<double>(n));
+  EXPECT_LT(rmse, 0.35);  // Var(ab) ~ 1.77; the MLP must beat the mean.
+}
+
+}  // namespace
+}  // namespace kea::ml

@@ -1,0 +1,75 @@
+#include "core/model_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "kea.h"  // Also verifies the umbrella header compiles.
+#include "sim/fluid_engine.h"
+
+namespace kea::core {
+namespace {
+
+WhatIfEngine FitEngine(telemetry::TelemetryStore* store) {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 300;
+  auto cluster = sim::Cluster::Build(model.catalog(), spec);
+  sim::FluidEngine engine(&model, &cluster.value(), &workload,
+                          sim::FluidEngine::Options());
+  (void)engine.Run(0, 72, store);
+  auto whatif = WhatIfEngine::Fit(*store, nullptr, WhatIfEngine::Options());
+  return std::move(whatif).value();
+}
+
+TEST(ModelReportTest, CsvHasOneRowPerGroup) {
+  telemetry::TelemetryStore store;
+  WhatIfEngine engine = FitEngine(&store);
+  std::string csv = WhatIfModelsToCsv(engine);
+  auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->rows.size(), engine.models().size());
+  EXPECT_GE(parsed->ColumnIndex("g_slope"), 0);
+  EXPECT_GE(parsed->ColumnIndex("f_r2"), 0);
+  EXPECT_GE(parsed->ColumnIndex("median_latency_s"), 0);
+}
+
+TEST(ModelReportTest, ValuesMatchEngine) {
+  telemetry::TelemetryStore store;
+  WhatIfEngine engine = FitEngine(&store);
+  auto parsed = ParseCsv(WhatIfModelsToCsv(engine));
+  ASSERT_TRUE(parsed.ok());
+  int group_col = parsed->ColumnIndex("group");
+  int slope_col = parsed->ColumnIndex("g_slope");
+  ASSERT_GE(group_col, 0);
+  ASSERT_GE(slope_col, 0);
+
+  for (const auto& row : parsed->rows) {
+    const std::string& label = row[static_cast<size_t>(group_col)];
+    double slope = std::stod(row[static_cast<size_t>(slope_col)]);
+    bool found = false;
+    for (const auto& [key, gm] : engine.models()) {
+      if (sim::GroupLabel(key) == label) {
+        EXPECT_NEAR(slope, gm.g.coefficients()[0], 1e-5) << label;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << label;
+  }
+}
+
+TEST(ModelReportTest, SaveToFile) {
+  telemetry::TelemetryStore store;
+  WhatIfEngine engine = FitEngine(&store);
+  std::string path = testing::TempDir() + "/kea_models.csv";
+  ASSERT_TRUE(SaveWhatIfModels(engine, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows.size(), engine.models().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kea::core

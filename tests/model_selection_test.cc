@@ -1,0 +1,80 @@
+#include "ml/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kea::ml {
+namespace {
+
+Dataset CleanLine(size_t n, Rng* rng) {
+  Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng->Uniform(0, 10);
+    y[i] = 1.0 + 2.0 * x[i] + rng->Gaussian(0, 0.3);
+  }
+  return MakeDataset1D(x, y);
+}
+
+TEST(CrossValidateTest, Validation) {
+  Rng rng(1);
+  Dataset data = CleanLine(100, &rng);
+  EXPECT_FALSE(CrossValidateRmse(data, RegressorFamily::kOls, 1).ok());
+  Dataset tiny = CleanLine(8, &rng);
+  EXPECT_FALSE(CrossValidateRmse(tiny, RegressorFamily::kOls, 5).ok());
+}
+
+TEST(CrossValidateTest, RmseTracksNoiseLevel) {
+  Rng rng(2);
+  Dataset data = CleanLine(800, &rng);
+  auto rmse = CrossValidateRmse(data, RegressorFamily::kOls, 5);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_NEAR(*rmse, 0.3, 0.05);
+}
+
+TEST(CrossValidateTest, Deterministic) {
+  Rng rng(3);
+  Dataset data = CleanLine(300, &rng);
+  auto a = CrossValidateRmse(data, RegressorFamily::kHuber, 5);
+  auto b = CrossValidateRmse(data, RegressorFamily::kHuber, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(SelectRegressorTest, PrefersHuberUnderContamination) {
+  Rng rng(4);
+  Dataset data = CleanLine(600, &rng);
+  for (size_t i = 0; i < 60; ++i) data.y[i * 10] += 200.0;
+  auto family = SelectRegressor(data);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(*family, RegressorFamily::kHuber);
+}
+
+TEST(SelectRegressorTest, CleanDataEitherIsFine) {
+  Rng rng(5);
+  Dataset data = CleanLine(600, &rng);
+  auto family = SelectRegressor(data);
+  ASSERT_TRUE(family.ok());
+  // Either family must produce a near-identical fit on clean data.
+  auto ols = FitFamily(data, RegressorFamily::kOls);
+  auto huber = FitFamily(data, RegressorFamily::kHuber);
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(huber.ok());
+  EXPECT_NEAR(ols->coefficients()[0], huber->coefficients()[0], 0.05);
+}
+
+TEST(FitFamilyTest, DispatchesCorrectly) {
+  Rng rng(6);
+  Dataset data = CleanLine(200, &rng);
+  for (size_t i = 0; i < 20; ++i) data.y[i * 10] += 300.0;
+  auto ols = FitFamily(data, RegressorFamily::kOls);
+  auto huber = FitFamily(data, RegressorFamily::kHuber);
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(huber.ok());
+  // OLS is pulled by outliers; Huber isn't — they must differ visibly.
+  EXPECT_GT(std::fabs(ols->intercept() - huber->intercept()), 1.0);
+}
+
+}  // namespace
+}  // namespace kea::ml

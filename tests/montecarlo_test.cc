@@ -1,0 +1,69 @@
+#include "opt/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kea::opt {
+namespace {
+
+TEST(MonteCarloTest, EstimatesKnownExpectation) {
+  Rng rng(1);
+  auto estimate = EstimateExpectation(
+      [](Rng* r) { return r->Gaussian(5.0, 2.0); }, 50000, &rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->mean, 5.0, 0.05);
+  EXPECT_NEAR(estimate->stddev, 2.0, 0.05);
+  EXPECT_NEAR(estimate->standard_error, 2.0 / std::sqrt(50000.0), 0.002);
+}
+
+TEST(MonteCarloTest, DeterministicSampler) {
+  Rng rng(2);
+  auto estimate = EstimateExpectation([](Rng*) { return 7.0; }, 100, &rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->mean, 7.0);
+  EXPECT_DOUBLE_EQ(estimate->stddev, 0.0);
+}
+
+TEST(MonteCarloTest, Validation) {
+  Rng rng(3);
+  EXPECT_EQ(EstimateExpectation([](Rng*) { return 0.0; }, 1, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      EstimateExpectation([](Rng*) { return 0.0; }, 100, nullptr).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(GridEstimateTest, FindsArgmin) {
+  Rng rng(4);
+  // Candidate i has expected cost |i - 3| + noise.
+  auto sample = [](size_t i, Rng* r) {
+    return std::fabs(static_cast<double>(i) - 3.0) + r->Gaussian(0.0, 0.1);
+  };
+  auto grid = EstimateOverGrid(7, sample, 2000, &rng);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->best_index, 3u);
+  EXPECT_EQ(grid->estimates.size(), 7u);
+  EXPECT_NEAR(grid->estimates[0].mean, 3.0, 0.05);
+}
+
+TEST(GridEstimateTest, EmptyGridIsError) {
+  Rng rng(5);
+  EXPECT_EQ(EstimateOverGrid(0, [](size_t, Rng*) { return 0.0; }, 100, &rng)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MonteCarloTest, ReproducibleWithSameSeed) {
+  auto run = [](uint64_t seed) {
+    Rng rng(seed);
+    auto e = EstimateExpectation([](Rng* r) { return r->Uniform(); }, 1000, &rng);
+    return e.value().mean;
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace kea::opt

@@ -1,0 +1,171 @@
+#include "sim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::sim {
+namespace {
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModel model_ = PerfModel::CreateDefault();
+};
+
+TEST_F(PerfModelTest, UtilizationScalesWithContainersAndClamps) {
+  // Gen1.1: 16 cores, 2 cores/container.
+  EXPECT_DOUBLE_EQ(model_.Utilization(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.Utilization(0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(model_.Utilization(0, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(model_.Utilization(0, 100.0), 1.0);  // Clamped.
+}
+
+TEST_F(PerfModelTest, FasterSkuLowerUtilizationAtSameLoad) {
+  // Same container count uses a smaller fraction of a bigger machine.
+  EXPECT_GT(model_.Utilization(0, 6.0), model_.Utilization(5, 6.0));
+}
+
+TEST_F(PerfModelTest, LatencyIncreasesWithUtilization) {
+  MachineGroupKey group{0, 2};
+  double low = model_.TaskLatencySeconds(group, 0.2, 5.0, 0.0, false);
+  double high = model_.TaskLatencySeconds(group, 0.9, 5.0, 0.0, false);
+  EXPECT_GT(high, low);
+}
+
+TEST_F(PerfModelTest, LatencyIncreasesWithContainerCount) {
+  // More concurrent containers share the temp-store medium.
+  MachineGroupKey group{0, 2};
+  double few = model_.TaskLatencySeconds(group, 0.5, 2.0, 0.0, false);
+  double many = model_.TaskLatencySeconds(group, 0.5, 10.0, 0.0, false);
+  EXPECT_GT(many, few);
+}
+
+TEST_F(PerfModelTest, FasterSkuHasLowerLatency) {
+  double slow = model_.TaskLatencySeconds({0, 0}, 0.6, 6.0, 0.0, false);
+  double fast = model_.TaskLatencySeconds({0, 5}, 0.6, 6.0, 0.0, false);
+  EXPECT_GT(slow, fast);
+}
+
+TEST_F(PerfModelTest, Sc2FasterThanSc1) {
+  // SC2 (temp on SSD) must beat SC1 (temp on HDD) on every SKU.
+  for (SkuId sku = 0; sku < 6; ++sku) {
+    double sc1 = model_.TaskLatencySeconds({0, sku}, 0.6, 8.0, 0.0, false);
+    double sc2 = model_.TaskLatencySeconds({1, sku}, 0.6, 8.0, 0.0, false);
+    EXPECT_LT(sc2, sc1) << "sku " << sku;
+  }
+}
+
+TEST_F(PerfModelTest, FeatureAlwaysHelpsLatency) {
+  for (SkuId sku = 0; sku < 6; ++sku) {
+    double off = model_.TaskLatencySeconds({0, sku}, 0.7, 8.0, 0.0, false);
+    double on = model_.TaskLatencySeconds({0, sku}, 0.7, 8.0, 0.0, true);
+    EXPECT_LT(on, off) << "sku " << sku;
+  }
+}
+
+TEST_F(PerfModelTest, NoThrottleWithoutCap) {
+  EXPECT_DOUBLE_EQ(model_.ThrottleFactor(4, 1.0, 0.0, false), 1.0);
+}
+
+TEST_F(PerfModelTest, ShallowCapRarelyThrottles) {
+  // 10% below provisioned is still above the typical draw at moderate load.
+  EXPECT_DOUBLE_EQ(model_.ThrottleFactor(4, 0.5, 0.10, false), 1.0);
+}
+
+TEST_F(PerfModelTest, DeepCapThrottlesAtHighUtilization) {
+  double factor = model_.ThrottleFactor(4, 0.95, 0.30, false);
+  EXPECT_LT(factor, 1.0);
+  EXPECT_GT(factor, 0.3);
+}
+
+TEST_F(PerfModelTest, ThrottleMonotoneInCapDepth) {
+  double prev = 1.0;
+  for (double cap : {0.10, 0.15, 0.20, 0.25, 0.30, 0.40}) {
+    double f = model_.ThrottleFactor(4, 0.95, cap, false);
+    EXPECT_LE(f, prev + 1e-12) << "cap " << cap;
+    prev = f;
+  }
+}
+
+TEST_F(PerfModelTest, FeatureSoftensThrottle) {
+  // The Feature's power discount leaves headroom under the cap.
+  double off = model_.ThrottleFactor(4, 0.95, 0.30, false);
+  double on = model_.ThrottleFactor(4, 0.95, 0.30, true);
+  EXPECT_GE(on, off);
+}
+
+TEST_F(PerfModelTest, PowerNeverExceedsCap) {
+  for (double util : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    for (double cap : {0.10, 0.20, 0.30}) {
+      double watts = model_.PowerWatts(4, util, cap, false);
+      EXPECT_LE(watts, model_.CapWatts(4, cap) + 1e-9)
+          << "util " << util << " cap " << cap;
+    }
+  }
+}
+
+TEST_F(PerfModelTest, PowerIncreasesWithUtilization) {
+  double idle = model_.PowerWatts(3, 0.0, 0.0, false);
+  double busy = model_.PowerWatts(3, 0.9, 0.0, false);
+  EXPECT_GT(busy, idle);
+  EXPECT_DOUBLE_EQ(idle, model_.catalog().spec(3).idle_watts);
+}
+
+TEST_F(PerfModelTest, TasksPerHourIdentity) {
+  EXPECT_DOUBLE_EQ(model_.TasksPerHour(10.0, 36.0), 1000.0);
+  EXPECT_DOUBLE_EQ(model_.TasksPerHour(10.0, 0.0), 0.0);
+}
+
+TEST_F(PerfModelTest, DataReadScalesWithTasks) {
+  double one = model_.DataReadMbPerHour(1.0);
+  EXPECT_DOUBLE_EQ(model_.DataReadMbPerHour(10.0), 10.0 * one);
+}
+
+TEST_F(PerfModelTest, ResourceUsageLinearInCores) {
+  const auto& p = model_.params();
+  EXPECT_DOUBLE_EQ(model_.SsdUsedGb(0.0, 6.0), p.ssd_base_gb);
+  EXPECT_DOUBLE_EQ(model_.SsdUsedGb(10.0, 6.0), p.ssd_base_gb + 60.0);
+  EXPECT_DOUBLE_EQ(model_.RamUsedGb(8.0, 3.0), p.ram_base_gb + 24.0);
+}
+
+TEST_F(PerfModelTest, CoresUsed) {
+  EXPECT_DOUBLE_EQ(model_.CoresUsed(5, 0.5), 32.0);  // Gen4.1 has 64 cores.
+}
+
+TEST(PerfModelCreateTest, Validation) {
+  auto catalog = SkuCatalog::Default();
+  EXPECT_FALSE(PerfModel::Create(catalog, {}, PerfModel::Params()).ok());
+
+  PerfModel::Params bad;
+  bad.cores_per_container = 0.0;
+  EXPECT_FALSE(PerfModel::Create(catalog, DefaultSoftwareConfigs(), bad).ok());
+
+  PerfModel::Params negative_interference;
+  negative_interference.interference = -0.5;
+  EXPECT_FALSE(
+      PerfModel::Create(catalog, DefaultSoftwareConfigs(), negative_interference).ok());
+}
+
+// Property sweep: the latency/utilization relation is monotone for every
+// group, which is what makes KEA's 1-D models well-posed.
+class LatencyMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LatencyMonotoneTest, LatencyMonotoneInUtilization) {
+  auto [sc, sku] = GetParam();
+  PerfModel model = PerfModel::CreateDefault();
+  MachineGroupKey group{sc, sku};
+  double prev = 0.0;
+  for (double util = 0.05; util <= 1.0; util += 0.05) {
+    double containers = util * model.catalog().spec(sku).cores /
+                        model.params().cores_per_container;
+    double latency = model.TaskLatencySeconds(group, util, containers, 0.0, false);
+    EXPECT_GT(latency, prev) << "util " << util;
+    prev = latency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, LatencyMonotoneTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace kea::sim

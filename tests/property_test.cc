@@ -1,0 +1,148 @@
+// Cross-cutting property sweeps: conservation and monotonicity invariants
+// that must hold for every configuration, exercised with TEST_P grids.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Work conservation: at every demand level, the cluster runs
+// min(demand, capacity) containers (within noise), and demand beyond
+// capacity shows up as queued + rejected, never vanishing.
+class ConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationTest, DemandIsConservedAcrossLoadLevels) {
+  double demand_fraction = GetParam();
+  PerfModel model = PerfModel::CreateDefault();
+  WorkloadSpec wspec = WorkloadSpec::Default();
+  wspec.base_demand_fraction = demand_fraction;
+  wspec.diurnal_amplitude = 0.0;
+  wspec.demand_noise_sigma = 0.0;
+  wspec.weekend_factor = 1.0;
+  auto workload = WorkloadModel::Create(wspec);
+  ASSERT_TRUE(workload.ok());
+
+  ClusterSpec cspec = ClusterSpec::Default();
+  cspec.total_machines = 400;
+  auto cluster = Cluster::Build(model.catalog(), cspec);
+  ASSERT_TRUE(cluster.ok());
+  double capacity = static_cast<double>(cluster->TotalContainerSlots());
+
+  FluidEngine engine(&model, &cluster.value(), &workload.value(),
+                     FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 8, &store).ok());
+
+  // Per hour: running + queued + rejected ~ demand.
+  std::map<HourIndex, double> accounted;
+  for (const auto& r : store.records()) {
+    accounted[r.hour] +=
+        r.avg_running_containers + r.queued_containers + r.rejected_containers;
+  }
+  double demand = demand_fraction * capacity;
+  for (const auto& [hour, total] : accounted) {
+    EXPECT_NEAR(total, demand, demand * 0.03) << "hour " << hour;
+  }
+
+  // Running never exceeds capacity.
+  std::map<HourIndex, double> running;
+  for (const auto& r : store.records()) running[r.hour] += r.avg_running_containers;
+  for (const auto& [hour, total] : running) {
+    EXPECT_LE(total, capacity * 1.001) << "hour " << hour;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DemandLevels, ConservationTest,
+                         ::testing::Values(0.5, 0.8, 0.95, 1.1, 1.4));
+
+// ---------------------------------------------------------------------------
+// Power draw is monotone in utilization and respects the cap, for every SKU
+// and cap depth.
+class PowerMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PowerMonotoneTest, DrawMonotoneAndCapped) {
+  auto [sku, cap] = GetParam();
+  PerfModel model = PerfModel::CreateDefault();
+  double prev = -1.0;
+  for (double util = 0.0; util <= 1.0 + 1e-9; util += 0.05) {
+    for (bool feature : {false, true}) {
+      double watts = model.PowerWatts(sku, util, cap, feature);
+      EXPECT_LE(watts, model.CapWatts(sku, cap) + 1e-9);
+      EXPECT_GE(watts, model.catalog().spec(sku).idle_watts - 1e-9);
+    }
+    double watts_off = model.PowerWatts(sku, util, cap, false);
+    EXPECT_GE(watts_off, prev - 1e-9) << "util " << util;
+    prev = watts_off;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkuCapGrid, PowerMonotoneTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(0.05, 0.15, 0.30)));
+
+// ---------------------------------------------------------------------------
+// Throttling never speeds a machine up, and the Feature never hurts, over
+// the whole (sku, util, cap) grid.
+class ThrottlePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ThrottlePropertyTest, ThrottleBoundsAndFeatureDominance) {
+  auto [sku, cap_index] = GetParam();
+  const double caps[] = {0.0, 0.1, 0.2, 0.3};
+  double cap = caps[cap_index];
+  PerfModel model = PerfModel::CreateDefault();
+  for (double util = 0.05; util <= 1.0; util += 0.05) {
+    double off = model.ThrottleFactor(sku, util, cap, false);
+    double on = model.ThrottleFactor(sku, util, cap, true);
+    EXPECT_LE(off, 1.0 + 1e-12);
+    EXPECT_GT(off, 0.2);
+    EXPECT_GE(on, off - 1e-12) << "feature must not throttle harder";
+
+    MachineGroupKey group{0, sku};
+    double containers = util * model.catalog().spec(sku).cores /
+                        model.params().cores_per_container;
+    double latency_off =
+        model.TaskLatencySeconds(group, util, containers, cap, false);
+    double latency_on =
+        model.TaskLatencySeconds(group, util, containers, cap, true);
+    EXPECT_LT(latency_on, latency_off) << "sku " << sku << " util " << util;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkuCapGrid, ThrottlePropertyTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------------
+// Seasonal demand is strictly positive and weekly-periodic for a grid of
+// spec shapes.
+class SeasonalityTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SeasonalityTest, PositiveAndPeriodic) {
+  auto [amplitude, weekend] = GetParam();
+  WorkloadSpec spec = WorkloadSpec::Default();
+  spec.diurnal_amplitude = amplitude;
+  spec.weekend_factor = weekend;
+  auto model = WorkloadModel::Create(spec);
+  ASSERT_TRUE(model.ok());
+  for (HourIndex h = 0; h < kHoursPerWeek; ++h) {
+    double f = model->SeasonalDemandFraction(h);
+    EXPECT_GT(f, 0.0) << h;
+    EXPECT_DOUBLE_EQ(f, model->SeasonalDemandFraction(h + kHoursPerWeek)) << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, SeasonalityTest,
+                         ::testing::Combine(::testing::Values(0.0, 0.16, 0.5),
+                                            ::testing::Values(0.6, 0.86, 1.0)));
+
+}  // namespace
+}  // namespace kea::sim

@@ -1,0 +1,160 @@
+#include "apps/queue_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::apps {
+namespace {
+
+/// An overloaded cluster so queues form (queue models need queued hours).
+struct QueueFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  explicit QueueFixture(int machines = 600, int hours = 96) {
+    sim::WorkloadSpec wspec = sim::WorkloadSpec::Default();
+    wspec.base_demand_fraction = 1.3;
+    workload = std::move(sim::WorkloadModel::Create(wspec)).value();
+
+    sim::ClusterSpec cspec = sim::ClusterSpec::Default();
+    cspec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), cspec)).value();
+
+    sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+    (void)engine.Run(0, hours, &store);
+  }
+};
+
+TEST(QueueTunerTest, ProposesAPlanOnOverloadedTelemetry) {
+  QueueFixture fx;
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan->groups.size(), 6u);
+  for (const auto& gp : plan->groups) {
+    EXPECT_GT(gp.latency_vs_queued.coefficients()[0], 0.0)
+        << sim::GroupLabel(gp.group);
+    EXPECT_GE(gp.recommended_max_queued, 2);
+    EXPECT_LE(gp.recommended_max_queued, 64);
+  }
+}
+
+TEST(QueueTunerTest, FastSkusGetLongerQueues) {
+  // Section 5.3: "as faster machines have faster de-queue rate, we can allow
+  // more containers to be queued on them."
+  QueueFixture fx;
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+
+  double slow_total = 0.0, fast_total = 0.0;
+  int slow_count = 0, fast_count = 0;
+  for (const auto& gp : plan->groups) {
+    if (gp.group.sku == 0) {
+      slow_total += gp.recommended_max_queued;
+      ++slow_count;
+    }
+    if (gp.group.sku == 5) {
+      fast_total += gp.recommended_max_queued;
+      ++fast_count;
+    }
+  }
+  ASSERT_GT(slow_count, 0);
+  ASSERT_GT(fast_count, 0);
+  EXPECT_GT(fast_total / fast_count, slow_total / slow_count);
+}
+
+TEST(QueueTunerTest, MinMaxObjectiveImproves) {
+  QueueFixture fx;
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->worst_latency_after_ms, plan->worst_latency_before_ms * 1.001);
+}
+
+TEST(QueueTunerTest, TotalQueueCapacityConserved) {
+  QueueFixture fx;
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+
+  double before = 0.0, after = 0.0;
+  for (const auto& gp : plan->groups) {
+    before += static_cast<double>(gp.num_machines) * gp.current_max_queued;
+    after += static_cast<double>(gp.num_machines) * gp.recommended_max_queued;
+  }
+  // Rounding to integers may move a few slots; stay within 3%.
+  EXPECT_NEAR(after / before, 1.0, 0.03);
+}
+
+TEST(QueueTunerTest, ApplySetsClusterConfig) {
+  QueueFixture fx;
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(QueueTuner::Apply(*plan, &fx.cluster).ok());
+  for (const auto& gp : plan->groups) {
+    for (int id : fx.cluster.groups().at(gp.group)) {
+      EXPECT_EQ(fx.cluster.machines()[static_cast<size_t>(id)].max_queued_containers,
+                gp.recommended_max_queued);
+    }
+  }
+  EXPECT_EQ(QueueTuner::Apply(*plan, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueueTunerTest, NoQueuedTelemetryFails) {
+  // A lightly loaded cluster produces no queues.
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadSpec wspec = sim::WorkloadSpec::Default();
+  wspec.base_demand_fraction = 0.5;
+  wspec.demand_noise_sigma = 0.0;
+  auto workload = std::move(sim::WorkloadModel::Create(wspec)).value();
+  sim::ClusterSpec cspec = sim::ClusterSpec::Default();
+  cspec.total_machines = 200;
+  auto cluster = std::move(sim::Cluster::Build(model.catalog(), cspec)).value();
+  sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+
+  QueueTuner tuner;
+  EXPECT_EQ(tuner.Propose(store, nullptr, cluster).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueueTunerTest, RebalancedQueuesReduceWorstGroupLatencyInSimulation) {
+  // Full loop: tune, apply, re-simulate, and verify the worst group's p99
+  // queue latency actually drops.
+  QueueFixture fx;
+  telemetry::PerformanceMonitor monitor(&fx.store);
+  auto before_metrics = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(before_metrics.ok());
+  double before_worst = 0.0;
+  for (const auto& [key, m] : *before_metrics) {
+    before_worst = std::max(before_worst, m.p99_queue_latency_ms);
+  }
+
+  QueueTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(QueueTuner::Apply(*plan, &fx.cluster).ok());
+
+  telemetry::TelemetryStore after_store;
+  sim::FluidEngine engine(&fx.model, &fx.cluster, &fx.workload,
+                          sim::FluidEngine::Options());
+  ASSERT_TRUE(engine.Run(200, 96, &after_store).ok());
+  telemetry::PerformanceMonitor after_monitor(&after_store);
+  auto after_metrics = after_monitor.GroupMetricsByKey();
+  ASSERT_TRUE(after_metrics.ok());
+  double after_worst = 0.0;
+  for (const auto& [key, m] : *after_metrics) {
+    after_worst = std::max(after_worst, m.p99_queue_latency_ms);
+  }
+  EXPECT_LT(after_worst, before_worst);
+}
+
+}  // namespace
+}  // namespace kea::apps

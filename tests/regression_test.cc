@@ -1,0 +1,245 @@
+#include "ml/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kea::ml {
+namespace {
+
+Dataset NoisyLine(double intercept, double slope, size_t n, double noise, Rng* rng) {
+  Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng->Uniform(0.0, 10.0);
+    y[i] = intercept + slope * x[i] + rng->Gaussian(0.0, noise);
+  }
+  return MakeDataset1D(x, y);
+}
+
+TEST(LinearRegressorTest, RecoversExactLine) {
+  Rng rng(1);
+  Dataset data = NoisyLine(2.0, 3.0, 50, 0.0, &rng);
+  LinearRegressor reg;
+  auto model = reg.Fit(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_NEAR(model->intercept(), 2.0, 1e-9);
+  EXPECT_NEAR(model->coefficients()[0], 3.0, 1e-9);
+}
+
+TEST(LinearRegressorTest, RecoversNoisyLine) {
+  Rng rng(2);
+  Dataset data = NoisyLine(-1.0, 0.5, 2000, 0.3, &rng);
+  LinearRegressor reg;
+  auto model = reg.Fit(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->intercept(), -1.0, 0.05);
+  EXPECT_NEAR(model->coefficients()[0], 0.5, 0.01);
+}
+
+TEST(LinearRegressorTest, MultivariateRecovery) {
+  Rng rng(3);
+  const size_t n = 500;
+  Dataset data;
+  data.x = Matrix(n, 3);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(0, 5), b = rng.Uniform(0, 5), c = rng.Uniform(0, 5);
+    data.x(i, 0) = a;
+    data.x(i, 1) = b;
+    data.x(i, 2) = c;
+    data.y[i] = 1.0 + 2.0 * a - 3.0 * b + 0.5 * c;
+  }
+  LinearRegressor reg;
+  auto model = reg.Fit(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->intercept(), 1.0, 1e-8);
+  EXPECT_NEAR(model->coefficients()[0], 2.0, 1e-8);
+  EXPECT_NEAR(model->coefficients()[1], -3.0, 1e-8);
+  EXPECT_NEAR(model->coefficients()[2], 0.5, 1e-8);
+}
+
+TEST(LinearRegressorTest, RejectsEmptyDataset) {
+  LinearRegressor reg;
+  Dataset empty;
+  EXPECT_EQ(reg.Fit(empty).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearRegressorTest, RejectsTooFewObservations) {
+  Dataset data;
+  data.x = Matrix(1, 2);
+  data.y = {1.0};
+  LinearRegressor reg;
+  EXPECT_EQ(reg.Fit(data).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearRegressorTest, RejectsNegativeWeights) {
+  Rng rng(4);
+  Dataset data = NoisyLine(0.0, 1.0, 10, 0.0, &rng);
+  LinearRegressor reg;
+  Vector weights(10, 1.0);
+  weights[3] = -1.0;
+  EXPECT_EQ(reg.FitWeighted(data, weights).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LinearRegressorTest, ZeroWeightIgnoresObservation) {
+  Rng rng(5);
+  Dataset data = NoisyLine(1.0, 2.0, 40, 0.0, &rng);
+  // Corrupt one observation, then weight it out.
+  data.y[0] += 1000.0;
+  Vector weights(40, 1.0);
+  weights[0] = 0.0;
+  LinearRegressor reg;
+  auto model = reg.FitWeighted(data, weights);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->intercept(), 1.0, 1e-8);
+  EXPECT_NEAR(model->coefficients()[0], 2.0, 1e-8);
+}
+
+TEST(LinearRegressorTest, RidgeShrinksCoefficients) {
+  Rng rng(6);
+  Dataset data = NoisyLine(0.0, 5.0, 100, 0.1, &rng);
+  LinearRegressor plain(0.0);
+  LinearRegressor ridge(1000.0);
+  auto m1 = plain.Fit(data);
+  auto m2 = ridge.Fit(data);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_LT(std::fabs(m2->coefficients()[0]), std::fabs(m1->coefficients()[0]));
+}
+
+TEST(HuberRegressorTest, MatchesOlsOnCleanData) {
+  Rng rng(7);
+  Dataset data = NoisyLine(3.0, -2.0, 500, 0.2, &rng);
+  auto ols = LinearRegressor().Fit(data);
+  auto huber = HuberRegressor().Fit(data);
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(huber.ok());
+  EXPECT_NEAR(huber->intercept(), ols->intercept(), 0.05);
+  EXPECT_NEAR(huber->coefficients()[0], ols->coefficients()[0], 0.02);
+}
+
+TEST(HuberRegressorTest, RobustToOutliers) {
+  Rng rng(8);
+  Dataset data = NoisyLine(1.0, 2.0, 400, 0.1, &rng);
+  // Contaminate 10% of the targets with gross outliers.
+  for (size_t i = 0; i < 40; ++i) {
+    data.y[i * 10] += 80.0;
+  }
+  auto ols = LinearRegressor().Fit(data);
+  auto huber = HuberRegressor().Fit(data);
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(huber.ok());
+  double ols_err = std::fabs(ols->coefficients()[0] - 2.0) +
+                   std::fabs(ols->intercept() - 1.0);
+  double huber_err = std::fabs(huber->coefficients()[0] - 2.0) +
+                     std::fabs(huber->intercept() - 1.0);
+  EXPECT_LT(huber_err, ols_err / 3.0);
+  EXPECT_NEAR(huber->coefficients()[0], 2.0, 0.05);
+}
+
+TEST(LinearModelTest, PredictAndPredict1D) {
+  LinearModel model(1.0, {2.0});
+  EXPECT_DOUBLE_EQ(model.Predict1D(3.0), 7.0);
+  EXPECT_DOUBLE_EQ(model.Predict({3.0}), 7.0);
+}
+
+TEST(LinearModelTest, PredictBatch) {
+  LinearModel model(1.0, {2.0, -1.0});
+  Matrix features = {{1.0, 1.0}, {0.0, 3.0}};
+  auto pred = model.PredictBatch(features);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_DOUBLE_EQ((*pred)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*pred)[1], -2.0);
+}
+
+TEST(LinearModelTest, PredictBatchShapeMismatch) {
+  LinearModel model(0.0, {1.0});
+  Matrix features(2, 3);
+  EXPECT_FALSE(model.PredictBatch(features).ok());
+}
+
+TEST(LinearModelTest, Invert1D) {
+  LinearModel model(1.0, {2.0});
+  auto x = model.Invert1D(7.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 3.0);
+}
+
+TEST(LinearModelTest, Invert1DRejectsFlatModel) {
+  LinearModel model(1.0, {0.0});
+  EXPECT_EQ(model.Invert1D(5.0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearModelTest, Invert1DRejectsMultivariate) {
+  LinearModel model(1.0, {1.0, 2.0});
+  EXPECT_EQ(model.Invert1D(5.0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluateTest, PerfectFitHasR2One) {
+  Rng rng(9);
+  Dataset data = NoisyLine(2.0, 3.0, 100, 0.0, &rng);
+  auto model = LinearRegressor().Fit(data);
+  ASSERT_TRUE(model.ok());
+  auto metrics = Evaluate(*model, data);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NEAR(metrics->r2, 1.0, 1e-10);
+  EXPECT_NEAR(metrics->rmse, 0.0, 1e-8);
+  EXPECT_NEAR(metrics->mae, 0.0, 1e-8);
+}
+
+TEST(EvaluateTest, NoisyFitMetricsReasonable) {
+  Rng rng(10);
+  Dataset data = NoisyLine(0.0, 1.0, 3000, 0.5, &rng);
+  auto model = LinearRegressor().Fit(data);
+  ASSERT_TRUE(model.ok());
+  auto metrics = Evaluate(*model, data);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->r2, 0.9);
+  EXPECT_NEAR(metrics->rmse, 0.5, 0.05);
+}
+
+// Property sweep: OLS recovery across slope/noise combinations.
+class RegressionRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RegressionRecoveryTest, SlopeRecoveredWithinTolerance) {
+  auto [slope, noise] = GetParam();
+  Rng rng(static_cast<uint64_t>(slope * 100 + noise * 10 + 3));
+  Dataset data = NoisyLine(1.0, slope, 4000, noise, &rng);
+  auto model = LinearRegressor().Fit(data);
+  ASSERT_TRUE(model.ok());
+  // Standard error of the slope ~ noise / (sd(x) * sqrt(n)).
+  double tolerance = 5.0 * noise / (2.9 * std::sqrt(4000.0)) + 1e-9;
+  EXPECT_NEAR(model->coefficients()[0], slope, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlopeNoiseGrid, RegressionRecoveryTest,
+    ::testing::Combine(::testing::Values(-4.0, -0.5, 0.0, 0.5, 4.0),
+                       ::testing::Values(0.01, 0.2, 1.0)));
+
+// Property sweep: Huber stays accurate across contamination rates.
+class HuberContaminationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HuberContaminationTest, SlopeWithinFivePercent) {
+  double contamination = GetParam();
+  Rng rng(77);
+  Dataset data = NoisyLine(0.0, 3.0, 1000, 0.1, &rng);
+  size_t corrupted = static_cast<size_t>(contamination * 1000);
+  for (size_t i = 0; i < corrupted; ++i) {
+    data.y[i] = 500.0;  // Gross outliers all pulling one way.
+  }
+  auto model = HuberRegressor().Fit(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->coefficients()[0], 3.0, 0.15)
+      << "contamination=" << contamination;
+}
+
+INSTANTIATE_TEST_SUITE_P(ContaminationLevels, HuberContaminationTest,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.10));
+
+}  // namespace
+}  // namespace kea::ml

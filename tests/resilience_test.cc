@@ -1,0 +1,132 @@
+// Tests for fleet resilience features: sub-clusters (the federation unit
+// used by pilot flightings) and machine-failure injection (telemetry gaps
+// that KEA's statistical models must tolerate).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/whatif.h"
+#include "sim/fluid_engine.h"
+
+namespace kea::sim {
+namespace {
+
+Cluster MakeCluster(int machines = 800) {
+  ClusterSpec spec = ClusterSpec::Default();
+  spec.total_machines = machines;
+  return std::move(Cluster::Build(SkuCatalog::Default(), spec)).value();
+}
+
+TEST(SubClusterTest, PartitionIsCompleteAndDisjoint) {
+  Cluster cluster = MakeCluster();
+  EXPECT_GT(cluster.num_subclusters(), 1);
+  std::set<int> seen;
+  for (int s = 0; s < cluster.num_subclusters(); ++s) {
+    for (int id : cluster.SubClusterMachines(s)) {
+      EXPECT_TRUE(seen.insert(id).second) << "machine in two sub-clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), cluster.size());
+  EXPECT_TRUE(cluster.SubClusterMachines(9999).empty());
+}
+
+TEST(SubClusterTest, RespectsRackBoundaries) {
+  Cluster cluster = MakeCluster();
+  ClusterSpec spec = ClusterSpec::Default();
+  for (const Machine& m : cluster.machines()) {
+    EXPECT_EQ(m.sub_cluster, m.rack / spec.racks_per_subcluster);
+  }
+}
+
+TEST(SubClusterTest, SpecValidation) {
+  ClusterSpec spec = ClusterSpec::Default();
+  spec.racks_per_subcluster = 0;
+  EXPECT_FALSE(Cluster::Build(SkuCatalog::Default(), spec).ok());
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  PerfModel model_ = PerfModel::CreateDefault();
+  WorkloadModel workload_ = WorkloadModel::CreateDefault();
+};
+
+TEST_F(FailureInjectionTest, DownMachinesEmitNoTelemetry) {
+  Cluster cluster = MakeCluster(300);
+  FluidEngine::Options options;
+  options.failure_rate_per_hour = 0.01;
+  options.mean_repair_hours = 10.0;
+  FluidEngine engine(&model_, &cluster, &workload_, options);
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 100, &store).ok());
+  // Some machine-hours must be missing (expected downtime ~ 9%).
+  EXPECT_LT(store.size(), 300u * 100u);
+  EXPECT_GT(store.size(), 300u * 100u * 3u / 4u);
+}
+
+TEST_F(FailureInjectionTest, NoFailuresMeansFullTelemetry) {
+  Cluster cluster = MakeCluster(200);
+  FluidEngine engine(&model_, &cluster, &workload_, FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 24, &store).ok());
+  EXPECT_EQ(store.size(), 200u * 24u);
+}
+
+TEST_F(FailureInjectionTest, SurvivorsAbsorbDisplacedLoad) {
+  // With fixed demand, losing machines should push the survivors' average
+  // utilization up, not lose the work.
+  Cluster healthy = MakeCluster(400);
+  FluidEngine engine_h(&model_, &healthy, &workload_, FluidEngine::Options());
+  telemetry::TelemetryStore store_h;
+  ASSERT_TRUE(engine_h.Run(0, 72, &store_h).ok());
+
+  Cluster flaky = MakeCluster(400);
+  FluidEngine::Options options;
+  options.failure_rate_per_hour = 0.02;
+  options.mean_repair_hours = 24.0;
+  FluidEngine engine_f(&model_, &flaky, &workload_, options);
+  telemetry::TelemetryStore store_f;
+  ASSERT_TRUE(engine_f.Run(0, 72, &store_f).ok());
+
+  auto mean_util = [](const telemetry::TelemetryStore& s) {
+    double sum = 0.0;
+    for (const auto& r : s.records()) sum += r.cpu_utilization;
+    return sum / static_cast<double>(s.size());
+  };
+  EXPECT_GT(mean_util(store_f), mean_util(store_h) + 0.01);
+}
+
+TEST_F(FailureInjectionTest, WhatIfEngineTolerantOfTelemetryGaps) {
+  // The models must still calibrate from gappy telemetry — the "statistical
+  // improvement is all we care for" premise.
+  Cluster cluster = MakeCluster(500);
+  FluidEngine::Options options;
+  options.failure_rate_per_hour = 0.01;
+  FluidEngine engine(&model_, &cluster, &workload_, options);
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, kHoursPerWeek, &store).ok());
+
+  auto whatif = core::WhatIfEngine::Fit(store, nullptr, core::WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok()) << whatif.status();
+  EXPECT_EQ(whatif->models().size(), 12u);
+  for (const auto& [key, gm] : whatif->models()) {
+    EXPECT_GT(gm.g_fit.r2, 0.6) << GroupLabel(key);
+  }
+}
+
+TEST_F(FailureInjectionTest, DeterministicGivenSeed) {
+  auto run = [&](uint64_t seed) {
+    Cluster cluster = MakeCluster(150);
+    FluidEngine::Options options;
+    options.seed = seed;
+    options.failure_rate_per_hour = 0.02;
+    FluidEngine engine(&model_, &cluster, &workload_, options);
+    telemetry::TelemetryStore store;
+    (void)engine.Run(0, 48, &store);
+    return store.size();
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+}  // namespace
+}  // namespace kea::sim

@@ -1,0 +1,175 @@
+// Tests for the daily telemetry rollup, the data-quality screen, and DES
+// task-retry injection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/whatif.h"
+#include "sim/fluid_engine.h"
+#include "sim/job_sim.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea {
+namespace {
+
+telemetry::MachineHourRecord Rec(int machine, int hour, double containers,
+                                 double util, double tasks, double data,
+                                 double latency) {
+  telemetry::MachineHourRecord r;
+  r.machine_id = machine;
+  r.hour = hour;
+  r.avg_running_containers = containers;
+  r.cpu_utilization = util;
+  r.tasks_finished = tasks;
+  r.data_read_mb = data;
+  r.avg_task_latency_s = latency;
+  r.cpu_time_core_s = util * 32 * 3600;
+  return r;
+}
+
+TEST(RollUpDailyTest, AggregatesOneMachineDay) {
+  telemetry::TelemetryStore store;
+  // Two hours of day 0 for machine 7.
+  store.Append(Rec(7, 0, 4.0, 0.4, 100.0, 1000.0, 10.0));
+  store.Append(Rec(7, 1, 6.0, 0.6, 300.0, 3000.0, 20.0));
+  auto days = telemetry::RollUpDaily(store);
+  ASSERT_EQ(days.size(), 1u);
+  const auto& d = days[0];
+  EXPECT_EQ(d.machine_id, 7);
+  EXPECT_EQ(d.hour, 0);  // Day index.
+  EXPECT_DOUBLE_EQ(d.avg_running_containers, 5.0);   // Mean of levels.
+  EXPECT_DOUBLE_EQ(d.cpu_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(d.tasks_finished, 400.0);          // Sum of volumes.
+  EXPECT_DOUBLE_EQ(d.data_read_mb, 4000.0);
+  // Task-weighted latency: (10*100 + 20*300)/400 = 17.5.
+  EXPECT_DOUBLE_EQ(d.avg_task_latency_s, 17.5);
+}
+
+TEST(RollUpDailyTest, SplitsMachinesAndDays) {
+  telemetry::TelemetryStore store;
+  store.Append(Rec(1, 0, 4, 0.4, 10, 100, 10));
+  store.Append(Rec(1, 25, 4, 0.4, 10, 100, 10));  // Day 1.
+  store.Append(Rec(2, 0, 4, 0.4, 10, 100, 10));
+  auto days = telemetry::RollUpDaily(store);
+  EXPECT_EQ(days.size(), 3u);
+}
+
+TEST(RollUpDailyTest, FilterApplies) {
+  telemetry::TelemetryStore store;
+  store.Append(Rec(1, 0, 4, 0.4, 10, 100, 10));
+  store.Append(Rec(2, 0, 4, 0.4, 10, 100, 10));
+  auto days = telemetry::RollUpDaily(store, telemetry::MachineSetFilter({1}));
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].machine_id, 1);
+}
+
+TEST(RollUpDailyTest, WhatIfFitsOnDailyAggregates) {
+  // The paper's Figure 9 dots are machine-days; the pipeline must support
+  // fitting on the rollup.
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 400;
+  auto cluster = sim::Cluster::Build(model.catalog(), spec);
+  ASSERT_TRUE(cluster.ok());
+  sim::FluidEngine engine(&model, &cluster.value(), &workload,
+                          sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  ASSERT_TRUE(engine.Run(0, 3 * sim::kHoursPerWeek, &store).ok());
+
+  telemetry::TelemetryStore daily;
+  daily.AppendAll(telemetry::RollUpDaily(store));
+  EXPECT_EQ(daily.size(), 400u * 21u);
+
+  auto whatif = core::WhatIfEngine::Fit(daily, nullptr, core::WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok()) << whatif.status();
+  EXPECT_EQ(whatif->models().size(), 12u);
+}
+
+TEST(ScreenRecordsTest, DropsImpossibleRecords) {
+  std::vector<telemetry::MachineHourRecord> records;
+  records.push_back(Rec(1, 0, 4, 0.4, 10, 100, 10));  // Good.
+  records.push_back(Rec(2, 0, 4, 1.4, 10, 100, 10));  // util > 1.
+  records.push_back(Rec(3, 0, -1, 0.4, 10, 100, 10));  // Negative containers.
+  records.push_back(Rec(4, 0, 4, 0.4, 0, 100, 10));   // Latency without tasks.
+  telemetry::MachineHourRecord nan_rec = Rec(5, 0, 4, 0.4, 10, 100, 10);
+  nan_rec.data_read_mb = std::nan("");
+  records.push_back(nan_rec);
+
+  size_t dropped = 0;
+  auto clean = telemetry::ScreenRecords(records, &dropped);
+  EXPECT_EQ(clean.size(), 1u);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(clean[0].machine_id, 1);
+
+  // Null out-parameter allowed.
+  EXPECT_EQ(telemetry::ScreenRecords(records).size(), 1u);
+}
+
+class TaskRetryTest : public ::testing::Test {
+ protected:
+  sim::PerfModel model_ = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload_ = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster_;
+
+  void SetUp() override {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = 150;
+    cluster_ = std::move(sim::Cluster::Build(model_.catalog(), spec)).value();
+  }
+
+  sim::JobSimulator::Options Opt(double failure_probability) {
+    sim::JobSimulator::Options options;
+    options.seed = 7;
+    options.task_failure_probability = failure_probability;
+    return options;
+  }
+};
+
+TEST_F(TaskRetryTest, NoFailuresMeansNoRetries) {
+  sim::JobSimulator sim(&model_, &cluster_, &workload_, Opt(0.0));
+  auto result = sim.Run(sim::BenchmarkJobTemplates(), 2 * sim::kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->task_retries, 0u);
+}
+
+TEST_F(TaskRetryTest, RetriesHappenAtExpectedRate) {
+  sim::JobSimulator sim(&model_, &cluster_, &workload_, Opt(0.10));
+  auto result = sim.Run(sim::BenchmarkJobTemplates(), 4 * sim::kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->task_retries, 0u);
+  double rate = static_cast<double>(result->task_retries) /
+                static_cast<double>(result->tasks.size());
+  EXPECT_NEAR(rate, 0.10, 0.04);
+}
+
+TEST_F(TaskRetryTest, JobsStillCompleteAndStagesStayConsistent) {
+  sim::JobSimulator sim(&model_, &cluster_, &workload_, Opt(0.15));
+  auto result = sim.Run(sim::BenchmarkJobTemplates(), 4 * sim::kSecondsPerHour);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->jobs.size(), 10u);
+  for (const auto& job : result->jobs) {
+    EXPECT_GT(job.runtime_s, 0.0);
+  }
+}
+
+TEST_F(TaskRetryTest, FailuresLengthenJobRuntimes) {
+  sim::JobSimulator clean_sim(&model_, &cluster_, &workload_, Opt(0.0));
+  auto clean = clean_sim.Run(sim::BenchmarkJobTemplates(), 4 * sim::kSecondsPerHour);
+  ASSERT_TRUE(clean.ok());
+
+  sim::JobSimulator flaky_sim(&model_, &cluster_, &workload_, Opt(0.20));
+  auto flaky = flaky_sim.Run(sim::BenchmarkJobTemplates(), 4 * sim::kSecondsPerHour);
+  ASSERT_TRUE(flaky.ok());
+
+  auto mean_runtime = [](const std::vector<telemetry::JobRecord>& jobs) {
+    double sum = 0.0;
+    for (const auto& j : jobs) sum += j.runtime_s;
+    return sum / static_cast<double>(jobs.size());
+  };
+  EXPECT_GT(mean_runtime(flaky->jobs), mean_runtime(clean->jobs) * 1.05);
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,130 @@
+#include "opt/search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kea::opt {
+namespace {
+
+double Negate(double x) { return -x; }
+
+TEST(IntegerDomainTest, Cardinality) {
+  IntegerDomain d{{0, 0}, {4, 9}};
+  EXPECT_EQ(d.CardinalityCapped(1000), 50u);
+  EXPECT_GT(d.CardinalityCapped(10), 10u);  // Capped.
+}
+
+TEST(ExhaustiveSearchTest, FindsGlobalMaximum) {
+  IntegerDomain d{{-5, -5}, {5, 5}};
+  auto objective = [](const std::vector<int>& x) {
+    // Peak at (2, -3).
+    double dx = x[0] - 2, dy = x[1] + 3;
+    return -(dx * dx + dy * dy);
+  };
+  auto feasible = [](const std::vector<int>&) { return true; };
+  auto result = ExhaustiveSearch(d, objective, feasible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->x[0], 2);
+  EXPECT_EQ(result->x[1], -3);
+  EXPECT_DOUBLE_EQ(result->objective_value, 0.0);
+  EXPECT_EQ(result->evaluations, 121u);
+}
+
+TEST(ExhaustiveSearchTest, RespectsFeasibility) {
+  IntegerDomain d{{0}, {10}};
+  auto objective = [](const std::vector<int>& x) { return static_cast<double>(x[0]); };
+  auto feasible = [](const std::vector<int>& x) { return x[0] <= 6; };
+  auto result = ExhaustiveSearch(d, objective, feasible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->x[0], 6);
+}
+
+TEST(ExhaustiveSearchTest, InfeasibleEverywhere) {
+  IntegerDomain d{{0}, {3}};
+  auto result = ExhaustiveSearch(
+      d, [](const std::vector<int>&) { return 0.0; },
+      [](const std::vector<int>&) { return false; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(ExhaustiveSearchTest, GridTooLarge) {
+  IntegerDomain d{{0, 0, 0, 0}, {100, 100, 100, 100}};
+  auto result = ExhaustiveSearch(
+      d, [](const std::vector<int>&) { return 0.0; },
+      [](const std::vector<int>&) { return true; }, 1000);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExhaustiveSearchTest, DomainValidation) {
+  IntegerDomain bad{{5}, {3}};
+  auto result = ExhaustiveSearch(
+      bad, [](const std::vector<int>&) { return 0.0; },
+      [](const std::vector<int>&) { return true; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  IntegerDomain empty{{}, {}};
+  EXPECT_EQ(ExhaustiveSearch(empty, [](const std::vector<int>&) { return 0.0; },
+                             [](const std::vector<int>&) { return true; })
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinateAscentTest, ClimbsToOptimumOnConcaveObjective) {
+  IntegerDomain d{{-10, -10, -10}, {10, 10, 10}};
+  auto objective = [](const std::vector<int>& x) {
+    double s = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      double delta = x[i] - static_cast<double>(i + 1);
+      s -= delta * delta;
+    }
+    return s;
+  };
+  auto feasible = [](const std::vector<int>&) { return true; };
+  auto result = CoordinateAscent(d, {0, 0, 0}, objective, feasible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->x, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CoordinateAscentTest, StaysInsideDomain) {
+  IntegerDomain d{{0}, {3}};
+  auto objective = [](const std::vector<int>& x) { return static_cast<double>(x[0]); };
+  auto feasible = [](const std::vector<int>&) { return true; };
+  auto result = CoordinateAscent(d, {1}, objective, feasible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->x[0], 3);
+}
+
+TEST(CoordinateAscentTest, InfeasibleStartIsError) {
+  IntegerDomain d{{0}, {3}};
+  auto result = CoordinateAscent(
+      d, {1}, [](const std::vector<int>&) { return 0.0; },
+      [](const std::vector<int>&) { return false; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(CoordinateAscentTest, StartOutsideDomainIsError) {
+  IntegerDomain d{{0}, {3}};
+  auto result = CoordinateAscent(
+      d, {7}, [](const std::vector<int>&) { return 0.0; },
+      [](const std::vector<int>&) { return true; });
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinateAscentTest, MatchesExhaustiveOnSeparableProblem) {
+  IntegerDomain d{{-3, -3}, {3, 3}};
+  auto objective = [](const std::vector<int>& x) {
+    return -std::fabs(x[0] - 1.0) - std::fabs(x[1] + 2.0);
+  };
+  auto feasible = [](const std::vector<int>&) { return true; };
+  auto exhaustive = ExhaustiveSearch(d, objective, feasible);
+  auto ascent = CoordinateAscent(d, {0, 0}, objective, feasible);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(ascent.ok());
+  EXPECT_DOUBLE_EQ(exhaustive->objective_value, ascent->objective_value);
+  (void)Negate;
+}
+
+}  // namespace
+}  // namespace kea::opt

@@ -1,0 +1,101 @@
+#include "apps/session.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::apps {
+namespace {
+
+std::unique_ptr<KeaSession> MakeSession(int machines = 500) {
+  KeaSession::Config config;
+  config.machines = machines;
+  auto session = KeaSession::Create(config);
+  return std::move(session).value();
+}
+
+TEST(KeaSessionTest, CreateValidatesConfig) {
+  KeaSession::Config bad;
+  bad.machines = 600;
+  bad.workload.base_demand_fraction = -1.0;
+  EXPECT_FALSE(KeaSession::Create(bad).ok());
+}
+
+TEST(KeaSessionTest, SimulateAdvancesClockAndCollectsTelemetry) {
+  auto session = MakeSession(200);
+  EXPECT_EQ(session->now(), 0);
+  ASSERT_TRUE(session->Simulate(48).ok());
+  EXPECT_EQ(session->now(), 48);
+  EXPECT_EQ(session->store().size(), 200u * 48u);
+  ASSERT_TRUE(session->Simulate(24).ok());
+  EXPECT_EQ(session->now(), 72);
+}
+
+TEST(KeaSessionTest, TuningBeforeTelemetryFails) {
+  auto session = MakeSession(200);
+  auto round = session->RunYarnTuningRound(YarnConfigTuner::Options(), 168, 1);
+  EXPECT_EQ(round.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KeaSessionTest, FullRoundLifecycle) {
+  auto session = MakeSession(600);
+  ASSERT_TRUE(session->Simulate(sim::kHoursPerWeek).ok());
+
+  auto round = session->RunYarnTuningRound(YarnConfigTuner::Options(),
+                                           sim::kHoursPerWeek, 1);
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_FALSE(round->applied.empty());
+  EXPECT_GT(round->plan.predicted_capacity_gain, 0.0);
+
+  // Validation requires post-deployment telemetry.
+  EXPECT_EQ(session->ValidateModels(core::ModelValidator::Options())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session->Simulate(sim::kHoursPerWeek).ok());
+
+  auto validation = session->ValidateModels(core::ModelValidator::Options());
+  ASSERT_TRUE(validation.ok()) << validation.status();
+  EXPECT_TRUE(validation->models_valid);
+
+  auto value = session->EstimateCapacityValue(CapacityConverter::Options());
+  ASSERT_TRUE(value.ok());
+  EXPECT_GT(value->capacity_gain, 0.0);
+}
+
+TEST(KeaSessionTest, RollbackRestoresConfiguration) {
+  auto session = MakeSession(400);
+  ASSERT_TRUE(session->Simulate(sim::kHoursPerWeek).ok());
+
+  std::vector<int> before;
+  for (const sim::Machine& m : session->cluster().machines()) {
+    before.push_back(m.max_containers);
+  }
+  auto round = session->RunYarnTuningRound(YarnConfigTuner::Options(),
+                                           sim::kHoursPerWeek, 1);
+  ASSERT_TRUE(round.ok());
+  ASSERT_FALSE(round->applied.empty());
+
+  ASSERT_TRUE(session->RollbackLastDeployment().ok());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(session->cluster().machines()[i].max_containers, before[i]) << i;
+  }
+}
+
+TEST(KeaSessionTest, ValuationWithoutRoundFails) {
+  auto session = MakeSession(200);
+  ASSERT_TRUE(session->Simulate(24).ok());
+  EXPECT_EQ(session->EstimateCapacityValue(CapacityConverter::Options())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KeaSessionTest, LookbackValidation) {
+  auto session = MakeSession(200);
+  ASSERT_TRUE(session->Simulate(48).ok());
+  EXPECT_EQ(
+      session->RunYarnTuningRound(YarnConfigTuner::Options(), 0, 1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kea::apps

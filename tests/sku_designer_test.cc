@@ -1,0 +1,131 @@
+#include "apps/sku_designer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::apps {
+namespace {
+
+telemetry::TelemetryStore SimulateTelemetry(int machines = 300, int hours = 72) {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = machines;
+  sim::Cluster cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+  sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+  telemetry::TelemetryStore store;
+  (void)engine.Run(0, hours, &store);
+  return store;
+}
+
+TEST(SkuDesignerTest, RecoversUsageSlopes) {
+  telemetry::TelemetryStore store = SimulateTelemetry();
+  SkuDesigner designer;
+  Rng rng(1);
+  auto result = designer.Design(store, nullptr, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Ground truth: ssd = 40 + 6/core, ram = 10 + 3.2/core (on average).
+  sim::PerfModel::Params truth;
+  EXPECT_NEAR(result->p.coefficients()[0], truth.ssd_gb_per_core_mean, 0.8);
+  EXPECT_NEAR(result->q.coefficients()[0], truth.ram_gb_per_core_mean, 0.5);
+  EXPECT_NEAR(result->p.intercept(), truth.ssd_base_gb, 15.0);
+  EXPECT_NEAR(result->q.intercept(), truth.ram_base_gb, 10.0);
+}
+
+TEST(SkuDesignerTest, CostSurfaceHasInteriorSweetSpot) {
+  // Figure 14: under-provisioning is dominated by stranding penalties,
+  // over-provisioning by idle-resource cost; the optimum is interior.
+  telemetry::TelemetryStore store = SimulateTelemetry();
+  SkuDesigner designer;
+  Rng rng(2);
+  auto result = designer.Design(store, nullptr, &rng);
+  ASSERT_TRUE(result.ok());
+
+  const auto& best = result->best();
+  const auto& options = SkuDesigner::Options::Default();
+  EXPECT_GT(best.ssd_gb, options.ssd_candidates_gb.front());
+  EXPECT_LT(best.ssd_gb, options.ssd_candidates_gb.back());
+  EXPECT_GT(best.ram_gb, options.ram_candidates_gb.front());
+  EXPECT_LT(best.ram_gb, options.ram_candidates_gb.back());
+}
+
+TEST(SkuDesignerTest, UnderProvisionedDesignsStrand) {
+  telemetry::TelemetryStore store = SimulateTelemetry();
+  SkuDesigner::Options options;
+  options.ssd_candidates_gb = {100.0, 2000.0};
+  options.ram_candidates_gb = {50.0, 900.0};
+  options.mc_iterations = 400;
+  SkuDesigner designer(options);
+  Rng rng(3);
+  auto result = designer.Design(store, nullptr, &rng);
+  ASSERT_TRUE(result.ok());
+
+  // Surface order: (100,50), (100,900), (2000,50), (2000,900).
+  const auto& tiny = result->surface[0];
+  const auto& huge = result->surface[3];
+  EXPECT_GT(tiny.p_out_of_ssd + tiny.p_out_of_ram, 0.9);
+  EXPECT_LT(huge.p_out_of_ssd + huge.p_out_of_ram, 0.05);
+  EXPECT_GT(tiny.expected_cost, huge.expected_cost);
+}
+
+TEST(SkuDesignerTest, MoreSsdMonotonicallyReducesStranding) {
+  telemetry::TelemetryStore store = SimulateTelemetry();
+  SkuDesigner::Options options;
+  options.ssd_candidates_gb = {200.0, 600.0, 1200.0, 2400.0};
+  options.ram_candidates_gb = {600.0};
+  options.mc_iterations = 500;
+  SkuDesigner designer(options);
+  Rng rng(4);
+  auto result = designer.Design(store, nullptr, &rng);
+  ASSERT_TRUE(result.ok());
+  double prev = 1.1;
+  for (const auto& point : result->surface) {
+    EXPECT_LE(point.p_out_of_ssd, prev + 0.02) << point.ssd_gb;
+    prev = point.p_out_of_ssd;
+  }
+}
+
+TEST(SkuDesignerTest, Validation) {
+  telemetry::TelemetryStore store = SimulateTelemetry(100, 24);
+  SkuDesigner designer;
+  EXPECT_EQ(designer.Design(store, nullptr, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SkuDesigner::Options empty_grid;
+  empty_grid.ssd_candidates_gb.clear();
+  Rng rng(5);
+  EXPECT_EQ(SkuDesigner(empty_grid).Design(store, nullptr, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SkuDesigner::Options bad_cores = SkuDesigner::Options::Default();
+  bad_cores.new_machine_cores = 0;
+  EXPECT_EQ(SkuDesigner(bad_cores).Design(store, nullptr, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+
+  telemetry::TelemetryStore empty;
+  EXPECT_EQ(designer.Design(empty, nullptr, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SkuDesignerTest, DeterministicGivenSeed) {
+  telemetry::TelemetryStore store = SimulateTelemetry(150, 48);
+  SkuDesigner::Options options;
+  options.ssd_candidates_gb = {800.0, 1200.0};
+  options.ram_candidates_gb = {400.0, 600.0};
+  options.mc_iterations = 200;
+  SkuDesigner designer(options);
+
+  Rng rng1(7), rng2(7);
+  auto r1 = designer.Design(store, nullptr, &rng1);
+  auto r2 = designer.Design(store, nullptr, &rng2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 0; i < r1->surface.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->surface[i].expected_cost, r2->surface[i].expected_cost);
+  }
+}
+
+}  // namespace
+}  // namespace kea::apps

@@ -1,0 +1,77 @@
+#include "sim/sku_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kea::sim {
+namespace {
+
+TEST(SkuIoTest, RoundTripsDefaultCatalog) {
+  SkuCatalog original = SkuCatalog::Default();
+  std::string csv = SkuCatalogToCsv(original);
+  auto parsed = SkuCatalogFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const SkuSpec& a = original.spec(static_cast<SkuId>(i));
+    const SkuSpec& b = parsed->spec(static_cast<SkuId>(i));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_DOUBLE_EQ(a.core_speed, b.core_speed);
+    EXPECT_DOUBLE_EQ(a.provisioned_watts, b.provisioned_watts);
+  }
+}
+
+TEST(SkuIoTest, RejectsMissingColumn) {
+  auto parsed = SkuCatalogFromCsv("name,cores\nGenX,16\n");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkuIoTest, RejectsUnparsableNumber) {
+  std::string csv = SkuCatalogToCsv(SkuCatalog::Default());
+  // Corrupt the first numeric cell of the first data row.
+  size_t row_start = csv.find('\n') + 1;
+  size_t comma = csv.find(',', row_start);
+  csv.replace(comma + 1, 2, "xx");
+  auto parsed = SkuCatalogFromCsv(csv);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkuIoTest, PropagatesCatalogValidation) {
+  // Valid CSV shape, but provisioned < peak.
+  std::string csv =
+      "name,cores,ram_gb,ssd_gb,core_speed,hdd_mbps,ssd_mbps,idle_watts,"
+      "peak_watts,provisioned_watts\n"
+      "Bad,16,64,240,0.6,120,350,90,280,100\n";
+  auto parsed = SkuCatalogFromCsv(csv);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkuIoTest, HandEditedCatalogAccepted) {
+  std::string csv =
+      "name,cores,ram_gb,ssd_gb,core_speed,hdd_mbps,ssd_mbps,idle_watts,"
+      "peak_watts,provisioned_watts\n"
+      "Gen5.0,96,512,3840,1.4,700,2400,120,540,570\n";
+  auto parsed = SkuCatalogFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->spec(0).cores, 96);
+  EXPECT_DOUBLE_EQ(parsed->spec(0).core_speed, 1.4);
+}
+
+TEST(SkuIoTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/kea_catalog_test.csv";
+  SkuCatalog original = SkuCatalog::Default();
+  ASSERT_TRUE(SaveSkuCatalog(original, path).ok());
+  auto loaded = LoadSkuCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->spec(5).name, "Gen4.1");
+  std::remove(path.c_str());
+
+  EXPECT_EQ(LoadSkuCatalog("/missing/nowhere.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kea::sim

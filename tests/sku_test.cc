@@ -1,0 +1,96 @@
+#include "sim/sku.h"
+
+#include <gtest/gtest.h>
+
+namespace kea::sim {
+namespace {
+
+TEST(SkuCatalogTest, DefaultHasSixGenerations) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  EXPECT_EQ(catalog.size(), 6u);
+  EXPECT_EQ(catalog.spec(0).name, "Gen1.1");
+  EXPECT_EQ(catalog.spec(5).name, "Gen4.1");
+}
+
+TEST(SkuCatalogTest, DefaultGenerationsAreOrdered) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  for (size_t i = 1; i < catalog.size(); ++i) {
+    const SkuSpec& prev = catalog.spec(static_cast<SkuId>(i - 1));
+    const SkuSpec& cur = catalog.spec(static_cast<SkuId>(i));
+    EXPECT_GE(cur.cores, prev.cores) << cur.name;
+    EXPECT_GT(cur.core_speed, prev.core_speed) << cur.name;
+    EXPECT_GE(cur.ram_gb, prev.ram_gb) << cur.name;
+  }
+}
+
+TEST(SkuCatalogTest, DefaultPowerEnvelopesValid) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  for (const SkuSpec& s : catalog.specs()) {
+    EXPECT_GT(s.peak_watts, s.idle_watts) << s.name;
+    EXPECT_GE(s.provisioned_watts, s.peak_watts) << s.name;
+    EXPECT_GT(s.ssd_mbps, s.hdd_mbps) << s.name;
+  }
+}
+
+TEST(SkuCatalogTest, FindByName) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  auto id = catalog.FindByName("Gen3.2");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 4);
+  EXPECT_EQ(catalog.FindByName("Gen9.9").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SkuCatalogTest, CreateRejectsEmpty) {
+  EXPECT_EQ(SkuCatalog::Create({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkuCatalogTest, CreateValidatesSpecs) {
+  SkuSpec good = SkuCatalog::Default().spec(0);
+
+  SkuSpec no_cores = good;
+  no_cores.cores = 0;
+  EXPECT_FALSE(SkuCatalog::Create({no_cores}).ok());
+
+  SkuSpec bad_speed = good;
+  bad_speed.core_speed = -1.0;
+  EXPECT_FALSE(SkuCatalog::Create({bad_speed}).ok());
+
+  SkuSpec bad_power = good;
+  bad_power.peak_watts = bad_power.idle_watts - 1.0;
+  EXPECT_FALSE(SkuCatalog::Create({bad_power}).ok());
+
+  SkuSpec underprovisioned = good;
+  underprovisioned.provisioned_watts = underprovisioned.peak_watts - 10.0;
+  EXPECT_FALSE(SkuCatalog::Create({underprovisioned}).ok());
+
+  SkuSpec unnamed = good;
+  unnamed.name.clear();
+  EXPECT_FALSE(SkuCatalog::Create({unnamed}).ok());
+
+  EXPECT_TRUE(SkuCatalog::Create({good}).ok());
+}
+
+TEST(SoftwareConfigTest, DefaultPairMatchesPaper) {
+  auto scs = DefaultSoftwareConfigs();
+  ASSERT_EQ(scs.size(), 2u);
+  EXPECT_EQ(scs[0].name, "SC1");
+  EXPECT_FALSE(scs[0].temp_store_on_ssd);  // SC1: temp on HDD.
+  EXPECT_EQ(scs[1].name, "SC2");
+  EXPECT_TRUE(scs[1].temp_store_on_ssd);  // SC2: temp on SSD.
+}
+
+TEST(GroupLabelTest, Format) {
+  EXPECT_EQ(GroupLabel({0, 3}), "SC1-SKU3");
+  EXPECT_EQ(GroupLabel({1, 0}), "SC2-SKU0");
+}
+
+TEST(MachineGroupKeyTest, OrderingAndEquality) {
+  MachineGroupKey a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (MachineGroupKey{0, 1}));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace kea::sim

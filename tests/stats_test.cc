@@ -1,0 +1,236 @@
+#include "ml/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kea::ml {
+namespace {
+
+TEST(SummarizeTest, BasicMoments) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count, 4u);
+  EXPECT_DOUBLE_EQ(s->mean, 2.5);
+  EXPECT_NEAR(s->variance, 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 4.0);
+}
+
+TEST(SummarizeTest, EmptyIsError) {
+  EXPECT_EQ(Summarize({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SummarizeTest, SingleObservationHasZeroVariance) {
+  auto s = Summarize({5.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->variance, 0.0);
+}
+
+TEST(MeanVarianceTest, MatchSummary) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).value(), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25).value(), 2.5);
+}
+
+TEST(QuantileTest, Validation) {
+  EXPECT_EQ(Quantile({}, 0.5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Quantile({1.0}, 1.5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Quantile({1.0}, -0.1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  auto h = MakeHistogram({0.5, 1.5, 1.6, 2.5, -10.0, 10.0}, 0.0, 3.0, 3);
+  ASSERT_TRUE(h.ok());
+  // Bins: [0,1), [1,2), [2,3); out-of-range clamps to edge bins.
+  EXPECT_EQ(h->counts[0], 2u);  // 0.5 and -10 (clamped).
+  EXPECT_EQ(h->counts[1], 2u);
+  EXPECT_EQ(h->counts[2], 2u);  // 2.5 and 10 (clamped).
+}
+
+TEST(HistogramTest, BinCenter) {
+  auto h = MakeHistogram({}, 0.0, 10.0, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h->BinCenter(4), 9.0);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_FALSE(MakeHistogram({}, 0.0, 1.0, 0).ok());
+  EXPECT_FALSE(MakeHistogram({}, 1.0, 1.0, 3).ok());
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryProperty) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+                1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+}
+
+TEST(StudentTCdfTest, SymmetricAroundZero) {
+  EXPECT_NEAR(StudentTCdf(0.0, 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.5, 8.0) + StudentTCdf(-1.5, 8.0), 1.0, 1e-10);
+}
+
+TEST(StudentTCdfTest, KnownCriticalValues) {
+  // t_{0.975, 10} = 2.228: CDF(2.228, 10) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 5e-4);
+  // t_{0.95, 5} = 2.015.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 5e-4);
+  // Large dof approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(StudentTTestTest, DetectsKnownDifference) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Gaussian(10.0, 1.0));
+    b.push_back(rng.Gaussian(10.5, 1.0));
+  }
+  auto t = StudentTTest(a, b);
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT(t->t_statistic, -3.0);
+  EXPECT_LT(t->p_value, 0.01);
+  EXPECT_TRUE(t->significant_at_05);
+  EXPECT_NEAR(t->mean_difference, -0.5, 0.3);
+  EXPECT_DOUBLE_EQ(t->degrees_of_freedom, 398.0);
+}
+
+TEST(StudentTTestTest, NoDifferenceUsuallyInsignificant) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Gaussian(5.0, 2.0));
+    b.push_back(rng.Gaussian(5.0, 2.0));
+  }
+  auto t = StudentTTest(a, b);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->p_value, 0.05);
+}
+
+TEST(StudentTTestTest, HandComputedExample) {
+  // Two tiny samples with known pooled t.
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 4.0, 6.0};
+  auto t = StudentTTest(a, b);
+  ASSERT_TRUE(t.ok());
+  // mean diff = -2; pooled var = (2*1 + 2*4)/4 = 2.5; se = sqrt(2.5*2/3).
+  double expected = -2.0 / std::sqrt(2.5 * 2.0 / 3.0);
+  EXPECT_NEAR(t->t_statistic, expected, 1e-10);
+  EXPECT_DOUBLE_EQ(t->degrees_of_freedom, 4.0);
+}
+
+TEST(StudentTTestTest, RejectsTinySamples) {
+  EXPECT_FALSE(StudentTTest({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(StudentTTestTest, RejectsZeroVariance) {
+  EXPECT_EQ(StudentTTest({2.0, 2.0}, {2.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WelchTTestTest, HandlesUnequalVariances) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.Gaussian(0.0, 0.5));
+    b.push_back(rng.Gaussian(0.3, 4.0));
+  }
+  auto t = WelchTTest(a, b);
+  ASSERT_TRUE(t.ok());
+  // Welch dof should be far below the pooled 598 due to variance imbalance.
+  EXPECT_LT(t->degrees_of_freedom, 400.0);
+  EXPECT_GT(t->degrees_of_freedom, 100.0);
+}
+
+TEST(WelchTTestTest, AgreesWithStudentOnEqualVariances) {
+  Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Gaussian(1.0, 1.0));
+    b.push_back(rng.Gaussian(1.2, 1.0));
+  }
+  auto student = StudentTTest(a, b);
+  auto welch = WelchTTest(a, b);
+  ASSERT_TRUE(student.ok());
+  ASSERT_TRUE(welch.ok());
+  EXPECT_NEAR(student->t_statistic, welch->t_statistic, 0.01);
+  EXPECT_NEAR(student->p_value, welch->p_value, 0.01);
+}
+
+TEST(PearsonCorrelationTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}).value(), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}).value(), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, IndependentNearZero) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.Gaussian());
+    y.push_back(rng.Gaussian());
+  }
+  auto r = PearsonCorrelation(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.0, 0.05);
+}
+
+TEST(PearsonCorrelationTest, Validation) {
+  EXPECT_EQ(PearsonCorrelation({1.0}, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PearsonCorrelation({1.0, 1.0}, {1.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Property: p-values are approximately uniform under the null hypothesis.
+class NullPValueTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullPValueTest, FalsePositiveRateNearAlpha) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int significant = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.Gaussian());
+      b.push_back(rng.Gaussian());
+    }
+    auto result = StudentTTest(a, b);
+    ASSERT_TRUE(result.ok());
+    if (result->significant_at_05) ++significant;
+  }
+  double rate = static_cast<double>(significant) / trials;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NullPValueTest, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace kea::ml

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "telemetry/perf_monitor.h"
+#include "telemetry/record.h"
+#include "telemetry/store.h"
+
+namespace kea::telemetry {
+namespace {
+
+MachineHourRecord MakeRecord(int machine, int hour, sim::ScId sc, sim::SkuId sku,
+                             double containers, double util, double tasks,
+                             double data_mb, double latency) {
+  MachineHourRecord r;
+  r.machine_id = machine;
+  r.hour = hour;
+  r.rack = machine / 10;
+  r.sc = sc;
+  r.sku = sku;
+  r.avg_running_containers = containers;
+  r.cpu_utilization = util;
+  r.tasks_finished = tasks;
+  r.data_read_mb = data_mb;
+  r.avg_task_latency_s = latency;
+  r.cpu_time_core_s = util * 32.0 * 3600.0;
+  return r;
+}
+
+TEST(RecordTest, DerivedMetrics) {
+  MachineHourRecord r = MakeRecord(0, 0, 0, 0, 5.0, 0.5, 100.0, 5000.0, 20.0);
+  // BytesPerSecond = data / (tasks * latency) = 5000 / 2000 = 2.5.
+  EXPECT_DOUBLE_EQ(r.BytesPerSecond(), 2.5);
+  EXPECT_DOUBLE_EQ(r.BytesPerCpuTime(), 5000.0 / (0.5 * 32.0 * 3600.0));
+
+  MachineHourRecord idle;
+  EXPECT_DOUBLE_EQ(idle.BytesPerSecond(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.BytesPerCpuTime(), 0.0);
+}
+
+TEST(RecordTest, CsvRowMatchesHeaderWidth) {
+  MachineHourRecord r = MakeRecord(3, 7, 1, 2, 5.0, 0.5, 100.0, 5000.0, 20.0);
+  EXPECT_EQ(MachineHourCsvRow(r).size(), MachineHourCsvHeader().size());
+}
+
+TEST(StoreTest, AppendAndQuery) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 5, 0.5, 100, 5000, 20));
+  store.Append(MakeRecord(1, 1, 0, 1, 6, 0.6, 120, 6000, 18));
+  EXPECT_EQ(store.size(), 2u);
+
+  auto all = store.Query(nullptr);
+  EXPECT_EQ(all.size(), 2u);
+  auto hour0 = store.Query([](const MachineHourRecord& r) { return r.hour == 0; });
+  ASSERT_EQ(hour0.size(), 1u);
+  EXPECT_EQ(hour0[0].machine_id, 0);
+}
+
+TEST(StoreTest, GroupByKey) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 5, 0.5, 100, 5000, 20));
+  store.Append(MakeRecord(1, 0, 0, 0, 5, 0.5, 100, 5000, 20));
+  store.Append(MakeRecord(2, 0, 1, 3, 5, 0.5, 100, 5000, 20));
+  auto grouped = store.GroupByKey();
+  EXPECT_EQ(grouped.size(), 2u);
+  EXPECT_EQ((grouped[{0, 0}].size()), 2u);
+  EXPECT_EQ((grouped[{1, 3}].size()), 1u);
+}
+
+TEST(StoreTest, ExtractField) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 5, 0.5, 100, 5000, 20));
+  store.Append(MakeRecord(1, 0, 0, 0, 5, 0.7, 100, 5000, 20));
+  auto utils = store.Extract(
+      [](const MachineHourRecord& r) { return r.cpu_utilization; });
+  EXPECT_EQ(utils, (std::vector<double>{0.5, 0.7}));
+}
+
+TEST(StoreTest, HourRange) {
+  TelemetryStore store;
+  EXPECT_EQ(store.HourRange().status().code(), StatusCode::kFailedPrecondition);
+  store.Append(MakeRecord(0, 3, 0, 0, 5, 0.5, 100, 5000, 20));
+  store.Append(MakeRecord(0, 9, 0, 0, 5, 0.5, 100, 5000, 20));
+  auto range = store.HourRange();
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->first, 3);
+  EXPECT_EQ(range->second, 9);
+}
+
+TEST(StoreTest, CsvRoundTrip) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 5, 0.5, 100, 5000, 20));
+  auto parsed = kea::ParseCsv(store.ToCsv());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows.size(), 1u);
+  int col = parsed->ColumnIndex("cpu_utilization");
+  ASSERT_GE(col, 0);
+  EXPECT_NEAR(std::stod(parsed->rows[0][static_cast<size_t>(col)]), 0.5, 1e-9);
+}
+
+TEST(PerfMonitorTest, GroupMetricsMath) {
+  TelemetryStore store;
+  // Two records in one group with known values.
+  store.Append(MakeRecord(0, 0, 0, 0, 4.0, 0.4, 100.0, 4000.0, 10.0));
+  store.Append(MakeRecord(1, 0, 0, 0, 6.0, 0.6, 300.0, 6000.0, 20.0));
+  PerformanceMonitor monitor(&store);
+  auto metrics = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(metrics.ok());
+  const GroupMetrics& g = metrics->at({0, 0});
+  EXPECT_EQ(g.machine_hours, 2u);
+  EXPECT_EQ(g.num_machines, 2);
+  EXPECT_DOUBLE_EQ(g.avg_running_containers, 5.0);
+  EXPECT_DOUBLE_EQ(g.avg_cpu_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(g.avg_tasks_per_hour, 200.0);
+  EXPECT_DOUBLE_EQ(g.avg_data_read_mb_per_hour, 5000.0);
+  // Task-weighted latency: (10*100 + 20*300) / 400 = 17.5.
+  EXPECT_DOUBLE_EQ(g.avg_task_latency_s, 17.5);
+  // Bytes/sec: 10000 MB / (100*10 + 300*20) s.
+  EXPECT_DOUBLE_EQ(g.bytes_per_second, 10000.0 / 7000.0);
+}
+
+TEST(PerfMonitorTest, EmptyFilterIsError) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 4, 0.4, 100, 4000, 10));
+  PerformanceMonitor monitor(&store);
+  auto metrics = monitor.GroupMetricsByKey(
+      [](const MachineHourRecord&) { return false; });
+  EXPECT_EQ(metrics.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PerfMonitorTest, HourlyClusterUtilization) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 4, 0.4, 100, 4000, 10));
+  store.Append(MakeRecord(1, 0, 0, 0, 4, 0.6, 100, 4000, 10));
+  store.Append(MakeRecord(0, 1, 0, 0, 4, 0.8, 100, 4000, 10));
+  PerformanceMonitor monitor(&store);
+  auto hourly = monitor.HourlyClusterUtilization();
+  ASSERT_TRUE(hourly.ok());
+  ASSERT_EQ(hourly->size(), 2u);
+  EXPECT_DOUBLE_EQ((*hourly)[0].second, 0.5);
+  EXPECT_DOUBLE_EQ((*hourly)[1].second, 0.8);
+}
+
+TEST(PerfMonitorTest, ClusterAverageTaskLatency) {
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 4, 0.4, 100.0, 4000, 10.0));
+  store.Append(MakeRecord(1, 0, 0, 1, 4, 0.4, 300.0, 4000, 30.0));
+  PerformanceMonitor monitor(&store);
+  auto latency = monitor.ClusterAverageTaskLatency();
+  ASSERT_TRUE(latency.ok());
+  EXPECT_DOUBLE_EQ(*latency, (10.0 * 100 + 30.0 * 300) / 400.0);
+}
+
+TEST(PerfMonitorTest, TotalsAndScatter) {
+  TelemetryStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Append(MakeRecord(i, 0, 0, 0, 4, 0.5, 10.0, 100.0, 10.0));
+  }
+  PerformanceMonitor monitor(&store);
+  EXPECT_DOUBLE_EQ(monitor.TotalDataReadMb(), 10000.0);
+  EXPECT_DOUBLE_EQ(monitor.TotalTasksFinished(), 1000.0);
+
+  auto scatter = monitor.UtilizationThroughputScatter(10);
+  EXPECT_LE(scatter.size(), 12u);
+  EXPECT_GE(scatter.size(), 8u);
+  for (const auto& p : scatter) {
+    EXPECT_DOUBLE_EQ(p.x, 0.5);
+    EXPECT_DOUBLE_EQ(p.y, 100.0);
+  }
+}
+
+TEST(FilterTest, HourRangeFilter) {
+  auto f = HourRangeFilter(2, 5);
+  EXPECT_FALSE(f(MakeRecord(0, 1, 0, 0, 1, 0.1, 1, 1, 1)));
+  EXPECT_TRUE(f(MakeRecord(0, 2, 0, 0, 1, 0.1, 1, 1, 1)));
+  EXPECT_TRUE(f(MakeRecord(0, 4, 0, 0, 1, 0.1, 1, 1, 1)));
+  EXPECT_FALSE(f(MakeRecord(0, 5, 0, 0, 1, 0.1, 1, 1, 1)));
+}
+
+TEST(FilterTest, MachineSetFilter) {
+  auto f = MachineSetFilter({1, 3});
+  EXPECT_TRUE(f(MakeRecord(1, 0, 0, 0, 1, 0.1, 1, 1, 1)));
+  EXPECT_FALSE(f(MakeRecord(2, 0, 0, 0, 1, 0.1, 1, 1, 1)));
+}
+
+TEST(FilterTest, GroupAndAndFilters) {
+  auto f = AndFilter(GroupFilter({0, 2}), HourRangeFilter(0, 10));
+  EXPECT_TRUE(f(MakeRecord(0, 5, 0, 2, 1, 0.1, 1, 1, 1)));
+  EXPECT_FALSE(f(MakeRecord(0, 5, 1, 2, 1, 0.1, 1, 1, 1)));
+  EXPECT_FALSE(f(MakeRecord(0, 15, 0, 2, 1, 0.1, 1, 1, 1)));
+
+  // Null sub-filters are treated as pass-through.
+  auto g = AndFilter(nullptr, GroupFilter({0, 2}));
+  EXPECT_TRUE(g(MakeRecord(0, 5, 0, 2, 1, 0.1, 1, 1, 1)));
+}
+
+}  // namespace
+}  // namespace kea::telemetry

@@ -1,0 +1,86 @@
+#include "core/treatment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kea::core {
+namespace {
+
+TEST(TreatmentEffectTest, DetectsImprovement) {
+  Rng rng(1);
+  std::vector<double> control, treatment;
+  for (int i = 0; i < 500; ++i) {
+    control.push_back(rng.Gaussian(100.0, 10.0));
+    treatment.push_back(rng.Gaussian(110.0, 10.0));
+  }
+  auto effect = EstimateTreatmentEffect("throughput", control, treatment);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->metric, "throughput");
+  EXPECT_NEAR(effect->percent_change, 0.10, 0.02);
+  EXPECT_GT(effect->t_value, 5.0);  // Positive: treatment exceeds control.
+  EXPECT_TRUE(effect->significant);
+}
+
+TEST(TreatmentEffectTest, DetectsRegressionWithNegativeSign) {
+  Rng rng(2);
+  std::vector<double> control, treatment;
+  for (int i = 0; i < 500; ++i) {
+    control.push_back(rng.Gaussian(20.0, 2.0));
+    treatment.push_back(rng.Gaussian(19.0, 2.0));  // 5% faster tasks.
+  }
+  auto effect = EstimateTreatmentEffect("latency", control, treatment);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_LT(effect->percent_change, -0.03);
+  EXPECT_LT(effect->t_value, -3.0);
+  EXPECT_TRUE(effect->significant);
+}
+
+TEST(TreatmentEffectTest, NullEffectInsignificant) {
+  Rng rng(3);
+  std::vector<double> control, treatment;
+  for (int i = 0; i < 300; ++i) {
+    control.push_back(rng.Gaussian(50.0, 5.0));
+    treatment.push_back(rng.Gaussian(50.0, 5.0));
+  }
+  auto effect = EstimateTreatmentEffect("metric", control, treatment);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_FALSE(effect->significant);
+  EXPECT_NEAR(effect->percent_change, 0.0, 0.02);
+}
+
+TEST(TreatmentEffectTest, ZeroControlMeanFails) {
+  std::vector<double> control = {-1.0, 1.0, -1.0, 1.0};
+  std::vector<double> treatment = {2.0, 3.0, 2.0, 3.0};
+  auto effect = EstimateTreatmentEffect("m", control, treatment);
+  EXPECT_EQ(effect.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreatmentEffectTest, TinySamplesRejected) {
+  EXPECT_FALSE(EstimateTreatmentEffect("m", {1.0}, {2.0, 3.0}).ok());
+}
+
+TEST(TreatmentEffectTest, WelchVariantHandlesUnequalVariance) {
+  Rng rng(4);
+  std::vector<double> control, treatment;
+  for (int i = 0; i < 400; ++i) {
+    control.push_back(rng.Gaussian(100.0, 1.0));
+    treatment.push_back(rng.Gaussian(103.0, 20.0));
+  }
+  auto effect = EstimateTreatmentEffectWelch("m", control, treatment);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_NEAR(effect->percent_change, 0.03, 0.02);
+}
+
+TEST(TreatmentEffectTest, TValueSignConventionMatchesDirection) {
+  // Treatment strictly above control: t must be positive.
+  std::vector<double> control = {1.0, 1.1, 0.9, 1.0, 1.05};
+  std::vector<double> treatment = {2.0, 2.1, 1.9, 2.0, 2.05};
+  auto effect = EstimateTreatmentEffect("m", control, treatment);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_GT(effect->t_value, 0.0);
+  EXPECT_GT(effect->percent_change, 0.5);
+}
+
+}  // namespace
+}  // namespace kea::core

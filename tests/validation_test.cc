@@ -1,0 +1,112 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+#include "telemetry/perf_monitor.h"
+
+namespace kea::core {
+namespace {
+
+struct ValidationFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+  std::unique_ptr<sim::FluidEngine> engine;
+
+  explicit ValidationFixture(int machines = 400) {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    engine = std::make_unique<sim::FluidEngine>(&model, &cluster, &workload,
+                                                sim::FluidEngine::Options());
+    (void)engine->Run(0, sim::kHoursPerWeek, &store);
+  }
+};
+
+TEST(ModelValidatorTest, FreshModelsValidateOnNextWeek) {
+  ValidationFixture fx;
+  auto whatif = WhatIfEngine::Fit(fx.store, telemetry::HourRangeFilter(0, 168),
+                                  WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok());
+  // Simulate another week without any configuration change.
+  ASSERT_TRUE(fx.engine->Run(168, 168, &fx.store).ok());
+
+  ModelValidator validator;
+  auto report = validator.Validate(*whatif, fx.store,
+                                   telemetry::HourRangeFilter(168, 336));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->models_valid);
+  EXPECT_TRUE(report->unmodeled_groups.empty());
+  EXPECT_LT(report->max_latency_error, 0.15);
+  EXPECT_EQ(report->groups.size(), 12u);
+}
+
+TEST(ModelValidatorTest, DetectsDriftAfterHardwareShift) {
+  // Fit on one PerfModel, then observe telemetry from a *different* hardware
+  // reality (e.g., a firmware regression slowing every machine by 40%).
+  ValidationFixture fx;
+  auto whatif = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok());
+
+  sim::PerfModel::Params degraded;
+  degraded.task_cpu_work *= 1.4;
+  auto slow_model = sim::PerfModel::Create(sim::SkuCatalog::Default(),
+                                           sim::DefaultSoftwareConfigs(), degraded);
+  ASSERT_TRUE(slow_model.ok());
+  sim::FluidEngine slow_engine(&slow_model.value(), &fx.cluster, &fx.workload,
+                               sim::FluidEngine::Options());
+  telemetry::TelemetryStore drift_store;
+  ASSERT_TRUE(slow_engine.Run(500, 72, &drift_store).ok());
+
+  ModelValidator validator;
+  auto report = validator.Validate(*whatif, drift_store, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->models_valid);
+  EXPECT_GT(report->max_latency_error, 0.15);
+}
+
+TEST(ModelValidatorTest, FlagsUnmodeledGroups) {
+  ValidationFixture fx;
+  // Fit only on SC1 telemetry; validation over both SCs must flag SC2.
+  auto whatif = WhatIfEngine::Fit(
+      fx.store, [](const telemetry::MachineHourRecord& r) { return r.sc == 0; },
+      WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok());
+
+  ModelValidator validator;
+  auto report = validator.Validate(*whatif, fx.store, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->models_valid);
+  EXPECT_EQ(report->unmodeled_groups.size(), 6u);
+  for (const auto& key : report->unmodeled_groups) {
+    EXPECT_EQ(key.sc, 1);
+  }
+}
+
+TEST(ModelValidatorTest, EmptyWindowFails) {
+  ValidationFixture fx(100);
+  auto whatif = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok());
+  ModelValidator validator;
+  auto report = validator.Validate(*whatif, fx.store,
+                                   telemetry::HourRangeFilter(9000, 9010));
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelValidatorTest, ToleranceOptionRespected) {
+  ValidationFixture fx;
+  auto whatif = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(whatif.ok());
+
+  ModelValidator::Options strict;
+  strict.tolerance = 1e-9;  // Nothing passes a zero tolerance.
+  ModelValidator validator(strict);
+  auto report = validator.Validate(*whatif, fx.store, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->models_valid);
+}
+
+}  // namespace
+}  // namespace kea::core

@@ -1,0 +1,170 @@
+#include "core/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::core {
+namespace {
+
+/// Simulates a default cluster and fits the engine — the observational
+/// tuning path end to end.
+struct WhatIfFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  explicit WhatIfFixture(int machines = 400, int hours = sim::kHoursPerWeek) {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+    (void)engine.Run(0, hours, &store);
+  }
+};
+
+TEST(WhatIfEngineTest, FitsAllPopulatedGroups) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  // 2 SCs x 6 SKUs.
+  EXPECT_EQ(engine->models().size(), 12u);
+}
+
+TEST(WhatIfEngineTest, EmptyStoreFails) {
+  telemetry::TelemetryStore empty;
+  auto engine = WhatIfEngine::Fit(empty, nullptr, WhatIfEngine::Options());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WhatIfEngineTest, TooFewObservationsFails) {
+  WhatIfFixture fx(50, 1);
+  WhatIfEngine::Options options;
+  options.min_observations = 100000;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, options);
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WhatIfEngineTest, LearnedModelsHaveGoodFit) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  for (const auto& [key, gm] : engine->models()) {
+    // g (containers -> util) is nearly deterministic in the simulator.
+    EXPECT_GT(gm.g_fit.r2, 0.8) << sim::GroupLabel(key);
+    // f (util -> latency) carries noise but must explain most variance.
+    EXPECT_GT(gm.f_fit.r2, 0.1) << sim::GroupLabel(key);
+    EXPECT_GT(gm.num_machines, 0);
+  }
+}
+
+TEST(WhatIfEngineTest, RecoversGroundTruthUtilizationSlope) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  // Ground truth: util = containers * cores_per_container / cores.
+  for (const auto& [key, gm] : engine->models()) {
+    double true_slope = fx.model.params().cores_per_container /
+                        fx.model.catalog().spec(key.sku).cores;
+    EXPECT_NEAR(gm.g.coefficients()[0], true_slope, true_slope * 0.25)
+        << sim::GroupLabel(key);
+  }
+}
+
+TEST(WhatIfEngineTest, PredictionsMatchSimulatorAtOperatingPoint) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  for (const auto& [key, gm] : engine->models()) {
+    auto util = engine->PredictUtilization(key, gm.current_containers);
+    ASSERT_TRUE(util.ok());
+    EXPECT_NEAR(*util, gm.current_utilization, 0.08) << sim::GroupLabel(key);
+
+    auto latency = engine->PredictTaskLatency(key, gm.current_containers);
+    ASSERT_TRUE(latency.ok());
+    EXPECT_NEAR(*latency, gm.current_latency_s, gm.current_latency_s * 0.15)
+        << sim::GroupLabel(key);
+  }
+}
+
+TEST(WhatIfEngineTest, LatencyPredictionIncreasesWithContainers) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  for (const auto& [key, gm] : engine->models()) {
+    double lo = engine->PredictTaskLatency(key, gm.current_containers - 1).value();
+    double hi = engine->PredictTaskLatency(key, gm.current_containers + 1).value();
+    EXPECT_GT(hi, lo) << sim::GroupLabel(key);
+  }
+}
+
+TEST(WhatIfEngineTest, UnknownGroupIsNotFound) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->PredictUtilization({9, 9}, 5.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WhatIfEngineTest, ClusterLatencyIsTaskWeightedMean) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  auto current = engine->CurrentClusterLatency();
+  ASSERT_TRUE(current.ok());
+  // Must lie within the span of per-group latencies.
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [key, gm] : engine->models()) {
+    double w = engine->PredictTaskLatency(key, gm.current_containers).value();
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GE(*current, lo);
+  EXPECT_LE(*current, hi);
+}
+
+TEST(WhatIfEngineTest, ClusterLatencyMissingGroupFails) {
+  WhatIfFixture fx;
+  auto engine = WhatIfEngine::Fit(fx.store, nullptr, WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  std::map<sim::MachineGroupKey, double> containers;
+  containers[{9, 9}] = 5.0;
+  EXPECT_EQ(engine->PredictClusterLatency(containers).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WhatIfEngineTest, OlsAndHuberBothWork) {
+  WhatIfFixture fx;
+  WhatIfEngine::Options ols;
+  ols.regressor = RegressorKind::kOls;
+  auto engine_ols = WhatIfEngine::Fit(fx.store, nullptr, ols);
+  ASSERT_TRUE(engine_ols.ok());
+
+  WhatIfEngine::Options huber;
+  huber.regressor = RegressorKind::kHuber;
+  auto engine_huber = WhatIfEngine::Fit(fx.store, nullptr, huber);
+  ASSERT_TRUE(engine_huber.ok());
+
+  // On well-behaved simulated data the two should roughly agree.
+  for (const auto& [key, gm] : engine_ols->models()) {
+    const auto& hm = engine_huber->models().at(key);
+    EXPECT_NEAR(gm.g.coefficients()[0], hm.g.coefficients()[0],
+                std::fabs(gm.g.coefficients()[0]) * 0.2 + 1e-6);
+  }
+}
+
+TEST(WhatIfEngineTest, FilterScopesTheFit) {
+  WhatIfFixture fx;
+  auto sc1_only = WhatIfEngine::Fit(
+      fx.store, [](const telemetry::MachineHourRecord& r) { return r.sc == 0; },
+      WhatIfEngine::Options());
+  ASSERT_TRUE(sc1_only.ok());
+  EXPECT_EQ(sc1_only->models().size(), 6u);
+  for (const auto& [key, gm] : sc1_only->models()) {
+    EXPECT_EQ(key.sc, 0);
+  }
+}
+
+}  // namespace
+}  // namespace kea::core

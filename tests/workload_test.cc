@@ -1,0 +1,106 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace kea::sim {
+namespace {
+
+TEST(WorkloadModelTest, DefaultSpecIsValid) {
+  auto model = WorkloadModel::Create(WorkloadSpec::Default());
+  EXPECT_TRUE(model.ok()) << model.status();
+}
+
+TEST(WorkloadModelTest, Validation) {
+  WorkloadSpec spec = WorkloadSpec::Default();
+  spec.task_types.clear();
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+
+  spec = WorkloadSpec::Default();
+  spec.base_demand_fraction = 0.0;
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+
+  spec = WorkloadSpec::Default();
+  spec.diurnal_amplitude = 1.2;
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+
+  spec = WorkloadSpec::Default();
+  spec.weekend_factor = -0.5;
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+
+  spec = WorkloadSpec::Default();
+  spec.task_types[0].weight = 0.0;
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+
+  spec = WorkloadSpec::Default();
+  spec.task_types[0].cpu_work_multiplier = -1.0;
+  EXPECT_FALSE(WorkloadModel::Create(spec).ok());
+}
+
+TEST(WorkloadModelTest, SeasonalPeaksAtPeakHour) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  double peak = model.SeasonalDemandFraction(14);  // peak_hour = 14 on a weekday.
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LE(model.SeasonalDemandFraction(h), peak + 1e-12) << "hour " << h;
+  }
+}
+
+TEST(WorkloadModelTest, WeekendDipsBelowWeekday) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  // Hour 14 of day 0 (weekday) vs day 5 (Saturday).
+  double weekday = model.SeasonalDemandFraction(14);
+  double weekend = model.SeasonalDemandFraction(5 * 24 + 14);
+  EXPECT_LT(weekend, weekday);
+  EXPECT_NEAR(weekend / weekday, WorkloadSpec::Default().weekend_factor, 1e-9);
+}
+
+TEST(WorkloadModelTest, SeasonalIsWeeklyPeriodic) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  for (int h = 0; h < kHoursPerWeek; h += 7) {
+    EXPECT_DOUBLE_EQ(model.SeasonalDemandFraction(h),
+                     model.SeasonalDemandFraction(h + kHoursPerWeek));
+  }
+}
+
+TEST(WorkloadModelTest, DemandScalesWithBaseline) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  double d1 = model.DemandContainers(10, 1000.0, nullptr);
+  double d2 = model.DemandContainers(10, 2000.0, nullptr);
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(WorkloadModelTest, NoiselessDemandMatchesSeasonal) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  EXPECT_DOUBLE_EQ(model.DemandContainers(5, 100.0, nullptr),
+                   model.SeasonalDemandFraction(5) * 100.0);
+}
+
+TEST(WorkloadModelTest, NoisyDemandVariesButCentersOnSeasonal) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model.DemandContainers(5, 100.0, &rng);
+  double expected = model.SeasonalDemandFraction(5) * 100.0;
+  EXPECT_NEAR(sum / n, expected, expected * 0.01);
+}
+
+TEST(WorkloadModelTest, TaskTypeSamplingFollowsWeights) {
+  WorkloadModel model = WorkloadModel::CreateDefault();
+  Rng rng(4);
+  std::map<size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[model.SampleTaskType(&rng)]++;
+  const auto& types = WorkloadSpec::Default().task_types;
+  double total_weight = 0.0;
+  for (const auto& t : types) total_weight += t.weight;
+  for (size_t i = 0; i < types.size(); ++i) {
+    double expected = types[i].weight / total_weight;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.01)
+        << types[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace kea::sim

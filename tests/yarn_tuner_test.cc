@@ -1,0 +1,138 @@
+#include "apps/yarn_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid_engine.h"
+
+namespace kea::apps {
+namespace {
+
+struct TunerFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  explicit TunerFixture(int machines = 500) {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = machines;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    sim::FluidEngine engine(&model, &cluster, &workload, sim::FluidEngine::Options());
+    (void)engine.Run(0, sim::kHoursPerWeek, &store);
+  }
+};
+
+TEST(YarnTunerTest, ProposesAPlan) {
+  TunerFixture fx;
+  YarnConfigTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->recommendations.size(), 12u);
+  EXPECT_GE(plan->predicted_capacity_gain, 0.0);
+}
+
+TEST(YarnTunerTest, ShiftsLoadFromSlowToFastSkus) {
+  // The Figure 10 shape: slow generations shed containers, fast generations
+  // absorb them.
+  TunerFixture fx;
+  YarnConfigTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+
+  int slow_delta = 0, fast_delta = 0;
+  for (const auto& rec : plan->recommendations) {
+    int delta = rec.recommended_max_containers - rec.current_max_containers;
+    if (rec.group.sku == 0) slow_delta += delta;   // Gen1.1.
+    if (rec.group.sku == 5) fast_delta += delta;   // Gen4.1.
+  }
+  EXPECT_LE(slow_delta, 0);
+  EXPECT_GT(fast_delta, 0);
+}
+
+TEST(YarnTunerTest, LatencyConstraintHoldsInPrediction) {
+  TunerFixture fx;
+  YarnConfigTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  // The exact model prediction after optimization should be within a couple
+  // percent of the pre-optimization prediction (linearization slack).
+  EXPECT_LE(plan->predicted_latency_after_s,
+            plan->predicted_latency_before_s * 1.03);
+}
+
+TEST(YarnTunerTest, RespectsMaxStepBox) {
+  TunerFixture fx;
+  YarnConfigTuner::Options options;
+  options.max_step = 1;
+  YarnConfigTuner tuner(options);
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& rec : plan->recommendations) {
+    int delta = rec.recommended_max_containers - rec.current_max_containers;
+    EXPECT_LE(std::abs(delta), 1) << sim::GroupLabel(rec.group);
+  }
+}
+
+TEST(YarnTunerTest, UtilizationCapRespectedInLpSolution) {
+  TunerFixture fx;
+  YarnConfigTuner::Options options;
+  options.max_utilization = 0.9;
+  YarnConfigTuner tuner(options);
+
+  auto engine = core::WhatIfEngine::Fit(fx.store, nullptr, options.whatif);
+  ASSERT_TRUE(engine.ok());
+  auto plan = tuner.ProposeFromEngine(*engine, fx.cluster);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& [key, m] : plan->lp_solution) {
+    auto util = engine->PredictUtilization(key, m);
+    ASSERT_TRUE(util.ok());
+    EXPECT_LE(*util, 0.9 + 1e-6) << sim::GroupLabel(key);
+  }
+}
+
+TEST(YarnTunerTest, EmptyTelemetryFails) {
+  TunerFixture fx(100);
+  telemetry::TelemetryStore empty;
+  YarnConfigTuner tuner;
+  EXPECT_FALSE(tuner.Propose(empty, nullptr, fx.cluster).ok());
+}
+
+TEST(YarnTunerTest, ExactSearchAgreesOnDirection) {
+  TunerFixture fx;
+  auto engine = core::WhatIfEngine::Fit(fx.store, nullptr,
+                                        core::WhatIfEngine::Options());
+  ASSERT_TRUE(engine.ok());
+  YarnConfigTuner::Options options;
+  options.max_step = 1;  // 3^12 = 531k... keep within coordinate-ascent range.
+  YarnConfigTuner tuner(options);
+
+  auto lp_plan = tuner.ProposeFromEngine(*engine, fx.cluster);
+  auto exact_plan = tuner.ProposeExact(*engine, fx.cluster);
+  ASSERT_TRUE(lp_plan.ok());
+  ASSERT_TRUE(exact_plan.ok()) << exact_plan.status();
+
+  EXPECT_GE(exact_plan->predicted_capacity_gain, -1e-9);
+  // Both approaches should agree the cluster has spare capacity.
+  EXPECT_GT(lp_plan->predicted_capacity_gain, 0.0);
+  EXPECT_GT(exact_plan->predicted_capacity_gain, 0.0);
+}
+
+TEST(YarnTunerTest, PredictedGainRoughlyMatchesPaperScale) {
+  // Paper: +2% capacity with steps of 1, ~5% more with steps of 2.
+  TunerFixture fx;
+  YarnConfigTuner::Options step1;
+  step1.max_step = 1;
+  auto plan1 = YarnConfigTuner(step1).Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan1.ok());
+  EXPECT_GT(plan1->predicted_capacity_gain, 0.002);
+  EXPECT_LT(plan1->predicted_capacity_gain, 0.15);
+
+  YarnConfigTuner::Options step2;
+  step2.max_step = 2;
+  auto plan2 = YarnConfigTuner(step2).Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_GE(plan2->predicted_capacity_gain, plan1->predicted_capacity_gain);
+}
+
+}  // namespace
+}  // namespace kea::apps
