@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_experiment_design.cc" "bench/CMakeFiles/bench_ablation_experiment_design.dir/bench_ablation_experiment_design.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_experiment_design.dir/bench_ablation_experiment_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/kea_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/kea_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/kea_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/kea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_huber.dir/bench_ablation_huber.cc.o"
+  "CMakeFiles/bench_ablation_huber.dir/bench_ablation_huber.cc.o.d"
+  "bench_ablation_huber"
+  "bench_ablation_huber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_huber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

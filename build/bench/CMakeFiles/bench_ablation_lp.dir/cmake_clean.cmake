@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lp.dir/bench_ablation_lp.cc.o"
+  "CMakeFiles/bench_ablation_lp.dir/bench_ablation_lp.cc.o.d"
+  "bench_ablation_lp"
+  "bench_ablation_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

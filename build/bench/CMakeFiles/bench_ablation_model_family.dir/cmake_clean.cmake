@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_family.dir/bench_ablation_model_family.cc.o"
+  "CMakeFiles/bench_ablation_model_family.dir/bench_ablation_model_family.cc.o.d"
+  "bench_ablation_model_family"
+  "bench_ablation_model_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_forecast.dir/bench_capacity_forecast.cc.o"
+  "CMakeFiles/bench_capacity_forecast.dir/bench_capacity_forecast.cc.o.d"
+  "bench_capacity_forecast"
+  "bench_capacity_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

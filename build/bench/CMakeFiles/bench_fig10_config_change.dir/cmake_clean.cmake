@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_config_change.dir/bench_fig10_config_change.cc.o"
+  "CMakeFiles/bench_fig10_config_change.dir/bench_fig10_config_change.cc.o.d"
+  "bench_fig10_config_change"
+  "bench_fig10_config_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_config_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

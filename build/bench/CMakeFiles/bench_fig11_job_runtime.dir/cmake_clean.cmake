@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_job_runtime.dir/bench_fig11_job_runtime.cc.o"
+  "CMakeFiles/bench_fig11_job_runtime.dir/bench_fig11_job_runtime.cc.o.d"
+  "bench_fig11_job_runtime"
+  "bench_fig11_job_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_job_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_queuing.dir/bench_fig12_queuing.cc.o"
+  "CMakeFiles/bench_fig12_queuing.dir/bench_fig12_queuing.cc.o.d"
+  "bench_fig12_queuing"
+  "bench_fig12_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

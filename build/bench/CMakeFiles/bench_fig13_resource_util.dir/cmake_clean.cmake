@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_resource_util.dir/bench_fig13_resource_util.cc.o"
+  "CMakeFiles/bench_fig13_resource_util.dir/bench_fig13_resource_util.cc.o.d"
+  "bench_fig13_resource_util"
+  "bench_fig13_resource_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_resource_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cost.dir/bench_fig14_cost.cc.o"
+  "CMakeFiles/bench_fig14_cost.dir/bench_fig14_cost.cc.o.d"
+  "bench_fig14_cost"
+  "bench_fig14_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

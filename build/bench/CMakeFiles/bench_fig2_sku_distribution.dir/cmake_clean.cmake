@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sku_distribution.dir/bench_fig2_sku_distribution.cc.o"
+  "CMakeFiles/bench_fig2_sku_distribution.dir/bench_fig2_sku_distribution.cc.o.d"
+  "bench_fig2_sku_distribution"
+  "bench_fig2_sku_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sku_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_task_skew.dir/bench_fig5_task_skew.cc.o"
+  "CMakeFiles/bench_fig5_task_skew.dir/bench_fig5_task_skew.cc.o.d"
+  "bench_fig5_task_skew"
+  "bench_fig5_task_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_task_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_uniformity.dir/bench_fig6_uniformity.cc.o"
+  "CMakeFiles/bench_fig6_uniformity.dir/bench_fig6_uniformity.cc.o.d"
+  "bench_fig6_uniformity"
+  "bench_fig6_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scatter.dir/bench_fig8_scatter.cc.o"
+  "CMakeFiles/bench_fig8_scatter.dir/bench_fig8_scatter.cc.o.d"
+  "bench_fig8_scatter"
+  "bench_fig8_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

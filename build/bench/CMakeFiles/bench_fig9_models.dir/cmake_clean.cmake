@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_models.dir/bench_fig9_models.cc.o"
+  "CMakeFiles/bench_fig9_models.dir/bench_fig9_models.cc.o.d"
+  "bench_fig9_models"
+  "bench_fig9_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_gains.dir/bench_headline_gains.cc.o"
+  "CMakeFiles/bench_headline_gains.dir/bench_headline_gains.cc.o.d"
+  "bench_headline_gains"
+  "bench_headline_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_tuning.dir/bench_queue_tuning.cc.o"
+  "CMakeFiles/bench_queue_tuning.dir/bench_queue_tuning.cc.o.d"
+  "bench_queue_tuning"
+  "bench_queue_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sc.dir/bench_table4_sc.cc.o"
+  "CMakeFiles/bench_table4_sc.dir/bench_table4_sc.cc.o.d"
+  "bench_table4_sc"
+  "bench_table4_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/kea_bench_util.dir/bench_util.cc.o.d"
+  "libkea_bench_util.a"
+  "libkea_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

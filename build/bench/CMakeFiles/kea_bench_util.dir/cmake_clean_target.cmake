@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkea_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observational_tuning.dir/observational_tuning.cpp.o"
+  "CMakeFiles/observational_tuning.dir/observational_tuning.cpp.o.d"
+  "observational_tuning"
+  "observational_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observational_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capping_study.dir/power_capping_study.cpp.o"
+  "CMakeFiles/power_capping_study.dir/power_capping_study.cpp.o.d"
+  "power_capping_study"
+  "power_capping_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capping_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

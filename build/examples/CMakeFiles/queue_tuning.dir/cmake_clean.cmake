@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_tuning.dir/queue_tuning.cpp.o"
+  "CMakeFiles/queue_tuning.dir/queue_tuning.cpp.o.d"
+  "queue_tuning"
+  "queue_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

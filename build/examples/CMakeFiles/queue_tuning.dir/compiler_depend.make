@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for queue_tuning.
+# This may be replaced when dependencies are built.

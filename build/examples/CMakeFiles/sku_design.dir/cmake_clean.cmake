@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_design.dir/sku_design.cpp.o"
+  "CMakeFiles/sku_design.dir/sku_design.cpp.o.d"
+  "sku_design"
+  "sku_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

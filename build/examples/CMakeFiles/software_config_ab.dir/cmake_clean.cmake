@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_config_ab.dir/software_config_ab.cpp.o"
+  "CMakeFiles/software_config_ab.dir/software_config_ab.cpp.o.d"
+  "software_config_ab"
+  "software_config_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_config_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

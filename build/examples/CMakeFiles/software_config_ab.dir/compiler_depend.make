@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for software_config_ab.
+# This may be replaced when dependencies are built.

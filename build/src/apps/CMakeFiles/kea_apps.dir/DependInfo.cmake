@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/capacity.cc" "src/apps/CMakeFiles/kea_apps.dir/capacity.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/capacity.cc.o.d"
+  "/root/repo/src/apps/capacity_planner.cc" "src/apps/CMakeFiles/kea_apps.dir/capacity_planner.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/capacity_planner.cc.o.d"
+  "/root/repo/src/apps/experiment_planner.cc" "src/apps/CMakeFiles/kea_apps.dir/experiment_planner.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/experiment_planner.cc.o.d"
+  "/root/repo/src/apps/power_capping.cc" "src/apps/CMakeFiles/kea_apps.dir/power_capping.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/power_capping.cc.o.d"
+  "/root/repo/src/apps/queue_tuner.cc" "src/apps/CMakeFiles/kea_apps.dir/queue_tuner.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/queue_tuner.cc.o.d"
+  "/root/repo/src/apps/sc_selector.cc" "src/apps/CMakeFiles/kea_apps.dir/sc_selector.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/sc_selector.cc.o.d"
+  "/root/repo/src/apps/session.cc" "src/apps/CMakeFiles/kea_apps.dir/session.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/session.cc.o.d"
+  "/root/repo/src/apps/sku_designer.cc" "src/apps/CMakeFiles/kea_apps.dir/sku_designer.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/sku_designer.cc.o.d"
+  "/root/repo/src/apps/yarn_tuner.cc" "src/apps/CMakeFiles/kea_apps.dir/yarn_tuner.cc.o" "gcc" "src/apps/CMakeFiles/kea_apps.dir/yarn_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/kea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/kea_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_apps.dir/capacity.cc.o"
+  "CMakeFiles/kea_apps.dir/capacity.cc.o.d"
+  "CMakeFiles/kea_apps.dir/capacity_planner.cc.o"
+  "CMakeFiles/kea_apps.dir/capacity_planner.cc.o.d"
+  "CMakeFiles/kea_apps.dir/experiment_planner.cc.o"
+  "CMakeFiles/kea_apps.dir/experiment_planner.cc.o.d"
+  "CMakeFiles/kea_apps.dir/power_capping.cc.o"
+  "CMakeFiles/kea_apps.dir/power_capping.cc.o.d"
+  "CMakeFiles/kea_apps.dir/queue_tuner.cc.o"
+  "CMakeFiles/kea_apps.dir/queue_tuner.cc.o.d"
+  "CMakeFiles/kea_apps.dir/sc_selector.cc.o"
+  "CMakeFiles/kea_apps.dir/sc_selector.cc.o.d"
+  "CMakeFiles/kea_apps.dir/session.cc.o"
+  "CMakeFiles/kea_apps.dir/session.cc.o.d"
+  "CMakeFiles/kea_apps.dir/sku_designer.cc.o"
+  "CMakeFiles/kea_apps.dir/sku_designer.cc.o.d"
+  "CMakeFiles/kea_apps.dir/yarn_tuner.cc.o"
+  "CMakeFiles/kea_apps.dir/yarn_tuner.cc.o.d"
+  "libkea_apps.a"
+  "libkea_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkea_apps.a"
+)

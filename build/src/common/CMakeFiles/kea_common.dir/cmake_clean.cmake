@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_common.dir/csv.cc.o"
+  "CMakeFiles/kea_common.dir/csv.cc.o.d"
+  "CMakeFiles/kea_common.dir/logging.cc.o"
+  "CMakeFiles/kea_common.dir/logging.cc.o.d"
+  "CMakeFiles/kea_common.dir/status.cc.o"
+  "CMakeFiles/kea_common.dir/status.cc.o.d"
+  "libkea_common.a"
+  "libkea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/kea_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/kea_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/experiment_runner.cc" "src/core/CMakeFiles/kea_core.dir/experiment_runner.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/experiment_runner.cc.o.d"
+  "/root/repo/src/core/flighting.cc" "src/core/CMakeFiles/kea_core.dir/flighting.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/flighting.cc.o.d"
+  "/root/repo/src/core/model_report.cc" "src/core/CMakeFiles/kea_core.dir/model_report.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/model_report.cc.o.d"
+  "/root/repo/src/core/power_analysis.cc" "src/core/CMakeFiles/kea_core.dir/power_analysis.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/power_analysis.cc.o.d"
+  "/root/repo/src/core/treatment.cc" "src/core/CMakeFiles/kea_core.dir/treatment.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/treatment.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/core/CMakeFiles/kea_core.dir/validation.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/validation.cc.o.d"
+  "/root/repo/src/core/whatif.cc" "src/core/CMakeFiles/kea_core.dir/whatif.cc.o" "gcc" "src/core/CMakeFiles/kea_core.dir/whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/kea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/kea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/kea_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

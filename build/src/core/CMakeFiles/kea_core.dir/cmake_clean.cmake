@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_core.dir/deployment.cc.o"
+  "CMakeFiles/kea_core.dir/deployment.cc.o.d"
+  "CMakeFiles/kea_core.dir/experiment.cc.o"
+  "CMakeFiles/kea_core.dir/experiment.cc.o.d"
+  "CMakeFiles/kea_core.dir/experiment_runner.cc.o"
+  "CMakeFiles/kea_core.dir/experiment_runner.cc.o.d"
+  "CMakeFiles/kea_core.dir/flighting.cc.o"
+  "CMakeFiles/kea_core.dir/flighting.cc.o.d"
+  "CMakeFiles/kea_core.dir/model_report.cc.o"
+  "CMakeFiles/kea_core.dir/model_report.cc.o.d"
+  "CMakeFiles/kea_core.dir/power_analysis.cc.o"
+  "CMakeFiles/kea_core.dir/power_analysis.cc.o.d"
+  "CMakeFiles/kea_core.dir/treatment.cc.o"
+  "CMakeFiles/kea_core.dir/treatment.cc.o.d"
+  "CMakeFiles/kea_core.dir/validation.cc.o"
+  "CMakeFiles/kea_core.dir/validation.cc.o.d"
+  "CMakeFiles/kea_core.dir/whatif.cc.o"
+  "CMakeFiles/kea_core.dir/whatif.cc.o.d"
+  "libkea_core.a"
+  "libkea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/empirical.cc" "src/ml/CMakeFiles/kea_ml.dir/empirical.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/empirical.cc.o.d"
+  "/root/repo/src/ml/forecast.cc" "src/ml/CMakeFiles/kea_ml.dir/forecast.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/forecast.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/kea_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/kea_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/kea_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/regression.cc" "src/ml/CMakeFiles/kea_ml.dir/regression.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/regression.cc.o.d"
+  "/root/repo/src/ml/stats.cc" "src/ml/CMakeFiles/kea_ml.dir/stats.cc.o" "gcc" "src/ml/CMakeFiles/kea_ml.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

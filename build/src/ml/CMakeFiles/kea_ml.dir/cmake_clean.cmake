@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_ml.dir/empirical.cc.o"
+  "CMakeFiles/kea_ml.dir/empirical.cc.o.d"
+  "CMakeFiles/kea_ml.dir/forecast.cc.o"
+  "CMakeFiles/kea_ml.dir/forecast.cc.o.d"
+  "CMakeFiles/kea_ml.dir/matrix.cc.o"
+  "CMakeFiles/kea_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/kea_ml.dir/mlp.cc.o"
+  "CMakeFiles/kea_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/kea_ml.dir/model_selection.cc.o"
+  "CMakeFiles/kea_ml.dir/model_selection.cc.o.d"
+  "CMakeFiles/kea_ml.dir/regression.cc.o"
+  "CMakeFiles/kea_ml.dir/regression.cc.o.d"
+  "CMakeFiles/kea_ml.dir/stats.cc.o"
+  "CMakeFiles/kea_ml.dir/stats.cc.o.d"
+  "libkea_ml.a"
+  "libkea_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

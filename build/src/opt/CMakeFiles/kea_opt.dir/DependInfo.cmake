@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/lp.cc" "src/opt/CMakeFiles/kea_opt.dir/lp.cc.o" "gcc" "src/opt/CMakeFiles/kea_opt.dir/lp.cc.o.d"
+  "/root/repo/src/opt/montecarlo.cc" "src/opt/CMakeFiles/kea_opt.dir/montecarlo.cc.o" "gcc" "src/opt/CMakeFiles/kea_opt.dir/montecarlo.cc.o.d"
+  "/root/repo/src/opt/search.cc" "src/opt/CMakeFiles/kea_opt.dir/search.cc.o" "gcc" "src/opt/CMakeFiles/kea_opt.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_opt.dir/lp.cc.o"
+  "CMakeFiles/kea_opt.dir/lp.cc.o.d"
+  "CMakeFiles/kea_opt.dir/montecarlo.cc.o"
+  "CMakeFiles/kea_opt.dir/montecarlo.cc.o.d"
+  "CMakeFiles/kea_opt.dir/search.cc.o"
+  "CMakeFiles/kea_opt.dir/search.cc.o.d"
+  "libkea_opt.a"
+  "libkea_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/kea_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/fluid_engine.cc" "src/sim/CMakeFiles/kea_sim.dir/fluid_engine.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/fluid_engine.cc.o.d"
+  "/root/repo/src/sim/job_sim.cc" "src/sim/CMakeFiles/kea_sim.dir/job_sim.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/job_sim.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/kea_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/sku.cc" "src/sim/CMakeFiles/kea_sim.dir/sku.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/sku.cc.o.d"
+  "/root/repo/src/sim/sku_io.cc" "src/sim/CMakeFiles/kea_sim.dir/sku_io.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/sku_io.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/kea_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/kea_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/kea_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

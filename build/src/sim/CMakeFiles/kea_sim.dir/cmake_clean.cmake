@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_sim.dir/cluster.cc.o"
+  "CMakeFiles/kea_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/kea_sim.dir/fluid_engine.cc.o"
+  "CMakeFiles/kea_sim.dir/fluid_engine.cc.o.d"
+  "CMakeFiles/kea_sim.dir/job_sim.cc.o"
+  "CMakeFiles/kea_sim.dir/job_sim.cc.o.d"
+  "CMakeFiles/kea_sim.dir/perf_model.cc.o"
+  "CMakeFiles/kea_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/kea_sim.dir/sku.cc.o"
+  "CMakeFiles/kea_sim.dir/sku.cc.o.d"
+  "CMakeFiles/kea_sim.dir/sku_io.cc.o"
+  "CMakeFiles/kea_sim.dir/sku_io.cc.o.d"
+  "CMakeFiles/kea_sim.dir/workload.cc.o"
+  "CMakeFiles/kea_sim.dir/workload.cc.o.d"
+  "libkea_sim.a"
+  "libkea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/dashboard.cc" "src/telemetry/CMakeFiles/kea_telemetry.dir/dashboard.cc.o" "gcc" "src/telemetry/CMakeFiles/kea_telemetry.dir/dashboard.cc.o.d"
+  "/root/repo/src/telemetry/perf_monitor.cc" "src/telemetry/CMakeFiles/kea_telemetry.dir/perf_monitor.cc.o" "gcc" "src/telemetry/CMakeFiles/kea_telemetry.dir/perf_monitor.cc.o.d"
+  "/root/repo/src/telemetry/record.cc" "src/telemetry/CMakeFiles/kea_telemetry.dir/record.cc.o" "gcc" "src/telemetry/CMakeFiles/kea_telemetry.dir/record.cc.o.d"
+  "/root/repo/src/telemetry/store.cc" "src/telemetry/CMakeFiles/kea_telemetry.dir/store.cc.o" "gcc" "src/telemetry/CMakeFiles/kea_telemetry.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

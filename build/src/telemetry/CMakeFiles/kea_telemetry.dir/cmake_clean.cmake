@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kea_telemetry.dir/dashboard.cc.o"
+  "CMakeFiles/kea_telemetry.dir/dashboard.cc.o.d"
+  "CMakeFiles/kea_telemetry.dir/perf_monitor.cc.o"
+  "CMakeFiles/kea_telemetry.dir/perf_monitor.cc.o.d"
+  "CMakeFiles/kea_telemetry.dir/record.cc.o"
+  "CMakeFiles/kea_telemetry.dir/record.cc.o.d"
+  "CMakeFiles/kea_telemetry.dir/store.cc.o"
+  "CMakeFiles/kea_telemetry.dir/store.cc.o.d"
+  "libkea_telemetry.a"
+  "libkea_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kea_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_test.dir/capacity_test.cc.o"
+  "CMakeFiles/capacity_test.dir/capacity_test.cc.o.d"
+  "capacity_test"
+  "capacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_test.dir/dashboard_test.cc.o"
+  "CMakeFiles/dashboard_test.dir/dashboard_test.cc.o.d"
+  "dashboard_test"
+  "dashboard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_test.dir/deployment_test.cc.o"
+  "CMakeFiles/deployment_test.dir/deployment_test.cc.o.d"
+  "deployment_test"
+  "deployment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

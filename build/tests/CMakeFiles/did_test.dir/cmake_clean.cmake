@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/did_test.dir/did_test.cc.o"
+  "CMakeFiles/did_test.dir/did_test.cc.o.d"
+  "did_test"
+  "did_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/did_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

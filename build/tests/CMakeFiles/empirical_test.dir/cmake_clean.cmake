@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_test.dir/empirical_test.cc.o"
+  "CMakeFiles/empirical_test.dir/empirical_test.cc.o.d"
+  "empirical_test"
+  "empirical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_planner_test.dir/experiment_planner_test.cc.o"
+  "CMakeFiles/experiment_planner_test.dir/experiment_planner_test.cc.o.d"
+  "experiment_planner_test"
+  "experiment_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

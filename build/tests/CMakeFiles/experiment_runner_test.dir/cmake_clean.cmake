@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_runner_test.dir/experiment_runner_test.cc.o"
+  "CMakeFiles/experiment_runner_test.dir/experiment_runner_test.cc.o.d"
+  "experiment_runner_test"
+  "experiment_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

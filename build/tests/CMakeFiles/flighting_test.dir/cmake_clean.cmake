@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flighting_test.dir/flighting_test.cc.o"
+  "CMakeFiles/flighting_test.dir/flighting_test.cc.o.d"
+  "flighting_test"
+  "flighting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flighting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_engine_test.dir/fluid_engine_test.cc.o"
+  "CMakeFiles/fluid_engine_test.dir/fluid_engine_test.cc.o.d"
+  "fluid_engine_test"
+  "fluid_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

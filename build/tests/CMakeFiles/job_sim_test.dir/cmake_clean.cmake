@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_sim_test.dir/job_sim_test.cc.o"
+  "CMakeFiles/job_sim_test.dir/job_sim_test.cc.o.d"
+  "job_sim_test"
+  "job_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/lp_test.cc.o"
+  "CMakeFiles/lp_test.dir/lp_test.cc.o.d"
+  "lp_test"
+  "lp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

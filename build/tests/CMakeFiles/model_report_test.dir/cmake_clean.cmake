@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_report_test.dir/model_report_test.cc.o"
+  "CMakeFiles/model_report_test.dir/model_report_test.cc.o.d"
+  "model_report_test"
+  "model_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

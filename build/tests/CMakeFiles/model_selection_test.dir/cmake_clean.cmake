@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_selection_test.dir/model_selection_test.cc.o"
+  "CMakeFiles/model_selection_test.dir/model_selection_test.cc.o.d"
+  "model_selection_test"
+  "model_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_test.dir/montecarlo_test.cc.o"
+  "CMakeFiles/montecarlo_test.dir/montecarlo_test.cc.o.d"
+  "montecarlo_test"
+  "montecarlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

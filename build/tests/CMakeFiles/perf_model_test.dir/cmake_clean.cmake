@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_model_test.dir/perf_model_test.cc.o"
+  "CMakeFiles/perf_model_test.dir/perf_model_test.cc.o.d"
+  "perf_model_test"
+  "perf_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capping_test.dir/power_capping_test.cc.o"
+  "CMakeFiles/power_capping_test.dir/power_capping_test.cc.o.d"
+  "power_capping_test"
+  "power_capping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_tuner_test.dir/queue_tuner_test.cc.o"
+  "CMakeFiles/queue_tuner_test.dir/queue_tuner_test.cc.o.d"
+  "queue_tuner_test"
+  "queue_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_test.dir/resilience_test.cc.o"
+  "CMakeFiles/resilience_test.dir/resilience_test.cc.o.d"
+  "resilience_test"
+  "resilience_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollup_test.dir/rollup_test.cc.o"
+  "CMakeFiles/rollup_test.dir/rollup_test.cc.o.d"
+  "rollup_test"
+  "rollup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_selector_test.dir/sc_selector_test.cc.o"
+  "CMakeFiles/sc_selector_test.dir/sc_selector_test.cc.o.d"
+  "sc_selector_test"
+  "sc_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_io_test.dir/sku_io_test.cc.o"
+  "CMakeFiles/sku_io_test.dir/sku_io_test.cc.o.d"
+  "sku_io_test"
+  "sku_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_test.dir/sku_test.cc.o"
+  "CMakeFiles/sku_test.dir/sku_test.cc.o.d"
+  "sku_test"
+  "sku_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_test.dir/telemetry_test.cc.o"
+  "CMakeFiles/telemetry_test.dir/telemetry_test.cc.o.d"
+  "telemetry_test"
+  "telemetry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

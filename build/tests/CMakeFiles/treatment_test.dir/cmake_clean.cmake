@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treatment_test.dir/treatment_test.cc.o"
+  "CMakeFiles/treatment_test.dir/treatment_test.cc.o.d"
+  "treatment_test"
+  "treatment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treatment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_test.dir/whatif_test.cc.o"
+  "CMakeFiles/whatif_test.dir/whatif_test.cc.o.d"
+  "whatif_test"
+  "whatif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yarn_tuner_test.dir/yarn_tuner_test.cc.o"
+  "CMakeFiles/yarn_tuner_test.dir/yarn_tuner_test.cc.o.d"
+  "yarn_tuner_test"
+  "yarn_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yarn_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
