@@ -1,0 +1,97 @@
+// Wall-clock scaling of the parallelized hot paths at 1/2/4/8 threads, so
+// future PRs can track how the evaluation-loop throughput (the resource KEA
+// tuning passes are bounded by) responds to cores. Every workload is
+// deterministic per thread count — the determinism_test asserts the outputs
+// are bit-identical, this bench measures only the time.
+//
+// Run with --benchmark_counters_tabular=true for a compact view. On a
+// single-core host the per-thread-count times will be flat (there is nothing
+// to scale onto); the speedup criterion is meaningful on >= 8 cores.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/yarn_tuner.h"
+#include "bench/bench_util.h"
+#include "core/whatif.h"
+#include "opt/montecarlo.h"
+#include "sim/fluid_sweep.h"
+
+namespace {
+
+using namespace kea;
+
+/// The Monte-Carlo grid workload of Section 6.1: ~1000 draws per candidate
+/// over a SKU-design-sized candidate grid, with a compute-heavy sampler.
+void BM_MonteCarloGridScaling(benchmark::State& state) {
+  opt::GridOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  const size_t candidates = 56;  // 8 SSD x 7 RAM points.
+  const int iterations = 1000;
+  auto sample = [](size_t i, Rng* r) {
+    double cost = 0.0;
+    double scale = 1.0 + 0.01 * static_cast<double>(i);
+    for (int k = 0; k < 8; ++k) {
+      cost += scale * r->LogNormal(0.0, 0.2) + std::sqrt(r->Exponential(2.0));
+    }
+    return cost;
+  };
+  for (auto _ : state) {
+    Rng rng(42);
+    auto grid = opt::EstimateOverGrid(candidates, sample, iterations, &rng, options);
+    benchmark::DoNotOptimize(grid);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates) * iterations);
+}
+BENCHMARK(BM_MonteCarloGridScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Per-group model fitting of Section 5.1 (one g/h/f triple per SC-SKU
+/// combination) over a week of simulated fleet telemetry.
+void BM_WhatIfFitScaling(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(1000);
+  env.Run(0, sim::kHoursPerWeek);
+  core::WhatIfEngine::Options options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto engine = core::WhatIfEngine::Fit(env.store, nullptr, options);
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_WhatIfFitScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// The fluid-engine configuration sweep: eight capacity variants of a
+/// 1000-machine fleet, one simulated day each.
+void BM_FluidSweepScaling(benchmark::State& state) {
+  bench::BenchEnv env = bench::BenchEnv::Make(1000);
+  std::vector<sim::SweepCandidate> candidates;
+  for (int c = 0; c < 8; ++c) {
+    double scale = 0.7 + 0.1 * c;
+    candidates.push_back(
+        {"capacity", [scale](sim::Cluster* cluster) {
+           for (sim::Machine& m : cluster->mutable_machines()) {
+             m.max_containers = std::max(
+                 1, static_cast<int>(std::lround(m.max_containers * scale)));
+           }
+           return Status::OK();
+         }});
+  }
+  sim::SweepOptions options;
+  options.hours = sim::kHoursPerDay;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto summaries = sim::RunConfigSweep(&env.model, env.cluster, &env.workload,
+                                         candidates, options);
+    benchmark::DoNotOptimize(summaries);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates.size()) * options.hours);
+}
+BENCHMARK(BM_FluidSweepScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -135,40 +135,95 @@ StatusOr<SkuDesigner::Result> SkuDesigner::Design(
   std::vector<double> nic_candidates = options_.nic_candidates_mbps;
   if (!use_nic) nic_candidates = {kUnbounded};
 
+  // Flatten the (SSD x RAM x NIC) grid so the Monte-Carlo runs as one
+  // parallel candidate loop — the paper's 1000 draws per candidate are
+  // independent across candidates, and EstimateOverGrid gives each one its
+  // own RNG substream.
+  struct Candidate {
+    double ssd, ram, nic;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(options_.ssd_candidates_gb.size() *
+                     options_.ram_candidates_gb.size() * nic_candidates.size());
   for (double S : options_.ssd_candidates_gb) {
     for (double R : options_.ram_candidates_gb) {
       for (double N : nic_candidates) {
-        int ssd_strand = 0, ram_strand = 0, nic_strand = 0;
-        auto sampler = [&](Rng* r) {
-          bool os = false, orm = false, on = false;
-          double cost = draw_cost(S, R, N, r, &os, &orm, &on);
-          if (os) ++ssd_strand;
-          if (orm) ++ram_strand;
-          if (on) ++nic_strand;
-          return cost;
-        };
-        KEA_ASSIGN_OR_RETURN(
-            opt::MonteCarloEstimate estimate,
-            opt::EstimateExpectation(sampler, options_.mc_iterations, rng));
-        DesignPoint point;
-        point.ssd_gb = S;
-        point.ram_gb = R;
-        point.nic_mbps = use_nic ? N : 0.0;
-        point.expected_cost = estimate.mean;
-        point.standard_error = estimate.standard_error;
-        double iters = static_cast<double>(estimate.iterations);
-        point.p_out_of_ssd = static_cast<double>(ssd_strand) / iters;
-        point.p_out_of_ram = static_cast<double>(ram_strand) / iters;
-        point.p_out_of_nic = static_cast<double>(nic_strand) / iters;
-        if (!result.surface.empty() &&
-            point.expected_cost < result.surface[result.best_index].expected_cost) {
-          result.best_index = result.surface.size();
-        }
-        result.surface.push_back(point);
+        candidates.push_back({S, R, N});
       }
     }
   }
+
+  // Stranding tallies per candidate; each slot is only ever touched by the
+  // one task evaluating that candidate, so the loop stays race-free.
+  std::vector<int> ssd_strand(candidates.size(), 0);
+  std::vector<int> ram_strand(candidates.size(), 0);
+  std::vector<int> nic_strand(candidates.size(), 0);
+  auto grid_sample = [&](size_t i, Rng* r) {
+    bool os = false, orm = false, on = false;
+    double cost =
+        draw_cost(candidates[i].ssd, candidates[i].ram, candidates[i].nic, r,
+                  &os, &orm, &on);
+    if (os) ++ssd_strand[i];
+    if (orm) ++ram_strand[i];
+    if (on) ++nic_strand[i];
+    return cost;
+  };
+  opt::GridOptions grid_options;
+  grid_options.num_threads = options_.num_threads;
+  KEA_ASSIGN_OR_RETURN(
+      opt::GridEstimate grid,
+      opt::EstimateOverGrid(candidates.size(), grid_sample,
+                            options_.mc_iterations, rng, grid_options));
+
+  result.surface.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const opt::MonteCarloEstimate& estimate = grid.estimates[i];
+    DesignPoint point;
+    point.ssd_gb = candidates[i].ssd;
+    point.ram_gb = candidates[i].ram;
+    point.nic_mbps = use_nic ? candidates[i].nic : 0.0;
+    point.expected_cost = estimate.mean;
+    point.standard_error = estimate.standard_error;
+    double iters = static_cast<double>(estimate.iterations);
+    point.p_out_of_ssd = static_cast<double>(ssd_strand[i]) / iters;
+    point.p_out_of_ram = static_cast<double>(ram_strand[i]) / iters;
+    point.p_out_of_nic = static_cast<double>(nic_strand[i]) / iters;
+    result.surface.push_back(point);
+  }
+  result.best_index = grid.best_index;
   return result;
+}
+
+StatusOr<telemetry::TelemetryStore> SkuDesigner::SimulateDesignTelemetry(
+    const sim::PerfModel* model, const sim::Cluster& base,
+    const sim::WorkloadModel* workload, const std::vector<double>& capacity_scales,
+    const sim::SweepOptions& sweep) {
+  if (capacity_scales.empty()) {
+    return Status::InvalidArgument("empty capacity scale sweep");
+  }
+  std::vector<sim::SweepCandidate> candidates;
+  candidates.reserve(capacity_scales.size());
+  for (double scale : capacity_scales) {
+    if (scale <= 0.0) {
+      return Status::InvalidArgument("capacity scales must be positive");
+    }
+    candidates.push_back(
+        {"capacity_x" + std::to_string(scale), [scale](sim::Cluster* cluster) {
+           for (sim::Machine& m : cluster->mutable_machines()) {
+             m.max_containers = std::max(
+                 1, static_cast<int>(std::lround(m.max_containers * scale)));
+           }
+           return Status::OK();
+         }});
+  }
+  KEA_ASSIGN_OR_RETURN(
+      std::vector<telemetry::TelemetryStore> stores,
+      sim::RunConfigSweepTelemetry(model, base, workload, candidates, sweep));
+  telemetry::TelemetryStore merged;
+  for (const telemetry::TelemetryStore& store : stores) {
+    merged.AppendAll(store.records());
+  }
+  return merged;
 }
 
 }  // namespace kea::apps

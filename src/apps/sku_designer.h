@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "ml/empirical.h"
 #include "ml/regression.h"
+#include "sim/fluid_sweep.h"
 #include "telemetry/store.h"
 
 namespace kea::apps {
@@ -32,6 +33,11 @@ class SkuDesigner {
 
     /// Monte-Carlo draws per candidate (the paper uses 1000).
     int mc_iterations = 1000;
+
+    /// Threads for the candidate-grid Monte-Carlo: 0 = hardware_concurrency,
+    /// 1 = the serial legacy path. Each candidate draws from its own RNG
+    /// substream, so the cost surface is bit-identical at any value.
+    int num_threads = 0;
 
     /// Unit costs (USD, amortized): the penalty of an *idle* unit.
     double cost_per_idle_core = 40.0;
@@ -86,9 +92,21 @@ class SkuDesigner {
 
   /// Runs the full hypothetical-tuning pass on the telemetry matching
   /// `filter`. Returns FailedPrecondition when there is not enough usable
-  /// telemetry (needs machine-hours with meaningfully busy cores).
+  /// telemetry (needs machine-hours with meaningfully busy cores). The
+  /// candidate grid is evaluated concurrently per `Options::num_threads`.
   StatusOr<Result> Design(const telemetry::TelemetryStore& store,
                           const telemetry::RecordFilter& filter, Rng* rng) const;
+
+  /// Generates design-input telemetry with the fluid-engine configuration
+  /// sweep: one candidate per capacity scale (every machine's max_containers
+  /// scaled by the factor, minimum 1), merged in candidate order. Sweeping
+  /// capacity pushes the fleet through distinct utilization regimes, which
+  /// spreads cores_used and sharpens the per-core slope fits of Eq. (11-12)
+  /// compared to telemetry from a single operating point.
+  static StatusOr<telemetry::TelemetryStore> SimulateDesignTelemetry(
+      const sim::PerfModel* model, const sim::Cluster& base,
+      const sim::WorkloadModel* workload,
+      const std::vector<double>& capacity_scales, const sim::SweepOptions& sweep);
 
  private:
   Options options_;

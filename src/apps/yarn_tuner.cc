@@ -136,6 +136,42 @@ StatusOr<YarnConfigTuner::Plan> YarnConfigTuner::ProposeFromEngine(
   return plan;
 }
 
+StatusOr<YarnConfigTuner::SimulatedPlanOutcome> YarnConfigTuner::SimulatePlan(
+    const Plan& plan, const sim::PerfModel* model, const sim::Cluster& base,
+    const sim::WorkloadModel* workload, const sim::SweepOptions& sweep) const {
+  if (plan.recommendations.empty()) {
+    return Status::InvalidArgument("plan has no recommendations to simulate");
+  }
+
+  std::vector<core::GroupRecommendation> recs = plan.recommendations;
+  std::vector<sim::SweepCandidate> candidates;
+  candidates.push_back({"current", nullptr});
+  candidates.push_back({"proposed", [recs](sim::Cluster* cluster) {
+                          for (const auto& rec : recs) {
+                            KEA_RETURN_IF_ERROR(cluster->SetGroupMaxContainers(
+                                rec.group, rec.recommended_max_containers));
+                          }
+                          return Status::OK();
+                        }});
+
+  KEA_ASSIGN_OR_RETURN(std::vector<sim::SweepSummary> summaries,
+                       sim::RunConfigSweep(model, base, workload, candidates, sweep));
+
+  SimulatedPlanOutcome outcome;
+  outcome.current = std::move(summaries[0]);
+  outcome.proposed = std::move(summaries[1]);
+  if (outcome.current.mean_task_latency_s > 0.0) {
+    outcome.latency_change = outcome.proposed.mean_task_latency_s /
+                                 outcome.current.mean_task_latency_s -
+                             1.0;
+  }
+  if (outcome.current.total_tasks > 0.0) {
+    outcome.throughput_change =
+        outcome.proposed.total_tasks / outcome.current.total_tasks - 1.0;
+  }
+  return outcome;
+}
+
 StatusOr<YarnConfigTuner::Plan> YarnConfigTuner::ProposeExact(
     const core::WhatIfEngine& engine, const sim::Cluster& cluster) const {
   const auto& models = engine.models();

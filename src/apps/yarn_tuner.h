@@ -8,6 +8,7 @@
 #include "core/deployment.h"
 #include "core/whatif.h"
 #include "sim/cluster.h"
+#include "sim/fluid_sweep.h"
 #include "telemetry/store.h"
 
 namespace kea::apps {
@@ -71,6 +72,28 @@ class YarnConfigTuner {
   /// constraint instead of the LP linearization.
   StatusOr<Plan> ProposeExact(const core::WhatIfEngine& engine,
                               const sim::Cluster& cluster) const;
+
+  /// What the fluid simulator says about a plan before it ships: the current
+  /// and proposed configurations simulated side by side (the flighting dry
+  /// run of Section 5.2.2, minus the production risk).
+  struct SimulatedPlanOutcome {
+    sim::SweepSummary current;
+    sim::SweepSummary proposed;
+    /// Fractional change proposed/current - 1 in the simulated task-weighted
+    /// latency and total tasks finished.
+    double latency_change = 0.0;
+    double throughput_change = 0.0;
+  };
+
+  /// Simulates `plan` against the base configuration with the fluid-engine
+  /// configuration sweep: both arms run `sweep.hours` hours on private
+  /// cluster copies with independent RNG substreams, concurrently per
+  /// `sweep.num_threads`, and bit-identically at any thread count.
+  StatusOr<SimulatedPlanOutcome> SimulatePlan(const Plan& plan,
+                                              const sim::PerfModel* model,
+                                              const sim::Cluster& base,
+                                              const sim::WorkloadModel* workload,
+                                              const sim::SweepOptions& sweep) const;
 
  private:
   /// Configured max_containers per group read from the cluster.

@@ -9,6 +9,16 @@
 
 namespace kea {
 
+/// SplitMix64-style finalizer that derives an independent substream seed from
+/// a (seed, stream id) pair. Pure function of its inputs, so substream i of a
+/// given seed is the same on every call, on every thread, in every process.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream_id) {
+  uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic pseudo-random generator used across the simulator and the
 /// Monte-Carlo machinery. Wraps std::mt19937_64 with convenience samplers so
 /// call sites don't instantiate distribution objects.
@@ -17,7 +27,7 @@ namespace kea {
 /// reproducible given the seed, which the tests and benches rely on.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 42) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }
@@ -80,12 +90,25 @@ class Rng {
   }
 
   /// Derives an independent child generator; used to give each simulated
-  /// machine / worker its own stream.
+  /// machine / worker its own stream. Consumes one draw from this stream, so
+  /// successive Fork() calls yield different children.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Derives the substream identified by `stream_id`. Unlike Fork(), this is
+  /// a pure function of (constructor seed, stream_id): it does not advance
+  /// this generator, and the substream's draw sequence is independent of how
+  /// many draws the parent has made. This is what makes parallel loops
+  /// deterministic — each logical task splits off its own stream by index
+  /// and gets the same draws no matter which thread runs it, or when.
+  Rng Split(uint64_t stream_id) const { return Rng(MixSeed(seed_, stream_id)); }
+
+  /// The seed this generator was constructed with (substream derivation key).
+  uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};

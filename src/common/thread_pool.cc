@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace kea::common {
+
+namespace {
+
+/// The pool whose worker is executing on this thread, if any. Lets
+/// ParallelFor detect same-pool nesting and fall back to inline execution
+/// instead of deadlocking on its own drained workers.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
+
+int ThreadPool::ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int total = ResolveThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(total - 1));
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+    if (stopping_) return;
+    seen_generation = generation_;
+    DrainIndices(lock, seen_generation);
+  }
+}
+
+void ThreadPool::DrainIndices(std::unique_lock<std::mutex>& lock,
+                              uint64_t generation) {
+  while (generation_ == generation && !stopping_ && next_index_ < job_size_) {
+    const size_t i = next_index_++;
+    const std::function<void(size_t)>* job = job_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*job)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && (!error_ || i < error_index_)) {
+      error_ = err;
+      error_index_ = i;
+    }
+    if (++completed_ == job_size_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_current_pool == this) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // The caller participates in the loop below, so it must carry the same
+  // nesting marker as the workers: a re-entrant ParallelFor from one of the
+  // caller-drained bodies would otherwise stomp this job's state.
+  const ThreadPool* previous_pool = t_current_pool;
+  t_current_pool = this;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  completed_ = 0;
+  error_index_ = 0;
+  error_ = nullptr;
+  const uint64_t generation = ++generation_;
+  work_cv_.notify_all();
+
+  DrainIndices(lock, generation);
+  done_cv_.wait(lock, [&] { return completed_ == job_size_; });
+  t_current_pool = previous_pool;
+
+  job_ = nullptr;
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::Run(int num_threads, size_t n,
+                     const std::function<void(size_t)>& fn) {
+  int total = ResolveThreads(num_threads);
+  if (total <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  total = static_cast<int>(std::min<size_t>(static_cast<size_t>(total), n));
+  ThreadPool pool(total);
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace kea::common

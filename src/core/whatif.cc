@@ -1,7 +1,9 @@
 #include "core/whatif.h"
 
+#include <optional>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "ml/model_selection.h"
 #include "ml/stats.h"
 
@@ -25,6 +27,53 @@ StatusOr<ml::LinearModel> FitPairs(const std::vector<double>& x,
   return regressor.Fit(data);
 }
 
+/// Fits one machine group's g/h/f models. Returns an empty optional when the
+/// group lacks enough busy observations (skipped, not an error).
+StatusOr<std::optional<GroupModels>> FitGroup(
+    const sim::MachineGroupKey& key,
+    const std::vector<telemetry::MachineHourRecord>& records,
+    const WhatIfEngine::Options& options) {
+  std::vector<double> containers, util, tasks, latency;
+  std::unordered_set<int> machines;
+  containers.reserve(records.size());
+  util.reserve(records.size());
+  tasks.reserve(records.size());
+  latency.reserve(records.size());
+  for (const auto& r : records) {
+    // Idle machine-hours carry no task-latency signal; skip them, matching
+    // the production pipeline's data preparation.
+    if (r.tasks_finished <= 0.0) continue;
+    machines.insert(r.machine_id);
+    containers.push_back(r.avg_running_containers);
+    util.push_back(r.cpu_utilization);
+    tasks.push_back(r.tasks_finished);
+    latency.push_back(r.avg_task_latency_s);
+  }
+  if (containers.size() < options.min_observations) {
+    return std::optional<GroupModels>();
+  }
+
+  GroupModels gm;
+  gm.group = key;
+  gm.num_machines = static_cast<int>(machines.size());
+
+  KEA_ASSIGN_OR_RETURN(gm.g, FitPairs(containers, util, options.regressor));
+  KEA_ASSIGN_OR_RETURN(gm.h, FitPairs(util, tasks, options.regressor));
+  KEA_ASSIGN_OR_RETURN(gm.f, FitPairs(util, latency, options.regressor));
+
+  KEA_ASSIGN_OR_RETURN(gm.g_fit, ml::Evaluate(gm.g, ml::MakeDataset1D(containers, util)));
+  KEA_ASSIGN_OR_RETURN(gm.h_fit, ml::Evaluate(gm.h, ml::MakeDataset1D(util, tasks)));
+  KEA_ASSIGN_OR_RETURN(gm.f_fit, ml::Evaluate(gm.f, ml::MakeDataset1D(util, latency)));
+
+  // Median operating point (the large dot of Figure 9).
+  KEA_ASSIGN_OR_RETURN(gm.current_containers, ml::Quantile(containers, 0.5));
+  KEA_ASSIGN_OR_RETURN(gm.current_utilization, ml::Quantile(util, 0.5));
+  KEA_ASSIGN_OR_RETURN(gm.current_tasks_per_hour, ml::Quantile(tasks, 0.5));
+  KEA_ASSIGN_OR_RETURN(gm.current_latency_s, ml::Quantile(latency, 0.5));
+
+  return std::optional<GroupModels>(std::move(gm));
+}
+
 }  // namespace
 
 StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
@@ -35,47 +84,34 @@ StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
     return Status::FailedPrecondition("no telemetry to fit the What-if Engine");
   }
 
-  std::map<sim::MachineGroupKey, GroupModels> models;
-  for (const auto& [key, records] : grouped) {
-    if (records.size() < options.min_observations) continue;
+  // Groups are independent (one g/h/f triple per SC-SKU combination), so the
+  // fitting loop fans out over the pool. Results land in per-group slots and
+  // are assembled below in key order, making the output identical at any
+  // thread count.
+  std::vector<const std::pair<const sim::MachineGroupKey,
+                              std::vector<telemetry::MachineHourRecord>>*>
+      groups;
+  groups.reserve(grouped.size());
+  for (const auto& entry : grouped) {
+    if (entry.second.size() >= options.min_observations) groups.push_back(&entry);
+  }
 
-    std::vector<double> containers, util, tasks, latency;
-    std::unordered_set<int> machines;
-    containers.reserve(records.size());
-    util.reserve(records.size());
-    tasks.reserve(records.size());
-    latency.reserve(records.size());
-    for (const auto& r : records) {
-      // Idle machine-hours carry no task-latency signal; skip them, matching
-      // the production pipeline's data preparation.
-      if (r.tasks_finished <= 0.0) continue;
-      machines.insert(r.machine_id);
-      containers.push_back(r.avg_running_containers);
-      util.push_back(r.cpu_utilization);
-      tasks.push_back(r.tasks_finished);
-      latency.push_back(r.avg_task_latency_s);
+  std::vector<std::optional<GroupModels>> fitted(groups.size());
+  std::vector<Status> failures(groups.size(), Status::OK());
+  common::ThreadPool::Run(options.num_threads, groups.size(), [&](size_t i) {
+    StatusOr<std::optional<GroupModels>> result =
+        FitGroup(groups[i]->first, groups[i]->second, options);
+    if (result.ok()) {
+      fitted[i] = std::move(result).value();
+    } else {
+      failures[i] = result.status();
     }
-    if (containers.size() < options.min_observations) continue;
+  });
+  for (const Status& s : failures) KEA_RETURN_IF_ERROR(s);
 
-    GroupModels gm;
-    gm.group = key;
-    gm.num_machines = static_cast<int>(machines.size());
-
-    KEA_ASSIGN_OR_RETURN(gm.g, FitPairs(containers, util, options.regressor));
-    KEA_ASSIGN_OR_RETURN(gm.h, FitPairs(util, tasks, options.regressor));
-    KEA_ASSIGN_OR_RETURN(gm.f, FitPairs(util, latency, options.regressor));
-
-    KEA_ASSIGN_OR_RETURN(gm.g_fit, ml::Evaluate(gm.g, ml::MakeDataset1D(containers, util)));
-    KEA_ASSIGN_OR_RETURN(gm.h_fit, ml::Evaluate(gm.h, ml::MakeDataset1D(util, tasks)));
-    KEA_ASSIGN_OR_RETURN(gm.f_fit, ml::Evaluate(gm.f, ml::MakeDataset1D(util, latency)));
-
-    // Median operating point (the large dot of Figure 9).
-    KEA_ASSIGN_OR_RETURN(gm.current_containers, ml::Quantile(containers, 0.5));
-    KEA_ASSIGN_OR_RETURN(gm.current_utilization, ml::Quantile(util, 0.5));
-    KEA_ASSIGN_OR_RETURN(gm.current_tasks_per_hour, ml::Quantile(tasks, 0.5));
-    KEA_ASSIGN_OR_RETURN(gm.current_latency_s, ml::Quantile(latency, 0.5));
-
-    models[key] = std::move(gm);
+  std::map<sim::MachineGroupKey, GroupModels> models;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (fitted[i].has_value()) models[groups[i]->first] = std::move(*fitted[i]);
   }
   if (models.empty()) {
     return Status::FailedPrecondition(

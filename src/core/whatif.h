@@ -52,10 +52,17 @@ class WhatIfEngine {
     RegressorKind regressor = RegressorKind::kHuber;
     /// Minimum machine-hours per group to fit a model.
     size_t min_observations = 24;
+    /// Threads for the per-group fitting loop (groups are independent,
+    /// Section 5.1 fits g/h/f per machine group): 0 = hardware_concurrency,
+    /// 1 = the serial legacy path. Fitting is RNG-free and groups are
+    /// assembled in key order, so results are identical at any value.
+    int num_threads = 0;
   };
 
   /// Fits per-group models from the telemetry matching `filter`. Returns
-  /// FailedPrecondition when no group has enough observations.
+  /// FailedPrecondition when no group has enough observations. Groups are
+  /// fitted concurrently per `options.num_threads`; on multiple failures the
+  /// error for the smallest group key is returned.
   static StatusOr<WhatIfEngine> Fit(const telemetry::TelemetryStore& store,
                                     const telemetry::RecordFilter& filter,
                                     const Options& options);

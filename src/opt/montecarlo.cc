@@ -1,6 +1,9 @@
 #include "opt/montecarlo.h"
 
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace kea::opt {
 
@@ -31,16 +34,38 @@ StatusOr<MonteCarloEstimate> EstimateExpectation(
 
 StatusOr<GridEstimate> EstimateOverGrid(
     size_t num_candidates, const std::function<double(size_t, Rng*)>& sample,
-    int iterations_per_candidate, Rng* rng) {
+    int iterations_per_candidate, Rng* rng, const GridOptions& options) {
   if (num_candidates == 0) return Status::InvalidArgument("empty candidate grid");
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (iterations_per_candidate < 2) {
+    return Status::InvalidArgument("Monte-Carlo needs >= 2 iterations");
+  }
+
+  // One parent draw keys this call's substream family; candidate i then draws
+  // only from substream i of that key, so its estimate depends on the logical
+  // index and never on which thread ran it or in what order.
+  Rng substream_base(rng->engine()());
+
   GridEstimate grid;
-  grid.estimates.reserve(num_candidates);
-  for (size_t i = 0; i < num_candidates; ++i) {
+  grid.estimates.assign(num_candidates, MonteCarloEstimate{});
+  std::vector<Status> failures(num_candidates, Status::OK());
+  common::ThreadPool::Run(options.num_threads, num_candidates, [&](size_t i) {
+    Rng substream = substream_base.Split(i);
     auto bound = [&sample, i](Rng* r) { return sample(i, r); };
-    KEA_ASSIGN_OR_RETURN(MonteCarloEstimate e,
-                         EstimateExpectation(bound, iterations_per_candidate, rng));
-    grid.estimates.push_back(e);
-    if (e.mean < grid.estimates[grid.best_index].mean) grid.best_index = i;
+    StatusOr<MonteCarloEstimate> e =
+        EstimateExpectation(bound, iterations_per_candidate, &substream);
+    if (e.ok()) {
+      grid.estimates[i] = e.value();
+    } else {
+      failures[i] = e.status();
+    }
+  });
+  for (const Status& s : failures) KEA_RETURN_IF_ERROR(s);
+
+  for (size_t i = 1; i < num_candidates; ++i) {
+    if (grid.estimates[i].mean < grid.estimates[grid.best_index].mean) {
+      grid.best_index = i;
+    }
   }
   return grid;
 }

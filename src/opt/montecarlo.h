@@ -31,9 +31,25 @@ struct GridEstimate {
   size_t best_index = 0;  ///< Index with the smallest mean.
 };
 
+struct GridOptions {
+  /// Threads for the candidate loop: 0 = hardware_concurrency, 1 = the
+  /// serial legacy execution path. Each candidate draws from its own RNG
+  /// substream (Rng::Split by candidate index), so the results are
+  /// bit-identical at every thread count.
+  int num_threads = 0;
+};
+
+/// The grid evaluation is embarrassingly parallel (the paper runs ~1000
+/// draws for each of dozens of (SSD, RAM) candidates); candidates are
+/// evaluated concurrently per `options.num_threads`. `sample` must be safe
+/// to call concurrently for distinct candidate indices. The parent `rng` is
+/// advanced exactly once (to key this call's substream family), so repeated
+/// calls on the same rng stay decorrelated while each call's output depends
+/// only on the rng state at entry — never on thread scheduling.
 StatusOr<GridEstimate> EstimateOverGrid(
     size_t num_candidates, const std::function<double(size_t, Rng*)>& sample,
-    int iterations_per_candidate, Rng* rng);
+    int iterations_per_candidate, Rng* rng,
+    const GridOptions& options = GridOptions());
 
 }  // namespace kea::opt
 

@@ -1,0 +1,71 @@
+#ifndef KEA_SIM_FLUID_SWEEP_H_
+#define KEA_SIM_FLUID_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cluster.h"
+#include "sim/fluid_engine.h"
+#include "telemetry/store.h"
+
+namespace kea::sim {
+
+/// One candidate configuration in a sweep: a label plus an edit applied to a
+/// private copy of the base cluster before simulation. A null edit simulates
+/// the base configuration unchanged (the control arm of a what-if sweep).
+struct SweepCandidate {
+  std::string label;
+  std::function<Status(Cluster*)> edit;
+};
+
+/// Fleet-level aggregate of one candidate's simulated window. All fields are
+/// plain sums/means over the emitted machine-hour records, so two summaries
+/// are bitwise comparable.
+struct SweepSummary {
+  std::string label;
+  int64_t machine_hours = 0;           ///< Records emitted (up machines only).
+  double mean_utilization = 0.0;
+  double mean_running_containers = 0.0;
+  /// Task-weighted mean latency (the W-bar of Eq. 9, measured not predicted).
+  double mean_task_latency_s = 0.0;
+  double total_tasks = 0.0;
+  double total_queued = 0.0;
+  double total_rejected = 0.0;
+  double mean_power_watts = 0.0;
+};
+
+struct SweepOptions {
+  /// Engine options for every candidate; `engine.seed` keys the sweep's
+  /// substream family (candidate i simulates with substream i of it).
+  FluidEngine::Options engine;
+  HourIndex start_hour = 0;
+  int hours = kHoursPerWeek;
+  /// Threads for the candidate loop: 0 = hardware_concurrency, 1 = the
+  /// serial legacy path. Candidates never share an engine, cluster copy or
+  /// RNG stream, so results are bit-identical at every thread count.
+  int num_threads = 0;
+};
+
+/// Simulates every candidate configuration on its own copy of `base` with an
+/// independent RNG substream and returns one telemetry store per candidate,
+/// in candidate order. This is the evaluation loop of configuration search:
+/// embarrassingly parallel across candidates, deterministic in their indices.
+/// `model` and `workload` must outlive the call and are shared read-only.
+StatusOr<std::vector<telemetry::TelemetryStore>> RunConfigSweepTelemetry(
+    const PerfModel* model, const Cluster& base, const WorkloadModel* workload,
+    const std::vector<SweepCandidate>& candidates, const SweepOptions& options);
+
+/// Same sweep, reduced to one fleet summary per candidate.
+StatusOr<std::vector<SweepSummary>> RunConfigSweep(
+    const PerfModel* model, const Cluster& base, const WorkloadModel* workload,
+    const std::vector<SweepCandidate>& candidates, const SweepOptions& options);
+
+/// Aggregates a telemetry store into the sweep's summary form.
+SweepSummary SummarizeTelemetry(const std::string& label,
+                                const telemetry::TelemetryStore& store);
+
+}  // namespace kea::sim
+
+#endif  // KEA_SIM_FLUID_SWEEP_H_

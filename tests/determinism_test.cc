@@ -1,0 +1,329 @@
+// Seed-stability harness for the parallel execution layer: every
+// parallelized hot path must return *bit-identical* results for any
+// num_threads and across repeated runs with the same seed. Approximate
+// equality is not enough — thread-count-dependent rounding would make runs
+// irreproducible and A/B comparisons meaningless.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/sku_designer.h"
+#include "apps/yarn_tuner.h"
+#include "core/whatif.h"
+#include "opt/montecarlo.h"
+#include "sim/fluid_engine.h"
+#include "sim/fluid_sweep.h"
+
+namespace kea {
+namespace {
+
+/// Bitwise equality: catches differences EXPECT_DOUBLE_EQ would forgive and
+/// distinguishes -0.0/0.0 and NaN payloads.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits ("
+         << std::bit_cast<uint64_t>(a) << " vs " << std::bit_cast<uint64_t>(b)
+         << ")";
+}
+
+const int kThreadCounts[] = {1, 2, 8};
+
+// ---------------------------------------------------------------------------
+// opt::EstimateOverGrid
+
+opt::GridEstimate RunGrid(int num_threads) {
+  Rng rng(42);
+  opt::GridOptions options;
+  options.num_threads = num_threads;
+  auto sample = [](size_t i, Rng* r) {
+    return r->LogNormal(0.0, 0.2) * (1.0 + static_cast<double>(i)) +
+           r->Gaussian(0.0, 0.1);
+  };
+  auto grid = opt::EstimateOverGrid(16, sample, 500, &rng, options);
+  EXPECT_TRUE(grid.ok()) << grid.status();
+  return grid.value();
+}
+
+TEST(DeterminismTest, EstimateOverGridInvariantToThreadCount) {
+  opt::GridEstimate reference = RunGrid(1);
+  EXPECT_EQ(reference.best_index, 0u);  // Cost grows with the index.
+  for (int threads : kThreadCounts) {
+    opt::GridEstimate other = RunGrid(threads);
+    ASSERT_EQ(other.estimates.size(), reference.estimates.size());
+    EXPECT_EQ(other.best_index, reference.best_index);
+    for (size_t i = 0; i < reference.estimates.size(); ++i) {
+      EXPECT_TRUE(BitEqual(other.estimates[i].mean, reference.estimates[i].mean))
+          << "candidate " << i << " at " << threads << " threads";
+      EXPECT_TRUE(
+          BitEqual(other.estimates[i].stddev, reference.estimates[i].stddev));
+      EXPECT_TRUE(BitEqual(other.estimates[i].standard_error,
+                           reference.estimates[i].standard_error));
+    }
+  }
+}
+
+TEST(DeterminismTest, EstimateOverGridRepeatableAcrossRuns) {
+  opt::GridEstimate a = RunGrid(8);
+  opt::GridEstimate b = RunGrid(8);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (size_t i = 0; i < a.estimates.size(); ++i) {
+    EXPECT_TRUE(BitEqual(a.estimates[i].mean, b.estimates[i].mean));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared simulated fixture for the What-if / sweep / SKU-design checks.
+
+struct SimFixture {
+  sim::PerfModel model = sim::PerfModel::CreateDefault();
+  sim::WorkloadModel workload = sim::WorkloadModel::CreateDefault();
+  sim::Cluster cluster;
+  telemetry::TelemetryStore store;
+
+  SimFixture() {
+    sim::ClusterSpec spec = sim::ClusterSpec::Default();
+    spec.total_machines = 240;
+    cluster = std::move(sim::Cluster::Build(model.catalog(), spec)).value();
+    sim::FluidEngine engine(&model, &cluster, &workload,
+                            sim::FluidEngine::Options());
+    if (!engine.Run(0, 48, &store).ok()) std::abort();
+  }
+};
+
+void ExpectModelsBitEqual(const core::WhatIfEngine& a, const core::WhatIfEngine& b,
+                          const char* context) {
+  ASSERT_EQ(a.models().size(), b.models().size()) << context;
+  auto it_b = b.models().begin();
+  for (const auto& [key, gm_a] : a.models()) {
+    const core::GroupModels& gm_b = it_b->second;
+    ASSERT_TRUE(key == it_b->first) << context;
+    const ml::LinearModel* models_a[] = {&gm_a.g, &gm_a.h, &gm_a.f};
+    const ml::LinearModel* models_b[] = {&gm_b.g, &gm_b.h, &gm_b.f};
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_TRUE(BitEqual(models_a[m]->intercept(), models_b[m]->intercept()))
+          << context << " " << sim::GroupLabel(key);
+      ASSERT_EQ(models_a[m]->coefficients().size(),
+                models_b[m]->coefficients().size());
+      for (size_t c = 0; c < models_a[m]->coefficients().size(); ++c) {
+        EXPECT_TRUE(
+            BitEqual(models_a[m]->coefficients()[c], models_b[m]->coefficients()[c]))
+            << context << " " << sim::GroupLabel(key);
+      }
+    }
+    EXPECT_TRUE(BitEqual(gm_a.g_fit.r2, gm_b.g_fit.r2)) << context;
+    EXPECT_TRUE(BitEqual(gm_a.h_fit.rmse, gm_b.h_fit.rmse)) << context;
+    EXPECT_TRUE(BitEqual(gm_a.f_fit.mae, gm_b.f_fit.mae)) << context;
+    EXPECT_TRUE(BitEqual(gm_a.current_containers, gm_b.current_containers));
+    EXPECT_TRUE(BitEqual(gm_a.current_latency_s, gm_b.current_latency_s));
+    EXPECT_EQ(gm_a.num_machines, gm_b.num_machines);
+    ++it_b;
+  }
+}
+
+TEST(DeterminismTest, WhatIfFitInvariantToThreadCount) {
+  SimFixture fx;
+  core::WhatIfEngine::Options options;
+  options.num_threads = 1;
+  auto reference = core::WhatIfEngine::Fit(fx.store, nullptr, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto other = core::WhatIfEngine::Fit(fx.store, nullptr, options);
+    ASSERT_TRUE(other.ok()) << other.status();
+    ExpectModelsBitEqual(reference.value(), other.value(),
+                         (std::to_string(threads) + " threads").c_str());
+  }
+}
+
+TEST(DeterminismTest, WhatIfFitRepeatableAcrossRuns) {
+  SimFixture fx;
+  core::WhatIfEngine::Options options;
+  options.num_threads = 8;
+  auto a = core::WhatIfEngine::Fit(fx.store, nullptr, options);
+  auto b = core::WhatIfEngine::Fit(fx.store, nullptr, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectModelsBitEqual(a.value(), b.value(), "repeat");
+}
+
+// ---------------------------------------------------------------------------
+// Fluid-engine configuration sweep
+
+std::vector<sim::SweepCandidate> ScaleCandidates() {
+  std::vector<sim::SweepCandidate> candidates;
+  candidates.push_back({"baseline", nullptr});
+  for (double scale : {0.8, 1.2, 1.5}) {
+    candidates.push_back(
+        {"scale", [scale](sim::Cluster* cluster) {
+           for (sim::Machine& m : cluster->mutable_machines()) {
+             m.max_containers =
+                 std::max(1, static_cast<int>(std::lround(m.max_containers * scale)));
+           }
+           return Status::OK();
+         }});
+  }
+  return candidates;
+}
+
+void ExpectSummariesBitEqual(const std::vector<sim::SweepSummary>& a,
+                             const std::vector<sim::SweepSummary>& b,
+                             const char* context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].machine_hours, b[i].machine_hours) << context;
+    EXPECT_TRUE(BitEqual(a[i].mean_utilization, b[i].mean_utilization)) << context;
+    EXPECT_TRUE(BitEqual(a[i].mean_running_containers, b[i].mean_running_containers));
+    EXPECT_TRUE(BitEqual(a[i].mean_task_latency_s, b[i].mean_task_latency_s));
+    EXPECT_TRUE(BitEqual(a[i].total_tasks, b[i].total_tasks)) << context;
+    EXPECT_TRUE(BitEqual(a[i].total_queued, b[i].total_queued)) << context;
+    EXPECT_TRUE(BitEqual(a[i].total_rejected, b[i].total_rejected)) << context;
+    EXPECT_TRUE(BitEqual(a[i].mean_power_watts, b[i].mean_power_watts)) << context;
+  }
+}
+
+TEST(DeterminismTest, FluidSweepInvariantToThreadCount) {
+  SimFixture fx;
+  sim::SweepOptions options;
+  options.hours = 24;
+  options.num_threads = 1;
+  auto reference = sim::RunConfigSweep(&fx.model, fx.cluster, &fx.workload,
+                                       ScaleCandidates(), options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto other = sim::RunConfigSweep(&fx.model, fx.cluster, &fx.workload,
+                                     ScaleCandidates(), options);
+    ASSERT_TRUE(other.ok()) << other.status();
+    ExpectSummariesBitEqual(reference.value(), other.value(),
+                            (std::to_string(threads) + " threads").c_str());
+  }
+}
+
+TEST(DeterminismTest, FluidSweepRepeatableAcrossRuns) {
+  SimFixture fx;
+  sim::SweepOptions options;
+  options.hours = 24;
+  options.num_threads = 8;
+  auto a = sim::RunConfigSweep(&fx.model, fx.cluster, &fx.workload,
+                               ScaleCandidates(), options);
+  auto b = sim::RunConfigSweep(&fx.model, fx.cluster, &fx.workload,
+                               ScaleCandidates(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSummariesBitEqual(a.value(), b.value(), "repeat");
+}
+
+TEST(DeterminismTest, SweepCandidatesGetDistinctSubstreams) {
+  // Two identical candidates must still see different draw sequences (their
+  // substream index differs), or the sweep would understate variance.
+  SimFixture fx;
+  sim::SweepOptions options;
+  options.hours = 12;
+  std::vector<sim::SweepCandidate> twins = {{"a", nullptr}, {"b", nullptr}};
+  auto summaries =
+      sim::RunConfigSweep(&fx.model, fx.cluster, &fx.workload, twins, options);
+  ASSERT_TRUE(summaries.ok());
+  EXPECT_NE(summaries->at(0).mean_utilization, summaries->at(1).mean_utilization);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end applications on top of the parallel layer.
+
+TEST(DeterminismTest, SkuDesignerSurfaceInvariantToThreadCount) {
+  SimFixture fx;
+  apps::SkuDesigner::Options options = apps::SkuDesigner::Options::Default();
+  options.mc_iterations = 200;
+  options.num_threads = 1;
+  auto reference =
+      apps::SkuDesigner(options).Design(fx.store, nullptr, nullptr);
+  EXPECT_FALSE(reference.ok());  // Null rng rejected.
+
+  auto run = [&](int threads) {
+    options.num_threads = threads;
+    Rng rng(42);
+    return apps::SkuDesigner(options).Design(fx.store, nullptr, &rng);
+  };
+  auto ref = run(1);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  for (int threads : kThreadCounts) {
+    auto other = run(threads);
+    ASSERT_TRUE(other.ok()) << other.status();
+    ASSERT_EQ(other->surface.size(), ref->surface.size());
+    EXPECT_EQ(other->best_index, ref->best_index);
+    for (size_t i = 0; i < ref->surface.size(); ++i) {
+      EXPECT_TRUE(BitEqual(other->surface[i].expected_cost,
+                           ref->surface[i].expected_cost))
+          << "candidate " << i << " at " << threads << " threads";
+      EXPECT_TRUE(BitEqual(other->surface[i].p_out_of_ssd,
+                           ref->surface[i].p_out_of_ssd));
+      EXPECT_TRUE(BitEqual(other->surface[i].p_out_of_ram,
+                           ref->surface[i].p_out_of_ram));
+    }
+  }
+}
+
+TEST(DeterminismTest, YarnPlanSimulationInvariantToThreadCount) {
+  SimFixture fx;
+  apps::YarnConfigTuner tuner;
+  auto plan = tuner.Propose(fx.store, nullptr, fx.cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  sim::SweepOptions sweep;
+  sweep.hours = 24;
+  auto run = [&](int threads) {
+    sweep.num_threads = threads;
+    return tuner.SimulatePlan(plan.value(), &fx.model, fx.cluster, &fx.workload,
+                              sweep);
+  };
+  auto reference = run(1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : kThreadCounts) {
+    auto other = run(threads);
+    ASSERT_TRUE(other.ok()) << other.status();
+    EXPECT_TRUE(BitEqual(other->latency_change, reference->latency_change));
+    EXPECT_TRUE(BitEqual(other->throughput_change, reference->throughput_change));
+    EXPECT_TRUE(BitEqual(other->proposed.mean_task_latency_s,
+                         reference->proposed.mean_task_latency_s));
+    EXPECT_TRUE(
+        BitEqual(other->current.total_tasks, reference->current.total_tasks));
+  }
+}
+
+TEST(DeterminismTest, SimulatedDesignTelemetryInvariantToThreadCount) {
+  SimFixture fx;
+  sim::SweepOptions sweep;
+  sweep.hours = 12;
+  std::vector<double> scales = {0.7, 1.0, 1.3};
+  auto run = [&](int threads) {
+    sweep.num_threads = threads;
+    return apps::SkuDesigner::SimulateDesignTelemetry(&fx.model, fx.cluster,
+                                                      &fx.workload, scales, sweep);
+  };
+  auto reference = run(1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : kThreadCounts) {
+    auto other = run(threads);
+    ASSERT_TRUE(other.ok()) << other.status();
+    ASSERT_EQ(other->size(), reference->size());
+    for (size_t i = 0; i < reference->records().size(); ++i) {
+      const auto& ra = reference->records()[i];
+      const auto& rb = other->records()[i];
+      ASSERT_EQ(ra.machine_id, rb.machine_id) << "record " << i;
+      ASSERT_EQ(ra.hour, rb.hour) << "record " << i;
+      ASSERT_TRUE(BitEqual(ra.cpu_utilization, rb.cpu_utilization))
+          << "record " << i << " at " << threads << " threads";
+      ASSERT_TRUE(BitEqual(ra.tasks_finished, rb.tasks_finished)) << "record " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kea {
+namespace {
+
+std::vector<double> Draws(Rng rng, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.Uniform());
+  return out;
+}
+
+TEST(RngSplitTest, SubstreamsArePairwiseDistinct) {
+  // Non-overlap in practice: the first 1k draws of nearby substreams differ.
+  Rng parent(42);
+  constexpr int kStreams = 10;
+  constexpr int kDraws = 1000;
+  std::vector<std::vector<double>> streams;
+  for (int s = 0; s < kStreams; ++s) {
+    streams.push_back(Draws(parent.Split(static_cast<uint64_t>(s)), kDraws));
+  }
+  for (int a = 0; a < kStreams; ++a) {
+    for (int b = a + 1; b < kStreams; ++b) {
+      EXPECT_NE(streams[static_cast<size_t>(a)], streams[static_cast<size_t>(b)])
+          << "substreams " << a << " and " << b << " replay each other";
+    }
+  }
+}
+
+TEST(RngSplitTest, SubstreamDiffersFromParentStream) {
+  Rng parent(42);
+  std::vector<double> parent_draws = Draws(Rng(42), 1000);
+  for (uint64_t s : {0ull, 1ull, 42ull}) {
+    EXPECT_NE(Draws(parent.Split(s), 1000), parent_draws);
+  }
+}
+
+TEST(RngSplitTest, StableAcrossCalls) {
+  Rng parent(7);
+  std::vector<double> first = Draws(parent.Split(5), 1000);
+  std::vector<double> second = Draws(parent.Split(5), 1000);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RngSplitTest, IndependentOfParentDrawOrder) {
+  // Split depends only on (seed, stream id) — draws on the parent in between
+  // must not change the substream, unlike Fork().
+  Rng untouched(7);
+  Rng advanced(7);
+  for (int i = 0; i < 100; ++i) (void)advanced.Uniform();
+  EXPECT_EQ(Draws(untouched.Split(3), 1000), Draws(advanced.Split(3), 1000));
+}
+
+TEST(RngSplitTest, DoesNotAdvanceParent) {
+  Rng a(11);
+  Rng b(11);
+  (void)a.Split(0);
+  (void)a.Split(1);
+  EXPECT_EQ(Draws(std::move(a), 100), Draws(std::move(b), 100));
+}
+
+TEST(RngSplitTest, DifferentParentSeedsGiveDifferentSubstreams) {
+  EXPECT_NE(Draws(Rng(1).Split(0), 1000), Draws(Rng(2).Split(0), 1000));
+}
+
+TEST(RngSplitTest, MixSeedSpreadsStreamIds) {
+  // The mixer must not collide over a contiguous id range (the common case:
+  // one substream per candidate index).
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 10000; ++s) seeds.insert(MixSeed(42, s));
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(RngSplitTest, SplitOfSplitIsUsable) {
+  // Nested task trees split recursively; child substreams must stay distinct.
+  Rng root(42);
+  EXPECT_NE(Draws(root.Split(1).Split(0), 1000), Draws(root.Split(1).Split(1), 1000));
+  EXPECT_NE(Draws(root.Split(1).Split(0), 1000), Draws(root.Split(0), 1000));
+}
+
+}  // namespace
+}  // namespace kea

@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kea::common {
+namespace {
+
+TEST(ThreadPoolTest, StartStopRepeatedly) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (int round = 0; round < 3; ++round) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(pool.num_threads(), threads);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(5), 5);
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEachIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const size_t n = 1000;
+    // Distinct slots: each index writes only its own, so no synchronization
+    // is needed and a double-run would show as a count of 2.
+    std::vector<int> hits(n, 0);
+    pool.ParallelFor(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleItemRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  std::thread::id runner;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    runner = std::this_thread::get_id();
+  });
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesOutOfParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(100, [&](size_t i) {
+      ++executed;
+      if (i == 37 || i == 73) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "ParallelFor should have rethrown";
+  } catch (const std::runtime_error& e) {
+    // The smallest-index exception wins, independent of scheduling.
+    EXPECT_STREQ(e.what(), "boom 37");
+  }
+  // The loop drains: every index still ran despite the exceptions.
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionFromSerialPathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelFor(10, [](size_t i) {
+        if (i == 3) throw std::runtime_error("serial boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t i) { if (i == 2) throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(8, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 28u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_runs{0};
+  // Each outer task re-enters the same pool; the nested call must run inline
+  // on the worker instead of waiting for pool slots held by its ancestors.
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { ++inner_runs; });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkersActuallyRunConcurrently) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool both = false;
+  // Two tasks that each wait for the other to arrive: completes only when
+  // two threads execute simultaneously (caller + one worker). Bounded wait
+  // so a regression fails instead of hanging the suite.
+  pool.ParallelFor(2, [&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (++entered == 2) {
+      both = true;
+      cv.notify_all();
+    } else {
+      cv.wait_for(lock, std::chrono::seconds(5), [&] { return entered == 2; });
+    }
+  });
+  EXPECT_TRUE(both);
+}
+
+TEST(ThreadPoolTest, StaticRunMatchesSerialLoop) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<int> hits(64, 0);
+    ThreadPool::Run(threads, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+  }
+}
+
+TEST(ThreadPoolTest, StaticRunSerialStaysOnCallerThread) {
+  std::vector<std::thread::id> runners(16);
+  ThreadPool::Run(1, runners.size(),
+                  [&](size_t i) { runners[i] = std::this_thread::get_id(); });
+  for (const auto& id : runners) EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+}  // namespace
+}  // namespace kea::common
