@@ -1,5 +1,7 @@
 #include "apps/session.h"
 
+#include <cmath>
+
 #include "telemetry/perf_monitor.h"
 
 namespace kea::apps {
@@ -34,8 +36,34 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Create(const Config& config) {
 }
 
 Status KeaSession::Simulate(int hours) {
-  KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &store_));
+  if (ingestion_ == nullptr) {
+    KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &store_));
+    now_ += hours;
+    return Status::OK();
+  }
+  // Hardened path: engine -> (fault injector) -> ingestion pipeline -> store.
+  telemetry::TelemetryStore scratch;
+  KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &scratch));
+  if (fault_injector_ != nullptr) {
+    KEA_RETURN_IF_ERROR(ingestion_->Ingest(fault_injector_->Corrupt(scratch.records())));
+  } else {
+    KEA_RETURN_IF_ERROR(ingestion_->Ingest(scratch.records()));
+  }
   now_ += hours;
+  return Status::OK();
+}
+
+Status KeaSession::EnableIngestionPipeline(const IngestionConfig& config) {
+  telemetry::IngestionPipeline::Options pipeline_options = config.pipeline;
+  pipeline_options.retry.seed = MixSeed(config.seed, 0x1e7e57);
+  ingestion_ =
+      std::make_unique<telemetry::IngestionPipeline>(&store_, pipeline_options);
+  fault_injector_.reset();
+  if (!config.faults.empty()) {
+    fault_injector_ =
+        std::make_unique<sim::TelemetryFaultInjector>(config.faults, config.seed);
+    ingestion_->set_write_hook(fault_injector_->MakeWriteHook());
+  }
   return Status::OK();
 }
 
@@ -70,6 +98,56 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
   last_fit_begin_ = begin;
   last_deploy_hour_ = now_;
+  return round;
+}
+
+StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
+    const GuardedRoundOptions& options) {
+  if (options.lookback_hours <= 0) {
+    return Status::InvalidArgument("lookback_hours must be positive");
+  }
+  if (now_ == 0) {
+    return Status::FailedPrecondition("simulate telemetry before tuning");
+  }
+  sim::HourIndex begin = std::max(0, now_ - options.lookback_hours);
+
+  KEA_ASSIGN_OR_RETURN(
+      core::WhatIfEngine engine,
+      core::WhatIfEngine::Fit(store_, telemetry::HourRangeFilter(begin, now_),
+                              options.tuner.whatif));
+  YarnConfigTuner tuner(options.tuner);
+  GuardedRound round;
+  KEA_ASSIGN_OR_RETURN(round.plan, tuner.ProposeFromEngine(engine, cluster_));
+  round.fit_begin = begin;
+  round.fit_end = now_;
+
+  // A corrupted model never reaches the fleet: any non-finite prediction or
+  // recommendation aborts before the first canary machine is touched.
+  bool plan_sane = std::isfinite(round.plan.predicted_capacity_gain) &&
+                   std::isfinite(round.plan.predicted_latency_before_s) &&
+                   std::isfinite(round.plan.predicted_latency_after_s);
+  for (const core::GroupRecommendation& rec : round.plan.recommendations) {
+    plan_sane = plan_sane && rec.recommended_max_containers >= 0;
+  }
+  for (const auto& [key, value] : round.plan.lp_solution) {
+    plan_sane = plan_sane && std::isfinite(value);
+  }
+  if (!plan_sane) {
+    return Status::FailedPrecondition(
+        "refusing to deploy: plan contains non-finite or negative values");
+  }
+
+  core::GuardrailedRollout rollout(options.rollout);
+  sim::HourIndex deploy_hour = now_;
+  KEA_ASSIGN_OR_RETURN(
+      round.rollout,
+      rollout.Execute(round.plan.recommendations, &cluster_, &store_, now_,
+                      [this](int hours) { return Simulate(hours); }));
+
+  has_round_ = true;
+  last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
+  last_fit_begin_ = begin;
+  last_deploy_hour_ = deploy_hour;
   return round;
 }
 

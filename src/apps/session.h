@@ -7,10 +7,13 @@
 #include "apps/yarn_tuner.h"
 #include "common/status.h"
 #include "core/deployment.h"
+#include "core/guardrailed_rollout.h"
 #include "core/validation.h"
 #include "core/whatif.h"
+#include "sim/fault_injector.h"
 #include "sim/fluid_engine.h"
 #include "sim/perf_model.h"
+#include "telemetry/ingestion.h"
 #include "telemetry/store.h"
 
 namespace kea::apps {
@@ -46,11 +49,53 @@ class KeaSession {
     sim::HourIndex fit_end = 0;
   };
 
+  /// Hardened telemetry path configuration: an optional fault injector (the
+  /// chaos stage) in front of a validating ingestion pipeline. With a
+  /// zero-fault profile and default pipeline options the hardened path is a
+  /// bit-identical pass-through of the direct engine->store path.
+  struct IngestionConfig {
+    sim::FaultProfile faults;  ///< empty() => no corruption stage.
+    telemetry::IngestionPipeline::Options pipeline;
+    /// Seed for the injector's fault substreams and the retry jitter.
+    uint64_t seed = 1234;
+  };
+
+  /// One guarded tuning round's artifacts: the plan plus the staged-rollout
+  /// state machine's report (which waves ran, what the guardrails measured,
+  /// whether rollback fired).
+  struct GuardedRound {
+    YarnConfigTuner::Plan plan;
+    core::GuardrailedRollout::Report rollout;
+    sim::HourIndex fit_begin = 0;
+    sim::HourIndex fit_end = 0;
+  };
+
+  struct GuardedRoundOptions {
+    YarnConfigTuner::Options tuner;
+    int lookback_hours = sim::kHoursPerWeek;
+    core::GuardrailedRollout::Options rollout;
+  };
+
   /// Builds the environment. Returns InvalidArgument for malformed specs.
   static StatusOr<std::unique_ptr<KeaSession>> Create(const Config& config);
 
-  /// Advances the simulated cluster by `hours`, appending telemetry.
+  /// Advances the simulated cluster by `hours`, appending telemetry. With an
+  /// ingestion pipeline enabled, engine output is routed through the fault
+  /// injector (if any) and the validating pipeline instead of being appended
+  /// directly.
   Status Simulate(int hours);
+
+  /// Routes all subsequent Simulate() telemetry through the hardened
+  /// ingestion path. Call before the first Simulate() for a fully validated
+  /// store. Replaces any previously enabled pipeline (counters reset).
+  Status EnableIngestionPipeline(const IngestionConfig& config);
+
+  /// Null until EnableIngestionPipeline has been called.
+  const telemetry::IngestionPipeline* ingestion() const { return ingestion_.get(); }
+  /// Null unless fault injection is active (non-empty profile).
+  const sim::TelemetryFaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
 
   /// Current simulation clock (hours since session start).
   sim::HourIndex now() const { return now_; }
@@ -60,6 +105,14 @@ class KeaSession {
   /// deploy conservatively with the given per-round step.
   StatusOr<TuningRound> RunYarnTuningRound(const YarnConfigTuner::Options& options,
                                            int lookback_hours, int deploy_max_step);
+
+  /// The robust counterpart of RunYarnTuningRound: fit + LP as usual, then
+  /// deploy through the guardrailed staged rollout (canary wave, widening
+  /// waves, guardrail checks between waves, automatic rollback on
+  /// regression). Refuses to deploy a plan containing non-finite predictions
+  /// — a corrupted model never reaches the fleet. Guardrail trips are
+  /// reported in GuardedRound::rollout.outcome, not as an error status.
+  StatusOr<GuardedRound> RunGuardedTuningRound(const GuardedRoundOptions& options);
 
   /// Validates the last tuning round's models against telemetry collected
   /// *after* the deployment. FailedPrecondition when no round has run or no
@@ -92,6 +145,9 @@ class KeaSession {
   telemetry::TelemetryStore store_;
   std::unique_ptr<sim::FluidEngine> engine_;
   core::DeploymentModule deployment_;
+  // Hardened telemetry path (optional; see EnableIngestionPipeline).
+  std::unique_ptr<sim::TelemetryFaultInjector> fault_injector_;
+  std::unique_ptr<telemetry::IngestionPipeline> ingestion_;
 
   sim::HourIndex now_ = 0;
   // Last tuning round bookkeeping for validation / valuation.

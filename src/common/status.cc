@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "INFEASIBLE";
     case StatusCode::kUnbounded:
       return "UNBOUNDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted = 8,
   kInfeasible = 9,   ///< Optimization problem has no feasible solution.
   kUnbounded = 10,   ///< Optimization problem is unbounded.
+  kUnavailable = 11, ///< Transient failure; retrying may succeed.
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT"...).
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -29,20 +29,25 @@ StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
     applied.push_back(change);
   }
   last_batch_ = applied;
+  has_last_batch_ = true;
   history_.insert(history_.end(), applied.begin(), applied.end());
   return applied;
 }
 
 Status DeploymentModule::RollbackLast(sim::Cluster* cluster) {
   if (cluster == nullptr) return Status::InvalidArgument("null cluster");
-  if (last_batch_.empty()) {
+  if (!has_last_batch_) {
+    // Never applied, or already rolled back: idempotent error, no mutation.
     return Status::FailedPrecondition("nothing to roll back");
   }
-  for (const AppliedChange& change : last_batch_) {
+  // Empty batch (every recommendation clamped to a no-op): the cluster is
+  // already in the pre-apply state, so rolling back is an OK no-op.
+  for (auto it = last_batch_.rbegin(); it != last_batch_.rend(); ++it) {
     KEA_RETURN_IF_ERROR(
-        cluster->SetGroupMaxContainers(change.group, change.old_max_containers));
+        cluster->SetGroupMaxContainers(it->group, it->old_max_containers));
   }
   last_batch_.clear();
+  has_last_batch_ = false;
   return Status::OK();
 }
 

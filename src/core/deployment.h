@@ -51,13 +51,25 @@ class DeploymentModule {
   const std::vector<AppliedChange>& history() const { return history_; }
 
   /// Restores the configuration prior to the last ApplyConservatively call
-  /// (the rollback path when flighting invalidates a model).
+  /// (the rollback path when flighting invalidates a model). Changes are
+  /// undone in reverse application order. Semantics are explicit because the
+  /// guardrailed rollout leans on them:
+  ///   - OK no-op when the last apply produced no changes (all
+  ///     recommendations clamped to no-ops) — there is nothing to restore,
+  ///     and the fleet is already in the pre-apply state;
+  ///   - idempotent FailedPrecondition on a second rollback (or before any
+  ///     apply): the call never mutates the cluster, so retrying it is safe
+  ///     and returns the same error.
   Status RollbackLast(sim::Cluster* cluster);
+
+  /// True while the last ApplyConservatively has not been rolled back.
+  bool has_pending_batch() const { return has_last_batch_; }
 
  private:
   Options options_;
   std::vector<AppliedChange> history_;
   std::vector<AppliedChange> last_batch_;
+  bool has_last_batch_ = false;  ///< Apply seen and not yet rolled back.
 };
 
 }  // namespace kea::core

@@ -1,0 +1,252 @@
+#include "core/guardrailed_rollout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace kea::core {
+namespace {
+
+/// Guardrail metrics of one telemetry window restricted to a machine set.
+struct WindowMetrics {
+  size_t records = 0;
+  double tasks = 0.0;
+  double latency_s = 0.0;      ///< Task-weighted mean latency (W-bar).
+  double queue_p99_ms = 0.0;
+  double utilization = 0.0;    ///< Mean CPU utilization.
+};
+
+WindowMetrics Measure(const telemetry::TelemetryStore& store,
+                      const std::unordered_set<int>& machine_ids,
+                      sim::HourIndex begin, sim::HourIndex end) {
+  WindowMetrics m;
+  double weighted_latency = 0.0, util_sum = 0.0;
+  std::vector<double> queue_latencies;
+  for (const auto& r : store.records()) {
+    if (r.hour < begin || r.hour >= end) continue;
+    if (!machine_ids.empty() && machine_ids.count(r.machine_id) == 0) continue;
+    if (!std::isfinite(r.cpu_utilization) || !std::isfinite(r.avg_task_latency_s) ||
+        !std::isfinite(r.tasks_finished) || !std::isfinite(r.queue_latency_ms)) {
+      continue;
+    }
+    ++m.records;
+    m.tasks += r.tasks_finished;
+    weighted_latency += r.avg_task_latency_s * r.tasks_finished;
+    util_sum += r.cpu_utilization;
+    queue_latencies.push_back(r.queue_latency_ms);
+  }
+  if (m.records == 0) return m;
+  m.latency_s = m.tasks > 0.0 ? weighted_latency / m.tasks : 0.0;
+  m.utilization = util_sum / static_cast<double>(m.records);
+  std::sort(queue_latencies.begin(), queue_latencies.end());
+  size_t p99 = static_cast<size_t>(0.99 * static_cast<double>(queue_latencies.size()));
+  m.queue_p99_ms = queue_latencies[std::min(p99, queue_latencies.size() - 1)];
+  return m;
+}
+
+}  // namespace
+
+std::string GuardrailEvaluation::Describe() const {
+  if (!measurable) return "guardrails unmeasurable (no usable telemetry)";
+  std::string out;
+  auto add = [&out](const char* name, bool ok, double base, double observed) {
+    out += name;
+    out += ok ? " ok (" : " TRIPPED (";
+    out += std::to_string(base) + " -> " + std::to_string(observed) + ") ";
+  };
+  add("latency", latency_ok, baseline_latency_s, observed_latency_s);
+  add("queue_p99", queue_ok, baseline_queue_p99_ms, observed_queue_p99_ms);
+  add("utilization", utilization_ok, baseline_utilization, observed_utilization);
+  return out;
+}
+
+GuardrailedRollout::GuardrailedRollout(const Options& options) : options_(options) {}
+
+Status GuardrailedRollout::ValidateOptions() const {
+  if (options_.wave_fractions.empty()) {
+    return Status::InvalidArgument("rollout needs at least one wave");
+  }
+  double prev = 0.0;
+  for (double f : options_.wave_fractions) {
+    if (f <= prev || f > 1.0) {
+      return Status::InvalidArgument(
+          "wave_fractions must be strictly increasing within (0, 1]");
+    }
+    prev = f;
+  }
+  if (options_.observe_hours_per_wave <= 0) {
+    return Status::InvalidArgument("observe_hours_per_wave must be positive");
+  }
+  if (options_.baseline_hours <= 0) {
+    return Status::InvalidArgument("baseline_hours must be positive");
+  }
+  return Status::OK();
+}
+
+StatusOr<GuardrailedRollout::MachineSnapshot> GuardrailedRollout::ApplyWave(
+    const std::vector<int>& machine_ids,
+    const std::map<sim::MachineGroupKey, int>& targets, sim::Cluster* cluster) {
+  MachineSnapshot snapshot;
+  auto& machines = cluster->mutable_machines();
+  for (int id : machine_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= machines.size()) {
+      return Status::OutOfRange("machine id " + std::to_string(id));
+    }
+    sim::Machine& m = machines[static_cast<size_t>(id)];
+    auto it = targets.find(m.group());
+    if (it == targets.end() || m.max_containers == it->second) continue;
+    snapshot.emplace_back(id, m.max_containers);
+    m.max_containers = it->second;
+  }
+  return snapshot;
+}
+
+GuardrailEvaluation GuardrailedRollout::Evaluate(
+    const telemetry::TelemetryStore& store, const std::vector<int>& machine_ids,
+    sim::HourIndex baseline_begin, sim::HourIndex baseline_end,
+    sim::HourIndex begin, sim::HourIndex end) const {
+  std::unordered_set<int> ids(machine_ids.begin(), machine_ids.end());
+  WindowMetrics baseline = Measure(store, ids, baseline_begin, baseline_end);
+  WindowMetrics observed = Measure(store, ids, begin, end);
+
+  GuardrailEvaluation eval;
+  eval.baseline_latency_s = baseline.latency_s;
+  eval.observed_latency_s = observed.latency_s;
+  eval.baseline_queue_p99_ms = baseline.queue_p99_ms;
+  eval.observed_queue_p99_ms = observed.queue_p99_ms;
+  eval.baseline_utilization = baseline.utilization;
+  eval.observed_utilization = observed.utilization;
+
+  // Silence is not health: an empty window (all telemetry for the treated
+  // machines dropped or quarantined) must trip, never pass.
+  eval.measurable = baseline.records > 0 && observed.records > 0;
+  if (!eval.measurable) return eval;
+
+  const GuardrailThresholds& t = options_.guardrails;
+  eval.latency_ok =
+      baseline.latency_s > 0.0
+          ? observed.latency_s <= baseline.latency_s * t.max_latency_ratio
+          : true;
+  eval.queue_ok = observed.queue_p99_ms <=
+                  std::max(baseline.queue_p99_ms * t.max_queue_p99_ratio,
+                           t.queue_p99_floor_ms);
+  eval.utilization_ok = observed.utilization <= t.max_utilization;
+  return eval;
+}
+
+void GuardrailedRollout::Restore(const std::vector<MachineSnapshot>& snapshots,
+                                 sim::Cluster* cluster, size_t* restored) const {
+  auto& machines = cluster->mutable_machines();
+  for (auto wave = snapshots.rbegin(); wave != snapshots.rend(); ++wave) {
+    for (auto entry = wave->rbegin(); entry != wave->rend(); ++entry) {
+      machines[static_cast<size_t>(entry->first)].max_containers = entry->second;
+      ++*restored;
+    }
+  }
+}
+
+StatusOr<GuardrailedRollout::Report> GuardrailedRollout::Execute(
+    const std::vector<GroupRecommendation>& recommendations, sim::Cluster* cluster,
+    const telemetry::TelemetryStore* store, sim::HourIndex start_hour,
+    const AdvanceFn& advance) {
+  KEA_RETURN_IF_ERROR(ValidateOptions());
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (store == nullptr) return Status::InvalidArgument("null telemetry store");
+  if (!advance) return Status::InvalidArgument("null advance function");
+  if (recommendations.empty()) {
+    return Status::InvalidArgument("no recommendations to roll out");
+  }
+
+  // Clamp each recommendation to +-max_step of its current configuration,
+  // exactly like DeploymentModule::ApplyConservatively.
+  std::map<sim::MachineGroupKey, int> targets;
+  for (const GroupRecommendation& rec : recommendations) {
+    int delta = rec.recommended_max_containers - rec.current_max_containers;
+    int clamped =
+        std::clamp(delta, -options_.deploy.max_step, options_.deploy.max_step);
+    int target = std::max(rec.current_max_containers + clamped,
+                          options_.deploy.min_containers);
+    if (target != rec.current_max_containers) targets[rec.group] = target;
+  }
+
+  Report report;
+  if (targets.empty()) {
+    report.outcome = Outcome::kNoChange;
+    return report;
+  }
+
+  int num_sc = cluster->num_subclusters();
+  if (num_sc <= 0) return Status::FailedPrecondition("cluster has no sub-clusters");
+
+  std::vector<MachineSnapshot> snapshots;
+  std::vector<int> treated;  ///< Cumulative machines changed across waves.
+  sim::HourIndex now = start_hour;
+  sim::HourIndex baseline_begin = std::max(0, start_hour - options_.baseline_hours);
+
+  int next_sc = 0;
+  for (size_t w = 0; w < options_.wave_fractions.size(); ++w) {
+    int end_sc = static_cast<int>(
+        std::ceil(options_.wave_fractions[w] * static_cast<double>(num_sc)));
+    end_sc = std::clamp(end_sc, next_sc, num_sc);
+    if (w + 1 == options_.wave_fractions.size() &&
+        options_.wave_fractions[w] >= 1.0) {
+      end_sc = num_sc;  // Final full-fleet wave sweeps every remainder.
+    }
+    if (end_sc == next_sc && next_sc < num_sc) end_sc = next_sc + 1;
+
+    WaveResult wave;
+    wave.wave = static_cast<int>(w);
+    std::vector<int> wave_machines;
+    for (int sc = next_sc; sc < end_sc; ++sc) {
+      wave.sub_clusters.push_back(sc);
+      std::vector<int> ids = cluster->SubClusterMachines(sc);
+      wave_machines.insert(wave_machines.end(), ids.begin(), ids.end());
+    }
+    next_sc = end_sc;
+
+    auto snapshot = ApplyWave(wave_machines, targets, cluster);
+    if (!snapshot.ok()) {
+      size_t restored = 0;
+      Restore(snapshots, cluster, &restored);
+      return snapshot.status();
+    }
+    wave.machines_changed = snapshot->size();
+    if (wave.machines_changed == 0) {
+      // No targeted machine in this wave: nothing to observe, trivially safe.
+      wave.passed = true;
+      report.waves.push_back(std::move(wave));
+      continue;
+    }
+    snapshots.push_back(std::move(snapshot).value());
+    for (const auto& entry : snapshots.back()) treated.push_back(entry.first);
+
+    wave.observe_begin = now;
+    Status advanced = advance(options_.observe_hours_per_wave);
+    if (!advanced.ok()) {
+      size_t restored = 0;
+      Restore(snapshots, cluster, &restored);
+      return advanced;
+    }
+    now += options_.observe_hours_per_wave;
+    wave.observe_end = now;
+
+    wave.eval = Evaluate(*store, treated, baseline_begin, start_hour,
+                         wave.observe_begin, wave.observe_end);
+    wave.passed = wave.eval.pass();
+    bool tripped = !wave.passed;
+    report.waves.push_back(std::move(wave));
+
+    if (tripped) {
+      report.tripped_wave = static_cast<int>(w);
+      Restore(snapshots, cluster, &report.machines_restored);
+      report.outcome = Outcome::kRolledBack;
+      return report;
+    }
+  }
+
+  report.outcome = Outcome::kConverged;
+  return report;
+}
+
+}  // namespace kea::core

@@ -10,6 +10,7 @@
 #include "common/csv.h"       // IWYU pragma: export
 #include "common/logging.h"   // IWYU pragma: export
 #include "common/random.h"    // IWYU pragma: export
+#include "common/retry.h"     // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
 
 // ML substrate.
@@ -27,8 +28,9 @@
 #include "opt/search.h"      // IWYU pragma: export
 
 // Cluster simulator (the Cosmos stand-in).
-#include "sim/cluster.h"       // IWYU pragma: export
-#include "sim/fluid_engine.h"  // IWYU pragma: export
+#include "sim/cluster.h"        // IWYU pragma: export
+#include "sim/fault_injector.h" // IWYU pragma: export
+#include "sim/fluid_engine.h"   // IWYU pragma: export
 #include "sim/job_sim.h"       // IWYU pragma: export
 #include "sim/perf_model.h"    // IWYU pragma: export
 #include "sim/sku.h"           // IWYU pragma: export
@@ -37,6 +39,7 @@
 
 // Telemetry pipeline.
 #include "telemetry/dashboard.h"     // IWYU pragma: export
+#include "telemetry/ingestion.h"     // IWYU pragma: export
 #include "telemetry/perf_monitor.h"  // IWYU pragma: export
 #include "telemetry/record.h"        // IWYU pragma: export
 #include "telemetry/store.h"         // IWYU pragma: export
@@ -46,6 +49,7 @@
 #include "core/experiment.h"         // IWYU pragma: export
 #include "core/experiment_runner.h"  // IWYU pragma: export
 #include "core/flighting.h"          // IWYU pragma: export
+#include "core/guardrailed_rollout.h"  // IWYU pragma: export
 #include "core/model_report.h"       // IWYU pragma: export
 #include "core/power_analysis.h"     // IWYU pragma: export
 #include "core/treatment.h"          // IWYU pragma: export

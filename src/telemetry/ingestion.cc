@@ -1,0 +1,151 @@
+#include "telemetry/ingestion.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace kea::telemetry {
+namespace {
+
+/// Stable key for the (machine, hour) dedup index.
+uint64_t RecordKey(const MachineHourRecord& r) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(r.machine_id)) << 32) |
+         static_cast<uint32_t>(r.hour);
+}
+
+/// FNV-1a over the metric payload (everything that should vary hour to hour
+/// on a live machine). Identity fields are excluded: a stuck counter is a
+/// machine whose *measurements* freeze, not its labels.
+uint64_t MetricSignature(const MachineHourRecord& r) {
+  const double fields[] = {
+      r.avg_running_containers, r.cpu_utilization,  r.tasks_finished,
+      r.data_read_mb,           r.avg_task_latency_s, r.cpu_time_core_s,
+      r.queued_containers,      r.queue_latency_ms,  r.rejected_containers,
+      r.cores_used,             r.ssd_used_gb,       r.ram_used_gb,
+      r.network_used_mbps,      r.power_watts};
+  uint64_t hash = 1469598103934665603ULL;
+  for (double v : fields) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (bits >> shift) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+const char* QuarantineReasonToString(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNonFinite:
+      return "NON_FINITE";
+    case QuarantineReason::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case QuarantineReason::kInconsistent:
+      return "INCONSISTENT";
+    case QuarantineReason::kDuplicate:
+      return "DUPLICATE";
+    case QuarantineReason::kLate:
+      return "LATE";
+    case QuarantineReason::kStuckCounter:
+      return "STUCK_COUNTER";
+    case QuarantineReason::kWriteFailed:
+      return "WRITE_FAILED";
+  }
+  return "UNKNOWN";
+}
+
+bool IngestionPipeline::Validate(const MachineHourRecord& r,
+                                 QuarantineReason* reason) const {
+  const double fields[] = {
+      r.avg_running_containers, r.cpu_utilization,  r.tasks_finished,
+      r.data_read_mb,           r.avg_task_latency_s, r.cpu_time_core_s,
+      r.queued_containers,      r.queue_latency_ms,  r.rejected_containers,
+      r.cores_used,             r.ssd_used_gb,       r.ram_used_gb,
+      r.network_used_mbps,      r.power_watts};
+  for (double v : fields) {
+    if (!std::isfinite(v)) {
+      *reason = QuarantineReason::kNonFinite;
+      return false;
+    }
+  }
+  for (double v : fields) {
+    if (v < 0.0) {
+      *reason = QuarantineReason::kOutOfRange;
+      return false;
+    }
+  }
+  if (r.cpu_utilization > 1.0 || r.hour < 0 || r.machine_id < 0) {
+    *reason = QuarantineReason::kOutOfRange;
+    return false;
+  }
+  // Latency with zero finished tasks is a join artifact, not a measurement.
+  if (r.tasks_finished <= 0.0 && r.avg_task_latency_s > 0.0) {
+    *reason = QuarantineReason::kInconsistent;
+    return false;
+  }
+  return true;
+}
+
+void IngestionPipeline::Quarantine(const MachineHourRecord& r,
+                                   QuarantineReason reason) {
+  ++counters_.quarantined;
+  ++counters_.by_reason[static_cast<size_t>(reason)];
+  quarantine_.push_back(QuarantinedRecord{r, reason, watermark_});
+}
+
+Status IngestionPipeline::Ingest(const std::vector<MachineHourRecord>& batch) {
+  if (sink_ == nullptr) return Status::InvalidArgument("null telemetry sink");
+  for (const MachineHourRecord& r : batch) {
+    ++counters_.seen;
+
+    if (options_.validate) {
+      QuarantineReason reason;
+      if (!Validate(r, &reason)) {
+        Quarantine(r, reason);
+        continue;
+      }
+    }
+    if (options_.max_lateness_hours >= 0 && watermark_ >= 0 &&
+        r.hour < watermark_ - options_.max_lateness_hours) {
+      Quarantine(r, QuarantineReason::kLate);
+      continue;
+    }
+    if (options_.deduplicate && seen_keys_.count(RecordKey(r)) > 0) {
+      Quarantine(r, QuarantineReason::kDuplicate);
+      continue;
+    }
+    if (options_.stuck_run_threshold > 0) {
+      StuckState& state = stuck_[r.machine_id];
+      uint64_t signature = MetricSignature(r);
+      state.run_length = signature == state.signature ? state.run_length + 1 : 1;
+      state.signature = signature;
+      if (state.run_length > options_.stuck_run_threshold) {
+        Quarantine(r, QuarantineReason::kStuckCounter);
+        continue;
+      }
+    }
+
+    Status written = retry_.Run([this, &r](int attempt) {
+      if (!write_hook_) return Status::OK();
+      Status s = write_hook_(r, attempt);
+      if (RetryPolicy::IsTransient(s.code())) {
+        ++counters_.transient_write_failures;
+      }
+      return s;
+    });
+    if (!written.ok()) {
+      Quarantine(r, QuarantineReason::kWriteFailed);
+      continue;
+    }
+
+    sink_->Append(r);
+    ++counters_.accepted;
+    if (options_.deduplicate) seen_keys_.insert(RecordKey(r));
+    if (r.hour > watermark_) watermark_ = r.hour;
+  }
+  return Status::OK();
+}
+
+}  // namespace kea::telemetry

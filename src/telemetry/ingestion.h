@@ -1,0 +1,142 @@
+#ifndef KEA_TELEMETRY_INGESTION_H_
+#define KEA_TELEMETRY_INGESTION_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "telemetry/store.h"
+
+namespace kea::telemetry {
+
+/// Why a record was diverted to the quarantine store instead of the main
+/// TelemetryStore.
+enum class QuarantineReason {
+  kNonFinite = 0,     ///< NaN or +-Inf in a numeric field.
+  kOutOfRange,        ///< Negative count / utilization outside [0, 1] / etc.
+  kInconsistent,      ///< Fields that contradict each other (latency, no tasks).
+  kDuplicate,         ///< (machine, hour) already ingested.
+  kLate,              ///< Arrived more than max_lateness_hours behind watermark.
+  kStuckCounter,      ///< Machine repeating an identical metric payload.
+  kWriteFailed,       ///< Sink write failed even after retries.
+};
+constexpr size_t kNumQuarantineReasons = 7;
+
+const char* QuarantineReasonToString(QuarantineReason reason);
+
+/// A rejected record kept for inspection, with the reason and the watermark
+/// at rejection time (operators triage quarantine dumps by reason).
+struct QuarantinedRecord {
+  MachineHourRecord record;
+  QuarantineReason reason = QuarantineReason::kNonFinite;
+  sim::HourIndex watermark = 0;
+};
+
+/// Pluggable sink write. `attempt` is the 0-based retry attempt; the fault
+/// injector's hook uses it to decide which attempts fail transiently. The
+/// default hook always succeeds. A hook returning OK means the pipeline may
+/// append the record to the sink.
+using WriteHook = std::function<Status(const MachineHourRecord& record, int attempt)>;
+
+/// The validating front door to TelemetryStore: everything the simulation
+/// engines (or an external trace) emit passes through here before KEA's
+/// models may see it. Production telemetry is dirty — machine churn drops
+/// hours, pipeline replays duplicate them, broken collectors emit NaNs and
+/// stuck counters (Section 3.2) — so the pipeline:
+///
+///   - enforces schema/range invariants (finite, non-negative, util in [0,1]);
+///   - deduplicates on (machine, hour);
+///   - bounds lateness against a high-watermark and quarantines stragglers;
+///   - detects stuck-counter machines (identical metric payload repeated);
+///   - retries transient sink failures under a bounded, deterministically
+///     jittered RetryPolicy, quarantining (never dropping) on exhaustion.
+///
+/// Invariant, checked by the property tests: every input record is counted
+/// exactly once — accepted() + quarantined() == seen(). With clean input and
+/// default options the pipeline is a bit-identical pass-through to
+/// TelemetryStore::Append, preserving record order.
+class IngestionPipeline {
+ public:
+  struct Options {
+    /// Schema/range validation (kNonFinite / kOutOfRange / kInconsistent).
+    bool validate = true;
+    /// Reject (machine, hour) pairs already accepted.
+    bool deduplicate = true;
+    /// Records older than watermark - max_lateness_hours are quarantined as
+    /// kLate; negative disables the lateness bound entirely.
+    int max_lateness_hours = -1;
+    /// Quarantine a machine's records once it has repeated the exact same
+    /// metric payload this many times in a row (0 disables). The first
+    /// `stuck_run_threshold` copies are accepted — a stuck counter is only
+    /// detectable in hindsight.
+    int stuck_run_threshold = 0;
+    /// Retry policy for transient sink-write failures.
+    RetryPolicy::Options retry;
+  };
+
+  struct Counters {
+    size_t seen = 0;
+    size_t accepted = 0;
+    size_t quarantined = 0;
+    std::array<size_t, kNumQuarantineReasons> by_reason{};
+    /// Transient write failures observed (each consumed one retry attempt).
+    size_t transient_write_failures = 0;
+
+    size_t Reason(QuarantineReason r) const {
+      return by_reason[static_cast<size_t>(r)];
+    }
+  };
+
+  /// `sink` must outlive the pipeline.
+  IngestionPipeline(TelemetryStore* sink, const Options& options)
+      : sink_(sink), options_(options), retry_(options.retry) {}
+
+  /// Installs a fallible write hook (e.g. the fault injector's transient
+  /// failure hook). Null restores the always-OK default.
+  void set_write_hook(WriteHook hook) { write_hook_ = std::move(hook); }
+
+  /// Runs the batch through validation, dedup, lateness and stuck-counter
+  /// screens, then writes survivors to the sink under the retry policy.
+  /// Always processes the whole batch; the returned status is only non-OK for
+  /// structural errors (null sink), never for bad records — those are
+  /// quarantined and counted instead.
+  Status Ingest(const std::vector<MachineHourRecord>& batch);
+
+  const Counters& counters() const { return counters_; }
+  const std::vector<QuarantinedRecord>& quarantine() const { return quarantine_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Highest hour accepted so far (lateness reference). -1 before any accept.
+  sim::HourIndex watermark() const { return watermark_; }
+
+ private:
+  /// Validation verdict for one record, OK reasons aside.
+  bool Validate(const MachineHourRecord& r, QuarantineReason* reason) const;
+  void Quarantine(const MachineHourRecord& r, QuarantineReason reason);
+
+  TelemetryStore* sink_;
+  Options options_;
+  RetryPolicy retry_;
+  WriteHook write_hook_;
+
+  Counters counters_;
+  std::vector<QuarantinedRecord> quarantine_;
+  std::unordered_set<uint64_t> seen_keys_;  ///< (machine, hour) dedup index.
+  sim::HourIndex watermark_ = -1;
+
+  /// Stuck-counter tracking: per machine, a hash of the last metric payload
+  /// and how many consecutive records carried it.
+  struct StuckState {
+    uint64_t signature = 0;
+    int run_length = 0;
+  };
+  std::unordered_map<int, StuckState> stuck_;
+};
+
+}  // namespace kea::telemetry
+
+#endif  // KEA_TELEMETRY_INGESTION_H_

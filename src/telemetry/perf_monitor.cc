@@ -6,41 +6,114 @@
 #include <unordered_set>
 
 namespace kea::telemetry {
+namespace {
+
+/// True when every field the aggregate queries touch is finite. Records
+/// failing this cannot contribute to any mean without poisoning it.
+bool RecordFinite(const MachineHourRecord& r) {
+  return std::isfinite(r.avg_running_containers) && std::isfinite(r.cpu_utilization) &&
+         std::isfinite(r.tasks_finished) && std::isfinite(r.data_read_mb) &&
+         std::isfinite(r.avg_task_latency_s) && std::isfinite(r.cpu_time_core_s) &&
+         std::isfinite(r.queued_containers) && std::isfinite(r.queue_latency_ms) &&
+         std::isfinite(r.power_watts);
+}
+
+/// Clamps v's values to its [frac, 1-frac] empirical quantiles in place.
+/// Order is preserved (only magnitudes change), so downstream accumulation
+/// order — and hence determinism — is unaffected.
+void Winsorize(std::vector<double>* v, double frac) {
+  if (frac <= 0.0 || v->size() < 3) return;
+  std::vector<double> sorted = *v;
+  std::sort(sorted.begin(), sorted.end());
+  size_t n = sorted.size();
+  size_t lo_idx = static_cast<size_t>(frac * static_cast<double>(n));
+  size_t hi_idx = n - 1 - std::min(lo_idx, n - 1);
+  double lo = sorted[std::min(lo_idx, n - 1)];
+  double hi = sorted[hi_idx];
+  for (double& x : *v) x = std::clamp(x, lo, hi);
+}
+
+}  // namespace
 
 StatusOr<std::map<sim::MachineGroupKey, GroupMetrics>>
 PerformanceMonitor::GroupMetricsByKey(const RecordFilter& filter) const {
+  return GroupMetricsByKey(filter, AggregationOptions());
+}
+
+StatusOr<std::map<sim::MachineGroupKey, GroupMetrics>>
+PerformanceMonitor::GroupMetricsByKey(const RecordFilter& filter,
+                                      const AggregationOptions& options) const {
   auto grouped = store_->GroupByKey(filter);
   if (grouped.empty()) {
     return Status::FailedPrecondition("no telemetry records match the filter");
   }
   std::map<sim::MachineGroupKey, GroupMetrics> out;
-  for (const auto& [key, records] : grouped) {
+  for (const auto& [key, all_records] : grouped) {
+    // Non-finite records are unusable for any aggregate; screen them first
+    // (a no-op on clean stores, so the default path is unchanged bit for bit).
+    std::vector<MachineHourRecord> records;
+    records.reserve(all_records.size());
+    for (const auto& r : all_records) {
+      if (RecordFinite(r)) records.push_back(r);
+    }
+    if (records.empty()) continue;
+    if (options.min_support > 0 && records.size() < options.min_support) continue;
+
     GroupMetrics m;
     m.group = key;
     m.machine_hours = records.size();
 
+    // Per-metric value vectors in record order; winsorizing clamps values
+    // without reordering, so the accumulation below is identical to summing
+    // the raw fields when winsorize_fraction is 0.
+    size_t count = records.size();
+    std::vector<double> containers(count), utils(count), tasks(count), data(count);
+    std::vector<double> latencies(count), cpu_seconds(count), queued(count);
+    std::vector<double> power(count);
     std::unordered_set<int> machines;
+    std::vector<double> queue_latencies;
+    queue_latencies.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const auto& r = records[i];
+      machines.insert(r.machine_id);
+      containers[i] = r.avg_running_containers;
+      utils[i] = r.cpu_utilization;
+      tasks[i] = r.tasks_finished;
+      data[i] = r.data_read_mb;
+      latencies[i] = r.avg_task_latency_s;
+      cpu_seconds[i] = r.cpu_time_core_s;
+      queued[i] = r.queued_containers;
+      power[i] = r.power_watts;
+      queue_latencies.push_back(r.queue_latency_ms);
+    }
+    if (options.winsorize_fraction > 0.0) {
+      double f = std::min(options.winsorize_fraction, 0.49);
+      Winsorize(&containers, f);
+      Winsorize(&utils, f);
+      Winsorize(&tasks, f);
+      Winsorize(&data, f);
+      Winsorize(&latencies, f);
+      Winsorize(&cpu_seconds, f);
+      Winsorize(&queued, f);
+      Winsorize(&power, f);
+    }
+
     double sum_containers = 0.0, sum_util = 0.0, sum_tasks = 0.0, sum_data = 0.0;
     double sum_latency_weighted = 0.0;
     double sum_exec_seconds = 0.0, sum_cpu_seconds = 0.0;
     double sum_queued = 0.0, sum_power = 0.0;
-    std::vector<double> queue_latencies;
-    queue_latencies.reserve(records.size());
-
-    for (const auto& r : records) {
-      machines.insert(r.machine_id);
-      sum_containers += r.avg_running_containers;
-      sum_util += r.cpu_utilization;
-      sum_tasks += r.tasks_finished;
-      sum_data += r.data_read_mb;
-      sum_latency_weighted += r.avg_task_latency_s * r.tasks_finished;
-      sum_exec_seconds += r.avg_task_latency_s * r.tasks_finished;
-      sum_cpu_seconds += r.cpu_time_core_s;
-      sum_queued += r.queued_containers;
-      sum_power += r.power_watts;
-      queue_latencies.push_back(r.queue_latency_ms);
+    for (size_t i = 0; i < count; ++i) {
+      sum_containers += containers[i];
+      sum_util += utils[i];
+      sum_tasks += tasks[i];
+      sum_data += data[i];
+      sum_latency_weighted += latencies[i] * tasks[i];
+      sum_exec_seconds += latencies[i] * tasks[i];
+      sum_cpu_seconds += cpu_seconds[i];
+      sum_queued += queued[i];
+      sum_power += power[i];
     }
-    double n = static_cast<double>(records.size());
+    double n = static_cast<double>(count);
     m.num_machines = static_cast<int>(machines.size());
     m.avg_running_containers = sum_containers / n;
     m.avg_cpu_utilization = sum_util / n;
@@ -59,6 +132,10 @@ PerformanceMonitor::GroupMetricsByKey(const RecordFilter& filter) const {
 
     out[key] = m;
   }
+  if (out.empty()) {
+    return Status::FailedPrecondition(
+        "no group meets the aggregation support/validity requirements");
+  }
   return out;
 }
 
@@ -67,6 +144,7 @@ PerformanceMonitor::HourlyClusterUtilization(const RecordFilter& filter) const {
   std::map<sim::HourIndex, std::pair<double, size_t>> by_hour;
   for (const auto& r : store_->records()) {
     if (filter && !filter(r)) continue;
+    if (!std::isfinite(r.cpu_utilization)) continue;
     auto& [sum, count] = by_hour[r.hour];
     sum += r.cpu_utilization;
     ++count;
@@ -111,6 +189,10 @@ StatusOr<double> PerformanceMonitor::ClusterAverageTaskLatency(
   double weighted = 0.0, tasks = 0.0;
   for (const auto& r : store_->records()) {
     if (filter && !filter(r)) continue;
+    if (!std::isfinite(r.avg_task_latency_s) || !std::isfinite(r.tasks_finished) ||
+        r.tasks_finished < 0.0) {
+      continue;
+    }
     weighted += r.avg_task_latency_s * r.tasks_finished;
     tasks += r.tasks_finished;
   }
@@ -124,6 +206,7 @@ double PerformanceMonitor::TotalDataReadMb(const RecordFilter& filter) const {
   double total = 0.0;
   for (const auto& r : store_->records()) {
     if (filter && !filter(r)) continue;
+    if (!std::isfinite(r.data_read_mb)) continue;
     total += r.data_read_mb;
   }
   return total;
@@ -133,6 +216,7 @@ double PerformanceMonitor::TotalTasksFinished(const RecordFilter& filter) const 
   double total = 0.0;
   for (const auto& r : store_->records()) {
     if (filter && !filter(r)) continue;
+    if (!std::isfinite(r.tasks_finished)) continue;
     total += r.tasks_finished;
   }
   return total;
@@ -166,6 +250,7 @@ std::vector<MachineHourRecord> RollUpDaily(const TelemetryStore& store,
   std::map<std::pair<int, int>, std::pair<MachineHourRecord, int>> days;
   for (const auto& r : store.records()) {
     if (filter && !filter(r)) continue;
+    if (!RecordFinite(r)) continue;
     int day = r.hour / sim::kHoursPerDay;
     auto [it, inserted] = days.try_emplace({r.machine_id, day});
     MachineHourRecord& acc = it->second.first;

@@ -36,17 +36,40 @@ struct ScatterPoint {
   sim::MachineGroupKey group;
 };
 
+/// Robustness knobs for the aggregate queries. The defaults reproduce the
+/// plain (non-robust) aggregation bit for bit; the guarded tuning loop turns
+/// both on so a few corrupt survivors cannot skew the What-if fits.
+struct AggregationOptions {
+  /// Groups with fewer matching machine-hours than this are excluded from
+  /// the result (too thin to fit or trust). 0 keeps every group.
+  size_t min_support = 0;
+  /// Two-sided winsorization fraction in [0, 0.5): each averaged metric has
+  /// its values clamped to the [f, 1-f] empirical quantiles before summing,
+  /// bounding the leverage of any single machine-hour. 0 disables.
+  double winsorize_fraction = 0.0;
+};
+
 /// The Performance Monitor joins raw telemetry into the metrics KEA's
 /// modeling consumes (Section 4.1). All queries take an optional filter so
 /// flighting/experiment analyses can scope to machine subsets or windows.
+///
+/// Every aggregate guards its ratios (zero tasks, zero execution seconds,
+/// zero core-seconds, empty groups) and skips records with non-finite fields,
+/// so no query output ever contains NaN/Inf — even over a store filled by an
+/// unvalidated path.
 class PerformanceMonitor {
  public:
   /// `store` must outlive the monitor.
   explicit PerformanceMonitor(const TelemetryStore* store) : store_(store) {}
 
-  /// Per-group Table 2 aggregates. FailedPrecondition when no records match.
+  /// Per-group Table 2 aggregates. FailedPrecondition when no records match
+  /// (or none survive min_support screening).
   StatusOr<std::map<sim::MachineGroupKey, GroupMetrics>> GroupMetricsByKey(
       const RecordFilter& filter = nullptr) const;
+
+  /// Robust variant: min-support screening plus winsorized means.
+  StatusOr<std::map<sim::MachineGroupKey, GroupMetrics>> GroupMetricsByKey(
+      const RecordFilter& filter, const AggregationOptions& options) const;
 
   /// Cluster-wide average CPU utilization per hour (Figure 1).
   StatusOr<std::vector<std::pair<sim::HourIndex, double>>> HourlyClusterUtilization(

@@ -109,6 +109,61 @@ TEST(DeploymentTest, RollbackRestoresLastBatch) {
   EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(DeploymentTest, RollbackBeforeAnyApplyIsIdempotentFailedPrecondition) {
+  sim::Cluster cluster = MakeCluster();
+  auto snapshot = [&cluster] {
+    std::vector<int> config;
+    for (const auto& m : cluster.machines()) config.push_back(m.max_containers);
+    return config;
+  };
+  DeploymentModule deploy;
+  EXPECT_FALSE(deploy.has_pending_batch());
+  auto before = snapshot();
+  // Repeated rollbacks keep failing the same way and never mutate the fleet.
+  EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(snapshot(), before);
+}
+
+TEST(DeploymentTest, RollbackOfEmptyAppliedBatchIsOkNoOp) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey key{0, 0};
+  int current = GroupMax(cluster, key);
+
+  // Apply ran but every recommendation clamped to a no-op: the fleet is
+  // already in the pre-apply state, so rollback succeeds with nothing to do.
+  auto applied = deploy.ApplyConservatively({{key, current, current}}, &cluster);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->empty());
+  EXPECT_TRUE(deploy.has_pending_batch());
+  EXPECT_TRUE(deploy.RollbackLast(&cluster).ok());
+  EXPECT_FALSE(deploy.has_pending_batch());
+  // ... but a second rollback is back to the nothing-pending error.
+  EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(GroupMax(cluster, key), current);
+}
+
+TEST(DeploymentTest, RollbackRestoresMultiGroupBatchExactly) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey a{0, 0}, b{0, 5}, c{1, 2};
+  int ca = GroupMax(cluster, a), cb = GroupMax(cluster, b), cc = GroupMax(cluster, c);
+
+  ASSERT_TRUE(deploy
+                  .ApplyConservatively({{a, ca, ca + 1}, {b, cb, cb - 1}, {c, cc, cc + 1}},
+                                       &cluster)
+                  .ok());
+  EXPECT_TRUE(deploy.has_pending_batch());
+  ASSERT_TRUE(deploy.RollbackLast(&cluster).ok());
+  EXPECT_EQ(GroupMax(cluster, a), ca);
+  EXPECT_EQ(GroupMax(cluster, b), cb);
+  EXPECT_EQ(GroupMax(cluster, c), cc);
+  EXPECT_FALSE(deploy.has_pending_batch());
+  // History is an audit log: rollback does not erase it.
+  EXPECT_EQ(deploy.history().size(), 3u);
+}
+
 TEST(DeploymentTest, Validation) {
   sim::Cluster cluster = MakeCluster();
   DeploymentModule deploy;

@@ -1,0 +1,277 @@
+#include "core/guardrailed_rollout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/sku.h"
+#include "telemetry/store.h"
+
+namespace kea::core {
+namespace {
+
+/// A small fleet with several sub-clusters: 8 racks of 10 machines, 2 racks
+/// per sub-cluster => 4 sub-clusters of 20 machines each.
+sim::Cluster MakeCluster() {
+  sim::ClusterSpec spec = sim::ClusterSpec::Default();
+  spec.total_machines = 80;
+  spec.machines_per_rack = 10;
+  spec.racks_per_subcluster = 2;
+  auto cluster = sim::Cluster::Build(sim::SkuCatalog::Default(), spec);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  return std::move(cluster).value();
+}
+
+/// Appends one record per machine per hour in [begin, end) with the given
+/// health profile.
+void AppendWindow(telemetry::TelemetryStore* store, const sim::Cluster& cluster,
+                  sim::HourIndex begin, sim::HourIndex end, double latency_s,
+                  double utilization, double queue_ms) {
+  for (sim::HourIndex h = begin; h < end; ++h) {
+    for (const sim::Machine& m : cluster.machines()) {
+      telemetry::MachineHourRecord r;
+      r.machine_id = m.id;
+      r.hour = h;
+      r.sku = m.sku;
+      r.sc = m.sc;
+      r.avg_running_containers = 8.0;
+      r.cpu_utilization = utilization;
+      r.tasks_finished = 100.0;
+      r.data_read_mb = 4000.0;
+      r.avg_task_latency_s = latency_s;
+      r.cpu_time_core_s = 40000.0;
+      r.queue_latency_ms = queue_ms;
+      r.power_watts = 280.0;
+      store->Append(r);
+    }
+  }
+}
+
+/// One +1 max_containers recommendation per machine group in the cluster.
+std::vector<GroupRecommendation> BumpAllGroups(const sim::Cluster& cluster,
+                                               int delta) {
+  std::vector<GroupRecommendation> recs;
+  for (const auto& [key, ids] : cluster.groups()) {
+    GroupRecommendation rec;
+    rec.group = key;
+    rec.current_max_containers =
+        cluster.machines()[static_cast<size_t>(ids.front())].max_containers;
+    rec.recommended_max_containers = rec.current_max_containers + delta;
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
+std::vector<int> SnapshotConfig(const sim::Cluster& cluster) {
+  std::vector<int> config;
+  for (const sim::Machine& m : cluster.machines()) config.push_back(m.max_containers);
+  return config;
+}
+
+TEST(GuardrailedRolloutTest, RejectsBadOptions) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  auto advance = [](int) { return Status::OK(); };
+  auto recs = BumpAllGroups(cluster, 1);
+
+  GuardrailedRollout::Options options;
+  options.wave_fractions = {};
+  EXPECT_EQ(GuardrailedRollout(options)
+                .Execute(recs, &cluster, &store, 24, advance)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  options.wave_fractions = {0.5, 0.25};  // Not increasing.
+  EXPECT_EQ(GuardrailedRollout(options)
+                .Execute(recs, &cluster, &store, 24, advance)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  options.wave_fractions = {0.5, 1.5};  // Out of range.
+  EXPECT_EQ(GuardrailedRollout(options)
+                .Execute(recs, &cluster, &store, 24, advance)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  options = GuardrailedRollout::Options();
+  EXPECT_EQ(GuardrailedRollout(options)
+                .Execute(recs, nullptr, &store, 24, advance)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GuardrailedRollout(options)
+                .Execute({}, &cluster, &store, 24, advance)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GuardrailedRolloutTest, NoOpRecommendationsAreNoChange) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  auto before = SnapshotConfig(cluster);
+
+  int advance_calls = 0;
+  auto advance = [&advance_calls](int) {
+    ++advance_calls;
+    return Status::OK();
+  };
+  GuardrailedRollout rollout((GuardrailedRollout::Options()));
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 0), &cluster, &store, 24, advance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, GuardrailedRollout::Outcome::kNoChange);
+  EXPECT_EQ(advance_calls, 0);  // Never touched the world.
+  EXPECT_EQ(SnapshotConfig(cluster), before);
+}
+
+TEST(GuardrailedRolloutTest, ConvergesWhenEveryWavePasses) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  GuardrailedRollout::Options options;
+  options.observe_hours_per_wave = 6;
+  options.baseline_hours = 12;
+  const sim::HourIndex start = 12;
+  AppendWindow(&store, cluster, 0, start, /*latency_s=*/20.0, /*utilization=*/0.5,
+               /*queue_ms=*/5.0);
+
+  sim::HourIndex now = start;
+  auto advance = [&](int hours) {
+    AppendWindow(&store, cluster, now, now + hours, 20.0, 0.5, 5.0);
+    now += hours;
+    return Status::OK();
+  };
+
+  auto before = SnapshotConfig(cluster);
+  GuardrailedRollout rollout(options);
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 1), &cluster, &store, start, advance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, GuardrailedRollout::Outcome::kConverged);
+  EXPECT_EQ(report->tripped_wave, -1);
+  ASSERT_EQ(report->waves.size(), options.wave_fractions.size());
+
+  // Waves partition the sub-clusters: each appears exactly once, all covered.
+  std::set<int> seen_scs;
+  size_t changed = 0;
+  for (const auto& wave : report->waves) {
+    EXPECT_TRUE(wave.passed);
+    for (int sc : wave.sub_clusters) EXPECT_TRUE(seen_scs.insert(sc).second);
+    changed += wave.machines_changed;
+  }
+  EXPECT_EQ(seen_scs.size(), static_cast<size_t>(cluster.num_subclusters()));
+  EXPECT_EQ(changed, cluster.size());  // Every group was bumped.
+
+  // Every machine ends exactly one container above its entry config.
+  auto after = SnapshotConfig(cluster);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) EXPECT_EQ(after[i], before[i] + 1);
+}
+
+TEST(GuardrailedRolloutTest, LatencyRegressionTripsCanaryAndRestoresExactConfig) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  GuardrailedRollout::Options options;
+  options.observe_hours_per_wave = 6;
+  options.baseline_hours = 12;
+  const sim::HourIndex start = 12;
+  AppendWindow(&store, cluster, 0, start, 20.0, 0.5, 5.0);
+
+  sim::HourIndex now = start;
+  auto advance = [&](int hours) {
+    // The new configuration doubles task latency — well past the 1.05 ratio.
+    AppendWindow(&store, cluster, now, now + hours, 40.0, 0.5, 5.0);
+    now += hours;
+    return Status::OK();
+  };
+
+  auto before = SnapshotConfig(cluster);
+  GuardrailedRollout rollout(options);
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 1), &cluster, &store, start, advance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, GuardrailedRollout::Outcome::kRolledBack);
+  EXPECT_EQ(report->tripped_wave, 0);
+  ASSERT_EQ(report->waves.size(), 1u);  // Never reached wave 1.
+  EXPECT_FALSE(report->waves[0].eval.latency_ok);
+  EXPECT_TRUE(report->waves[0].eval.measurable);
+  EXPECT_EQ(report->machines_restored, report->waves[0].machines_changed);
+  // Bit-identical restore of the pre-rollout fleet configuration.
+  EXPECT_EQ(SnapshotConfig(cluster), before);
+}
+
+TEST(GuardrailedRolloutTest, UtilizationCliffTrips) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  GuardrailedRollout::Options options;
+  options.observe_hours_per_wave = 6;
+  options.baseline_hours = 12;
+  options.guardrails.max_utilization = 0.9;
+  const sim::HourIndex start = 12;
+  AppendWindow(&store, cluster, 0, start, 20.0, 0.5, 5.0);
+
+  sim::HourIndex now = start;
+  auto advance = [&](int hours) {
+    AppendWindow(&store, cluster, now, now + hours, 20.0, /*utilization=*/0.97, 5.0);
+    now += hours;
+    return Status::OK();
+  };
+
+  auto before = SnapshotConfig(cluster);
+  GuardrailedRollout rollout(options);
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 1), &cluster, &store, start, advance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, GuardrailedRollout::Outcome::kRolledBack);
+  EXPECT_FALSE(report->waves[0].eval.utilization_ok);
+  EXPECT_EQ(SnapshotConfig(cluster), before);
+}
+
+TEST(GuardrailedRolloutTest, SilenceIsNotHealth) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  GuardrailedRollout::Options options;
+  options.observe_hours_per_wave = 6;
+  options.baseline_hours = 12;
+  const sim::HourIndex start = 12;
+  AppendWindow(&store, cluster, 0, start, 20.0, 0.5, 5.0);
+
+  // The observation window produces NO telemetry (total collector outage):
+  // the rollout must treat that as a trip, not as "no regression observed".
+  auto advance = [](int) { return Status::OK(); };
+
+  auto before = SnapshotConfig(cluster);
+  GuardrailedRollout rollout(options);
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 1), &cluster, &store, start, advance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, GuardrailedRollout::Outcome::kRolledBack);
+  EXPECT_FALSE(report->waves[0].eval.measurable);
+  EXPECT_EQ(SnapshotConfig(cluster), before);
+}
+
+TEST(GuardrailedRolloutTest, AdvanceFailureRollsBackAndPropagates) {
+  sim::Cluster cluster = MakeCluster();
+  telemetry::TelemetryStore store;
+  GuardrailedRollout::Options options;
+  options.baseline_hours = 12;
+  const sim::HourIndex start = 12;
+  AppendWindow(&store, cluster, 0, start, 20.0, 0.5, 5.0);
+
+  auto advance = [](int) { return Status::Internal("engine crashed"); };
+
+  auto before = SnapshotConfig(cluster);
+  GuardrailedRollout rollout(options);
+  auto report =
+      rollout.Execute(BumpAllGroups(cluster, 1), &cluster, &store, start, advance);
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(SnapshotConfig(cluster), before);  // Nothing left half-applied.
+}
+
+}  // namespace
+}  // namespace kea::core

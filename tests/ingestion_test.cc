@@ -1,0 +1,250 @@
+#include "telemetry/ingestion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "sim/fault_injector.h"
+
+namespace kea::telemetry {
+namespace {
+
+MachineHourRecord MakeRecord(int machine, int hour, double tasks = 100.0) {
+  MachineHourRecord r;
+  r.machine_id = machine;
+  r.hour = hour;
+  r.sku = machine % 3;
+  r.sc = machine % 2;
+  r.avg_running_containers = 8.0;
+  r.cpu_utilization = 0.5;
+  r.tasks_finished = tasks;
+  r.data_read_mb = 4000.0;
+  r.avg_task_latency_s = tasks > 0.0 ? 20.0 : 0.0;
+  r.cpu_time_core_s = 40000.0;
+  r.power_watts = 280.0;
+  return r;
+}
+
+TEST(IngestionPipelineTest, CleanBatchIsBitIdenticalPassThrough) {
+  TelemetryStore direct, piped;
+  std::vector<MachineHourRecord> batch;
+  for (int h = 0; h < 5; ++h) {
+    for (int m = 0; m < 10; ++m) batch.push_back(MakeRecord(m, h, 100.0 + h + m));
+  }
+  direct.AppendAll(batch);
+
+  IngestionPipeline pipeline(&piped, IngestionPipeline::Options());
+  ASSERT_TRUE(pipeline.Ingest(batch).ok());
+
+  EXPECT_EQ(pipeline.counters().accepted, batch.size());
+  EXPECT_EQ(pipeline.counters().quarantined, 0u);
+  // Bit-identical content and order.
+  EXPECT_EQ(direct.ToCsv(), piped.ToCsv());
+}
+
+TEST(IngestionPipelineTest, QuarantinesNonFiniteAndOutOfRange) {
+  TelemetryStore sink;
+  IngestionPipeline pipeline(&sink, IngestionPipeline::Options());
+
+  auto nan_record = MakeRecord(0, 0);
+  nan_record.data_read_mb = std::numeric_limits<double>::quiet_NaN();
+  auto inf_record = MakeRecord(1, 0);
+  inf_record.avg_task_latency_s = std::numeric_limits<double>::infinity();
+  auto negative = MakeRecord(2, 0);
+  negative.tasks_finished = -5.0;
+  auto hot = MakeRecord(3, 0);
+  hot.cpu_utilization = 1.7;
+  auto ghost_latency = MakeRecord(4, 0, /*tasks=*/0.0);
+  ghost_latency.avg_task_latency_s = 12.0;
+
+  ASSERT_TRUE(
+      pipeline.Ingest({nan_record, inf_record, negative, hot, ghost_latency, MakeRecord(5, 0)})
+          .ok());
+  EXPECT_EQ(pipeline.counters().accepted, 1u);
+  EXPECT_EQ(pipeline.counters().quarantined, 5u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kNonFinite), 2u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kOutOfRange), 2u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kInconsistent), 1u);
+  EXPECT_EQ(sink.size(), 1u);
+  ASSERT_EQ(pipeline.quarantine().size(), 5u);
+  EXPECT_EQ(pipeline.quarantine()[0].reason, QuarantineReason::kNonFinite);
+}
+
+TEST(IngestionPipelineTest, DeduplicatesOnMachineHour) {
+  TelemetryStore sink;
+  IngestionPipeline pipeline(&sink, IngestionPipeline::Options());
+  auto r = MakeRecord(7, 3);
+  ASSERT_TRUE(pipeline.Ingest({r, r, MakeRecord(7, 4)}).ok());
+  // Dedup works across Ingest calls too.
+  ASSERT_TRUE(pipeline.Ingest({r}).ok());
+  EXPECT_EQ(pipeline.counters().accepted, 2u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kDuplicate), 2u);
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(IngestionPipelineTest, LatenessBoundAgainstWatermark) {
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.max_lateness_hours = 2;
+  IngestionPipeline pipeline(&sink, options);
+
+  ASSERT_TRUE(pipeline.Ingest({MakeRecord(0, 10)}).ok());
+  EXPECT_EQ(pipeline.watermark(), 10);
+  // Hour 8 is within tolerance; hour 7 is too late.
+  ASSERT_TRUE(pipeline.Ingest({MakeRecord(1, 8), MakeRecord(2, 7)}).ok());
+  EXPECT_EQ(pipeline.counters().accepted, 2u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kLate), 1u);
+}
+
+TEST(IngestionPipelineTest, StuckCounterDetection) {
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.stuck_run_threshold = 3;
+  IngestionPipeline pipeline(&sink, options);
+
+  // Same machine, same metric payload, advancing hours: the first three are
+  // accepted (indistinguishable from a quiet machine), the rest quarantined.
+  std::vector<MachineHourRecord> batch;
+  for (int h = 0; h < 8; ++h) {
+    auto r = MakeRecord(1, h);
+    r.tasks_finished = 100.0;  // Frozen payload.
+    batch.push_back(r);
+  }
+  // A healthy machine with varying metrics is untouched.
+  for (int h = 0; h < 8; ++h) batch.push_back(MakeRecord(2, h, 100.0 + h));
+
+  ASSERT_TRUE(pipeline.Ingest(batch).ok());
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kStuckCounter), 5u);
+  EXPECT_EQ(pipeline.counters().accepted, 11u);
+}
+
+TEST(IngestionPipelineTest, TransientWriteFailuresRetryThenSucceed) {
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.retry.max_attempts = 4;
+  IngestionPipeline pipeline(&sink, options);
+  int failures_left = 2;
+  pipeline.set_write_hook([&failures_left](const MachineHourRecord&, int) {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("flaky sink");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(pipeline.Ingest({MakeRecord(0, 0)}).ok());
+  EXPECT_EQ(pipeline.counters().accepted, 1u);
+  EXPECT_EQ(pipeline.counters().transient_write_failures, 2u);
+  EXPECT_EQ(pipeline.retry_policy().stats().retries, 2);
+}
+
+TEST(IngestionPipelineTest, ExhaustedRetriesQuarantineNotDrop) {
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.retry.max_attempts = 3;
+  IngestionPipeline pipeline(&sink, options);
+  pipeline.set_write_hook(
+      [](const MachineHourRecord&, int) { return Status::Unavailable("down"); });
+  ASSERT_TRUE(pipeline.Ingest({MakeRecord(0, 0)}).ok());
+  EXPECT_EQ(pipeline.counters().accepted, 0u);
+  EXPECT_EQ(pipeline.counters().Reason(QuarantineReason::kWriteFailed), 1u);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+// --- Property tests: for ANY generated record stream and fault profile, (a)
+// nothing leaving the pipeline contains NaN/Inf/negative metrics or
+// out-of-range utilization, and (b) accepted + quarantined == seen — every
+// input record is accounted for exactly once.
+
+struct PropertyCase {
+  uint64_t seed;
+  bool moderate;  ///< false => a harsher profile.
+};
+
+class IngestionPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(IngestionPropertyTest, OutputSaneAndConservationHolds) {
+  const PropertyCase param = GetParam();
+  sim::FaultProfile profile = sim::FaultProfile::Moderate();
+  if (!param.moderate) {
+    profile.drop_rate = 0.1;
+    profile.duplicate_rate = 0.15;
+    profile.non_finite_rate = 0.2;
+    profile.out_of_range_rate = 0.2;
+    profile.outlier_rate = 0.1;
+    profile.stuck_machine_fraction = 0.2;
+    profile.late_rate = 0.2;
+    profile.transient_error_rate = 0.3;
+  }
+  sim::TelemetryFaultInjector injector(profile, param.seed);
+
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.stuck_run_threshold = 4;
+  options.max_lateness_hours = profile.max_late_hours;
+  IngestionPipeline pipeline(&sink, options);
+  pipeline.set_write_hook(injector.MakeWriteHook());
+
+  // A random record stream: random sizes, hours, metric magnitudes.
+  Rng rng(param.seed);
+  size_t fed_to_pipeline = 0;
+  for (int hour = 0; hour < 72; ++hour) {
+    std::vector<MachineHourRecord> batch;
+    int machines = static_cast<int>(rng.UniformInt(5, 40));
+    for (int m = 0; m < machines; ++m) {
+      MachineHourRecord r = MakeRecord(m, hour);
+      r.tasks_finished = rng.Uniform(0.0, 500.0);
+      r.avg_task_latency_s = r.tasks_finished > 0.0 ? rng.Uniform(1.0, 60.0) : 0.0;
+      r.data_read_mb = rng.Uniform(0.0, 20000.0);
+      r.cpu_utilization = rng.Uniform();
+      batch.push_back(r);
+    }
+    auto corrupted = injector.Corrupt(batch);
+    fed_to_pipeline += corrupted.size();
+    ASSERT_TRUE(pipeline.Ingest(corrupted).ok());
+  }
+  auto tail = injector.Flush();
+  fed_to_pipeline += tail.size();
+  ASSERT_TRUE(pipeline.Ingest(tail).ok());
+
+  // (a) Everything in the sink is sane.
+  for (const MachineHourRecord& r : sink.records()) {
+    for (double v : {r.avg_running_containers, r.cpu_utilization, r.tasks_finished,
+                     r.data_read_mb, r.avg_task_latency_s, r.cpu_time_core_s,
+                     r.queued_containers, r.queue_latency_ms, r.rejected_containers,
+                     r.power_watts}) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+    EXPECT_LE(r.cpu_utilization, 1.0);
+    EXPECT_FALSE(r.tasks_finished <= 0.0 && r.avg_task_latency_s > 0.0);
+  }
+
+  // (b) Exact accounting: accepted + quarantined == seen == records fed in,
+  // and the sink holds exactly the accepted records.
+  const auto& c = pipeline.counters();
+  EXPECT_EQ(c.seen, fed_to_pipeline);
+  EXPECT_EQ(c.accepted + c.quarantined, c.seen);
+  EXPECT_EQ(sink.size(), c.accepted);
+  size_t by_reason_total = 0;
+  for (size_t i = 0; i < kNumQuarantineReasons; ++i) by_reason_total += c.by_reason[i];
+  EXPECT_EQ(by_reason_total, c.quarantined);
+  EXPECT_EQ(pipeline.quarantine().size(), c.quarantined);
+
+  // No duplicate (machine, hour) pair survives.
+  std::set<std::pair<int, int>> keys;
+  for (const MachineHourRecord& r : sink.records()) {
+    EXPECT_TRUE(keys.emplace(r.machine_id, r.hour).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, IngestionPropertyTest,
+                         ::testing::Values(PropertyCase{1, true}, PropertyCase{2, true},
+                                           PropertyCase{3, false}, PropertyCase{4, false},
+                                           PropertyCase{99, false}));
+
+}  // namespace
+}  // namespace kea::telemetry

@@ -1,11 +1,15 @@
 // Tests for fleet resilience features: sub-clusters (the federation unit
-// used by pilot flightings) and machine-failure injection (telemetry gaps
-// that KEA's statistical models must tolerate).
+// used by pilot flightings), machine-failure injection (telemetry gaps that
+// KEA's statistical models must tolerate), and the chaos suite — the full
+// closed tuning loop run under an adversarial telemetry fault profile with
+// guardrailed deployment (labelled "chaos" in ctest).
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
+#include "apps/session.h"
 #include "core/whatif.h"
 #include "sim/fluid_engine.h"
 
@@ -130,3 +134,183 @@ TEST_F(FailureInjectionTest, DeterministicGivenSeed) {
 
 }  // namespace
 }  // namespace kea::sim
+
+namespace kea::apps {
+namespace {
+
+/// Builds a session with machine failures enabled at the engine level and the
+/// hardened telemetry path (Moderate fault profile + validating pipeline) in
+/// front of the store.
+std::unique_ptr<KeaSession> MakeChaosSession(int machines, uint64_t seed) {
+  KeaSession::Config config;
+  config.machines = machines;
+  config.seed = seed;
+  config.engine.failure_rate_per_hour = 0.005;
+  config.engine.mean_repair_hours = 10.0;
+  auto session = std::move(KeaSession::Create(config)).value();
+
+  KeaSession::IngestionConfig ingestion;
+  ingestion.faults = sim::FaultProfile::Moderate();
+  ingestion.pipeline.stuck_run_threshold = 6;
+  ingestion.pipeline.max_lateness_hours = ingestion.faults.max_late_hours;
+  ingestion.seed = seed * 1000 + 7;
+  EXPECT_TRUE(session->EnableIngestionPipeline(ingestion).ok());
+  return session;
+}
+
+KeaSession::GuardedRoundOptions ChaosRoundOptions() {
+  KeaSession::GuardedRoundOptions options;
+  options.lookback_hours = sim::kHoursPerWeek;
+  options.rollout.observe_hours_per_wave = 12;
+  options.rollout.baseline_hours = 24;
+  return options;
+}
+
+void ExpectStoreSane(const telemetry::TelemetryStore& store) {
+  for (const auto& r : store.records()) {
+    for (double v : {r.avg_running_containers, r.cpu_utilization, r.tasks_finished,
+                     r.data_read_mb, r.avg_task_latency_s, r.cpu_time_core_s,
+                     r.queue_latency_ms, r.power_watts}) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);
+    }
+    ASSERT_LE(r.cpu_utilization, 1.0);
+  }
+}
+
+/// One full chaos scenario: a week of faulty telemetry, then `rounds` guarded
+/// tuning rounds with fresh telemetry between them. Fills `outcomes` for
+/// determinism comparisons. (void so gtest ASSERTs can be used inside.)
+void RunChaosScenario(KeaSession* session, int rounds,
+                      std::vector<core::GuardrailedRollout::Outcome>* outcomes) {
+  ASSERT_TRUE(session->Simulate(sim::kHoursPerWeek).ok());
+  for (int i = 0; i < rounds; ++i) {
+    auto round = session->RunGuardedTuningRound(ChaosRoundOptions());
+    ASSERT_TRUE(round.ok()) << "round " << i << ": " << round.status().ToString();
+    outcomes->push_back(round->rollout.outcome);
+    ASSERT_TRUE(session->Simulate(24).ok());
+  }
+}
+
+TEST(ChaosTest, GuardedLoopSurvivesModerateFaults) {
+  auto session = MakeChaosSession(400, 42);
+  std::vector<core::GuardrailedRollout::Outcome> outcomes;
+  RunChaosScenario(session.get(), 3, &outcomes);
+  ASSERT_EQ(outcomes.size(), 3u);
+
+  // Every round completed with a definite outcome; when a guardrail tripped,
+  // rollback already ran inside the round (state machine invariant), and a
+  // converged round means every wave passed.
+  for (auto outcome : outcomes) {
+    EXPECT_TRUE(outcome == core::GuardrailedRollout::Outcome::kConverged ||
+                outcome == core::GuardrailedRollout::Outcome::kRolledBack ||
+                outcome == core::GuardrailedRollout::Outcome::kNoChange);
+  }
+
+  // Despite NaNs, outliers, duplicates, stuck counters and dropped records
+  // at the injector, nothing unsound ever reached the store.
+  ExpectStoreSane(session->store());
+
+  // The pipeline actually had dirt to fight, and accounted for all of it.
+  const auto& c = session->ingestion()->counters();
+  EXPECT_GT(c.quarantined, 0u);
+  EXPECT_GT(c.accepted, 0u);
+  EXPECT_EQ(c.accepted + c.quarantined, c.seen);
+  EXPECT_GT(c.transient_write_failures, 0u);
+  EXPECT_GT(session->ingestion()->retry_policy().stats().retries, 0);
+}
+
+TEST(ChaosTest, ChaosScenarioIsDeterministic) {
+  auto a = MakeChaosSession(250, 7);
+  auto b = MakeChaosSession(250, 7);
+  std::vector<core::GuardrailedRollout::Outcome> outcomes_a, outcomes_b;
+  RunChaosScenario(a.get(), 2, &outcomes_a);
+  RunChaosScenario(b.get(), 2, &outcomes_b);
+  EXPECT_EQ(outcomes_a, outcomes_b);
+  EXPECT_EQ(a->store().ToCsv(), b->store().ToCsv());
+  EXPECT_EQ(a->ingestion()->counters().quarantined,
+            b->ingestion()->counters().quarantined);
+  EXPECT_EQ(a->ingestion()->counters().transient_write_failures,
+            b->ingestion()->counters().transient_write_failures);
+}
+
+TEST(ChaosTest, TrippedGuardrailRestoresPreRoundConfiguration) {
+  auto session = MakeChaosSession(400, 11);
+  ASSERT_TRUE(session->Simulate(sim::kHoursPerWeek).ok());
+
+  std::vector<int> before;
+  for (const sim::Machine& m : session->cluster().machines()) {
+    before.push_back(m.max_containers);
+  }
+
+  // An impossible guardrail: the new configuration must HALVE task latency
+  // or be rolled back. No one-container step does that, so the canary trips.
+  auto options = ChaosRoundOptions();
+  options.rollout.guardrails.max_latency_ratio = 0.5;
+  auto round = session->RunGuardedTuningRound(options);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->rollout.outcome, core::GuardrailedRollout::Outcome::kRolledBack);
+  EXPECT_GE(round->rollout.tripped_wave, 0);
+  EXPECT_GT(round->rollout.machines_restored, 0u);
+
+  // Exact pre-round per-machine configuration, bit for bit.
+  const auto& machines = session->cluster().machines();
+  ASSERT_EQ(machines.size(), before.size());
+  for (size_t i = 0; i < machines.size(); ++i) {
+    ASSERT_EQ(machines[i].max_containers, before[i]) << "machine " << i;
+  }
+}
+
+TEST(ChaosTest, ZeroFaultPipelineIsBitIdenticalToDirectPath) {
+  // Same seed, same world: one session writes telemetry straight to the
+  // store, the other routes it through the (fault-free) ingestion pipeline.
+  KeaSession::Config config;
+  config.machines = 400;
+  config.seed = 5;
+  auto direct = std::move(KeaSession::Create(config)).value();
+  auto piped = std::move(KeaSession::Create(config)).value();
+  KeaSession::IngestionConfig ingestion;  // FaultProfile::None() by default.
+  ASSERT_TRUE(ingestion.faults.empty());
+  ASSERT_TRUE(piped->EnableIngestionPipeline(ingestion).ok());
+
+  ASSERT_TRUE(direct->Simulate(sim::kHoursPerWeek).ok());
+  ASSERT_TRUE(piped->Simulate(sim::kHoursPerWeek).ok());
+  EXPECT_EQ(direct->store().ToCsv(), piped->store().ToCsv());
+  EXPECT_EQ(piped->ingestion()->counters().quarantined, 0u);
+
+  // Identical telemetry must produce identical plans — across the guarded vs
+  // plain entry points AND across thread counts (the PR 1 contract).
+  YarnConfigTuner::Options serial_tuner;
+  serial_tuner.whatif.num_threads = 1;
+  auto plain = direct->RunYarnTuningRound(serial_tuner, sim::kHoursPerWeek, 1);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  KeaSession::GuardedRoundOptions guarded_options;
+  guarded_options.tuner.whatif.num_threads = 3;
+  guarded_options.lookback_hours = sim::kHoursPerWeek;
+  auto guarded = piped->RunGuardedTuningRound(guarded_options);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+
+  const auto& pa = plain->plan;
+  const auto& pb = guarded->plan;
+  EXPECT_EQ(pa.predicted_capacity_gain, pb.predicted_capacity_gain);
+  EXPECT_EQ(pa.predicted_latency_before_s, pb.predicted_latency_before_s);
+  EXPECT_EQ(pa.predicted_latency_after_s, pb.predicted_latency_after_s);
+  ASSERT_EQ(pa.recommendations.size(), pb.recommendations.size());
+  for (size_t i = 0; i < pa.recommendations.size(); ++i) {
+    EXPECT_EQ(pa.recommendations[i].group, pb.recommendations[i].group);
+    EXPECT_EQ(pa.recommendations[i].current_max_containers,
+              pb.recommendations[i].current_max_containers);
+    EXPECT_EQ(pa.recommendations[i].recommended_max_containers,
+              pb.recommendations[i].recommended_max_containers);
+  }
+  ASSERT_EQ(pa.lp_solution.size(), pb.lp_solution.size());
+  for (const auto& [key, value] : pa.lp_solution) {
+    auto it = pb.lp_solution.find(key);
+    ASSERT_TRUE(it != pb.lp_solution.end());
+    EXPECT_EQ(value, it->second);  // Bit-identical LP optimum.
+  }
+}
+
+}  // namespace
+}  // namespace kea::apps

@@ -1,0 +1,104 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace kea {
+namespace {
+
+TEST(RetryPolicyTest, FirstTrySuccessDoesNotRetry) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = policy.Run([&](int) {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(policy.stats().attempts, 1);
+  EXPECT_EQ(policy.stats().retries, 0);
+  EXPECT_DOUBLE_EQ(policy.stats().total_backoff_ms, 0.0);
+}
+
+TEST(RetryPolicyTest, TransientFailuresRetryUntilSuccess) {
+  RetryPolicy::Options options;
+  options.max_attempts = 5;
+  RetryPolicy policy(options);
+  Status s = policy.Run([](int attempt) {
+    return attempt < 2 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(policy.stats().attempts, 3);
+  EXPECT_EQ(policy.stats().retries, 2);
+  EXPECT_GT(policy.stats().total_backoff_ms, 0.0);
+  EXPECT_EQ(policy.stats().exhausted, 0);
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsLastTransientError) {
+  RetryPolicy::Options options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  Status s = policy.Run([](int) { return Status::Unavailable("always down"); });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(policy.stats().attempts, 3);
+  EXPECT_EQ(policy.stats().exhausted, 1);
+}
+
+TEST(RetryPolicyTest, PermanentErrorsDoNotRetry) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = policy.Run([&](int) {
+    ++calls;
+    return Status::InvalidArgument("bad record");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndIsBounded) {
+  RetryPolicy::Options options;
+  options.initial_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 35.0;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0, 3), 35.0);  // Capped.
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0, 4), 35.0);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerCallAndRetry) {
+  RetryPolicy::Options options;
+  options.jitter = 0.5;
+  options.seed = 7;
+  RetryPolicy a(options), b(options);
+  // Same (call, retry) -> same jitter; different keys -> (almost surely)
+  // different jitter.
+  EXPECT_DOUBLE_EQ(a.BackoffMs(3, 1), b.BackoffMs(3, 1));
+  EXPECT_DOUBLE_EQ(a.BackoffMs(0, 2), b.BackoffMs(0, 2));
+  EXPECT_NE(a.BackoffMs(0, 1), a.BackoffMs(1, 1));
+
+  // And the jitter stays within the configured band.
+  for (uint64_t call = 0; call < 50; ++call) {
+    double ms = a.BackoffMs(call, 1);
+    EXPECT_GE(ms, options.initial_backoff_ms * 0.5);
+    EXPECT_LE(ms, options.initial_backoff_ms * 1.5);
+  }
+}
+
+TEST(RetryPolicyTest, TransientCodeClassification) {
+  EXPECT_TRUE(RetryPolicy::IsTransient(StatusCode::kUnavailable));
+  EXPECT_TRUE(RetryPolicy::IsTransient(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(RetryPolicy::IsTransient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(RetryPolicy::IsTransient(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(RetryPolicy::IsTransient(StatusCode::kOk));
+}
+
+TEST(StatusTest, UnavailableCode) {
+  Status s = Status::Unavailable("sink down");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: sink down");
+}
+
+}  // namespace
+}  // namespace kea

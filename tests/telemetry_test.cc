@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/csv.h"
 #include "telemetry/perf_monitor.h"
 #include "telemetry/record.h"
@@ -166,6 +169,160 @@ TEST(PerfMonitorTest, TotalsAndScatter) {
     EXPECT_DOUBLE_EQ(p.x, 0.5);
     EXPECT_DOUBLE_EQ(p.y, 100.0);
   }
+}
+
+void ExpectAllFinite(const GroupMetrics& g) {
+  for (double v : {g.avg_running_containers, g.avg_cpu_utilization,
+                   g.avg_tasks_per_hour, g.avg_data_read_mb_per_hour,
+                   g.avg_task_latency_s, g.bytes_per_second, g.bytes_per_cpu_time,
+                   g.avg_queued_containers, g.p99_queue_latency_ms,
+                   g.avg_power_watts}) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(PerfMonitorRobustnessTest, DegenerateGroupsYieldFiniteZeros) {
+  // A whole group of idle machines: zero tasks, zero exec time, zero
+  // cpu-seconds. Every ratio in the aggregate divides by one of those sums.
+  TelemetryStore store;
+  for (int m = 0; m < 4; ++m) {
+    auto r = MakeRecord(m, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    r.cpu_time_core_s = 0.0;
+    store.Append(r);
+  }
+  PerformanceMonitor monitor(&store);
+  auto metrics = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(metrics.ok());
+  const GroupMetrics& g = metrics->at({0, 0});
+  ExpectAllFinite(g);
+  EXPECT_DOUBLE_EQ(g.avg_task_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(g.bytes_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(g.bytes_per_cpu_time, 0.0);
+
+  // Zero finished tasks means the task-weighted mean is undefined; that is
+  // reported as an error, never as NaN.
+  EXPECT_EQ(monitor.ClusterAverageTaskLatency().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PerfMonitorRobustnessTest, NonFiniteRecordsAreSkippedEverywhere) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  TelemetryStore store;
+  store.Append(MakeRecord(0, 0, 0, 0, 4.0, 0.4, 100.0, 4000.0, 10.0));
+  store.Append(MakeRecord(1, 0, 0, 0, 6.0, 0.6, 300.0, 6000.0, 20.0));
+  auto poison = MakeRecord(2, 0, 0, 0, 5.0, kNan, kNan, kNan, kNan);
+  poison.cpu_time_core_s = kNan;
+  store.Append(poison);
+  auto inf_poison = MakeRecord(3, 1, 0, 0, 5.0, 0.5, 100.0,
+                               std::numeric_limits<double>::infinity(), 10.0);
+  store.Append(inf_poison);
+
+  PerformanceMonitor monitor(&store);
+  auto metrics = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(metrics.ok());
+  const GroupMetrics& g = metrics->at({0, 0});
+  ExpectAllFinite(g);
+  // Same numbers as if the poison records never existed.
+  EXPECT_EQ(g.machine_hours, 2u);
+  EXPECT_DOUBLE_EQ(g.avg_task_latency_s, 17.5);
+
+  auto hourly = monitor.HourlyClusterUtilization();
+  ASSERT_TRUE(hourly.ok());
+  for (const auto& [hour, util] : *hourly) EXPECT_TRUE(std::isfinite(util));
+
+  // The NaN record contributes nothing; the Inf-data record still counts
+  // here because its latency/task fields are fine:
+  // (10*100 + 20*300 + 10*100) / 500 = 16.
+  auto latency = monitor.ClusterAverageTaskLatency();
+  ASSERT_TRUE(latency.ok());
+  EXPECT_TRUE(std::isfinite(*latency));
+  EXPECT_DOUBLE_EQ(*latency, 16.0);
+
+  EXPECT_DOUBLE_EQ(monitor.TotalDataReadMb(), 10000.0);
+  EXPECT_DOUBLE_EQ(monitor.TotalTasksFinished(), 500.0);
+
+  for (const auto& day : RollUpDaily(store)) {
+    EXPECT_TRUE(std::isfinite(day.tasks_finished));
+    EXPECT_TRUE(std::isfinite(day.avg_task_latency_s));
+    EXPECT_TRUE(std::isfinite(day.data_read_mb));
+  }
+}
+
+TEST(PerfMonitorRobustnessTest, DefaultOptionsAreBitIdenticalToPlain) {
+  TelemetryStore store;
+  for (int m = 0; m < 7; ++m) {
+    store.Append(
+        MakeRecord(m, m % 3, m % 2, m % 4, 4.0 + m, 0.1 * m, 50.0 * m, 1000.0 * m,
+                   5.0 + m));
+  }
+  PerformanceMonitor monitor(&store);
+  auto plain = monitor.GroupMetricsByKey();
+  auto robust = monitor.GroupMetricsByKey(nullptr, AggregationOptions());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(robust.ok());
+  ASSERT_EQ(plain->size(), robust->size());
+  for (const auto& [key, g] : *plain) {
+    const GroupMetrics& r = robust->at(key);
+    EXPECT_EQ(g.machine_hours, r.machine_hours);
+    EXPECT_EQ(g.num_machines, r.num_machines);
+    // Exact equality on purpose: the default robust path must reproduce the
+    // plain aggregation bit for bit.
+    EXPECT_EQ(g.avg_running_containers, r.avg_running_containers);
+    EXPECT_EQ(g.avg_cpu_utilization, r.avg_cpu_utilization);
+    EXPECT_EQ(g.avg_tasks_per_hour, r.avg_tasks_per_hour);
+    EXPECT_EQ(g.avg_data_read_mb_per_hour, r.avg_data_read_mb_per_hour);
+    EXPECT_EQ(g.avg_task_latency_s, r.avg_task_latency_s);
+    EXPECT_EQ(g.bytes_per_second, r.bytes_per_second);
+    EXPECT_EQ(g.bytes_per_cpu_time, r.bytes_per_cpu_time);
+    EXPECT_EQ(g.p99_queue_latency_ms, r.p99_queue_latency_ms);
+  }
+}
+
+TEST(PerfMonitorRobustnessTest, MinSupportDropsThinGroups) {
+  TelemetryStore store;
+  for (int h = 0; h < 10; ++h) {
+    store.Append(MakeRecord(0, h, 0, 0, 4.0, 0.5, 100.0, 4000.0, 10.0));
+  }
+  store.Append(MakeRecord(1, 0, 1, 1, 4.0, 0.5, 100.0, 4000.0, 10.0));
+
+  PerformanceMonitor monitor(&store);
+  AggregationOptions options;
+  options.min_support = 5;
+  auto metrics = monitor.GroupMetricsByKey(nullptr, options);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->size(), 1u);
+  EXPECT_TRUE(metrics->count({0, 0}));
+
+  // When nothing survives the screen, the query reports it as an error
+  // rather than returning an empty map.
+  options.min_support = 100;
+  EXPECT_EQ(monitor.GroupMetricsByKey(nullptr, options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PerfMonitorRobustnessTest, WinsorizingBoundsSingleRecordLeverage) {
+  TelemetryStore store;
+  for (int m = 0; m < 20; ++m) {
+    store.Append(MakeRecord(m, 0, 0, 0, 4.0, 0.5, 100.0, 100.0, 10.0));
+  }
+  // One wild machine-hour claims to have read 100 TB.
+  store.Append(MakeRecord(20, 0, 0, 0, 4.0, 0.5, 100.0, 1.0e8, 10.0));
+
+  PerformanceMonitor monitor(&store);
+  auto plain = monitor.GroupMetricsByKey();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(plain->at({0, 0}).avg_data_read_mb_per_hour, 1.0e6);
+
+  AggregationOptions options;
+  options.winsorize_fraction = 0.05;
+  auto robust = monitor.GroupMetricsByKey(nullptr, options);
+  ASSERT_TRUE(robust.ok());
+  const GroupMetrics& g = robust->at({0, 0});
+  // The outlier is clamped to the 95th-percentile value (100), so the mean
+  // collapses back to the honest level.
+  EXPECT_NEAR(g.avg_data_read_mb_per_hour, 100.0, 1.0);
+  // Untouched metrics keep their plain values.
+  EXPECT_DOUBLE_EQ(g.avg_cpu_utilization, 0.5);
 }
 
 TEST(FilterTest, HourRangeFilter) {
