@@ -4,11 +4,20 @@
 //   baseline month -> fit models -> LP optimization -> pilot flighting ->
 //   conservative rollout -> after month -> treatment effects & capacity $$.
 //
+// A final act re-runs the loop through KeaSession's crash-safe control plane:
+// every step journaled, a checkpoint on disk, and the session torn down and
+// resumed mid-stream to show the durable state carries the whole world.
+//
 // Build & run:  ./build/examples/observational_tuning
 
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "apps/capacity.h"
+#include "apps/session.h"
 #include "apps/yarn_tuner.h"
 #include "core/deployment.h"
 #include "core/flighting.h"
@@ -141,5 +150,60 @@ int main() {
               capacity->latency_neutral ? "equal" : "CHANGED");
   std::printf("fleet value: $%.1fM per year at 300k machines\n",
               capacity->dollars_per_year / 1e6);
+
+  // ---- Encore: the same loop, crash-safe --------------------------------
+  // KeaSession wraps the loop above behind a journaled control plane: the
+  // plan and every rollout wave are write-ahead journaled, and checkpoints
+  // make the whole session resumable. We checkpoint mid-stream, throw the
+  // session away (a stand-in for the process dying), resume from disk, and
+  // carry on.
+  std::printf("\n[encore] guarded tuning round with checkpoint/resume...\n");
+  const char* state_dir = "observational_tuning_state";
+  ::mkdir(state_dir, 0755);  // ok if it already exists
+  std::remove((std::string(state_dir) + "/ledger.kea").c_str());
+  std::remove((std::string(state_dir) + "/checkpoint.kea").c_str());
+
+  apps::KeaSession::Config scfg;
+  scfg.machines = 200;
+  scfg.seed = 7;
+  auto session_or = apps::KeaSession::Create(scfg);
+  if (!session_or.ok()) return Fail(session_or.status());
+  std::unique_ptr<apps::KeaSession> session = std::move(session_or).value();
+  if (Status s = session->EnableDurability(state_dir); !s.ok()) return Fail(s);
+  if (Status s = session->Simulate(2 * sim::kHoursPerWeek); !s.ok()) return Fail(s);
+
+  apps::KeaSession::GuardedRoundOptions gopt;
+  gopt.lookback_hours = 2 * sim::kHoursPerWeek;
+  gopt.rollout.wave_fractions = {0.25, 1.0};
+  gopt.rollout.observe_hours_per_wave = 12;
+  gopt.rollout.baseline_hours = 24;
+  auto guarded = session->RunGuardedTuningRound(gopt);
+  if (!guarded.ok()) return Fail(guarded.status());
+  const sim::HourIndex clock_before = session->now();
+  std::printf("      round done: %zu wave(s), outcome %s, clock at hour %lld\n",
+              guarded->rollout.waves.size(),
+              guarded->rollout.outcome ==
+                      core::GuardrailedRollout::Outcome::kConverged
+                  ? "converged"
+                  : "not converged",
+              static_cast<long long>(clock_before));
+
+  // "Crash": drop the live session. Everything needed to continue is on disk.
+  session.reset();
+  auto resumed_or = apps::KeaSession::Resume(state_dir);
+  if (!resumed_or.ok()) return Fail(resumed_or.status());
+  std::unique_ptr<apps::KeaSession> resumed = std::move(resumed_or).value();
+  std::printf("      resumed from %s: clock %lld (%s), %zu telemetry records\n",
+              state_dir, static_cast<long long>(resumed->now()),
+              resumed->now() == clock_before ? "matches" : "MISMATCH",
+              resumed->store().size());
+
+  // The resumed session is a full replacement: validate last round's models
+  // against post-deployment telemetry as if nothing happened.
+  if (Status s = resumed->Simulate(3 * sim::kHoursPerDay); !s.ok()) return Fail(s);
+  auto validation = resumed->ValidateModels(core::ModelValidator::Options());
+  if (!validation.ok()) return Fail(validation.status());
+  std::printf("      post-resume validation: %s\n",
+              validation->models_valid ? "models valid" : "drift detected");
   return 0;
 }

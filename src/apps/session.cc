@@ -1,10 +1,287 @@
 #include "apps/session.h"
 
 #include <cmath>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
 
+#include "common/crash_point.h"
+#include "common/journal.h"
+#include "common/snapshot.h"
 #include "telemetry/perf_monitor.h"
 
 namespace kea::apps {
+namespace {
+
+constexpr char kLedgerFile[] = "/ledger.kea";
+constexpr char kCheckpointFile[] = "/checkpoint.kea";
+
+// ---- Bit-exact codecs for the checkpoint's "config" section. Everything a
+// session was constructed with goes in, so Resume() needs only the directory.
+
+void EncodeConfig(const KeaSession::Config& config,
+                  const KeaSession::IngestionConfig& ingestion,
+                  bool ingestion_enabled, StateWriter* w) {
+  w->PutInt(config.machines);
+  w->PutU64(config.seed);
+
+  const sim::PerfModel::Params& p = config.perf_params;
+  const double perf[] = {p.cores_per_container, p.task_cpu_work, p.task_input_mb,
+                         p.task_temp_mb,        p.interference,
+                         p.feature_speed_boost, p.feature_power_discount,
+                         p.power_elasticity,    p.power_util_exponent,
+                         p.ssd_base_gb,         p.ssd_gb_per_core_mean,
+                         p.ssd_gb_per_core_stddev, p.ram_base_gb,
+                         p.ram_gb_per_core_mean, p.ram_gb_per_core_stddev,
+                         p.nic_base_mbps,       p.nic_mbps_per_core_mean,
+                         p.nic_mbps_per_core_stddev};
+  for (double v : perf) w->PutDouble(v);
+
+  const sim::WorkloadSpec& ws = config.workload;
+  w->PutDouble(ws.base_demand_fraction);
+  w->PutDouble(ws.diurnal_amplitude);
+  w->PutDouble(ws.peak_hour);
+  w->PutDouble(ws.weekend_factor);
+  w->PutDouble(ws.demand_noise_sigma);
+  w->PutDouble(ws.weekly_growth);
+  w->PutU64(ws.task_types.size());
+  for (const sim::TaskType& t : ws.task_types) {
+    w->PutString(t.name);
+    w->PutDouble(t.cpu_work_multiplier);
+    w->PutDouble(t.input_mb_multiplier);
+    w->PutDouble(t.temp_mb_multiplier);
+    w->PutDouble(t.weight);
+  }
+
+  const sim::ClusterSpec& cs = config.cluster;
+  w->PutInt(cs.total_machines);
+  w->PutInt(cs.machines_per_rack);
+  w->PutU64(cs.sku_fractions.size());
+  for (double v : cs.sku_fractions) w->PutDouble(v);
+  w->PutU64(cs.baseline_max_containers.size());
+  for (int v : cs.baseline_max_containers) w->PutInt(v);
+  w->PutInt(cs.baseline_max_queued);
+  w->PutDouble(cs.sc2_fraction);
+  w->PutInt(cs.racks_per_subcluster);
+
+  const sim::FluidEngine::Options& eo = config.engine;
+  w->PutU64(eo.seed);
+  w->PutDouble(eo.placement_noise_sigma);
+  w->PutDouble(eo.utilization_noise);
+  w->PutDouble(eo.latency_noise_sigma);
+  w->PutDouble(eo.data_noise_sigma);
+  w->PutInt(eo.redistribution_rounds);
+  w->PutDouble(eo.failure_rate_per_hour);
+  w->PutDouble(eo.mean_repair_hours);
+
+  w->PutBool(ingestion_enabled);
+  const sim::FaultProfile& f = ingestion.faults;
+  w->PutDouble(f.drop_rate);
+  w->PutDouble(f.duplicate_rate);
+  w->PutDouble(f.non_finite_rate);
+  w->PutDouble(f.out_of_range_rate);
+  w->PutDouble(f.outlier_rate);
+  w->PutDouble(f.outlier_scale);
+  w->PutDouble(f.stuck_machine_fraction);
+  w->PutDouble(f.late_rate);
+  w->PutInt(f.max_late_hours);
+  w->PutDouble(f.transient_error_rate);
+  const telemetry::IngestionPipeline::Options& po = ingestion.pipeline;
+  w->PutBool(po.validate);
+  w->PutBool(po.deduplicate);
+  w->PutInt(po.max_lateness_hours);
+  w->PutInt(po.stuck_run_threshold);
+  w->PutInt(po.retry.max_attempts);
+  w->PutDouble(po.retry.initial_backoff_ms);
+  w->PutDouble(po.retry.backoff_multiplier);
+  w->PutDouble(po.retry.max_backoff_ms);
+  w->PutDouble(po.retry.jitter);
+  w->PutU64(po.retry.seed);
+  w->PutU64(ingestion.seed);
+}
+
+Status DecodeConfig(const std::string& blob, KeaSession::Config* config,
+                    KeaSession::IngestionConfig* ingestion,
+                    bool* ingestion_enabled) {
+  StateReader r(blob);
+  KEA_RETURN_IF_ERROR(r.GetInt(&config->machines));
+  KEA_RETURN_IF_ERROR(r.GetU64(&config->seed));
+
+  sim::PerfModel::Params& p = config->perf_params;
+  double* perf[] = {&p.cores_per_container, &p.task_cpu_work, &p.task_input_mb,
+                    &p.task_temp_mb,        &p.interference,
+                    &p.feature_speed_boost, &p.feature_power_discount,
+                    &p.power_elasticity,    &p.power_util_exponent,
+                    &p.ssd_base_gb,         &p.ssd_gb_per_core_mean,
+                    &p.ssd_gb_per_core_stddev, &p.ram_base_gb,
+                    &p.ram_gb_per_core_mean, &p.ram_gb_per_core_stddev,
+                    &p.nic_base_mbps,       &p.nic_mbps_per_core_mean,
+                    &p.nic_mbps_per_core_stddev};
+  for (double* v : perf) KEA_RETURN_IF_ERROR(r.GetDouble(v));
+
+  sim::WorkloadSpec& ws = config->workload;
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.base_demand_fraction));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.diurnal_amplitude));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.peak_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.weekend_factor));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.demand_noise_sigma));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ws.weekly_growth));
+  uint64_t count = 0;
+  KEA_RETURN_IF_ERROR(r.GetU64(&count));
+  ws.task_types.assign(count, sim::TaskType{});
+  for (sim::TaskType& t : ws.task_types) {
+    KEA_RETURN_IF_ERROR(r.GetString(&t.name));
+    KEA_RETURN_IF_ERROR(r.GetDouble(&t.cpu_work_multiplier));
+    KEA_RETURN_IF_ERROR(r.GetDouble(&t.input_mb_multiplier));
+    KEA_RETURN_IF_ERROR(r.GetDouble(&t.temp_mb_multiplier));
+    KEA_RETURN_IF_ERROR(r.GetDouble(&t.weight));
+  }
+
+  sim::ClusterSpec& cs = config->cluster;
+  KEA_RETURN_IF_ERROR(r.GetInt(&cs.total_machines));
+  KEA_RETURN_IF_ERROR(r.GetInt(&cs.machines_per_rack));
+  KEA_RETURN_IF_ERROR(r.GetU64(&count));
+  cs.sku_fractions.assign(count, 0.0);
+  for (double& v : cs.sku_fractions) KEA_RETURN_IF_ERROR(r.GetDouble(&v));
+  KEA_RETURN_IF_ERROR(r.GetU64(&count));
+  cs.baseline_max_containers.assign(count, 0);
+  for (int& v : cs.baseline_max_containers) KEA_RETURN_IF_ERROR(r.GetInt(&v));
+  KEA_RETURN_IF_ERROR(r.GetInt(&cs.baseline_max_queued));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&cs.sc2_fraction));
+  KEA_RETURN_IF_ERROR(r.GetInt(&cs.racks_per_subcluster));
+
+  sim::FluidEngine::Options& eo = config->engine;
+  KEA_RETURN_IF_ERROR(r.GetU64(&eo.seed));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.placement_noise_sigma));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.utilization_noise));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.latency_noise_sigma));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.data_noise_sigma));
+  KEA_RETURN_IF_ERROR(r.GetInt(&eo.redistribution_rounds));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.failure_rate_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eo.mean_repair_hours));
+
+  KEA_RETURN_IF_ERROR(r.GetBool(ingestion_enabled));
+  sim::FaultProfile& f = ingestion->faults;
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.drop_rate));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.duplicate_rate));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.non_finite_rate));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.out_of_range_rate));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.outlier_rate));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.outlier_scale));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.stuck_machine_fraction));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.late_rate));
+  KEA_RETURN_IF_ERROR(r.GetInt(&f.max_late_hours));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&f.transient_error_rate));
+  telemetry::IngestionPipeline::Options& po = ingestion->pipeline;
+  KEA_RETURN_IF_ERROR(r.GetBool(&po.validate));
+  KEA_RETURN_IF_ERROR(r.GetBool(&po.deduplicate));
+  KEA_RETURN_IF_ERROR(r.GetInt(&po.max_lateness_hours));
+  KEA_RETURN_IF_ERROR(r.GetInt(&po.stuck_run_threshold));
+  KEA_RETURN_IF_ERROR(r.GetInt(&po.retry.max_attempts));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&po.retry.initial_backoff_ms));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&po.retry.backoff_multiplier));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&po.retry.max_backoff_ms));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&po.retry.jitter));
+  KEA_RETURN_IF_ERROR(r.GetU64(&po.retry.seed));
+  KEA_RETURN_IF_ERROR(r.GetU64(&ingestion->seed));
+  return Status::OK();
+}
+
+// ---- Bit-exact codec for the plan journaled at ROUND_STARTED. The journal,
+// not a refit, is the authority on resume: the simulation clock has advanced
+// into the rollout, so refitting would see a different window.
+
+void EncodePlan(const YarnConfigTuner::Plan& plan, StateWriter* w) {
+  w->PutU64(plan.recommendations.size());
+  for (const core::GroupRecommendation& rec : plan.recommendations) {
+    w->PutInt(rec.group.sc);
+    w->PutInt(rec.group.sku);
+    w->PutInt(rec.current_max_containers);
+    w->PutInt(rec.recommended_max_containers);
+  }
+  w->PutDouble(plan.predicted_capacity_gain);
+  w->PutDouble(plan.predicted_latency_before_s);
+  w->PutDouble(plan.predicted_latency_after_s);
+  w->PutU64(plan.lp_solution.size());
+  for (const auto& [group, value] : plan.lp_solution) {
+    w->PutInt(group.sc);
+    w->PutInt(group.sku);
+    w->PutDouble(value);
+  }
+}
+
+Status DecodePlan(StateReader* r, YarnConfigTuner::Plan* plan) {
+  uint64_t count = 0;
+  KEA_RETURN_IF_ERROR(r->GetU64(&count));
+  plan->recommendations.assign(count, core::GroupRecommendation{});
+  for (core::GroupRecommendation& rec : plan->recommendations) {
+    KEA_RETURN_IF_ERROR(r->GetInt(&rec.group.sc));
+    KEA_RETURN_IF_ERROR(r->GetInt(&rec.group.sku));
+    KEA_RETURN_IF_ERROR(r->GetInt(&rec.current_max_containers));
+    KEA_RETURN_IF_ERROR(r->GetInt(&rec.recommended_max_containers));
+  }
+  KEA_RETURN_IF_ERROR(r->GetDouble(&plan->predicted_capacity_gain));
+  KEA_RETURN_IF_ERROR(r->GetDouble(&plan->predicted_latency_before_s));
+  KEA_RETURN_IF_ERROR(r->GetDouble(&plan->predicted_latency_after_s));
+  KEA_RETURN_IF_ERROR(r->GetU64(&count));
+  plan->lp_solution.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    sim::MachineGroupKey group;
+    double value = 0.0;
+    KEA_RETURN_IF_ERROR(r->GetInt(&group.sc));
+    KEA_RETURN_IF_ERROR(r->GetInt(&group.sku));
+    KEA_RETURN_IF_ERROR(r->GetDouble(&value));
+    plan->lp_solution[group] = value;
+  }
+  return Status::OK();
+}
+
+std::string EncodeRoundStart(sim::HourIndex start_hour, sim::HourIndex fit_begin,
+                             sim::HourIndex fit_end,
+                             const YarnConfigTuner::Plan& plan) {
+  StateWriter w;
+  w.PutI64(start_hour);
+  w.PutI64(fit_begin);
+  w.PutI64(fit_end);
+  EncodePlan(plan, &w);
+  return w.Release();
+}
+
+Status DecodeRoundStart(const std::string& blob, sim::HourIndex* start_hour,
+                        sim::HourIndex* fit_begin, sim::HourIndex* fit_end,
+                        YarnConfigTuner::Plan* plan) {
+  StateReader r(blob);
+  int64_t start = 0, begin = 0, end = 0;
+  KEA_RETURN_IF_ERROR(r.GetI64(&start));
+  KEA_RETURN_IF_ERROR(r.GetI64(&begin));
+  KEA_RETURN_IF_ERROR(r.GetI64(&end));
+  *start_hour = static_cast<sim::HourIndex>(start);
+  *fit_begin = static_cast<sim::HourIndex>(begin);
+  *fit_end = static_cast<sim::HourIndex>(end);
+  return DecodePlan(&r, plan);
+}
+
+/// The plan-sanity screen shared by the plain and durable guarded rounds: a
+/// corrupted model never reaches the fleet.
+Status CheckPlanSane(const YarnConfigTuner::Plan& plan) {
+  bool sane = std::isfinite(plan.predicted_capacity_gain) &&
+              std::isfinite(plan.predicted_latency_before_s) &&
+              std::isfinite(plan.predicted_latency_after_s);
+  for (const core::GroupRecommendation& rec : plan.recommendations) {
+    sane = sane && rec.recommended_max_containers >= 0;
+  }
+  for (const auto& [key, value] : plan.lp_solution) {
+    sane = sane && std::isfinite(value);
+  }
+  if (!sane) {
+    return Status::FailedPrecondition(
+        "refusing to deploy: plan contains non-finite or negative values");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<KeaSession>> KeaSession::Create(const Config& config) {
   KEA_ASSIGN_OR_RETURN(sim::PerfModel perf_model,
@@ -32,6 +309,7 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Create(const Config& config) {
   session->engine_ = std::make_unique<sim::FluidEngine>(
       &session->perf_model_, &session->cluster_, &session->workload_,
       engine_options);
+  session->config_ = config;
   return session;
 }
 
@@ -39,17 +317,24 @@ Status KeaSession::Simulate(int hours) {
   if (ingestion_ == nullptr) {
     KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &store_));
     now_ += hours;
-    return Status::OK();
-  }
-  // Hardened path: engine -> (fault injector) -> ingestion pipeline -> store.
-  telemetry::TelemetryStore scratch;
-  KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &scratch));
-  if (fault_injector_ != nullptr) {
-    KEA_RETURN_IF_ERROR(ingestion_->Ingest(fault_injector_->Corrupt(scratch.records())));
   } else {
-    KEA_RETURN_IF_ERROR(ingestion_->Ingest(scratch.records()));
+    // Hardened path: engine -> (fault injector) -> ingestion pipeline -> store.
+    telemetry::TelemetryStore scratch;
+    KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &scratch));
+    if (fault_injector_ != nullptr) {
+      KEA_RETURN_IF_ERROR(
+          ingestion_->Ingest(fault_injector_->Corrupt(scratch.records())));
+    } else {
+      KEA_RETURN_IF_ERROR(ingestion_->Ingest(scratch.records()));
+    }
+    now_ += hours;
   }
-  now_ += hours;
+  // Durable sessions checkpoint after every simulate so a crash between
+  // control-plane actions loses no telemetry. Inside a journaled round the
+  // per-step checkpoints (which also cover the step's ledger event) own this.
+  if (ledger_ != nullptr && !in_journaled_round_) {
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  }
   return Status::OK();
 }
 
@@ -64,7 +349,207 @@ Status KeaSession::EnableIngestionPipeline(const IngestionConfig& config) {
         std::make_unique<sim::TelemetryFaultInjector>(config.faults, config.seed);
     ingestion_->set_write_hook(fault_injector_->MakeWriteHook());
   }
+  ingestion_config_ = config;
+  ingestion_enabled_ = true;
   return Status::OK();
+}
+
+Status KeaSession::EnableDurability(const std::string& dir) {
+  if (ledger_ != nullptr) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  KEA_ASSIGN_OR_RETURN(ledger_, core::DeploymentLedger::Open(dir + kLedgerFile));
+  durability_dir_ = dir;
+  deployment_.AttachLedger(ledger_.get());
+  // The initial checkpoint covers whatever the (possibly pre-existing) ledger
+  // holds, so Resume() of a never-crashed directory is a clean no-op restore.
+  Status written = WriteCheckpoint(ledger_->next_seq());
+  if (!written.ok()) {
+    deployment_.AttachLedger(nullptr);
+    ledger_.reset();
+    durability_dir_.clear();
+  }
+  return written;
+}
+
+Status KeaSession::Checkpoint() {
+  if (ledger_ == nullptr) {
+    return Status::FailedPrecondition(
+        "EnableDurability must be called before Checkpoint");
+  }
+  return WriteCheckpoint(ledger_->next_seq());
+}
+
+Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
+  SnapshotWriter snapshot;
+
+  StateWriter meta;
+  meta.PutU64(covered_seq);
+  meta.PutI64(now_);
+  meta.PutBool(has_round_);
+  meta.PutI64(last_fit_begin_);
+  meta.PutI64(last_fit_end_);
+  meta.PutI64(last_deploy_hour_);
+  meta.PutI64(round_count_);
+  meta.PutInt(static_cast<int>(last_whatif_options_.regressor));
+  meta.PutU64(last_whatif_options_.min_observations);
+  meta.PutInt(last_whatif_options_.num_threads);
+  snapshot.AddSection("meta", meta.Release());
+
+  StateWriter config;
+  EncodeConfig(config_, ingestion_config_, ingestion_enabled_, &config);
+  snapshot.AddSection("config", config.Release());
+
+  snapshot.AddSection("telemetry", store_.ToCsv());
+
+  StateWriter cluster;
+  cluster.PutU64(cluster_.machines().size());
+  for (const sim::Machine& m : cluster_.machines()) {
+    cluster.PutInt(m.sc);
+    cluster.PutInt(m.max_containers);
+    cluster.PutInt(m.max_queued_containers);
+    cluster.PutDouble(m.power_cap_fraction);
+    cluster.PutBool(m.feature_enabled);
+  }
+  snapshot.AddSection("cluster", cluster.Release());
+
+  snapshot.AddSection("engine", engine_->SerializeState());
+  snapshot.AddSection("deployment", deployment_.SerializeState());
+  if (ingestion_ != nullptr) {
+    snapshot.AddSection("ingestion", ingestion_->SerializeState());
+  }
+  if (fault_injector_ != nullptr) {
+    snapshot.AddSection("fault_injector", fault_injector_->SerializeState());
+  }
+
+  KEA_RETURN_IF_ERROR(snapshot.WriteFile(durability_dir_ + kCheckpointFile));
+  if (covered_seq > durable_seq_) durable_seq_ = covered_seq;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir) {
+  KEA_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                       SnapshotReader::Open(dir + kCheckpointFile));
+
+  std::string config_blob;
+  KEA_ASSIGN_OR_RETURN(config_blob, snapshot.Section("config"));
+  Config config;
+  IngestionConfig ingestion_config;
+  bool ingestion_enabled = false;
+  KEA_RETURN_IF_ERROR(
+      DecodeConfig(config_blob, &config, &ingestion_config, &ingestion_enabled));
+
+  KEA_ASSIGN_OR_RETURN(std::unique_ptr<KeaSession> session, Create(config));
+  if (ingestion_enabled) {
+    KEA_RETURN_IF_ERROR(session->EnableIngestionPipeline(ingestion_config));
+  }
+
+  std::string meta_blob;
+  KEA_ASSIGN_OR_RETURN(meta_blob, snapshot.Section("meta"));
+  StateReader meta(meta_blob);
+  int64_t now = 0, fit_begin = 0, fit_end = 0, deploy_hour = 0;
+  int regressor = 0, num_threads = 0;
+  uint64_t min_observations = 0;
+  KEA_RETURN_IF_ERROR(meta.GetU64(&session->durable_seq_));
+  KEA_RETURN_IF_ERROR(meta.GetI64(&now));
+  KEA_RETURN_IF_ERROR(meta.GetBool(&session->has_round_));
+  KEA_RETURN_IF_ERROR(meta.GetI64(&fit_begin));
+  KEA_RETURN_IF_ERROR(meta.GetI64(&fit_end));
+  KEA_RETURN_IF_ERROR(meta.GetI64(&deploy_hour));
+  KEA_RETURN_IF_ERROR(meta.GetI64(&session->round_count_));
+  KEA_RETURN_IF_ERROR(meta.GetInt(&regressor));
+  KEA_RETURN_IF_ERROR(meta.GetU64(&min_observations));
+  KEA_RETURN_IF_ERROR(meta.GetInt(&num_threads));
+  if (!meta.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint meta section");
+  }
+  session->now_ = static_cast<sim::HourIndex>(now);
+  session->last_fit_begin_ = static_cast<sim::HourIndex>(fit_begin);
+  session->last_fit_end_ = static_cast<sim::HourIndex>(fit_end);
+  session->last_deploy_hour_ = static_cast<sim::HourIndex>(deploy_hour);
+  session->last_whatif_options_.regressor =
+      static_cast<core::RegressorKind>(regressor);
+  session->last_whatif_options_.min_observations =
+      static_cast<size_t>(min_observations);
+  session->last_whatif_options_.num_threads = num_threads;
+
+  std::string store_csv;
+  KEA_ASSIGN_OR_RETURN(store_csv, snapshot.Section("telemetry"));
+  KEA_ASSIGN_OR_RETURN(session->store_,
+                       telemetry::TelemetryStore::FromCsv(store_csv));
+
+  std::string cluster_blob;
+  KEA_ASSIGN_OR_RETURN(cluster_blob, snapshot.Section("cluster"));
+  StateReader cluster(cluster_blob);
+  uint64_t machine_count = 0;
+  KEA_RETURN_IF_ERROR(cluster.GetU64(&machine_count));
+  if (machine_count != session->cluster_.machines().size()) {
+    return Status::InvalidArgument(
+        "checkpoint cluster size does not match the rebuilt fleet");
+  }
+  std::vector<int> scs(machine_count, 0);
+  std::map<int, std::vector<int>> ids_by_sc;
+  std::vector<sim::Machine>& machines = session->cluster_.mutable_machines();
+  for (uint64_t i = 0; i < machine_count; ++i) {
+    sim::Machine& m = machines[i];
+    KEA_RETURN_IF_ERROR(cluster.GetInt(&scs[i]));
+    KEA_RETURN_IF_ERROR(cluster.GetInt(&m.max_containers));
+    KEA_RETURN_IF_ERROR(cluster.GetInt(&m.max_queued_containers));
+    KEA_RETURN_IF_ERROR(cluster.GetDouble(&m.power_cap_fraction));
+    KEA_RETURN_IF_ERROR(cluster.GetBool(&m.feature_enabled));
+    if (scs[i] != m.sc) ids_by_sc[scs[i]].push_back(m.id);
+  }
+  if (!cluster.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint cluster section");
+  }
+  // SetSoftwareConfig rebuilds the group index; only drifted machines need it.
+  for (const auto& [sc, ids] : ids_by_sc) {
+    KEA_RETURN_IF_ERROR(session->cluster_.SetSoftwareConfig(ids, sc));
+  }
+
+  std::string blob;
+  KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("engine"));
+  KEA_RETURN_IF_ERROR(session->engine_->RestoreState(blob));
+  KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("deployment"));
+  KEA_RETURN_IF_ERROR(session->deployment_.RestoreState(blob));
+  if (snapshot.Has("ingestion")) {
+    if (session->ingestion_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has ingestion state but no ingestion config");
+    }
+    KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("ingestion"));
+    KEA_RETURN_IF_ERROR(session->ingestion_->RestoreState(blob));
+  }
+  if (snapshot.Has("fault_injector")) {
+    if (session->fault_injector_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has fault-injector state but no fault profile");
+    }
+    KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("fault_injector"));
+    KEA_RETURN_IF_ERROR(session->fault_injector_->RestoreState(blob));
+  }
+
+  session->durability_dir_ = dir;
+  KEA_ASSIGN_OR_RETURN(session->ledger_,
+                       core::DeploymentLedger::Open(dir + kLedgerFile));
+  session->deployment_.AttachLedger(session->ledger_.get());
+
+  // Rebuild the validation engine for a completed round: the fit window and
+  // options are checkpointed, the fit itself is deterministic, so the refit
+  // matches the engine the crashed process held.
+  if (session->has_round_ &&
+      session->last_fit_end_ > session->last_fit_begin_) {
+    KEA_ASSIGN_OR_RETURN(
+        core::WhatIfEngine engine,
+        core::WhatIfEngine::Fit(session->store_,
+                                telemetry::HourRangeFilter(
+                                    session->last_fit_begin_,
+                                    session->last_fit_end_),
+                                session->last_whatif_options_));
+    session->last_engine_ =
+        std::make_unique<core::WhatIfEngine>(std::move(engine));
+  }
+  return session;
 }
 
 StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
@@ -90,19 +575,31 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
 
   core::DeploymentModule::Options deploy_options;
   deploy_options.max_step = deploy_max_step;
+  // Replacing the module must not reset its history or its ledger-key
+  // counters — a restarted counter would reuse idempotency keys and make a
+  // genuinely new apply look like a replayed one.
+  std::string module_state = deployment_.SerializeState();
   deployment_ = core::DeploymentModule(deploy_options);
+  KEA_RETURN_IF_ERROR(deployment_.RestoreState(module_state));
+  if (ledger_ != nullptr) deployment_.AttachLedger(ledger_.get());
   KEA_ASSIGN_OR_RETURN(round.applied, deployment_.ApplyConservatively(
                                           round.plan.recommendations, &cluster_));
 
   has_round_ = true;
   last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
   last_fit_begin_ = begin;
+  last_fit_end_ = now_;
   last_deploy_hour_ = now_;
+  last_whatif_options_ = options.whatif;
+  if (ledger_ != nullptr) {
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  }
   return round;
 }
 
 StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
     const GuardedRoundOptions& options) {
+  if (ledger_ != nullptr) return RunGuardedTuningRoundDurable(options);
   if (options.lookback_hours <= 0) {
     return Status::InvalidArgument("lookback_hours must be positive");
   }
@@ -123,19 +620,7 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
 
   // A corrupted model never reaches the fleet: any non-finite prediction or
   // recommendation aborts before the first canary machine is touched.
-  bool plan_sane = std::isfinite(round.plan.predicted_capacity_gain) &&
-                   std::isfinite(round.plan.predicted_latency_before_s) &&
-                   std::isfinite(round.plan.predicted_latency_after_s);
-  for (const core::GroupRecommendation& rec : round.plan.recommendations) {
-    plan_sane = plan_sane && rec.recommended_max_containers >= 0;
-  }
-  for (const auto& [key, value] : round.plan.lp_solution) {
-    plan_sane = plan_sane && std::isfinite(value);
-  }
-  if (!plan_sane) {
-    return Status::FailedPrecondition(
-        "refusing to deploy: plan contains non-finite or negative values");
-  }
+  KEA_RETURN_IF_ERROR(CheckPlanSane(round.plan));
 
   core::GuardrailedRollout rollout(options.rollout);
   sim::HourIndex deploy_hour = now_;
@@ -147,7 +632,148 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
   has_round_ = true;
   last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
   last_fit_begin_ = begin;
+  last_fit_end_ = round.fit_end;
   last_deploy_hour_ = deploy_hour;
+  last_whatif_options_ = options.tuner.whatif;
+  return round;
+}
+
+StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
+    const GuardedRoundOptions& options) {
+  const int64_t round_number = round_count_;
+  const std::string round_key = "round/" + std::to_string(round_number);
+  GuardedRound round;
+  sim::HourIndex start_hour = 0;
+  std::unique_ptr<core::WhatIfEngine> fresh_engine;
+
+  // --- ROUND_STARTED: journal the fit window and the full plan before any
+  // machine is touched. On resume the journaled plan is the authority — the
+  // clock has advanced into the rollout, so a refit would see a different
+  // window and could propose a different plan.
+  {
+    const core::DeploymentLedger::Event* event =
+        ledger_->Find(round_key + "/started");
+    std::string payload;
+    if (event != nullptr && event->seq < durable_seq_) {
+      payload = event->payload;  // Replay: checkpoint already covers it.
+    } else {
+      KEA_RETURN_IF_ERROR(CrashPoints::Check("session.round_started.pre"));
+      uint64_t seq = 0;
+      if (event != nullptr) {
+        // Journaled but not yet checkpointed: re-drive from the record.
+        payload = event->payload;
+        seq = event->seq;
+      } else {
+        if (options.lookback_hours <= 0) {
+          return Status::InvalidArgument("lookback_hours must be positive");
+        }
+        if (now_ == 0) {
+          return Status::FailedPrecondition("simulate telemetry before tuning");
+        }
+        sim::HourIndex begin = std::max(0, now_ - options.lookback_hours);
+        KEA_ASSIGN_OR_RETURN(
+            core::WhatIfEngine engine,
+            core::WhatIfEngine::Fit(
+                store_, telemetry::HourRangeFilter(begin, now_),
+                options.tuner.whatif));
+        YarnConfigTuner tuner(options.tuner);
+        YarnConfigTuner::Plan plan;
+        KEA_ASSIGN_OR_RETURN(plan, tuner.ProposeFromEngine(engine, cluster_));
+        KEA_RETURN_IF_ERROR(CheckPlanSane(plan));
+        fresh_engine = std::make_unique<core::WhatIfEngine>(std::move(engine));
+        payload = EncodeRoundStart(now_, begin, now_, plan);
+        const core::DeploymentLedger::Event* appended = nullptr;
+        KEA_ASSIGN_OR_RETURN(
+            appended,
+            ledger_->Append(core::DeploymentLedger::EventType::kRoundStarted,
+                            round_key + "/started", payload));
+        seq = appended->seq;
+      }
+      KEA_RETURN_IF_ERROR(
+          CrashPoints::Check("session.round_started.post_record"));
+      KEA_RETURN_IF_ERROR(WriteCheckpoint(seq + 1));
+    }
+    KEA_RETURN_IF_ERROR(DecodeRoundStart(payload, &start_hour,
+                                         &round.fit_begin, &round.fit_end,
+                                         &round.plan));
+  }
+
+  // --- Waves: the rollout drives itself through the ledger, checkpointing
+  // after every journaled step. Simulate() must not checkpoint concurrently —
+  // a mid-observation checkpoint would claim coverage of a step whose verdict
+  // is not yet journaled.
+  core::GuardrailedRollout rollout(options.rollout);
+  core::GuardrailedRollout::JournalContext context;
+  context.ledger = ledger_.get();
+  context.durable_seq = durable_seq_;
+  context.round = static_cast<int>(round_number);
+  context.checkpoint = [this](uint64_t covered_seq) {
+    return WriteCheckpoint(covered_seq);
+  };
+  in_journaled_round_ = true;
+  StatusOr<core::GuardrailedRollout::Report> executed = rollout.ExecuteJournaled(
+      round.plan.recommendations, &cluster_, &store_, start_hour,
+      [this](int hours) { return Simulate(hours); }, &context);
+  in_journaled_round_ = false;
+  if (!executed.ok()) return executed.status();
+  round.rollout = std::move(executed).value();
+
+  // --- ROUND_FINISHED: seal the outcome so the next round gets a new key.
+  {
+    const core::DeploymentLedger::Event* event =
+        ledger_->Find(round_key + "/finished");
+    if (event == nullptr || event->seq >= durable_seq_) {
+      KEA_RETURN_IF_ERROR(CrashPoints::Check("session.round_finished.pre"));
+      uint64_t seq = 0;
+      if (event != nullptr) {
+        seq = event->seq;
+      } else {
+        StateWriter outcome;
+        outcome.PutInt(static_cast<int>(round.rollout.outcome));
+        outcome.PutInt(round.rollout.tripped_wave);
+        outcome.PutU64(round.rollout.machines_restored);
+        const core::DeploymentLedger::Event* appended = nullptr;
+        KEA_ASSIGN_OR_RETURN(
+            appended,
+            ledger_->Append(core::DeploymentLedger::EventType::kRoundFinished,
+                            round_key + "/finished", outcome.Release()));
+        seq = appended->seq;
+      }
+      KEA_RETURN_IF_ERROR(
+          CrashPoints::Check("session.round_finished.post_record"));
+      // Bookkeeping before the checkpoint so the round's completion is part
+      // of the durable state the checkpoint claims to cover.
+      round_count_ = round_number + 1;
+      has_round_ = true;
+      last_fit_begin_ = round.fit_begin;
+      last_fit_end_ = round.fit_end;
+      last_deploy_hour_ = start_hour;
+      last_whatif_options_ = options.tuner.whatif;
+      KEA_RETURN_IF_ERROR(WriteCheckpoint(seq + 1));
+    } else {
+      round_count_ = round_number + 1;
+      has_round_ = true;
+      last_fit_begin_ = round.fit_begin;
+      last_fit_end_ = round.fit_end;
+      last_deploy_hour_ = start_hour;
+      last_whatif_options_ = options.tuner.whatif;
+    }
+  }
+
+  if (fresh_engine != nullptr) {
+    last_engine_ = std::move(fresh_engine);
+  } else {
+    // Resumed round: refit over the journaled window. The filter pins the
+    // window, so the post-deploy telemetry that has accrued since does not
+    // perturb the fit — the engine matches the uninterrupted run's.
+    KEA_ASSIGN_OR_RETURN(
+        core::WhatIfEngine engine,
+        core::WhatIfEngine::Fit(
+            store_,
+            telemetry::HourRangeFilter(round.fit_begin, round.fit_end),
+            options.tuner.whatif));
+    last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
+  }
   return round;
 }
 
@@ -166,7 +792,11 @@ StatusOr<core::ValidationReport> KeaSession::ValidateModels(
 }
 
 Status KeaSession::RollbackLastDeployment() {
-  return deployment_.RollbackLast(&cluster_);
+  KEA_RETURN_IF_ERROR(deployment_.RollbackLast(&cluster_));
+  if (ledger_ != nullptr && !in_journaled_round_) {
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  }
+  return Status::OK();
 }
 
 StatusOr<CapacityConverter::Report> KeaSession::EstimateCapacityValue(

@@ -2,11 +2,13 @@
 #define KEA_APPS_SESSION_H_
 
 #include <memory>
+#include <string>
 
 #include "apps/capacity.h"
 #include "apps/yarn_tuner.h"
 #include "common/status.h"
 #include "core/deployment.h"
+#include "core/deployment_ledger.h"
 #include "core/guardrailed_rollout.h"
 #include "core/validation.h"
 #include "core/whatif.h"
@@ -79,6 +81,35 @@ class KeaSession {
   /// Builds the environment. Returns InvalidArgument for malformed specs.
   static StatusOr<std::unique_ptr<KeaSession>> Create(const Config& config);
 
+  /// Turns on the crash-safe control plane, rooted at `dir` (which must
+  /// exist): the deployment ledger lives at `<dir>/ledger.kea` and
+  /// checkpoints at `<dir>/checkpoint.kea`. Once enabled:
+  ///   - every DeploymentModule apply/rollback and every guarded-round wave
+  ///     transition is write-ahead journaled in the ledger;
+  ///   - Simulate() checkpoints the full session after each call (outside
+  ///     rollout observation windows, which checkpoint per journaled step);
+  ///   - RunGuardedTuningRound() journals the plan at round start,
+  ///     checkpoints after every step, and — after a crash — continues an
+  ///     in-flight round from its last journaled step.
+  /// An initial checkpoint is written immediately.
+  Status EnableDurability(const std::string& dir);
+
+  /// Atomically writes a full-session checkpoint (telemetry, sim clock, RNG
+  /// cursors, applied-config state, deployment/ledger bookkeeping) covering
+  /// everything journaled so far. FailedPrecondition before EnableDurability.
+  Status Checkpoint();
+
+  /// Reconstructs a session purely from the durable state under `dir`: the
+  /// checkpoint defines the state, the ledger defines the progress. A round
+  /// that was in flight at the crash is NOT continued here — the next
+  /// RunGuardedTuningRound() call picks it up from its last journaled step
+  /// and completes it bit-identically to an uninterrupted run.
+  static StatusOr<std::unique_ptr<KeaSession>> Resume(const std::string& dir);
+
+  /// Null until EnableDurability has been called.
+  const core::DeploymentLedger* ledger() const { return ledger_.get(); }
+  const core::DeploymentModule& deployment() const { return deployment_; }
+
   /// Advances the simulated cluster by `hours`, appending telemetry. With an
   /// ingestion pipeline enabled, engine output is routed through the fault
   /// injector (if any) and the validating pipeline instead of being appended
@@ -139,6 +170,17 @@ class KeaSession {
   KeaSession(sim::PerfModel perf_model, sim::WorkloadModel workload)
       : perf_model_(std::move(perf_model)), workload_(std::move(workload)) {}
 
+  /// Writes the checkpoint file; `covered_seq` is the number of ledger
+  /// events whose effects the written state contains (recorded as
+  /// ledger_durable_seq and used on resume to split replay from re-drive).
+  Status WriteCheckpoint(uint64_t covered_seq);
+
+  /// RunGuardedTuningRound body when durability is on: plan journaled at
+  /// ROUND_STARTED, waves driven through ExecuteJournaled, outcome sealed at
+  /// ROUND_FINISHED.
+  StatusOr<GuardedRound> RunGuardedTuningRoundDurable(
+      const GuardedRoundOptions& options);
+
   sim::PerfModel perf_model_;
   sim::WorkloadModel workload_;
   sim::Cluster cluster_;
@@ -154,7 +196,25 @@ class KeaSession {
   bool has_round_ = false;
   std::unique_ptr<core::WhatIfEngine> last_engine_;
   sim::HourIndex last_fit_begin_ = 0;
+  sim::HourIndex last_fit_end_ = 0;
   sim::HourIndex last_deploy_hour_ = 0;
+
+  // Durable control plane (null/empty until EnableDurability).
+  std::string durability_dir_;
+  std::unique_ptr<core::DeploymentLedger> ledger_;
+  /// Ledger events below this are covered by the newest checkpoint.
+  uint64_t durable_seq_ = 0;
+  /// Guarded rounds completed (numbers the ledger's round keys).
+  int64_t round_count_ = 0;
+  /// True while a journaled round drives Simulate() via its observation
+  /// windows — those checkpoints are per-step, not per-Simulate.
+  bool in_journaled_round_ = false;
+  /// Construction-time knobs remembered so checkpoints are self-contained.
+  Config config_;
+  IngestionConfig ingestion_config_;
+  bool ingestion_enabled_ = false;
+  /// Options of the last validated-models fit (for resume refit).
+  core::WhatIfEngine::Options last_whatif_options_;
 };
 
 }  // namespace kea::apps

@@ -1,0 +1,91 @@
+#include "common/crash_point.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace kea {
+namespace {
+
+constexpr const char kCrashPrefix[] = "crash injected at ";
+
+struct Registry {
+  std::mutex mu;
+  bool armed = false;
+  std::string armed_name;
+  int armed_occurrence = 0;
+  bool recording = false;
+  std::map<std::string, int> hits;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Fast-path gate: true when anything is armed or recording.
+std::atomic<bool>& active() {
+  static std::atomic<bool> a{false};
+  return a;
+}
+
+}  // namespace
+
+void CrashPoints::Arm(const std::string& name, int occurrence) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed = true;
+  r.armed_name = name;
+  r.armed_occurrence = occurrence;
+  r.hits.clear();
+  active().store(true, std::memory_order_release);
+}
+
+void CrashPoints::Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed = false;
+  r.armed_name.clear();
+  r.armed_occurrence = 0;
+  r.recording = false;
+  r.hits.clear();
+  active().store(false, std::memory_order_release);
+}
+
+void CrashPoints::SetRecording(bool on) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.recording = on;
+  if (on) r.hits.clear();
+  active().store(on || r.armed, std::memory_order_release);
+}
+
+std::vector<std::pair<std::string, int>> CrashPoints::Reached() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.hits.begin(), r.hits.end()};
+}
+
+bool CrashPoints::IsCrash(const Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+Status CrashPoints::Check(const std::string& name) {
+  if (!active().load(std::memory_order_acquire)) return Status::OK();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  int hit = r.hits[name]++;
+  if (r.armed && r.armed_name == name && hit == r.armed_occurrence) {
+    // One shot: a crashed process cannot crash twice. The resumed run must
+    // sail past this point, so disarm before returning.
+    r.armed = false;
+    active().store(r.recording, std::memory_order_release);
+    return Status::Aborted(kCrashPrefix + name + " (occurrence " +
+                           std::to_string(hit) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace kea

@@ -1,0 +1,50 @@
+#ifndef KEA_COMMON_CRASH_POINT_H_
+#define KEA_COMMON_CRASH_POINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea {
+
+/// Deterministic crash-point injection, compiled into the durable control
+/// plane's journaled paths. A crash point is a named location; tests arm one
+/// (optionally at its n-th occurrence) and the next matching Check() returns
+/// kAborted, which unwinds the operation exactly as an abrupt process death
+/// would leave it: everything already journaled or checkpointed survives,
+/// everything in flight is lost when the test discards the session object.
+///
+/// The registry is process-global and thread-safe; the fast path (nothing
+/// armed, not recording) is one relaxed atomic load, so the hooks can stay
+/// compiled into production paths.
+class CrashPoints {
+ public:
+  /// Arms `name`: its `occurrence`-th Check (0-based) returns the crash
+  /// status. Replaces any previously armed point.
+  static void Arm(const std::string& name, int occurrence = 0);
+
+  /// Disarms any armed point, stops recording, clears all hit counts.
+  static void Reset();
+
+  /// When recording, every Check() tallies its name (the crash-point sweep
+  /// uses the tally to enumerate reachable points and their hit counts).
+  static void SetRecording(bool on);
+
+  /// (name, hits) pairs observed since recording was enabled, sorted by name.
+  static std::vector<std::pair<std::string, int>> Reached();
+
+  /// True for the status Check() returns when a crash fires.
+  static bool IsCrash(const Status& status);
+
+  /// Records the hit (when recording) and returns the crash status when this
+  /// hit matches the armed (name, occurrence); OK otherwise.
+  static Status Check(const std::string& name);
+};
+
+/// Propagates an injected crash out of the enclosing function.
+#define KEA_CRASH_POINT(name) KEA_RETURN_IF_ERROR(::kea::CrashPoints::Check(name))
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_CRASH_POINT_H_

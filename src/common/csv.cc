@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/journal.h"
+
 namespace kea {
 
 namespace {
@@ -61,11 +63,10 @@ std::string CsvWriter::ToString() const {
 }
 
 Status CsvWriter::WriteFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::out | std::ios::trunc);
-  if (!file) return Status::Internal("cannot open file for writing: " + path);
-  file << ToString();
-  if (!file) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  // Crash-safe: the table lands in `<path>.tmp` first and is renamed into
+  // place, so a failure mid-write leaves any previous file untouched rather
+  // than a truncated-but-readable CSV.
+  return AtomicWriteFile(path, ToString());
 }
 
 StatusOr<CsvTable> ParseCsv(const std::string& text) {

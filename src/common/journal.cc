@@ -1,0 +1,179 @@
+#include "common/journal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crash_point.h"
+
+namespace kea {
+namespace {
+
+constexpr char kMagic[] = "KEAJNL01";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kHeaderLen = 8;  // u32 length + u32 crc.
+
+uint32_t LoadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void StoreU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t size) {
+  const uint32_t* table = CrcTable();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open temp file for write: " + tmp);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("write failed for temp file: " + tmp);
+    }
+  }
+  // A crash here leaves the old `path` intact and only an orphan .tmp behind.
+  KEA_CRASH_POINT("atomic_write.before_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
+  std::vector<std::string> records;
+  RecoveryInfo info;
+  std::string data;
+  bool exists = false;
+  {
+    auto read = ReadFileToString(path);
+    if (read.ok()) {
+      exists = true;
+      data = std::move(read).value();
+    }
+  }
+
+  size_t good_end = kMagicLen;
+  if (exists && !data.empty()) {
+    if (data.size() < kMagicLen ||
+        std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+      return Status::InvalidArgument("not a KEA journal: " + path);
+    }
+    size_t pos = kMagicLen;
+    while (pos < data.size()) {
+      if (data.size() - pos < kHeaderLen) break;  // Torn header.
+      const uint32_t len = LoadU32(data.data() + pos);
+      const uint32_t crc = LoadU32(data.data() + pos + 4);
+      if (data.size() - pos - kHeaderLen < len) break;  // Torn payload.
+      if (Crc32(data.data() + pos + kHeaderLen, len) != crc) break;  // Bit rot.
+      records.emplace_back(data.data() + pos + kHeaderLen, len);
+      pos += kHeaderLen + len;
+      good_end = pos;
+    }
+    info.records = records.size();
+    if (good_end < data.size()) {
+      info.tail_truncated = true;
+      info.dropped_bytes = data.size() - good_end;
+    }
+  }
+
+  auto journal =
+      std::unique_ptr<Journal>(new Journal(path, std::move(records), info));
+  if (!exists || data.empty()) {
+    // Fresh journal: write the magic via truncation.
+    journal->out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!journal->out_.is_open()) {
+      return Status::Internal("cannot create journal: " + path);
+    }
+    journal->out_.write(kMagic, kMagicLen);
+    journal->out_.flush();
+    if (!journal->out_.good()) {
+      return Status::Internal("cannot write journal magic: " + path);
+    }
+    return journal;
+  }
+
+  if (info.tail_truncated) {
+    // Physically drop the torn tail so the next append starts at a record
+    // boundary: rewrite the intact prefix atomically, then reopen for append.
+    KEA_RETURN_IF_ERROR(AtomicWriteFile(path, data.substr(0, good_end)));
+  }
+  journal->out_.open(path, std::ios::binary | std::ios::app);
+  if (!journal->out_.is_open()) {
+    return Status::Internal("cannot open journal for append: " + path);
+  }
+  return journal;
+}
+
+Status Journal::Append(const std::string& payload) {
+  std::string framed;
+  framed.reserve(kHeaderLen + payload.size());
+  StoreU32(static_cast<uint32_t>(payload.size()), &framed);
+  StoreU32(Crc32(payload), &framed);
+  framed += payload;
+
+  // Injected torn write: persist the header plus half the payload — a
+  // realistic power-loss artifact — then fail. Recovery at the next Open()
+  // must drop exactly these bytes and keep every earlier record.
+  Status torn = CrashPoints::Check("journal.append.torn");
+  if (!torn.ok()) {
+    const size_t partial = kHeaderLen + payload.size() / 2;
+    out_.write(framed.data(), static_cast<std::streamsize>(partial));
+    out_.flush();
+    return torn;
+  }
+
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_.good()) {
+    return Status::Internal("journal append failed: " + path_);
+  }
+  records_.push_back(payload);
+  return Status::OK();
+}
+
+}  // namespace kea

@@ -1,0 +1,74 @@
+#ifndef KEA_COMMON_JOURNAL_H_
+#define KEA_COMMON_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte buffer. Used to
+/// detect torn or bit-rotted journal records and snapshot sections.
+uint32_t Crc32(const char* data, size_t size);
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+/// Crash-safe whole-file replacement: the content is written to
+/// `<path>.tmp`, flushed, and renamed over `path`. A crash (or injected
+/// failure) at any point leaves either the old file or the new one — never a
+/// truncated hybrid. Crash point: "atomic_write.before_rename".
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// Reads a whole file into a string. NotFound when it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// An append-only, length-prefixed, CRC-checked record log — the write-ahead
+/// journal under the deployment ledger. On-disk layout:
+///
+///   magic "KEAJNL01"
+///   repeated records: [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// Open() replays existing records and recovers from a torn tail: a final
+/// record with a short header, a length pointing past EOF, or a CRC mismatch
+/// is detected, dropped, and physically truncated — it is never misparsed,
+/// and no earlier record is lost. Append() flushes each record before
+/// returning, so everything appended before a crash is replayed after it.
+class Journal {
+ public:
+  struct RecoveryInfo {
+    size_t records = 0;        ///< Intact records replayed at Open().
+    bool tail_truncated = false;
+    size_t dropped_bytes = 0;  ///< Bytes of torn tail discarded.
+  };
+
+  /// Opens (creating if absent) the journal at `path` and replays it.
+  /// Returns InvalidArgument when the file exists but is not a KEA journal.
+  static StatusOr<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS. Crash point
+  /// "journal.append.torn" writes a deliberately torn prefix of the record
+  /// (header plus half the payload) before failing, to exercise recovery.
+  Status Append(const std::string& payload);
+
+  /// All records, in append order (replayed ones first).
+  const std::vector<std::string>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal(std::string path, std::vector<std::string> records, RecoveryInfo info)
+      : path_(std::move(path)), records_(std::move(records)), recovery_(info) {}
+
+  std::string path_;
+  std::vector<std::string> records_;
+  RecoveryInfo recovery_;
+  std::ofstream out_;
+};
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_JOURNAL_H_

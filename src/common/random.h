@@ -5,7 +5,11 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace kea {
 
@@ -106,6 +110,35 @@ class Rng {
   uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the full generator state — seed, engine position, AND the
+  /// distribution objects (std::normal_distribution caches a spare Gaussian
+  /// between draws, so engine state alone is not enough for bit-identical
+  /// resume). Text format via the standard stream operators.
+  std::string SerializeState() const {
+    std::ostringstream out;
+    out << seed_ << '\n' << engine_ << '\n' << unit_ << '\n' << normal_ << '\n';
+    return out.str();
+  }
+
+  /// Restores state written by SerializeState(). After a successful restore
+  /// the draw sequence continues exactly where the serialized generator was.
+  Status RestoreState(const std::string& state) {
+    std::istringstream in(state);
+    uint64_t seed = 0;
+    std::mt19937_64 engine;
+    std::uniform_real_distribution<double> unit;
+    std::normal_distribution<double> normal;
+    in >> seed >> engine >> unit >> normal;
+    if (in.fail()) {
+      return Status::InvalidArgument("malformed Rng state blob");
+    }
+    seed_ = seed;
+    engine_ = engine;
+    unit_ = unit;
+    normal_ = normal;
+    return Status::OK();
+  }
 
  private:
   uint64_t seed_;

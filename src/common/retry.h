@@ -72,6 +72,11 @@ class RetryPolicy {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Restores counters from a checkpoint. stats_.calls doubles as the call
+  /// index feeding the deterministic jitter, so a resumed pipeline must put
+  /// it back for retries to replay bit-identically.
+  void RestoreStats(const Stats& stats) { stats_ = stats; }
+
  private:
   Options options_;
   Stats stats_;

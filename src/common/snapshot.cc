@@ -1,0 +1,178 @@
+#include "common/snapshot.h"
+
+#include <cstring>
+
+#include "common/journal.h"
+
+namespace kea {
+namespace {
+
+constexpr char kMagic[] = "KEASNP01";
+constexpr size_t kMagicLen = 8;
+
+void AppendU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+Status ParseU32(const std::string& data, size_t* pos, uint32_t* v) {
+  if (data.size() - *pos < 4) {
+    return Status::InvalidArgument("snapshot truncated");
+  }
+  const char* p = data.data() + *pos;
+  *v = static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+       static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+       static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+       static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+  *pos += 4;
+  return Status::OK();
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(const std::string& name, std::string content) {
+  sections_.emplace_back(name, std::move(content));
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  std::string out(kMagic, kMagicLen);
+  // The section count makes truncation at an exact section boundary — which
+  // no per-section CRC can catch — detectable.
+  AppendU32(static_cast<uint32_t>(sections_.size()), &out);
+  for (const auto& [name, content] : sections_) {
+    AppendU32(static_cast<uint32_t>(name.size()), &out);
+    out += name;
+    AppendU32(static_cast<uint32_t>(content.size()), &out);
+    AppendU32(Crc32(content), &out);
+    out += content;
+  }
+  return AtomicWriteFile(path, out);
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  std::string data;
+  KEA_ASSIGN_OR_RETURN(data, ReadFileToString(path));
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not a KEA snapshot: " + path);
+  }
+  SnapshotReader reader;
+  size_t pos = kMagicLen;
+  uint32_t section_count = 0;
+  KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &section_count));
+  while (pos < data.size()) {
+    uint32_t name_len = 0, content_len = 0, crc = 0;
+    KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &name_len));
+    if (data.size() - pos < name_len) {
+      return Status::InvalidArgument("snapshot truncated in section name");
+    }
+    std::string name(data.data() + pos, name_len);
+    pos += name_len;
+    KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &content_len));
+    KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &crc));
+    if (data.size() - pos < content_len) {
+      return Status::InvalidArgument("snapshot truncated in section '" + name +
+                                     "'");
+    }
+    std::string content(data.data() + pos, content_len);
+    pos += content_len;
+    if (Crc32(content) != crc) {
+      return Status::InvalidArgument("snapshot CRC mismatch in section '" +
+                                     name + "'");
+    }
+    reader.sections_.emplace_back(std::move(name), std::move(content));
+  }
+  if (reader.sections_.size() != section_count) {
+    return Status::InvalidArgument("snapshot truncated: expected " +
+                                   std::to_string(section_count) +
+                                   " sections, found " +
+                                   std::to_string(reader.sections_.size()));
+  }
+  return reader;
+}
+
+StatusOr<std::string> SnapshotReader::Section(const std::string& name) const {
+  for (const auto& [n, content] : sections_) {
+    if (n == name) return content;
+  }
+  return Status::NotFound("snapshot has no section '" + name + "'");
+}
+
+bool SnapshotReader::Has(const std::string& name) const {
+  for (const auto& [n, content] : sections_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+void StateWriter::PutU32(uint32_t v) { AppendU32(v, &buf_); }
+
+void StateWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void StateWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void StateWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_ += s;
+}
+
+Status StateReader::GetU32(uint32_t* v) { return ParseU32(data_, &pos_, v); }
+
+Status StateReader::GetU64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  KEA_RETURN_IF_ERROR(GetU32(&lo));
+  KEA_RETURN_IF_ERROR(GetU32(&hi));
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return Status::OK();
+}
+
+Status StateReader::GetI64(int64_t* v) {
+  uint64_t u = 0;
+  KEA_RETURN_IF_ERROR(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status StateReader::GetInt(int* v) {
+  int64_t i = 0;
+  KEA_RETURN_IF_ERROR(GetI64(&i));
+  *v = static_cast<int>(i);
+  return Status::OK();
+}
+
+Status StateReader::GetBool(bool* v) {
+  uint32_t u = 0;
+  KEA_RETURN_IF_ERROR(GetU32(&u));
+  *v = u != 0;
+  return Status::OK();
+}
+
+Status StateReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  KEA_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status StateReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  KEA_RETURN_IF_ERROR(GetU32(&len));
+  if (data_.size() - pos_ < len) {
+    return Status::InvalidArgument("state blob truncated in string");
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace kea

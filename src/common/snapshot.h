@@ -1,0 +1,98 @@
+#ifndef KEA_COMMON_SNAPSHOT_H_
+#define KEA_COMMON_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kea {
+
+/// A multi-section checkpoint container written as ONE atomic file. Each
+/// section is a named, CRC-checked blob (telemetry CSV, RNG state, cluster
+/// config...). Because the whole container goes through AtomicWriteFile, a
+/// crash during Checkpoint() can never leave mixed generations of the parts —
+/// the checkpoint on disk is either entirely old or entirely new.
+///
+/// On-disk layout:
+///   magic "KEASNP01"
+///   [u32 section_count]
+///   repeated: [u32 name_len][name][u32 content_len][u32 crc32(content)][content]
+/// The up-front count catches truncation at an exact section boundary, which
+/// the per-section CRCs alone cannot.
+class SnapshotWriter {
+ public:
+  /// Adds a named section. Names must be unique; content is arbitrary bytes.
+  void AddSection(const std::string& name, std::string content);
+
+  /// Serializes all sections and atomically replaces `path` (temp + rename).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Reads a snapshot container, verifying every section's CRC. A snapshot
+/// that fails any check is rejected whole — partial trust would defeat the
+/// all-or-nothing guarantee the writer provides.
+class SnapshotReader {
+ public:
+  static StatusOr<SnapshotReader> Open(const std::string& path);
+
+  /// Returns the named section, or NotFound.
+  StatusOr<std::string> Section(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  const std::vector<std::pair<std::string, std::string>>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Little-endian binary codec for component state blobs (RNG cursors, fault
+/// injector queues, ...). Doubles are stored as raw IEEE-754 bit patterns so
+/// restore is bit-exact; strings are length-prefixed.
+class StateWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutInt(int v) { PutI64(v); }
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+
+  const std::string& str() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads back what StateWriter wrote, in the same order. Any overrun returns
+/// InvalidArgument — a truncated blob never yields fabricated values.
+class StateReader {
+ public:
+  explicit StateReader(std::string data) : data_(std::move(data)) {}
+
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetInt(int* v);
+  Status GetBool(bool* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_SNAPSHOT_H_

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNBOUNDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInfeasible = 9,   ///< Optimization problem has no feasible solution.
   kUnbounded = 10,   ///< Optimization problem is unbounded.
   kUnavailable = 11, ///< Transient failure; retrying may succeed.
+  kAborted = 12,     ///< Operation was cut short (e.g. injected crash).
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT"...).
@@ -73,6 +74,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,7 +2,45 @@
 
 #include <algorithm>
 
+#include "common/csv.h"
+#include "common/snapshot.h"
+
 namespace kea::core {
+namespace {
+
+std::string EncodeChangeBatch(const std::vector<AppliedChange>& batch) {
+  StateWriter w;
+  w.PutU64(batch.size());
+  for (const AppliedChange& c : batch) {
+    w.PutInt(c.group.sc);
+    w.PutInt(c.group.sku);
+    w.PutInt(c.old_max_containers);
+    w.PutInt(c.new_max_containers);
+    w.PutBool(c.clamped);
+  }
+  return w.Release();
+}
+
+Status DecodeChangeBatch(const std::string& blob,
+                         std::vector<AppliedChange>* batch) {
+  StateReader r(blob);
+  uint64_t count = 0;
+  KEA_RETURN_IF_ERROR(r.GetU64(&count));
+  batch->clear();
+  batch->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    AppliedChange c;
+    KEA_RETURN_IF_ERROR(r.GetInt(&c.group.sc));
+    KEA_RETURN_IF_ERROR(r.GetInt(&c.group.sku));
+    KEA_RETURN_IF_ERROR(r.GetInt(&c.old_max_containers));
+    KEA_RETURN_IF_ERROR(r.GetInt(&c.new_max_containers));
+    KEA_RETURN_IF_ERROR(r.GetBool(&c.clamped));
+    batch->push_back(c);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
     const std::vector<GroupRecommendation>& recommendations, sim::Cluster* cluster) {
@@ -11,6 +49,8 @@ StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
     return Status::InvalidArgument("no recommendations to deploy");
   }
 
+  // Decide first (pure), then journal the intent, then mutate — write-ahead
+  // ordering so a crash after the ledger append can re-drive the apply.
   std::vector<AppliedChange> applied;
   for (const GroupRecommendation& rec : recommendations) {
     int delta = rec.recommended_max_containers - rec.current_max_containers;
@@ -19,14 +59,26 @@ StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
                           options_.min_containers);
     if (target == rec.current_max_containers) continue;
 
-    KEA_RETURN_IF_ERROR(cluster->SetGroupMaxContainers(rec.group, target));
-
     AppliedChange change;
     change.group = rec.group;
     change.old_max_containers = rec.current_max_containers;
     change.new_max_containers = target;
     change.clamped = clamped_delta != delta;
     applied.push_back(change);
+  }
+
+  if (ledger_ != nullptr) {
+    const std::string key = "module/apply/" + std::to_string(apply_count_);
+    KEA_RETURN_IF_ERROR(ledger_
+                            ->Append(DeploymentLedger::EventType::kApply, key,
+                                     EncodeChangeBatch(applied))
+                            .status());
+  }
+  ++apply_count_;
+
+  for (const AppliedChange& change : applied) {
+    KEA_RETURN_IF_ERROR(
+        cluster->SetGroupMaxContainers(change.group, change.new_max_containers));
   }
   last_batch_ = applied;
   has_last_batch_ = true;
@@ -37,9 +89,19 @@ StatusOr<std::vector<AppliedChange>> DeploymentModule::ApplyConservatively(
 Status DeploymentModule::RollbackLast(sim::Cluster* cluster) {
   if (cluster == nullptr) return Status::InvalidArgument("null cluster");
   if (!has_last_batch_) {
-    // Never applied, or already rolled back: idempotent error, no mutation.
+    // Never applied, or already rolled back: idempotent error, no mutation —
+    // and no ledger record, since nothing is about to change.
     return Status::FailedPrecondition("nothing to roll back");
   }
+  if (ledger_ != nullptr) {
+    const std::string key = "module/rollback/" + std::to_string(rollback_count_);
+    KEA_RETURN_IF_ERROR(
+        ledger_
+            ->Append(DeploymentLedger::EventType::kModuleRollback, key,
+                     EncodeChangeBatch(last_batch_))
+            .status());
+  }
+  ++rollback_count_;
   // Empty batch (every recommendation clamped to a no-op): the cluster is
   // already in the pre-apply state, so rolling back is an OK no-op.
   for (auto it = last_batch_.rbegin(); it != last_batch_.rend(); ++it) {
@@ -48,6 +110,53 @@ Status DeploymentModule::RollbackLast(sim::Cluster* cluster) {
   }
   last_batch_.clear();
   has_last_batch_ = false;
+  return Status::OK();
+}
+
+std::string DeploymentModule::HistoryCsv() const {
+  CsvWriter writer;
+  writer.SetHeader(
+      {"sc", "sku", "old_max_containers", "new_max_containers", "clamped"});
+  for (const AppliedChange& c : history_) {
+    (void)writer.AppendRow({std::to_string(c.group.sc), std::to_string(c.group.sku),
+                            std::to_string(c.old_max_containers),
+                            std::to_string(c.new_max_containers),
+                            c.clamped ? "1" : "0"});
+  }
+  return writer.ToString();
+}
+
+std::string DeploymentModule::SerializeState() const {
+  StateWriter w;
+  w.PutString(EncodeChangeBatch(history_));
+  w.PutString(EncodeChangeBatch(last_batch_));
+  w.PutBool(has_last_batch_);
+  w.PutI64(apply_count_);
+  w.PutI64(rollback_count_);
+  return w.Release();
+}
+
+Status DeploymentModule::RestoreState(const std::string& blob) {
+  StateReader r(blob);
+  std::string history_blob, batch_blob;
+  KEA_RETURN_IF_ERROR(r.GetString(&history_blob));
+  KEA_RETURN_IF_ERROR(r.GetString(&batch_blob));
+  std::vector<AppliedChange> history, last_batch;
+  KEA_RETURN_IF_ERROR(DecodeChangeBatch(history_blob, &history));
+  KEA_RETURN_IF_ERROR(DecodeChangeBatch(batch_blob, &last_batch));
+  bool has_last_batch = false;
+  int64_t apply_count = 0, rollback_count = 0;
+  KEA_RETURN_IF_ERROR(r.GetBool(&has_last_batch));
+  KEA_RETURN_IF_ERROR(r.GetI64(&apply_count));
+  KEA_RETURN_IF_ERROR(r.GetI64(&rollback_count));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in deployment state blob");
+  }
+  history_ = std::move(history);
+  last_batch_ = std::move(last_batch);
+  has_last_batch_ = has_last_batch;
+  apply_count_ = apply_count;
+  rollback_count_ = rollback_count;
   return Status::OK();
 }
 

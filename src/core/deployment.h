@@ -1,9 +1,11 @@
 #ifndef KEA_CORE_DEPLOYMENT_H_
 #define KEA_CORE_DEPLOYMENT_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/deployment_ledger.h"
 #include "sim/cluster.h"
 
 namespace kea::core {
@@ -50,6 +52,17 @@ class DeploymentModule {
   /// All changes applied through this module, in order.
   const std::vector<AppliedChange>& history() const { return history_; }
 
+  /// CSV dump of history() — one row per applied change, in order. Columns:
+  ///   sc,sku,old_max_containers,new_max_containers,clamped
+  std::string HistoryCsv() const;
+
+  /// Attaches a write-ahead ledger: each ApplyConservatively batch and each
+  /// RollbackLast is journaled (keys "module/apply/<n>", "module/rollback/<n>")
+  /// *before* the cluster is mutated. `ledger` must outlive the module; null
+  /// detaches. The per-operation counters feeding the keys survive
+  /// checkpoint/restore via SerializeState().
+  void AttachLedger(DeploymentLedger* ledger) { ledger_ = ledger; }
+
   /// Restores the configuration prior to the last ApplyConservatively call
   /// (the rollback path when flighting invalidates a model). Changes are
   /// undone in reverse application order. Semantics are explicit because the
@@ -65,11 +78,20 @@ class DeploymentModule {
   /// True while the last ApplyConservatively has not been rolled back.
   bool has_pending_batch() const { return has_last_batch_; }
 
+  /// Bit-exact checkpoint of mutable state: history, the pending batch, and
+  /// the ledger-key counters. Options and the ledger binding are
+  /// construction-time and not included.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
  private:
   Options options_;
+  DeploymentLedger* ledger_ = nullptr;
   std::vector<AppliedChange> history_;
   std::vector<AppliedChange> last_batch_;
   bool has_last_batch_ = false;  ///< Apply seen and not yet rolled back.
+  int64_t apply_count_ = 0;      ///< ApplyConservatively calls (ledger keys).
+  int64_t rollback_count_ = 0;   ///< Effective RollbackLast calls (ledger keys).
 };
 
 }  // namespace kea::core

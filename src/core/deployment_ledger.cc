@@ -1,0 +1,128 @@
+#include "core/deployment_ledger.h"
+
+#include "common/csv.h"
+#include "common/snapshot.h"
+
+namespace kea::core {
+
+const char* DeploymentLedger::EventTypeToString(EventType type) {
+  switch (type) {
+    case EventType::kRoundStarted:
+      return "ROUND_STARTED";
+    case EventType::kWaveStarted:
+      return "WAVE_STARTED";
+    case EventType::kWaveApplied:
+      return "WAVE_APPLIED";
+    case EventType::kWaveObserved:
+      return "WAVE_OBSERVED";
+    case EventType::kWaveVerdict:
+      return "WAVE_VERDICT";
+    case EventType::kRollback:
+      return "ROLLBACK";
+    case EventType::kRoundFinished:
+      return "ROUND_FINISHED";
+    case EventType::kApply:
+      return "APPLY";
+    case EventType::kModuleRollback:
+      return "MODULE_ROLLBACK";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<std::unique_ptr<DeploymentLedger>> DeploymentLedger::Open(
+    const std::string& path) {
+  KEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal, Journal::Open(path));
+  auto ledger = std::unique_ptr<DeploymentLedger>(
+      new DeploymentLedger(std::move(journal)));
+  for (const std::string& record : ledger->journal_->records()) {
+    StateReader r(record);
+    int type = 0;
+    Event event;
+    KEA_RETURN_IF_ERROR(r.GetInt(&type));
+    if (type < 0 || type > static_cast<int>(EventType::kModuleRollback)) {
+      return Status::InvalidArgument("ledger record with unknown event type " +
+                                     std::to_string(type));
+    }
+    event.type = static_cast<EventType>(type);
+    KEA_RETURN_IF_ERROR(r.GetString(&event.key));
+    KEA_RETURN_IF_ERROR(r.GetString(&event.payload));
+    event.seq = ledger->events_.size();
+    if (!ledger->by_key_.emplace(event.key, event.seq).second) {
+      return Status::InvalidArgument("ledger has duplicate key '" + event.key +
+                                     "'");
+    }
+    ledger->events_.push_back(std::move(event));
+  }
+  return ledger;
+}
+
+StatusOr<const DeploymentLedger::Event*> DeploymentLedger::Append(
+    EventType type, const std::string& key, const std::string& payload) {
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Idempotent replay: the step was journaled by a previous incarnation.
+    return &events_[it->second];
+  }
+  StateWriter w;
+  w.PutInt(static_cast<int>(type));
+  w.PutString(key);
+  w.PutString(payload);
+  KEA_RETURN_IF_ERROR(journal_->Append(w.Release()));
+  Event event;
+  event.seq = events_.size();
+  event.type = type;
+  event.key = key;
+  event.payload = payload;
+  by_key_.emplace(key, events_.size());
+  events_.push_back(std::move(event));
+  return &events_.back();
+}
+
+const DeploymentLedger::Event* DeploymentLedger::Find(
+    const std::string& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &events_[it->second];
+}
+
+std::string DeploymentLedger::AppliedChangesCsv() const {
+  CsvWriter writer;
+  writer.SetHeader({"seq", "key", "kind", "sc", "sku", "machine_id",
+                    "old_max_containers", "new_max_containers"});
+  auto str = [](int64_t v) { return std::to_string(v); };
+  for (const Event& event : events_) {
+    if (event.type == EventType::kWaveApplied) {
+      StateReader r(event.payload);
+      uint64_t count = 0;
+      if (!r.GetU64(&count).ok()) continue;
+      for (uint64_t i = 0; i < count; ++i) {
+        int machine = 0, old_max = 0, new_max = 0;
+        if (!r.GetInt(&machine).ok() || !r.GetInt(&old_max).ok() ||
+            !r.GetInt(&new_max).ok()) {
+          break;
+        }
+        (void)writer.AppendRow({str(static_cast<int64_t>(event.seq)), event.key,
+                                "wave_machine", "-1", "-1", str(machine),
+                                str(old_max), str(new_max)});
+      }
+    } else if (event.type == EventType::kApply) {
+      StateReader r(event.payload);
+      uint64_t count = 0;
+      if (!r.GetU64(&count).ok()) continue;
+      for (uint64_t i = 0; i < count; ++i) {
+        int sc = 0, sku = 0, old_max = 0, new_max = 0;
+        bool clamped = false;
+        if (!r.GetInt(&sc).ok() || !r.GetInt(&sku).ok() ||
+            !r.GetInt(&old_max).ok() || !r.GetInt(&new_max).ok() ||
+            !r.GetBool(&clamped).ok()) {
+          break;
+        }
+        (void)writer.AppendRow({str(static_cast<int64_t>(event.seq)), event.key,
+                                "group", str(sc), str(sku), "-1", str(old_max),
+                                str(new_max)});
+      }
+    }
+  }
+  return writer.ToString();
+}
+
+}  // namespace kea::core

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <tuple>
 #include <unordered_set>
+
+#include "common/crash_point.h"
+#include "common/snapshot.h"
 
 namespace kea::core {
 namespace {
@@ -43,6 +47,22 @@ WindowMetrics Measure(const telemetry::TelemetryStore& store,
   size_t p99 = static_cast<size_t>(0.99 * static_cast<double>(queue_latencies.size()));
   m.queue_p99_ms = queue_latencies[std::min(p99, queue_latencies.size() - 1)];
   return m;
+}
+
+/// Per-group targets clamped to +-max_step of the current configuration,
+/// exactly like DeploymentModule::ApplyConservatively. No-ops are omitted.
+std::map<sim::MachineGroupKey, int> ClampTargets(
+    const std::vector<GroupRecommendation>& recommendations,
+    const DeploymentModule::Options& deploy) {
+  std::map<sim::MachineGroupKey, int> targets;
+  for (const GroupRecommendation& rec : recommendations) {
+    int delta = rec.recommended_max_containers - rec.current_max_containers;
+    int clamped = std::clamp(delta, -deploy.max_step, deploy.max_step);
+    int target =
+        std::max(rec.current_max_containers + clamped, deploy.min_containers);
+    if (target != rec.current_max_containers) targets[rec.group] = target;
+  }
+  return targets;
 }
 
 }  // namespace
@@ -158,17 +178,8 @@ StatusOr<GuardrailedRollout::Report> GuardrailedRollout::Execute(
     return Status::InvalidArgument("no recommendations to roll out");
   }
 
-  // Clamp each recommendation to +-max_step of its current configuration,
-  // exactly like DeploymentModule::ApplyConservatively.
-  std::map<sim::MachineGroupKey, int> targets;
-  for (const GroupRecommendation& rec : recommendations) {
-    int delta = rec.recommended_max_containers - rec.current_max_containers;
-    int clamped =
-        std::clamp(delta, -options_.deploy.max_step, options_.deploy.max_step);
-    int target = std::max(rec.current_max_containers + clamped,
-                          options_.deploy.min_containers);
-    if (target != rec.current_max_containers) targets[rec.group] = target;
-  }
+  std::map<sim::MachineGroupKey, int> targets =
+      ClampTargets(recommendations, options_.deploy);
 
   Report report;
   if (targets.empty()) {
@@ -247,6 +258,315 @@ StatusOr<GuardrailedRollout::Report> GuardrailedRollout::Execute(
 
   report.outcome = Outcome::kConverged;
   return report;
+}
+
+std::string GuardrailedRollout::EncodeEvaluation(const GuardrailEvaluation& eval) {
+  StateWriter w;
+  w.PutDouble(eval.baseline_latency_s);
+  w.PutDouble(eval.observed_latency_s);
+  w.PutDouble(eval.baseline_queue_p99_ms);
+  w.PutDouble(eval.observed_queue_p99_ms);
+  w.PutDouble(eval.baseline_utilization);
+  w.PutDouble(eval.observed_utilization);
+  w.PutBool(eval.latency_ok);
+  w.PutBool(eval.queue_ok);
+  w.PutBool(eval.utilization_ok);
+  w.PutBool(eval.measurable);
+  return w.Release();
+}
+
+Status GuardrailedRollout::DecodeEvaluation(const std::string& blob,
+                                            GuardrailEvaluation* eval) {
+  StateReader r(blob);
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->baseline_latency_s));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->observed_latency_s));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->baseline_queue_p99_ms));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->observed_queue_p99_ms));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->baseline_utilization));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&eval->observed_utilization));
+  KEA_RETURN_IF_ERROR(r.GetBool(&eval->latency_ok));
+  KEA_RETURN_IF_ERROR(r.GetBool(&eval->queue_ok));
+  KEA_RETURN_IF_ERROR(r.GetBool(&eval->utilization_ok));
+  KEA_RETURN_IF_ERROR(r.GetBool(&eval->measurable));
+  return Status::OK();
+}
+
+StatusOr<GuardrailedRollout::Report> GuardrailedRollout::ExecuteJournaled(
+    const std::vector<GroupRecommendation>& recommendations, sim::Cluster* cluster,
+    const telemetry::TelemetryStore* store, sim::HourIndex start_hour,
+    const AdvanceFn& advance, JournalContext* ctx) {
+  if (ctx == nullptr || ctx->ledger == nullptr) {
+    return Status::InvalidArgument("null journal context / ledger");
+  }
+  Report report;
+  std::vector<MachineSnapshot> snapshots;
+  Status run = RunJournaled(recommendations, cluster, store, start_hour, advance,
+                            ctx, &report, &snapshots);
+  if (!run.ok()) {
+    // An injected crash models abrupt process death: leave the world exactly
+    // as the dying process would — resume will pick it up from the journal.
+    // Real errors restore the in-memory cluster, mirroring Execute().
+    if (!CrashPoints::IsCrash(run) && cluster != nullptr) {
+      size_t restored = 0;
+      Restore(snapshots, cluster, &restored);
+    }
+    return run;
+  }
+  return report;
+}
+
+Status GuardrailedRollout::RunJournaled(
+    const std::vector<GroupRecommendation>& recommendations, sim::Cluster* cluster,
+    const telemetry::TelemetryStore* store, sim::HourIndex start_hour,
+    const AdvanceFn& advance, JournalContext* ctx, Report* report,
+    std::vector<MachineSnapshot>* snapshots) {
+  KEA_RETURN_IF_ERROR(ValidateOptions());
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (store == nullptr) return Status::InvalidArgument("null telemetry store");
+  if (!advance) return Status::InvalidArgument("null advance function");
+  if (recommendations.empty()) {
+    return Status::InvalidArgument("no recommendations to roll out");
+  }
+
+  // One journaled step: write-ahead append under an idempotency key, then the
+  // effect, then a checkpoint covering the step. Three phases on resume:
+  //   - seq <  durable_seq: REPLAY — the restored checkpoint already holds
+  //     the effect; only the recorded payload is returned for bookkeeping.
+  //   - seq >= durable_seq: RE-DRIVE — recorded intent whose effect was lost;
+  //     the effect runs again from the restored (pre-effect) state.
+  //   - absent: FRESH — record intent, run the effect.
+  // Crash points bracket the append so the sweep covers both "died before
+  // journaling" (step re-runs whole) and "journaled but died before the
+  // effect was durable" (step re-drives).
+  auto step = [&](DeploymentLedger::EventType type, const std::string& key,
+                  const std::string& crash,
+                  const std::function<std::string()>& make_payload,
+                  const std::function<Status(const std::string&)>& effect,
+                  std::string* out_payload) -> Status {
+    const DeploymentLedger::Event* ev = ctx->ledger->Find(key);
+    if (ev != nullptr && ev->seq < ctx->durable_seq) {
+      *out_payload = ev->payload;
+      return Status::OK();
+    }
+    KEA_RETURN_IF_ERROR(CrashPoints::Check(crash + ".pre"));
+    std::string payload;
+    uint64_t seq = 0;
+    if (ev != nullptr) {
+      payload = ev->payload;
+      seq = ev->seq;
+    } else {
+      payload = make_payload();
+      KEA_ASSIGN_OR_RETURN(const DeploymentLedger::Event* appended,
+                           ctx->ledger->Append(type, key, payload));
+      seq = appended->seq;
+    }
+    KEA_RETURN_IF_ERROR(CrashPoints::Check(crash + ".post_record"));
+    if (effect) KEA_RETURN_IF_ERROR(effect(payload));
+    if (ctx->checkpoint) KEA_RETURN_IF_ERROR(ctx->checkpoint(seq + 1));
+    *out_payload = payload;
+    return Status::OK();
+  };
+
+  std::map<sim::MachineGroupKey, int> targets =
+      ClampTargets(recommendations, options_.deploy);
+  if (targets.empty()) {
+    report->outcome = Outcome::kNoChange;
+    return Status::OK();
+  }
+
+  int num_sc = cluster->num_subclusters();
+  if (num_sc <= 0) return Status::FailedPrecondition("cluster has no sub-clusters");
+
+  const std::string rkey = "r" + std::to_string(ctx->round);
+  std::vector<int> treated;
+  sim::HourIndex now = start_hour;
+  sim::HourIndex baseline_begin = std::max(0, start_hour - options_.baseline_hours);
+
+  int next_sc = 0;
+  bool tripped = false;
+  for (size_t w = 0; w < options_.wave_fractions.size() && !tripped; ++w) {
+    const std::string wkey = rkey + "/w" + std::to_string(w);
+    WaveResult wave;
+    wave.wave = static_cast<int>(w);
+
+    // -- WAVE_STARTED: which sub-clusters this wave covers.
+    std::string payload;
+    KEA_RETURN_IF_ERROR(step(
+        DeploymentLedger::EventType::kWaveStarted, wkey + "/started",
+        "rollout.wave_started",
+        [&] {
+          int end_sc = static_cast<int>(std::ceil(
+              options_.wave_fractions[w] * static_cast<double>(num_sc)));
+          end_sc = std::clamp(end_sc, next_sc, num_sc);
+          if (w + 1 == options_.wave_fractions.size() &&
+              options_.wave_fractions[w] >= 1.0) {
+            end_sc = num_sc;
+          }
+          if (end_sc == next_sc && next_sc < num_sc) end_sc = next_sc + 1;
+          StateWriter sw;
+          sw.PutInt(end_sc);
+          sw.PutU64(static_cast<uint64_t>(end_sc - next_sc));
+          for (int sc = next_sc; sc < end_sc; ++sc) sw.PutInt(sc);
+          return sw.Release();
+        },
+        nullptr, &payload));
+    {
+      StateReader sr(payload);
+      int end_sc = 0;
+      uint64_t count = 0;
+      KEA_RETURN_IF_ERROR(sr.GetInt(&end_sc));
+      KEA_RETURN_IF_ERROR(sr.GetU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        int sc = 0;
+        KEA_RETURN_IF_ERROR(sr.GetInt(&sc));
+        wave.sub_clusters.push_back(sc);
+      }
+      next_sc = end_sc;
+    }
+    std::vector<int> wave_machines;
+    for (int sc : wave.sub_clusters) {
+      std::vector<int> ids = cluster->SubClusterMachines(sc);
+      wave_machines.insert(wave_machines.end(), ids.begin(), ids.end());
+    }
+
+    // -- WAVE_APPLIED: per-machine (id, old, new) deltas, journaled before
+    // the cluster is touched.
+    KEA_RETURN_IF_ERROR(step(
+        DeploymentLedger::EventType::kWaveApplied, wkey + "/applied",
+        "rollout.wave_applied",
+        [&] {
+          StateWriter sw;
+          std::vector<std::tuple<int, int, int>> deltas;
+          const auto& machines = cluster->machines();
+          for (int id : wave_machines) {
+            if (id < 0 || static_cast<size_t>(id) >= machines.size()) continue;
+            const sim::Machine& m = machines[static_cast<size_t>(id)];
+            auto it = targets.find(m.group());
+            if (it == targets.end() || m.max_containers == it->second) continue;
+            deltas.emplace_back(id, m.max_containers, it->second);
+          }
+          sw.PutU64(deltas.size());
+          for (const auto& [id, old_max, new_max] : deltas) {
+            sw.PutInt(id);
+            sw.PutInt(old_max);
+            sw.PutInt(new_max);
+          }
+          return sw.Release();
+        },
+        [&](const std::string& p) -> Status {
+          StateReader sr(p);
+          uint64_t count = 0;
+          KEA_RETURN_IF_ERROR(sr.GetU64(&count));
+          auto& machines = cluster->mutable_machines();
+          for (uint64_t i = 0; i < count; ++i) {
+            int id = 0, old_max = 0, new_max = 0;
+            KEA_RETURN_IF_ERROR(sr.GetInt(&id));
+            KEA_RETURN_IF_ERROR(sr.GetInt(&old_max));
+            KEA_RETURN_IF_ERROR(sr.GetInt(&new_max));
+            if (id < 0 || static_cast<size_t>(id) >= machines.size()) {
+              return Status::OutOfRange("machine id " + std::to_string(id));
+            }
+            machines[static_cast<size_t>(id)].max_containers = new_max;
+          }
+          return Status::OK();
+        },
+        &payload));
+    MachineSnapshot snapshot;
+    {
+      StateReader sr(payload);
+      uint64_t count = 0;
+      KEA_RETURN_IF_ERROR(sr.GetU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        int id = 0, old_max = 0, new_max = 0;
+        KEA_RETURN_IF_ERROR(sr.GetInt(&id));
+        KEA_RETURN_IF_ERROR(sr.GetInt(&old_max));
+        KEA_RETURN_IF_ERROR(sr.GetInt(&new_max));
+        snapshot.emplace_back(id, old_max);
+      }
+    }
+    wave.machines_changed = snapshot.size();
+    if (wave.machines_changed == 0) {
+      // No targeted machine in this wave: nothing to observe, trivially safe.
+      wave.passed = true;
+      report->waves.push_back(std::move(wave));
+      continue;
+    }
+    snapshots->push_back(std::move(snapshot));
+    for (const auto& entry : snapshots->back()) treated.push_back(entry.first);
+
+    // -- WAVE_OBSERVED: advance the world through the observation window.
+    KEA_RETURN_IF_ERROR(step(
+        DeploymentLedger::EventType::kWaveObserved, wkey + "/observed",
+        "rollout.wave_observed",
+        [&] {
+          StateWriter sw;
+          sw.PutI64(now);
+          sw.PutI64(now + options_.observe_hours_per_wave);
+          return sw.Release();
+        },
+        [&](const std::string&) { return advance(options_.observe_hours_per_wave); },
+        &payload));
+    {
+      StateReader sr(payload);
+      int64_t begin = 0, end = 0;
+      KEA_RETURN_IF_ERROR(sr.GetI64(&begin));
+      KEA_RETURN_IF_ERROR(sr.GetI64(&end));
+      wave.observe_begin = static_cast<sim::HourIndex>(begin);
+      wave.observe_end = static_cast<sim::HourIndex>(end);
+      now = wave.observe_end;
+    }
+
+    // -- WAVE_VERDICT: the guardrail decision, recorded before it is acted
+    // on. A resumed round reuses the recorded verdict rather than judging
+    // twice (the deterministic re-evaluation would match, but the record is
+    // the authority).
+    KEA_RETURN_IF_ERROR(step(
+        DeploymentLedger::EventType::kWaveVerdict, wkey + "/verdict",
+        "rollout.wave_verdict",
+        [&] {
+          GuardrailEvaluation eval =
+              Evaluate(*store, treated, baseline_begin, start_hour,
+                       wave.observe_begin, wave.observe_end);
+          return EncodeEvaluation(eval);
+        },
+        nullptr, &payload));
+    KEA_RETURN_IF_ERROR(DecodeEvaluation(payload, &wave.eval));
+    wave.passed = wave.eval.pass();
+    tripped = !wave.passed;
+    report->waves.push_back(std::move(wave));
+
+    if (tripped) {
+      report->tripped_wave = static_cast<int>(w);
+      // -- ROLLBACK: restore every applied wave, newest first.
+      KEA_RETURN_IF_ERROR(step(
+          DeploymentLedger::EventType::kRollback, rkey + "/rollback",
+          "rollout.rollback",
+          [&] {
+            size_t total = 0;
+            for (const MachineSnapshot& s : *snapshots) total += s.size();
+            StateWriter sw;
+            sw.PutU64(total);
+            return sw.Release();
+          },
+          [&](const std::string&) -> Status {
+            size_t restored = 0;
+            Restore(*snapshots, cluster, &restored);
+            return Status::OK();
+          },
+          &payload));
+      StateReader sr(payload);
+      uint64_t restored = 0;
+      KEA_RETURN_IF_ERROR(sr.GetU64(&restored));
+      report->machines_restored = restored;
+      // The world is back to its entry state; don't restore again on return.
+      snapshots->clear();
+      report->outcome = Outcome::kRolledBack;
+      return Status::OK();
+    }
+  }
+
+  report->outcome = Outcome::kConverged;
+  return Status::OK();
 }
 
 }  // namespace kea::core

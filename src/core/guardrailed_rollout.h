@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/deployment.h"
+#include "core/deployment_ledger.h"
 #include "sim/cluster.h"
 #include "telemetry/store.h"
 
@@ -127,6 +128,36 @@ class GuardrailedRollout {
                            const telemetry::TelemetryStore* store,
                            sim::HourIndex start_hour, const AdvanceFn& advance);
 
+  /// Durability context for ExecuteJournaled. `durable_seq` is the ledger
+  /// sequence the restored checkpoint covers: ledger events below it are
+  /// replayed (bookkeeping only — their effects are already in the restored
+  /// state), events at or above it are re-driven. `checkpoint(covered_seq)`,
+  /// when set, persists the world after each journaled step; `covered_seq` is
+  /// the number of ledger events whose effects the persisted state contains.
+  struct JournalContext {
+    DeploymentLedger* ledger = nullptr;
+    uint64_t durable_seq = 0;
+    int round = 0;
+    std::function<Status(uint64_t covered_seq)> checkpoint;
+  };
+
+  /// Execute() with write-ahead journaling and crash-point hooks: every wave
+  /// transition (started / applied / observed / guardrail verdict / rollback)
+  /// is appended to the ledger *before* its effect, keyed idempotently as
+  /// "r<round>/w<wave>/<step>", so a crashed round resumed from its last
+  /// checkpoint re-drives pending steps exactly once and finishes
+  /// bit-identical to an uninterrupted run. An injected crash (kAborted)
+  /// unwinds without touching anything further — mirroring process death —
+  /// while real errors roll the in-memory cluster back as Execute() does.
+  StatusOr<Report> ExecuteJournaled(
+      const std::vector<GroupRecommendation>& recommendations,
+      sim::Cluster* cluster, const telemetry::TelemetryStore* store,
+      sim::HourIndex start_hour, const AdvanceFn& advance, JournalContext* ctx);
+
+  /// Bit-exact codec for GuardrailEvaluation (used in WAVE_VERDICT payloads).
+  static std::string EncodeEvaluation(const GuardrailEvaluation& eval);
+  static Status DecodeEvaluation(const std::string& blob, GuardrailEvaluation* eval);
+
  private:
   /// Snapshot entry: (machine id, pre-rollout max_containers).
   using MachineSnapshot = std::vector<std::pair<int, int>>;
@@ -146,6 +177,15 @@ class GuardrailedRollout {
   /// Restores all snapshots, newest wave first.
   void Restore(const std::vector<MachineSnapshot>& snapshots,
                sim::Cluster* cluster, size_t* restored) const;
+
+  /// Body of ExecuteJournaled; `snapshots` is owned by the caller so the
+  /// error path can roll back whatever was applied before the failure.
+  Status RunJournaled(const std::vector<GroupRecommendation>& recommendations,
+                      sim::Cluster* cluster,
+                      const telemetry::TelemetryStore* store,
+                      sim::HourIndex start_hour, const AdvanceFn& advance,
+                      JournalContext* ctx, Report* report,
+                      std::vector<MachineSnapshot>* snapshots);
 
   Options options_;
 };

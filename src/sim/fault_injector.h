@@ -95,6 +95,13 @@ class TelemetryFaultInjector {
   const Counters& counters() const { return counters_; }
   const FaultProfile& profile() const { return profile_; }
 
+  /// Bit-exact checkpoint of mutable state: counters, frozen stuck payloads,
+  /// the delayed-record queue, watermark, and the write-hook call counter
+  /// (which keys the deterministic transient-failure draws). The profile and
+  /// seed are construction-time and not included.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
  private:
   /// Substream for the per-record fault draws.
   Rng RecordRng(const telemetry::MachineHourRecord& r, uint64_t salt) const;

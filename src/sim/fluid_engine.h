@@ -68,6 +68,14 @@ class FluidEngine {
   /// or non-positive hours.
   Status Run(HourIndex start_hour, int hours, telemetry::TelemetryStore* store);
 
+  /// Bit-exact checkpoint of mutable state: the RNG cursor, the demand
+  /// anchor, and per-machine downtime. baseline_slots_ must be restored
+  /// rather than recomputed — the restored cluster already carries applied
+  /// config changes, and re-anchoring demand to it would shift every
+  /// subsequent draw. offered_/assigned_ are per-hour scratch and excluded.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
  private:
   void SimulateHour(HourIndex hour, telemetry::TelemetryStore* store);
 

@@ -113,6 +113,13 @@ class IngestionPipeline {
   /// Highest hour accepted so far (lateness reference). -1 before any accept.
   sim::HourIndex watermark() const { return watermark_; }
 
+  /// Bit-exact checkpoint of the pipeline's mutable state: counters,
+  /// quarantine contents, dedup index, watermark, stuck-counter tracking, and
+  /// retry-policy counters (whose call index feeds the deterministic jitter).
+  /// Options and the sink binding are construction-time and not included.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
  private:
   /// Validation verdict for one record, OK reasons aside.
   bool Validate(const MachineHourRecord& r, QuarantineReason* reason) const;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "sim/types.h"
 
 namespace kea::telemetry {
@@ -85,6 +86,11 @@ struct JobRecord {
 /// CSV header + row serialization for MachineHourRecord dumps.
 std::vector<std::string> MachineHourCsvHeader();
 std::vector<std::string> MachineHourCsvRow(const MachineHourRecord& r);
+
+/// Bit-exact binary codec for checkpoint blobs (fault-injector queues,
+/// quarantine contents). Doubles are stored as raw IEEE-754 bit patterns.
+void PutMachineHourRecord(const MachineHourRecord& r, StateWriter* w);
+Status GetMachineHourRecord(StateReader* reader, MachineHourRecord* r);
 
 }  // namespace kea::telemetry
 

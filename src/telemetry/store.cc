@@ -57,6 +57,15 @@ StatusOr<std::pair<sim::HourIndex, sim::HourIndex>> TelemetryStore::HourRange() 
 }
 
 StatusOr<TelemetryStore> TelemetryStore::FromCsv(const std::string& text) {
+  // ToCsv() terminates every row — including the last — with '\n'. Text that
+  // does not end in a newline is therefore a truncation artifact, and its
+  // final row may hold a silently shortened number ("280.5" cut to "280."
+  // parses fine but means something else). Reject it outright rather than
+  // fabricating a value.
+  if (text.empty() || text.back() != '\n') {
+    return Status::InvalidArgument(
+        "telemetry CSV does not end in a newline (truncated?)");
+  }
   KEA_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(text));
   std::vector<std::string> header = MachineHourCsvHeader();
   std::vector<int> index;

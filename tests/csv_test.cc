@@ -4,6 +4,9 @@
 
 #include <cstdio>
 
+#include "common/crash_point.h"
+#include "common/journal.h"
+
 namespace kea {
 namespace {
 
@@ -94,6 +97,31 @@ TEST(CsvFileTest, WriteAndReadBack) {
   ASSERT_EQ(parsed->rows.size(), 1u);
   EXPECT_EQ(parsed->rows[0][0], "alpha");
   std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, WriteFileIsCrashSafe) {
+  // WriteFile goes through temp-file-plus-rename: a failure mid-write must
+  // leave the previous file byte-identical, never a truncated hybrid.
+  std::string path = testing::TempDir() + "/kea_csv_crash_test.csv";
+  CsvWriter first;
+  first.SetHeader({"k", "v"});
+  ASSERT_TRUE(first.AppendRow({"old", "1"}).ok());
+  ASSERT_TRUE(first.WriteFile(path).ok());
+
+  CsvWriter second;
+  second.SetHeader({"k", "v"});
+  ASSERT_TRUE(second.AppendRow({"new", "2"}).ok());
+  CrashPoints::Arm("atomic_write.before_rename");
+  Status crash = second.WriteFile(path);
+  CrashPoints::Reset();
+  ASSERT_TRUE(CrashPoints::IsCrash(crash)) << crash;
+  EXPECT_EQ(std::move(ReadFileToString(path)).value(), first.ToString());
+
+  // The retry (the "restarted process") replaces it cleanly.
+  ASSERT_TRUE(second.WriteFile(path).ok());
+  EXPECT_EQ(std::move(ReadFileToString(path)).value(), second.ToString());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 TEST(CsvFileTest, ReadMissingFileIsNotFound) {

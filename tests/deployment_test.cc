@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include "common/csv.h"
+#include "core/deployment_ledger.h"
+
 namespace kea::core {
 namespace {
 
@@ -162,6 +167,89 @@ TEST(DeploymentTest, RollbackRestoresMultiGroupBatchExactly) {
   EXPECT_FALSE(deploy.has_pending_batch());
   // History is an audit log: rollback does not erase it.
   EXPECT_EQ(deploy.history().size(), 3u);
+}
+
+TEST(DeploymentTest, EmptyHistoryCsvIsHeaderOnly) {
+  DeploymentModule deploy;
+  EXPECT_EQ(deploy.HistoryCsv(),
+            "sc,sku,old_max_containers,new_max_containers,clamped\n");
+}
+
+TEST(DeploymentTest, HistoryCsvListsChangesInOrderAndSurvivesRollback) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey a{0, 0}, b{0, 5};
+  int ca = GroupMax(cluster, a), cb = GroupMax(cluster, b);
+
+  ASSERT_TRUE(deploy.ApplyConservatively({{a, ca, ca + 1}}, &cluster).ok());
+  ASSERT_TRUE(deploy.ApplyConservatively({{b, cb, cb + 5}}, &cluster).ok());
+  ASSERT_TRUE(deploy.RollbackLast(&cluster).ok());
+
+  // History is an audit log: rollback restores the fleet but keeps the rows.
+  auto table = ParseCsv(deploy.HistoryCsv());
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0][0], "0");
+  EXPECT_EQ(table->rows[0][1], "0");
+  EXPECT_EQ(table->rows[0][3], std::to_string(ca + 1));
+  EXPECT_EQ(table->rows[0][4], "0");
+  EXPECT_EQ(table->rows[1][1], "5");
+  EXPECT_EQ(table->rows[1][3], std::to_string(cb + 1));  // Clamped to +1.
+  EXPECT_EQ(table->rows[1][4], "1");
+}
+
+TEST(DeploymentTest, LedgerRecordsAppliesAndRollbacksWriteAhead) {
+  const std::string path = testing::TempDir() + "/deployment_ledger_test.kea";
+  std::remove(path.c_str());
+  auto ledger = std::move(DeploymentLedger::Open(path)).value();
+
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  deploy.AttachLedger(ledger.get());
+  sim::MachineGroupKey key{0, 0};
+  int current = GroupMax(cluster, key);
+
+  ASSERT_TRUE(deploy.ApplyConservatively({{key, current, current + 1}}, &cluster).ok());
+  ASSERT_TRUE(deploy.RollbackLast(&cluster).ok());
+  // The ineffective second rollback mutates nothing and records nothing.
+  EXPECT_EQ(deploy.RollbackLast(&cluster).code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_EQ(ledger->events().size(), 2u);
+  EXPECT_EQ(ledger->events()[0].type, DeploymentLedger::EventType::kApply);
+  EXPECT_EQ(ledger->events()[0].key, "module/apply/0");
+  EXPECT_EQ(ledger->events()[1].type, DeploymentLedger::EventType::kModuleRollback);
+  EXPECT_EQ(ledger->events()[1].key, "module/rollback/0");
+
+  // The ledger's applied-change export carries the per-group row.
+  auto table = ParseCsv(ledger->AppliedChangesCsv());
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][table->ColumnIndex("kind")], "group");
+  EXPECT_EQ(table->rows[0][table->ColumnIndex("sc")], "0");
+  EXPECT_EQ(table->rows[0][table->ColumnIndex("machine_id")], "-1");
+  EXPECT_EQ(table->rows[0][table->ColumnIndex("new_max_containers")],
+            std::to_string(current + 1));
+  std::remove(path.c_str());
+}
+
+TEST(DeploymentTest, StateRoundTripPreservesHistoryAndCounters) {
+  sim::Cluster cluster = MakeCluster();
+  DeploymentModule deploy;
+  sim::MachineGroupKey key{0, 0};
+  int current = GroupMax(cluster, key);
+  ASSERT_TRUE(deploy.ApplyConservatively({{key, current, current + 1}}, &cluster).ok());
+
+  DeploymentModule twin;
+  ASSERT_TRUE(twin.RestoreState(deploy.SerializeState()).ok());
+  EXPECT_EQ(twin.HistoryCsv(), deploy.HistoryCsv());
+  EXPECT_TRUE(twin.has_pending_batch());
+  // The restored twin can roll back the original's batch.
+  ASSERT_TRUE(twin.RollbackLast(&cluster).ok());
+  EXPECT_EQ(GroupMax(cluster, key), current);
+  // Truncated blobs are rejected whole.
+  std::string blob = deploy.SerializeState();
+  EXPECT_EQ(twin.RestoreState(blob.substr(0, blob.size() / 2)).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(DeploymentTest, Validation) {

@@ -146,3 +146,121 @@ INSTANTIATE_TEST_SUITE_P(ShapeGrid, SeasonalityTest,
 
 }  // namespace
 }  // namespace kea::sim
+
+// ---------------------------------------------------------------------------
+// Telemetry CSV durability properties: a randomized store round-trips
+// bit-exactly through ToCsv/FromCsv, and truncating the CSV at ANY byte
+// offset either fails cleanly or yields a strict row-prefix — never a crash,
+// never a fabricated value.
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+
+#include "telemetry/store.h"
+
+namespace kea::telemetry {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::vector<double*> DoubleFields(MachineHourRecord* r) {
+  return {&r->avg_running_containers, &r->cpu_utilization, &r->tasks_finished,
+          &r->data_read_mb,           &r->avg_task_latency_s,
+          &r->cpu_time_core_s,        &r->queued_containers,
+          &r->queue_latency_ms,       &r->rejected_containers,
+          &r->cores_used,             &r->ssd_used_gb,
+          &r->ram_used_gb,            &r->network_used_mbps,
+          &r->power_watts};
+}
+
+TelemetryStore RandomStore(uint64_t seed, int records) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> mantissa(-1.0, 1.0);
+  std::uniform_int_distribution<int> exponent(-300, 300);
+  std::uniform_int_distribution<int> small(0, 4096);
+  TelemetryStore store;
+  for (int i = 0; i < records; ++i) {
+    MachineHourRecord r;
+    r.machine_id = small(rng);
+    r.hour = small(rng);
+    r.rack = small(rng);
+    r.sku = small(rng) % 8;
+    r.sc = small(rng) % 4;
+    int field = 0;
+    for (double* v : DoubleFields(&r)) {
+      switch ((i + field++) % 5) {
+        case 0: *v = std::ldexp(mantissa(rng), exponent(rng)); break;
+        case 1: *v = mantissa(rng); break;
+        case 2: *v = 0.0; break;
+        case 3: *v = -0.0; break;
+        default: *v = static_cast<double>(small(rng)); break;
+      }
+    }
+    store.Append(r);
+  }
+  return store;
+}
+
+void ExpectBitIdentical(const MachineHourRecord& a, MachineHourRecord b,
+                        size_t index) {
+  MachineHourRecord a_copy = a;
+  EXPECT_EQ(a.machine_id, b.machine_id) << index;
+  EXPECT_EQ(a.hour, b.hour) << index;
+  EXPECT_EQ(a.rack, b.rack) << index;
+  EXPECT_EQ(a.sku, b.sku) << index;
+  EXPECT_EQ(a.sc, b.sc) << index;
+  auto a_fields = DoubleFields(&a_copy);
+  auto b_fields = DoubleFields(&b);
+  for (size_t f = 0; f < a_fields.size(); ++f) {
+    EXPECT_EQ(DoubleBits(*a_fields[f]), DoubleBits(*b_fields[f]))
+        << "record " << index << " double field " << f;
+  }
+}
+
+class TelemetryCsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TelemetryCsvPropertyTest, RandomStoreRoundTripsBitExactly) {
+  TelemetryStore store = RandomStore(GetParam(), 64);
+  const std::string csv = store.ToCsv();
+  auto parsed = TelemetryStore::FromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    ExpectBitIdentical(store.records()[i], parsed->records()[i], i);
+  }
+  // Print -> parse -> print is a fixed point.
+  EXPECT_EQ(parsed->ToCsv(), csv);
+}
+
+TEST_P(TelemetryCsvPropertyTest, TruncationAtAnyOffsetNeverFabricates) {
+  TelemetryStore store = RandomStore(GetParam() ^ 0x9e3779b9, 24);
+  const std::string csv = store.ToCsv();
+  for (size_t cut = 0; cut < csv.size(); ++cut) {
+    auto parsed = TelemetryStore::FromCsv(csv.substr(0, cut));
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "cut at byte " << cut;
+      continue;
+    }
+    // Only a cut on a line boundary may parse, and then only to a strict
+    // prefix of the original records, each bit-identical — a truncated
+    // "280.5" must never come back as 280.
+    ASSERT_GT(cut, 0u);
+    EXPECT_EQ(csv[cut - 1], '\n') << "cut at byte " << cut;
+    ASSERT_LT(parsed->size(), store.size()) << "cut at byte " << cut;
+    for (size_t i = 0; i < parsed->size(); ++i) {
+      ExpectBitIdentical(store.records()[i], parsed->records()[i], i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGrid, TelemetryCsvPropertyTest,
+                         ::testing::Values(1u, 7u, 1234u));
+
+}  // namespace
+}  // namespace kea::telemetry
