@@ -17,12 +17,62 @@
 #include "apps/yarn_tuner.h"
 #include "bench/bench_util.h"
 #include "core/whatif.h"
+#include "obs/metrics.h"
 #include "opt/montecarlo.h"
 #include "sim/fluid_sweep.h"
 
 namespace {
 
 using namespace kea;
+
+/// Snapshot of the ThreadPool's kea::obs instruments. Captured before and
+/// after the timed loop so each benchmark reports the pool's queue depth and
+/// task latency for its own work only (the registry is process-global).
+struct PoolMetrics {
+  uint64_t jobs = 0, tasks = 0;
+  uint64_t wait_count = 0, run_count = 0, depth_count = 0;
+  double wait_sum = 0.0, run_sum = 0.0, depth_sum = 0.0;
+
+  static PoolMetrics Capture() {
+    obs::Registry& reg = obs::Registry::Get();
+    obs::Histogram* wait = reg.GetHistogram(
+        "threadpool.task_wait_us", "", obs::LatencyBucketsUs(),
+        obs::Kind::kTiming);
+    obs::Histogram* run = reg.GetHistogram(
+        "threadpool.task_run_us", "", obs::LatencyBucketsUs(),
+        obs::Kind::kTiming);
+    obs::Histogram* depth = reg.GetHistogram(
+        "threadpool.queue_depth", "", obs::DepthBuckets(), obs::Kind::kTiming);
+    PoolMetrics m;
+    m.jobs = reg.CounterValue("threadpool.jobs");
+    m.tasks = reg.CounterValue("threadpool.tasks");
+    m.wait_count = wait->count();
+    m.wait_sum = wait->sum();
+    m.run_count = run->count();
+    m.run_sum = run->sum();
+    m.depth_count = depth->count();
+    m.depth_sum = depth->sum();
+    return m;
+  }
+
+  /// Publishes the delta since `before` as benchmark counters.
+  void ReportDeltaSince(const PoolMetrics& before,
+                        benchmark::State& state) const {
+    auto mean = [](double sum, uint64_t n) {
+      return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    };
+    state.counters["pool_jobs"] =
+        benchmark::Counter(static_cast<double>(jobs - before.jobs));
+    state.counters["pool_tasks"] =
+        benchmark::Counter(static_cast<double>(tasks - before.tasks));
+    state.counters["queue_depth_mean"] = benchmark::Counter(
+        mean(depth_sum - before.depth_sum, depth_count - before.depth_count));
+    state.counters["task_wait_us_mean"] = benchmark::Counter(
+        mean(wait_sum - before.wait_sum, wait_count - before.wait_count));
+    state.counters["task_run_us_mean"] = benchmark::Counter(
+        mean(run_sum - before.run_sum, run_count - before.run_count));
+  }
+};
 
 /// The Monte-Carlo grid workload of Section 6.1: ~1000 draws per candidate
 /// over a SKU-design-sized candidate grid, with a compute-heavy sampler.
@@ -39,11 +89,13 @@ void BM_MonteCarloGridScaling(benchmark::State& state) {
     }
     return cost;
   };
+  PoolMetrics before = PoolMetrics::Capture();
   for (auto _ : state) {
     Rng rng(42);
     auto grid = opt::EstimateOverGrid(candidates, sample, iterations, &rng, options);
     benchmark::DoNotOptimize(grid);
   }
+  PoolMetrics::Capture().ReportDeltaSince(before, state);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(candidates) * iterations);
 }
@@ -56,10 +108,12 @@ void BM_WhatIfFitScaling(benchmark::State& state) {
   env.Run(0, sim::kHoursPerWeek);
   core::WhatIfEngine::Options options;
   options.num_threads = static_cast<int>(state.range(0));
+  PoolMetrics before = PoolMetrics::Capture();
   for (auto _ : state) {
     auto engine = core::WhatIfEngine::Fit(env.store, nullptr, options);
     benchmark::DoNotOptimize(engine);
   }
+  PoolMetrics::Capture().ReportDeltaSince(before, state);
 }
 BENCHMARK(BM_WhatIfFitScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -82,11 +136,13 @@ void BM_FluidSweepScaling(benchmark::State& state) {
   sim::SweepOptions options;
   options.hours = sim::kHoursPerDay;
   options.num_threads = static_cast<int>(state.range(0));
+  PoolMetrics before = PoolMetrics::Capture();
   for (auto _ : state) {
     auto summaries = sim::RunConfigSweep(&env.model, env.cluster, &env.workload,
                                          candidates, options);
     benchmark::DoNotOptimize(summaries);
   }
+  PoolMetrics::Capture().ReportDeltaSince(before, state);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(candidates.size()) * options.hours);
 }

@@ -84,5 +84,12 @@ int main() {
   }
   std::printf("telemetry CSV sample (5 of %zu machine-hours):\n%s",
               session.store().size(), sample.ToCsv().c_str());
+
+  // --- Ops view: what the pipeline itself did --------------------------------
+  // Every deterministic counter the run incremented — fits, thread-pool jobs,
+  // snapshot writes — rendered beside the fleet views above.
+  std::printf("\n%s", telemetry::RenderObsPanel().c_str());
+  std::string trace_summary = telemetry::RenderTraceSummary();
+  if (!trace_summary.empty()) std::printf("\n%s", trace_summary.c_str());
   return 0;
 }

@@ -7,16 +7,24 @@
 // 4. Ask the YARN tuner for a configuration recommendation and print it.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Set KEA_TRACE=/path/to/trace.json to record a hierarchical span trace of
+// the run; open the file in https://ui.perfetto.dev or chrome://tracing.
 
 #include <cstdio>
+#include <string>
 
 #include "apps/yarn_tuner.h"
 #include "core/whatif.h"
+#include "obs/trace.h"
 #include "sim/fluid_engine.h"
 #include "telemetry/perf_monitor.h"
 
 int main() {
   using namespace kea;
+
+  // Tracing is off unless KEA_TRACE names an output file.
+  obs::EnableTracingFromEnv();
 
   // --- 1. The simulated infrastructure -------------------------------------
   sim::PerfModel model = sim::PerfModel::CreateDefault();
@@ -71,5 +79,17 @@ int main() {
   }
   std::printf("\npredicted capacity gain at equal latency: %+.2f%%\n",
               plan->predicted_capacity_gain * 100.0);
+
+  // --- 5. Export the trace if KEA_TRACE was set ----------------------------
+  std::string trace_path, trace_error;
+  if (obs::WriteTraceFromEnv(&trace_path, &trace_error)) {
+    if (!trace_path.empty()) {
+      std::printf("\ntrace written to %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "trace export failed: %s\n", trace_error.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -9,6 +9,8 @@
 #include "common/crash_point.h"
 #include "common/journal.h"
 #include "common/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "telemetry/perf_monitor.h"
 
 namespace kea::apps {
@@ -16,6 +18,40 @@ namespace {
 
 constexpr char kLedgerFile[] = "/ledger.kea";
 constexpr char kCheckpointFile[] = "/checkpoint.kea";
+
+// Deterministic session-level counters: logical calls and simulated hours, not
+// wall clock. The durable.step_* counters classify each resumed-round step the
+// same way the journaled rollout does, so a resumed run's step mix is visible
+// in one place.
+obs::Counter* SimulateCallsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("session.simulate_calls");
+  return c;
+}
+obs::Counter* SimulateHoursCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("session.simulate_hours");
+  return c;
+}
+obs::Counter* RoundsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("session.rounds");
+  return c;
+}
+obs::Counter* StepReplayedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durable.step_replayed");
+  return c;
+}
+obs::Counter* StepRedrivenCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durable.step_redriven");
+  return c;
+}
+obs::Counter* StepFreshCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durable.step_fresh");
+  return c;
+}
 
 // ---- Bit-exact codecs for the checkpoint's "config" section. Everything a
 // session was constructed with goes in, so Resume() needs only the directory.
@@ -314,6 +350,10 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Create(const Config& config) {
 }
 
 Status KeaSession::Simulate(int hours) {
+  KEA_TRACE_SPAN("session.simulate", {{"hours", std::to_string(hours)},
+                                      {"start_hour", std::to_string(now_)}});
+  SimulateCallsCounter()->Increment();
+  if (hours > 0) SimulateHoursCounter()->Increment(static_cast<uint64_t>(hours));
   if (ingestion_ == nullptr) {
     KEA_RETURN_IF_ERROR(engine_->Run(now_, hours, &store_));
     now_ += hours;
@@ -561,6 +601,10 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   if (now_ == 0) {
     return Status::FailedPrecondition("simulate telemetry before tuning");
   }
+  KEA_TRACE_SPAN("session.round", {{"kind", "yarn"},
+                                   {"lookback_hours",
+                                    std::to_string(lookback_hours)}});
+  RoundsCounter()->Increment();
   sim::HourIndex begin = std::max(0, now_ - lookback_hours);
 
   KEA_ASSIGN_OR_RETURN(
@@ -606,6 +650,10 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
   if (now_ == 0) {
     return Status::FailedPrecondition("simulate telemetry before tuning");
   }
+  KEA_TRACE_SPAN("session.round", {{"kind", "guarded"},
+                                   {"lookback_hours",
+                                    std::to_string(options.lookback_hours)}});
+  RoundsCounter()->Increment();
   sim::HourIndex begin = std::max(0, now_ - options.lookback_hours);
 
   KEA_ASSIGN_OR_RETURN(
@@ -642,6 +690,9 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
     const GuardedRoundOptions& options) {
   const int64_t round_number = round_count_;
   const std::string round_key = "round/" + std::to_string(round_number);
+  KEA_TRACE_SPAN("session.round", {{"kind", "durable"},
+                                   {"round", std::to_string(round_number)}});
+  RoundsCounter()->Increment();
   GuardedRound round;
   sim::HourIndex start_hour = 0;
   std::unique_ptr<core::WhatIfEngine> fresh_engine;
@@ -655,15 +706,18 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
         ledger_->Find(round_key + "/started");
     std::string payload;
     if (event != nullptr && event->seq < durable_seq_) {
+      StepReplayedCounter()->Increment();
       payload = event->payload;  // Replay: checkpoint already covers it.
     } else {
       KEA_RETURN_IF_ERROR(CrashPoints::Check("session.round_started.pre"));
       uint64_t seq = 0;
       if (event != nullptr) {
         // Journaled but not yet checkpointed: re-drive from the record.
+        StepRedrivenCounter()->Increment();
         payload = event->payload;
         seq = event->seq;
       } else {
+        StepFreshCounter()->Increment();
         if (options.lookback_hours <= 0) {
           return Status::InvalidArgument("lookback_hours must be positive");
         }
@@ -726,8 +780,10 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
       KEA_RETURN_IF_ERROR(CrashPoints::Check("session.round_finished.pre"));
       uint64_t seq = 0;
       if (event != nullptr) {
+        StepRedrivenCounter()->Increment();
         seq = event->seq;
       } else {
+        StepFreshCounter()->Increment();
         StateWriter outcome;
         outcome.PutInt(static_cast<int>(round.rollout.outcome));
         outcome.PutInt(round.rollout.tripped_wave);
@@ -751,6 +807,7 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
       last_whatif_options_ = options.tuner.whatif;
       KEA_RETURN_IF_ERROR(WriteCheckpoint(seq + 1));
     } else {
+      StepReplayedCounter()->Increment();
       round_count_ = round_number + 1;
       has_round_ = true;
       last_fit_begin_ = round.fit_begin;

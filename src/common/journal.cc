@@ -1,12 +1,59 @@
 #include "common/journal.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "common/crash_point.h"
+#include "obs/metrics.h"
 
 namespace kea {
 namespace {
+
+// Deterministic counters: appends/bytes are logical-event totals (the
+// journaled paths are single-threaded by design). Latency histograms are
+// kTiming and excluded from deterministic exports.
+obs::Counter* AppendsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("journal.appends");
+  return c;
+}
+obs::Counter* AppendBytesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("journal.append_bytes");
+  return c;
+}
+obs::Counter* TornTailsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("journal.torn_tails_recovered");
+  return c;
+}
+obs::Histogram* AppendLatencyHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "journal.append_us", "", obs::LatencyBucketsUs(), obs::Kind::kTiming);
+  return h;
+}
+obs::Counter* AtomicWritesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("atomic_write.files");
+  return c;
+}
+obs::Counter* AtomicWriteBytesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("atomic_write.bytes");
+  return c;
+}
+obs::Histogram* AtomicWriteLatencyHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "atomic_write.write_us", "", obs::LatencyBucketsUs(),
+      obs::Kind::kTiming);
+  return h;
+}
+
+double ElapsedUsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 constexpr char kMagic[] = "KEAJNL01";
 constexpr size_t kMagicLen = 8;
@@ -54,6 +101,7 @@ uint32_t Crc32(const char* data, size_t size) {
 }
 
 Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const auto start = std::chrono::steady_clock::now();
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -70,6 +118,11 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
   KEA_CRASH_POINT("atomic_write.before_rename");
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  AtomicWritesCounter()->Increment();
+  AtomicWriteBytesCounter()->Increment(content.size());
+  if (obs::MetricsEnabled()) {
+    AtomicWriteLatencyHistogram()->Observe(ElapsedUsSince(start));
   }
   return Status::OK();
 }
@@ -138,6 +191,7 @@ StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
   }
 
   if (info.tail_truncated) {
+    TornTailsCounter()->Increment();
     // Physically drop the torn tail so the next append starts at a record
     // boundary: rewrite the intact prefix atomically, then reopen for append.
     KEA_RETURN_IF_ERROR(AtomicWriteFile(path, data.substr(0, good_end)));
@@ -167,12 +221,18 @@ Status Journal::Append(const std::string& payload) {
     return torn;
   }
 
+  const auto start = std::chrono::steady_clock::now();
   out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
   out_.flush();
   if (!out_.good()) {
     return Status::Internal("journal append failed: " + path_);
   }
   records_.push_back(payload);
+  AppendsCounter()->Increment();
+  AppendBytesCounter()->Increment(framed.size());
+  if (obs::MetricsEnabled()) {
+    AppendLatencyHistogram()->Observe(ElapsedUsSince(start));
+  }
   return Status::OK();
 }
 

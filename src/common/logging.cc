@@ -1,7 +1,10 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+
+#include "obs/metrics.h"
 
 namespace kea {
 
@@ -26,17 +29,66 @@ std::mutex& LogMutex() {
   return *mu;
 }
 
+// Per-level emitted-line counters. Deterministic: lines are logical events;
+// the timestamp prefix (wall clock) never reaches the registry.
+obs::Counter* LinesCounter(LogLevel level) {
+  static obs::Counter* counters[4] = {
+      obs::Registry::Get().GetCounter("log.lines", "level=DEBUG"),
+      obs::Registry::Get().GetCounter("log.lines", "level=INFO"),
+      obs::Registry::Get().GetCounter("log.lines", "level=WARN"),
+      obs::Registry::Get().GetCounter("log.lines", "level=ERROR"),
+  };
+  int i = static_cast<int>(level);
+  if (i < 0 || i > 3) i = 3;
+  return counters[i];
+}
+
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
 
 Logger& Logger::Get() {
   static Logger* logger = new Logger;
+  // Pin the timestamp epoch to first use so `[+0.000s]` means "logger came
+  // up", not "first timestamped line".
+  (void)LogEpoch();
   return *logger;
 }
 
-void Logger::Write(LogLevel level, const std::string& message) {
-  if (quiet_ || static_cast<int>(level) < static_cast<int>(min_level_)) return;
+void Logger::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::fprintf(stderr, "[kea %s] %s\n", LevelName(level), message.c_str());
+  sink_ = std::move(sink);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (quiet() || static_cast<int>(level) < static_cast<int>(min_level_.load(
+                                               std::memory_order_relaxed))) {
+    return;
+  }
+  LinesCounter(level)->Increment();
+  std::string line;
+  if (timestamps()) {
+    char prefix[32];
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - LogEpoch())
+                      .count();
+    std::snprintf(prefix, sizeof(prefix), "[+%.3fs] ", secs);
+    line += prefix;
+  }
+  line += "[kea ";
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  if (sink_) {
+    sink_(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace kea

@@ -1,6 +1,8 @@
 #ifndef KEA_COMMON_LOGGING_H_
 #define KEA_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,27 +14,59 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Minimal leveled logger writing to stderr. Not a full logging framework:
 /// enough for library diagnostics without external dependencies.
 ///
+/// Thread-safe: the level/quiet filters are atomics so concurrent writers
+/// never race with a test flipping them, and line emission is serialized so
+/// output from concurrent threads never interleaves mid-line.
+///
 /// Usage: `KEA_LOG(Info) << "fitted " << n << " models";`
 class Logger {
  public:
+  /// Replacement destination for formatted log lines. Receives the level and
+  /// the fully formatted line (timestamp prefix included, no trailing
+  /// newline). Used to capture log output as obs events or into test buffers.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
   /// Returns the process-wide logger.
   static Logger& Get();
 
   /// Messages below `level` are dropped.
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
 
   /// Silences all output (used by tests).
-  void set_quiet(bool quiet) { quiet_ = quiet; }
-  bool quiet() const { return quiet_; }
+  void set_quiet(bool quiet) {
+    quiet_.store(quiet, std::memory_order_relaxed);
+  }
+  bool quiet() const { return quiet_.load(std::memory_order_relaxed); }
+
+  /// Prefixes each line with a monotonic `[+12.345s]` timestamp (steady
+  /// clock, seconds since the logger was first used). Off by default so
+  /// deterministic golden outputs stay byte-stable.
+  void set_timestamps(bool enabled) {
+    timestamps_.store(enabled, std::memory_order_relaxed);
+  }
+  bool timestamps() const {
+    return timestamps_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirects formatted lines to `sink` instead of stderr; pass nullptr to
+  /// restore stderr. The sink is invoked with emission serialized, so it may
+  /// append to unsynchronized storage.
+  void set_sink(Sink sink);
 
   /// Writes one formatted line if `level` passes the filter.
   void Write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel min_level_ = LogLevel::kInfo;
-  bool quiet_ = false;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<bool> quiet_{false};
+  std::atomic<bool> timestamps_{false};
+  Sink sink_;  // Guarded by the emission mutex in logging.cc.
 };
 
 namespace internal_logging {

@@ -1,11 +1,28 @@
 #include "common/snapshot.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/journal.h"
+#include "obs/metrics.h"
 
 namespace kea {
 namespace {
+
+// Deterministic write/byte totals; write latency is kTiming (wall clock).
+obs::Counter* SnapshotWritesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("snapshot.writes");
+  return c;
+}
+obs::Counter* SnapshotBytesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("snapshot.bytes");
+  return c;
+}
+obs::Histogram* SnapshotWriteLatencyHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "snapshot.write_us", "", obs::LatencyBucketsUs(), obs::Kind::kTiming);
+  return h;
+}
 
 constexpr char kMagic[] = "KEASNP01";
 constexpr size_t kMagicLen = 8;
@@ -48,7 +65,19 @@ Status SnapshotWriter::WriteFile(const std::string& path) const {
     AppendU32(Crc32(content), &out);
     out += content;
   }
-  return AtomicWriteFile(path, out);
+  const auto start = std::chrono::steady_clock::now();
+  Status written = AtomicWriteFile(path, out);
+  if (written.ok()) {
+    SnapshotWritesCounter()->Increment();
+    SnapshotBytesCounter()->Increment(out.size());
+    if (obs::MetricsEnabled()) {
+      SnapshotWriteLatencyHistogram()->Observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+  }
+  return written;
 }
 
 StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace kea::common {
 
 namespace {
@@ -10,6 +13,54 @@ namespace {
 /// ParallelFor detect same-pool nesting and fall back to inline execution
 /// instead of deadlocking on its own drained workers.
 thread_local const ThreadPool* t_current_pool = nullptr;
+
+// Deterministic instruments: one job per ParallelFor/Run, one task per loop
+// index — totals are independent of thread count by construction, so the
+// inline and pooled paths below must bump them identically.
+obs::Counter* JobsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("threadpool.jobs");
+  return c;
+}
+obs::Counter* TasksCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("threadpool.tasks");
+  return c;
+}
+
+// Timing instruments (kTiming: wall-clock derived, excluded from the
+// deterministic exports). Wait = dispatch -> index pickup; run = body
+// duration; queue depth = indices still unclaimed at pickup.
+obs::Histogram* TaskWaitHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "threadpool.task_wait_us", "", obs::LatencyBucketsUs(),
+      obs::Kind::kTiming);
+  return h;
+}
+obs::Histogram* TaskRunHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "threadpool.task_run_us", "", obs::LatencyBucketsUs(),
+      obs::Kind::kTiming);
+  return h;
+}
+obs::Histogram* QueueDepthHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "threadpool.queue_depth", "", obs::DepthBuckets(), obs::Kind::kTiming);
+  return h;
+}
+
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+// The serial paths (no workers, n == 1, nested call, Run with one thread)
+// must count the same logical events as the pooled path.
+void RunInline(size_t n, const std::function<void(size_t)>& fn) {
+  JobsCounter()->Increment();
+  for (size_t i = 0; i < n; ++i) {
+    fn(i);
+    TasksCounter()->Increment();
+  }
+}
 
 }  // namespace
 
@@ -53,13 +104,44 @@ void ThreadPool::DrainIndices(std::unique_lock<std::mutex>& lock,
   while (generation_ == generation && !stopping_ && next_index_ < job_size_) {
     const size_t i = next_index_++;
     const std::function<void(size_t)>* job = job_;
+    const size_t depth = job_size_ - next_index_;
+    const auto dispatch_time = job_dispatch_time_;
+    const uint64_t parent_span = job_parent_span_;
     lock.unlock();
+
+    const bool timing = obs::MetricsEnabled();
+    std::chrono::steady_clock::time_point run_start;
+    if (timing) {
+      run_start = std::chrono::steady_clock::now();
+      TaskWaitHistogram()->Observe(ElapsedUs(dispatch_time, run_start));
+      QueueDepthHistogram()->Observe(static_cast<double>(depth));
+    }
+    // Spans begun inside the body (per-group fits, per-candidate draws)
+    // nest under the dispatching ParallelFor span rather than floating as
+    // roots on the worker thread.
+    const bool traced = obs::TraceEnabled();
+    uint64_t previous_parent = 0;
+    if (traced) {
+      previous_parent =
+          obs::Tracer::Get().ExchangeThreadDefaultParent(parent_span);
+    }
+
     std::exception_ptr err;
     try {
       (*job)(i);
     } catch (...) {
       err = std::current_exception();
     }
+
+    if (traced) {
+      obs::Tracer::Get().ExchangeThreadDefaultParent(previous_parent);
+    }
+    if (timing) {
+      TaskRunHistogram()->Observe(
+          ElapsedUs(run_start, std::chrono::steady_clock::now()));
+    }
+    TasksCounter()->Increment();
+
     lock.lock();
     if (err && (!error_ || i < error_index_)) {
       error_ = err;
@@ -72,9 +154,12 @@ void ThreadPool::DrainIndices(std::unique_lock<std::mutex>& lock,
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || t_current_pool == this) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInline(n, fn);
     return;
   }
+
+  KEA_TRACE_SPAN("threadpool.parallel_for", {{"n", std::to_string(n)}});
+  JobsCounter()->Increment();
 
   // The caller participates in the loop below, so it must carry the same
   // nesting marker as the workers: a re-entrant ParallelFor from one of the
@@ -89,6 +174,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   completed_ = 0;
   error_index_ = 0;
   error_ = nullptr;
+  job_dispatch_time_ = std::chrono::steady_clock::now();
+  job_parent_span_ = obs::Tracer::Get().CurrentSpanId();
   const uint64_t generation = ++generation_;
   work_cv_.notify_all();
 
@@ -107,7 +194,7 @@ void ThreadPool::Run(int num_threads, size_t n,
                      const std::function<void(size_t)>& fn) {
   int total = ResolveThreads(num_threads);
   if (total <= 1 || n < 2) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    RunInline(n, fn);
     return;
   }
   total = static_cast<int>(std::min<size_t>(static_cast<size_t>(total), n));

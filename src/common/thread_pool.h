@@ -1,6 +1,7 @@
 #ifndef KEA_COMMON_THREAD_POOL_H_
 #define KEA_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -80,6 +81,13 @@ class ThreadPool {
   size_t completed_ = 0;
   size_t error_index_ = 0;
   std::exception_ptr error_;
+
+  // Observability context of the current job (guarded by mu_): the dispatch
+  // time feeds the task-wait histogram and the dispatching span id lets
+  // worker-side spans nest under the ParallelFor span (kTiming only — none
+  // of this affects which index runs where).
+  std::chrono::steady_clock::time_point job_dispatch_time_{};
+  uint64_t job_parent_span_ = 0;
 };
 
 }  // namespace kea::common

@@ -8,9 +8,49 @@
 
 #include "common/crash_point.h"
 #include "common/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kea::core {
 namespace {
+
+// Deterministic rollout counters: wave/trip/rollback totals are logical
+// events (the rollout loop is single-threaded). The durable.step_* trio
+// classifies journaled steps on resume — REPLAY (checkpoint already holds
+// the effect), RE-DRIVE (journaled intent, effect re-run), FRESH (new) —
+// the audit trail that explains what a recovery actually did.
+obs::Counter* WavesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("rollout.waves");
+  return c;
+}
+obs::Counter* TripsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("rollout.guardrail_trips");
+  return c;
+}
+obs::Counter* RollbacksCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("rollout.rollbacks");
+  return c;
+}
+obs::Counter* MachinesRestoredCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("rollout.machines_restored");
+  return c;
+}
+obs::Counter* StepReplayedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durable.step_replayed");
+  return c;
+}
+obs::Counter* StepRedrivenCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durable.step_redriven");
+  return c;
+}
+obs::Counter* StepFreshCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("durable.step_fresh");
+  return c;
+}
 
 /// Guardrail metrics of one telemetry window restricted to a machine set.
 struct WindowMetrics {
@@ -206,6 +246,8 @@ StatusOr<GuardrailedRollout::Report> GuardrailedRollout::Execute(
     }
     if (end_sc == next_sc && next_sc < num_sc) end_sc = next_sc + 1;
 
+    KEA_TRACE_SPAN("rollout.wave", {{"wave", std::to_string(w)}});
+    WavesCounter()->Increment();
     WaveResult wave;
     wave.wave = static_cast<int>(w);
     std::vector<int> wave_machines;
@@ -249,8 +291,11 @@ StatusOr<GuardrailedRollout::Report> GuardrailedRollout::Execute(
     report.waves.push_back(std::move(wave));
 
     if (tripped) {
+      TripsCounter()->Increment();
       report.tripped_wave = static_cast<int>(w);
       Restore(snapshots, cluster, &report.machines_restored);
+      RollbacksCounter()->Increment();
+      MachinesRestoredCounter()->Increment(report.machines_restored);
       report.outcome = Outcome::kRolledBack;
       return report;
     }
@@ -345,6 +390,7 @@ Status GuardrailedRollout::RunJournaled(
                   std::string* out_payload) -> Status {
     const DeploymentLedger::Event* ev = ctx->ledger->Find(key);
     if (ev != nullptr && ev->seq < ctx->durable_seq) {
+      StepReplayedCounter()->Increment();
       *out_payload = ev->payload;
       return Status::OK();
     }
@@ -352,9 +398,11 @@ Status GuardrailedRollout::RunJournaled(
     std::string payload;
     uint64_t seq = 0;
     if (ev != nullptr) {
+      StepRedrivenCounter()->Increment();
       payload = ev->payload;
       seq = ev->seq;
     } else {
+      StepFreshCounter()->Increment();
       payload = make_payload();
       KEA_ASSIGN_OR_RETURN(const DeploymentLedger::Event* appended,
                            ctx->ledger->Append(type, key, payload));
@@ -377,7 +425,8 @@ Status GuardrailedRollout::RunJournaled(
   int num_sc = cluster->num_subclusters();
   if (num_sc <= 0) return Status::FailedPrecondition("cluster has no sub-clusters");
 
-  const std::string rkey = "r" + std::to_string(ctx->round);
+  std::string rkey = "r";
+  rkey += std::to_string(ctx->round);
   std::vector<int> treated;
   sim::HourIndex now = start_hour;
   sim::HourIndex baseline_begin = std::max(0, start_hour - options_.baseline_hours);
@@ -386,6 +435,10 @@ Status GuardrailedRollout::RunJournaled(
   bool tripped = false;
   for (size_t w = 0; w < options_.wave_fractions.size() && !tripped; ++w) {
     const std::string wkey = rkey + "/w" + std::to_string(w);
+    KEA_TRACE_SPAN("rollout.wave", {{"wave", std::to_string(w)},
+                                    {"key", wkey},
+                                    {"journaled", "1"}});
+    WavesCounter()->Increment();
     WaveResult wave;
     wave.wave = static_cast<int>(w);
 
@@ -536,6 +589,7 @@ Status GuardrailedRollout::RunJournaled(
     report->waves.push_back(std::move(wave));
 
     if (tripped) {
+      TripsCounter()->Increment();
       report->tripped_wave = static_cast<int>(w);
       // -- ROLLBACK: restore every applied wave, newest first.
       KEA_RETURN_IF_ERROR(step(
@@ -558,6 +612,8 @@ Status GuardrailedRollout::RunJournaled(
       uint64_t restored = 0;
       KEA_RETURN_IF_ERROR(sr.GetU64(&restored));
       report->machines_restored = restored;
+      RollbacksCounter()->Increment();
+      MachinesRestoredCounter()->Increment(restored);
       // The world is back to its entry state; don't restore again on return.
       snapshots->clear();
       report->outcome = Outcome::kRolledBack;

@@ -6,10 +6,28 @@
 #include "common/thread_pool.h"
 #include "ml/model_selection.h"
 #include "ml/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kea::core {
 
 namespace {
+
+// Deterministic: logical fit events, identical at any thread count.
+obs::Counter* FitsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("whatif.fits");
+  return c;
+}
+obs::Counter* GroupsFittedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("whatif.groups_fitted");
+  return c;
+}
+obs::Counter* GroupsSkippedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("whatif.groups_skipped");
+  return c;
+}
 
 StatusOr<ml::LinearModel> FitPairs(const std::vector<double>& x,
                                    const std::vector<double>& y,
@@ -83,6 +101,10 @@ StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
   if (grouped.empty()) {
     return Status::FailedPrecondition("no telemetry to fit the What-if Engine");
   }
+  KEA_TRACE_SPAN("whatif.fit",
+                 {{"groups", std::to_string(grouped.size())},
+                  {"records", std::to_string(store.size())}});
+  FitsCounter()->Increment();
 
   // Groups are independent (one g/h/f triple per SC-SKU combination), so the
   // fitting loop fans out over the pool. Results land in per-group slots and
@@ -99,6 +121,9 @@ StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
   std::vector<std::optional<GroupModels>> fitted(groups.size());
   std::vector<Status> failures(groups.size(), Status::OK());
   common::ThreadPool::Run(options.num_threads, groups.size(), [&](size_t i) {
+    KEA_TRACE_SPAN("whatif.fit_group",
+                   {{"group", sim::GroupLabel(groups[i]->first)},
+                    {"records", std::to_string(groups[i]->second.size())}});
     StatusOr<std::optional<GroupModels>> result =
         FitGroup(groups[i]->first, groups[i]->second, options);
     if (result.ok()) {
@@ -109,9 +134,16 @@ StatusOr<WhatIfEngine> WhatIfEngine::Fit(const telemetry::TelemetryStore& store,
   });
   for (const Status& s : failures) KEA_RETURN_IF_ERROR(s);
 
+  // Counted during single-threaded assembly (not in the workers) so the
+  // increments land in a deterministic order at every thread count.
   std::map<sim::MachineGroupKey, GroupModels> models;
   for (size_t i = 0; i < groups.size(); ++i) {
-    if (fitted[i].has_value()) models[groups[i]->first] = std::move(*fitted[i]);
+    if (fitted[i].has_value()) {
+      GroupsFittedCounter()->Increment();
+      models[groups[i]->first] = std::move(*fitted[i]);
+    } else {
+      GroupsSkippedCounter()->Increment();
+    }
   }
   if (models.empty()) {
     return Status::FailedPrecondition(

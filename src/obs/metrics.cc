@@ -1,0 +1,317 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace kea::obs {
+
+#ifndef KEA_OBS_DISABLED
+namespace {
+// Metrics on by default: counters are the audit trail, and the enabled cost
+// (one relaxed fetch_add) is inside the overhead budget.
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void EnableMetrics() {
+  g_metrics_enabled.store(true, std::memory_order_relaxed);
+}
+void DisableMetrics() {
+  g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+#endif
+
+// Defined in trace.cc; forward-declared here so Disable()/Enable() can flip
+// both halves without metrics.h depending on trace.h.
+void DisableTracingInternal();
+void ResetTracingToDefault();
+
+void Disable() {
+  DisableMetrics();
+  DisableTracingInternal();
+}
+
+void Enable() {
+  EnableMetrics();
+  ResetTracingToDefault();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free double accumulation via CAS on the bit pattern.
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  uint64_t desired;
+  do {
+    desired = std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + v);
+  } while (!sum_bits_.compare_exchange_weak(observed, desired,
+                                            std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> LatencyBucketsUs() {
+  return {1,    2,    5,     10,    20,    50,    100,     200,     500,
+          1000, 2000, 5000,  1e4,   2e4,   5e4,   1e5,     2e5,     5e5,
+          1e6,  2e6,  5e6,   1e7};
+}
+
+std::vector<double> SizeBucketsBytes() {
+  std::vector<double> b;
+  for (double v = 64.0; v <= 268435456.0; v *= 4.0) b.push_back(v);
+  return b;
+}
+
+std::vector<double> DepthBuckets() {
+  std::vector<double> b = {0.0};
+  for (double v = 1.0; v <= 4096.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::Get() {
+  static Registry* r = new Registry();  // never destroyed: pointers must
+  return *r;                            // outlive every static caller
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = counters_[{name, labels}];
+  if (!entry.instrument) {
+    entry.instrument = std::unique_ptr<Counter>(new Counter());
+    entry.kind = kind;
+  }
+  return entry.instrument.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels,
+                          Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = gauges_[{name, labels}];
+  if (!entry.instrument) {
+    entry.instrument = std::unique_ptr<Gauge>(new Gauge());
+    entry.kind = kind;
+  }
+  return entry.instrument.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels,
+                                  std::vector<double> bounds, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = histograms_[{name, labels}];
+  if (!entry.instrument) {
+    entry.instrument =
+        std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+    entry.kind = kind;
+  }
+  return entry.instrument.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name,
+                                const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find({name, labels});
+  return it == counters_.end() ? 0 : it->second.instrument->value();
+}
+
+namespace {
+
+// %.17g prints doubles losslessly and identically across runs, matching the
+// CSV codec's determinism guarantee (see telemetry/store.cc).
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FullName(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::RenderText(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [key, entry] : counters_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    std::snprintf(line, sizeof(line), "counter %s %" PRIu64 "\n",
+                  FullName(key.first, key.second).c_str(),
+                  entry.instrument->value());
+    out += line;
+  }
+  for (const auto& [key, entry] : gauges_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    out += "gauge " + FullName(key.first, key.second) + " " +
+           FmtDouble(entry.instrument->value()) + "\n";
+  }
+  for (const auto& [key, entry] : histograms_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    const Histogram& h = *entry.instrument;
+    out += "histogram " + FullName(key.first, key.second) +
+           " count=" + std::to_string(h.count()) + " sum=" + FmtDouble(h.sum());
+    auto counts = h.bucket_counts();
+    out += " buckets=[";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ",";
+      if (i < h.bounds().size()) {
+        out += "le";
+        out += FmtDouble(h.bounds()[i]);
+      } else {
+        out += "inf";
+      }
+      out += ":";
+      out += std::to_string(counts[i]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string Registry::RenderCsv(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "kind,name,labels,field,value\n";
+  for (const auto& [key, entry] : counters_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    out += "counter," + key.first + "," + key.second + ",value," +
+           std::to_string(entry.instrument->value()) + "\n";
+  }
+  for (const auto& [key, entry] : gauges_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    out += "gauge," + key.first + "," + key.second + ",value," +
+           FmtDouble(entry.instrument->value()) + "\n";
+  }
+  for (const auto& [key, entry] : histograms_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    const Histogram& h = *entry.instrument;
+    out += "histogram," + key.first + "," + key.second + ",count," +
+           std::to_string(h.count()) + "\n";
+    out += "histogram," + key.first + "," + key.second + ",sum," +
+           FmtDouble(h.sum()) + "\n";
+    auto counts = h.bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      std::string edge = "inf";
+      if (i < h.bounds().size()) {
+        edge = "le";
+        edge += FmtDouble(h.bounds()[i]);
+      }
+      out += "histogram," + key.first + "," + key.second + ",bucket_" + edge +
+             "," + std::to_string(counts[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderJson(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, entry] : counters_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(key.first) + "\",\"labels\":\"" +
+           JsonEscape(key.second) +
+           "\",\"value\":" + std::to_string(entry.instrument->value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, entry] : gauges_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(key.first) + "\",\"labels\":\"" +
+           JsonEscape(key.second) +
+           "\",\"value\":" + FmtDouble(entry.instrument->value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, entry] : histograms_) {
+    if (entry.kind == Kind::kTiming && !include_timing) continue;
+    if (!first) out += ",";
+    first = false;
+    const Histogram& h = *entry.instrument;
+    out += "{\"name\":\"" + JsonEscape(key.first) + "\",\"labels\":\"" +
+           JsonEscape(key.second) +
+           "\",\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + FmtDouble(h.sum()) + ",\"bounds\":[";
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) out += ",";
+      out += FmtDouble(h.bounds()[i]);
+    }
+    out += "],\"buckets\":[";
+    auto counts = h.bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(counts[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : counters_) entry.instrument->RestoreTo(0);
+  for (auto& [key, entry] : gauges_) {
+    entry.instrument->bits_.store(std::bit_cast<uint64_t>(0.0),
+                                  std::memory_order_relaxed);
+  }
+  for (auto& [key, entry] : histograms_) {
+    Histogram& h = *entry.instrument;
+    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_bits_.store(std::bit_cast<uint64_t>(0.0), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace kea::obs

@@ -1,0 +1,179 @@
+#ifndef KEA_OBS_METRICS_H_
+#define KEA_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// kea::obs — self-measurement for the tuning pipeline (DESIGN.md
+/// "Observability"). This library sits BELOW kea_common so that ThreadPool,
+/// Journal and Logger can be instrumented; it therefore depends on nothing
+/// but the standard library (no Status, no logging).
+///
+/// Two invariants shape the API:
+///   1. Hot-path cost is one relaxed atomic RMW when enabled and one relaxed
+///      load when disabled. Instrument pointers are stable for the process
+///      lifetime — call sites cache them in function-local statics.
+///   2. Determinism contract: every instrument is either kDeterministic
+///      (counts logical events — bit-identical across thread counts and
+///      runs) or kTiming (derived from wall clocks — excluded from the
+///      deterministic snapshot exports). `determinism_test` and `obs_test`
+///      enforce the split.
+namespace kea::obs {
+
+// ---------------------------------------------------------------------------
+// Kill switches. Metrics default ON (cheap), tracing defaults OFF (it
+// allocates). Building with -DKEA_OBS=OFF defines KEA_OBS_DISABLED and turns
+// every guard into `if (false)`, compiling the instrumentation out entirely
+// — the "null sink" end of the overhead budget.
+#ifdef KEA_OBS_DISABLED
+inline constexpr bool MetricsEnabled() { return false; }
+inline void EnableMetrics() {}
+inline void DisableMetrics() {}
+#else
+bool MetricsEnabled();
+void EnableMetrics();
+void DisableMetrics();
+#endif
+
+/// Disables metrics AND tracing in one call — the runtime kill switch.
+void Disable();
+/// Restores the default state: metrics on, tracing off.
+void Enable();
+
+/// Export class of an instrument; fixed at creation, first caller wins.
+enum class Kind {
+  kDeterministic = 0,  // logical event counts; in deterministic exports
+  kTiming = 1,         // wall-clock derived; timing-only exports
+};
+
+// ---------------------------------------------------------------------------
+// Instruments. All methods are thread-safe; mutation is lock-free.
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Overwrites the value — ONLY for checkpoint/resume, where the restored
+  /// process must report the same totals the crashed one had durably
+  /// recorded. Bypasses the kill switch so resume state is never lost.
+  void RestoreTo(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (queue depths, config knobs currently applied, ...).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (MetricsEnabled())
+      bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges; an implicit
+/// +inf bucket catches the tail. Bucket counts and the running sum are
+/// atomics, so concurrent Observe() calls never lock.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last is the +inf overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// Canonical bucket ladders so dashboards line up across instruments.
+std::vector<double> LatencyBucketsUs();  // 1us .. 10s, roughly 1-2-5
+std::vector<double> SizeBucketsBytes();  // 64B .. 256MB, powers of 4
+std::vector<double> DepthBuckets();      // 0 .. 4096, powers of 2
+
+// ---------------------------------------------------------------------------
+// Registry: the process-wide instrument namespace. Instruments are created
+// on first Get*() and live forever; the mutex guards only creation/lookup,
+// never the hot path. `labels` is a pre-rendered "k=v,k=v" string (empty for
+// unlabeled instruments) — rendering is the caller's job because labeled
+// hot paths cache the pointer anyway.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* GetCounter(const std::string& name, const std::string& labels = "",
+                      Kind kind = Kind::kDeterministic);
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "",
+                  Kind kind = Kind::kTiming);
+  Histogram* GetHistogram(const std::string& name, const std::string& labels,
+                          std::vector<double> bounds,
+                          Kind kind = Kind::kTiming);
+
+  /// Value of a counter, or 0 if it was never created. For tests/benches.
+  uint64_t CounterValue(const std::string& name,
+                        const std::string& labels = "") const;
+
+  /// Deterministic snapshot renderers. Instruments are sorted by
+  /// (name, labels); kTiming instruments are included only when
+  /// `include_timing` — the deterministic exports must be bit-identical
+  /// across thread counts, seeds, and machines.
+  std::string RenderText(bool include_timing = false) const;
+  std::string RenderCsv(bool include_timing = false) const;
+  std::string RenderJson(bool include_timing = false) const;
+
+  /// Zeroes every instrument (pointers stay valid). Tests only.
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> instrument;
+    Kind kind;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry<Counter>> counters_;
+  std::map<Key, Entry<Gauge>> gauges_;
+  std::map<Key, Entry<Histogram>> histograms_;
+};
+
+}  // namespace kea::obs
+
+#endif  // KEA_OBS_METRICS_H_

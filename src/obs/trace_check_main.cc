@@ -1,0 +1,41 @@
+// trace_check: validates a Chrome trace-event JSON file produced by
+// kea::obs (CI runs it against the traced quickstart artifact).
+//
+//   ./build/src/obs/trace_check trace.json
+//
+// Exit 0 iff the file parses as JSON and every span is well-nested (each B
+// has a matching same-thread E, parents resolve, timestamps don't regress).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream f(argv[1], std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  kea::obs::TraceValidation v = kea::obs::ValidateChromeTrace(buf.str());
+  if (!v.ok) {
+    std::fprintf(stderr, "trace_check: INVALID: %s\n", v.error.c_str());
+    return 1;
+  }
+  std::printf("trace_check: OK — %zu events (%zu spans) on %zu thread(s), "
+              "max depth %zu\n",
+              v.events, v.begins, v.threads, v.max_depth);
+  for (const auto& [name, count] : v.name_counts) {
+    std::printf("  %-32s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}

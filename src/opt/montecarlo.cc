@@ -4,8 +4,29 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kea::opt {
+
+namespace {
+
+// Deterministic: one grid call, num_candidates cells, candidates*iterations
+// draws — totals identical at any thread count.
+obs::Counter* GridCallsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("mc.grid_calls");
+  return c;
+}
+obs::Counter* CandidatesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("mc.candidates");
+  return c;
+}
+obs::Counter* DrawsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("mc.draws");
+  return c;
+}
+
+}  // namespace
 
 StatusOr<MonteCarloEstimate> EstimateExpectation(
     const std::function<double(Rng*)>& sample, int iterations, Rng* rng) {
@@ -41,6 +62,14 @@ StatusOr<GridEstimate> EstimateOverGrid(
     return Status::InvalidArgument("Monte-Carlo needs >= 2 iterations");
   }
 
+  KEA_TRACE_SPAN("mc.grid",
+                 {{"candidates", std::to_string(num_candidates)},
+                  {"iterations", std::to_string(iterations_per_candidate)}});
+  GridCallsCounter()->Increment();
+  CandidatesCounter()->Increment(num_candidates);
+  DrawsCounter()->Increment(num_candidates *
+                            static_cast<uint64_t>(iterations_per_candidate));
+
   // One parent draw keys this call's substream family; candidate i then draws
   // only from substream i of that key, so its estimate depends on the logical
   // index and never on which thread ran it or in what order.
@@ -50,6 +79,7 @@ StatusOr<GridEstimate> EstimateOverGrid(
   grid.estimates.assign(num_candidates, MonteCarloEstimate{});
   std::vector<Status> failures(num_candidates, Status::OK());
   common::ThreadPool::Run(options.num_threads, num_candidates, [&](size_t i) {
+    KEA_TRACE_SPAN("mc.candidate", {{"index", std::to_string(i)}});
     Rng substream = substream_base.Split(i);
     auto bound = [&sample, i](Rng* r) { return sample(i, r); };
     StatusOr<MonteCarloEstimate> e =

@@ -3,8 +3,29 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kea::sim {
+
+namespace {
+
+// Deterministic: sweep fan-out totals, independent of thread count.
+obs::Counter* SweepRunsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("sweep.runs");
+  return c;
+}
+obs::Counter* SweepCandidatesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("sweep.candidates");
+  return c;
+}
+obs::Counter* SweepMachineHoursCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("sweep.machine_hours");
+  return c;
+}
+
+}  // namespace
 
 SweepSummary SummarizeTelemetry(const std::string& label,
                                 const telemetry::TelemetryStore& store) {
@@ -39,6 +60,12 @@ StatusOr<std::vector<telemetry::TelemetryStore>> RunConfigSweepTelemetry(
   if (candidates.empty()) return Status::InvalidArgument("empty candidate sweep");
   if (options.hours <= 0) return Status::InvalidArgument("hours must be positive");
 
+  KEA_TRACE_SPAN("sweep.run",
+                 {{"candidates", std::to_string(candidates.size())},
+                  {"hours", std::to_string(options.hours)}});
+  SweepRunsCounter()->Increment();
+  SweepCandidatesCounter()->Increment(candidates.size());
+
   // Substream parent: candidate i simulates with seed Split(i), so its draw
   // sequence depends only on (options.engine.seed, i) — never on which
   // thread picks it up.
@@ -47,6 +74,8 @@ StatusOr<std::vector<telemetry::TelemetryStore>> RunConfigSweepTelemetry(
   std::vector<telemetry::TelemetryStore> stores(candidates.size());
   std::vector<Status> failures(candidates.size(), Status::OK());
   common::ThreadPool::Run(options.num_threads, candidates.size(), [&](size_t i) {
+    KEA_TRACE_SPAN("sweep.candidate", {{"label", candidates[i].label},
+                                       {"index", std::to_string(i)}});
     Cluster cluster = base;
     if (candidates[i].edit) {
       Status edited = candidates[i].edit(&cluster);
@@ -61,6 +90,10 @@ StatusOr<std::vector<telemetry::TelemetryStore>> RunConfigSweepTelemetry(
     failures[i] = engine.Run(options.start_hour, options.hours, &stores[i]);
   });
   for (const Status& s : failures) KEA_RETURN_IF_ERROR(s);
+  // Single-threaded tally keeps the increment order deterministic.
+  uint64_t machine_hours = 0;
+  for (const auto& store : stores) machine_hours += store.size();
+  SweepMachineHoursCounter()->Increment(machine_hours);
   return stores;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace kea::telemetry {
 
 StatusOr<std::string> RenderScatter(const std::vector<ScatterPoint>& points,
@@ -114,6 +117,28 @@ StatusOr<std::string> RenderUtilizationWeek(const TelemetryStore& store,
     day_values.push_back(util);
   }
   KEA_RETURN_IF_ERROR(flush(current_day));
+  return out;
+}
+
+std::string RenderObsPanel(bool include_timing) {
+  std::string out = "== ops panel (kea::obs registry) ==\n";
+  std::string body = obs::Registry::Get().RenderText(include_timing);
+  if (body.empty()) {
+    out += "(no instruments recorded)\n";
+    return out;
+  }
+  out += body;
+  if (!include_timing) {
+    out += "(timing instruments hidden; pass include_timing for wall-clock)\n";
+  }
+  return out;
+}
+
+std::string RenderTraceSummary() {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  if (tracer.event_count() == 0) return "";
+  std::string out = "== span self-time summary ==\n";
+  out += tracer.SelfTimeSummary();
   return out;
 }
 

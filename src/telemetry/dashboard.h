@@ -32,6 +32,17 @@ StatusOr<std::string> RenderSparkline(const std::vector<double>& values,
 StatusOr<std::string> RenderUtilizationWeek(const TelemetryStore& store,
                                             const RecordFilter& filter = nullptr);
 
+/// Renders the kea::obs registry snapshot as a fixed-width ops panel: every
+/// deterministic counter, and — when `include_timing` is set — the wall-clock
+/// gauges and latency histograms too. This is the "ops view" that sits next
+/// to the fleet report: what the pipeline *did* (fits, sweeps, ingestion
+/// accept/quarantine, rollout waves) beside what the fleet *looked like*.
+std::string RenderObsPanel(bool include_timing = false);
+
+/// Renders the span tracer's aggregated self-time table (top spans by self
+/// time). Empty string when tracing is disabled or no spans were recorded.
+std::string RenderTraceSummary();
+
 }  // namespace kea::telemetry
 
 #endif  // KEA_TELEMETRY_DASHBOARD_H_

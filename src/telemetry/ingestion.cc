@@ -5,9 +5,48 @@
 #include <cstring>
 
 #include "common/snapshot.h"
+#include "obs/metrics.h"
 
 namespace kea::telemetry {
 namespace {
+
+// Registry mirrors of the pipeline's internal Counters (satellite of the
+// observability PR: quarantines must be visible outside the pipeline
+// object). Deterministic: they count logical records, and the metrics-level
+// invariant ingest.accepted + ingest.quarantined == ingest.seen holds at
+// every instant because each record bumps exactly one of the two before the
+// next is seen (checked in ingestion_test).
+obs::Counter* SeenCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("ingest.seen");
+  return c;
+}
+obs::Counter* AcceptedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("ingest.accepted");
+  return c;
+}
+obs::Counter* QuarantinedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("ingest.quarantined");
+  return c;
+}
+obs::Counter* TransientWriteFailureCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("ingest.transient_write_failures");
+  return c;
+}
+obs::Counter* ReasonCounter(QuarantineReason reason) {
+  static const auto* counters = [] {
+    auto* a = new std::array<obs::Counter*, kNumQuarantineReasons>();
+    for (size_t i = 0; i < kNumQuarantineReasons; ++i) {
+      (*a)[i] = obs::Registry::Get().GetCounter(
+          "ingest.quarantined",
+          std::string("reason=") +
+              QuarantineReasonToString(static_cast<QuarantineReason>(i)));
+    }
+    return a;
+  }();
+  return (*counters)[static_cast<size_t>(reason)];
+}
 
 /// Stable key for the (machine, hour) dedup index.
 uint64_t RecordKey(const MachineHourRecord& r) {
@@ -95,13 +134,24 @@ void IngestionPipeline::Quarantine(const MachineHourRecord& r,
                                    QuarantineReason reason) {
   ++counters_.quarantined;
   ++counters_.by_reason[static_cast<size_t>(reason)];
+  QuarantinedCounter()->Increment();
+  ReasonCounter(reason)->Increment();
   quarantine_.push_back(QuarantinedRecord{r, reason, watermark_});
 }
 
 Status IngestionPipeline::Ingest(const std::vector<MachineHourRecord>& batch) {
   if (sink_ == nullptr) return Status::InvalidArgument("null telemetry sink");
+  // Register every mirror up front so the registry's instrument set — and
+  // therefore the deterministic snapshot — does not depend on which rare
+  // events (e.g. a transient write failure) happened to occur.
+  SeenCounter();
+  AcceptedCounter();
+  QuarantinedCounter();
+  TransientWriteFailureCounter();
+  ReasonCounter(QuarantineReason::kNonFinite);
   for (const MachineHourRecord& r : batch) {
     ++counters_.seen;
+    SeenCounter()->Increment();
 
     if (options_.validate) {
       QuarantineReason reason;
@@ -135,6 +185,7 @@ Status IngestionPipeline::Ingest(const std::vector<MachineHourRecord>& batch) {
       Status s = write_hook_(r, attempt);
       if (RetryPolicy::IsTransient(s.code())) {
         ++counters_.transient_write_failures;
+        TransientWriteFailureCounter()->Increment();
       }
       return s;
     });
@@ -145,6 +196,7 @@ Status IngestionPipeline::Ingest(const std::vector<MachineHourRecord>& batch) {
 
     sink_->Append(r);
     ++counters_.accepted;
+    AcceptedCounter()->Increment();
     if (options_.deduplicate) seen_keys_.insert(RecordKey(r));
     if (r.hour > watermark_) watermark_ = r.hour;
   }
@@ -267,6 +319,18 @@ Status IngestionPipeline::RestoreState(const std::string& blob) {
   watermark_ = static_cast<sim::HourIndex>(watermark);
   stuck_ = std::move(stuck);
   retry_.RestoreStats(rs);
+
+  // Re-point the registry mirrors at the restored totals so a resumed
+  // process reports the same counts the crashed one had durably recorded
+  // (obs_test asserts the snapshot is bit-identical across the cycle).
+  SeenCounter()->RestoreTo(counters_.seen);
+  AcceptedCounter()->RestoreTo(counters_.accepted);
+  QuarantinedCounter()->RestoreTo(counters_.quarantined);
+  TransientWriteFailureCounter()->RestoreTo(counters_.transient_write_failures);
+  for (size_t i = 0; i < kNumQuarantineReasons; ++i) {
+    ReasonCounter(static_cast<QuarantineReason>(i))
+        ->RestoreTo(counters_.by_reason[i]);
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "sim/fault_injector.h"
 
 namespace kea::telemetry {
@@ -245,6 +246,52 @@ INSTANTIATE_TEST_SUITE_P(Profiles, IngestionPropertyTest,
                          ::testing::Values(PropertyCase{1, true}, PropertyCase{2, true},
                                            PropertyCase{3, false}, PropertyCase{4, false},
                                            PropertyCase{99, false}));
+
+// --- Metrics-level conservation: the pipeline mirrors its counters into the
+// kea::obs registry, so the accepted + quarantined == seen invariant — and
+// the per-reason breakdown — must hold for the *registry's* view too, not
+// just the struct the pipeline hands back.
+
+TEST(IngestionObsMetricsTest, RegistryConservationInvariantHolds) {
+#ifdef KEA_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (KEA_OBS=OFF)";
+#endif
+  obs::Registry& reg = obs::Registry::Get();
+  reg.ResetForTest();
+
+  TelemetryStore sink;
+  IngestionPipeline::Options options;
+  options.max_lateness_hours = 2;
+  IngestionPipeline pipeline(&sink, options);
+
+  auto nan_record = MakeRecord(0, 10);
+  nan_record.data_read_mb = std::numeric_limits<double>::quiet_NaN();
+  auto dup = MakeRecord(1, 10);
+  auto late = MakeRecord(2, 3);  // Watermark will be 10 after the first batch.
+  ASSERT_TRUE(
+      pipeline.Ingest({MakeRecord(3, 10), nan_record, dup, dup, late}).ok());
+
+  const uint64_t seen = reg.CounterValue("ingest.seen");
+  const uint64_t accepted = reg.CounterValue("ingest.accepted");
+  const uint64_t quarantined = reg.CounterValue("ingest.quarantined");
+  EXPECT_EQ(seen, 5u);
+  EXPECT_EQ(accepted + quarantined, seen);
+
+  // The labeled per-reason counters partition the quarantined total.
+  uint64_t by_reason = 0;
+  for (size_t i = 0; i < kNumQuarantineReasons; ++i) {
+    by_reason += reg.CounterValue(
+        "ingest.quarantined",
+        std::string("reason=") +
+            QuarantineReasonToString(static_cast<QuarantineReason>(i)));
+  }
+  EXPECT_EQ(by_reason, quarantined);
+
+  // Registry view agrees with the pipeline's own counters exactly.
+  EXPECT_EQ(seen, pipeline.counters().seen);
+  EXPECT_EQ(accepted, pipeline.counters().accepted);
+  EXPECT_EQ(quarantined, pipeline.counters().quarantined);
+}
 
 }  // namespace
 }  // namespace kea::telemetry

@@ -1,0 +1,423 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "opt/montecarlo.h"
+#include "telemetry/ingestion.h"
+
+namespace kea::obs {
+namespace {
+
+// Every test resets the process-global registry up front; the obs_test
+// binary owns it, so cross-test leakage is only ever from earlier tests in
+// this file.
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef KEA_OBS_DISABLED
+    GTEST_SKIP() << "observability compiled out (KEA_OBS=OFF)";
+#endif
+    Enable();  // metrics on, tracing off
+    Registry::Get().ResetForTest();
+    Tracer::Get().Clear();
+  }
+  void TearDown() override { Enable(); }
+};
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST_F(ObsTest, CounterIncrementsAndLabeledInstrumentsAreDistinct) {
+  Registry& reg = Registry::Get();
+  Counter* plain = reg.GetCounter("t.count");
+  Counter* a = reg.GetCounter("t.count", "k=a");
+  Counter* b = reg.GetCounter("t.count", "k=b");
+  EXPECT_NE(plain, a);
+  EXPECT_NE(a, b);
+  // Same (name, labels) -> same instrument, forever.
+  EXPECT_EQ(a, reg.GetCounter("t.count", "k=a"));
+
+  plain->Increment();
+  a->Increment(3);
+  EXPECT_EQ(reg.CounterValue("t.count"), 1u);
+  EXPECT_EQ(reg.CounterValue("t.count", "k=a"), 3u);
+  EXPECT_EQ(reg.CounterValue("t.count", "k=b"), 0u);
+  EXPECT_EQ(reg.CounterValue("never.created"), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndMoments) {
+  Registry& reg = Registry::Get();
+  Histogram* h =
+      reg.GetHistogram("t.hist", "", {1.0, 10.0, 100.0}, Kind::kDeterministic);
+  h->Observe(0.5);    // bucket 0 (<= 1)
+  h->Observe(1.0);    // bucket 0 (inclusive edge)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000.0); // +inf overflow bucket
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h->mean(), 1006.5 / 4.0);
+  std::vector<uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsLoseNothing) {
+  Registry& reg = Registry::Get();
+  Counter* c = reg.GetCounter("t.concurrent");
+  Histogram* h =
+      reg.GetHistogram("t.concurrent_hist", "", {0.5}, Kind::kDeterministic);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c, h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// Kill switches
+
+TEST_F(ObsTest, DisabledMetricsDropMutationsButKeepValues) {
+  Registry& reg = Registry::Get();
+  Counter* c = reg.GetCounter("t.switch");
+  c->Increment(5);
+  DisableMetrics();
+  c->Increment(100);  // no-op while disabled
+  EXPECT_EQ(c->value(), 5u);
+  EnableMetrics();
+  c->Increment();
+  EXPECT_EQ(c->value(), 6u);
+}
+
+TEST_F(ObsTest, DisableKillsMetricsAndTracingTogether) {
+  EnableTracing();
+  Disable();
+  EXPECT_FALSE(MetricsEnabled());
+  EXPECT_FALSE(TraceEnabled());
+  {
+    KEA_TRACE_SPAN("t.dead");
+    Registry::Get().GetCounter("t.dead")->Increment();
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 0u);
+  EXPECT_EQ(Registry::Get().CounterValue("t.dead"), 0u);
+  Enable();
+  EXPECT_TRUE(MetricsEnabled());
+  EXPECT_FALSE(TraceEnabled());  // default state: tracing stays opt-in
+}
+
+TEST_F(ObsTest, RestoreToBypassesKillSwitch) {
+  Counter* c = Registry::Get().GetCounter("t.restore");
+  DisableMetrics();
+  c->RestoreTo(42);  // checkpoint/resume path must work even when disabled
+  EXPECT_EQ(c->value(), 42u);
+  EnableMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot exports
+
+TEST_F(ObsTest, RendersExcludeTimingInstrumentsByDefault) {
+  Registry& reg = Registry::Get();
+  reg.GetCounter("t.logical")->Increment(7);
+  reg.GetCounter("t.walltime", "", Kind::kTiming)->Increment(9);
+  reg.GetHistogram("t.lat_us", "", LatencyBucketsUs(), Kind::kTiming)
+      ->Observe(12.0);
+
+  for (const std::string& out :
+       {reg.RenderText(), reg.RenderCsv(), reg.RenderJson()}) {
+    EXPECT_NE(out.find("t.logical"), std::string::npos) << out;
+    EXPECT_EQ(out.find("t.walltime"), std::string::npos) << out;
+    EXPECT_EQ(out.find("t.lat_us"), std::string::npos) << out;
+  }
+  for (const std::string& out :
+       {reg.RenderText(true), reg.RenderCsv(true), reg.RenderJson(true)}) {
+    EXPECT_NE(out.find("t.walltime"), std::string::npos) << out;
+    EXPECT_NE(out.find("t.lat_us"), std::string::npos) << out;
+  }
+}
+
+// The tentpole acceptance criterion: the deterministic snapshot is
+// bit-identical across thread counts — with tracing enabled — because every
+// kDeterministic instrument counts logical events, never scheduling.
+TEST_F(ObsTest, DeterministicSnapshotBitIdenticalAcrossThreadCounts) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 4, hw > 0 ? hw : 2};
+
+  auto run_workload = [](int num_threads) {
+    // The Monte-Carlo grid hot path: mc.* counters plus the ThreadPool's
+    // own job/task counters.
+    opt::GridOptions options;
+    options.num_threads = num_threads;
+    auto sample = [](size_t i, Rng* r) {
+      return r->LogNormal(0.0, 0.1) + 0.01 * static_cast<double>(i);
+    };
+    Rng rng(1234);
+    auto grid = opt::EstimateOverGrid(24, sample, 50, &rng, options);
+    ASSERT_TRUE(grid.ok());
+    ASSERT_EQ(grid->estimates.size(), 24u);
+
+    // And the parallel-for path directly, with traced per-task spans.
+    Counter* touched = Registry::Get().GetCounter("t.workload_tasks");
+    common::ThreadPool::Run(num_threads, 32, [touched](size_t) {
+      KEA_TRACE_SPAN("t.task");
+      touched->Increment();
+    });
+  };
+
+  std::vector<std::string> texts, csvs, jsons;
+  for (int n : thread_counts) {
+    Registry::Get().ResetForTest();
+    Tracer::Get().Clear();
+    EnableTracing();  // must not perturb the deterministic snapshot
+    run_workload(n);
+    DisableTracing();
+    texts.push_back(Registry::Get().RenderText());
+    csvs.push_back(Registry::Get().RenderCsv());
+    jsons.push_back(Registry::Get().RenderJson());
+  }
+  for (size_t i = 1; i < texts.size(); ++i) {
+    EXPECT_EQ(texts[0], texts[i]) << "threads=" << thread_counts[i];
+    EXPECT_EQ(csvs[0], csvs[i]) << "threads=" << thread_counts[i];
+    EXPECT_EQ(jsons[0], jsons[i]) << "threads=" << thread_counts[i];
+  }
+  // Sanity: the workload actually counted.
+  EXPECT_NE(texts[0].find("mc.grid_calls"), std::string::npos);
+  EXPECT_NE(texts[0].find("t.workload_tasks"), std::string::npos);
+  EXPECT_NE(texts[0].find("threadpool.tasks"), std::string::npos);
+}
+
+// Acceptance criterion: counters are bit-identical across a checkpoint /
+// resume cycle. The ingestion pipeline serializes its counters and restores
+// the registry mirrors on RestoreState.
+TEST_F(ObsTest, CountersBitIdenticalAcrossCheckpointResume) {
+  using telemetry::IngestionPipeline;
+  using telemetry::MachineHourRecord;
+  using telemetry::TelemetryStore;
+
+  auto make_record = [](int machine, int hour) {
+    MachineHourRecord r;
+    r.machine_id = machine;
+    r.hour = hour;
+    r.avg_running_containers = 8.0;
+    r.cpu_utilization = 0.5;
+    r.tasks_finished = 100.0;
+    r.data_read_mb = 4000.0;
+    r.avg_task_latency_s = 20.0;
+    r.cpu_time_core_s = 40000.0;
+    r.power_watts = 280.0;
+    return r;
+  };
+
+  TelemetryStore sink;
+  IngestionPipeline pipeline(&sink, IngestionPipeline::Options());
+  auto bad = make_record(9, 0);
+  bad.cpu_utilization = 2.0;  // out of range -> quarantined
+  ASSERT_TRUE(
+      pipeline.Ingest({make_record(0, 0), make_record(1, 0), bad}).ok());
+  const std::string before = Registry::Get().RenderText();
+  const std::string blob = pipeline.SerializeState();
+  ASSERT_NE(before.find("ingest.seen"), std::string::npos);
+
+  // "Crash": fresh process state -> zeroed registry, new pipeline.
+  Registry::Get().ResetForTest();
+  TelemetryStore sink2;
+  IngestionPipeline resumed(&sink2, IngestionPipeline::Options());
+  ASSERT_TRUE(resumed.RestoreState(blob).ok());
+
+  EXPECT_EQ(Registry::Get().RenderText(), before);
+  EXPECT_EQ(Registry::Get().CounterValue("ingest.seen"), 3u);
+  EXPECT_EQ(Registry::Get().CounterValue("ingest.accepted"), 2u);
+  EXPECT_EQ(Registry::Get().CounterValue("ingest.quarantined"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST_F(ObsTest, DisabledTracingRecordsNothingAndSpanIdsAreZero) {
+  ASSERT_FALSE(TraceEnabled());
+  {
+    SpanGuard guard("t.noop");
+    EXPECT_EQ(guard.id(), 0u);
+    KEA_TRACE_SPAN("t.noop_macro");
+  }
+  EXPECT_EQ(Tracer::Get().event_count(), 0u);
+}
+
+TEST_F(ObsTest, NestedSpansRecordHierarchy) {
+  EnableTracing();
+  uint64_t outer_id = 0, inner_id = 0;
+  {
+    SpanGuard outer("t.outer");
+    outer_id = outer.id();
+    EXPECT_EQ(Tracer::Get().CurrentSpanId(), outer_id);
+    {
+      SpanGuard inner("t.inner");
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, outer_id);
+    }
+  }
+  DisableTracing();
+
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "t.outer");
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[1].name, "t.inner");
+  EXPECT_EQ(events[1].parent_id, outer_id);
+  // LIFO close order: inner ends before outer.
+  EXPECT_EQ(events[2].name, "t.inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(events[3].name, "t.outer");
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+}
+
+// The trace-export round trip of the ISSUE: multi-threaded nested span tree
+// -> Chrome trace JSON -> parse back -> every B has a matching E, nesting
+// preserved, JSON valid.
+TEST_F(ObsTest, ChromeTraceRoundTripMultiThreaded) {
+  EnableTracing();
+  constexpr size_t kTasks = 48;
+  {
+    KEA_TRACE_SPAN("t.root", {{"tasks", "48"}});
+    common::ThreadPool::Run(4, kTasks, [](size_t i) {
+      KEA_TRACE_SPAN("t.work", {{"index", std::to_string(i)}});
+      if (i % 2 == 0) {
+        KEA_TRACE_SPAN("t.work_child");
+      }
+    });
+  }
+  DisableTracing();
+
+  const std::string json = Tracer::Get().ExportChromeTrace();
+  TraceValidation v = ValidateChromeTrace(json);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.begins, v.ends);
+  EXPECT_EQ(v.events, v.begins + v.ends);
+  EXPECT_GE(v.threads, 1u);
+  EXPECT_GE(v.max_depth, 2u);  // root -> parallel_for on the main thread
+
+  size_t work = 0, work_child = 0, root = 0;
+  for (const auto& [name, count] : v.name_counts) {
+    if (name == "t.work") work = count;
+    if (name == "t.work_child") work_child = count;
+    if (name == "t.root") root = count;
+  }
+  EXPECT_EQ(root, 1u);
+  EXPECT_EQ(work, kTasks);
+  EXPECT_EQ(work_child, kTasks / 2);
+
+  // Cross-thread parenting: every t.work span's parent is a real span (the
+  // dispatching parallel_for scope), never dangling.
+  std::vector<TraceEvent> events = Tracer::Get().Events();
+  uint64_t parallel_for_span = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "threadpool.parallel_for" &&
+        e.phase == TraceEvent::Phase::kBegin) {
+      parallel_for_span = e.span_id;
+    }
+  }
+  ASSERT_NE(parallel_for_span, 0u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "t.work" && e.phase == TraceEvent::Phase::kBegin &&
+        e.parent_id != 0) {
+      // Either directly under the dispatch span (worker thread) or nested
+      // in-line when the pool ran the body on the calling thread.
+      EXPECT_NE(e.parent_id, e.span_id);
+    }
+  }
+}
+
+TEST_F(ObsTest, TraceValidatorRejectsMalformedStreams) {
+  // Not JSON at all.
+  EXPECT_FALSE(ValidateChromeTrace("not json").ok);
+  // Valid JSON, wrong shape.
+  EXPECT_FALSE(ValidateChromeTrace("{\"foo\": 1}").ok);
+  // A begin with no end. (span/parent ids are JSON strings in the export —
+  // 64-bit ids do not fit in a double.)
+  const char* unclosed =
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,"
+      "\"tid\":1,\"args\":{\"span\":\"1\",\"parent\":\"0\"}}]}";
+  EXPECT_FALSE(ValidateChromeTrace(unclosed).ok);
+  // Interleaved (non-LIFO) end order on one thread.
+  const char* crossed =
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"1\",\"parent\":\"0\"}},"
+      "{\"name\":\"b\",\"ph\":\"B\",\"ts\":2,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"2\",\"parent\":\"1\"}},"
+      "{\"name\":\"a\",\"ph\":\"E\",\"ts\":3,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"1\"}},"
+      "{\"name\":\"b\",\"ph\":\"E\",\"ts\":4,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"2\"}}]}";
+  EXPECT_FALSE(ValidateChromeTrace(crossed).ok);
+  // A well-formed two-span tree passes.
+  const char* good =
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"1\",\"parent\":\"0\"}},"
+      "{\"name\":\"b\",\"ph\":\"B\",\"ts\":2,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"2\",\"parent\":\"1\"}},"
+      "{\"name\":\"b\",\"ph\":\"E\",\"ts\":3,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"2\"}},"
+      "{\"name\":\"a\",\"ph\":\"E\",\"ts\":4,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":\"1\"}}]}";
+  TraceValidation v = ValidateChromeTrace(good);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.begins, 2u);
+  EXPECT_EQ(v.max_depth, 2u);
+}
+
+TEST_F(ObsTest, SelfTimeExcludesSameThreadChildren) {
+  auto ev = [](TraceEvent::Phase ph, const char* name, uint64_t span,
+               uint64_t parent, uint64_t ts_ns) {
+    TraceEvent e;
+    e.phase = ph;
+    e.name = name;
+    e.span_id = span;
+    e.parent_id = parent;
+    e.ts_ns = ts_ns;
+    e.tid = 1;
+    return e;
+  };
+  // parent: [0, 100us]; child: [20us, 60us] -> parent self = 60us.
+  std::vector<TraceEvent> events = {
+      ev(TraceEvent::Phase::kBegin, "parent", 1, 0, 0),
+      ev(TraceEvent::Phase::kBegin, "child", 2, 1, 20000),
+      ev(TraceEvent::Phase::kEnd, "child", 2, 0, 60000),
+      ev(TraceEvent::Phase::kEnd, "parent", 1, 0, 100000),
+  };
+  std::vector<SelfTimeRow> rows = ComputeSelfTimes(events);
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by total desc: parent first.
+  EXPECT_EQ(rows[0].name, "parent");
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].self_us, 60.0);
+  EXPECT_EQ(rows[1].name, "child");
+  EXPECT_DOUBLE_EQ(rows[1].total_us, 40.0);
+  EXPECT_DOUBLE_EQ(rows[1].self_us, 40.0);
+}
+
+}  // namespace
+}  // namespace kea::obs

@@ -3,9 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/random.h"
+#include "obs/trace.h"
 #include "sim/fluid_engine.h"
 
 namespace kea::sim {
@@ -264,3 +270,86 @@ INSTANTIATE_TEST_SUITE_P(SeedGrid, TelemetryCsvPropertyTest,
 
 }  // namespace
 }  // namespace kea::telemetry
+
+namespace kea::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace well-formedness: for ANY randomly generated span tree — random
+// depth, fan-out, names, annotations, across several threads — the exported
+// Chrome trace JSON must validate: every B matched by an E, LIFO nesting per
+// thread, non-decreasing timestamps, parents resolvable.
+
+class TracePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+namespace trace_prop {
+
+// Recursively opens a random span tree; returns spans opened.
+size_t RandomTree(Rng* rng, int depth) {
+  static const char* kNames[] = {"alpha", "beta", "gamma", "delta/nested",
+                                 "epsilon \"quoted\""};
+  const char* name = kNames[rng->UniformInt(0, 4)];
+  size_t opened = 1;
+  Annotations args;
+  if (rng->UniformInt(0, 1) == 0) {
+    args.push_back({"k", std::to_string(rng->UniformInt(0, 1 << 20))});
+  }
+  KEA_TRACE_SPAN(name, std::move(args));
+  if (depth < 4) {
+    int children = static_cast<int>(rng->UniformInt(0, 3));
+    for (int c = 0; c < children; ++c) {
+      opened += RandomTree(rng, depth + 1);
+    }
+  }
+  return opened;
+}
+
+}  // namespace trace_prop
+
+TEST_P(TracePropertyTest, RandomSpanTreesExportValidChromeTrace) {
+#ifdef KEA_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (KEA_OBS=OFF)";
+#endif
+  Tracer::Get().Clear();
+  EnableTracing();
+
+  constexpr int kThreads = 4;
+  const uint64_t seed = GetParam();
+  std::array<size_t, kThreads> opened{};
+  {
+    KEA_TRACE_SPAN("property.root");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([t, seed, &opened] {
+        Rng rng(seed * 1000003ull + static_cast<uint64_t>(t));
+        int trees = static_cast<int>(rng.UniformInt(1, 6));
+        for (int i = 0; i < trees; ++i) {
+          opened[static_cast<size_t>(t)] += trace_prop::RandomTree(&rng, 0);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  DisableTracing();
+
+  size_t total_spans = 1;  // the root
+  for (size_t n : opened) total_spans += n;
+
+  const std::string json = Tracer::Get().ExportChromeTrace();
+  TraceValidation v = ValidateChromeTrace(json);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.begins, total_spans);
+  EXPECT_EQ(v.ends, total_spans);
+  EXPECT_EQ(v.events, 2 * total_spans);
+  EXPECT_GE(v.threads, static_cast<size_t>(kThreads));
+  size_t by_name = 0;
+  for (const auto& [name, count] : v.name_counts) by_name += count;
+  EXPECT_EQ(by_name, total_spans);
+  Tracer::Get().Clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGrid, TracePropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace kea::obs
