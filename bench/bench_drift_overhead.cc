@@ -1,0 +1,130 @@
+// Measures what the self-healing machinery costs when nothing is wrong: the
+// per-round latency of RunGuardedTuningRound with drift detection + the model
+// health breaker enabled versus the plain guarded path, plus the incremental
+// DriftDetector::CatchUp cost per machine-hour record. The zero-fault healing
+// path is bit-identical to the plain path (see fleet_chaos_test), so any
+// difference here is pure monitoring overhead. Writes
+// BENCH_drift_overhead.json for the CI chaos job.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/session.h"
+#include "bench/bench_util.h"
+#include "telemetry/drift_detector.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+/// Runs `rounds` guarded tuning rounds on a fresh session and returns the
+/// per-round wall-clock latencies. `healing` toggles the drift detector +
+/// circuit breaker; everything else (machines, seed, schedule) is identical.
+std::vector<double> TimedRounds(int machines, uint64_t seed, int rounds,
+                                bool healing) {
+  using kea::apps::KeaSession;
+  KeaSession::Config config;
+  config.machines = machines;
+  config.seed = seed;
+  auto session_or = KeaSession::Create(config);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto session = std::move(session_or).value();
+  if (healing) {
+    auto status = session->EnableSelfHealing(KeaSession::SelfHealingConfig());
+    if (!status.ok()) std::exit(1);
+  }
+  if (!session->Simulate(kea::sim::kHoursPerWeek).ok()) std::exit(1);
+
+  KeaSession::GuardedRoundOptions opts;
+  opts.rollout.observe_hours_per_wave = 12;
+  opts.rollout.baseline_hours = 24;
+  std::vector<double> latencies;
+  for (int i = 0; i < rounds; ++i) {
+    auto start = Clock::now();
+    auto round = session->RunGuardedTuningRound(opts);
+    if (!round.ok()) {
+      std::fprintf(stderr, "%s\n", round.status().ToString().c_str());
+      std::exit(1);
+    }
+    latencies.push_back(MsSince(start));
+    if (!session->Simulate(24).ok()) std::exit(1);
+  }
+  return latencies;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kea;
+  bench::PrintBanner(
+      "Self-healing loop overhead - drift detection on vs off, zero faults",
+      "per-round cost within a few percent; CatchUp well under 1us/record");
+
+  const int kMachines = 500;
+  const uint64_t kSeed = 7;
+  const int kRounds = 4;
+
+  // Warm-up pass (page in binaries, allocators), then the measured pass.
+  TimedRounds(kMachines, kSeed, 1, true);
+  std::vector<double> plain = TimedRounds(kMachines, kSeed, kRounds, false);
+  std::vector<double> healing = TimedRounds(kMachines, kSeed, kRounds, true);
+  double plain_ms = Mean(plain);
+  double healing_ms = Mean(healing);
+  double overhead_pct = 100.0 * (healing_ms - plain_ms) / plain_ms;
+
+  // Micro: incremental CatchUp over two weeks of fleet telemetry.
+  bench::BenchEnv env = bench::BenchEnv::Make(kMachines, kSeed);
+  env.Run(0, 2 * sim::kHoursPerWeek);
+  telemetry::DriftDetector detector;
+  auto start = Clock::now();
+  detector.CatchUp(env.store);
+  double catchup_ms = MsSince(start);
+  size_t records = env.store.records().size();
+  double ns_per_record = 1e6 * catchup_ms / static_cast<double>(records);
+
+  bench::PrintRow({"path", "round ms (mean)", "overhead"}, 18);
+  bench::PrintRow({"plain", bench::Fmt(plain_ms, 2), "-"}, 18);
+  bench::PrintRow({"self-healing", bench::Fmt(healing_ms, 2),
+                   bench::Pct(overhead_pct / 100.0, 2)},
+                  18);
+  std::printf("\nDriftDetector::CatchUp: %zu records in %.2f ms (%.0f ns/record)\n",
+              records, catchup_ms, ns_per_record);
+
+  FILE* out = std::fopen("BENCH_drift_overhead.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_drift_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"machines\": %d,\n"
+               "  \"rounds\": %d,\n"
+               "  \"plain_round_ms\": %.3f,\n"
+               "  \"healing_round_ms\": %.3f,\n"
+               "  \"overhead_pct\": %.2f,\n"
+               "  \"catchup_records\": %zu,\n"
+               "  \"catchup_ms\": %.3f,\n"
+               "  \"catchup_ns_per_record\": %.1f\n"
+               "}\n",
+               kMachines, kRounds, plain_ms, healing_ms, overhead_pct, records,
+               catchup_ms, ns_per_record);
+  std::fclose(out);
+  std::printf("wrote BENCH_drift_overhead.json\n");
+  return 0;
+}

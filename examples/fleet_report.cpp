@@ -85,6 +85,38 @@ int main() {
   std::printf("telemetry CSV sample (5 of %zu machine-hours):\n%s",
               session.store().size(), sample.ToCsv().c_str());
 
+  // --- Drift & model-health panel -------------------------------------------
+  // Arm the self-healing loop retroactively (the detector catches up on the
+  // two clean weeks above, which prime its weekly baselines), then let a
+  // crash storm chew on the fleet for four days and report what the drift
+  // detectors and the model-health breaker saw.
+  if (session.EnableSelfHealing(apps::KeaSession::SelfHealingConfig()).ok()) {
+    sim::FleetFaultProfile storm;
+    storm.crash_rate_per_hour = 0.02;
+    storm.mean_repair_hours = 8.0;
+    if (session.EnableFleetChaos({storm, /*seed=*/7}).ok() &&
+        session.Simulate(4 * sim::kHoursPerDay).ok()) {
+      const telemetry::DriftDetector& drift = *session.drift_detector();
+      const core::ModelHealth& health = *session.model_health();
+      std::printf("drift & model-health panel (after a 4-day crash storm):\n");
+      for (size_t m = 0; m < telemetry::DriftDetector::kNumMetrics; ++m) {
+        std::printf("  %-20s %zu alarm(s)\n",
+                    telemetry::DriftDetector::MetricName(m),
+                    drift.alarm_counts()[m]);
+      }
+      std::printf("  max drift %.1f sigma; breaker %s", drift.max_drift(),
+                  core::ModelHealth::StateName(health.state()));
+      if (health.in_safe_mode()) {
+        std::printf(" (tripped at hour %d: %s; deployments held)",
+                    health.tripped_at(), health.trip_reason().c_str());
+      }
+      std::printf("\n  fleet: %zu crashes, %zu machine-down-hours, %zu down now\n\n",
+                  session.fleet_faults()->counters().crashes,
+                  session.fleet_faults()->counters().machine_down_hours,
+                  session.fleet_faults()->machines_down_now());
+    }
+  }
+
   // --- Ops view: what the pipeline itself did --------------------------------
   // Every deterministic counter the run incremented — fits, thread-pool jobs,
   // snapshot writes — rendered beside the fleet views above.

@@ -58,7 +58,10 @@ obs::Counter* StepFreshCounter() {
 
 void EncodeConfig(const KeaSession::Config& config,
                   const KeaSession::IngestionConfig& ingestion,
-                  bool ingestion_enabled, StateWriter* w) {
+                  bool ingestion_enabled,
+                  const KeaSession::FleetChaosConfig& chaos, bool chaos_enabled,
+                  const KeaSession::SelfHealingConfig& healing,
+                  bool healing_enabled, StateWriter* w) {
   w->PutInt(config.machines);
   w->PutU64(config.seed);
 
@@ -135,11 +138,47 @@ void EncodeConfig(const KeaSession::Config& config,
   w->PutDouble(po.retry.jitter);
   w->PutU64(po.retry.seed);
   w->PutU64(ingestion.seed);
+
+  // Fleet chaos + self-healing (appended after the PR-4 layout; DecodeConfig
+  // treats their absence as "not enabled" so older checkpoints still load).
+  w->PutBool(chaos_enabled);
+  const sim::FleetFaultProfile& fp = chaos.profile;
+  w->PutDouble(fp.crash_rate_per_hour);
+  w->PutDouble(fp.mean_repair_hours);
+  w->PutDouble(fp.rack_outage_rate_per_hour);
+  w->PutDouble(fp.mean_rack_outage_hours);
+  w->PutDouble(fp.degrade_rate_per_hour);
+  w->PutDouble(fp.degrade_severity);
+  w->PutDouble(fp.recovery_per_hour);
+  w->PutDouble(fp.permanent_loss_rate_per_hour);
+  w->PutU64(chaos.seed);
+
+  w->PutBool(healing_enabled);
+  const ml::PageHinkleyDetector::Options& ph = healing.drift.page_hinkley;
+  w->PutDouble(ph.delta);
+  w->PutDouble(ph.lambda);
+  w->PutInt(ph.warmup);
+  w->PutDouble(ph.min_stddev);
+  w->PutDouble(ph.max_z);
+  w->PutInt(healing.drift.staleness_hours);
+  const core::ModelHealth::Options& mh = healing.health;
+  w->PutDouble(mh.residual_tolerance);
+  w->PutDouble(mh.residual_inflation);
+  w->PutDouble(mh.min_baseline_error);
+  w->PutInt(mh.refit_delay_hours);
+  w->PutInt(mh.refit_lookback_hours);
+  w->PutInt(mh.holdout_hours);
+  w->PutDouble(mh.validation_tolerance);
+  w->PutInt(mh.probation_rounds);
+  w->PutDouble(mh.probation_margin_scale);
 }
 
 Status DecodeConfig(const std::string& blob, KeaSession::Config* config,
                     KeaSession::IngestionConfig* ingestion,
-                    bool* ingestion_enabled) {
+                    bool* ingestion_enabled,
+                    KeaSession::FleetChaosConfig* chaos, bool* chaos_enabled,
+                    KeaSession::SelfHealingConfig* healing,
+                    bool* healing_enabled) {
   StateReader r(blob);
   KEA_RETURN_IF_ERROR(r.GetInt(&config->machines));
   KEA_RETURN_IF_ERROR(r.GetU64(&config->seed));
@@ -221,6 +260,42 @@ Status DecodeConfig(const std::string& blob, KeaSession::Config* config,
   KEA_RETURN_IF_ERROR(r.GetDouble(&po.retry.jitter));
   KEA_RETURN_IF_ERROR(r.GetU64(&po.retry.seed));
   KEA_RETURN_IF_ERROR(r.GetU64(&ingestion->seed));
+
+  // Pre-chaos checkpoints end here.
+  *chaos_enabled = false;
+  *healing_enabled = false;
+  if (r.AtEnd()) return Status::OK();
+
+  KEA_RETURN_IF_ERROR(r.GetBool(chaos_enabled));
+  sim::FleetFaultProfile& fp = chaos->profile;
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.crash_rate_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.mean_repair_hours));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.rack_outage_rate_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.mean_rack_outage_hours));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.degrade_rate_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.degrade_severity));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.recovery_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&fp.permanent_loss_rate_per_hour));
+  KEA_RETURN_IF_ERROR(r.GetU64(&chaos->seed));
+
+  KEA_RETURN_IF_ERROR(r.GetBool(healing_enabled));
+  ml::PageHinkleyDetector::Options& ph = healing->drift.page_hinkley;
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ph.delta));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ph.lambda));
+  KEA_RETURN_IF_ERROR(r.GetInt(&ph.warmup));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ph.min_stddev));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&ph.max_z));
+  KEA_RETURN_IF_ERROR(r.GetInt(&healing->drift.staleness_hours));
+  core::ModelHealth::Options& mh = healing->health;
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mh.residual_tolerance));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mh.residual_inflation));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mh.min_baseline_error));
+  KEA_RETURN_IF_ERROR(r.GetInt(&mh.refit_delay_hours));
+  KEA_RETURN_IF_ERROR(r.GetInt(&mh.refit_lookback_hours));
+  KEA_RETURN_IF_ERROR(r.GetInt(&mh.holdout_hours));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mh.validation_tolerance));
+  KEA_RETURN_IF_ERROR(r.GetInt(&mh.probation_rounds));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mh.probation_margin_scale));
   return Status::OK();
 }
 
@@ -369,6 +444,20 @@ Status KeaSession::Simulate(int hours) {
     }
     now_ += hours;
   }
+  // Drift monitoring: fold the new telemetry into the detector's streams and
+  // route any alarms into the ModelHealth breaker. Read-only on the store —
+  // a clean stream leaves the session's behavior untouched.
+  if (drift_ != nullptr) {
+    std::vector<telemetry::DriftDetector::Alarm> alarms = drift_->CatchUp(store_);
+    std::vector<telemetry::DriftDetector::Alarm> stale =
+        drift_->CheckStaleness(now_);
+    alarms.insert(alarms.end(), stale.begin(), stale.end());
+    if (model_health_ != nullptr) {
+      for (const telemetry::DriftDetector::Alarm& alarm : alarms) {
+        model_health_->Trip("drift:" + alarm.metric, now_);
+      }
+    }
+  }
   // Durable sessions checkpoint after every simulate so a crash between
   // control-plane actions loses no telemetry. Inside a journaled round the
   // per-step checkpoints (which also cover the step's ledger event) own this.
@@ -392,6 +481,30 @@ Status KeaSession::EnableIngestionPipeline(const IngestionConfig& config) {
   ingestion_config_ = config;
   ingestion_enabled_ = true;
   return Status::OK();
+}
+
+Status KeaSession::EnableFleetChaos(const FleetChaosConfig& config) {
+  fleet_faults_ = std::make_unique<sim::FleetFaultInjector>(
+      &cluster_, config.profile, config.seed);
+  engine_->AttachFleetFaults(fleet_faults_.get());
+  fleet_chaos_config_ = config;
+  fleet_chaos_enabled_ = true;
+  return Status::OK();
+}
+
+Status KeaSession::EnableSelfHealing(const SelfHealingConfig& config) {
+  drift_ = std::make_unique<telemetry::DriftDetector>(config.drift);
+  model_health_ = std::make_unique<core::ModelHealth>(config.health);
+  self_healing_config_ = config;
+  self_healing_enabled_ = true;
+  return Status::OK();
+}
+
+size_t KeaSession::TotalDriftAlarms() const {
+  if (drift_ == nullptr) return 0;
+  size_t total = drift_->staleness_alarms();
+  for (size_t count : drift_->alarm_counts()) total += count;
+  return total;
 }
 
 Status KeaSession::EnableDurability(const std::string& dir) {
@@ -437,7 +550,9 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
   snapshot.AddSection("meta", meta.Release());
 
   StateWriter config;
-  EncodeConfig(config_, ingestion_config_, ingestion_enabled_, &config);
+  EncodeConfig(config_, ingestion_config_, ingestion_enabled_,
+               fleet_chaos_config_, fleet_chaos_enabled_, self_healing_config_,
+               self_healing_enabled_, &config);
   snapshot.AddSection("config", config.Release());
 
   snapshot.AddSection("telemetry", store_.ToCsv());
@@ -461,6 +576,15 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
   if (fault_injector_ != nullptr) {
     snapshot.AddSection("fault_injector", fault_injector_->SerializeState());
   }
+  if (fleet_faults_ != nullptr) {
+    snapshot.AddSection("fleet_faults", fleet_faults_->SerializeState());
+  }
+  if (drift_ != nullptr) {
+    snapshot.AddSection("drift", drift_->SerializeState());
+  }
+  if (model_health_ != nullptr) {
+    snapshot.AddSection("model_health", model_health_->SerializeState());
+  }
 
   KEA_RETURN_IF_ERROR(snapshot.WriteFile(durability_dir_ + kCheckpointFile));
   if (covered_seq > durable_seq_) durable_seq_ = covered_seq;
@@ -476,12 +600,24 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   Config config;
   IngestionConfig ingestion_config;
   bool ingestion_enabled = false;
-  KEA_RETURN_IF_ERROR(
-      DecodeConfig(config_blob, &config, &ingestion_config, &ingestion_enabled));
+  FleetChaosConfig chaos_config;
+  bool chaos_enabled = false;
+  SelfHealingConfig healing_config;
+  bool healing_enabled = false;
+  KEA_RETURN_IF_ERROR(DecodeConfig(config_blob, &config, &ingestion_config,
+                                   &ingestion_enabled, &chaos_config,
+                                   &chaos_enabled, &healing_config,
+                                   &healing_enabled));
 
   KEA_ASSIGN_OR_RETURN(std::unique_ptr<KeaSession> session, Create(config));
   if (ingestion_enabled) {
     KEA_RETURN_IF_ERROR(session->EnableIngestionPipeline(ingestion_config));
+  }
+  if (chaos_enabled) {
+    KEA_RETURN_IF_ERROR(session->EnableFleetChaos(chaos_config));
+  }
+  if (healing_enabled) {
+    KEA_RETURN_IF_ERROR(session->EnableSelfHealing(healing_config));
   }
 
   std::string meta_blob;
@@ -568,6 +704,30 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
     KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("fault_injector"));
     KEA_RETURN_IF_ERROR(session->fault_injector_->RestoreState(blob));
   }
+  if (snapshot.Has("fleet_faults")) {
+    if (session->fleet_faults_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has fleet-fault state but no fleet-chaos config");
+    }
+    KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("fleet_faults"));
+    KEA_RETURN_IF_ERROR(session->fleet_faults_->RestoreState(blob));
+  }
+  if (snapshot.Has("drift")) {
+    if (session->drift_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has drift state but no self-healing config");
+    }
+    KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("drift"));
+    KEA_RETURN_IF_ERROR(session->drift_->RestoreState(blob));
+  }
+  if (snapshot.Has("model_health")) {
+    if (session->model_health_ == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has model-health state but no self-healing config");
+    }
+    KEA_ASSIGN_OR_RETURN(blob, snapshot.Section("model_health"));
+    KEA_RETURN_IF_ERROR(session->model_health_->RestoreState(blob));
+  }
 
   session->durability_dir_ = dir;
   KEA_ASSIGN_OR_RETURN(session->ledger_,
@@ -600,6 +760,11 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   }
   if (now_ == 0) {
     return Status::FailedPrecondition("simulate telemetry before tuning");
+  }
+  if (model_health_ != nullptr && model_health_->in_safe_mode()) {
+    return Status::FailedPrecondition(
+        "model-health breaker is open; deployments refused "
+        "(use RunGuardedTuningRound to drive the refit cycle)");
   }
   KEA_TRACE_SPAN("session.round", {{"kind", "yarn"},
                                    {"lookback_hours",
@@ -643,6 +808,11 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
 
 StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
     const GuardedRoundOptions& options) {
+  // The breaker gates both the plain and the durable paths: while open, the
+  // session holds the last known-good config and only drives the refit cycle.
+  if (model_health_ != nullptr && model_health_->in_safe_mode()) {
+    return RunSafeModeRound(options);
+  }
   if (ledger_ != nullptr) return RunGuardedTuningRoundDurable(options);
   if (options.lookback_hours <= 0) {
     return Status::InvalidArgument("lookback_hours must be positive");
@@ -654,6 +824,7 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
                                    {"lookback_hours",
                                     std::to_string(options.lookback_hours)}});
   RoundsCounter()->Increment();
+  const size_t alarms_before = TotalDriftAlarms();
   sim::HourIndex begin = std::max(0, now_ - options.lookback_hours);
 
   KEA_ASSIGN_OR_RETURN(
@@ -670,7 +841,15 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
   // recommendation aborts before the first canary machine is touched.
   KEA_RETURN_IF_ERROR(CheckPlanSane(round.plan));
 
-  core::GuardrailedRollout rollout(options.rollout);
+  // During probation (RE-ARMED) the guardrails are tightened — the freshly
+  // refitted model gets less headroom. EffectiveGuardrails is the identity
+  // while HEALTHY, so the tuned path stays bit-identical without trips.
+  core::GuardrailedRollout::Options rollout_options = options.rollout;
+  if (model_health_ != nullptr) {
+    rollout_options.guardrails =
+        model_health_->EffectiveGuardrails(rollout_options.guardrails);
+  }
+  core::GuardrailedRollout rollout(rollout_options);
   sim::HourIndex deploy_hour = now_;
   KEA_ASSIGN_OR_RETURN(
       round.rollout,
@@ -683,7 +862,98 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
   last_fit_end_ = round.fit_end;
   last_deploy_hour_ = deploy_hour;
   last_whatif_options_ = options.tuner.whatif;
+  FinishRoundHealth(alarms_before, &round);
   return round;
+}
+
+StatusOr<KeaSession::GuardedRound> KeaSession::RunSafeModeRound(
+    const GuardedRoundOptions& options) {
+  KEA_TRACE_SPAN("session.round", {{"kind", "safe_mode"}});
+  RoundsCounter()->Increment();
+  const size_t alarms_before = TotalDriftAlarms();
+  GuardedRound round;
+  round.safe_mode = true;
+  round.rollout.outcome = core::GuardrailedRollout::Outcome::kNoChange;
+  round.fit_begin = last_fit_begin_;
+  round.fit_end = last_fit_end_;
+  if (model_health_->RefitDue(now_)) {
+    round.refit_attempted = true;
+    model_health_->BeginRefit();
+    bool passed = AttemptRefit(options);
+    model_health_->CompleteRefit(passed, now_);
+    round.refit_passed = passed;
+    if (passed && drift_ != nullptr) {
+      // The post-drift regime is the new normal for every metric stream.
+      drift_->Rearm();
+    }
+  }
+  model_health_->NoteRound();
+  round.health_state = core::ModelHealth::StateName(model_health_->state());
+  round.drift_alarms = TotalDriftAlarms() - alarms_before;
+  if (ledger_ != nullptr) {
+    // Safe-mode rounds deploy nothing, but a passed refit moved the fit
+    // window and breaker state — persist them.
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  }
+  return round;
+}
+
+bool KeaSession::AttemptRefit(const GuardedRoundOptions& options) {
+  const core::ModelHealth::Options& health = model_health_->options();
+  // Fit strictly post-drift telemetry: [max(trip, now - lookback), holdout),
+  // with the stream's newest tail held out as the validation gate.
+  sim::HourIndex holdout_begin = now_ - health.holdout_hours;
+  sim::HourIndex fit_begin = std::max(0, now_ - health.refit_lookback_hours);
+  if (model_health_->tripped_at() > fit_begin) {
+    fit_begin = model_health_->tripped_at();
+  }
+  if (holdout_begin <= fit_begin) return false;  // Not enough post-drift data.
+
+  StatusOr<core::WhatIfEngine> fitted = core::WhatIfEngine::Fit(
+      store_, telemetry::HourRangeFilter(fit_begin, holdout_begin),
+      options.tuner.whatif);
+  if (!fitted.ok()) return false;
+
+  core::ModelValidator::Options validator_options;
+  validator_options.tolerance = health.validation_tolerance;
+  core::ModelValidator validator(validator_options);
+  StatusOr<core::ValidationReport> report =
+      validator.Validate(fitted.value(), store_,
+                         telemetry::HourRangeFilter(holdout_begin, now_));
+  if (!report.ok()) return false;
+  if (!report.value().models_valid || !report.value().unmodeled_groups.empty()) {
+    return false;
+  }
+
+  // Gate passed: the refit becomes the session's validation engine and the
+  // new known-good fit window.
+  last_engine_ =
+      std::make_unique<core::WhatIfEngine>(std::move(fitted).value());
+  has_round_ = true;
+  last_fit_begin_ = fit_begin;
+  last_fit_end_ = holdout_begin;
+  last_deploy_hour_ = holdout_begin;
+  last_whatif_options_ = options.tuner.whatif;
+  return true;
+}
+
+void KeaSession::FinishRoundHealth(size_t alarms_before, GuardedRound* round) {
+  if (model_health_ == nullptr) return;
+  // Residual tracking: replay the round's models against the telemetry that
+  // accrued after its deployment. Residual inflation trips the breaker just
+  // like a drift alarm.
+  if (last_engine_ != nullptr && now_ > last_deploy_hour_) {
+    core::ModelValidator validator{core::ModelValidator::Options{}};
+    StatusOr<core::ValidationReport> report = validator.Validate(
+        *last_engine_, store_,
+        telemetry::HourRangeFilter(last_deploy_hour_, now_));
+    if (report.ok()) {
+      model_health_->ObserveValidation(report.value(), now_);
+    }
+  }
+  model_health_->NoteRound();
+  round->health_state = core::ModelHealth::StateName(model_health_->state());
+  round->drift_alarms = TotalDriftAlarms() - alarms_before;
 }
 
 StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
@@ -693,6 +963,7 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
   KEA_TRACE_SPAN("session.round", {{"kind", "durable"},
                                    {"round", std::to_string(round_number)}});
   RoundsCounter()->Increment();
+  const size_t alarms_before = TotalDriftAlarms();
   GuardedRound round;
   sim::HourIndex start_hour = 0;
   std::unique_ptr<core::WhatIfEngine> fresh_engine;
@@ -756,7 +1027,12 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
   // after every journaled step. Simulate() must not checkpoint concurrently —
   // a mid-observation checkpoint would claim coverage of a step whose verdict
   // is not yet journaled.
-  core::GuardrailedRollout rollout(options.rollout);
+  core::GuardrailedRollout::Options rollout_options = options.rollout;
+  if (model_health_ != nullptr) {
+    rollout_options.guardrails =
+        model_health_->EffectiveGuardrails(rollout_options.guardrails);
+  }
+  core::GuardrailedRollout rollout(rollout_options);
   core::GuardrailedRollout::JournalContext context;
   context.ledger = ledger_.get();
   context.durable_seq = durable_seq_;
@@ -830,6 +1106,12 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
             telemetry::HourRangeFilter(round.fit_begin, round.fit_end),
             options.tuner.whatif));
     last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
+  }
+  FinishRoundHealth(alarms_before, &round);
+  if (self_healing_enabled_) {
+    // Persist the post-round breaker/residual state; without this a crash
+    // here would resume with a pre-round ModelHealth.
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
   }
   return round;
 }

@@ -10,11 +10,14 @@
 #include "core/deployment.h"
 #include "core/deployment_ledger.h"
 #include "core/guardrailed_rollout.h"
+#include "core/model_health.h"
 #include "core/validation.h"
 #include "core/whatif.h"
 #include "sim/fault_injector.h"
+#include "sim/fleet_fault_injector.h"
 #include "sim/fluid_engine.h"
 #include "sim/perf_model.h"
+#include "telemetry/drift_detector.h"
 #include "telemetry/ingestion.h"
 #include "telemetry/store.h"
 
@@ -62,6 +65,23 @@ class KeaSession {
     uint64_t seed = 1234;
   };
 
+  /// Fleet chaos configuration: a deterministic fault process on the
+  /// simulated fleet itself (crashes, rack outages, slow nodes, permanent
+  /// loss), as opposed to IngestionConfig which corrupts only the telemetry
+  /// *about* the fleet. Both injectors may share one seed — their substream
+  /// salt families are disjoint by construction.
+  struct FleetChaosConfig {
+    sim::FleetFaultProfile profile;  ///< empty() => no fleet faults.
+    uint64_t seed = 1234;
+  };
+
+  /// Drift-aware self-healing configuration: the DriftDetector watches the
+  /// telemetry stream, the ModelHealth breaker guards deployments.
+  struct SelfHealingConfig {
+    telemetry::DriftDetector::Options drift;
+    core::ModelHealth::Options health;
+  };
+
   /// One guarded tuning round's artifacts: the plan plus the staged-rollout
   /// state machine's report (which waves ran, what the guardrails measured,
   /// whether rollback fired).
@@ -70,6 +90,21 @@ class KeaSession {
     core::GuardrailedRollout::Report rollout;
     sim::HourIndex fit_begin = 0;
     sim::HourIndex fit_end = 0;
+
+    // Self-healing bookkeeping; defaults describe a session without
+    // EnableSelfHealing.
+    /// True when the breaker was open: no fit, no deployment this round.
+    bool safe_mode = false;
+    /// A safe-mode round attempted the scheduled refit (and whether the
+    /// held-out validation gate passed).
+    bool refit_attempted = false;
+    bool refit_passed = false;
+    /// ModelHealth state after the round ("HEALTHY" ... "RE-ARMED"), empty
+    /// without self-healing.
+    std::string health_state;
+    /// Drift alarms that fired during this round (incl. its observation
+    /// windows).
+    size_t drift_alarms = 0;
   };
 
   struct GuardedRoundOptions {
@@ -128,6 +163,26 @@ class KeaSession {
     return fault_injector_.get();
   }
 
+  /// Layers deterministic fleet chaos onto the simulation engine. With an
+  /// empty profile every simulated draw stays bit-identical to a session
+  /// without chaos. Replaces any previously enabled injector.
+  Status EnableFleetChaos(const FleetChaosConfig& config);
+
+  /// Turns on the drift-aware self-healing loop: every Simulate() feeds the
+  /// drift detector, alarms trip the ModelHealth breaker, and
+  /// RunGuardedTuningRound() honors the breaker — safe-mode rounds hold the
+  /// last known-good config, refuse deployments, and drive the auto-refit /
+  /// validation-gate / re-arm cycle. With clean telemetry the tuned path is
+  /// bit-identical to a session without self-healing.
+  Status EnableSelfHealing(const SelfHealingConfig& config);
+
+  /// Null until the corresponding Enable* has been called.
+  const sim::FleetFaultInjector* fleet_faults() const {
+    return fleet_faults_.get();
+  }
+  const telemetry::DriftDetector* drift_detector() const { return drift_.get(); }
+  const core::ModelHealth* model_health() const { return model_health_.get(); }
+
   /// Current simulation clock (hours since session start).
   sim::HourIndex now() const { return now_; }
 
@@ -181,6 +236,22 @@ class KeaSession {
   StatusOr<GuardedRound> RunGuardedTuningRoundDurable(
       const GuardedRoundOptions& options);
 
+  /// Round body while the ModelHealth breaker is open: hold config, refuse
+  /// deployment, attempt the scheduled refit when due.
+  StatusOr<GuardedRound> RunSafeModeRound(const GuardedRoundOptions& options);
+
+  /// Refits the What-if models on post-drift telemetry and checks them
+  /// against a held-out tail window. On pass, the refitted engine becomes
+  /// the session's validation engine. Returns whether the gate passed.
+  bool AttemptRefit(const GuardedRoundOptions& options);
+
+  /// Post-round residual tracking + probation bookkeeping; fills the
+  /// GuardedRound self-healing fields. No-op without self-healing.
+  void FinishRoundHealth(size_t alarms_before, GuardedRound* round);
+
+  /// Total drift alarms fired so far (all metrics + staleness).
+  size_t TotalDriftAlarms() const;
+
   sim::PerfModel perf_model_;
   sim::WorkloadModel workload_;
   sim::Cluster cluster_;
@@ -190,6 +261,11 @@ class KeaSession {
   // Hardened telemetry path (optional; see EnableIngestionPipeline).
   std::unique_ptr<sim::TelemetryFaultInjector> fault_injector_;
   std::unique_ptr<telemetry::IngestionPipeline> ingestion_;
+  // Fleet chaos + self-healing loop (optional; see EnableFleetChaos /
+  // EnableSelfHealing).
+  std::unique_ptr<sim::FleetFaultInjector> fleet_faults_;
+  std::unique_ptr<telemetry::DriftDetector> drift_;
+  std::unique_ptr<core::ModelHealth> model_health_;
 
   sim::HourIndex now_ = 0;
   // Last tuning round bookkeeping for validation / valuation.
@@ -213,6 +289,10 @@ class KeaSession {
   Config config_;
   IngestionConfig ingestion_config_;
   bool ingestion_enabled_ = false;
+  FleetChaosConfig fleet_chaos_config_;
+  bool fleet_chaos_enabled_ = false;
+  SelfHealingConfig self_healing_config_;
+  bool self_healing_enabled_ = false;
   /// Options of the last validated-models fit (for resume refit).
   core::WhatIfEngine::Options last_whatif_options_;
 };

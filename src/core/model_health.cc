@@ -1,0 +1,191 @@
+#include "core/model_health.h"
+
+#include <algorithm>
+
+#include "common/snapshot.h"
+#include "obs/metrics.h"
+
+namespace kea::core {
+
+namespace {
+
+obs::Counter* TripsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("model_health.trips");
+  return c;
+}
+obs::Counter* RefitsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("model_health.refits");
+  return c;
+}
+obs::Counter* RefitFailuresCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("model_health.refit_failures");
+  return c;
+}
+obs::Counter* SafeModeRoundsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("model_health.safe_mode_rounds");
+  return c;
+}
+
+}  // namespace
+
+const char* ModelHealth::StateName(State s) {
+  switch (s) {
+    case State::kHealthy:
+      return "HEALTHY";
+    case State::kTripped:
+      return "TRIPPED";
+    case State::kRefitting:
+      return "REFITTING";
+    case State::kRearmed:
+      return "RE-ARMED";
+  }
+  return "UNKNOWN";
+}
+
+void ModelHealth::Trip(const std::string& reason, sim::HourIndex hour) {
+  if (state_ == State::kTripped || state_ == State::kRefitting) return;
+  state_ = State::kTripped;
+  trip_reason_ = reason;
+  tripped_at_ = hour;
+  retry_after_ = hour + options_.refit_delay_hours;
+  probation_left_ = 0;
+  ++trips_;
+  TripsCounter()->Increment();
+}
+
+bool ModelHealth::ObserveValidation(const ValidationReport& report,
+                                    sim::HourIndex hour) {
+  double error = std::max(report.max_latency_error,
+                          report.max_utilization_error);
+  last_error_ = error;
+  if (in_safe_mode()) return false;
+
+  if (error > options_.residual_tolerance) {
+    Trip("residual error above tolerance", hour);
+    return true;
+  }
+  double baseline = std::max(baseline_error_, options_.min_baseline_error);
+  if (baseline_error_ > 0.0 && error > options_.residual_inflation * baseline) {
+    Trip("residual inflation over baseline", hour);
+    return true;
+  }
+  // A healthy validation becomes (or refreshes toward) the known-good
+  // baseline; keep the smallest seen so inflation is measured against the
+  // model at its best.
+  if (baseline_error_ == 0.0 || error < baseline_error_) {
+    baseline_error_ = error;
+  }
+  return false;
+}
+
+bool ModelHealth::RefitDue(sim::HourIndex now) const {
+  return state_ == State::kTripped && now >= retry_after_;
+}
+
+void ModelHealth::BeginRefit() {
+  if (state_ != State::kTripped) return;
+  state_ = State::kRefitting;
+}
+
+void ModelHealth::CompleteRefit(bool gate_passed, sim::HourIndex now) {
+  if (state_ != State::kRefitting) return;
+  if (gate_passed) {
+    state_ = State::kRearmed;
+    probation_left_ = options_.probation_rounds;
+    // The refit's held-out error becomes the fresh inflation baseline once
+    // the next healthy validation lands.
+    baseline_error_ = 0.0;
+    ++refits_;
+    RefitsCounter()->Increment();
+  } else {
+    state_ = State::kTripped;
+    retry_after_ = now + options_.refit_delay_hours;
+    ++refit_failures_;
+    RefitFailuresCounter()->Increment();
+  }
+}
+
+void ModelHealth::NoteRound() {
+  if (in_safe_mode()) {
+    ++safe_mode_rounds_;
+    SafeModeRoundsCounter()->Increment();
+    return;
+  }
+  if (state_ == State::kRearmed && probation_left_ > 0) {
+    if (--probation_left_ == 0) {
+      state_ = State::kHealthy;
+      trip_reason_.clear();
+    }
+  }
+}
+
+GuardrailThresholds ModelHealth::EffectiveGuardrails(
+    const GuardrailThresholds& base) const {
+  if (state_ != State::kRearmed) return base;
+  GuardrailThresholds tightened = base;
+  double s = options_.probation_margin_scale;
+  tightened.max_latency_ratio = 1.0 + (base.max_latency_ratio - 1.0) * s;
+  tightened.max_queue_p99_ratio = 1.0 + (base.max_queue_p99_ratio - 1.0) * s;
+  tightened.queue_p99_floor_ms = base.queue_p99_floor_ms * s;
+  return tightened;
+}
+
+std::string ModelHealth::SerializeState() const {
+  StateWriter w;
+  w.PutU32(static_cast<uint32_t>(state_));
+  w.PutString(trip_reason_);
+  w.PutI64(tripped_at_);
+  w.PutI64(retry_after_);
+  w.PutInt(probation_left_);
+  w.PutDouble(baseline_error_);
+  w.PutDouble(last_error_);
+  w.PutU64(trips_);
+  w.PutU64(refits_);
+  w.PutU64(refit_failures_);
+  w.PutU64(safe_mode_rounds_);
+  return w.Release();
+}
+
+Status ModelHealth::RestoreState(const std::string& blob) {
+  StateReader r(blob);
+  uint32_t state = 0;
+  std::string reason;
+  int64_t tripped_at = 0, retry_after = 0;
+  int probation_left = 0;
+  double baseline_error = 0.0, last_error = 0.0;
+  uint64_t trips = 0, refits = 0, refit_failures = 0, safe_mode_rounds = 0;
+  KEA_RETURN_IF_ERROR(r.GetU32(&state));
+  KEA_RETURN_IF_ERROR(r.GetString(&reason));
+  KEA_RETURN_IF_ERROR(r.GetI64(&tripped_at));
+  KEA_RETURN_IF_ERROR(r.GetI64(&retry_after));
+  KEA_RETURN_IF_ERROR(r.GetInt(&probation_left));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&baseline_error));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&last_error));
+  KEA_RETURN_IF_ERROR(r.GetU64(&trips));
+  KEA_RETURN_IF_ERROR(r.GetU64(&refits));
+  KEA_RETURN_IF_ERROR(r.GetU64(&refit_failures));
+  KEA_RETURN_IF_ERROR(r.GetU64(&safe_mode_rounds));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in model-health state");
+  }
+  if (state > static_cast<uint32_t>(State::kRearmed)) {
+    return Status::InvalidArgument("bad model-health state value");
+  }
+  state_ = static_cast<State>(state);
+  trip_reason_ = std::move(reason);
+  tripped_at_ = static_cast<sim::HourIndex>(tripped_at);
+  retry_after_ = static_cast<sim::HourIndex>(retry_after);
+  probation_left_ = probation_left;
+  baseline_error_ = baseline_error;
+  last_error_ = last_error;
+  trips_ = trips;
+  refits_ = refits;
+  refit_failures_ = refit_failures;
+  safe_mode_rounds_ = safe_mode_rounds;
+  return Status::OK();
+}
+
+}  // namespace kea::core

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "common/snapshot.h"
 
 namespace kea::ml {
 
@@ -227,6 +230,92 @@ StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
     return Status::FailedPrecondition("constant sample in correlation");
   }
   return sxy / std::sqrt(sxx * syy);
+}
+
+bool PageHinkleyDetector::Observe(double x) {
+  if (!std::isfinite(x)) return false;
+  ++count_;
+  double delta_mean = x - mean_;
+  mean_ += delta_mean / static_cast<double>(count_);
+  m2_ += delta_mean * (x - mean_);
+
+  // Standardize against the stats *before* this point settled; the
+  // min_stddev floor is the zero-variance guard — a constant stream yields
+  // z == 0 exactly, never NaN.
+  double sd = stddev();
+  double z = (x - mean_) / std::max(sd, options_.min_stddev);
+  z = std::clamp(z, -options_.max_z, options_.max_z);
+
+  up_sum_ += z - options_.delta;
+  up_min_ = std::min(up_min_, up_sum_);
+  down_sum_ += z + options_.delta;
+  down_max_ = std::max(down_max_, down_sum_);
+
+  if (count_ <= static_cast<size_t>(std::max(options_.warmup, 1))) {
+    return false;
+  }
+  bool alarm = (up_sum_ - up_min_ > options_.lambda) ||
+               (down_max_ - down_sum_ > options_.lambda);
+  if (alarm) alarmed_ = true;
+  return alarm;
+}
+
+void PageHinkleyDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  up_sum_ = 0.0;
+  up_min_ = 0.0;
+  down_sum_ = 0.0;
+  down_max_ = 0.0;
+  alarmed_ = false;
+}
+
+double PageHinkleyDetector::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(std::max(0.0, m2_ / static_cast<double>(count_ - 1)));
+}
+
+double PageHinkleyDetector::drift_magnitude() const {
+  return std::max(up_sum_ - up_min_, down_max_ - down_sum_);
+}
+
+std::string PageHinkleyDetector::SerializeState() const {
+  StateWriter w;
+  w.PutU64(count_);
+  w.PutDouble(mean_);
+  w.PutDouble(m2_);
+  w.PutDouble(up_sum_);
+  w.PutDouble(up_min_);
+  w.PutDouble(down_sum_);
+  w.PutDouble(down_max_);
+  w.PutBool(alarmed_);
+  return w.Release();
+}
+
+Status PageHinkleyDetector::RestoreState(const std::string& blob) {
+  StateReader r(blob);
+  uint64_t count = 0;
+  double mean = 0.0, m2 = 0.0, up_sum = 0.0, up_min = 0.0, down_sum = 0.0,
+         down_max = 0.0;
+  bool alarmed = false;
+  KEA_RETURN_IF_ERROR(r.GetU64(&count));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&mean));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&m2));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&up_sum));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&up_min));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&down_sum));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&down_max));
+  KEA_RETURN_IF_ERROR(r.GetBool(&alarmed));
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+  up_sum_ = up_sum;
+  up_min_ = up_min;
+  down_sum_ = down_sum;
+  down_max_ = down_max;
+  alarmed_ = alarmed;
+  return Status::OK();
 }
 
 }  // namespace kea::ml

@@ -2,6 +2,7 @@
 #define KEA_ML_STATS_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -79,6 +80,79 @@ double RegularizedIncompleteBeta(double a, double b, double x);
 /// constant.
 StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
                                     const std::vector<double>& y);
+
+/// Two-sided Page-Hinkley change-point detector over a scalar stream — the
+/// sequential test behind the telemetry drift monitor (DESIGN.md "fleet fault
+/// model & self-healing loop"). Observations are standardized against the
+/// stream's own running mean/stddev (Welford), so thresholds are in sigma
+/// units and one parameterization works for utilization fractions and
+/// machine counts alike. Tracks the cumulative standardized deviation in
+/// both directions and alarms when either drifts `lambda` past its running
+/// extremum — a sustained mean shift fires, symmetric oscillation (diurnal
+/// load) does not.
+///
+/// Zero-variance streams are explicitly guarded: the standardization divisor
+/// is max(stddev, min_stddev), so a constant stream contributes exactly zero
+/// drift (never NaN) while a later jump off the constant still alarms.
+class PageHinkleyDetector {
+ public:
+  struct Options {
+    /// Drift tolerance per observation, in stddev units. Deviations smaller
+    /// than this never accumulate. Hourly telemetry is strongly
+    /// autocorrelated (diurnal load), so this must exceed the per-hour gain
+    /// of one half-cycle divided by its length or clean days will alarm;
+    /// 0.25 drains a symmetric daily swing while a sustained +1-sigma shift
+    /// still nets +0.75 per hour.
+    double delta = 0.25;
+    /// Alarm threshold on the cumulative drift, in stddev units. With
+    /// delta = 0.25 a +1-sigma mean shift trips in about a day.
+    double lambda = 18.0;
+    /// Observations before alarms may fire (running stats settle first).
+    int warmup = 48;
+    /// Floor on the standardization divisor (the division-by-zero guard).
+    double min_stddev = 1e-9;
+    /// Cap on a single standardized deviation so one jump off a
+    /// zero-variance stream cannot overflow the accumulators.
+    double max_z = 1e6;
+  };
+
+  PageHinkleyDetector() : PageHinkleyDetector(Options()) {}
+  explicit PageHinkleyDetector(const Options& options) : options_(options) {}
+
+  /// Feeds one observation; returns true when a change point is detected.
+  /// Non-finite observations are ignored (they are the telemetry pipeline's
+  /// problem, not the detector's). After an alarm the detector keeps
+  /// accumulating; call Reset() to start a fresh regime.
+  bool Observe(double x);
+
+  /// Forgets everything — running stats and drift accumulators. Used after a
+  /// model refit: the post-drift regime is the new normal.
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double stddev() const;
+  /// Largest cumulative drift currently held in either direction.
+  double drift_magnitude() const;
+  bool alarmed() const { return alarmed_; }
+
+  /// Bit-exact codec for checkpoint/resume.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& blob);
+
+ private:
+  Options options_;
+  // Welford running stats.
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  // Cumulative standardized deviations and their running extrema.
+  double up_sum_ = 0.0;
+  double up_min_ = 0.0;
+  double down_sum_ = 0.0;
+  double down_max_ = 0.0;
+  bool alarmed_ = false;
+};
 
 }  // namespace kea::ml
 

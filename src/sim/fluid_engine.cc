@@ -45,9 +45,26 @@ void FluidEngine::SimulateHour(HourIndex hour, telemetry::TelemetryStore* store)
       }
     }
   }
+  // Fleet-chaos health snapshot for the hour. With no injector attached (or
+  // an empty profile) every machine is up at speed 1.0 and the engine's own
+  // draws are untouched — the zero-fault path stays bit-identical.
+  if (fleet_faults_ != nullptr) {
+    fleet_faults_->BeginHour(hour);
+    fleet_up_.assign(n, 1);
+    fleet_speed_.assign(n, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      MachineHealth health = fleet_faults_->Health(i);
+      fleet_up_[i] = health.up ? 1 : 0;
+      fleet_speed_[i] = health.speed;
+    }
+  }
+  auto fleet_up = [&](size_t i) {
+    return fleet_faults_ == nullptr || fleet_up_[i] != 0;
+  };
   auto slots_of = [&](size_t i) {
-    return down_until_[i] > hour ? 0.0
-                                 : static_cast<double>(machines[i].max_containers);
+    return (down_until_[i] > hour || !fleet_up(i))
+               ? 0.0
+               : static_cast<double>(machines[i].max_containers);
   };
 
   double demand = workload_->DemandContainers(hour, baseline_slots_, &rng_);
@@ -156,6 +173,7 @@ void FluidEngine::SimulateHour(HourIndex hour, telemetry::TelemetryStore* store)
 
   for (size_t i = 0; i < n; ++i) {
     if (down_until_[i] > hour) continue;  // No telemetry from down machines.
+    if (!fleet_up(i)) continue;           // Fleet-chaos downtime: same gap.
     const Machine& m = machines[i];
     MachineGroupKey group = m.group();
 
@@ -178,6 +196,9 @@ void FluidEngine::SimulateHour(HourIndex hour, telemetry::TelemetryStore* store)
       double latency = model_->TaskLatencySeconds(group, util, containers,
                                                   m.power_cap_fraction,
                                                   m.feature_enabled);
+      // Slow-node degradation stretches task time; division by exactly 1.0
+      // keeps the healthy path bit-identical.
+      if (fleet_faults_ != nullptr) latency /= fleet_speed_[i];
       latency *= rng_.LogNormal(0.0, options_.latency_noise_sigma);
       double tasks = model_->TasksPerHour(containers, latency);
       double data = model_->DataReadMbPerHour(tasks);

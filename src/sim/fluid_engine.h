@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "sim/cluster.h"
+#include "sim/fleet_fault_injector.h"
 #include "sim/perf_model.h"
 #include "sim/workload.h"
 #include "telemetry/store.h"
@@ -63,6 +64,14 @@ class FluidEngine {
   /// construction time).
   double baseline_slots() const { return baseline_slots_; }
 
+  /// Layers fleet chaos onto the simulation: machines the injector reports
+  /// down contribute no capacity and no telemetry, and degraded machines run
+  /// tasks slower by the injector's speed multiplier. The injector draws only
+  /// from its own seed-mixed substreams — attaching one with an empty profile
+  /// leaves every engine draw bit-identical. Pass nullptr to detach; `faults`
+  /// must outlive the engine.
+  void AttachFleetFaults(FleetFaultInjector* faults) { fleet_faults_ = faults; }
+
   /// Simulates hours [start, start + hours) and appends one record per
   /// machine per hour into `store`. Returns InvalidArgument on a null store
   /// or non-positive hours.
@@ -91,6 +100,12 @@ class FluidEngine {
   std::vector<double> assigned_;
   // Failure injection: hour at which each machine comes back up (0 = up).
   std::vector<HourIndex> down_until_;
+
+  // Fleet chaos (not owned; state checkpointed by its owner, not here).
+  FleetFaultInjector* fleet_faults_ = nullptr;
+  // Per-hour health snapshot scratch, valid while fleet_faults_ is attached.
+  std::vector<uint8_t> fleet_up_;
+  std::vector<double> fleet_speed_;
 };
 
 }  // namespace kea::sim

@@ -109,8 +109,20 @@ StatusOr<JobSimulator::Result> JobSimulator::Run(
   // machine's placement probability is proportional to its free capacity,
   // exactly like the fluid engine's slot-proportional assignment.
   std::vector<int> slot_pool;
+  // Fleet-chaos snapshot for the whole run: down machines offer no slots,
+  // degraded machines run slower. All-ones when no injector is attached (or
+  // its profile is empty), keeping the healthy path bit-identical.
+  std::vector<uint8_t> fleet_up(n_machines, 1);
+  std::vector<double> fleet_speed(n_machines, 1.0);
+  if (fleet_faults_ != nullptr) {
+    for (size_t i = 0; i < n_machines; ++i) {
+      MachineHealth health = fleet_faults_->Health(i);
+      fleet_up[i] = health.up ? 1 : 0;
+      fleet_speed[i] = health.speed;
+    }
+  }
   for (size_t i = 0; i < n_machines; ++i) {
-    if (machines[i].max_containers <= 0) continue;
+    if (machines[i].max_containers <= 0 || fleet_up[i] == 0) continue;
     int background = static_cast<int>(options_.background_load_fraction *
                                       machines[i].max_containers);
     background = std::min(background, machines[i].max_containers - 1);
@@ -168,6 +180,7 @@ StatusOr<JobSimulator::Result> JobSimulator::Run(
                    model_->ThrottleFactor(m.sku, util, m.power_cap_fraction,
                                           m.feature_enabled);
     if (m.feature_enabled) speed *= params.feature_speed_boost;
+    speed *= fleet_speed[static_cast<size_t>(m.id)];
     double cpu_s = params.task_cpu_work * task.work_multiplier / speed;
     cpu_s *= 1.0 + params.interference * util * util;
     const ScSpec& sc = model_->software_configs()[static_cast<size_t>(m.sc)];

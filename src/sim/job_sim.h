@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "sim/cluster.h"
+#include "sim/fleet_fault_injector.h"
 #include "sim/perf_model.h"
 #include "sim/workload.h"
 #include "telemetry/record.h"
@@ -83,6 +84,15 @@ class JobSimulator {
   JobSimulator(const PerfModel* model, const Cluster* cluster,
                const WorkloadModel* workload, const Options& options);
 
+  /// Layers fleet chaos onto the run: machines the injector currently
+  /// reports down contribute no container slots, and degraded machines run
+  /// tasks slower by the injector's speed multiplier. Health is sampled once
+  /// at Run() start (the discrete-event horizon is short relative to repair
+  /// times); advance the injector with BeginHour before calling Run. An
+  /// empty-profile injector leaves results bit-identical. `faults` must
+  /// outlive the simulator; pass nullptr to detach.
+  void AttachFleetFaults(FleetFaultInjector* faults) { fleet_faults_ = faults; }
+
   /// Simulates `duration_s` seconds of job arrivals and executions. Returns
   /// InvalidArgument on malformed templates or horizon.
   StatusOr<Result> Run(const std::vector<JobTemplateSpec>& templates,
@@ -94,6 +104,7 @@ class JobSimulator {
   const WorkloadModel* workload_;
   Options options_;
   Rng rng_;
+  FleetFaultInjector* fleet_faults_ = nullptr;  // Not owned.
 };
 
 }  // namespace kea::sim

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/session.h"
 #include "apps/sku_designer.h"
 #include "apps/yarn_tuner.h"
 #include "core/whatif.h"
@@ -322,6 +323,71 @@ TEST(DeterminismTest, SimulatedDesignTelemetryInvariantToThreadCount) {
           << "record " << i << " at " << threads << " threads";
       ASSERT_TRUE(BitEqual(ra.tasks_finished, rb.tasks_finished)) << "record " << i;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injector stream composition
+
+// The fleet fault injector (salt family 0xF1EE7FA0C...) and the telemetry
+// fault injector (0x7E1E7E1E...) draw from disjoint substream families, so a
+// session may run both under ONE seed without stream collision: enabling one
+// must not perturb the other's draws, and the composed run must stay
+// bit-stable across repeats and What-if thread counts.
+TEST(DeterminismTest, FleetAndTelemetryInjectorsComposeUnderOneSeed) {
+  constexpr uint64_t kSharedSeed = 1234;
+  auto make = [&](bool telemetry_faults) {
+    apps::KeaSession::Config config;
+    config.machines = 200;
+    config.seed = 17;
+    auto session = std::move(apps::KeaSession::Create(config)).value();
+    apps::KeaSession::FleetChaosConfig chaos;
+    chaos.profile = sim::FleetFaultProfile::CrashStorm();
+    chaos.seed = kSharedSeed;
+    EXPECT_TRUE(session->EnableFleetChaos(chaos).ok());
+    if (telemetry_faults) {
+      apps::KeaSession::IngestionConfig ingestion;
+      ingestion.faults = sim::FaultProfile::Moderate();
+      ingestion.pipeline.max_lateness_hours = ingestion.faults.max_late_hours;
+      ingestion.seed = kSharedSeed;
+      EXPECT_TRUE(session->EnableIngestionPipeline(ingestion).ok());
+    }
+    EXPECT_TRUE(session->Simulate(96).ok());
+    return session;
+  };
+
+  auto fleet_only = make(/*telemetry_faults=*/false);
+  auto composed_a = make(/*telemetry_faults=*/true);
+  auto composed_b = make(/*telemetry_faults=*/true);
+
+  // The fleet fault pattern is a pure function of (seed, entity, hour):
+  // layering telemetry corruption on top must not move a single draw.
+  EXPECT_EQ(fleet_only->fleet_faults()->SerializeState(),
+            composed_a->fleet_faults()->SerializeState());
+
+  // And the composed run is bit-stable across repeats.
+  EXPECT_EQ(composed_a->store().ToCsv(), composed_b->store().ToCsv());
+  EXPECT_EQ(composed_a->fleet_faults()->SerializeState(),
+            composed_b->fleet_faults()->SerializeState());
+  EXPECT_EQ(composed_a->ingestion()->counters().quarantined,
+            composed_b->ingestion()->counters().quarantined);
+
+  // Downstream of the composed telemetry, plans stay thread-count invariant.
+  auto plan = [](apps::KeaSession* session, int threads) {
+    apps::YarnConfigTuner::Options tuner;
+    tuner.whatif.num_threads = threads;
+    auto round = session->RunYarnTuningRound(tuner, 96, 1);
+    EXPECT_TRUE(round.ok()) << round.status().ToString();
+    return round->plan;
+  };
+  auto plan_a = plan(composed_a.get(), 1);
+  auto plan_b = plan(composed_b.get(), 8);
+  EXPECT_TRUE(BitEqual(plan_a.predicted_capacity_gain,
+                       plan_b.predicted_capacity_gain));
+  ASSERT_EQ(plan_a.recommendations.size(), plan_b.recommendations.size());
+  for (size_t i = 0; i < plan_a.recommendations.size(); ++i) {
+    EXPECT_EQ(plan_a.recommendations[i].recommended_max_containers,
+              plan_b.recommendations[i].recommended_max_containers);
   }
 }
 

@@ -1,0 +1,260 @@
+// Unit tests for the telemetry drift monitor: hourly aggregation, change-point
+// alarms, staleness clocks, late-arrival handling, re-arm semantics, and
+// bit-exact serialize/restore.
+
+#include "telemetry/drift_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "telemetry/store.h"
+
+namespace kea::telemetry {
+namespace {
+
+/// Appends one synthetic fleet-hour: `machines` records with a deterministic
+/// diurnal wobble around the given levels (no RNG — tests must not depend on
+/// stream layouts).
+void AppendFleetHour(TelemetryStore* store, sim::HourIndex hour, int machines,
+                     double util, double latency_s, double queue_ms,
+                     double tasks) {
+  double wobble = 0.05 * std::sin(2.0 * 3.141592653589793 *
+                                  static_cast<double>(hour % 24) / 24.0);
+  for (int m = 0; m < machines; ++m) {
+    MachineHourRecord r;
+    r.machine_id = m;
+    r.hour = hour;
+    r.cpu_utilization = util * (1.0 + wobble);
+    r.avg_task_latency_s = latency_s * (1.0 + wobble);
+    r.queue_latency_ms = queue_ms * (1.0 + wobble);
+    r.tasks_finished = tasks;
+    store->Append(r);
+  }
+}
+
+/// Raw-mode options for the unit tests: no seasonal differencing (the
+/// synthetic streams here have no weekly cycle) and a short warmup.
+DriftDetector::Options FastOptions() {
+  DriftDetector::Options options;
+  options.page_hinkley.warmup = 24;
+  options.seasonal_period_hours = 0;
+  return options;
+}
+
+TEST(DriftDetectorTest, SteadyStreamNeverAlarms) {
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 200; ++h) {
+    AppendFleetHour(&store, h, 50, 0.6, 2.0, 30.0, 100.0);
+  }
+  auto alarms = detector.CatchUp(store);
+  EXPECT_TRUE(alarms.empty());
+  EXPECT_FALSE(detector.drifting());
+  EXPECT_TRUE(std::isfinite(detector.max_drift()));
+  EXPECT_EQ(detector.last_data_hour(), 199);
+}
+
+TEST(DriftDetectorTest, LatencyShiftAlarms) {
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 150; ++h) {
+    AppendFleetHour(&store, h, 50, 0.6, 2.0, 30.0, 100.0);
+  }
+  ASSERT_TRUE(detector.CatchUp(store).empty());
+
+  // Latency doubles; everything else steady.
+  for (sim::HourIndex h = 150; h < 220; ++h) {
+    AppendFleetHour(&store, h, 50, 0.6, 4.0, 30.0, 100.0);
+  }
+  auto alarms = detector.CatchUp(store);
+  ASSERT_FALSE(alarms.empty());
+  bool latency_alarm = false;
+  for (const auto& a : alarms) {
+    if (a.metric == "task_latency") latency_alarm = true;
+    EXPECT_GT(a.drift, 0.0);
+    EXPECT_GE(a.hour, 150);
+  }
+  EXPECT_TRUE(latency_alarm);
+  EXPECT_TRUE(detector.drifting());
+  EXPECT_GT(detector.alarm_counts()[DriftDetector::kTaskLatency], 0u);
+}
+
+TEST(DriftDetectorTest, MachineDropAlarmsOffConstantStream) {
+  // machines_reporting is perfectly constant (zero variance) until machines
+  // disappear — the zero-variance guard must turn the drop into an alarm,
+  // not a NaN.
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 100; ++h) {
+    AppendFleetHour(&store, h, 60, 0.6, 2.0, 30.0, 100.0);
+  }
+  ASSERT_TRUE(detector.CatchUp(store).empty());
+  for (sim::HourIndex h = 100; h < 110; ++h) {
+    AppendFleetHour(&store, h, 40, 0.6, 2.0, 30.0, 100.0);
+  }
+  auto alarms = detector.CatchUp(store);
+  ASSERT_FALSE(alarms.empty());
+  bool machines_alarm = false;
+  for (const auto& a : alarms) {
+    if (a.metric == "machines_reporting") machines_alarm = true;
+    EXPECT_TRUE(std::isfinite(a.drift));
+  }
+  EXPECT_TRUE(machines_alarm);
+}
+
+TEST(DriftDetectorTest, LateArrivalsAreNotRefed) {
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 120; ++h) {
+    AppendFleetHour(&store, h, 40, 0.6, 2.0, 30.0, 100.0);
+  }
+  ASSERT_TRUE(detector.CatchUp(store).empty());
+  auto counts_before = detector.alarm_counts();
+
+  // A burst of wildly different records for an hour long since fed must not
+  // re-enter the detectors (they'd false-alarm otherwise).
+  AppendFleetHour(&store, 10, 40, 0.9, 50.0, 500.0, 1.0);
+  auto alarms = detector.CatchUp(store);
+  EXPECT_TRUE(alarms.empty());
+  EXPECT_EQ(detector.alarm_counts(), counts_before);
+  EXPECT_FALSE(detector.drifting());
+}
+
+TEST(DriftDetectorTest, StalenessFiresOncePerDrySpell) {
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 30; ++h) {
+    AppendFleetHour(&store, h, 40, 0.6, 2.0, 30.0, 100.0);
+  }
+  ASSERT_TRUE(detector.CatchUp(store).empty());
+
+  EXPECT_TRUE(detector.CheckStaleness(40).empty());  // Not stale yet.
+  auto alarms = detector.CheckStaleness(100);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].metric, "staleness");
+  EXPECT_TRUE(detector.drifting());
+  EXPECT_EQ(detector.staleness_alarms(), 1u);
+  // Same dry spell: no second alarm.
+  EXPECT_TRUE(detector.CheckStaleness(200).empty());
+
+  // Fresh data ends the dry spell; the next one alarms again.
+  for (sim::HourIndex h = 200; h < 205; ++h) {
+    AppendFleetHour(&store, h, 40, 0.6, 2.0, 30.0, 100.0);
+  }
+  detector.CatchUp(store);
+  EXPECT_EQ(detector.CheckStaleness(300).size(), 1u);
+  EXPECT_EQ(detector.staleness_alarms(), 2u);
+}
+
+TEST(DriftDetectorTest, RearmClearsDriftingButKeepsCounts) {
+  TelemetryStore store;
+  DriftDetector detector(FastOptions());
+  for (sim::HourIndex h = 0; h < 100; ++h) {
+    AppendFleetHour(&store, h, 60, 0.6, 2.0, 30.0, 100.0);
+  }
+  detector.CatchUp(store);
+  for (sim::HourIndex h = 100; h < 120; ++h) {
+    AppendFleetHour(&store, h, 20, 0.6, 2.0, 30.0, 100.0);
+  }
+  ASSERT_FALSE(detector.CatchUp(store).empty());
+  ASSERT_TRUE(detector.drifting());
+  auto counts = detector.alarm_counts();
+
+  detector.Rearm();
+  EXPECT_FALSE(detector.drifting());
+  EXPECT_EQ(detector.alarm_counts(), counts);
+
+  // The post-drift regime is the new baseline: staying at 20 machines does
+  // not re-alarm (detectors were reset and re-warm on the new level).
+  for (sim::HourIndex h = 120; h < 200; ++h) {
+    AppendFleetHour(&store, h, 20, 0.6, 2.0, 30.0, 100.0);
+  }
+  EXPECT_TRUE(detector.CatchUp(store).empty());
+  EXPECT_FALSE(detector.drifting());
+}
+
+TEST(DriftDetectorTest, WeeklySeasonalityCancelsUnderDifferencing) {
+  // A strong weekly pattern — weekday load with a deep weekend dip — repeats
+  // for six weeks. To a plain change-point test the weekend is a sustained
+  // level shift; with weekly differencing it must cancel exactly.
+  TelemetryStore store;
+  DriftDetector detector;  // Default options: weekly differencing on.
+  auto weekly = [](sim::HourIndex h) {
+    int day = (h / 24) % 7;
+    return day >= 5 ? 0.35 : 0.7;  // Weekend vs weekday utilization.
+  };
+  for (sim::HourIndex h = 0; h < 6 * 168; ++h) {
+    AppendFleetHour(&store, h, 50, weekly(h), 2.0 / weekly(h), 30.0, 100.0 * weekly(h));
+  }
+  auto alarms = detector.CatchUp(store);
+  EXPECT_TRUE(alarms.empty());
+  EXPECT_FALSE(detector.drifting());
+}
+
+TEST(DriftDetectorTest, DifferencingStillCatchesRegimeShift) {
+  // Same weekly pattern, but latency steps up 60% mid-week-four and stays:
+  // the week-on-week difference is a sustained pulse and must alarm.
+  TelemetryStore store;
+  DriftDetector detector;
+  auto weekly = [](sim::HourIndex h) {
+    int day = (h / 24) % 7;
+    return day >= 5 ? 0.35 : 0.7;
+  };
+  const sim::HourIndex shift_at = 3 * 168 + 80;
+  for (sim::HourIndex h = 0; h < 5 * 168; ++h) {
+    double latency = (2.0 / weekly(h)) * (h >= shift_at ? 1.6 : 1.0);
+    AppendFleetHour(&store, h, 50, weekly(h), latency, 30.0, 100.0 * weekly(h));
+  }
+  auto alarms = detector.CatchUp(store);
+  ASSERT_FALSE(alarms.empty());
+  bool latency_alarm = false;
+  for (const auto& a : alarms) {
+    if (a.metric == "task_latency") {
+      latency_alarm = true;
+      EXPECT_GE(a.hour, shift_at);
+    }
+  }
+  EXPECT_TRUE(latency_alarm);
+  EXPECT_TRUE(detector.drifting());
+}
+
+TEST(DriftDetectorTest, MetricNames) {
+  EXPECT_STREQ(DriftDetector::MetricName(DriftDetector::kMachinesReporting),
+               "machines_reporting");
+  EXPECT_STREQ(DriftDetector::MetricName(DriftDetector::kTaskLatency),
+               "task_latency");
+}
+
+TEST(DriftDetectorTest, SerializeRestoreRoundTrip) {
+  TelemetryStore store;
+  DriftDetector a(FastOptions());
+  for (sim::HourIndex h = 0; h < 80; ++h) {
+    AppendFleetHour(&store, h, 50, 0.6, 2.0, 30.0, 100.0);
+  }
+  a.CatchUp(store);
+
+  DriftDetector b(FastOptions());
+  ASSERT_TRUE(b.RestoreState(a.SerializeState()).ok());
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+
+  // Both continue identically through a drift episode.
+  for (sim::HourIndex h = 80; h < 160; ++h) {
+    AppendFleetHour(&store, h, 50, 0.6, 5.0, 30.0, 100.0);
+  }
+  auto alarms_a = a.CatchUp(store);
+  auto alarms_b = b.CatchUp(store);
+  ASSERT_EQ(alarms_a.size(), alarms_b.size());
+  for (size_t i = 0; i < alarms_a.size(); ++i) {
+    EXPECT_EQ(alarms_a[i].metric, alarms_b[i].metric);
+    EXPECT_EQ(alarms_a[i].hour, alarms_b[i].hour);
+    EXPECT_EQ(alarms_a[i].drift, alarms_b[i].drift);
+  }
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+  EXPECT_FALSE(b.RestoreState("garbage").ok());
+}
+
+}  // namespace
+}  // namespace kea::telemetry

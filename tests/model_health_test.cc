@@ -1,0 +1,226 @@
+// Unit tests for the ModelHealth circuit breaker: trip conditions (absolute
+// residual, inflation over baseline), the TRIPPED -> REFITTING -> RE-ARMED ->
+// HEALTHY cycle, probation guardrail tightening, and serialize/restore.
+
+#include "core/model_health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kea::core {
+namespace {
+
+using State = ModelHealth::State;
+
+ValidationReport ReportWithError(double error) {
+  ValidationReport report;
+  report.max_latency_error = error;
+  report.max_utilization_error = error / 2.0;
+  report.models_valid = true;
+  return report;
+}
+
+TEST(ModelHealthTest, StartsHealthy) {
+  ModelHealth health;
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_TRUE(health.deployments_allowed());
+  EXPECT_FALSE(health.in_safe_mode());
+  EXPECT_EQ(health.trips(), 0u);
+}
+
+TEST(ModelHealthTest, TripOpensBreakerOnce) {
+  ModelHealth health;
+  health.Trip("drift:task_latency", 100);
+  EXPECT_EQ(health.state(), State::kTripped);
+  EXPECT_TRUE(health.in_safe_mode());
+  EXPECT_EQ(health.trip_reason(), "drift:task_latency");
+  EXPECT_EQ(health.tripped_at(), 100);
+  EXPECT_EQ(health.trips(), 1u);
+
+  // Re-tripping while already open is a no-op.
+  health.Trip("drift:utilization", 120);
+  EXPECT_EQ(health.trips(), 1u);
+  EXPECT_EQ(health.trip_reason(), "drift:task_latency");
+  EXPECT_EQ(health.tripped_at(), 100);
+}
+
+TEST(ModelHealthTest, AbsoluteResidualTrips) {
+  ModelHealth::Options options;
+  options.residual_tolerance = 0.3;
+  ModelHealth health(options);
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(0.1), 10));
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_TRUE(health.ObserveValidation(ReportWithError(0.4), 20));
+  EXPECT_EQ(health.state(), State::kTripped);
+  EXPECT_EQ(health.tripped_at(), 20);
+}
+
+TEST(ModelHealthTest, ResidualInflationOverBaselineTrips) {
+  ModelHealth::Options options;
+  options.residual_tolerance = 0.5;  // High: only inflation can trip here.
+  options.residual_inflation = 3.0;
+  options.min_baseline_error = 0.02;
+  ModelHealth health(options);
+
+  // Establish a known-good baseline of 0.05.
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(0.05), 10));
+  EXPECT_EQ(health.baseline_error(), 0.05);
+  // 0.1 < 3 * 0.05: healthy (and the baseline keeps the best value seen).
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(0.1), 20));
+  EXPECT_EQ(health.baseline_error(), 0.05);
+  // 0.2 > 3 * 0.05: inflation trip well below the absolute ceiling.
+  EXPECT_TRUE(health.ObserveValidation(ReportWithError(0.2), 30));
+  EXPECT_EQ(health.state(), State::kTripped);
+}
+
+TEST(ModelHealthTest, BaselineFloorPreventsHairTrigger) {
+  ModelHealth::Options options;
+  options.residual_tolerance = 0.5;
+  options.residual_inflation = 3.0;
+  options.min_baseline_error = 0.02;
+  ModelHealth health(options);
+
+  // A near-perfect first fit must not make 3x-inflation fire on noise:
+  // baseline floors at 0.02, so anything under 0.06 stays healthy.
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(0.001), 10));
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(0.05), 20));
+  EXPECT_EQ(health.state(), State::kHealthy);
+}
+
+TEST(ModelHealthTest, SafeModeValidationDoesNotRetrip) {
+  ModelHealth health;
+  health.Trip("drift:throughput", 50);
+  EXPECT_FALSE(health.ObserveValidation(ReportWithError(5.0), 60));
+  EXPECT_EQ(health.trips(), 1u);
+  EXPECT_EQ(health.last_error(), 5.0);
+}
+
+TEST(ModelHealthTest, FullRefitCycle) {
+  ModelHealth::Options options;
+  options.refit_delay_hours = 24;
+  options.probation_rounds = 2;
+  ModelHealth health(options);
+
+  health.Trip("drift:machines_reporting", 100);
+  EXPECT_FALSE(health.RefitDue(110));
+  EXPECT_TRUE(health.RefitDue(124));
+
+  // First refit attempt fails the validation gate: back to TRIPPED with a
+  // fresh retry clock.
+  health.BeginRefit();
+  EXPECT_EQ(health.state(), State::kRefitting);
+  EXPECT_TRUE(health.in_safe_mode());
+  health.CompleteRefit(/*gate_passed=*/false, 130);
+  EXPECT_EQ(health.state(), State::kTripped);
+  EXPECT_EQ(health.refit_failures(), 1u);
+  EXPECT_FALSE(health.RefitDue(140));
+  EXPECT_TRUE(health.RefitDue(154));
+
+  // Second attempt passes: RE-ARMED, deployments allowed under probation.
+  health.BeginRefit();
+  health.CompleteRefit(/*gate_passed=*/true, 160);
+  EXPECT_EQ(health.state(), State::kRearmed);
+  EXPECT_TRUE(health.deployments_allowed());
+  EXPECT_EQ(health.refits(), 1u);
+
+  // Probation: two clean rounds back to HEALTHY.
+  health.NoteRound();
+  EXPECT_EQ(health.state(), State::kRearmed);
+  health.NoteRound();
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_TRUE(health.trip_reason().empty());
+}
+
+TEST(ModelHealthTest, ProbationTightensGuardrails) {
+  ModelHealth::Options options;
+  options.probation_margin_scale = 0.5;
+  options.probation_rounds = 1;
+  ModelHealth health(options);
+
+  GuardrailThresholds base;
+  base.max_latency_ratio = 1.10;
+  base.max_queue_p99_ratio = 1.5;
+  base.queue_p99_floor_ms = 10.0;
+
+  // HEALTHY: pass-through, bit for bit.
+  GuardrailThresholds same = health.EffectiveGuardrails(base);
+  EXPECT_EQ(same.max_latency_ratio, base.max_latency_ratio);
+  EXPECT_EQ(same.max_queue_p99_ratio, base.max_queue_p99_ratio);
+  EXPECT_EQ(same.queue_p99_floor_ms, base.queue_p99_floor_ms);
+
+  health.Trip("drift:queue_latency", 10);
+  health.BeginRefit();
+  health.CompleteRefit(true, 40);
+  ASSERT_EQ(health.state(), State::kRearmed);
+
+  // RE-ARMED: half the degradation headroom.
+  GuardrailThresholds tight = health.EffectiveGuardrails(base);
+  EXPECT_NEAR(tight.max_latency_ratio, 1.05, 1e-12);
+  EXPECT_NEAR(tight.max_queue_p99_ratio, 1.25, 1e-12);
+  EXPECT_NEAR(tight.queue_p99_floor_ms, 5.0, 1e-12);
+
+  health.NoteRound();
+  EXPECT_EQ(health.state(), State::kHealthy);
+  GuardrailThresholds back = health.EffectiveGuardrails(base);
+  EXPECT_EQ(back.max_latency_ratio, base.max_latency_ratio);
+}
+
+TEST(ModelHealthTest, RearmedRetripsOnNewAlarm) {
+  ModelHealth health;
+  health.Trip("drift:task_latency", 10);
+  health.BeginRefit();
+  health.CompleteRefit(true, 40);
+  ASSERT_EQ(health.state(), State::kRearmed);
+
+  health.Trip("drift:task_latency", 50);
+  EXPECT_EQ(health.state(), State::kTripped);
+  EXPECT_EQ(health.trips(), 2u);
+  EXPECT_EQ(health.tripped_at(), 50);
+}
+
+TEST(ModelHealthTest, SafeModeRoundsAreCounted) {
+  ModelHealth health;
+  health.Trip("staleness", 5);
+  health.NoteRound();
+  health.NoteRound();
+  EXPECT_EQ(health.safe_mode_rounds(), 2u);
+  EXPECT_EQ(health.state(), State::kTripped);
+}
+
+TEST(ModelHealthTest, StateNames) {
+  EXPECT_STREQ(ModelHealth::StateName(State::kHealthy), "HEALTHY");
+  EXPECT_STREQ(ModelHealth::StateName(State::kTripped), "TRIPPED");
+  EXPECT_STREQ(ModelHealth::StateName(State::kRefitting), "REFITTING");
+  EXPECT_STREQ(ModelHealth::StateName(State::kRearmed), "RE-ARMED");
+}
+
+TEST(ModelHealthTest, SerializeRestoreRoundTrip) {
+  ModelHealth a;
+  ASSERT_FALSE(a.ObserveValidation(ReportWithError(0.05), 10));
+  a.Trip("drift:utilization", 100);
+  a.NoteRound();
+  a.BeginRefit();
+  a.CompleteRefit(false, 130);
+
+  ModelHealth b;
+  ASSERT_TRUE(b.RestoreState(a.SerializeState()).ok());
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+  EXPECT_EQ(b.state(), State::kTripped);
+  EXPECT_EQ(b.trip_reason(), "drift:utilization");
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_EQ(b.refit_failures(), 1u);
+  EXPECT_EQ(b.safe_mode_rounds(), 1u);
+
+  // The restored breaker continues the cycle identically.
+  EXPECT_EQ(a.RefitDue(150), b.RefitDue(150));
+  EXPECT_EQ(a.RefitDue(160), b.RefitDue(160));
+  EXPECT_FALSE(b.RestoreState("garbage").ok());
+
+  std::string truncated = a.SerializeState();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(b.RestoreState(truncated).ok());
+}
+
+}  // namespace
+}  // namespace kea::core

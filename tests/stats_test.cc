@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/random.h"
 
@@ -231,6 +232,109 @@ TEST_P(NullPValueTest, FalsePositiveRateNearAlpha) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NullPValueTest, ::testing::Values(11, 22, 33));
+
+TEST(PageHinkleyTest, ZeroVarianceStreamNeverAlarmsNeverNaN) {
+  // Regression: a perfectly constant stream has stddev 0; without the
+  // min_stddev floor standardization would divide by zero. It must yield
+  // exactly zero drift — no alarm, no NaN — for any stream length.
+  PageHinkleyDetector detector;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(detector.Observe(5.0)) << "observation " << i;
+  }
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_TRUE(std::isfinite(detector.drift_magnitude()));
+  EXPECT_EQ(detector.mean(), 5.0);
+  EXPECT_EQ(detector.stddev(), 0.0);
+}
+
+TEST(PageHinkleyTest, JumpOffConstantStreamAlarms) {
+  // The other half of the zero-variance guard: a later jump off the constant
+  // must still alarm (the z-cap bounds the accumulator, it does not mute it).
+  PageHinkleyDetector detector;
+  for (int i = 0; i < 100; ++i) ASSERT_FALSE(detector.Observe(5.0));
+  bool alarmed = false;
+  for (int i = 0; i < 3 && !alarmed; ++i) alarmed = detector.Observe(9.0);
+  EXPECT_TRUE(alarmed);
+  EXPECT_TRUE(detector.alarmed());
+  EXPECT_TRUE(std::isfinite(detector.drift_magnitude()));
+}
+
+TEST(PageHinkleyTest, SustainedShiftAlarmsOscillationDoesNot) {
+  auto diurnal = [](int hour) {
+    return std::sin(2.0 * 3.141592653589793 * static_cast<double>(hour % 24) /
+                    24.0);
+  };
+  // Three weeks of pure diurnal oscillation: symmetric, autocorrelated, and
+  // must never alarm (the delta tolerance drains each half-cycle).
+  PageHinkleyDetector quiet;
+  for (int h = 0; h < 21 * 24; ++h) {
+    EXPECT_FALSE(quiet.Observe(10.0 + diurnal(h))) << "hour " << h;
+  }
+  EXPECT_FALSE(quiet.alarmed());
+
+  // The same stream with a sustained +2-sigma level shift alarms within days.
+  PageHinkleyDetector shifted;
+  for (int h = 0; h < 10 * 24; ++h) ASSERT_FALSE(shifted.Observe(10.0 + diurnal(h)));
+  bool alarmed = false;
+  for (int h = 10 * 24; h < 14 * 24 && !alarmed; ++h) {
+    alarmed = shifted.Observe(11.5 + diurnal(h));
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PageHinkleyTest, DownwardShiftAlarmsToo) {
+  PageHinkleyDetector detector;
+  for (int i = 0; i < 100; ++i) ASSERT_FALSE(detector.Observe(50.0));
+  bool alarmed = false;
+  for (int i = 0; i < 5 && !alarmed; ++i) alarmed = detector.Observe(40.0);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(PageHinkleyTest, WarmupSuppressesEarlyAlarms) {
+  PageHinkleyDetector::Options options;
+  options.warmup = 50;
+  PageHinkleyDetector detector(options);
+  // A violent change inside the warmup window must not alarm.
+  for (int i = 0; i < 25; ++i) EXPECT_FALSE(detector.Observe(1.0));
+  for (int i = 0; i < 25; ++i) EXPECT_FALSE(detector.Observe(100.0));
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(PageHinkleyTest, NonFiniteObservationsIgnored) {
+  PageHinkleyDetector detector;
+  for (int i = 0; i < 60; ++i) detector.Observe(2.0);
+  size_t count = detector.count();
+  EXPECT_FALSE(detector.Observe(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(detector.Observe(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(detector.count(), count);
+  EXPECT_TRUE(std::isfinite(detector.mean()));
+}
+
+TEST(PageHinkleyTest, ResetStartsFreshRegime) {
+  PageHinkleyDetector detector;
+  for (int i = 0; i < 100; ++i) detector.Observe(5.0);
+  for (int i = 0; i < 5 && !detector.alarmed(); ++i) detector.Observe(50.0);
+  ASSERT_TRUE(detector.alarmed());
+  detector.Reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_EQ(detector.count(), 0u);
+  // The post-drift level is the new baseline after a reset.
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(detector.Observe(50.0));
+}
+
+TEST(PageHinkleyTest, SerializeRestoreRoundTrip) {
+  PageHinkleyDetector a;
+  for (int i = 0; i < 80; ++i) a.Observe(3.0 + 0.1 * (i % 5));
+
+  PageHinkleyDetector b;
+  ASSERT_TRUE(b.RestoreState(a.SerializeState()).ok());
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.Observe(8.0), b.Observe(8.0)) << "observation " << i;
+  }
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+  EXPECT_FALSE(b.RestoreState("garbage").ok());
+}
 
 }  // namespace
 }  // namespace kea::ml
