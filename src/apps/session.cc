@@ -448,6 +448,8 @@ Status KeaSession::Simulate(int hours) {
   // route any alarms into the ModelHealth breaker. Read-only on the store —
   // a clean stream leaves the session's behavior untouched.
   if (drift_ != nullptr) {
+    const bool was_safe =
+        model_health_ != nullptr && model_health_->in_safe_mode();
     std::vector<telemetry::DriftDetector::Alarm> alarms = drift_->CatchUp(store_);
     std::vector<telemetry::DriftDetector::Alarm> stale =
         drift_->CheckStaleness(now_);
@@ -456,6 +458,9 @@ Status KeaSession::Simulate(int hours) {
       for (const telemetry::DriftDetector::Alarm& alarm : alarms) {
         model_health_->Trip("drift:" + alarm.metric, now_);
       }
+      // A freshly opened breaker means the fitted models are no longer
+      // trusted; anything cached against the current model_epoch is stale.
+      if (!was_safe && model_health_->in_safe_mode()) ++model_epoch_;
     }
   }
   // Durable sessions checkpoint after every simulate so a crash between
@@ -547,6 +552,8 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
   meta.PutInt(static_cast<int>(last_whatif_options_.regressor));
   meta.PutU64(last_whatif_options_.min_observations);
   meta.PutInt(last_whatif_options_.num_threads);
+  meta.PutU64(model_epoch_);
+  meta.PutU64(deploy_epoch_);
   snapshot.AddSection("meta", meta.Release());
 
   StateWriter config;
@@ -636,6 +643,11 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   KEA_RETURN_IF_ERROR(meta.GetInt(&regressor));
   KEA_RETURN_IF_ERROR(meta.GetU64(&min_observations));
   KEA_RETURN_IF_ERROR(meta.GetInt(&num_threads));
+  // Pre-serving checkpoints end here; their sessions start at epoch zero.
+  if (!meta.AtEnd()) {
+    KEA_RETURN_IF_ERROR(meta.GetU64(&session->model_epoch_));
+    KEA_RETURN_IF_ERROR(meta.GetU64(&session->deploy_epoch_));
+  }
   if (!meta.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in checkpoint meta section");
   }
@@ -752,6 +764,32 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   return session;
 }
 
+Status KeaSession::FitWhatIfEngine(const core::WhatIfEngine::Options& options,
+                                   int lookback_hours) {
+  if (lookback_hours <= 0) {
+    return Status::InvalidArgument("lookback_hours must be positive");
+  }
+  if (now_ == 0) {
+    return Status::FailedPrecondition("simulate telemetry before fitting");
+  }
+  KEA_TRACE_SPAN("session.fit_whatif",
+                 {{"lookback_hours", std::to_string(lookback_hours)}});
+  sim::HourIndex begin = std::max(0, now_ - lookback_hours);
+  KEA_ASSIGN_OR_RETURN(
+      core::WhatIfEngine engine,
+      core::WhatIfEngine::Fit(store_, telemetry::HourRangeFilter(begin, now_),
+                              options));
+  last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
+  last_fit_begin_ = begin;
+  last_fit_end_ = now_;
+  last_whatif_options_ = options;
+  ++model_epoch_;
+  if (ledger_ != nullptr && !in_journaled_round_) {
+    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  }
+  return Status::OK();
+}
+
 StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
     const YarnConfigTuner::Options& options, int lookback_hours,
     int deploy_max_step) {
@@ -800,6 +838,8 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   last_fit_end_ = now_;
   last_deploy_hour_ = now_;
   last_whatif_options_ = options.whatif;
+  ++model_epoch_;
+  if (!round.applied.empty()) ++deploy_epoch_;
   if (ledger_ != nullptr) {
     KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
   }
@@ -862,6 +902,12 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
   last_fit_end_ = round.fit_end;
   last_deploy_hour_ = deploy_hour;
   last_whatif_options_ = options.tuner.whatif;
+  ++model_epoch_;
+  // kNoChange rollouts never touch a machine; anything else changed the
+  // fleet's applied configuration at least transiently.
+  if (round.rollout.outcome != core::GuardrailedRollout::Outcome::kNoChange) {
+    ++deploy_epoch_;
+  }
   FinishRoundHealth(alarms_before, &round);
   return round;
 }
@@ -934,6 +980,7 @@ bool KeaSession::AttemptRefit(const GuardedRoundOptions& options) {
   last_fit_end_ = holdout_begin;
   last_deploy_hour_ = holdout_begin;
   last_whatif_options_ = options.tuner.whatif;
+  ++model_epoch_;
   return true;
 }
 
@@ -1093,6 +1140,10 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
     }
   }
 
+  ++model_epoch_;
+  if (round.rollout.outcome != core::GuardrailedRollout::Outcome::kNoChange) {
+    ++deploy_epoch_;
+  }
   if (fresh_engine != nullptr) {
     last_engine_ = std::move(fresh_engine);
   } else {
@@ -1132,6 +1183,7 @@ StatusOr<core::ValidationReport> KeaSession::ValidateModels(
 
 Status KeaSession::RollbackLastDeployment() {
   KEA_RETURN_IF_ERROR(deployment_.RollbackLast(&cluster_));
+  ++deploy_epoch_;
   if (ledger_ != nullptr && !in_journaled_round_) {
     KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
   }

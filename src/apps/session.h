@@ -186,6 +186,34 @@ class KeaSession {
   /// Current simulation clock (hours since session start).
   sim::HourIndex now() const { return now_; }
 
+  /// Serving-layer cache-invalidation epochs. model_epoch advances whenever
+  /// the session's validation What-if engine is (re)fit — tuning rounds,
+  /// FitWhatIfEngine, a passed safe-mode refit — and when a model-health
+  /// trip means the current fit is no longer trusted. deploy_epoch advances
+  /// whenever the fleet's applied configuration changes (conservative
+  /// deploys, staged rollouts that touched machines, rollbacks). Both are
+  /// monotonic and survive checkpoint/resume, so any cached artifact keyed
+  /// on them is invalidated by exactly the events that stale it.
+  uint64_t model_epoch() const { return model_epoch_; }
+  uint64_t deploy_epoch() const { return deploy_epoch_; }
+
+  /// The last fitted What-if engine (null before any fit). Owned by the
+  /// session and replaced wholesale on the next round/refit — callers must
+  /// not hold the pointer across a session mutation.
+  const core::WhatIfEngine* whatif_engine() const { return last_engine_.get(); }
+
+  /// Telemetry window [begin, end) of the last fit.
+  std::pair<sim::HourIndex, sim::HourIndex> fit_window() const {
+    return {last_fit_begin_, last_fit_end_};
+  }
+
+  /// Fits the What-if Engine on [now - lookback_hours, now) WITHOUT running
+  /// the LP or deploying — the serving layer's "refresh models" request.
+  /// Advances model_epoch; does not count as a tuning round for
+  /// validation/valuation purposes.
+  Status FitWhatIfEngine(const core::WhatIfEngine::Options& options,
+                         int lookback_hours);
+
   /// Runs one observational-tuning round on the telemetry window
   /// [now - lookback_hours, now): fit the What-if Engine, solve the LP, and
   /// deploy conservatively with the given per-round step.
@@ -274,6 +302,9 @@ class KeaSession {
   sim::HourIndex last_fit_begin_ = 0;
   sim::HourIndex last_fit_end_ = 0;
   sim::HourIndex last_deploy_hour_ = 0;
+  // Cache-invalidation epochs (see model_epoch()/deploy_epoch()).
+  uint64_t model_epoch_ = 0;
+  uint64_t deploy_epoch_ = 0;
 
   // Durable control plane (null/empty until EnableDurability).
   std::string durability_dir_;

@@ -1,8 +1,13 @@
 #include "core/whatif.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <optional>
 #include <unordered_set>
+#include <vector>
 
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "ml/model_selection.h"
 #include "ml/stats.h"
@@ -200,6 +205,129 @@ StatusOr<double> WhatIfEngine::CurrentClusterLatency() const {
   std::map<sim::MachineGroupKey, double> current;
   for (const auto& [key, gm] : models_) current[key] = gm.current_containers;
   return PredictClusterLatency(current);
+}
+
+namespace {
+
+/// Deterministic per-group sampling seed: a pure function of the group key
+/// and the candidate's exact bits, so uncertainty estimates never depend on
+/// evaluation order, thread count, or wall clock.
+uint64_t SampleSeed(const sim::MachineGroupKey& key, double containers) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(static_cast<int64_t>(key.sc)));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(key.sku)));
+  mix(std::bit_cast<uint64_t>(containers));
+  return h;
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace
+
+StatusOr<WhatIfResult> WhatIfEngine::EvaluateWhatIf(
+    const std::map<sim::MachineGroupKey, double>& containers_per_machine,
+    int uncertainty_samples) const {
+  WhatIfResult result;
+  double weighted = 0.0, weight = 0.0;
+  const size_t samples =
+      uncertainty_samples > 0 ? static_cast<size_t>(uncertainty_samples) : 0;
+  // Per-sample cluster accumulators, aggregated across groups.
+  std::vector<double> mc_weighted(samples, 0.0), mc_weight(samples, 0.0);
+  std::vector<double> mc_latency(samples);
+  for (const auto& [key, m_k] : containers_per_machine) {
+    KEA_ASSIGN_OR_RETURN(const GroupModels* gm, Find(key));
+    GroupWhatIf gw;
+    gw.containers = m_k;
+    gw.utilization = gm->g.Predict1D(m_k);
+    gw.tasks_per_hour = gm->h.Predict1D(gw.utilization);
+    gw.latency_s = gm->f.Predict1D(gw.utilization);
+    double n_k = static_cast<double>(gm->num_machines);
+    weighted += gw.latency_s * gw.tasks_per_hour * n_k;
+    weight += gw.tasks_per_hour * n_k;
+
+    if (samples > 0) {
+      // Propagate each model's residual noise through the g -> h/f chain.
+      // Throughput is floored at a sliver so a noisy draw cannot flip the
+      // task-weighting negative.
+      Rng rng(SampleSeed(key, m_k));
+      for (size_t s = 0; s < samples; ++s) {
+        const double util = rng.Gaussian(gw.utilization, gm->g_fit.rmse);
+        const double tasks = std::max(
+            rng.Gaussian(gm->h.Predict1D(util), gm->h_fit.rmse), 1e-9);
+        const double latency =
+            rng.Gaussian(gm->f.Predict1D(util), gm->f_fit.rmse);
+        mc_latency[s] = latency;
+        mc_weighted[s] += latency * tasks * n_k;
+        mc_weight[s] += tasks * n_k;
+      }
+      gw.latency_stderr_s = Stddev(mc_latency);
+    }
+    result.groups[key] = gw;
+  }
+  if (weight <= 0.0) {
+    return Status::FailedPrecondition("predicted zero task throughput");
+  }
+  result.cluster_latency_s = weighted / weight;
+  if (samples > 0) {
+    for (size_t s = 0; s < samples; ++s) {
+      mc_latency[s] = mc_weighted[s] / mc_weight[s];
+    }
+    result.cluster_latency_stderr_s = Stddev(mc_latency);
+  }
+  return result;
+}
+
+namespace {
+
+// FNV-1a over the value's little-endian bytes; doubles hash their exact
+// IEEE-754 bit pattern so the digest is as bit-exact as the models.
+inline void HashU64(uint64_t v, uint64_t* h) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xffu;
+    *h *= 0x100000001b3ULL;
+  }
+}
+inline void HashDouble(double v, uint64_t* h) {
+  HashU64(std::bit_cast<uint64_t>(v), h);
+}
+inline void HashModel(const ml::LinearModel& m, uint64_t* h) {
+  HashDouble(m.intercept(), h);
+  HashU64(m.coefficients().size(), h);
+  for (double c : m.coefficients()) HashDouble(c, h);
+}
+
+}  // namespace
+
+uint64_t WhatIfEngine::ModelHash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis.
+  HashU64(models_.size(), &h);
+  for (const auto& [key, gm] : models_) {
+    HashU64(static_cast<uint64_t>(static_cast<int64_t>(key.sc)), &h);
+    HashU64(static_cast<uint64_t>(static_cast<int64_t>(key.sku)), &h);
+    HashU64(static_cast<uint64_t>(gm.num_machines), &h);
+    HashModel(gm.g, &h);
+    HashModel(gm.h, &h);
+    HashModel(gm.f, &h);
+    HashDouble(gm.current_containers, &h);
+    HashDouble(gm.current_utilization, &h);
+    HashDouble(gm.current_tasks_per_hour, &h);
+    HashDouble(gm.current_latency_s, &h);
+  }
+  return h;
 }
 
 }  // namespace kea::core

@@ -1,6 +1,7 @@
 #ifndef KEA_CORE_WHATIF_H_
 #define KEA_CORE_WHATIF_H_
 
+#include <cstdint>
 #include <map>
 
 #include "common/status.h"
@@ -39,6 +40,26 @@ struct GroupModels {
   double current_utilization = 0.0;
   double current_tasks_per_hour = 0.0;
   double current_latency_s = 0.0;
+};
+
+/// Predicted metrics for one machine group under a hypothetical allocation.
+struct GroupWhatIf {
+  double containers = 0.0;      ///< The hypothetical m_k evaluated.
+  double utilization = 0.0;     ///< g_k(m_k).
+  double tasks_per_hour = 0.0;  ///< h_k(g_k(m_k)).
+  double latency_s = 0.0;       ///< f_k(g_k(m_k)).
+  /// Monte Carlo standard error of latency_s under the fitted models'
+  /// residual noise; 0 when uncertainty sampling is disabled.
+  double latency_stderr_s = 0.0;
+};
+
+/// One full what-if evaluation: every group's predicted operating point plus
+/// the cluster-wide task-weighted mean latency of Eq. (9).
+struct WhatIfResult {
+  std::map<sim::MachineGroupKey, GroupWhatIf> groups;
+  double cluster_latency_s = 0.0;
+  /// Monte Carlo standard error of cluster_latency_s (0 when disabled).
+  double cluster_latency_stderr_s = 0.0;
 };
 
 /// The What-if Engine (Section 5.1): predicts the performance metrics of a
@@ -83,6 +104,29 @@ class WhatIfEngine {
 
   /// W-bar' — the same quantity at the current operating point (Eq. 10).
   StatusOr<double> CurrentClusterLatency() const;
+
+  /// One-call evaluation of a hypothetical allocation: per-group
+  /// utilization/throughput/latency plus the Eq. (9) cluster latency, using
+  /// the same accumulation order as PredictClusterLatency so the scalar
+  /// agrees bit-for-bit with it. Missing groups are an error.
+  ///
+  /// With `uncertainty_samples > 0`, additionally propagates the fitted
+  /// models' residual noise (each model's fit RMSE) through the g -> h/f
+  /// chain by Monte Carlo and fills the *_stderr fields. Sampling is seeded
+  /// from the group key and candidate bits alone, so the result — error bars
+  /// included — is a pure function of (models, candidate): bit-identical
+  /// across runs, threads, and identically-fitted engines. The tuning loop
+  /// uses the point-prediction paths and never pays this cost.
+  StatusOr<WhatIfResult> EvaluateWhatIf(
+      const std::map<sim::MachineGroupKey, double>& containers_per_machine,
+      int uncertainty_samples = 0) const;
+
+  /// FNV-1a digest over every fitted coefficient and operating point, walked
+  /// in group-key order. Engines fit from identical telemetry with identical
+  /// options hash identically; a refit on different data changes the digest
+  /// with overwhelming probability. Cache-key material for the serving
+  /// layer's memoized what-if cache.
+  uint64_t ModelHash() const;
 
  private:
   explicit WhatIfEngine(std::map<sim::MachineGroupKey, GroupModels> models)

@@ -196,9 +196,15 @@ std::string Registry::RenderText(bool include_timing) const {
   for (const auto& [key, entry] : histograms_) {
     if (entry.kind == Kind::kTiming && !include_timing) continue;
     const Histogram& h = *entry.instrument;
-    out += "histogram " + FullName(key.first, key.second) +
-           " count=" + std::to_string(h.count()) + " sum=" + FmtDouble(h.sum());
+    // Snapshot consistency: the exported count is derived from the single
+    // bucket read below, not from the separately-updated count_ atomic — a
+    // render concurrent with Observe() must still satisfy
+    // count == sum(buckets).
     auto counts = h.bucket_counts();
+    uint64_t total = 0;
+    for (uint64_t n : counts) total += n;
+    out += "histogram " + FullName(key.first, key.second) +
+           " count=" + std::to_string(total) + " sum=" + FmtDouble(h.sum());
     out += " buckets=[";
     for (size_t i = 0; i < counts.size(); ++i) {
       if (i) out += ",";
@@ -232,11 +238,15 @@ std::string Registry::RenderCsv(bool include_timing) const {
   for (const auto& [key, entry] : histograms_) {
     if (entry.kind == Kind::kTiming && !include_timing) continue;
     const Histogram& h = *entry.instrument;
+    // count derives from the same bucket read as the bucket rows (see
+    // RenderText) so concurrent snapshots stay internally consistent.
+    auto counts = h.bucket_counts();
+    uint64_t total = 0;
+    for (uint64_t n : counts) total += n;
     out += "histogram," + key.first + "," + key.second + ",count," +
-           std::to_string(h.count()) + "\n";
+           std::to_string(total) + "\n";
     out += "histogram," + key.first + "," + key.second + ",sum," +
            FmtDouble(h.sum()) + "\n";
-    auto counts = h.bucket_counts();
     for (size_t i = 0; i < counts.size(); ++i) {
       std::string edge = "inf";
       if (i < h.bounds().size()) {
@@ -279,16 +289,20 @@ std::string Registry::RenderJson(bool include_timing) const {
     if (!first) out += ",";
     first = false;
     const Histogram& h = *entry.instrument;
+    // As in RenderText: count is the sum of one bucket snapshot, never the
+    // independently-racing count_ atomic.
+    auto counts = h.bucket_counts();
+    uint64_t total = 0;
+    for (uint64_t n : counts) total += n;
     out += "{\"name\":\"" + JsonEscape(key.first) + "\",\"labels\":\"" +
            JsonEscape(key.second) +
-           "\",\"count\":" + std::to_string(h.count()) +
+           "\",\"count\":" + std::to_string(total) +
            ",\"sum\":" + FmtDouble(h.sum()) + ",\"bounds\":[";
     for (size_t i = 0; i < h.bounds().size(); ++i) {
       if (i) out += ",";
       out += FmtDouble(h.bounds()[i]);
     }
     out += "],\"buckets\":[";
-    auto counts = h.bucket_counts();
     for (size_t i = 0; i < counts.size(); ++i) {
       if (i) out += ",";
       out += std::to_string(counts[i]);

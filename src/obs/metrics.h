@@ -151,6 +151,13 @@ class Registry {
   /// (name, labels); kTiming instruments are included only when
   /// `include_timing` — the deterministic exports must be bit-identical
   /// across thread counts, seeds, and machines.
+  ///
+  /// Snapshot consistency under concurrent writers: each histogram's
+  /// exported count is derived from one bucket_counts() read, so
+  /// count == sum(buckets) holds in every rendered line even while
+  /// Observe() races the render (count_ and the buckets are separate
+  /// relaxed atomics and may otherwise disagree transiently). The sum field
+  /// remains a racing read of completed additions.
   std::string RenderText(bool include_timing = false) const;
   std::string RenderCsv(bool include_timing = false) const;
   std::string RenderJson(bool include_timing = false) const;

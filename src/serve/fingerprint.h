@@ -1,0 +1,38 @@
+#ifndef KEA_SERVE_FINGERPRINT_H_
+#define KEA_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+#include "telemetry/store.h"
+
+namespace kea::serve {
+
+/// 128-bit digest of a telemetry window plus the number of records it
+/// covered. Two windows that differ in any record field, in record order, or
+/// in which records fall inside the window produce different fingerprints
+/// (up to hash collisions on two independent 64-bit chains). Used as the
+/// workload component of the what-if cache key: a cache entry is reusable
+/// only when the telemetry the models would be judged against is unchanged.
+struct WorkloadFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint64_t records = 0;
+
+  bool operator==(const WorkloadFingerprint&) const = default;
+  bool operator<(const WorkloadFingerprint& o) const {
+    if (lo != o.lo) return lo < o.lo;
+    if (hi != o.hi) return hi < o.hi;
+    return records < o.records;
+  }
+};
+
+/// Digests every record with `begin <= hour < end` in store order. Doubles
+/// are hashed by their exact IEEE-754 bit pattern, so the fingerprint is as
+/// bit-exact as the telemetry itself and identical across runs and machines.
+WorkloadFingerprint FingerprintWindow(const telemetry::TelemetryStore& store,
+                                      sim::HourIndex begin, sim::HourIndex end);
+
+}  // namespace kea::serve
+
+#endif  // KEA_SERVE_FINGERPRINT_H_

@@ -1,0 +1,129 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace kea::serve {
+
+namespace {
+
+// Admission traffic is schedule-dependent: kTiming, like every serve
+// instrument.
+obs::Counter* SubmittedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.requests_submitted", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* AcceptedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.requests_accepted", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.requests_rejected", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Gauge* DepthGauge() {
+  static obs::Gauge* g = obs::Registry::Get().GetGauge(
+      "serve.queue_depth", "", obs::Kind::kTiming);
+  return g;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(const Options& options) : options_(options) {}
+
+Status RequestQueue::Push(int tenant, std::function<void()> work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.submitted;
+  SubmittedCounter()->Increment();
+  if (shutdown_) {
+    ++counters_.rejected;
+    RejectedCounter()->Increment();
+    return Status::FailedPrecondition("request queue is shut down");
+  }
+  if (total_ >= options_.capacity) {
+    ++counters_.rejected;
+    RejectedCounter()->Increment();
+    return Status::ResourceExhausted("request queue is full");
+  }
+  auto& q = pending_[tenant];
+  if (q.size() >= options_.per_tenant) {
+    if (q.empty()) pending_.erase(tenant);
+    ++counters_.rejected;
+    RejectedCounter()->Increment();
+    return Status::ResourceExhausted("per-tenant queue quota exhausted");
+  }
+  q.push_back(std::move(work));
+  ++total_;
+  ++counters_.accepted;
+  AcceptedCounter()->Increment();
+  DepthGauge()->Set(static_cast<double>(total_));
+  cv_.notify_one();
+  return Status::OK();
+}
+
+bool RequestQueue::PopLocked(int* tenant, std::function<void()>* work) {
+  if (pending_.empty()) return false;
+  // Round-robin: scan tenant ids strictly after the cursor, then wrap.
+  auto start = pending_.upper_bound(last_served_);
+  for (int pass = 0; pass < 2; ++pass) {
+    auto it = pass == 0 ? start : pending_.begin();
+    auto end = pass == 0 ? pending_.end() : start;
+    for (; it != end; ++it) {
+      if (busy_.count(it->first) > 0) continue;
+      *tenant = it->first;
+      *work = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) pending_.erase(it);
+      --total_;
+      DepthGauge()->Set(static_cast<double>(total_));
+      busy_.insert(*tenant);
+      last_served_ = *tenant;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RequestQueue::PopBlocking(int* tenant, std::function<void()>* work) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (PopLocked(tenant, work)) return true;
+    if (shutdown_ && total_ == 0) return false;
+    cv_.wait(lock);
+  }
+}
+
+bool RequestQueue::TryPop(int* tenant, std::function<void()>* work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PopLocked(tenant, work);
+}
+
+void RequestQueue::Done(int tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  busy_.erase(tenant);
+  // The freed slot may unblock every waiter (the tenant's next request is
+  // now eligible), and Shutdown-drain waiters also need a look.
+  cv_.notify_all();
+}
+
+void RequestQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+RequestQueue::Counters RequestQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace kea::serve

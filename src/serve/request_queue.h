@@ -1,0 +1,83 @@
+#ifndef KEA_SERVE_REQUEST_QUEUE_H_
+#define KEA_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+
+namespace kea::serve {
+
+/// Bounded multi-tenant admission queue. Push never blocks: a request is
+/// either accepted (enqueued) or rejected with kResourceExhausted — the
+/// service's load-shedding contract. Dispatch is round-robin across tenants
+/// with at most one in-flight request per tenant, which (a) keeps a chatty
+/// tenant from starving the others and (b) serializes each tenant's requests
+/// so its session sees the same order a solo run would.
+class RequestQueue {
+ public:
+  struct Options {
+    /// Total queued requests across all tenants before Push rejects.
+    size_t capacity = 256;
+    /// Queued requests allowed per tenant before Push rejects, independent
+    /// of total occupancy — one tenant can never own the whole queue.
+    size_t per_tenant = 64;
+  };
+
+  /// Admission ledger. Conservation invariant: accepted + rejected ==
+  /// submitted at any quiescent point.
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+  };
+
+  explicit RequestQueue(const Options& options);
+
+  /// Enqueues `work` for `tenant`. Returns OK, ResourceExhausted (queue or
+  /// per-tenant bound hit — the caller should surface this to the client
+  /// verbatim), or FailedPrecondition after Shutdown. Never blocks.
+  Status Push(int tenant, std::function<void()> work);
+
+  /// Blocks until a request from a non-busy tenant is available (returns
+  /// true, marks the tenant busy) or the queue is shut down and drained
+  /// (returns false). Callers MUST call Done(tenant) after running the work.
+  bool PopBlocking(int* tenant, std::function<void()>* work);
+
+  /// Non-blocking PopBlocking: returns false when nothing is eligible now.
+  bool TryPop(int* tenant, std::function<void()>* work);
+
+  /// Releases the per-tenant in-flight slot taken by Pop.
+  void Done(int tenant);
+
+  /// Rejects all future Push calls; pending requests remain poppable so
+  /// workers can drain before exiting.
+  void Shutdown();
+
+  size_t depth() const;
+  Counters counters() const;
+
+ private:
+  /// Picks the next eligible tenant after cursor `last_served_`, or returns
+  /// false. Caller holds mu_.
+  bool PopLocked(int* tenant, std::function<void()>* work);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, std::deque<std::function<void()>>> pending_;
+  std::set<int> busy_;  ///< Tenants with a request currently executing.
+  size_t total_ = 0;
+  int last_served_ = -1;  ///< Round-robin cursor over tenant ids.
+  bool shutdown_ = false;
+  Counters counters_;
+};
+
+}  // namespace kea::serve
+
+#endif  // KEA_SERVE_REQUEST_QUEUE_H_

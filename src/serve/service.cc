@@ -1,0 +1,276 @@
+#include "serve/service.h"
+
+#include "common/random.h"
+
+namespace kea::serve {
+
+namespace {
+
+obs::Counter* BatchesCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.whatif_batches", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* CoalescedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.whatif_coalesced", "", obs::Kind::kTiming);
+  return c;
+}
+
+}  // namespace
+
+TuningService::TuningService(const Options& options)
+    : options_(options), queue_(options.queue) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<WhatIfCache>(options_.cache_capacity);
+  }
+  workers_.reserve(options_.num_threads > 0 ? options_.num_threads : 0);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TuningService::~TuningService() {
+  // From here on, handlers resolve their tickets with kUnavailable instead
+  // of touching sessions that are about to be destroyed.
+  aborting_.store(true, std::memory_order_relaxed);
+  queue_.Shutdown();
+  for (auto& w : workers_) w.join();
+  // With num_threads == 0 (or a shutdown race) requests may still be queued;
+  // drain them so no Wait() blocks forever.
+  RunPending();
+}
+
+void TuningService::RunOne(RequestQueue* queue, int tenant_id,
+                           const std::function<void()>& work) {
+  work();
+  queue->Done(tenant_id);
+}
+
+void TuningService::WorkerLoop() {
+  int tenant_id = 0;
+  std::function<void()> work;
+  while (queue_.PopBlocking(&tenant_id, &work)) {
+    RunOne(&queue_, tenant_id, work);
+  }
+}
+
+size_t TuningService::RunPending() {
+  size_t executed = 0;
+  int tenant_id = 0;
+  std::function<void()> work;
+  while (queue_.TryPop(&tenant_id, &work)) {
+    RunOne(&queue_, tenant_id, work);
+    ++executed;
+  }
+  return executed;
+}
+
+StatusOr<TenantId> TuningService::AddTenant(
+    const std::string& name, const apps::KeaSession::Config& config) {
+  KEA_ASSIGN_OR_RETURN(std::unique_ptr<apps::KeaSession> session,
+                       apps::KeaSession::Create(config));
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = static_cast<TenantId>(tenants_.size());
+  tenant->name = name;
+  tenant->session = std::move(session);
+  const std::string labels = "tenant=" + name;
+  tenant->requests = obs::Registry::Get().GetCounter(
+      "serve.tenant_requests", labels, obs::Kind::kTiming);
+  tenant->cache_hits = obs::Registry::Get().GetCounter(
+      "serve.tenant_cache_hits", labels, obs::Kind::kTiming);
+  tenants_.push_back(std::move(tenant));
+  return tenants_.back()->id;
+}
+
+TuningService::Tenant* TuningService::FindTenant(TenantId id) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= tenants_.size()) return nullptr;
+  return tenants_[id].get();
+}
+
+StatusOr<apps::KeaSession*> TuningService::tenant_session(TenantId id) {
+  Tenant* t = FindTenant(id);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(id));
+  }
+  return t->session.get();
+}
+
+template <typename T, typename Handler>
+StatusOr<Ticket<T>> TuningService::SubmitSealing(TenantId id, Handler handler) {
+  Tenant* t = FindTenant(id);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(id));
+  }
+  Ticket<T> ticket;
+  auto work = [this, t, ticket, handler]() {
+    if (aborting_.load(std::memory_order_relaxed)) {
+      ticket.Set(Status::Unavailable("service shutting down"));
+      return;
+    }
+    // Epoch capture brackets the handler: any model refit or fleet change it
+    // caused invalidates the tenant's cached what-if answers.
+    const uint64_t model_before = t->session->model_epoch();
+    const uint64_t deploy_before = t->session->deploy_epoch();
+    StatusOr<T> result = handler(t->session.get());
+    if (cache_ != nullptr && (t->session->model_epoch() != model_before ||
+                              t->session->deploy_epoch() != deploy_before)) {
+      cache_->InvalidateTenant(t->id);
+    }
+    ticket.Set(std::move(result));
+  };
+  // Push under the staging lock so the seal below cannot interleave with a
+  // concurrent SubmitWhatIf staging into the batch this request outruns.
+  std::lock_guard<std::mutex> lock(t->staging_mu);
+  KEA_RETURN_IF_ERROR(queue_.Push(t->id, std::move(work)));
+  // Seal: later what-ifs open a new batch, whose drain request is enqueued
+  // after this one — so they observe this request's effects, exactly as a
+  // solo session would.
+  t->open_batch = 0;
+  t->requests->Increment();
+  return ticket;
+}
+
+StatusOr<Ticket<sim::HourIndex>> TuningService::SubmitSimulate(TenantId id,
+                                                               int hours) {
+  return SubmitSealing<sim::HourIndex>(
+      id, [hours](apps::KeaSession* s) -> StatusOr<sim::HourIndex> {
+        KEA_RETURN_IF_ERROR(s->Simulate(hours));
+        return s->now();
+      });
+}
+
+StatusOr<Ticket<uint64_t>> TuningService::SubmitFit(TenantId id,
+                                                    const FitRequest& request) {
+  return SubmitSealing<uint64_t>(
+      id, [request](apps::KeaSession* s) -> StatusOr<uint64_t> {
+        KEA_RETURN_IF_ERROR(
+            s->FitWhatIfEngine(request.whatif, request.lookback_hours));
+        return s->model_epoch();
+      });
+}
+
+StatusOr<Ticket<apps::KeaSession::GuardedRound>>
+TuningService::SubmitTuningRound(
+    TenantId id, const apps::KeaSession::GuardedRoundOptions& options) {
+  return SubmitSealing<apps::KeaSession::GuardedRound>(
+      id, [options](apps::KeaSession* s) { return s->RunGuardedTuningRound(options); });
+}
+
+StatusOr<Ticket<apps::SkuDesigner::Result>> TuningService::SubmitSkuDesign(
+    TenantId id, const SkuDesignRequest& request) {
+  return SubmitSealing<apps::SkuDesigner::Result>(
+      id, [request](apps::KeaSession* s) {
+        // A request-owned RNG: the design is a pure function of (telemetry,
+        // options, seed), independent of scheduling and of other requests.
+        Rng rng(request.seed);
+        apps::SkuDesigner designer(request.options);
+        return designer.Design(s->store(), nullptr, &rng);
+      });
+}
+
+StatusOr<Ticket<WhatIfResponsePtr>> TuningService::SubmitWhatIf(
+    TenantId id, const WhatIfRequest& request) {
+  Tenant* t = FindTenant(id);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(id));
+  }
+  if (request.candidates.empty()) {
+    return Status::InvalidArgument("what-if request has no candidates");
+  }
+  Ticket<WhatIfResponsePtr> ticket;
+  std::lock_guard<std::mutex> lock(t->staging_mu);
+  const bool opened = t->open_batch == 0;
+  if (opened) t->open_batch = t->next_batch++;
+  const uint64_t batch = t->open_batch;
+  t->staged[batch].push_back(StagedWhatIf{request, ticket});
+  // Every admitted what-if consumes one queue slot (admission control sees
+  // the true request rate); the first drain to run answers the whole batch
+  // and the remaining slots become no-ops.
+  const uint64_t b = batch;
+  Status pushed = queue_.Push(t->id, [this, t, b]() { DrainWhatIfBatch(t, b); });
+  if (!pushed.ok()) {
+    // Roll back only this submission; earlier coalesced entries keep their
+    // already-enqueued drain.
+    auto& staged = t->staged[batch];
+    staged.pop_back();
+    if (staged.empty()) t->staged.erase(batch);
+    if (opened) t->open_batch = 0;
+    return pushed;
+  }
+  t->requests->Increment();
+  return ticket;
+}
+
+void TuningService::DrainWhatIfBatch(Tenant* t, uint64_t batch) {
+  std::vector<StagedWhatIf> items;
+  {
+    std::lock_guard<std::mutex> lock(t->staging_mu);
+    auto it = t->staged.find(batch);
+    if (it != t->staged.end()) {
+      items = std::move(it->second);
+      t->staged.erase(it);
+    }
+    // The batch is executing now; later what-ifs must start a new one.
+    if (t->open_batch == batch) t->open_batch = 0;
+  }
+  if (items.empty()) return;  // Already answered by an earlier drain slot.
+  if (aborting_.load(std::memory_order_relaxed)) {
+    for (const auto& item : items) {
+      item.ticket.Set(Status::Unavailable("service shutting down"));
+    }
+    return;
+  }
+  BatchesCounter()->Increment();
+  CoalescedCounter()->Increment(items.size() - 1);
+
+  const core::WhatIfEngine* engine = t->session->whatif_engine();
+  if (engine == nullptr) {
+    for (const auto& item : items) {
+      item.ticket.Set(
+          Status::FailedPrecondition("no fitted What-if engine; submit a fit "
+                                     "or tuning round first"));
+    }
+    return;
+  }
+  // One snapshot answers the whole batch: epochs, model digest, and the
+  // fingerprint of the telemetry window the models were fit on.
+  const uint64_t model_epoch = t->session->model_epoch();
+  const uint64_t deploy_epoch = t->session->deploy_epoch();
+  const uint64_t model_hash = engine->ModelHash();
+  if (t->fingerprint_epoch != model_epoch) {
+    auto [begin, end] = t->session->fit_window();
+    t->fingerprint = FingerprintWindow(t->session->store(), begin, end);
+    t->fingerprint_epoch = model_epoch;
+  }
+  for (const auto& item : items) {
+    WhatIfCacheKey key;
+    key.tenant = t->id;
+    key.model_epoch = model_epoch;
+    key.deploy_epoch = deploy_epoch;
+    key.model_hash = model_hash;
+    key.workload = t->fingerprint;
+    key.config_hash = ConfigHash(item.request);
+    if (cache_ != nullptr) {
+      WhatIfResponsePtr hit = cache_->Lookup(key);
+      if (hit != nullptr) {
+        t->cache_hits->Increment();
+        item.ticket.Set(std::move(hit));
+        continue;
+      }
+    }
+    StatusOr<WhatIfResponse> cold = EvaluateWhatIfRequest(*engine, item.request);
+    if (!cold.ok()) {
+      item.ticket.Set(cold.status());
+      continue;
+    }
+    auto payload =
+        std::make_shared<const WhatIfResponse>(std::move(cold).value());
+    if (cache_ != nullptr) cache_->Insert(key, payload);
+    item.ticket.Set(std::move(payload));
+  }
+}
+
+}  // namespace kea::serve

@@ -1,0 +1,216 @@
+#ifndef KEA_SERVE_SERVICE_H_
+#define KEA_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/session.h"
+#include "apps/sku_designer.h"
+#include "common/status.h"
+#include "core/whatif.h"
+#include "obs/metrics.h"
+#include "serve/fingerprint.h"
+#include "serve/request_queue.h"
+#include "serve/whatif_cache.h"
+#include "sim/types.h"
+
+namespace kea::serve {
+
+using TenantId = int;
+
+/// Future-style handle for an admitted request. Wait() blocks until a worker
+/// resolves the ticket and returns a copy of the result. Rejected requests
+/// never produce a ticket — admission errors come back from Submit* itself.
+template <typename T>
+class Ticket {
+ public:
+  Ticket() : slot_(std::make_shared<Slot>()) {}
+
+  /// Blocks until resolved; returns the handler's StatusOr verbatim.
+  StatusOr<T> Wait() const {
+    std::unique_lock<std::mutex> lock(slot_->mu);
+    slot_->cv.wait(lock, [&] { return slot_->result.has_value(); });
+    return *slot_->result;
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(slot_->mu);
+    return slot_->result.has_value();
+  }
+
+ private:
+  friend class TuningService;
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<StatusOr<T>> result;
+  };
+
+  void Set(StatusOr<T> result) const {
+    std::lock_guard<std::mutex> lock(slot_->mu);
+    if (slot_->result.has_value()) return;  // First resolution wins.
+    slot_->result = std::move(result);
+    slot_->cv.notify_all();
+  }
+
+  std::shared_ptr<Slot> slot_;
+};
+
+/// "Refresh my models" request: refit the tenant's What-if engine on its
+/// recent telemetry without running the LP or deploying.
+struct FitRequest {
+  core::WhatIfEngine::Options whatif;
+  int lookback_hours = sim::kHoursPerWeek;
+};
+
+/// Hypothetical-tuning (SKU design) request. The seed isolates the design's
+/// Monte-Carlo from everything else the service is doing: the same request
+/// returns the same surface no matter which worker runs it or what other
+/// tenants are submitting.
+struct SkuDesignRequest {
+  apps::SkuDesigner::Options options;
+  uint64_t seed = 42;
+};
+
+/// Multi-tenant tuning front-end: each tenant owns an isolated KeaSession
+/// (own RNG streams, own clock, own telemetry store); the service adds
+/// admission control, per-tenant fairness, what-if batching, and a memoized
+/// what-if cache on top. Determinism contract: a tenant's request stream
+/// produces bit-identical artifacts to replaying the same accepted requests
+/// against a solo KeaSession, at any worker count — the queue serializes
+/// each tenant's requests, sessions share no mutable state, and cache hits
+/// return payloads produced by the same evaluation path as cold misses.
+class TuningService {
+ public:
+  struct Options {
+    /// Dedicated worker threads. 0 = no workers: requests queue until the
+    /// caller drains them with RunPending() (single-threaded / test mode).
+    /// Workers are plain threads, not a common::ThreadPool — the pool's
+    /// parallel-for contract serves one job at a time, while service workers
+    /// block on a shared queue indefinitely.
+    int num_threads = 2;
+    RequestQueue::Options queue;
+    /// Entry bound for the shared what-if cache; 0 disables caching.
+    size_t cache_capacity = 1024;
+  };
+
+  explicit TuningService(const Options& options);
+  /// Shuts the queue down, joins workers, and resolves anything still queued
+  /// with kUnavailable.
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Registers a tenant with its own fresh KeaSession. Thread-safe; returns
+  /// the tenant id used in every Submit* call.
+  StatusOr<TenantId> AddTenant(const std::string& name,
+                               const apps::KeaSession::Config& config);
+
+  /// Direct access to a tenant's session for setup and post-hoc inspection.
+  /// Only safe while the tenant has no in-flight or queued requests.
+  StatusOr<apps::KeaSession*> tenant_session(TenantId id);
+
+  // -- Request submission. Each returns a ticket on admission or an error
+  //    (kResourceExhausted when saturated, kNotFound for unknown tenants).
+  //    Requests of one tenant execute in submission order.
+
+  /// Advance the tenant's simulated cluster; resolves to the new clock.
+  StatusOr<Ticket<sim::HourIndex>> SubmitSimulate(TenantId id, int hours);
+
+  /// Refit the tenant's What-if engine; resolves to the new model epoch.
+  StatusOr<Ticket<uint64_t>> SubmitFit(TenantId id, const FitRequest& request);
+
+  /// Evaluate candidate configurations. Consecutive what-if submissions from
+  /// one tenant (not split by another accepted request type) coalesce into
+  /// one queue slot and are answered from one models/fingerprint snapshot.
+  /// Resolves to an immutable shared payload: a cache hit hands back the
+  /// cached response itself (zero-copy), a miss the freshly evaluated one.
+  StatusOr<Ticket<WhatIfResponsePtr>> SubmitWhatIf(TenantId id,
+                                                   const WhatIfRequest& request);
+
+  /// Run a guarded tuning round (fit + LP + staged rollout).
+  StatusOr<Ticket<apps::KeaSession::GuardedRound>> SubmitTuningRound(
+      TenantId id, const apps::KeaSession::GuardedRoundOptions& options);
+
+  /// Run hypothetical tuning (SKU design) on the tenant's telemetry.
+  StatusOr<Ticket<apps::SkuDesigner::Result>> SubmitSkuDesign(
+      TenantId id, const SkuDesignRequest& request);
+
+  /// Drains and executes queued requests on the calling thread until the
+  /// queue is momentarily empty; returns how many were executed. The
+  /// num_threads == 0 driver; also usable alongside workers.
+  size_t RunPending();
+
+  /// Null when Options::cache_capacity == 0.
+  const WhatIfCache* cache() const { return cache_.get(); }
+  RequestQueue::Counters queue_counters() const { return queue_.counters(); }
+  size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  /// One staged (not yet drained) what-if item.
+  struct StagedWhatIf {
+    WhatIfRequest request;
+    Ticket<WhatIfResponsePtr> ticket;
+  };
+
+  struct Tenant {
+    TenantId id = 0;
+    std::string name;
+    std::unique_ptr<apps::KeaSession> session;
+
+    /// Guards the batching state below (never held while executing).
+    std::mutex staging_mu;
+    uint64_t next_batch = 1;
+    /// Batch id currently accepting coalesced what-ifs; 0 = none open.
+    uint64_t open_batch = 0;
+    std::map<uint64_t, std::vector<StagedWhatIf>> staged;
+
+    /// Memoized workload fingerprint of the last fit window, recomputed only
+    /// when the model epoch moves. Touched only from the tenant's (single)
+    /// in-flight request, so no lock needed.
+    WorkloadFingerprint fingerprint;
+    uint64_t fingerprint_epoch = ~0ULL;
+
+    /// Per-tenant request/hit counters (kTiming).
+    obs::Counter* requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+  };
+
+  void WorkerLoop();
+  /// Executes one popped request and releases the tenant slot.
+  static void RunOne(RequestQueue* queue, int tenant_id,
+                     const std::function<void()>& work);
+
+  Tenant* FindTenant(TenantId id);
+  /// Wraps `handler` with shutdown handling, epoch capture, and cache
+  /// invalidation, then stages/enqueues it as a batch-sealing request.
+  template <typename T, typename Handler>
+  StatusOr<Ticket<T>> SubmitSealing(TenantId id, Handler handler);
+
+  /// Evaluates (or serves from cache) every what-if staged under `batch`.
+  void DrainWhatIfBatch(Tenant* t, uint64_t batch);
+
+  const Options options_;
+  RequestQueue queue_;
+  std::unique_ptr<WhatIfCache> cache_;
+  std::atomic<bool> aborting_{false};
+
+  std::mutex tenants_mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kea::serve
+
+#endif  // KEA_SERVE_SERVICE_H_

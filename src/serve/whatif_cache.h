@@ -1,0 +1,126 @@
+#ifndef KEA_SERVE_WHATIF_CACHE_H_
+#define KEA_SERVE_WHATIF_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/whatif.h"
+#include "serve/fingerprint.h"
+#include "sim/types.h"
+
+namespace kea::serve {
+
+/// One what-if query: a set of candidate per-group container configurations
+/// to evaluate against the tenant's current models. The service coalesces
+/// compatible requests into one sweep and memoizes the response.
+struct WhatIfRequest {
+  std::vector<std::map<sim::MachineGroupKey, double>> candidates;
+  /// Monte Carlo samples for the per-candidate error bars (see
+  /// WhatIfEngine::EvaluateWhatIf). Part of the cache key: requests that ask
+  /// for different sampling depths are different queries. 0 disables.
+  int uncertainty_samples = 256;
+};
+
+/// Per-candidate evaluation plus the index of the lowest-latency candidate
+/// (ties break to the lowest index, keeping the payload deterministic).
+struct WhatIfResponse {
+  std::vector<core::WhatIfResult> candidates;
+  size_t best_index = 0;
+};
+
+/// Responses flow through the cache and tickets as immutable shared payloads:
+/// a hit hands back the cached object itself instead of copying a potentially
+/// large candidate sweep, which is what makes warm hits an order of magnitude
+/// cheaper than recomputation (see bench_serve_throughput). Holders keep the
+/// payload alive across eviction and invalidation.
+using WhatIfResponsePtr = std::shared_ptr<const WhatIfResponse>;
+
+/// Order-sensitive digest of the request's candidate grids; the config
+/// component of the cache key. Doubles hash their IEEE-754 bit pattern.
+uint64_t ConfigHash(const WhatIfRequest& request);
+
+/// Evaluates every candidate against `engine`. This is the single evaluation
+/// path shared by the service's cold path and by solo baselines, so a cache
+/// hit is bit-identical to recomputation by construction: the cached payload
+/// was produced by this exact function.
+StatusOr<WhatIfResponse> EvaluateWhatIfRequest(const core::WhatIfEngine& engine,
+                                               const WhatIfRequest& request);
+
+/// Full cache key: (tenant, model version, applied-config version, model
+/// digest, telemetry window digest, request digest). The epochs make
+/// invalidation exact — any refit, deployment, or health trip bumps one of
+/// them — while model_hash and the workload fingerprint guard against epoch
+/// counters that moved without a semantic change (or vice versa across
+/// resumes).
+struct WhatIfCacheKey {
+  int tenant = 0;
+  uint64_t model_epoch = 0;
+  uint64_t deploy_epoch = 0;
+  uint64_t model_hash = 0;
+  WorkloadFingerprint workload;
+  uint64_t config_hash = 0;
+
+  bool operator==(const WhatIfCacheKey&) const = default;
+  bool operator<(const WhatIfCacheKey& o) const {
+    return std::tie(tenant, model_epoch, deploy_epoch, model_hash, workload,
+                    config_hash) <
+           std::tie(o.tenant, o.model_epoch, o.deploy_epoch, o.model_hash,
+                    o.workload, o.config_hash);
+  }
+};
+
+/// Bounded, thread-safe LRU cache of what-if responses. Entries are shared
+/// immutable snapshots — a hit returns the cached payload without copying it,
+/// and the snapshot stays valid after eviction for as long as someone holds
+/// the pointer. Explicit invalidation is per tenant (InvalidateTenant);
+/// implicit invalidation is the epoch fields of the key, which simply stop
+/// matching.
+class WhatIfCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  explicit WhatIfCache(size_t capacity);
+
+  /// Returns the cached response (refreshing its LRU position), or nullptr
+  /// on miss. The returned payload is never copied and never mutated.
+  WhatIfResponsePtr Lookup(const WhatIfCacheKey& key);
+
+  /// Inserts (or refreshes) the entry, evicting the least-recently-used
+  /// entry when over capacity. `response` must not be null.
+  void Insert(const WhatIfCacheKey& key, WhatIfResponsePtr response);
+
+  /// Drops every entry belonging to `tenant`; returns how many were dropped.
+  /// Called by the service after any request that may have mutated the
+  /// tenant's models or fleet state.
+  size_t InvalidateTenant(int tenant);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<WhatIfCacheKey, WhatIfResponsePtr>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recent.
+  std::map<WhatIfCacheKey, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace kea::serve
+
+#endif  // KEA_SERVE_WHATIF_CACHE_H_

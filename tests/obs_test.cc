@@ -95,6 +95,101 @@ TEST_F(ObsTest, ConcurrentIncrementsLoseNothing) {
   EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kThreads * kPerThread));
 }
 
+// Snapshot consistency: a render racing Observe() must never show a
+// histogram whose count disagrees with the sum of its buckets. The bucket
+// increment and the count increment are separate relaxed atomics, so a
+// renderer that reads count_ directly can observe the gap between them; the
+// renderers instead derive count from one bucket snapshot. This test
+// tortures that path: four writer threads hammer a histogram (and a counter,
+// for ordering noise) while the main thread repeatedly renders and re-parses
+// the text and JSON exports.
+TEST_F(ObsTest, RenderedHistogramCountMatchesBucketsUnderConcurrentWriters) {
+  Registry& reg = Registry::Get();
+  Counter* c = reg.GetCounter("t.torture");
+  Histogram* h =
+      reg.GetHistogram("t.torture_hist", "", {0.5, 1.5}, Kind::kDeterministic);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([c, h, &stop, t] {
+      // Each writer targets a different bucket so every bucket races.
+      const double v = t == 0 ? 0.25 : (t == 1 ? 1.0 : 2.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Increment();
+        h->Observe(v);
+      }
+    });
+  }
+
+  // Pulls the numbers after `marker` up to `close`, split on commas, keeping
+  // only the digits after the last ':' of each token (handles both the
+  // "le0.5:n" text form and the bare JSON form).
+  auto parse_buckets = [](const std::string& out, size_t from,
+                          const std::string& marker, char close) {
+    std::vector<uint64_t> buckets;
+    size_t begin = out.find(marker, from);
+    EXPECT_NE(begin, std::string::npos) << out;
+    begin += marker.size();
+    size_t end = out.find(close, begin);
+    EXPECT_NE(end, std::string::npos) << out;
+    std::string body = out.substr(begin, end - begin);
+    size_t pos = 0;
+    while (pos <= body.size()) {
+      size_t comma = body.find(',', pos);
+      std::string token = body.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      size_t colon = token.rfind(':');
+      if (colon != std::string::npos) token = token.substr(colon + 1);
+      buckets.push_back(std::stoull(token));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return buckets;
+  };
+  auto parse_count = [](const std::string& out, const std::string& marker) {
+    size_t pos = out.find(marker);
+    EXPECT_NE(pos, std::string::npos) << out;
+    return std::pair<uint64_t, size_t>(
+        std::stoull(out.substr(pos + marker.size())), pos);
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string text = reg.RenderText();
+    auto [text_count, text_pos] =
+        parse_count(text, "histogram t.torture_hist count=");
+    std::vector<uint64_t> text_buckets =
+        parse_buckets(text, text_pos, "buckets=[", ']');
+    ASSERT_EQ(text_buckets.size(), 3u);
+    uint64_t text_sum = 0;
+    for (uint64_t b : text_buckets) text_sum += b;
+    EXPECT_EQ(text_count, text_sum) << "iter " << iter << ": " << text;
+
+    const std::string json = reg.RenderJson();
+    size_t name_pos = json.find("\"name\":\"t.torture_hist\"");
+    ASSERT_NE(name_pos, std::string::npos) << json;
+    size_t count_pos = json.find("\"count\":", name_pos);
+    ASSERT_NE(count_pos, std::string::npos) << json;
+    uint64_t json_count = std::stoull(json.substr(count_pos + 8));
+    std::vector<uint64_t> json_buckets =
+        parse_buckets(json, name_pos, "\"buckets\":[", ']');
+    ASSERT_EQ(json_buckets.size(), 3u);
+    uint64_t json_sum = 0;
+    for (uint64_t b : json_buckets) json_sum += b;
+    EXPECT_EQ(json_count, json_sum) << "iter " << iter << ": " << json;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+
+  // Quiescent: every path agrees, and nothing was lost.
+  std::vector<uint64_t> final_buckets = h->bucket_counts();
+  uint64_t final_sum = 0;
+  for (uint64_t b : final_buckets) final_sum += b;
+  EXPECT_EQ(h->count(), final_sum);
+  EXPECT_EQ(h->count(), c->value());
+}
+
 // ---------------------------------------------------------------------------
 // Kill switches
 

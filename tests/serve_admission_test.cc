@@ -1,0 +1,269 @@
+#include "serve/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace kea::serve {
+namespace {
+
+std::function<void()> Noop() {
+  return [] {};
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue admission: bounded, never blocking, conserving.
+
+TEST(RequestQueueTest, SaturationRejectsWithResourceExhausted) {
+  RequestQueue::Options options;
+  options.capacity = 4;
+  options.per_tenant = 8;
+  RequestQueue queue(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.Push(i, Noop()).ok()) << i;
+  }
+  const Status overflow = queue.Push(4, Noop());
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.depth(), 4u);
+
+  const RequestQueue::Counters c = queue.counters();
+  EXPECT_EQ(c.submitted, 5u);
+  EXPECT_EQ(c.accepted, 4u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.accepted + c.rejected, c.submitted);
+}
+
+TEST(RequestQueueTest, PerTenantQuotaIsIndependentOfTotalOccupancy) {
+  RequestQueue::Options options;
+  options.capacity = 16;
+  options.per_tenant = 2;
+  RequestQueue queue(options);
+  EXPECT_TRUE(queue.Push(0, Noop()).ok());
+  EXPECT_TRUE(queue.Push(0, Noop()).ok());
+  EXPECT_EQ(queue.Push(0, Noop()).code(), StatusCode::kResourceExhausted);
+  // Another tenant is unaffected by tenant 0's full quota.
+  EXPECT_TRUE(queue.Push(1, Noop()).ok());
+}
+
+TEST(RequestQueueTest, RoundRobinAcrossTenantsWithBusySkip) {
+  RequestQueue queue(RequestQueue::Options{});
+  ASSERT_TRUE(queue.Push(0, Noop()).ok());
+  ASSERT_TRUE(queue.Push(0, Noop()).ok());
+  ASSERT_TRUE(queue.Push(1, Noop()).ok());
+  ASSERT_TRUE(queue.Push(2, Noop()).ok());
+
+  int tenant = -1;
+  std::function<void()> work;
+  ASSERT_TRUE(queue.TryPop(&tenant, &work));
+  EXPECT_EQ(tenant, 0);
+  // Tenant 0 is busy (one in-flight max): its second request is skipped and
+  // the cursor rotates through the others.
+  ASSERT_TRUE(queue.TryPop(&tenant, &work));
+  EXPECT_EQ(tenant, 1);
+  ASSERT_TRUE(queue.TryPop(&tenant, &work));
+  EXPECT_EQ(tenant, 2);
+  // Everything eligible is in flight; tenant 0's backlog stays blocked.
+  EXPECT_FALSE(queue.TryPop(&tenant, &work));
+  queue.Done(0);
+  ASSERT_TRUE(queue.TryPop(&tenant, &work));
+  EXPECT_EQ(tenant, 0);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(RequestQueueTest, ShutdownUnblocksWaitersAndDrainsBacklog) {
+  RequestQueue queue(RequestQueue::Options{});
+
+  // A waiter blocked on an empty queue must wake and exit on Shutdown.
+  std::atomic<bool> returned{false};
+  std::thread waiter([&] {
+    int tenant = -1;
+    std::function<void()> work;
+    const bool got = queue.PopBlocking(&tenant, &work);
+    EXPECT_FALSE(got);
+    returned.store(true);
+  });
+  queue.Shutdown();
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+
+  // Push after shutdown is a clean failed precondition, not a hang.
+  EXPECT_EQ(queue.Push(0, Noop()).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RequestQueueTest, ShutdownStillDrainsPendingWork) {
+  RequestQueue queue(RequestQueue::Options{});
+  ASSERT_TRUE(queue.Push(0, Noop()).ok());
+  ASSERT_TRUE(queue.Push(1, Noop()).ok());
+  queue.Shutdown();
+  int tenant = -1;
+  std::function<void()> work;
+  // Backlog remains poppable after shutdown so workers drain before exit.
+  ASSERT_TRUE(queue.PopBlocking(&tenant, &work));
+  queue.Done(tenant);
+  ASSERT_TRUE(queue.PopBlocking(&tenant, &work));
+  queue.Done(tenant);
+  EXPECT_FALSE(queue.PopBlocking(&tenant, &work));
+}
+
+// ---------------------------------------------------------------------------
+// Service-level admission: the ingestion_test-style conservation ledger.
+
+apps::KeaSession::Config TinyConfig(uint64_t seed = 42) {
+  apps::KeaSession::Config config;
+  config.machines = 50;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ServeAdmissionTest, SaturatedServiceConservesEveryRequest) {
+  TuningService::Options options;
+  options.num_threads = 0;  // nothing drains until we say so
+  options.queue.capacity = 6;
+  options.queue.per_tenant = 4;
+  TuningService service(options);
+  auto a = service.AddTenant("a", TinyConfig(1));
+  auto b = service.AddTenant("b", TinyConfig(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  const RequestQueue::Counters before = service.queue_counters();
+  std::vector<Ticket<sim::HourIndex>> accepted;
+  uint64_t rejected = 0;
+  auto burst = [&](TenantId id, int n) {
+    for (int i = 0; i < n; ++i) {
+      auto ticket = service.SubmitSimulate(id, 1);
+      if (ticket.ok()) {
+        accepted.push_back(ticket.value());
+      } else {
+        // Every rejection is the clean saturation signal — never some other
+        // failure, never a hang.
+        EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted)
+            << ticket.status();
+        ++rejected;
+      }
+    }
+  };
+  burst(a.value(), 8);  // per-tenant quota 4: at most 4 stick
+  burst(b.value(), 4);  // capacity 6: only 2 slots remain
+
+  EXPECT_EQ(accepted.size(), 6u);
+  EXPECT_EQ(rejected, 6u);
+  const RequestQueue::Counters after = service.queue_counters();
+  EXPECT_EQ(after.submitted - before.submitted, 12u);
+  EXPECT_EQ(after.accepted - before.accepted, accepted.size());
+  EXPECT_EQ(after.rejected - before.rejected, rejected);
+  EXPECT_EQ(after.accepted + after.rejected, after.submitted);
+
+  // Every accepted request completes once drained.
+  service.RunPending();
+  for (const auto& ticket : accepted) {
+    ASSERT_TRUE(ticket.ready());
+    EXPECT_TRUE(ticket.Wait().ok());
+  }
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(ServeAdmissionTest, ConcurrentHammeringNeverBlocksAndConserves) {
+  TuningService::Options options;
+  options.num_threads = 2;
+  options.queue.capacity = 8;
+  options.queue.per_tenant = 4;
+  TuningService service(options);
+
+  constexpr int kTenants = 4;
+  std::vector<TenantId> ids;
+  for (int i = 0; i < kTenants; ++i) {
+    auto id = service.AddTenant("hammer" + std::to_string(i),
+                                TinyConfig(100 + i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  const RequestQueue::Counters before = service.queue_counters();
+
+  // Occupy the workers with real work so the burst below actually saturates.
+  std::vector<Ticket<sim::HourIndex>> slow;
+  for (TenantId id : ids) {
+    auto ticket = service.SubmitSimulate(id, 48);
+    ASSERT_TRUE(ticket.ok());
+    slow.push_back(ticket.value());
+  }
+
+  WhatIfRequest query;
+  query.candidates.push_back({{sim::MachineGroupKey{0, 0}, 8.0}});
+
+  std::atomic<uint64_t> accepted{0}, rejected{0}, bad_rejections{0};
+  std::vector<std::vector<Ticket<WhatIfResponsePtr>>> tickets(kTenants);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kTenants; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        auto ticket = service.SubmitWhatIf(ids[t], query);
+        if (ticket.ok()) {
+          tickets[t].push_back(ticket.value());
+          accepted.fetch_add(1);
+        } else if (ticket.status().code() == StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1);
+        } else {
+          bad_rejections.fetch_add(1);
+          ADD_FAILURE() << "unexpected rejection: " << ticket.status();
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+
+  EXPECT_EQ(bad_rejections.load(), 0u);
+  // The bounded queue really did shed load under this much pressure.
+  EXPECT_GT(rejected.load(), 0u);
+  EXPECT_GT(accepted.load(), 0u);
+
+  // Every accepted ticket resolves — nothing blocks forever. (No engine was
+  // ever fitted, so what-ifs resolve with FailedPrecondition; the admission
+  // contract is about completion, not success.)
+  for (const auto& ticket : slow) {
+    EXPECT_TRUE(ticket.Wait().ok());
+  }
+  for (const auto& per_tenant : tickets) {
+    for (const auto& ticket : per_tenant) {
+      const auto result = ticket.Wait();
+      EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+          << result.status();
+    }
+  }
+
+  const RequestQueue::Counters after = service.queue_counters();
+  EXPECT_EQ(after.submitted - before.submitted,
+            static_cast<uint64_t>(kTenants) * 40u + kTenants);
+  EXPECT_EQ(after.accepted - before.accepted,
+            accepted.load() + static_cast<uint64_t>(kTenants));
+  EXPECT_EQ(after.rejected - before.rejected, rejected.load());
+  EXPECT_EQ(after.accepted + after.rejected, after.submitted);
+}
+
+TEST(ServeAdmissionTest, ShutdownResolvesQueuedTicketsUnavailable) {
+  std::vector<Ticket<sim::HourIndex>> tickets;
+  {
+    TuningService::Options options;
+    options.num_threads = 0;
+    TuningService service(options);
+    auto id = service.AddTenant("doomed", TinyConfig());
+    ASSERT_TRUE(id.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto ticket = service.SubmitSimulate(id.value(), 1);
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(ticket.value());
+    }
+    // Service destroyed with the backlog still queued.
+  }
+  for (const auto& ticket : tickets) {
+    ASSERT_TRUE(ticket.ready()) << "ticket must not dangle after shutdown";
+    EXPECT_EQ(ticket.Wait().status().code(), StatusCode::kUnavailable);
+  }
+}
+
+}  // namespace
+}  // namespace kea::serve

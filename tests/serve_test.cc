@@ -1,0 +1,396 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "serve/whatif_cache.h"
+
+namespace kea::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit-exact artifact signatures. Every double is rendered as its IEEE-754
+// bit pattern, so two signatures compare equal iff the artifacts are
+// bit-identical.
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx.",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+void AppendDouble(double v, std::string* out) {
+  AppendU64(std::bit_cast<uint64_t>(v), out);
+}
+void AppendInt(int64_t v, std::string* out) {
+  AppendU64(static_cast<uint64_t>(v), out);
+}
+
+void AppendResponse(const WhatIfResponse& r, std::string* out) {
+  AppendU64(r.best_index, out);
+  for (const auto& candidate : r.candidates) {
+    AppendDouble(candidate.cluster_latency_s, out);
+    AppendDouble(candidate.cluster_latency_stderr_s, out);
+    for (const auto& [key, gw] : candidate.groups) {
+      AppendInt(key.sc, out);
+      AppendInt(key.sku, out);
+      AppendDouble(gw.containers, out);
+      AppendDouble(gw.utilization, out);
+      AppendDouble(gw.tasks_per_hour, out);
+      AppendDouble(gw.latency_s, out);
+      AppendDouble(gw.latency_stderr_s, out);
+    }
+  }
+  *out += "|";
+}
+
+void AppendRound(const apps::KeaSession::GuardedRound& r, std::string* out) {
+  for (const auto& rec : r.plan.recommendations) {
+    AppendInt(rec.group.sc, out);
+    AppendInt(rec.group.sku, out);
+    AppendInt(rec.current_max_containers, out);
+    AppendInt(rec.recommended_max_containers, out);
+  }
+  AppendDouble(r.plan.predicted_capacity_gain, out);
+  AppendDouble(r.plan.predicted_latency_before_s, out);
+  AppendDouble(r.plan.predicted_latency_after_s, out);
+  for (const auto& [key, m] : r.plan.lp_solution) {
+    AppendInt(key.sc, out);
+    AppendInt(key.sku, out);
+    AppendDouble(m, out);
+  }
+  AppendInt(static_cast<int>(r.rollout.outcome), out);
+  AppendInt(r.rollout.tripped_wave, out);
+  AppendU64(r.rollout.machines_restored, out);
+  for (const auto& wave : r.rollout.waves) {
+    AppendInt(wave.wave, out);
+    AppendU64(wave.machines_changed, out);
+    AppendInt(wave.observe_begin, out);
+    AppendInt(wave.observe_end, out);
+    AppendInt(wave.passed ? 1 : 0, out);
+  }
+  AppendInt(r.fit_begin, out);
+  AppendInt(r.fit_end, out);
+  AppendInt(r.safe_mode ? 1 : 0, out);
+  *out += r.health_state + "|";
+}
+
+void AppendModel(const ml::LinearModel& m, std::string* out) {
+  AppendDouble(m.intercept(), out);
+  for (double c : m.coefficients()) AppendDouble(c, out);
+}
+
+void AppendSku(const apps::SkuDesigner::Result& r, std::string* out) {
+  AppendModel(r.p, out);
+  AppendModel(r.q, out);
+  AppendU64(r.best_index, out);
+  for (const auto& point : r.surface) {
+    AppendDouble(point.ssd_gb, out);
+    AppendDouble(point.ram_gb, out);
+    AppendDouble(point.expected_cost, out);
+    AppendDouble(point.standard_error, out);
+    AppendDouble(point.p_out_of_ssd, out);
+    AppendDouble(point.p_out_of_ram, out);
+  }
+  *out += "|";
+}
+
+// ---------------------------------------------------------------------------
+// The per-tenant request script, shared verbatim between the solo baseline
+// and the served run: simulate a week, fit, then per round three what-if
+// queries (the third a duplicate of the first — the cache-hit probe), a
+// guarded tuning round, and a day of telemetry; finally a SKU design.
+
+constexpr int kRounds = 2;
+constexpr uint64_t kSeeds[] = {101, 202, 303};
+
+apps::KeaSession::Config TenantConfig(uint64_t seed) {
+  apps::KeaSession::Config config;
+  config.machines = 120;
+  config.seed = seed;
+  return config;
+}
+
+/// Mean configured max_containers per machine group at session start — the
+/// anchor for query candidates. Depends only on the config, so the solo and
+/// served runs derive identical queries without touching a live session.
+std::map<sim::MachineGroupKey, double> BaseContainers(
+    const sim::Cluster& cluster) {
+  std::map<sim::MachineGroupKey, std::pair<double, int>> acc;
+  for (const sim::Machine& m : cluster.machines()) {
+    auto& [sum, n] = acc[sim::MachineGroupKey{m.sc, m.sku}];
+    sum += static_cast<double>(m.max_containers);
+    ++n;
+  }
+  std::map<sim::MachineGroupKey, double> base;
+  for (const auto& [key, sn] : acc) base[key] = sn.first / sn.second;
+  return base;
+}
+
+WhatIfRequest MakeQuery(const std::map<sim::MachineGroupKey, double>& base,
+                        int round, int query) {
+  WhatIfRequest request;
+  for (int c = 0; c < 4; ++c) {
+    std::map<sim::MachineGroupKey, double> candidate;
+    const double scale = 0.85 + 0.05 * c + 0.02 * query + 0.01 * round;
+    for (const auto& [key, b] : base) candidate[key] = b * scale;
+    request.candidates.push_back(std::move(candidate));
+  }
+  return request;
+}
+
+apps::KeaSession::GuardedRoundOptions RoundOptions() {
+  apps::KeaSession::GuardedRoundOptions options;
+  options.lookback_hours = sim::kHoursPerWeek;
+  options.tuner.whatif.num_threads = 1;
+  options.rollout.wave_fractions = {0.5, 1.0};
+  options.rollout.observe_hours_per_wave = 6;
+  options.rollout.baseline_hours = 12;
+  return options;
+}
+
+FitRequest MakeFitRequest() {
+  FitRequest request;
+  request.whatif.num_threads = 1;
+  request.lookback_hours = sim::kHoursPerWeek;
+  return request;
+}
+
+SkuDesignRequest MakeSkuRequest(uint64_t seed) {
+  SkuDesignRequest request;
+  request.options.ssd_candidates_gb = {512.0, 1024.0};
+  request.options.ram_candidates_gb = {128.0, 256.0};
+  request.options.mc_iterations = 100;
+  request.options.num_threads = 1;
+  request.seed = seed;
+  return request;
+}
+
+struct Artifacts {
+  std::string whatif;
+  std::string rounds;
+  std::string sku;
+  sim::HourIndex final_now = -1;
+  uint64_t model_epoch = 0;
+  uint64_t deploy_epoch = 0;
+  bool ok = false;
+};
+
+Artifacts RunSolo(uint64_t seed) {
+  Artifacts a;
+  auto created = apps::KeaSession::Create(TenantConfig(seed));
+  if (!created.ok()) {
+    ADD_FAILURE() << "solo create: " << created.status();
+    return a;
+  }
+  std::unique_ptr<apps::KeaSession> session = std::move(created).value();
+  const auto base = BaseContainers(session->cluster());
+
+  Status s = session->Simulate(sim::kHoursPerWeek);
+  if (!s.ok()) {
+    ADD_FAILURE() << "solo simulate: " << s;
+    return a;
+  }
+  const FitRequest fit = MakeFitRequest();
+  s = session->FitWhatIfEngine(fit.whatif, fit.lookback_hours);
+  if (!s.ok()) {
+    ADD_FAILURE() << "solo fit: " << s;
+    return a;
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    for (int q : {0, 1, 0}) {
+      auto response = EvaluateWhatIfRequest(*session->whatif_engine(),
+                                            MakeQuery(base, round, q));
+      if (!response.ok()) {
+        ADD_FAILURE() << "solo what-if: " << response.status();
+        return a;
+      }
+      AppendResponse(response.value(), &a.whatif);
+    }
+    auto guarded = session->RunGuardedTuningRound(RoundOptions());
+    if (!guarded.ok()) {
+      ADD_FAILURE() << "solo round: " << guarded.status();
+      return a;
+    }
+    AppendRound(guarded.value(), &a.rounds);
+    s = session->Simulate(sim::kHoursPerDay);
+    if (!s.ok()) {
+      ADD_FAILURE() << "solo post-round simulate: " << s;
+      return a;
+    }
+  }
+  const SkuDesignRequest sku_request = MakeSkuRequest(seed);
+  Rng rng(sku_request.seed);
+  apps::SkuDesigner designer(sku_request.options);
+  auto sku = designer.Design(session->store(), nullptr, &rng);
+  if (!sku.ok()) {
+    ADD_FAILURE() << "solo sku design: " << sku.status();
+    return a;
+  }
+  AppendSku(sku.value(), &a.sku);
+  a.final_now = session->now();
+  a.model_epoch = session->model_epoch();
+  a.deploy_epoch = session->deploy_epoch();
+  a.ok = true;
+  return a;
+}
+
+/// Same script through the service. Runs on a tenant driver thread, so all
+/// failures are ADD_FAILURE (never ASSERT) to keep gtest thread-safe.
+Artifacts RunServed(TuningService* service, TenantId id, uint64_t seed) {
+  Artifacts a;
+  auto session = service->tenant_session(id);
+  if (!session.ok()) {
+    ADD_FAILURE() << "tenant_session: " << session.status();
+    return a;
+  }
+  // Setup-time inspection: nothing submitted for this tenant yet.
+  const auto base = BaseContainers(session.value()->cluster());
+
+  auto wait = [](auto ticket_or, const char* what, auto* sink) {
+    if (!ticket_or.ok()) {
+      ADD_FAILURE() << what << " submit: " << ticket_or.status();
+      return false;
+    }
+    auto result = ticket_or.value().Wait();
+    if (!result.ok()) {
+      ADD_FAILURE() << what << ": " << result.status();
+      return false;
+    }
+    *sink = std::move(result).value();
+    return true;
+  };
+
+  sim::HourIndex now = 0;
+  if (!wait(service->SubmitSimulate(id, sim::kHoursPerWeek), "simulate", &now)) return a;
+  uint64_t epoch = 0;
+  if (!wait(service->SubmitFit(id, MakeFitRequest()), "fit", &epoch)) return a;
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Submit the round's queries back to back, then wait: with no other
+    // request type in between they land in one batch and coalesce into a
+    // single grid sweep (the duplicate is answered from the cache).
+    std::vector<StatusOr<Ticket<WhatIfResponsePtr>>> tickets;
+    for (int q : {0, 1, 0}) {
+      tickets.push_back(service->SubmitWhatIf(id, MakeQuery(base, round, q)));
+    }
+    for (auto& ticket : tickets) {
+      WhatIfResponsePtr response;
+      if (!wait(std::move(ticket), "what-if", &response)) return a;
+      AppendResponse(*response, &a.whatif);
+    }
+    apps::KeaSession::GuardedRound guarded;
+    if (!wait(service->SubmitTuningRound(id, RoundOptions()), "round", &guarded)) return a;
+    AppendRound(guarded, &a.rounds);
+    if (!wait(service->SubmitSimulate(id, sim::kHoursPerDay), "post-round simulate", &now)) return a;
+  }
+  apps::SkuDesigner::Result sku;
+  if (!wait(service->SubmitSkuDesign(id, MakeSkuRequest(seed)), "sku design", &sku)) return a;
+  AppendSku(sku, &a.sku);
+
+  // All tickets resolved: the tenant is quiescent again, inspection is safe.
+  a.final_now = now;
+  a.model_epoch = session.value()->model_epoch();
+  a.deploy_epoch = session.value()->deploy_epoch();
+  a.ok = true;
+  return a;
+}
+
+void ExpectSameArtifacts(const Artifacts& solo, const Artifacts& served,
+                         const std::string& label) {
+  EXPECT_TRUE(served.ok) << label;
+  if (!served.ok) return;
+  EXPECT_EQ(solo.whatif, served.whatif) << label << ": what-if payloads";
+  EXPECT_EQ(solo.rounds, served.rounds) << label << ": tuning rounds";
+  EXPECT_EQ(solo.sku, served.sku) << label << ": sku design";
+  EXPECT_EQ(solo.final_now, served.final_now) << label;
+  EXPECT_EQ(solo.model_epoch, served.model_epoch) << label;
+  EXPECT_EQ(solo.deploy_epoch, served.deploy_epoch) << label;
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole stress sweep: N tenants race one service at 1, 4, and 8
+// worker threads; every tenant's artifacts — what-if payloads (cold, warm,
+// and coalesced), guarded-round reports, SKU designs, clocks, epochs — must
+// be bit-identical to a solo KeaSession replaying the same script.
+
+TEST(ServeStressTest, TenantsBitIdenticalToSoloAtEveryThreadCount) {
+  constexpr size_t kTenants = std::size(kSeeds);
+  std::vector<Artifacts> solo(kTenants);
+  for (size_t i = 0; i < kTenants; ++i) {
+    solo[i] = RunSolo(kSeeds[i]);
+    ASSERT_TRUE(solo[i].ok) << "solo seed " << kSeeds[i];
+  }
+
+  for (int num_threads : {1, 4, 8}) {
+    SCOPED_TRACE("service threads=" + std::to_string(num_threads));
+    TuningService::Options options;
+    options.num_threads = num_threads;
+    TuningService service(options);
+
+    std::vector<TenantId> ids;
+    for (size_t i = 0; i < kTenants; ++i) {
+      auto id = service.AddTenant("tenant" + std::to_string(i),
+                                  TenantConfig(kSeeds[i]));
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(id.value());
+    }
+
+    std::vector<Artifacts> served(kTenants);
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < kTenants; ++i) {
+      drivers.emplace_back([&service, &served, &ids, i] {
+        served[i] = RunServed(&service, ids[i], kSeeds[i]);
+      });
+    }
+    for (auto& d : drivers) d.join();
+
+    for (size_t i = 0; i < kTenants; ++i) {
+      ExpectSameArtifacts(solo[i], served[i],
+                          "tenant " + std::to_string(i) + " threads " +
+                              std::to_string(num_threads));
+    }
+    // Each round's duplicate query is a guaranteed warm hit per tenant.
+    ASSERT_NE(service.cache(), nullptr);
+    EXPECT_GE(service.cache()->stats().hits,
+              static_cast<uint64_t>(kTenants * kRounds));
+    // Conservation: this test never saturates the default queue.
+    const RequestQueue::Counters counters = service.queue_counters();
+    EXPECT_EQ(counters.rejected, 0u);
+    EXPECT_EQ(counters.accepted, counters.submitted);
+  }
+}
+
+// Two tenants with identical configs racing on one service must not perturb
+// each other: isolated RNG streams, clocks, and telemetry mean their
+// artifacts come out bit-identical.
+TEST(ServeStressTest, IdenticalTenantsStayIsolated) {
+  constexpr uint64_t kSeed = 777;
+  TuningService::Options options;
+  options.num_threads = 4;
+  TuningService service(options);
+
+  auto id0 = service.AddTenant("twin0", TenantConfig(kSeed));
+  auto id1 = service.AddTenant("twin1", TenantConfig(kSeed));
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+
+  Artifacts a0, a1;
+  std::thread d0([&] { a0 = RunServed(&service, id0.value(), kSeed); });
+  std::thread d1([&] { a1 = RunServed(&service, id1.value(), kSeed); });
+  d0.join();
+  d1.join();
+
+  ASSERT_TRUE(a0.ok);
+  ExpectSameArtifacts(a0, a1, "twin tenants");
+}
+
+}  // namespace
+}  // namespace kea::serve

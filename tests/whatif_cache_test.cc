@@ -1,0 +1,448 @@
+#include "serve/whatif_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "apps/session.h"
+#include "serve/fingerprint.h"
+#include "serve/service.h"
+#include "telemetry/store.h"
+
+namespace kea::serve {
+namespace {
+
+using telemetry::MachineHourRecord;
+using telemetry::TelemetryStore;
+
+MachineHourRecord MakeRecord(int machine, int hour) {
+  MachineHourRecord r;
+  r.machine_id = machine;
+  r.hour = hour;
+  r.sc = machine % 2;
+  r.sku = machine % 3;
+  r.avg_running_containers = 8.0 + machine;
+  r.cpu_utilization = 0.5 + 0.001 * machine;
+  r.tasks_finished = 100.0 + hour;
+  r.data_read_mb = 4000.0;
+  r.avg_task_latency_s = 20.0;
+  r.cpu_time_core_s = 40000.0;
+  r.power_watts = 280.0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Workload fingerprints
+
+TEST(FingerprintTest, DeterministicOverIdenticalWindows) {
+  TelemetryStore a, b;
+  for (int h = 0; h < 3; ++h) {
+    a.Append(MakeRecord(1, h));
+    a.Append(MakeRecord(2, h));
+    b.Append(MakeRecord(1, h));
+    b.Append(MakeRecord(2, h));
+  }
+  const WorkloadFingerprint fa = FingerprintWindow(a, 0, 3);
+  const WorkloadFingerprint fb = FingerprintWindow(b, 0, 3);
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(fa.records, 6u);
+}
+
+TEST(FingerprintTest, SensitiveToSingleBitPerturbation) {
+  TelemetryStore a, b;
+  a.Append(MakeRecord(1, 0));
+  MachineHourRecord tweaked = MakeRecord(1, 0);
+  tweaked.cpu_utilization += 1e-12;  // One ULP-scale nudge must be seen.
+  b.Append(tweaked);
+  EXPECT_NE(FingerprintWindow(a, 0, 1), FingerprintWindow(b, 0, 1));
+}
+
+TEST(FingerprintTest, SensitiveToDroppedRecordsAndOrder) {
+  TelemetryStore full, dropped, swapped;
+  full.Append(MakeRecord(1, 0));
+  full.Append(MakeRecord(2, 0));
+  dropped.Append(MakeRecord(1, 0));
+  swapped.Append(MakeRecord(2, 0));
+  swapped.Append(MakeRecord(1, 0));
+  EXPECT_NE(FingerprintWindow(full, 0, 1), FingerprintWindow(dropped, 0, 1));
+  EXPECT_NE(FingerprintWindow(full, 0, 1), FingerprintWindow(swapped, 0, 1));
+}
+
+TEST(FingerprintTest, WindowBoundsAreHalfOpenAndSealed) {
+  TelemetryStore store;
+  store.Append(MakeRecord(1, 0));
+  store.Append(MakeRecord(1, 1));
+  store.Append(MakeRecord(1, 2));
+  // [0, 2) excludes hour 2.
+  const WorkloadFingerprint f02 = FingerprintWindow(store, 0, 2);
+  EXPECT_EQ(f02.records, 2u);
+  EXPECT_NE(f02, FingerprintWindow(store, 0, 3));
+  // Two empty windows with different bounds must not alias.
+  TelemetryStore empty;
+  EXPECT_NE(FingerprintWindow(empty, 0, 5), FingerprintWindow(empty, 3, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Cache properties
+
+WhatIfCacheKey MakeKey(int tenant, uint64_t salt = 0) {
+  WhatIfCacheKey key;
+  key.tenant = tenant;
+  key.model_epoch = 3;
+  key.deploy_epoch = 2;
+  key.model_hash = 0xabcdef0123456789ULL + salt;
+  key.workload.lo = 11;
+  key.workload.hi = 22;
+  key.workload.records = 33;
+  key.config_hash = 44 + salt;
+  return key;
+}
+
+WhatIfResponse MakeResponse(double seed) {
+  WhatIfResponse r;
+  core::WhatIfResult result;
+  core::GroupWhatIf gw;
+  // Values with non-terminating binary expansions: any rounding or
+  // re-computation in the cache path would change the bit pattern.
+  gw.containers = seed + 0.1 + 0.2;
+  gw.utilization = seed / 3.0;
+  gw.tasks_per_hour = seed * (1.0 / 7.0);
+  gw.latency_s = seed + 1e-300;  // subnormal-adjacent tail
+  result.groups[sim::MachineGroupKey{0, 1}] = gw;
+  result.cluster_latency_s = gw.latency_s;
+  r.candidates.push_back(result);
+  r.best_index = 0;
+  return r;
+}
+
+WhatIfResponsePtr MakeResponsePtr(double seed) {
+  return std::make_shared<const WhatIfResponse>(MakeResponse(seed));
+}
+
+void ExpectBitIdentical(const WhatIfResponse& a, const WhatIfResponse& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  EXPECT_EQ(a.best_index, b.best_index);
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.candidates[i].cluster_latency_s),
+              std::bit_cast<uint64_t>(b.candidates[i].cluster_latency_s));
+    ASSERT_EQ(a.candidates[i].groups.size(), b.candidates[i].groups.size());
+    auto bi = b.candidates[i].groups.begin();
+    for (const auto& [key, gw] : a.candidates[i].groups) {
+      EXPECT_EQ(key, bi->first);
+      EXPECT_EQ(std::bit_cast<uint64_t>(gw.containers),
+                std::bit_cast<uint64_t>(bi->second.containers));
+      EXPECT_EQ(std::bit_cast<uint64_t>(gw.utilization),
+                std::bit_cast<uint64_t>(bi->second.utilization));
+      EXPECT_EQ(std::bit_cast<uint64_t>(gw.tasks_per_hour),
+                std::bit_cast<uint64_t>(bi->second.tasks_per_hour));
+      EXPECT_EQ(std::bit_cast<uint64_t>(gw.latency_s),
+                std::bit_cast<uint64_t>(bi->second.latency_s));
+      ++bi;
+    }
+  }
+}
+
+TEST(WhatIfCacheTest, HitReturnsBitIdenticalPayload) {
+  WhatIfCache cache(8);
+  const WhatIfCacheKey key = MakeKey(0);
+  const WhatIfResponsePtr cold = MakeResponsePtr(0.7);
+  cache.Insert(key, cold);
+  WhatIfResponsePtr hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  ExpectBitIdentical(*cold, *hit);
+  // Zero-copy: a hit is the inserted object itself, not a copy of it.
+  EXPECT_EQ(hit.get(), cold.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(WhatIfCacheTest, DistinctKeyFieldsNeverAlias) {
+  WhatIfCache cache(32);
+  const WhatIfCacheKey base = MakeKey(0);
+  cache.Insert(base, MakeResponsePtr(1.0));
+
+  std::vector<WhatIfCacheKey> variants(8, base);
+  variants[0].tenant = 1;
+  variants[1].model_epoch += 1;
+  variants[2].deploy_epoch += 1;
+  variants[3].model_hash += 1;
+  variants[4].workload.lo += 1;
+  variants[5].workload.hi += 1;
+  variants[6].workload.records += 1;
+  variants[7].config_hash += 1;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_EQ(cache.Lookup(variants[i]), nullptr) << "variant " << i;
+  }
+  // The original is untouched.
+  EXPECT_NE(cache.Lookup(base), nullptr);
+}
+
+TEST(WhatIfCacheTest, BoundedLruEvictionWithRefresh) {
+  WhatIfCache cache(2);
+  const WhatIfCacheKey k1 = MakeKey(0, 1), k2 = MakeKey(0, 2), k3 = MakeKey(0, 3);
+  cache.Insert(k1, MakeResponsePtr(1.0));
+  cache.Insert(k2, MakeResponsePtr(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+  // Refresh k1 so k2 is now least recently used.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  cache.Insert(k3, MakeResponsePtr(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  WhatIfResponsePtr hit3 = cache.Lookup(k3);
+  ASSERT_NE(hit3, nullptr);
+  // Eviction never corrupts surviving payloads.
+  ExpectBitIdentical(MakeResponse(3.0), *hit3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().insertions, 3u);
+}
+
+TEST(WhatIfCacheTest, InvalidateTenantDropsOnlyThatTenant) {
+  WhatIfCache cache(8);
+  cache.Insert(MakeKey(0, 1), MakeResponsePtr(1.0));
+  cache.Insert(MakeKey(0, 2), MakeResponsePtr(2.0));
+  cache.Insert(MakeKey(1, 1), MakeResponsePtr(3.0));
+  EXPECT_EQ(cache.InvalidateTenant(0), 2u);
+  EXPECT_EQ(cache.Lookup(MakeKey(0, 1)), nullptr);
+  EXPECT_EQ(cache.Lookup(MakeKey(0, 2)), nullptr);
+  EXPECT_NE(cache.Lookup(MakeKey(1, 1)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.InvalidateTenant(7), 0u);
+}
+
+TEST(ConfigHashTest, SensitiveToCandidatesAndValues) {
+  WhatIfRequest a, b;
+  a.candidates.push_back({{sim::MachineGroupKey{0, 0}, 8.0}});
+  b.candidates.push_back({{sim::MachineGroupKey{0, 0}, 8.0}});
+  EXPECT_EQ(ConfigHash(a), ConfigHash(b));
+  b.candidates[0][sim::MachineGroupKey{0, 0}] = 8.0 + 1e-12;
+  EXPECT_NE(ConfigHash(a), ConfigHash(b));
+  WhatIfRequest c = a;
+  c.candidates.push_back(c.candidates[0]);
+  EXPECT_NE(ConfigHash(a), ConfigHash(c));
+  WhatIfRequest d = a;
+  d.candidates[0][sim::MachineGroupKey{0, 1}] = 8.0;
+  EXPECT_NE(ConfigHash(a), ConfigHash(d));
+  // Sampling depth changes the payload (error bars), so it must change the
+  // key too.
+  WhatIfRequest e = a;
+  e.uncertainty_samples = a.uncertainty_samples + 1;
+  EXPECT_NE(ConfigHash(a), ConfigHash(e));
+}
+
+// The error bars are part of the cached payload, so they must be a pure
+// function of (models, candidate): re-evaluating the same candidate gives
+// bit-identical stderr values, and disabling sampling zeroes them.
+TEST(WhatIfUncertaintyTest, ErrorBarsAreDeterministicAndOptional) {
+  apps::KeaSession::Config config;
+  config.machines = 150;
+  auto session = apps::KeaSession::Create(config);
+  ASSERT_TRUE(session.ok());
+  apps::KeaSession& s = *session.value();
+  ASSERT_TRUE(s.Simulate(sim::kHoursPerWeek).ok());
+  core::WhatIfEngine::Options fit_options;
+  fit_options.num_threads = 1;
+  ASSERT_TRUE(s.FitWhatIfEngine(fit_options, sim::kHoursPerWeek).ok());
+  const core::WhatIfEngine* engine = s.whatif_engine();
+  ASSERT_NE(engine, nullptr);
+
+  std::map<sim::MachineGroupKey, double> candidate;
+  for (const auto& [key, gm] : engine->models()) {
+    candidate[key] = gm.current_containers + 1.0;
+  }
+
+  auto a = engine->EvaluateWhatIf(candidate, 64);
+  auto b = engine->EvaluateWhatIf(candidate, 64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.value().cluster_latency_stderr_s, 0.0);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.value().cluster_latency_stderr_s),
+            std::bit_cast<uint64_t>(b.value().cluster_latency_stderr_s));
+  for (const auto& [key, gw] : a.value().groups) {
+    const auto& other = b.value().groups.at(key);
+    EXPECT_GT(gw.latency_stderr_s, 0.0) << sim::GroupLabel(key);
+    EXPECT_EQ(std::bit_cast<uint64_t>(gw.latency_stderr_s),
+              std::bit_cast<uint64_t>(other.latency_stderr_s));
+  }
+
+  // Point predictions are independent of the sampling depth.
+  auto off = engine->EvaluateWhatIf(candidate, 0);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.value().cluster_latency_stderr_s, 0.0);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.value().cluster_latency_s),
+            std::bit_cast<uint64_t>(off.value().cluster_latency_s));
+}
+
+// ---------------------------------------------------------------------------
+// Session epochs: the invalidation signals the cache key is built from.
+
+TEST(SessionEpochTest, FitRoundsRollbackAndResumeAdvanceEpochs) {
+  apps::KeaSession::Config config;
+  config.machines = 300;
+  auto session = apps::KeaSession::Create(config);
+  ASSERT_TRUE(session.ok());
+  apps::KeaSession& s = *session.value();
+  EXPECT_EQ(s.model_epoch(), 0u);
+  EXPECT_EQ(s.deploy_epoch(), 0u);
+
+  ASSERT_TRUE(s.Simulate(sim::kHoursPerWeek).ok());
+  EXPECT_EQ(s.model_epoch(), 0u) << "clean telemetry must not bump epochs";
+
+  core::WhatIfEngine::Options fit_options;
+  fit_options.num_threads = 1;
+  ASSERT_TRUE(s.FitWhatIfEngine(fit_options, sim::kHoursPerWeek).ok());
+  EXPECT_EQ(s.model_epoch(), 1u);
+  EXPECT_EQ(s.deploy_epoch(), 0u);
+  ASSERT_NE(s.whatif_engine(), nullptr);
+  EXPECT_EQ(s.fit_window().first, 0);
+  EXPECT_EQ(s.fit_window().second, sim::kHoursPerWeek);
+
+  auto round = s.RunYarnTuningRound(apps::YarnConfigTuner::Options(),
+                                    sim::kHoursPerWeek, 1);
+  ASSERT_TRUE(round.ok()) << round.status();
+  ASSERT_FALSE(round->applied.empty());
+  EXPECT_EQ(s.model_epoch(), 2u);
+  EXPECT_EQ(s.deploy_epoch(), 1u);
+
+  ASSERT_TRUE(s.RollbackLastDeployment().ok());
+  EXPECT_EQ(s.deploy_epoch(), 2u);
+
+  apps::KeaSession::GuardedRoundOptions guarded;
+  guarded.lookback_hours = sim::kHoursPerWeek;
+  guarded.rollout.wave_fractions = {0.5, 1.0};
+  guarded.rollout.observe_hours_per_wave = 6;
+  guarded.rollout.baseline_hours = 12;
+  auto gr = s.RunGuardedTuningRound(guarded);
+  ASSERT_TRUE(gr.ok()) << gr.status();
+  EXPECT_EQ(s.model_epoch(), 3u);
+  if (gr->rollout.outcome != core::GuardrailedRollout::Outcome::kNoChange) {
+    EXPECT_EQ(s.deploy_epoch(), 3u);
+  } else {
+    EXPECT_EQ(s.deploy_epoch(), 2u);
+  }
+}
+
+TEST(SessionEpochTest, EpochsSurviveCheckpointResume) {
+  const std::string dir =
+      ::testing::TempDir() + "/whatif_cache_epoch_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  apps::KeaSession::Config config;
+  config.machines = 150;
+  auto session = apps::KeaSession::Create(config);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->EnableDurability(dir).ok());
+  ASSERT_TRUE(session.value()->Simulate(sim::kHoursPerWeek).ok());
+  core::WhatIfEngine::Options fit_options;
+  fit_options.num_threads = 1;
+  ASSERT_TRUE(
+      session.value()->FitWhatIfEngine(fit_options, sim::kHoursPerWeek).ok());
+  const uint64_t model_epoch = session.value()->model_epoch();
+  const uint64_t deploy_epoch = session.value()->deploy_epoch();
+  EXPECT_EQ(model_epoch, 1u);
+
+  auto resumed = apps::KeaSession::Resume(dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed.value()->model_epoch(), model_epoch);
+  EXPECT_EQ(resumed.value()->deploy_epoch(), deploy_epoch);
+  EXPECT_EQ(resumed.value()->now(), sim::kHoursPerWeek);
+}
+
+// A model-health trip means the fitted models are no longer trusted: the
+// session must advance model_epoch so every cached what-if for the old
+// models stops matching.
+TEST(SessionEpochTest, ModelHealthTripBumpsModelEpoch) {
+  apps::KeaSession::Config config;
+  config.machines = 100;
+  auto session = apps::KeaSession::Create(config);
+  ASSERT_TRUE(session.ok());
+  apps::KeaSession& s = *session.value();
+
+  apps::KeaSession::SelfHealingConfig healing;
+  // Hair trigger: feed raw hourly aggregates (no seasonal priming week) into
+  // detectors that alarm on the first post-warmup wiggle.
+  healing.drift.seasonal_period_hours = 0;
+  healing.drift.page_hinkley.warmup = 3;
+  healing.drift.page_hinkley.delta = 0.0;
+  healing.drift.page_hinkley.lambda = 1e-6;
+  healing.drift.page_hinkley.min_stddev = 1e-9;
+  ASSERT_TRUE(s.EnableSelfHealing(healing).ok());
+
+  const uint64_t before = s.model_epoch();
+  ASSERT_TRUE(s.Simulate(96).ok());
+  ASSERT_NE(s.model_health(), nullptr);
+  ASSERT_TRUE(s.model_health()->in_safe_mode())
+      << "hair-trigger detector failed to trip";
+  EXPECT_GT(s.model_epoch(), before);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end invalidation through the service (manual-drain mode).
+
+TEST(ServiceInvalidationTest, MutatingRequestsInvalidateExactlyThatTenant) {
+  TuningService::Options options;
+  options.num_threads = 0;  // every request drained by RunPending
+  TuningService service(options);
+  auto id = service.AddTenant("solo", [] {
+    apps::KeaSession::Config config;
+    config.machines = 150;
+    return config;
+  }());
+  ASSERT_TRUE(id.ok());
+
+  auto drain = [&](auto ticket_or) {
+    EXPECT_TRUE(ticket_or.ok()) << ticket_or.status();
+    service.RunPending();
+    auto result = ticket_or.value().Wait();
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result;
+  };
+
+  drain(service.SubmitSimulate(id.value(), sim::kHoursPerWeek));
+  FitRequest fit;
+  fit.whatif.num_threads = 1;
+  drain(service.SubmitFit(id.value(), fit));
+
+  WhatIfRequest query;
+  query.candidates.push_back({});
+  {
+    auto session = service.tenant_session(id.value());
+    ASSERT_TRUE(session.ok());
+    for (const sim::Machine& m : session.value()->cluster().machines()) {
+      query.candidates[0][sim::MachineGroupKey{m.sc, m.sku}] =
+          static_cast<double>(m.max_containers);
+    }
+  }
+
+  ASSERT_NE(service.cache(), nullptr);
+  auto cold = drain(service.SubmitWhatIf(id.value(), query));
+  EXPECT_EQ(service.cache()->stats().hits, 0u);
+  EXPECT_EQ(service.cache()->stats().misses, 1u);
+
+  auto warm = drain(service.SubmitWhatIf(id.value(), query));
+  EXPECT_EQ(service.cache()->stats().hits, 1u);
+  ExpectBitIdentical(*cold.value(), *warm.value());
+  // The hit resolves with the very payload the cold miss inserted.
+  EXPECT_EQ(cold.value().get(), warm.value().get());
+
+  // A tuning round refits and deploys: both epochs move, the entry dies.
+  apps::KeaSession::GuardedRoundOptions guarded;
+  guarded.lookback_hours = sim::kHoursPerWeek;
+  guarded.tuner.whatif.num_threads = 1;
+  guarded.rollout.wave_fractions = {0.5, 1.0};
+  guarded.rollout.observe_hours_per_wave = 6;
+  guarded.rollout.baseline_hours = 12;
+  drain(service.SubmitTuningRound(id.value(), guarded));
+  EXPECT_GE(service.cache()->stats().invalidations, 1u);
+
+  auto recold = drain(service.SubmitWhatIf(id.value(), query));
+  EXPECT_EQ(service.cache()->stats().misses, 2u)
+      << "post-round query must miss: the models changed";
+  ASSERT_TRUE(recold.ok());
+}
+
+}  // namespace
+}  // namespace kea::serve
