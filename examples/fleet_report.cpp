@@ -77,6 +77,61 @@ int main() {
                 plan->achieved_mde * 100.0);
   }
 
+  // --- Flights panel: a concurrent fabric round ----------------------------
+  // Three overlapping A/B flights through the experiment fabric: two feature
+  // flights on disjoint SKUs run concurrently on rack-exclusive arms, and a
+  // capacity-knob flight rides along under the same blast-radius budget.
+  {
+    auto flight = [](const char* name, sim::SkuId sku) {
+      core::FlightRequest req;
+      req.name = name;
+      req.sku = sku;
+      req.treatment.feature_enabled = true;
+      req.machines_per_arm = 8;
+      req.window_hours = 6;
+      req.num_windows = 2;
+      // Small arms over short windows are noisy; give the report's flights
+      // headroom over the production-strict defaults so the panel shows
+      // conclusions, not noise trips.
+      req.guardrails.max_latency_ratio = 1.5;
+      req.guardrails.max_queue_p99_ratio = 5.0;
+      req.guardrails.queue_p99_floor_ms = 500.0;
+      return req;
+    };
+    core::FlightRequest capacity = flight("containers+4 Gen4.2", 5);
+    capacity.treatment = core::ConfigPatch();
+    capacity.treatment.max_containers = 20;
+    auto fabric = session.RunExperimentFabric(
+        {flight("feature Gen3.1", 3), flight("feature Gen3.2", 4), capacity},
+        apps::KeaSession::FabricRoundOptions());
+    if (fabric.ok()) {
+      std::printf(
+          "flights panel (%zu queued, %zu admitted, max %zu concurrent, "
+          "peak %zu machines):\n",
+          fabric->flights.size(), static_cast<size_t>(fabric->admitted),
+          static_cast<size_t>(fabric->max_concurrent),
+          static_cast<size_t>(fabric->peak_flighted_machines));
+      for (const auto& f : fabric->flights) {
+        std::printf("  %-22s hours %d-%d  racks %zu  ", f.name.c_str(),
+                    f.start_hour, f.end_hour, f.racks.size());
+        if (f.tripped) {
+          std::printf("TRIPPED window %d, rolled back (%zu machines restored)\n",
+                      f.tripped_window, f.machines_restored);
+        } else if (f.effect_ok) {
+          std::printf("data read %+.2f%% [%+.2f%%, %+.2f%%]%s\n",
+                      f.data_read.percent_change, f.data_read_ci_low,
+                      f.data_read_ci_high,
+                      f.deferrals > 0 ? "  (deferred at admission)" : "");
+        } else {
+          std::printf("no measurable effect window\n");
+        }
+      }
+      std::printf("\n");
+    } else {
+      std::fprintf(stderr, "%s\n", fabric.status().ToString().c_str());
+    }
+  }
+
   // --- Telemetry export -----------------------------------------------------
   telemetry::TelemetryStore sample;
   for (size_t i = 0; i < 5 && i < session.store().size(); ++i) {

@@ -35,6 +35,15 @@ StatusOr<ExperimentPlanner::Plan> ExperimentPlanner::PlanDataReadExperiment(
   if (summary.mean <= 0.0) {
     return Status::FailedPrecondition("degenerate data-read telemetry");
   }
+  // Zero-variance (constant) telemetry would make the power analysis demand a
+  // 0-machine arm / report an infinite MDE. There is nothing to detect an
+  // effect against; reject the plan outright instead of emitting a degenerate
+  // one.
+  if (!std::isfinite(summary.stddev) || summary.stddev <= 0.0) {
+    return Status::FailedPrecondition(
+        "data-read telemetry for the SKU has zero variance (constant "
+        "machine-days) — cannot size an experiment against zero noise");
+  }
 
   Plan plan;
   plan.sku = sku;
@@ -72,6 +81,47 @@ StatusOr<ExperimentPlanner::Plan> ExperimentPlanner::PlanDataReadExperiment(
                                                      plan.relative_stddev,
                                                      options_.power));
   return plan;
+}
+
+ExperimentPlanner::BatchPlan ExperimentPlanner::PlanDataReadBatch(
+    const telemetry::TelemetryStore& store, const sim::Cluster& cluster,
+    const std::vector<sim::SkuId>& skus) const {
+  BatchPlan batch;
+  for (sim::SkuId sku : skus) {
+    StatusOr<Plan> plan = PlanDataReadExperiment(store, cluster, sku);
+    if (!plan.ok()) {
+      batch.skipped.emplace_back(sku, plan.status().message());
+      continue;
+    }
+    if (!plan.value().feasible) {
+      batch.skipped.emplace_back(
+          sku, "not enough machines of the SKU for two arms");
+      continue;
+    }
+    batch.plans.push_back(std::move(plan).value());
+  }
+  return batch;
+}
+
+std::vector<core::FlightRequest> ExperimentPlanner::ToFlightRequests(
+    const BatchPlan& batch, const core::ConfigPatch& treatment,
+    int window_hours) {
+  std::vector<core::FlightRequest> requests;
+  if (window_hours <= 0) return requests;
+  requests.reserve(batch.plans.size());
+  for (const Plan& plan : batch.plans) {
+    core::FlightRequest req;
+    req.name = "data-read-sku" + std::to_string(plan.sku);
+    req.sku = plan.sku;
+    req.treatment = treatment;
+    req.machines_per_arm = plan.machines_per_arm;
+    req.window_hours = window_hours;
+    // The planned horizon in whole guardrail windows; a partial trailing
+    // window is dropped, never fabricated.
+    req.num_windows = std::max(1, (plan.days * 24) / window_hours);
+    requests.push_back(std::move(req));
+  }
+  return requests;
 }
 
 }  // namespace kea::apps

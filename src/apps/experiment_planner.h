@@ -1,7 +1,12 @@
 #ifndef KEA_APPS_EXPERIMENT_PLANNER_H_
 #define KEA_APPS_EXPERIMENT_PLANNER_H_
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
+#include "core/experiment_fabric.h"
 #include "core/power_analysis.h"
 #include "sim/cluster.h"
 #include "telemetry/store.h"
@@ -48,6 +53,30 @@ class ExperimentPlanner {
   StatusOr<Plan> PlanDataReadExperiment(const telemetry::TelemetryStore& store,
                                         const sim::Cluster& cluster,
                                         sim::SkuId sku) const;
+
+  /// A batch of plans destined for the concurrent experiment fabric: the
+  /// feasible plans, plus every SKU that could not be planned with the reason
+  /// (too little telemetry, zero variance, not enough machines). A SKU that
+  /// fails to plan never silently disappears from the queue.
+  struct BatchPlan {
+    std::vector<Plan> plans;
+    std::vector<std::pair<sim::SkuId, std::string>> skipped;
+  };
+
+  /// Plans one data-read experiment per SKU. Per-SKU failures are collected
+  /// in `skipped`, not returned as errors — a fleet-wide batch must survive
+  /// individual degenerate SKUs.
+  BatchPlan PlanDataReadBatch(const telemetry::TelemetryStore& store,
+                              const sim::Cluster& cluster,
+                              const std::vector<sim::SkuId>& skus) const;
+
+  /// Converts the feasible plans of a batch into fabric flight requests: one
+  /// request per plan, arms sized by the plan, horizon = plan.days sliced
+  /// into `window_hours` guardrail windows (partial trailing windows are
+  /// dropped, mirroring TimeSlicingSchedule).
+  static std::vector<core::FlightRequest> ToFlightRequests(
+      const BatchPlan& batch, const core::ConfigPatch& treatment,
+      int window_hours = 6);
 
  private:
   Options options_;

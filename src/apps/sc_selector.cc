@@ -61,19 +61,21 @@ StatusOr<ScSelector::Result> ScSelector::Run(sim::Cluster* cluster,
 
   sim::HourIndex end_hour = start_hour + options_.workdays * sim::kHoursPerDay;
 
-  // Both arms start from SC1; the treatment arm flights SC2.
+  // One flight per arm on disjoint machines: control pinned to SC1,
+  // treatment flighted to SC2. (Layering a treatment flight on top of a
+  // both-arms baseline flight is exactly the same-machine overlap
+  // FlightingService now rejects — the inner flight's End would restore a
+  // snapshot taken mid-flight of the outer one.)
   core::FlightingService flighting;
   core::ConfigPatch to_sc1;
   to_sc1.software_config = 0;
   core::ConfigPatch to_sc2;
   to_sc2.software_config = 1;
 
-  std::vector<int> all_machines = result.assignment.control;
-  all_machines.insert(all_machines.end(), result.assignment.treatment.begin(),
-                      result.assignment.treatment.end());
-  KEA_ASSIGN_OR_RETURN(core::FlightId baseline_flight,
-                       flighting.CreateFlight({"sc1_baseline", all_machines,
-                                               start_hour, end_hour, to_sc1}));
+  KEA_ASSIGN_OR_RETURN(
+      core::FlightId baseline_flight,
+      flighting.CreateFlight({"sc1_baseline", result.assignment.control,
+                              start_hour, end_hour, to_sc1}));
   KEA_ASSIGN_OR_RETURN(
       core::FlightId treatment_flight,
       flighting.CreateFlight({"sc2_treatment", result.assignment.treatment,

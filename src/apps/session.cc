@@ -554,6 +554,7 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
   meta.PutInt(last_whatif_options_.num_threads);
   meta.PutU64(model_epoch_);
   meta.PutU64(deploy_epoch_);
+  meta.PutI64(fabric_count_);
   snapshot.AddSection("meta", meta.Release());
 
   StateWriter config;
@@ -647,6 +648,10 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   if (!meta.AtEnd()) {
     KEA_RETURN_IF_ERROR(meta.GetU64(&session->model_epoch_));
     KEA_RETURN_IF_ERROR(meta.GetU64(&session->deploy_epoch_));
+  }
+  // Pre-fabric checkpoints end here; their sessions have run zero fabrics.
+  if (!meta.AtEnd()) {
+    KEA_RETURN_IF_ERROR(meta.GetI64(&session->fabric_count_));
   }
   if (!meta.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in checkpoint meta section");
@@ -1165,6 +1170,171 @@ StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRoundDurable(
     KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
   }
   return round;
+}
+
+namespace {
+
+obs::Counter* FabricRunsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter("session.fabric_runs");
+  return c;
+}
+
+/// Wires the session's fleet-fault injector into the fabric's per-arm
+/// down-hours attribution unless the caller supplied an accessor.
+void WireDownHours(const sim::FleetFaultInjector* faults,
+                   core::ExperimentFabric::Options* options) {
+  if (options->down_hours || faults == nullptr) return;
+  options->down_hours = [faults](const std::vector<int>& machine_ids) {
+    return faults->DownHours(machine_ids);
+  };
+}
+
+}  // namespace
+
+StatusOr<core::ExperimentFabric::Report> KeaSession::RunExperimentFabric(
+    const std::vector<core::FlightRequest>& requests,
+    const FabricRoundOptions& options) {
+  if (now_ == 0) {
+    return Status::FailedPrecondition("simulate telemetry before flighting");
+  }
+  if (ledger_ != nullptr) return RunExperimentFabricDurable(requests, options);
+  KEA_TRACE_SPAN("session.fabric", {{"kind", "plain"},
+                                    {"requests",
+                                     std::to_string(requests.size())}});
+  FabricRunsCounter()->Increment();
+  core::ExperimentFabric::Options fabric_options = options.fabric;
+  WireDownHours(fleet_faults_.get(), &fabric_options);
+  core::ExperimentFabric fabric(fabric_options);
+  StatusOr<core::ExperimentFabric::Report> report = fabric.Run(
+      requests, &cluster_, &store_, now_,
+      [this](int hours) { return Simulate(hours); }, nullptr);
+  if (report.ok() && report.value().admitted > 0) {
+    // Flights patched and restored machine config; anything cached against
+    // the previous deploy epoch saw a fleet that no longer exists.
+    ++deploy_epoch_;
+  }
+  return report;
+}
+
+StatusOr<core::ExperimentFabric::Report> KeaSession::RunExperimentFabricDurable(
+    const std::vector<core::FlightRequest>& requests,
+    const FabricRoundOptions& options) {
+  const int64_t fabric_number = fabric_count_;
+  const std::string fabric_key = "fab/" + std::to_string(fabric_number);
+  KEA_TRACE_SPAN("session.fabric", {{"kind", "durable"},
+                                    {"fabric", std::to_string(fabric_number)}});
+  FabricRunsCounter()->Increment();
+  sim::HourIndex start_hour = 0;
+
+  // --- FABRIC_STARTED: seal the start hour and queue size before any flight
+  // is touched. On resume the journaled start hour is the authority — the
+  // clock has advanced into the run.
+  {
+    const core::DeploymentLedger::Event* event =
+        ledger_->Find(fabric_key + "/started");
+    std::string payload;
+    if (event != nullptr && event->seq < durable_seq_) {
+      StepReplayedCounter()->Increment();
+      payload = event->payload;
+    } else {
+      KEA_RETURN_IF_ERROR(CrashPoints::Check("session.fabric_started.pre"));
+      uint64_t seq = 0;
+      if (event != nullptr) {
+        StepRedrivenCounter()->Increment();
+        payload = event->payload;
+        seq = event->seq;
+      } else {
+        StepFreshCounter()->Increment();
+        StateWriter w;
+        w.PutI64(now_);
+        w.PutU64(requests.size());
+        payload = w.Release();
+        const core::DeploymentLedger::Event* appended = nullptr;
+        KEA_ASSIGN_OR_RETURN(
+            appended,
+            ledger_->Append(core::DeploymentLedger::EventType::kFabricStarted,
+                            fabric_key + "/started", payload));
+        seq = appended->seq;
+      }
+      KEA_RETURN_IF_ERROR(
+          CrashPoints::Check("session.fabric_started.post_record"));
+      KEA_RETURN_IF_ERROR(WriteCheckpoint(seq + 1));
+    }
+    StateReader r(payload);
+    int64_t start = 0;
+    uint64_t queue_size = 0;
+    KEA_RETURN_IF_ERROR(r.GetI64(&start));
+    KEA_RETURN_IF_ERROR(r.GetU64(&queue_size));
+    if (queue_size != requests.size()) {
+      return Status::FailedPrecondition(
+          "resumed fabric run " + std::to_string(fabric_number) + " had " +
+          std::to_string(queue_size) + " requests, got " +
+          std::to_string(requests.size()) +
+          " — resume must pass the same queue");
+    }
+    start_hour = static_cast<sim::HourIndex>(start);
+  }
+
+  // --- Flights: the fabric drives itself through the ledger under
+  // "fab<n>/..." keys, checkpointing after every journaled step. Simulate()
+  // must not checkpoint concurrently (same contract as guarded rounds).
+  core::ExperimentFabric::Options fabric_options = options.fabric;
+  WireDownHours(fleet_faults_.get(), &fabric_options);
+  core::ExperimentFabric fabric(fabric_options);
+  core::ExperimentFabric::JournalContext context;
+  context.ledger = ledger_.get();
+  context.durable_seq = durable_seq_;
+  context.round = static_cast<int>(fabric_number);
+  context.checkpoint = [this](uint64_t covered_seq) {
+    return WriteCheckpoint(covered_seq);
+  };
+  in_journaled_round_ = true;
+  StatusOr<core::ExperimentFabric::Report> executed = fabric.Run(
+      requests, &cluster_, &store_, start_hour,
+      [this](int hours) { return Simulate(hours); }, &context);
+  in_journaled_round_ = false;
+  if (!executed.ok()) return executed.status();
+  core::ExperimentFabric::Report report = std::move(executed).value();
+
+  // --- FABRIC_FINISHED: seal the outcome so the next run gets new keys.
+  {
+    const core::DeploymentLedger::Event* event =
+        ledger_->Find(fabric_key + "/finished");
+    if (event == nullptr || event->seq >= durable_seq_) {
+      KEA_RETURN_IF_ERROR(CrashPoints::Check("session.fabric_finished.pre"));
+      uint64_t seq = 0;
+      if (event != nullptr) {
+        StepRedrivenCounter()->Increment();
+        seq = event->seq;
+      } else {
+        StepFreshCounter()->Increment();
+        StateWriter outcome;
+        outcome.PutU64(report.admitted);
+        outcome.PutU64(report.rejected);
+        outcome.PutU64(report.trips);
+        outcome.PutU64(report.max_concurrent);
+        outcome.PutU64(report.peak_flighted_machines);
+        outcome.PutI64(report.end_hour);
+        const core::DeploymentLedger::Event* appended = nullptr;
+        KEA_ASSIGN_OR_RETURN(
+            appended,
+            ledger_->Append(core::DeploymentLedger::EventType::kFabricFinished,
+                            fabric_key + "/finished", outcome.Release()));
+        seq = appended->seq;
+      }
+      KEA_RETURN_IF_ERROR(
+          CrashPoints::Check("session.fabric_finished.post_record"));
+      // Bookkeeping before the checkpoint so the run's completion is part of
+      // the durable state the checkpoint claims to cover.
+      fabric_count_ = fabric_number + 1;
+      KEA_RETURN_IF_ERROR(WriteCheckpoint(seq + 1));
+    } else {
+      StepReplayedCounter()->Increment();
+      fabric_count_ = fabric_number + 1;
+    }
+  }
+  if (report.admitted > 0) ++deploy_epoch_;
+  return report;
 }
 
 StatusOr<core::ValidationReport> KeaSession::ValidateModels(

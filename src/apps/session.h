@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/deployment.h"
 #include "core/deployment_ledger.h"
+#include "core/experiment_fabric.h"
 #include "core/guardrailed_rollout.h"
 #include "core/model_health.h"
 #include "core/validation.h"
@@ -228,6 +229,23 @@ class KeaSession {
   /// reported in GuardedRound::rollout.outcome, not as an error status.
   StatusOr<GuardedRound> RunGuardedTuningRound(const GuardedRoundOptions& options);
 
+  struct FabricRoundOptions {
+    core::ExperimentFabric::Options fabric;
+  };
+
+  /// Runs a queue of planned A/B flights concurrently through the
+  /// ExperimentFabric: rack-exclusive non-interfering partitions, typed
+  /// interference serialization, the global blast-radius budget, per-flight
+  /// guardrail trips with exact rollback. With durability enabled every
+  /// fabric transition is journaled under "fab/<n>" + "fab<n>/..." keys and a
+  /// crashed run is completed bit-identically by calling this again with the
+  /// same requests. With fleet chaos enabled, each flight's per-arm
+  /// down-hours are attributed in its conclusion (unless options.fabric
+  /// already carries a down_hours accessor).
+  StatusOr<core::ExperimentFabric::Report> RunExperimentFabric(
+      const std::vector<core::FlightRequest>& requests,
+      const FabricRoundOptions& options);
+
   /// Validates the last tuning round's models against telemetry collected
   /// *after* the deployment. FailedPrecondition when no round has run or no
   /// post-deployment telemetry exists.
@@ -263,6 +281,13 @@ class KeaSession {
   /// ROUND_FINISHED.
   StatusOr<GuardedRound> RunGuardedTuningRoundDurable(
       const GuardedRoundOptions& options);
+
+  /// RunExperimentFabric body when durability is on: queue sealed at
+  /// FABRIC_STARTED, flights driven through the fabric's journaled steps,
+  /// outcome sealed at FABRIC_FINISHED.
+  StatusOr<core::ExperimentFabric::Report> RunExperimentFabricDurable(
+      const std::vector<core::FlightRequest>& requests,
+      const FabricRoundOptions& options);
 
   /// Round body while the ModelHealth breaker is open: hold config, refuse
   /// deployment, attempt the scheduled refit when due.
@@ -313,6 +338,8 @@ class KeaSession {
   uint64_t durable_seq_ = 0;
   /// Guarded rounds completed (numbers the ledger's round keys).
   int64_t round_count_ = 0;
+  /// Fabric runs completed (numbers the ledger's fabric keys).
+  int64_t fabric_count_ = 0;
   /// True while a journaled round drives Simulate() via its observation
   /// windows — those checkpoints are per-step, not per-Simulate.
   bool in_journaled_round_ = false;

@@ -25,6 +25,22 @@ const char* DeploymentLedger::EventTypeToString(EventType type) {
       return "APPLY";
     case EventType::kModuleRollback:
       return "MODULE_ROLLBACK";
+    case EventType::kFabricStarted:
+      return "FABRIC_STARTED";
+    case EventType::kFlightAdmitted:
+      return "FLIGHT_ADMITTED";
+    case EventType::kFlightStarted:
+      return "FLIGHT_STARTED";
+    case EventType::kFabricAdvanced:
+      return "FABRIC_ADVANCED";
+    case EventType::kFlightVerdict:
+      return "FLIGHT_VERDICT";
+    case EventType::kFlightRollback:
+      return "FLIGHT_ROLLBACK";
+    case EventType::kFlightConcluded:
+      return "FLIGHT_CONCLUDED";
+    case EventType::kFabricFinished:
+      return "FABRIC_FINISHED";
   }
   return "UNKNOWN";
 }
@@ -39,7 +55,7 @@ StatusOr<std::unique_ptr<DeploymentLedger>> DeploymentLedger::Open(
     int type = 0;
     Event event;
     KEA_RETURN_IF_ERROR(r.GetInt(&type));
-    if (type < 0 || type > static_cast<int>(EventType::kModuleRollback)) {
+    if (type < 0 || type > static_cast<int>(EventType::kFabricFinished)) {
       return Status::InvalidArgument("ledger record with unknown event type " +
                                      std::to_string(type));
     }
@@ -102,6 +118,26 @@ std::string DeploymentLedger::AppliedChangesCsv() const {
         }
         (void)writer.AppendRow({str(static_cast<int64_t>(event.seq)), event.key,
                                 "wave_machine", "-1", "-1", str(machine),
+                                str(old_max), str(new_max)});
+      }
+    } else if (event.type == EventType::kFlightStarted) {
+      // Experiment-fabric patch application: payload is the encoded config
+      // patch followed by per-machine priors (see experiment_fabric.cc).
+      StateReader r(event.payload);
+      std::string patch_blob;
+      uint64_t count = 0;
+      if (!r.GetString(&patch_blob).ok() || !r.GetU64(&count).ok()) continue;
+      for (uint64_t i = 0; i < count; ++i) {
+        int machine = 0, old_max = 0, new_max = 0, sc = 0;
+        double power = 0.0;
+        bool feature = false;
+        if (!r.GetInt(&machine).ok() || !r.GetInt(&old_max).ok() ||
+            !r.GetInt(&new_max).ok() || !r.GetDouble(&power).ok() ||
+            !r.GetBool(&feature).ok() || !r.GetInt(&sc).ok()) {
+          break;
+        }
+        (void)writer.AppendRow({str(static_cast<int64_t>(event.seq)), event.key,
+                                "flight_machine", str(sc), "-1", str(machine),
                                 str(old_max), str(new_max)});
       }
     } else if (event.type == EventType::kApply) {

@@ -37,6 +37,17 @@ class DeploymentLedger {
     kRoundFinished = 6,  ///< Round closed; payload carries the outcome.
     kApply = 7,          ///< DeploymentModule::ApplyConservatively batch.
     kModuleRollback = 8, ///< DeploymentModule::RollbackLast.
+    // Experiment fabric transitions (keys "fab<round>/..."). Every concurrent
+    // A/B flight journals its lifecycle here with the same write-ahead +
+    // idempotency discipline as rollout waves.
+    kFabricStarted = 9,    ///< Fabric run opened; payload carries the queue.
+    kFlightAdmitted = 10,  ///< Partition chosen: racks + both arms.
+    kFlightStarted = 11,   ///< Patch applied; payload carries per-machine priors.
+    kFabricAdvanced = 12,  ///< Clock advanced to the next slice boundary.
+    kFlightVerdict = 13,   ///< Guardrail evaluation for one flight window.
+    kFlightRollback = 14,  ///< Guardrail trip: one flight's priors restored.
+    kFlightConcluded = 15, ///< Flight done; payload carries the conclusion.
+    kFabricFinished = 16,  ///< Fabric run closed; payload carries the report.
   };
 
   struct Event {

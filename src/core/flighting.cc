@@ -1,6 +1,46 @@
 #include "core/flighting.h"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/snapshot.h"
+
 namespace kea::core {
+
+std::string EncodeConfigPatch(const ConfigPatch& patch) {
+  StateWriter w;
+  w.PutBool(patch.max_containers.has_value());
+  w.PutInt(patch.max_containers.value_or(0));
+  w.PutBool(patch.power_cap_fraction.has_value());
+  w.PutDouble(patch.power_cap_fraction.value_or(0.0));
+  w.PutBool(patch.feature_enabled.has_value());
+  w.PutBool(patch.feature_enabled.value_or(false));
+  w.PutBool(patch.software_config.has_value());
+  w.PutInt(patch.software_config.value_or(0));
+  return w.Release();
+}
+
+Status DecodeConfigPatch(const std::string& blob, ConfigPatch* patch) {
+  StateReader r(blob);
+  bool has = false;
+  int i = 0;
+  double d = 0.0;
+  bool b = false;
+  *patch = ConfigPatch{};
+  KEA_RETURN_IF_ERROR(r.GetBool(&has));
+  KEA_RETURN_IF_ERROR(r.GetInt(&i));
+  if (has) patch->max_containers = i;
+  KEA_RETURN_IF_ERROR(r.GetBool(&has));
+  KEA_RETURN_IF_ERROR(r.GetDouble(&d));
+  if (has) patch->power_cap_fraction = d;
+  KEA_RETURN_IF_ERROR(r.GetBool(&has));
+  KEA_RETURN_IF_ERROR(r.GetBool(&b));
+  if (has) patch->feature_enabled = b;
+  KEA_RETURN_IF_ERROR(r.GetBool(&has));
+  KEA_RETURN_IF_ERROR(r.GetInt(&i));
+  if (has) patch->software_config = i;
+  return Status::OK();
+}
 
 Status ApplyPatch(const ConfigPatch& patch, const std::vector<int>& machine_ids,
                   sim::Cluster* cluster) {
@@ -40,6 +80,29 @@ StatusOr<FlightId> FlightingService::CreateFlight(FlightSpec spec) {
   }
   if (spec.end_hour <= spec.start_hour) {
     return Status::InvalidArgument("flight window must have positive length");
+  }
+  // A machine may carry at most one flight at a time: two patches racing on
+  // the same machine in overlapping windows would make both arms' telemetry
+  // unattributable (and End() would restore a snapshot taken mid-flight of
+  // the other). Registration is rejected, not silently allowed.
+  std::unordered_set<int> requested(spec.machine_ids.begin(),
+                                    spec.machine_ids.end());
+  for (size_t other = 0; other < specs_.size(); ++other) {
+    const FlightSpec& existing = specs_[other];
+    if (spec.start_hour >= existing.end_hour ||
+        existing.start_hour >= spec.end_hour) {
+      continue;  // Disjoint windows never conflict.
+    }
+    for (int mid : existing.machine_ids) {
+      if (requested.count(mid) > 0) {
+        return Status::FailedPrecondition(
+            "machine " + std::to_string(mid) + " is already in flight '" +
+            existing.name + "' (" + std::to_string(existing.start_hour) + "-" +
+            std::to_string(existing.end_hour) + ") overlapping hours " +
+            std::to_string(spec.start_hour) + "-" +
+            std::to_string(spec.end_hour));
+      }
+    }
   }
   FlightId id = static_cast<FlightId>(specs_.size());
   specs_.push_back(std::move(spec));

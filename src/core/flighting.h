@@ -46,7 +46,9 @@ using FlightId = int;
 class FlightingService {
  public:
   /// Registers a flight. Returns InvalidArgument for an empty patch, empty
-  /// machine list, or a non-positive window.
+  /// machine list, or a non-positive window; FailedPrecondition when any
+  /// target machine already belongs to a registered flight whose window
+  /// overlaps this one — a machine is never in two arms at once.
   StatusOr<FlightId> CreateFlight(FlightSpec spec);
 
   /// Applies the flight's patch to the cluster, snapshotting prior values.
@@ -75,6 +77,10 @@ class FlightingService {
 /// deployment module).
 Status ApplyPatch(const ConfigPatch& patch, const std::vector<int>& machine_ids,
                   sim::Cluster* cluster);
+
+/// Bit-exact codec for ConfigPatch (FLIGHT_STARTED ledger payloads).
+std::string EncodeConfigPatch(const ConfigPatch& patch);
+Status DecodeConfigPatch(const std::string& blob, ConfigPatch* patch);
 
 }  // namespace kea::core
 

@@ -58,6 +58,7 @@ void FleetFaultInjector::EnsureSized() {
     down_until_.assign(machines.size(), 0);
     lost_.assign(machines.size(), 0);
     speed_.assign(machines.size(), 1.0);
+    down_hours_.assign(machines.size(), 0);
   }
   int max_rack = -1;
   for (const Machine& m : machines) max_rack = std::max(max_rack, m.rack);
@@ -124,7 +125,16 @@ void FleetFaultInjector::BeginHour(HourIndex hour) {
 
     current_hour_ = h;
     if (!profile_.empty()) {
-      counters_.machine_down_hours += machines_down_now();
+      // One pass feeds both the fleet-wide counter and the per-machine
+      // attribution (the fabric charges each flight arm its own down-hours).
+      size_t down = 0;
+      for (size_t i = 0; i < down_until_.size(); ++i) {
+        if (!Health(i).up) {
+          ++down;
+          ++down_hours_[i];
+        }
+      }
+      counters_.machine_down_hours += down;
     }
   }
 }
@@ -145,6 +155,14 @@ size_t FleetFaultInjector::machines_down_now() const {
     if (!Health(i).up) ++down;
   }
   return down;
+}
+
+uint64_t FleetFaultInjector::DownHours(const std::vector<int>& machine_ids) const {
+  uint64_t total = 0;
+  for (int id : machine_ids) {
+    if (id >= 0) total += down_hours(static_cast<size_t>(id));
+  }
+  return total;
 }
 
 size_t FleetFaultInjector::machines_degraded_now() const {
@@ -172,6 +190,8 @@ std::string FleetFaultInjector::SerializeState() const {
   w.PutU64(counters_.recoveries);
   w.PutU64(counters_.permanent_losses);
   w.PutU64(counters_.machine_down_hours);
+  w.PutU64(down_hours_.size());
+  for (uint64_t d : down_hours_) w.PutU64(d);
   return w.Release();
 }
 
@@ -211,6 +231,16 @@ Status FleetFaultInjector::RestoreState(const std::string& blob) {
   KEA_RETURN_IF_ERROR(r.GetU64(&c.recoveries));
   KEA_RETURN_IF_ERROR(r.GetU64(&c.permanent_losses));
   KEA_RETURN_IF_ERROR(r.GetU64(&c.machine_down_hours));
+  // Per-machine down-hours: absent in blobs written before the attribution
+  // field existed — restore those as all-zero rather than rejecting them.
+  std::vector<uint64_t> down_hours;
+  if (!r.AtEnd()) {
+    KEA_RETURN_IF_ERROR(r.GetU64(&n));
+    down_hours.resize(n);
+    for (uint64_t& d : down_hours) KEA_RETURN_IF_ERROR(r.GetU64(&d));
+  } else {
+    down_hours.assign(down.size(), 0);
+  }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in fleet-fault state blob");
   }
@@ -219,6 +249,7 @@ Status FleetFaultInjector::RestoreState(const std::string& blob) {
   rack_down_until_ = std::move(rack_down);
   lost_ = std::move(lost);
   speed_ = std::move(speed);
+  down_hours_ = std::move(down_hours);
   counters_ = c;
   return Status::OK();
 }

@@ -108,6 +108,15 @@ class FleetFaultInjector {
   size_t machines_down_now() const;
   size_t machines_degraded_now() const;
 
+  /// Cumulative down-hours of machine index `i` (0 before its first fault).
+  uint64_t down_hours(size_t i) const {
+    return i < down_hours_.size() ? down_hours_[i] : 0;
+  }
+  /// Summed cumulative down-hours over a machine set — the per-arm fault
+  /// attribution the experiment fabric records at flight start/end (machine
+  /// id == machine index in cluster->machines()).
+  uint64_t DownHours(const std::vector<int>& machine_ids) const;
+
   const Counters& counters() const { return counters_; }
   const FleetFaultProfile& profile() const { return profile_; }
 
@@ -130,6 +139,7 @@ class FleetFaultInjector {
   std::vector<HourIndex> rack_down_until_;  ///< Rack outage clocks, by rack id.
   std::vector<uint8_t> lost_;               ///< Permanent-loss flags.
   std::vector<double> speed_;               ///< Throughput multipliers.
+  std::vector<uint64_t> down_hours_;        ///< Cumulative down-hours, by machine.
 };
 
 }  // namespace kea::sim

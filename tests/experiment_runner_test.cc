@@ -95,6 +95,48 @@ TEST(TimeSlicingRunnerTest, HoursSplitMatchesSchedule) {
   EXPECT_EQ(result->treatment_hours, 25);
 }
 
+TEST(TimeSlicingRunnerTest, PartialFinalWindowIsDropped) {
+  // 32 hours at a 5-hour window: six whole slices end at hour 30; the
+  // trailing 2 hours are never fabricated into a short window.
+  RunnerFixture fx(200);
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto machines = fx.MachinesOfSku(3, 20);
+
+  auto result = RunTimeSlicingExperiment(&fx.cluster, fx.engine.get(), &fx.store,
+                                         machines, patch, 0, 32, 5);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->schedule.size(), 6u);
+  EXPECT_EQ(result->schedule.back().end_hour, 30);
+  for (const TimeSlice& slice : result->schedule) {
+    EXPECT_EQ(slice.end_hour - slice.start_hour, 5);
+  }
+  EXPECT_EQ(result->control_hours, 15);
+  EXPECT_EQ(result->treatment_hours, 15);
+}
+
+TEST(TimeSlicingRunnerTest, HorizonShorterThanTwoWindowsIsRejected) {
+  RunnerFixture fx(200);
+  ConfigPatch patch;
+  patch.feature_enabled = true;
+  auto machines = fx.MachinesOfSku(3, 20);
+
+  // 8 hours can hold only one 5-hour window — a single-slice "experiment"
+  // has no alternation and must be rejected, not silently degenerate.
+  auto degenerate = RunTimeSlicingExperiment(
+      &fx.cluster, fx.engine.get(), &fx.store, machines, patch, 0, 8, 5);
+  EXPECT_EQ(degenerate.status().code(), StatusCode::kInvalidArgument);
+
+  // Exactly two windows is the smallest legal schedule: one slice per arm.
+  auto minimal = RunTimeSlicingExperiment(
+      &fx.cluster, fx.engine.get(), &fx.store, machines, patch, 0, 10, 5);
+  ASSERT_TRUE(minimal.ok()) << minimal.status();
+  ASSERT_EQ(minimal->schedule.size(), 2u);
+  EXPECT_NE(minimal->schedule[0].treatment, minimal->schedule[1].treatment);
+  EXPECT_EQ(minimal->control_hours, 5);
+  EXPECT_EQ(minimal->treatment_hours, 5);
+}
+
 TEST(TimeSlicingRunnerTest, NullEffectWhenPatchMatchesBaseline) {
   RunnerFixture fx;
   // "Treatment" that sets the power cap to a level that never binds: the
