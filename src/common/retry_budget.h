@@ -1,0 +1,80 @@
+#ifndef KEA_COMMON_RETRY_BUDGET_H_
+#define KEA_COMMON_RETRY_BUDGET_H_
+
+#include <cstdint>
+
+#include "common/retry.h"
+
+namespace kea {
+
+/// Token-bucket retry budget: the server-side half of retry amplification
+/// control. RetryPolicy (client side) spaces retries out with deterministic
+/// jittered backoff; RetryBudget (server side) bounds how many retried
+/// submissions a single key (a serving tenant) may spend per unit of virtual
+/// time. When a client ignores its backoff hints and hammers, its retries
+/// drain the bucket and are then rejected instantly — before touching the
+/// queue — so a retry storm cannot amplify overload into collapse.
+///
+/// Deterministic: the bucket refills lazily as a pure function of elapsed
+/// virtual milliseconds (see common/virtual_clock.h), so a scripted schedule
+/// of (now_ms, consume) calls replays bit-identically.
+class RetryBudget {
+ public:
+  struct Options {
+    /// Bucket capacity in tokens; also the initial fill. One retried
+    /// submission costs one token.
+    double capacity = 8.0;
+    /// Tokens restored per virtual millisecond (capped at capacity).
+    double refill_per_ms = 0.01;
+  };
+
+  struct Stats {
+    int64_t consumed = 0;   ///< Retries admitted against the budget.
+    int64_t exhausted = 0;  ///< Retries rejected because the bucket was dry.
+  };
+
+  RetryBudget() : RetryBudget(Options()) {}
+  explicit RetryBudget(const Options& options)
+      : options_(options), tokens_(options.capacity) {}
+
+  /// Spends one token if available. `now_ms` must be monotonic across calls
+  /// (virtual time). Returns false — reject the retry — when the bucket is
+  /// dry.
+  bool TryConsume(int64_t now_ms) {
+    Refill(now_ms);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      ++stats_.consumed;
+      return true;
+    }
+    ++stats_.exhausted;
+    return false;
+  }
+
+  double available(int64_t now_ms) {
+    Refill(now_ms);
+    return tokens_;
+  }
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void Refill(int64_t now_ms) {
+    if (now_ms > last_refill_ms_) {
+      tokens_ += static_cast<double>(now_ms - last_refill_ms_) *
+                 options_.refill_per_ms;
+      if (tokens_ > options_.capacity) tokens_ = options_.capacity;
+      last_refill_ms_ = now_ms;
+    }
+  }
+
+  Options options_;
+  double tokens_;
+  int64_t last_refill_ms_ = 0;
+  Stats stats_;
+};
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_RETRY_BUDGET_H_

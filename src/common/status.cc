@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnbounded = 10,   ///< Optimization problem is unbounded.
   kUnavailable = 11, ///< Transient failure; retrying may succeed.
   kAborted = 12,     ///< Operation was cut short (e.g. injected crash).
+  kDeadlineExceeded = 13,  ///< The request's deadline passed before completion.
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT"...).
@@ -77,6 +78,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,51 @@
+#ifndef KEA_COMMON_VIRTUAL_CLOCK_H_
+#define KEA_COMMON_VIRTUAL_CLOCK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace kea {
+
+/// Deterministic service clock in virtual milliseconds. Nothing in KEA reads
+/// a wall clock on a decision path: simulation time is sim::HourIndex, and
+/// the serving layer's deadlines/overload control run against this clock,
+/// advanced explicitly by whoever drives the service (a test's scripted
+/// arrival schedule, a bench's open-loop generator, or — in a deployment —
+/// a ticker thread). Because every advance is an explicit, ordered event,
+/// any decision derived from `now_ms()` replays bit-identically.
+///
+/// Monotonic by construction: AdvanceTo clamps backwards motion to a no-op,
+/// so concurrent readers only ever see time move forward.
+class VirtualClock {
+ public:
+  explicit VirtualClock(int64_t start_ms = 0) : now_ms_(start_ms) {}
+
+  int64_t now_ms() const { return now_ms_.load(std::memory_order_acquire); }
+
+  /// Moves the clock to `ms` (no-op when `ms` is in the past). Returns the
+  /// clock's value after the call.
+  int64_t AdvanceTo(int64_t ms) {
+    int64_t cur = now_ms_.load(std::memory_order_relaxed);
+    while (ms > cur &&
+           !now_ms_.compare_exchange_weak(cur, ms, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    }
+    return std::max(cur, ms);
+  }
+
+  int64_t AdvanceBy(int64_t delta_ms) {
+    return now_ms_.fetch_add(delta_ms, std::memory_order_acq_rel) + delta_ms;
+  }
+
+ private:
+  std::atomic<int64_t> now_ms_;
+};
+
+/// Sentinel for "no deadline": requests carrying it are never shed for
+/// staleness and take the exact pre-overload-control dispatch path.
+inline constexpr int64_t kNoDeadlineMs = INT64_MAX;
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_VIRTUAL_CLOCK_H_

@@ -1,0 +1,206 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kea::serve {
+
+// ---------------------------------------------------------------------------
+// Retry hints
+
+Status WithRetryAfter(Status status, int64_t retry_after_ms) {
+  if (status.ok()) return status;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " [retry_after_ms=%lld]",
+                static_cast<long long>(retry_after_ms));
+  return Status(status.code(), status.message() + buf);
+}
+
+std::optional<int64_t> RetryAfterMs(const Status& status) {
+  const std::string& m = status.message();
+  const std::string tag = "[retry_after_ms=";
+  size_t pos = m.rfind(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += tag.size();
+  size_t end = m.find(']', pos);
+  if (end == std::string::npos || end == pos) return std::nullopt;
+  long long value = 0;
+  for (size_t i = pos; i < end; ++i) {
+    if (m[i] < '0' || m[i] > '9') return std::nullopt;
+    value = value * 10 + (m[i] - '0');
+  }
+  return static_cast<int64_t>(value);
+}
+
+// ---------------------------------------------------------------------------
+// CodelController
+
+int64_t CodelController::ShedSpacing() const {
+  // interval / sqrt(count): successive sheds in one episode accelerate, the
+  // classic CoDel control law.
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(options_.interval_ms) /
+                              std::sqrt(static_cast<double>(
+                                  std::max(shed_count_, 1)))));
+}
+
+bool CodelController::OnDispatch(int64_t sojourn_ms, int64_t now_ms) {
+  if (sojourn_ms < options_.target_ms) {
+    // The queue proved it can drain: leave shedding, restart the watch.
+    first_above_ms_ = -1;
+    shedding_ = false;
+    shed_count_ = 0;
+    return false;
+  }
+  if (first_above_ms_ < 0) {
+    first_above_ms_ = now_ms + options_.interval_ms;
+    return false;
+  }
+  if (shedding_) {
+    if (now_ms >= shed_next_ms_) {
+      ++shed_count_;
+      ++total_sheds_;
+      shed_next_ms_ = now_ms + ShedSpacing();
+      return true;
+    }
+    return false;
+  }
+  if (now_ms >= first_above_ms_) {
+    // Sojourn stayed above target for a full interval: standing backlog.
+    shedding_ = true;
+    shed_count_ = 1;
+    ++total_sheds_;
+    shed_next_ms_ = now_ms + ShedSpacing();
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kHealthy:
+      return "HEALTHY";
+    case State::kTripped:
+      return "TRIPPED";
+    case State::kProbation:
+      return "PROBATION";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options)
+    : options_(options),
+      ring_(static_cast<size_t>(std::max(options.window, 1)), true),
+      next_cooldown_ms_(options.cooldown_ms) {}
+
+double CircuitBreaker::FailureFraction() const {
+  if (ring_size_ == 0) return 0.0;
+  int failures = 0;
+  for (int i = 0; i < ring_size_; ++i) {
+    if (!ring_[static_cast<size_t>(i)]) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(ring_size_);
+}
+
+void CircuitBreaker::Trip(int64_t now_ms) {
+  state_ = State::kTripped;
+  open_until_ms_ = now_ms + next_cooldown_ms_;
+  next_cooldown_ms_ =
+      std::min(next_cooldown_ms_ * 2, options_.max_cooldown_ms);
+  ++trips_;
+  // A fresh window: post-trip evidence only.
+  ring_size_ = 0;
+  ring_next_ = 0;
+}
+
+bool CircuitBreaker::AllowRequest(int64_t now_ms) {
+  switch (state_) {
+    case State::kHealthy:
+      return true;
+    case State::kTripped:
+      if (now_ms < open_until_ms_) {
+        ++fast_fails_;
+        return false;
+      }
+      // Cooldown over: admit a limited probe set.
+      state_ = State::kProbation;
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kProbation:
+      if (probes_issued_ < options_.probation_probes) {
+        ++probes_issued_;
+        return true;
+      }
+      ++fast_fails_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordOutcome(bool ok, int64_t now_ms) {
+  if (state_ == State::kProbation) {
+    if (!ok) {
+      Trip(now_ms);
+      return;
+    }
+    ++probe_successes_;
+    if (probe_successes_ >= options_.probation_probes) {
+      state_ = State::kHealthy;
+      next_cooldown_ms_ = options_.cooldown_ms;  // clean bill: reset backoff
+      ring_size_ = 0;
+      ring_next_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kTripped) return;  // outcomes of pre-trip stragglers
+  ring_[static_cast<size_t>(ring_next_)] = ok;
+  ring_next_ = (ring_next_ + 1) % static_cast<int>(ring_.size());
+  if (ring_size_ < static_cast<int>(ring_.size())) ++ring_size_;
+  if (ring_size_ >= options_.min_volume &&
+      FailureFraction() >= options_.failure_threshold) {
+    Trip(now_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BrownoutLadder
+
+const char* RungName(BrownoutRung rung) {
+  switch (rung) {
+    case BrownoutRung::kNormal:
+      return "NORMAL";
+    case BrownoutRung::kReducedSampling:
+      return "REDUCED_SAMPLING";
+    case BrownoutRung::kStaleCache:
+      return "STALE_CACHE";
+    case BrownoutRung::kNoColdWork:
+      return "NO_COLD_WORK";
+  }
+  return "?";
+}
+
+BrownoutRung BrownoutLadder::Update(double pressure_ms) {
+  ++dwell_;
+  const int cur = static_cast<int>(rung_);
+  int next = cur;
+  if (cur < 3 && pressure_ms >= options_.up_threshold_ms[cur]) {
+    next = cur + 1;
+  } else if (cur > 0 &&
+             pressure_ms <
+                 options_.up_threshold_ms[cur - 1] * options_.down_fraction) {
+    next = cur - 1;
+  }
+  if (next != cur && dwell_ >= options_.min_dwell_updates) {
+    rung_ = static_cast<BrownoutRung>(next);
+    ++transitions_;
+    dwell_ = 0;
+  }
+  return rung_;
+}
+
+}  // namespace kea::serve

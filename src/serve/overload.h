@@ -1,0 +1,227 @@
+#ifndef KEA_SERVE_OVERLOAD_H_
+#define KEA_SERVE_OVERLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/retry_budget.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+
+namespace kea::serve {
+
+// ---------------------------------------------------------------------------
+// Retry hints. Every rejection the service emits under overload carries a
+// deterministic, jittered backoff hint so well-behaved clients space their
+// retries out instead of hammering in lockstep. The hint rides in the status
+// message (Status has no metadata field) in a fixed machine-readable form.
+
+/// Appends " [retry_after_ms=<N>]" to the status message.
+Status WithRetryAfter(Status status, int64_t retry_after_ms);
+
+/// Parses the hint back out of a rejection; nullopt when absent.
+std::optional<int64_t> RetryAfterMs(const Status& status);
+
+// ---------------------------------------------------------------------------
+// CoDel-style queue controller (Nichols & Jacobson). Watches the sojourn time
+// of entries at their would-be dispatch: a queue is healthy as long as it
+// fully drains now and then (minimum sojourn below `target_ms` within every
+// `interval_ms`); once sojourn stays above target for a whole interval the
+// queue has a standing backlog and the controller starts shedding, at a rate
+// that accelerates by the inverse square root of the shed count until the
+// backlog clears. Unlike a depth cap this adapts to the actual drain rate —
+// a short burst rides through untouched, a persistent overload is cut early
+// while sojourn is still bounded, instead of when the queue is full.
+//
+// Deterministic: state moves only in OnDispatch calls, which the service
+// makes at virtual-time sweeps in a fixed order.
+class CodelController {
+ public:
+  struct Options {
+    /// Acceptable standing sojourn (virtual ms).
+    int64_t target_ms = 50;
+    /// Window the sojourn must stay above target before shedding starts; also
+    /// the base spacing of consecutive sheds.
+    int64_t interval_ms = 100;
+  };
+
+  CodelController() : CodelController(Options()) {}
+  explicit CodelController(const Options& options) : options_(options) {}
+
+  /// Called for each entry at its would-be dispatch with the entry's queue
+  /// sojourn. Returns true when the entry should be shed instead.
+  bool OnDispatch(int64_t sojourn_ms, int64_t now_ms);
+
+  bool shedding() const { return shedding_; }
+  uint64_t total_sheds() const { return total_sheds_; }
+  const Options& options() const { return options_; }
+
+ private:
+  int64_t ShedSpacing() const;
+
+  Options options_;
+  /// Virtual time after which a persistent above-target sojourn trips
+  /// shedding; -1 while below target.
+  int64_t first_above_ms_ = -1;
+  bool shedding_ = false;
+  int64_t shed_next_ms_ = 0;  ///< Next scheduled shed while shedding.
+  int shed_count_ = 0;        ///< Sheds in the current shedding episode.
+  uint64_t total_sheds_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Per-tenant circuit breaker, mirroring core::ModelHealth's discipline at the
+// serving layer:
+//
+//   HEALTHY ──failure fraction over window──▶ TRIPPED
+//   TRIPPED ──cooldown elapsed──▶ PROBATION (limited probes admitted)
+//   PROBATION ──probes succeed──▶ HEALTHY   (cooldown resets)
+//   PROBATION ──a probe fails──▶ TRIPPED    (cooldown doubles, capped)
+//
+// While TRIPPED the tenant is fast-failed at admission instead of occupying
+// workers with handlers that keep failing or timing out; in-queue sheds
+// (deadline, CoDel) count as failures — a tenant whose work keeps expiring
+// is overloading the service just as surely as one whose handlers throw.
+class CircuitBreaker {
+ public:
+  enum class State { kHealthy, kTripped, kProbation };
+  static const char* StateName(State s);
+
+  struct Options {
+    /// Sliding outcome window (ring buffer length).
+    int window = 16;
+    /// Minimum outcomes in the window before trip decisions are made.
+    int min_volume = 8;
+    /// Trip when the window's failure fraction reaches this.
+    double failure_threshold = 0.5;
+    /// TRIPPED hold before probation; doubles on each consecutive re-trip.
+    int64_t cooldown_ms = 500;
+    int64_t max_cooldown_ms = 8000;
+    /// Requests admitted in PROBATION; all must succeed to close.
+    int probation_probes = 3;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(const Options& options);
+
+  /// Admission check at submit time. May transition TRIPPED → PROBATION when
+  /// the cooldown has elapsed. Returns false to fast-fail the request.
+  bool AllowRequest(int64_t now_ms);
+
+  /// Outcome of a dispatched request (ok == handler returned OK). In
+  /// PROBATION a success counts toward closing, a failure re-trips.
+  void RecordOutcome(bool ok, int64_t now_ms);
+  /// An in-queue shed of this tenant's request: a failure outcome.
+  void RecordShed(int64_t now_ms) { RecordOutcome(false, now_ms); }
+
+  State state() const { return state_; }
+  uint64_t trips() const { return trips_; }
+  uint64_t fast_fails() const { return fast_fails_; }
+  int64_t open_until_ms() const { return open_until_ms_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void Trip(int64_t now_ms);
+  double FailureFraction() const;
+
+  Options options_;
+  State state_ = State::kHealthy;
+  /// Outcome ring: outcomes_[i % window], true = success.
+  std::vector<bool> ring_;
+  int ring_size_ = 0;
+  int ring_next_ = 0;
+  int64_t open_until_ms_ = 0;
+  int64_t next_cooldown_ms_ = 0;
+  int probes_issued_ = 0;
+  int probe_successes_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t fast_fails_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Brownout degradation ladder. Under measured pressure — the estimated time
+// to drain the undispatched backlog, per virtual worker — the service climbs
+// rungs one at a time, each trading answer fidelity for capacity:
+//
+//   rung 0  kNormal          full service
+//   rung 1  kReducedSampling cold what-ifs clamp uncertainty_samples
+//   rung 2  kStaleCache      misses may be answered one epoch back, degraded
+//   rung 3  kNoColdWork      cold fits/evaluations refused outright
+//
+// Hysteresis (descend only when pressure falls well below the rung's
+// threshold) plus a minimum dwell keep the ladder from flapping; transitions
+// happen only in Update(), which the service calls once per virtual-time
+// sweep — deterministic by construction.
+enum class BrownoutRung {
+  kNormal = 0,
+  kReducedSampling = 1,
+  kStaleCache = 2,
+  kNoColdWork = 3,
+};
+const char* RungName(BrownoutRung rung);
+
+class BrownoutLadder {
+ public:
+  struct Options {
+    /// Pressure (ms of backlog per virtual worker) at which rung i+1 is
+    /// entered from rung i.
+    double up_threshold_ms[3] = {150.0, 300.0, 600.0};
+    /// Descend from rung i+1 once pressure < up_threshold_ms[i] * this.
+    double down_fraction = 0.5;
+    /// Updates to dwell at a rung before moving again (up or down).
+    int min_dwell_updates = 2;
+  };
+
+  BrownoutLadder() : BrownoutLadder(Options()) {}
+  explicit BrownoutLadder(const Options& options) : options_(options) {}
+
+  /// One controller step; at most one rung of movement. Returns the rung in
+  /// force after the step.
+  BrownoutRung Update(double pressure_ms);
+
+  BrownoutRung rung() const { return rung_; }
+  uint64_t transitions() const { return transitions_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  BrownoutRung rung_ = BrownoutRung::kNormal;
+  int dwell_ = 0;  ///< Updates spent at the current rung.
+  uint64_t transitions_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregated overload-control configuration for the service.
+struct OverloadOptions {
+  /// Master switch. Off (the default) = bit-exact PR 6 service: no clock, no
+  /// deadlines, no gating — requests dispatch as soon as a worker is free.
+  bool enabled = false;
+
+  /// Virtual service capacity: the sweep releases up to
+  /// virtual_workers * elapsed_ms of request cost per AdvanceVirtualTime.
+  /// Decouples control decisions from the physical worker count, which is
+  /// what makes the decision trace bit-identical at any num_threads.
+  double virtual_workers = 2.0;
+  /// Cost assumed for submissions that don't declare one.
+  double default_cost_ms = 10.0;
+
+  CodelController::Options codel;
+  CircuitBreaker::Options breaker;
+  BrownoutLadder::Options brownout;
+  RetryBudget::Options retry_budget;
+  /// Jitter source for the retry_after_ms hints (per-tenant substreams via
+  /// MixSeed, so hints are deterministic yet decorrelated across tenants).
+  RetryPolicy::Options retry_hints;
+
+  /// uncertainty_samples clamp applied to cold what-ifs at rung >= 1.
+  int brownout_samples = 32;
+  /// How many epochs back rung >= 2 may serve stale cache hits from.
+  int stale_epoch_lag = 1;
+};
+
+}  // namespace kea::serve
+
+#endif  // KEA_SERVE_OVERLOAD_H_

@@ -1,5 +1,7 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -25,6 +27,26 @@ obs::Counter* RejectedCounter() {
       "serve.requests_rejected", "", obs::Kind::kTiming);
   return c;
 }
+obs::Counter* CompletedCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.requests_completed", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* ShedDeadlineCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.shed_deadline", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* ShedCodelCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.shed_codel", "", obs::Kind::kTiming);
+  return c;
+}
+obs::Counter* CancelledCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.cancelled_shutdown", "", obs::Kind::kTiming);
+  return c;
+}
 obs::Gauge* DepthGauge() {
   static obs::Gauge* g = obs::Registry::Get().GetGauge(
       "serve.queue_depth", "", obs::Kind::kTiming);
@@ -35,7 +57,7 @@ obs::Gauge* DepthGauge() {
 
 RequestQueue::RequestQueue(const Options& options) : options_(options) {}
 
-Status RequestQueue::Push(int tenant, std::function<void()> work) {
+Status RequestQueue::Push(int tenant, PushSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.submitted;
   SubmittedCounter()->Increment();
@@ -43,6 +65,13 @@ Status RequestQueue::Push(int tenant, std::function<void()> work) {
     ++counters_.rejected;
     RejectedCounter()->Increment();
     return Status::FailedPrecondition("request queue is shut down");
+  }
+  if (spec.gated && spec.deadline_ms < now_vt_) {
+    // Born expired: reject at admission rather than occupy a slot the sweep
+    // would immediately shed.
+    ++counters_.rejected;
+    RejectedCounter()->Increment();
+    return Status::DeadlineExceeded("deadline already expired at submission");
   }
   if (total_ >= options_.capacity) {
     ++counters_.rejected;
@@ -56,7 +85,20 @@ Status RequestQueue::Push(int tenant, std::function<void()> work) {
     RejectedCounter()->Increment();
     return Status::ResourceExhausted("per-tenant queue quota exhausted");
   }
-  q.push_back(std::move(work));
+  Entry entry;
+  entry.id = next_id_++;
+  entry.work = std::move(spec.work);
+  entry.shed = std::move(spec.shed);
+  entry.deadline_ms = spec.deadline_ms;
+  entry.cost_ms = spec.cost_ms;
+  entry.enqueue_vt = now_vt_;
+  entry.released = !spec.gated;
+  if (spec.gated) {
+    unreleased_cost_ms_ += spec.cost_ms;
+  } else {
+    ++released_pending_;
+  }
+  q.push_back(std::move(entry));
   ++total_;
   ++counters_.accepted;
   AcceptedCounter()->Increment();
@@ -65,20 +107,146 @@ Status RequestQueue::Push(int tenant, std::function<void()> work) {
   return Status::OK();
 }
 
-bool RequestQueue::PopLocked(int* tenant, std::function<void()>* work) {
+Status RequestQueue::Push(int tenant, std::function<bool()> work) {
+  PushSpec spec;
+  spec.work = std::move(work);
+  return Push(tenant, std::move(spec));
+}
+
+void RequestQueue::NoteExternalRejection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.submitted;
+  ++counters_.rejected;
+  SubmittedCounter()->Increment();
+  RejectedCounter()->Increment();
+}
+
+RequestQueue::SweepOutcome RequestQueue::AdvanceVirtualTime(
+    int64_t now_ms, double capacity_ms, CodelController* codel) {
+  SweepOutcome outcome;
+  // Shed callbacks resolve caller tickets (their own locks); run them after
+  // dropping mu_, in sweep order.
+  std::vector<std::pair<std::function<void(const Status&)>, Status>> sheds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_vt_ = std::max(now_vt_, now_ms);
+
+    // Pass 1 — deadline expiry. Tenants in id order, entries in FIFO order:
+    // the shed sequence is deterministic given the push + sweep schedule.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      auto& q = it->second;
+      for (auto e = q.begin(); e != q.end();) {
+        if (!e->released && e->deadline_ms < now_vt_) {
+          ++counters_.shed_deadline;
+          ShedDeadlineCounter()->Increment();
+          unreleased_cost_ms_ -= e->cost_ms;
+          --total_;
+          outcome.shed_deadline.emplace_back(it->first, e->id);
+          if (e->shed) {
+            sheds.emplace_back(
+                std::move(e->shed),
+                Status::DeadlineExceeded(
+                    "deadline expired in queue after " +
+                    std::to_string(now_vt_ - e->enqueue_vt) +
+                    "ms; shed before dispatch"));
+          }
+          e = q.erase(e);
+        } else {
+          ++e;
+        }
+      }
+      it = q.empty() ? pending_.erase(it) : std::next(it);
+    }
+
+    // Pass 2 — capacity release, round-robin across tenants, per-tenant FIFO.
+    // The CoDel controller sees each entry's sojourn at its would-be
+    // dispatch; a shed consumes no capacity (the whole point: shedding must
+    // be cheaper than serving).
+    double budget = capacity_ms;
+    while (budget > 0.0) {
+      // Next tenant strictly after the cursor (then wrapped) with an
+      // unreleased entry at the front of its unreleased suffix.
+      std::map<int, std::deque<Entry>>::iterator pick = pending_.end();
+      std::deque<Entry>::iterator pick_entry;
+      auto start = pending_.upper_bound(release_cursor_);
+      for (int pass = 0; pass < 2 && pick == pending_.end(); ++pass) {
+        auto it = pass == 0 ? start : pending_.begin();
+        auto end = pass == 0 ? pending_.end() : start;
+        for (; it != end; ++it) {
+          auto e = std::find_if(it->second.begin(), it->second.end(),
+                                [](const Entry& x) { return !x.released; });
+          if (e != it->second.end()) {
+            pick = it;
+            pick_entry = e;
+            break;
+          }
+        }
+      }
+      if (pick == pending_.end()) break;
+      const int tenant = pick->first;
+      release_cursor_ = tenant;
+      const int64_t sojourn = now_vt_ - pick_entry->enqueue_vt;
+      if (codel != nullptr && codel->OnDispatch(sojourn, now_vt_)) {
+        ++counters_.shed_codel;
+        ShedCodelCounter()->Increment();
+        unreleased_cost_ms_ -= pick_entry->cost_ms;
+        --total_;
+        outcome.shed_codel.emplace_back(tenant, pick_entry->id);
+        if (pick_entry->shed) {
+          sheds.emplace_back(
+              std::move(pick_entry->shed),
+              WithRetryAfter(
+                  Status::ResourceExhausted(
+                      "shed by queue controller: backlog not draining "
+                      "(sojourn " +
+                      std::to_string(sojourn) + "ms)"),
+                  codel->options().interval_ms));
+        }
+        pick->second.erase(pick_entry);
+        EraseIfEmpty(tenant);
+        continue;
+      }
+      pick_entry->released = true;
+      // An entry released at `now` virtually finishes at now + cost; fixing
+      // the verdict here keeps goodput accounting schedule-independent.
+      pick_entry->met_deadline =
+          pick_entry->deadline_ms == kNoDeadlineMs ||
+          now_vt_ + static_cast<int64_t>(pick_entry->cost_ms) <=
+              pick_entry->deadline_ms;
+      budget -= pick_entry->cost_ms;
+      unreleased_cost_ms_ -= pick_entry->cost_ms;
+      ++released_pending_;
+      ++outcome.released;
+      outcome.releases.push_back({tenant, pick_entry->id, sojourn});
+    }
+    outcome.leftover_capacity_ms = std::max(budget, 0.0);
+    if (unreleased_cost_ms_ < 1e-9) unreleased_cost_ms_ = 0.0;
+    DepthGauge()->Set(static_cast<double>(total_));
+    cv_.notify_all();
+  }
+  for (auto& [shed, status] : sheds) shed(status);
+  return outcome;
+}
+
+bool RequestQueue::PopLocked(int* tenant, std::function<bool()>* work) {
   if (pending_.empty()) return false;
-  // Round-robin: scan tenant ids strictly after the cursor, then wrap.
+  // Round-robin: scan tenant ids strictly after the cursor, then wrap. Only
+  // the FIFO head of a tenant is dispatchable, and only once released.
   auto start = pending_.upper_bound(last_served_);
   for (int pass = 0; pass < 2; ++pass) {
     auto it = pass == 0 ? start : pending_.begin();
     auto end = pass == 0 ? pending_.end() : start;
     for (; it != end; ++it) {
       if (busy_.count(it->first) > 0) continue;
+      if (it->second.empty() || !it->second.front().released) continue;
+      Entry& entry = it->second.front();
       *tenant = it->first;
-      *work = std::move(it->second.front());
+      *work = std::move(entry.work);
+      inflight_met_[it->first] = entry.met_deadline;
       it->second.pop_front();
       if (it->second.empty()) pending_.erase(it);
       --total_;
+      --released_pending_;
       DepthGauge()->Set(static_cast<double>(total_));
       busy_.insert(*tenant);
       last_served_ = *tenant;
@@ -88,7 +256,12 @@ bool RequestQueue::PopLocked(int* tenant, std::function<void()>* work) {
   return false;
 }
 
-bool RequestQueue::PopBlocking(int* tenant, std::function<void()>* work) {
+void RequestQueue::EraseIfEmpty(int tenant) {
+  auto it = pending_.find(tenant);
+  if (it != pending_.end() && it->second.empty()) pending_.erase(it);
+}
+
+bool RequestQueue::PopBlocking(int* tenant, std::function<bool()>* work) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (PopLocked(tenant, work)) return true;
@@ -97,28 +270,84 @@ bool RequestQueue::PopBlocking(int* tenant, std::function<void()>* work) {
   }
 }
 
-bool RequestQueue::TryPop(int* tenant, std::function<void()>* work) {
+bool RequestQueue::TryPop(int* tenant, std::function<bool()>* work) {
   std::lock_guard<std::mutex> lock(mu_);
   return PopLocked(tenant, work);
 }
 
-void RequestQueue::Done(int tenant) {
+void RequestQueue::Done(int tenant, bool executed) {
   std::lock_guard<std::mutex> lock(mu_);
   busy_.erase(tenant);
+  bool met = true;
+  auto it = inflight_met_.find(tenant);
+  if (it != inflight_met_.end()) {
+    met = it->second;
+    inflight_met_.erase(it);
+  }
+  if (executed) {
+    ++counters_.completed;
+    CompletedCounter()->Increment();
+    if (met) ++counters_.met_deadline;
+  } else {
+    ++counters_.cancelled_shutdown;
+    CancelledCounter()->Increment();
+  }
   // The freed slot may unblock every waiter (the tenant's next request is
-  // now eligible), and Shutdown-drain waiters also need a look.
+  // now eligible), and Shutdown-drain / WaitQuiescent waiters need a look.
   cv_.notify_all();
 }
 
 void RequestQueue::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
-  shutdown_ = true;
-  cv_.notify_all();
+  std::vector<std::function<void(const Status&)>> sheds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Gated entries that were never released will now never be: resolve them
+    // here, distinguishably — kUnavailable with an explicit drain reason,
+    // not a deadline shed and not an execution result. Released entries stay
+    // poppable so workers drain them before exiting.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      auto& q = it->second;
+      for (auto e = q.begin(); e != q.end();) {
+        if (!e->released) {
+          ++counters_.cancelled_shutdown;
+          CancelledCounter()->Increment();
+          unreleased_cost_ms_ -= e->cost_ms;
+          --total_;
+          if (e->shed) sheds.push_back(std::move(e->shed));
+          e = q.erase(e);
+        } else {
+          ++e;
+        }
+      }
+      it = q.empty() ? pending_.erase(it) : std::next(it);
+    }
+    if (unreleased_cost_ms_ < 1e-9) unreleased_cost_ms_ = 0.0;
+    cv_.notify_all();
+  }
+  const Status drained = Status::Unavailable(
+      "service shutting down; request drained without execution");
+  for (auto& shed : sheds) shed(drained);
+}
+
+void RequestQueue::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return released_pending_ == 0 && busy_.empty(); });
 }
 
 size_t RequestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+double RequestQueue::unreleased_cost_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unreleased_cost_ms_;
+}
+
+int64_t RequestQueue::virtual_now_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_vt_;
 }
 
 RequestQueue::Counters RequestQueue::counters() const {

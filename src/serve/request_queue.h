@@ -8,17 +8,35 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <vector>
 
 #include "common/status.h"
+#include "common/virtual_clock.h"
+#include "serve/overload.h"
 
 namespace kea::serve {
 
-/// Bounded multi-tenant admission queue. Push never blocks: a request is
-/// either accepted (enqueued) or rejected with kResourceExhausted — the
-/// service's load-shedding contract. Dispatch is round-robin across tenants
-/// with at most one in-flight request per tenant, which (a) keeps a chatty
-/// tenant from starving the others and (b) serializes each tenant's requests
-/// so its session sees the same order a solo run would.
+/// Bounded multi-tenant admission queue with deadline-aware release gating.
+/// Push never blocks: a request is either accepted (enqueued) or rejected
+/// with kResourceExhausted (or kDeadlineExceeded when it arrives already
+/// expired) — the service's load-shedding contract. Dispatch is round-robin
+/// across tenants with at most one in-flight request per tenant, which
+/// (a) keeps a chatty tenant from starving the others and (b) serializes each
+/// tenant's requests so its session sees the same order a solo run would.
+///
+/// Two dispatch modes per entry:
+///
+///  - **Immediate** (`gated == false`, the PR 6 path): the entry is
+///    dispatchable the moment it is enqueued. Bit-exact legacy behavior.
+///  - **Gated** (`gated == true`): the entry only becomes dispatchable when a
+///    virtual-time sweep (AdvanceVirtualTime) releases it against a virtual
+///    service capacity. The sweep is also where overload decisions happen,
+///    in deterministic order: entries whose deadline passed are shed in
+///    queue with kDeadlineExceeded — an expired request is NEVER handed to a
+///    worker — and a CoDel controller sheds from the head when sojourn shows
+///    the queue stopped draining. Because workers only ever see released
+///    entries, the shed/release trace is a pure function of the push +
+///    sweep schedule, independent of physical worker count or speed.
 class RequestQueue {
  public:
   struct Options {
@@ -29,51 +47,141 @@ class RequestQueue {
     size_t per_tenant = 64;
   };
 
-  /// Admission ledger. Conservation invariant: accepted + rejected ==
-  /// submitted at any quiescent point.
+  /// Admission + outcome ledger. Conservation invariants at any quiescent
+  /// point (no queued or in-flight work):
+  ///   submitted == accepted + rejected
+  ///   accepted  == completed + shed_deadline + shed_codel + cancelled_shutdown
   struct Counters {
     uint64_t submitted = 0;
     uint64_t accepted = 0;
     uint64_t rejected = 0;
+    uint64_t completed = 0;          ///< Dispatched and executed.
+    uint64_t shed_deadline = 0;      ///< Expired in queue; never dispatched.
+    uint64_t shed_codel = 0;         ///< Shed by the CoDel controller.
+    uint64_t cancelled_shutdown = 0; ///< Drained unexecuted at shutdown.
+    /// Of `completed`: virtual finish (release + cost) beat the deadline.
+    /// Deadline-free entries always count. The goodput numerator.
+    uint64_t met_deadline = 0;
+  };
+
+  /// One gated submission. `work` returns true when it executed the request
+  /// and false when it resolved it as cancelled (shutdown drain) — the queue
+  /// counts the two differently. `shed` resolves the caller's ticket when
+  /// the queue drops the entry without dispatching it; may be null.
+  struct PushSpec {
+    std::function<bool()> work;
+    std::function<void(const Status&)> shed;
+    int64_t deadline_ms = kNoDeadlineMs;
+    double cost_ms = 1.0;
+    bool gated = false;
+  };
+
+  /// Deterministic record of one AdvanceVirtualTime sweep.
+  struct SweepOutcome {
+    int released = 0;
+    double leftover_capacity_ms = 0.0;
+    /// (tenant, entry id, sojourn_ms) per released entry, release order.
+    struct Release {
+      int tenant = 0;
+      uint64_t id = 0;
+      int64_t sojourn_ms = 0;
+    };
+    std::vector<Release> releases;
+    /// (tenant, entry id) per shed entry, shed order.
+    std::vector<std::pair<int, uint64_t>> shed_deadline;
+    std::vector<std::pair<int, uint64_t>> shed_codel;
   };
 
   explicit RequestQueue(const Options& options);
 
-  /// Enqueues `work` for `tenant`. Returns OK, ResourceExhausted (queue or
-  /// per-tenant bound hit — the caller should surface this to the client
-  /// verbatim), or FailedPrecondition after Shutdown. Never blocks.
-  Status Push(int tenant, std::function<void()> work);
+  /// Enqueues per `spec` for `tenant`. Returns OK, ResourceExhausted (queue
+  /// or per-tenant bound hit — the caller should surface this to the client
+  /// verbatim), DeadlineExceeded (already expired on arrival, gated entries
+  /// only), or FailedPrecondition after Shutdown. Never blocks.
+  Status Push(int tenant, PushSpec spec);
 
-  /// Blocks until a request from a non-busy tenant is available (returns
-  /// true, marks the tenant busy) or the queue is shut down and drained
-  /// (returns false). Callers MUST call Done(tenant) after running the work.
-  bool PopBlocking(int* tenant, std::function<void()>* work);
+  /// Legacy convenience: immediate-mode entry with no shed callback.
+  Status Push(int tenant, std::function<bool()> work);
+
+  /// Counts a submission the service rejected before reaching the queue
+  /// (breaker fast-fail, dry retry budget, brownout refusal), so the
+  /// submitted == accepted + rejected ledger covers every client call.
+  void NoteExternalRejection();
+
+  /// Advances the queue's virtual clock and performs one deterministic
+  /// overload sweep: (1) gated entries whose deadline < now are shed with
+  /// kDeadlineExceeded; (2) up to `capacity_ms` of request cost is released
+  /// round-robin across tenants in per-tenant FIFO order, consulting `codel`
+  /// (may be null) at each would-be release with the entry's sojourn.
+  /// Shed callbacks run outside the queue lock, in sweep order.
+  SweepOutcome AdvanceVirtualTime(int64_t now_ms, double capacity_ms,
+                                  CodelController* codel);
+
+  /// Blocks until a released request from a non-busy tenant is available
+  /// (returns true, marks the tenant busy) or the queue is shut down and
+  /// drained (returns false). Callers MUST call Done(tenant, executed) after
+  /// running the work.
+  bool PopBlocking(int* tenant, std::function<bool()>* work);
 
   /// Non-blocking PopBlocking: returns false when nothing is eligible now.
-  bool TryPop(int* tenant, std::function<void()>* work);
+  bool TryPop(int* tenant, std::function<bool()>* work);
 
-  /// Releases the per-tenant in-flight slot taken by Pop.
-  void Done(int tenant);
+  /// Releases the per-tenant in-flight slot taken by Pop. `executed` is the
+  /// work functor's return: true counts completed (and met_deadline when the
+  /// entry's virtual finish beat its deadline), false cancelled_shutdown.
+  void Done(int tenant, bool executed);
 
-  /// Rejects all future Push calls; pending requests remain poppable so
-  /// workers can drain before exiting.
+  /// Rejects all future Push calls. Gated entries that were never released
+  /// are shed immediately with kUnavailable ("drained without execution") —
+  /// distinguishable from both execution results and deadline sheds — while
+  /// released/immediate entries remain poppable so workers can drain them.
   void Shutdown();
 
+  /// Blocks until no released entry is pending and no request is in flight:
+  /// the deterministic barrier between a sweep and the next clock advance.
+  /// Unreleased gated entries do NOT count — they are waiting for capacity.
+  void WaitQuiescent();
+
   size_t depth() const;
+  /// Total declared cost of gated-but-unreleased entries: the backlog the
+  /// brownout ladder's pressure signal is computed from.
+  double unreleased_cost_ms() const;
+  int64_t virtual_now_ms() const;
   Counters counters() const;
 
  private:
-  /// Picks the next eligible tenant after cursor `last_served_`, or returns
-  /// false. Caller holds mu_.
-  bool PopLocked(int* tenant, std::function<void()>* work);
+  struct Entry {
+    uint64_t id = 0;
+    std::function<bool()> work;
+    std::function<void(const Status&)> shed;
+    int64_t deadline_ms = kNoDeadlineMs;
+    double cost_ms = 1.0;
+    int64_t enqueue_vt = 0;
+    bool released = false;
+    bool met_deadline = true;  ///< Fixed at release: virtual finish <= deadline.
+  };
+
+  /// Picks the next eligible (released, non-busy tenant) entry after cursor
+  /// `last_served_`, or returns false. Caller holds mu_.
+  bool PopLocked(int* tenant, std::function<bool()>* work);
+  /// Erases empty per-tenant deques. Caller holds mu_.
+  void EraseIfEmpty(int tenant);
 
   const Options options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<int, std::deque<std::function<void()>>> pending_;
+  std::map<int, std::deque<Entry>> pending_;
   std::set<int> busy_;  ///< Tenants with a request currently executing.
+  /// met_deadline flag of each in-flight entry, keyed by tenant (one
+  /// in-flight per tenant), consumed by Done().
+  std::map<int, bool> inflight_met_;
   size_t total_ = 0;
-  int last_served_ = -1;  ///< Round-robin cursor over tenant ids.
+  size_t released_pending_ = 0;  ///< Released entries not yet popped.
+  double unreleased_cost_ms_ = 0.0;
+  uint64_t next_id_ = 1;
+  int64_t now_vt_ = 0;
+  int last_served_ = -1;    ///< Round-robin cursor for dispatch.
+  int release_cursor_ = -1; ///< Round-robin cursor for the release sweep.
   bool shutdown_ = false;
   Counters counters_;
 };

@@ -80,6 +80,15 @@ StatusOr<WhatIfResponse> EvaluateWhatIfRequest(const core::WhatIfEngine& engine,
   return response;
 }
 
+WhatIfResponsePtr MakeDegradedCopy(const WhatIfResponse& base, int rung,
+                                   std::string reason) {
+  auto copy = std::make_shared<WhatIfResponse>(base);
+  copy->degraded = true;
+  copy->degraded_rung = rung;
+  copy->degraded_reason = std::move(reason);
+  return copy;
+}
+
 WhatIfCache::WhatIfCache(size_t capacity) : capacity_(capacity) {}
 
 WhatIfResponsePtr WhatIfCache::Lookup(const WhatIfCacheKey& key) {
@@ -94,6 +103,40 @@ WhatIfResponsePtr WhatIfCache::Lookup(const WhatIfCacheKey& key) {
   ++stats_.hits;
   HitsCounter()->Increment();
   return it->second->second;
+}
+
+WhatIfResponsePtr WhatIfCache::LookupStale(const WhatIfCacheKey& key,
+                                           int max_epoch_lag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Linear scan: the cache is bounded and stale serving only runs under
+  // brownout, where shedding has already cut the request rate.
+  const WhatIfCacheKey* best = nullptr;
+  WhatIfResponsePtr found;
+  for (const auto& [entry_key, response] : lru_) {
+    if (entry_key.tenant != key.tenant) continue;
+    if (entry_key.config_hash != key.config_hash) continue;
+    // Strictly older, within the lag window, on both epoch axes.
+    if (entry_key.model_epoch > key.model_epoch ||
+        entry_key.deploy_epoch > key.deploy_epoch) {
+      continue;
+    }
+    if (entry_key.model_epoch == key.model_epoch &&
+        entry_key.deploy_epoch == key.deploy_epoch) {
+      continue;  // the fresh key; Lookup already missed it semantically
+    }
+    if (key.model_epoch - entry_key.model_epoch >
+            static_cast<uint64_t>(max_epoch_lag) ||
+        key.deploy_epoch - entry_key.deploy_epoch >
+            static_cast<uint64_t>(max_epoch_lag)) {
+      continue;
+    }
+    if (best == nullptr || *best < entry_key) {  // freshest eligible wins
+      best = &entry_key;
+      found = response;
+    }
+  }
+  if (found != nullptr) ++stats_.stale_hits;
+  return found;
 }
 
 void WhatIfCache::Insert(const WhatIfCacheKey& key, WhatIfResponsePtr response) {

@@ -30,9 +30,19 @@ struct WhatIfRequest {
 
 /// Per-candidate evaluation plus the index of the lowest-latency candidate
 /// (ties break to the lowest index, keeping the payload deterministic).
+/// Under brownout the service may answer with reduced fidelity; such
+/// responses are explicitly marked so a client can tell a degraded answer
+/// from a full-service one (DESIGN.md "Overload control").
 struct WhatIfResponse {
   std::vector<core::WhatIfResult> candidates;
   size_t best_index = 0;
+  /// True when this answer was produced under a brownout rung: fewer
+  /// Monte-Carlo samples than requested, or served from a stale epoch.
+  bool degraded = false;
+  /// The brownout rung in force when the answer was produced (0 = none).
+  int degraded_rung = 0;
+  /// Human-readable degradation cause ("reduced sampling", "stale epoch").
+  std::string degraded_reason;
 };
 
 /// Responses flow through the cache and tickets as immutable shared payloads:
@@ -52,6 +62,12 @@ uint64_t ConfigHash(const WhatIfRequest& request);
 /// was produced by this exact function.
 StatusOr<WhatIfResponse> EvaluateWhatIfRequest(const core::WhatIfEngine& engine,
                                                const WhatIfRequest& request);
+
+/// Copies `base` and stamps the degradation markers. Cached payloads are
+/// immutable and shared, so a degraded serving is always a fresh allocation,
+/// pointer-distinct from the entry it was derived from.
+WhatIfResponsePtr MakeDegradedCopy(const WhatIfResponse& base, int rung,
+                                   std::string reason);
 
 /// Full cache key: (tenant, model version, applied-config version, model
 /// digest, telemetry window digest, request digest). The epochs make
@@ -87,6 +103,7 @@ class WhatIfCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t stale_hits = 0;  ///< LookupStale matches (brownout rung >= 2).
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;
@@ -97,6 +114,17 @@ class WhatIfCache {
   /// Returns the cached response (refreshing its LRU position), or nullptr
   /// on miss. The returned payload is never copied and never mutated.
   WhatIfResponsePtr Lookup(const WhatIfCacheKey& key);
+
+  /// Brownout fallback (rung >= 2): on a fresh-epoch miss, returns the best
+  /// entry for the same (tenant, config_hash) whose epochs lag `key`'s by at
+  /// most `max_epoch_lag` — the answer the service gave for this exact query
+  /// one refit/deploy ago. model_hash and workload fingerprint are allowed
+  /// to differ (they legitimately moved with the epoch). Returns the cached
+  /// payload itself; the service marks degradation on a pointer-distinct
+  /// copy (MakeDegradedCopy), never on the cached object. InvalidateTenant
+  /// drops these entries like any other — once a tenant is invalidated no
+  /// stale answer survives to be served.
+  WhatIfResponsePtr LookupStale(const WhatIfCacheKey& key, int max_epoch_lag);
 
   /// Inserts (or refreshes) the entry, evicting the least-recently-used
   /// entry when over capacity. `response` must not be null.

@@ -11,8 +11,8 @@
 namespace kea::serve {
 namespace {
 
-std::function<void()> Noop() {
-  return [] {};
+std::function<bool()> Noop() {
+  return [] { return true; };
 }
 
 // ---------------------------------------------------------------------------
@@ -57,7 +57,7 @@ TEST(RequestQueueTest, RoundRobinAcrossTenantsWithBusySkip) {
   ASSERT_TRUE(queue.Push(2, Noop()).ok());
 
   int tenant = -1;
-  std::function<void()> work;
+  std::function<bool()> work;
   ASSERT_TRUE(queue.TryPop(&tenant, &work));
   EXPECT_EQ(tenant, 0);
   // Tenant 0 is busy (one in-flight max): its second request is skipped and
@@ -68,7 +68,7 @@ TEST(RequestQueueTest, RoundRobinAcrossTenantsWithBusySkip) {
   EXPECT_EQ(tenant, 2);
   // Everything eligible is in flight; tenant 0's backlog stays blocked.
   EXPECT_FALSE(queue.TryPop(&tenant, &work));
-  queue.Done(0);
+  queue.Done(0, /*executed=*/true);
   ASSERT_TRUE(queue.TryPop(&tenant, &work));
   EXPECT_EQ(tenant, 0);
   EXPECT_EQ(queue.depth(), 0u);
@@ -81,7 +81,7 @@ TEST(RequestQueueTest, ShutdownUnblocksWaitersAndDrainsBacklog) {
   std::atomic<bool> returned{false};
   std::thread waiter([&] {
     int tenant = -1;
-    std::function<void()> work;
+    std::function<bool()> work;
     const bool got = queue.PopBlocking(&tenant, &work);
     EXPECT_FALSE(got);
     returned.store(true);
@@ -100,13 +100,90 @@ TEST(RequestQueueTest, ShutdownStillDrainsPendingWork) {
   ASSERT_TRUE(queue.Push(1, Noop()).ok());
   queue.Shutdown();
   int tenant = -1;
-  std::function<void()> work;
+  std::function<bool()> work;
   // Backlog remains poppable after shutdown so workers drain before exit.
   ASSERT_TRUE(queue.PopBlocking(&tenant, &work));
-  queue.Done(tenant);
+  queue.Done(tenant, /*executed=*/true);
   ASSERT_TRUE(queue.PopBlocking(&tenant, &work));
-  queue.Done(tenant);
+  queue.Done(tenant, /*executed=*/true);
   EXPECT_FALSE(queue.PopBlocking(&tenant, &work));
+}
+
+// The full outcome ledger: every accepted request ends in exactly one of
+// completed / shed_deadline / shed_codel / cancelled_shutdown, and every
+// submission is accepted or rejected. Exercises all four terminal states in
+// one queue lifetime.
+TEST(RequestQueueTest, ConservationLedgerCoversEveryTerminalState) {
+  RequestQueue queue(RequestQueue::Options{});
+  CodelController codel;  // default target 50ms / interval 100ms
+
+  int executed = 0;
+  int shed = 0;
+  auto gated = [&](int64_t deadline_ms, double cost_ms) {
+    RequestQueue::PushSpec spec;
+    spec.work = [&executed] {
+      ++executed;
+      return true;
+    };
+    spec.shed = [&shed](const Status&) { ++shed; };
+    spec.deadline_ms = deadline_ms;
+    spec.cost_ms = cost_ms;
+    spec.gated = true;
+    return spec;
+  };
+
+  // Tenant 0: two cheap requests with room to spare — will complete.
+  ASSERT_TRUE(queue.Push(0, gated(10'000, 5.0)).ok());
+  ASSERT_TRUE(queue.Push(0, gated(10'000, 5.0)).ok());
+  // Tenant 1: expires before the first sweep — shed_deadline.
+  ASSERT_TRUE(queue.Push(1, gated(10, 5.0)).ok());
+  // Tenant 2: no deadline; parked behind a huge backlog so the standing
+  // queue trips CoDel across sweeps — shed_codel for some, shutdown for the
+  // rest.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(queue.Push(2, gated(kNoDeadlineMs, 1'000.0)).ok());
+  }
+  // A born-expired gated push is rejected at submission, never enqueued.
+  EXPECT_EQ(queue.AdvanceVirtualTime(100, /*capacity_ms=*/0.0, &codel).released,
+            0);
+  EXPECT_EQ(queue.Push(3, gated(/*deadline_ms=*/50, 5.0)).code(),
+            StatusCode::kDeadlineExceeded);
+  // And one service-side rejection (breaker-style) joins the ledger too.
+  queue.NoteExternalRejection();
+
+  // Sweep far enough that sojourn exceeds the CoDel interval, with capacity
+  // for the cheap requests plus a couple of the expensive ones.
+  for (int64_t t = 200; t <= 2'000; t += 200) {
+    queue.AdvanceVirtualTime(t, /*capacity_ms=*/400.0, &codel);
+    int tenant = -1;
+    std::function<bool()> work;
+    while (queue.TryPop(&tenant, &work)) {
+      queue.Done(tenant, work());
+    }
+  }
+  queue.Shutdown();  // cancels everything never released
+  int tenant = -1;
+  std::function<bool()> work;
+  while (queue.TryPop(&tenant, &work)) {
+    queue.Done(tenant, work());
+  }
+
+  const RequestQueue::Counters c = queue.counters();
+  EXPECT_EQ(c.submitted, 45u);  // 43 accepted + born-expired + external
+  EXPECT_EQ(c.accepted, 43u);
+  EXPECT_EQ(c.rejected, 2u);
+  EXPECT_EQ(c.completed, static_cast<uint64_t>(executed));
+  EXPECT_EQ(c.shed_deadline, 1u);
+  EXPECT_GT(c.shed_codel, 0u);
+  EXPECT_GT(c.cancelled_shutdown, 0u);
+  EXPECT_EQ(c.submitted, c.accepted + c.rejected);
+  EXPECT_EQ(c.accepted,
+            c.completed + c.shed_deadline + c.shed_codel + c.cancelled_shutdown);
+  // Shed callbacks fired exactly once per shed entry.
+  EXPECT_EQ(static_cast<uint64_t>(shed),
+            c.shed_deadline + c.shed_codel + c.cancelled_shutdown);
+  // Ungated completions with no deadline all count as met.
+  EXPECT_EQ(c.met_deadline, c.completed);
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +242,11 @@ TEST(ServeAdmissionTest, SaturatedServiceConservesEveryRequest) {
     EXPECT_TRUE(ticket.Wait().ok());
   }
   EXPECT_EQ(service.queue_depth(), 0u);
+  // Quiescent: the full outcome ledger balances with nothing shed.
+  const RequestQueue::Counters done = service.queue_counters();
+  EXPECT_EQ(done.completed, done.accepted);
+  EXPECT_EQ(done.accepted, done.completed + done.shed_deadline +
+                               done.shed_codel + done.cancelled_shutdown);
 }
 
 TEST(ServeAdmissionTest, ConcurrentHammeringNeverBlocksAndConserves) {
@@ -235,6 +317,7 @@ TEST(ServeAdmissionTest, ConcurrentHammeringNeverBlocksAndConserves) {
     }
   }
 
+  service.WaitQuiescent();
   const RequestQueue::Counters after = service.queue_counters();
   EXPECT_EQ(after.submitted - before.submitted,
             static_cast<uint64_t>(kTenants) * 40u + kTenants);
@@ -242,6 +325,10 @@ TEST(ServeAdmissionTest, ConcurrentHammeringNeverBlocksAndConserves) {
             accepted.load() + static_cast<uint64_t>(kTenants));
   EXPECT_EQ(after.rejected - before.rejected, rejected.load());
   EXPECT_EQ(after.accepted + after.rejected, after.submitted);
+  // Quiescent and never overloaded: every accepted request completed.
+  EXPECT_EQ(after.completed, after.accepted);
+  EXPECT_EQ(after.accepted, after.completed + after.shed_deadline +
+                                after.shed_codel + after.cancelled_shutdown);
 }
 
 TEST(ServeAdmissionTest, ShutdownResolvesQueuedTicketsUnavailable) {
@@ -261,7 +348,13 @@ TEST(ServeAdmissionTest, ShutdownResolvesQueuedTicketsUnavailable) {
   }
   for (const auto& ticket : tickets) {
     ASSERT_TRUE(ticket.ready()) << "ticket must not dangle after shutdown";
-    EXPECT_EQ(ticket.Wait().status().code(), StatusCode::kUnavailable);
+    const Status status = ticket.Wait().status();
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    // A shutdown drain is distinguishable from every other kUnavailable:
+    // callers can tell "never ran" from breaker fast-fails and brownouts.
+    EXPECT_NE(status.message().find("drained without execution"),
+              std::string::npos)
+        << status;
   }
 }
 

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/overload.h"
+#include "serve/service.h"
+#include "sim/types.h"
+
+namespace kea::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The overload chaos proof: an open-loop arrival ramp to 8x virtual capacity,
+// replayed at 1, 4, and 8 physical workers. Four well-behaved tenants submit
+// deadline-bearing simulate requests; a fifth "bully" tenant submits what-ifs
+// that always fail (it never fitted an engine), so its circuit breaker — and
+// only its — trips. The headline claims, from ISSUE acceptance:
+//
+//   * goodput in the deepest overload phase stays within 10% of the peak
+//     phase (deadline + CoDel shedding keeps the served work fresh);
+//   * p99 released sojourn is bounded by the deadline window;
+//   * zero expired requests are ever dispatched (each tenant's session
+//     advanced exactly one hour per OK ticket — sheds left no side effects);
+//   * the complete decision trace — releases, sheds, rung and breaker
+//     transitions, rejection messages — is bit-identical at every worker
+//     count, because decisions live on the virtual clock, not on workers.
+
+constexpr int kGoodputTenants = 4;
+constexpr int64_t kTickMs = 100;
+constexpr double kVirtualWorkers = 2.0;  // 200ms of cost per 100ms tick
+constexpr double kCostMs = 10.0;         // => 20 requests/tick at capacity
+constexpr int64_t kDeadlineWindowMs = 150;
+
+// Offered load per tick across the goodput tenants: 0.5x, 1x, 2x, 4x, 8x of
+// virtual capacity. Open loop: arrivals never slow down when rejected.
+struct Phase {
+  int ticks;
+  int arrivals_per_tick;
+};
+constexpr Phase kPhases[] = {{10, 10}, {10, 20}, {10, 40}, {10, 80}, {10, 160}};
+
+apps::KeaSession::Config TinyConfig(uint64_t seed) {
+  apps::KeaSession::Config config;
+  config.machines = 50;
+  config.seed = seed;
+  return config;
+}
+
+WhatIfRequest SmallQuery(double containers) {
+  WhatIfRequest request;
+  request.candidates.push_back({{sim::MachineGroupKey{0, 0}, containers}});
+  request.uncertainty_samples = 32;
+  return request;
+}
+
+struct RunTrace {
+  std::string trace;                     ///< Full serialized decision trace.
+  std::vector<uint64_t> met_per_phase;   ///< Goodput numerator per phase.
+  std::vector<int64_t> sojourns;         ///< Sojourn of every released entry.
+  RequestQueue::Counters counters;
+};
+
+RunTrace RunChaos(int num_threads) {
+  TuningService::Options options;
+  options.num_threads = num_threads;
+  // Room for the 8x cohort: per-tenant standing backlog peaks around 75
+  // entries (one deadline window of excess arrivals), so no quota rejections
+  // muddy the goodput flow — admission pressure is handled by deadline/CoDel
+  // shedding, which is what this scenario is about.
+  options.queue.capacity = 512;
+  options.queue.per_tenant = 128;
+  options.overload.enabled = true;
+  options.overload.virtual_workers = kVirtualWorkers;
+  options.overload.default_cost_ms = kCostMs;
+  // At 8x offered load the goodput tenants lose ~7/8 of their arrivals to
+  // in-queue sheds, and sheds count as breaker failures. A wide window plus a
+  // near-total failure threshold keeps their breakers out of the way (worst
+  // window fraction ~0.94) while the bully — 100% handler failures on top of
+  // its sheds — still trips.
+  options.overload.breaker.window = 64;
+  options.overload.breaker.min_volume = 16;
+  options.overload.breaker.failure_threshold = 0.97;
+
+  TuningService service(options);
+  RunTrace out;
+
+  std::vector<TenantId> tenants;
+  for (int i = 0; i < kGoodputTenants; ++i) {
+    auto id = service.AddTenant("g" + std::to_string(i),
+                                TinyConfig(100 + static_cast<uint64_t>(i)));
+    EXPECT_TRUE(id.ok());
+    if (!id.ok()) return out;
+    tenants.push_back(id.value());
+  }
+  auto bully_id = service.AddTenant("bully", TinyConfig(999));
+  EXPECT_TRUE(bully_id.ok());
+  if (!bully_id.ok()) return out;
+  const TenantId bully = bully_id.value();
+
+  std::ostringstream trace;
+  std::vector<std::pair<int, Ticket<sim::HourIndex>>> sim_tickets;
+  std::vector<Ticket<WhatIfResponsePtr>> bully_tickets;
+  int64_t now = 0;
+  double bully_containers = 4.0;
+
+  // One virtual-clock step: advance, sweep, and let the workers drain what
+  // the sweep released — WaitQuiescent is the determinism barrier, so the
+  // next tick's admission decisions see a settled queue.
+  auto sweep = [&](const char* kind) {
+    now += kTickMs;
+    const TuningService::SweepReport report = service.AdvanceVirtualTime(now);
+    service.WaitQuiescent();
+    trace << kind << " now=" << now << " released=" << report.queue.released
+          << " leftover=" << report.queue.leftover_capacity_ms
+          << " rung=" << RungName(report.rung)
+          << " pressure=" << report.pressure_ms << "\n";
+    for (const auto& r : report.queue.releases) {
+      trace << "  rel tenant=" << r.tenant << " id=" << r.id
+            << " sojourn=" << r.sojourn_ms << "\n";
+      out.sojourns.push_back(r.sojourn_ms);
+    }
+    for (const auto& s : report.queue.shed_deadline) {
+      trace << "  shed_deadline tenant=" << s.first << " id=" << s.second
+            << "\n";
+    }
+    for (const auto& s : report.queue.shed_codel) {
+      trace << "  shed_codel tenant=" << s.first << " id=" << s.second << "\n";
+    }
+  };
+
+  uint64_t met_before_phase = 0;
+  for (const Phase& phase : kPhases) {
+    for (int i = 0; i < phase.ticks; ++i) {
+      SubmitOptions submit;
+      submit.deadline_ms = now + kDeadlineWindowMs;
+      for (int t = 0; t < kGoodputTenants; ++t) {
+        const int n = phase.arrivals_per_tick / kGoodputTenants +
+                      (t < phase.arrivals_per_tick % kGoodputTenants ? 1 : 0);
+        for (int k = 0; k < n; ++k) {
+          auto ticket = service.SubmitSimulate(tenants[t], 1, submit);
+          if (ticket.ok()) {
+            sim_tickets.emplace_back(t, ticket.value());
+          } else {
+            trace << "reject tenant=" << t << " status=["
+                  << StatusCodeToString(ticket.status().code()) << "] "
+                  << ticket.status().message() << "\n";
+          }
+        }
+      }
+      // The bully hammers on, open loop, through trips and budget droughts.
+      for (int k = 0; k < 2; ++k) {
+        auto ticket =
+            service.SubmitWhatIf(bully, SmallQuery(bully_containers), submit);
+        bully_containers += 0.5;
+        if (ticket.ok()) {
+          bully_tickets.push_back(ticket.value());
+        } else {
+          trace << "reject tenant=bully status=["
+                << StatusCodeToString(ticket.status().code()) << "] "
+                << ticket.status().message() << "\n";
+        }
+      }
+      sweep("tick");
+    }
+    const uint64_t met = service.queue_counters().met_deadline;
+    out.met_per_phase.push_back(met - met_before_phase);
+    met_before_phase = met;
+  }
+
+  // Arrivals stop: the backlog expires or completes within a sweep or two,
+  // and the ladder walks back down to NORMAL (one rung per dwell).
+  for (int i = 0; i < 16; ++i) sweep("drain");
+  out.met_per_phase.back() +=
+      service.queue_counters().met_deadline - met_before_phase;
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.brownout_rung(), BrownoutRung::kNormal);
+
+  // Every admitted request resolved — nothing leaked, nothing hung.
+  std::vector<uint64_t> ok_per_tenant(kGoodputTenants, 0);
+  for (const auto& [t, ticket] : sim_tickets) {
+    EXPECT_TRUE(ticket.ready());
+    if (ticket.ready() && ticket.Wait().ok()) ++ok_per_tenant[t];
+  }
+  for (const auto& ticket : bully_tickets) EXPECT_TRUE(ticket.ready());
+
+  // Zero expired requests dispatched: each session advanced exactly one hour
+  // per OK ticket, so a shed request never touched its tenant's state.
+  for (int t = 0; t < kGoodputTenants; ++t) {
+    auto session = service.tenant_session(tenants[t]);
+    EXPECT_TRUE(session.ok());
+    if (!session.ok()) continue;
+    EXPECT_EQ(static_cast<uint64_t>(session.value()->now()), ok_per_tenant[t])
+        << "tenant g" << t;
+  }
+
+  out.counters = service.queue_counters();
+  // Conservation: the ledger covers every admitted request's fate, and
+  // nothing was cancelled — the service is still up.
+  EXPECT_EQ(out.counters.submitted, out.counters.accepted + out.counters.rejected);
+  EXPECT_EQ(out.counters.accepted,
+            out.counters.completed + out.counters.shed_deadline +
+                out.counters.shed_codel + out.counters.cancelled_shutdown);
+  EXPECT_EQ(out.counters.cancelled_shutdown, 0u);
+
+  for (const auto& line : service.overload_log()) trace << line << "\n";
+  trace << "counters submitted=" << out.counters.submitted
+        << " accepted=" << out.counters.accepted
+        << " rejected=" << out.counters.rejected
+        << " completed=" << out.counters.completed
+        << " shed_deadline=" << out.counters.shed_deadline
+        << " shed_codel=" << out.counters.shed_codel
+        << " met=" << out.counters.met_deadline << "\n";
+  trace << "met_per_phase";
+  for (uint64_t met : out.met_per_phase) trace << " " << met;
+  trace << "\n";
+  out.trace = trace.str();
+  return out;
+}
+
+// Locates the first divergent line so a regression reads as one decision, not
+// a multi-thousand-line string diff.
+void ExpectSameTrace(const std::string& label, const std::string& a,
+                     const std::string& b) {
+  if (a == b) return;
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  int line = 0;
+  for (;;) {
+    const bool more_a = static_cast<bool>(std::getline(sa, la));
+    const bool more_b = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!more_a && !more_b) break;
+    if (la != lb || more_a != more_b) {
+      ADD_FAILURE() << label << ": decision traces diverge at line " << line
+                    << "\n  first:  " << (more_a ? la : "<end of trace>")
+                    << "\n  second: " << (more_b ? lb : "<end of trace>");
+      return;
+    }
+  }
+  ADD_FAILURE() << label << ": traces compare unequal but no line differs";
+}
+
+TEST(ServeChaosTest, OverloadRampIsDeterministicAcrossWorkerCountsWithGoodput) {
+  const RunTrace t1 = RunChaos(1);
+  const RunTrace t4 = RunChaos(4);
+  const RunTrace t8 = RunChaos(8);
+
+  // The shed/degrade/breaker decision trace is a pure function of the
+  // schedule: bit-identical at 1, 4, and 8 workers.
+  ExpectSameTrace("1 vs 4 workers", t1.trace, t4.trace);
+  ExpectSameTrace("1 vs 8 workers", t1.trace, t8.trace);
+
+  // The ramp actually exercised the whole plane, in order: the bully's
+  // breaker tripped and fast-failed, and the ladder climbed every rung on the
+  // way to 8x before walking back down.
+  EXPECT_NE(t1.trace.find("tenant=bully breaker HEALTHY->TRIPPED"),
+            std::string::npos);
+  EXPECT_NE(t1.trace.find("fast-fail"), std::string::npos);
+  EXPECT_NE(t1.trace.find("brownout NORMAL->REDUCED_SAMPLING"),
+            std::string::npos);
+  EXPECT_NE(t1.trace.find("brownout REDUCED_SAMPLING->STALE_CACHE"),
+            std::string::npos);
+  EXPECT_NE(t1.trace.find("brownout STALE_CACHE->NO_COLD_WORK"),
+            std::string::npos);
+  EXPECT_NE(t1.trace.find("brownout REDUCED_SAMPLING->NORMAL"),
+            std::string::npos);
+  EXPECT_GT(t1.counters.shed_deadline, 0u);
+  EXPECT_GT(t1.counters.shed_codel, 0u);
+
+  // Goodput: the deepest overload phase (8x offered) serves within 10% of
+  // the peak phase. Shedding pays for itself — expired work never occupies a
+  // worker, so capacity keeps flowing to requests that can still meet their
+  // deadlines.
+  ASSERT_EQ(t1.met_per_phase.size(), std::size(kPhases));
+  uint64_t peak = 0;
+  for (uint64_t met : t1.met_per_phase) peak = std::max(peak, met);
+  ASSERT_GT(peak, 0u);
+  EXPECT_GE(static_cast<double>(t1.met_per_phase.back()),
+            0.9 * static_cast<double>(peak))
+      << "8x-phase goodput " << t1.met_per_phase.back()
+      << " fell more than 10% below peak " << peak;
+
+  // p99 released sojourn is bounded by the deadline window: anything older
+  // was shed in queue, never dispatched.
+  ASSERT_FALSE(t1.sojourns.empty());
+  std::vector<int64_t> sorted = t1.sojourns;
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t p99 = sorted[sorted.size() * 99 / 100];
+  EXPECT_LE(p99, kDeadlineWindowMs);
+  EXPECT_LE(sorted.back(), kDeadlineWindowMs);
+}
+
+}  // namespace
+}  // namespace kea::serve

@@ -1,0 +1,569 @@
+#include "serve/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+#include "sim/types.h"
+
+namespace kea::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit level: the three controllers and the retry-hint wire format.
+
+TEST(RetryAfterTest, HintRoundTripsThroughTheStatusMessage) {
+  const Status plain = Status::ResourceExhausted("queue is full");
+  EXPECT_FALSE(RetryAfterMs(plain).has_value());
+
+  const Status hinted = WithRetryAfter(plain, 137);
+  EXPECT_EQ(hinted.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(RetryAfterMs(hinted).has_value());
+  EXPECT_EQ(*RetryAfterMs(hinted), 137);
+  // The original message survives in front of the hint.
+  EXPECT_NE(hinted.message().find("queue is full"), std::string::npos);
+
+  // OK statuses never grow a hint.
+  EXPECT_TRUE(WithRetryAfter(Status::OK(), 10).ok());
+}
+
+TEST(CodelControllerTest, ShedsOnlyOnStandingBacklogAndRecovers) {
+  CodelController::Options options;
+  options.target_ms = 50;
+  options.interval_ms = 100;
+  CodelController codel(options);
+
+  // Below target: never sheds, never arms.
+  EXPECT_FALSE(codel.OnDispatch(10, 0));
+  EXPECT_FALSE(codel.OnDispatch(49, 1'000));
+  EXPECT_FALSE(codel.shedding());
+
+  // Above target arms the watch; shedding starts only after a full interval
+  // of sustained above-target sojourn.
+  EXPECT_FALSE(codel.OnDispatch(60, 2'000));   // arms at 2'100
+  EXPECT_FALSE(codel.OnDispatch(80, 2'050));   // within the interval
+  EXPECT_TRUE(codel.OnDispatch(90, 2'100));    // standing backlog: shed
+  EXPECT_TRUE(codel.shedding());
+  // Sheds are spaced: the very next dispatch at the same instant passes.
+  EXPECT_FALSE(codel.OnDispatch(90, 2'100));
+  // The next scheduled shed (interval/sqrt(1) later) fires.
+  EXPECT_TRUE(codel.OnDispatch(90, 2'200));
+  EXPECT_EQ(codel.total_sheds(), 2u);
+
+  // One below-target dispatch proves the queue drained: episode over.
+  EXPECT_FALSE(codel.OnDispatch(10, 2'300));
+  EXPECT_FALSE(codel.shedding());
+}
+
+TEST(CircuitBreakerTest, TripProbationCloseAndCooldownDoubling) {
+  CircuitBreaker::Options options;
+  options.window = 8;
+  options.min_volume = 4;
+  options.failure_threshold = 0.5;
+  options.cooldown_ms = 100;
+  options.max_cooldown_ms = 400;
+  options.probation_probes = 2;
+  CircuitBreaker breaker(options);
+
+  // Failures below min_volume never trip.
+  breaker.RecordOutcome(false, 0);
+  breaker.RecordOutcome(false, 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHealthy);
+
+  breaker.RecordOutcome(false, 2);
+  breaker.RecordOutcome(false, 3);  // volume 4, fraction 1.0 -> trip
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kTripped);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.open_until_ms(), 103);
+
+  // Fast-fails while tripped; probation after the cooldown.
+  EXPECT_FALSE(breaker.AllowRequest(50));
+  EXPECT_EQ(breaker.fast_fails(), 1u);
+  EXPECT_TRUE(breaker.AllowRequest(103));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kProbation);
+  // Only probation_probes probes are admitted.
+  EXPECT_TRUE(breaker.AllowRequest(104));
+  EXPECT_FALSE(breaker.AllowRequest(105));
+
+  // A failing probe re-trips with a doubled cooldown.
+  breaker.RecordOutcome(false, 106);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kTripped);
+  EXPECT_EQ(breaker.open_until_ms(), 106 + 200);
+
+  // Probation again; all probes succeeding closes the breaker and resets the
+  // cooldown to its base value.
+  EXPECT_TRUE(breaker.AllowRequest(306));
+  EXPECT_TRUE(breaker.AllowRequest(307));
+  breaker.RecordOutcome(true, 308);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kProbation);
+  breaker.RecordOutcome(true, 309);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHealthy);
+
+  // Cooldown was reset: a fresh trip opens for cooldown_ms again, and the
+  // doubling is capped at max_cooldown_ms across consecutive re-trips.
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false, 400);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kTripped);
+  EXPECT_EQ(breaker.open_until_ms(), 500);
+  ASSERT_TRUE(breaker.AllowRequest(500));  // probe
+  breaker.RecordOutcome(false, 501);       // re-trip: 200
+  ASSERT_TRUE(breaker.AllowRequest(701));
+  breaker.RecordOutcome(false, 702);       // re-trip: 400 (cap)
+  ASSERT_TRUE(breaker.AllowRequest(1'102));
+  breaker.RecordOutcome(false, 1'103);     // re-trip: still 400
+  EXPECT_EQ(breaker.open_until_ms(), 1'103 + 400);
+}
+
+TEST(BrownoutLadderTest, OneRungPerUpdateWithDwellAndHysteresis) {
+  BrownoutLadder::Options options;
+  options.up_threshold_ms[0] = 100.0;
+  options.up_threshold_ms[1] = 200.0;
+  options.up_threshold_ms[2] = 400.0;
+  options.down_fraction = 0.5;
+  options.min_dwell_updates = 2;
+  BrownoutLadder ladder(options);
+
+  // Massive pressure still climbs one rung at a time, with the dwell.
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kNormal);   // dwell
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kReducedSampling);
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kReducedSampling);
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kStaleCache);
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kStaleCache);
+  EXPECT_EQ(ladder.Update(10'000.0), BrownoutRung::kNoColdWork);
+
+  // Pressure between down-threshold and up-threshold: holds (hysteresis).
+  // Descending from rung 3 needs pressure < 400 * 0.5.
+  EXPECT_EQ(ladder.Update(300.0), BrownoutRung::kNoColdWork);
+  EXPECT_EQ(ladder.Update(300.0), BrownoutRung::kNoColdWork);
+  // The dwell accumulated while holding, so the first qualifying update steps
+  // down — and 150 >= 200 * 0.5 means rung 2 then holds (hysteresis again).
+  EXPECT_EQ(ladder.Update(150.0), BrownoutRung::kStaleCache);
+  EXPECT_EQ(ladder.Update(150.0), BrownoutRung::kStaleCache);
+  EXPECT_EQ(ladder.Update(150.0), BrownoutRung::kStaleCache);
+  EXPECT_EQ(ladder.Update(150.0), BrownoutRung::kStaleCache);
+  // Zero pressure walks the rest of the way down, one rung per dwell.
+  EXPECT_EQ(ladder.Update(0.0), BrownoutRung::kReducedSampling);
+  EXPECT_EQ(ladder.Update(0.0), BrownoutRung::kReducedSampling);
+  EXPECT_EQ(ladder.Update(0.0), BrownoutRung::kNormal);
+}
+
+// ---------------------------------------------------------------------------
+// Service level: deadlines, breakers, retry budget, and the brownout ladder
+// driven end to end through TuningService. Everything runs on the virtual
+// clock with num_threads = 0: Step() advances virtual time (one deterministic
+// sweep) and then drains whatever the sweep released on this thread.
+
+apps::KeaSession::Config TinyConfig(uint64_t seed = 42) {
+  apps::KeaSession::Config config;
+  config.machines = 50;
+  config.seed = seed;
+  return config;
+}
+
+TuningService::Options OverloadedOptions() {
+  TuningService::Options options;
+  options.num_threads = 0;
+  options.overload.enabled = true;
+  options.overload.virtual_workers = 2.0;
+  options.overload.default_cost_ms = 10.0;
+  return options;
+}
+
+struct Harness {
+  TuningService service;
+  int64_t now = 0;
+
+  explicit Harness(const TuningService::Options& options) : service(options) {}
+
+  TuningService::SweepReport Step(int64_t dt) {
+    now += dt;
+    TuningService::SweepReport report = service.AdvanceVirtualTime(now);
+    service.RunPending();
+    return report;
+  }
+};
+
+WhatIfRequest SmallQuery(double containers, int samples = 64) {
+  WhatIfRequest request;
+  request.candidates.push_back({{sim::MachineGroupKey{0, 0}, containers}});
+  request.uncertainty_samples = samples;
+  return request;
+}
+
+TEST(ServeOverloadTest, TicketWaitForTimesOutWithoutConsuming) {
+  TuningService::Options options;
+  options.num_threads = 0;  // nothing drains until RunPending
+  TuningService service(options);
+  auto id = service.AddTenant("waiter", TinyConfig());
+  ASSERT_TRUE(id.ok());
+  auto ticket = service.SubmitSimulate(id.value(), 1);
+  ASSERT_TRUE(ticket.ok());
+
+  // Nobody is draining: the bounded wait comes back instead of hanging.
+  const auto timed_out = ticket.value().WaitFor(10);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ticket.value().ready());
+
+  // The timeout consumed nothing: once drained the same ticket resolves.
+  service.RunPending();
+  EXPECT_TRUE(ticket.value().WaitFor(10).ok());
+  EXPECT_TRUE(ticket.value().Wait().ok());
+}
+
+TEST(ServeOverloadTest, ExpiredRequestIsShedInQueueNeverDispatched) {
+  Harness h(OverloadedOptions());
+  auto id = h.service.AddTenant("deadline", TinyConfig());
+  ASSERT_TRUE(id.ok());
+
+  SubmitOptions doomed;
+  doomed.deadline_ms = 50;
+  auto shed = h.service.SubmitSimulate(id.value(), 1, doomed);
+  SubmitOptions relaxed;
+  relaxed.deadline_ms = 10'000;
+  auto served = h.service.SubmitSimulate(id.value(), 1, relaxed);
+  ASSERT_TRUE(shed.ok());
+  ASSERT_TRUE(served.ok());
+
+  // The sweep at t=100 finds the first request expired: it is shed in queue
+  // with kDeadlineExceeded, and only the second is released and executed.
+  h.Step(100);
+  const auto shed_result = shed.value().Wait();
+  EXPECT_EQ(shed_result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(shed_result.status().message().find("shed before dispatch"),
+            std::string::npos);
+  EXPECT_TRUE(served.value().Wait().ok());
+
+  const RequestQueue::Counters c = h.service.queue_counters();
+  EXPECT_EQ(c.shed_deadline, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.met_deadline, 1u);  // released at 100 + 10ms cost <= 10'000
+  EXPECT_EQ(c.accepted,
+            c.completed + c.shed_deadline + c.shed_codel + c.cancelled_shutdown);
+  // The session advanced exactly one hour: the expired request never ran.
+  auto session = h.service.tenant_session(id.value());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value()->now(), 1);
+}
+
+TEST(ServeOverloadTest, BornExpiredSubmissionRejectedWithBackoffHint) {
+  Harness h(OverloadedOptions());
+  auto id = h.service.AddTenant("late", TinyConfig());
+  ASSERT_TRUE(id.ok());
+  h.Step(100);
+
+  SubmitOptions late;
+  late.deadline_ms = 50;  // already in the past
+  auto rejected = h.service.SubmitSimulate(id.value(), 1, late);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(RetryAfterMs(rejected.status()).has_value());
+  EXPECT_GT(*RetryAfterMs(rejected.status()), 0);
+
+  const RequestQueue::Counters c = h.service.queue_counters();
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.submitted, c.accepted + c.rejected);
+}
+
+TEST(ServeOverloadTest, BreakerTripsFastFailsThenProbes) {
+  TuningService::Options options = OverloadedOptions();
+  options.overload.breaker.window = 16;
+  options.overload.breaker.min_volume = 8;
+  options.overload.breaker.failure_threshold = 0.5;
+  options.overload.breaker.cooldown_ms = 500;
+  Harness h(options);
+  auto id = h.service.AddTenant("flaky", TinyConfig());
+  ASSERT_TRUE(id.ok());
+
+  // No engine was ever fitted: every what-if fails with FailedPrecondition —
+  // eight failures fill the breaker window.
+  std::vector<Ticket<WhatIfResponsePtr>> tickets;
+  for (int i = 0; i < 8; ++i) {
+    auto ticket = h.service.SubmitWhatIf(id.value(), SmallQuery(8.0 + i));
+    ASSERT_TRUE(ticket.ok()) << i;
+    tickets.push_back(ticket.value());
+  }
+  h.Step(100);  // capacity 200ms releases all eight 10ms requests
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(ticket.Wait().status().code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(h.service.breaker_state(id.value()),
+            CircuitBreaker::State::kHealthy);
+
+  // Outcomes feed the breaker at the next sweep, not at completion time.
+  h.Step(1);
+  EXPECT_EQ(h.service.breaker_state(id.value()),
+            CircuitBreaker::State::kTripped);
+
+  // While tripped the tenant is fast-failed at admission: the request never
+  // reaches the queue, and the hint points at the end of the cooldown.
+  const RequestQueue::Counters before = h.service.queue_counters();
+  auto fast_failed = h.service.SubmitWhatIf(id.value(), SmallQuery(9.0));
+  ASSERT_FALSE(fast_failed.ok());
+  EXPECT_EQ(fast_failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(fast_failed.status().message().find("circuit breaker"),
+            std::string::npos);
+  ASSERT_TRUE(RetryAfterMs(fast_failed.status()).has_value());
+  EXPECT_GT(*RetryAfterMs(fast_failed.status()), 0);
+  const RequestQueue::Counters after = h.service.queue_counters();
+  EXPECT_EQ(after.submitted - before.submitted, 1u);
+  EXPECT_EQ(after.rejected - before.rejected, 1u);
+  EXPECT_EQ(after.accepted, before.accepted);
+
+  // Past the cooldown a probe is admitted (probation) — and since the
+  // handler still fails, the breaker re-trips at the following sweep.
+  h.Step(600);
+  auto probe = h.service.SubmitWhatIf(id.value(), SmallQuery(10.0));
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(h.service.breaker_state(id.value()),
+            CircuitBreaker::State::kProbation);
+  h.Step(10);  // small dt: sojourn stays under the CoDel target
+  EXPECT_EQ(probe.value().Wait().status().code(),
+            StatusCode::kFailedPrecondition);
+  h.Step(1);
+  EXPECT_EQ(h.service.breaker_state(id.value()),
+            CircuitBreaker::State::kTripped);
+
+  // The decision log recorded both transitions, in order.
+  const std::vector<std::string> log = h.service.overload_log();
+  std::string joined;
+  for (const auto& line : log) joined += line + "\n";
+  EXPECT_NE(joined.find("breaker HEALTHY->TRIPPED"), std::string::npos);
+  EXPECT_NE(joined.find("fast-fail"), std::string::npos);
+  EXPECT_NE(joined.find("breaker PROBATION->TRIPPED"), std::string::npos);
+}
+
+TEST(ServeOverloadTest, RetryBudgetRejectsHammeringInstantly) {
+  TuningService::Options options = OverloadedOptions();
+  options.queue.capacity = 1;  // everything past the first submission rejects
+  options.overload.retry_budget.capacity = 2.0;
+  options.overload.retry_budget.refill_per_ms = 0.05;
+  Harness h(options);
+  auto id = h.service.AddTenant("hammer", TinyConfig());
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(h.service.SubmitSimulate(id.value(), 1).ok());
+  // First rejection: the queue is full. Not a retry yet — no token charged —
+  // but it starts the tenant's rejection streak.
+  auto first = h.service.SubmitSimulate(id.value(), 1);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(first.status().message().find("queue is full"), std::string::npos);
+  EXPECT_TRUE(RetryAfterMs(first.status()).has_value());
+
+  // The next two submissions are retries: each spends a token, and the queue
+  // rejects them again.
+  for (int i = 0; i < 2; ++i) {
+    auto retry = h.service.SubmitSimulate(id.value(), 1);
+    ASSERT_FALSE(retry.ok());
+    EXPECT_NE(retry.status().message().find("queue is full"),
+              std::string::npos)
+        << retry.status();
+  }
+  // Budget dry: the rejection now happens before the queue is even asked,
+  // with its own distinguishable message.
+  auto exhausted = h.service.SubmitSimulate(id.value(), 1);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(exhausted.status().message().find("retry budget"),
+            std::string::npos);
+
+  // Draining the queue and submitting successfully resets the streak: the
+  // next submission is not a retry and needs no token.
+  h.Step(100);
+  EXPECT_TRUE(h.service.SubmitSimulate(id.value(), 1).ok());
+  const RequestQueue::Counters c = h.service.queue_counters();
+  EXPECT_EQ(c.submitted, c.accepted + c.rejected);
+  EXPECT_EQ(c.accepted, 2u);
+  EXPECT_EQ(c.rejected, 4u);
+}
+
+TEST(ServeOverloadTest, BrownoutLadderDegradesAndRecoversEndToEnd) {
+  TuningService::Options options = OverloadedOptions();
+  options.overload.brownout_samples = 16;
+  options.overload.stale_epoch_lag = 1;
+  Harness h(options);
+  auto tenant = h.service.AddTenant("primary", TinyConfig(7));
+  auto filler = h.service.AddTenant("filler", TinyConfig(8));
+  ASSERT_TRUE(tenant.ok());
+  ASSERT_TRUE(filler.ok());
+  const TenantId id = tenant.value();
+
+  // Setup at rung 0: a week of telemetry, a fit, and one cold query that
+  // lands in the cache at the current model epoch.
+  ASSERT_TRUE(h.service.SubmitSimulate(id, sim::kHoursPerWeek).ok());
+  h.Step(20);
+  FitRequest fit;
+  fit.whatif.num_threads = 1;
+  ASSERT_TRUE(h.service.SubmitFit(id, fit).ok());
+  h.Step(20);
+  const WhatIfRequest q1 = SmallQuery(12.0, /*samples=*/256);
+  auto cold = h.service.SubmitWhatIf(id, q1);
+  ASSERT_TRUE(cold.ok());
+  h.Step(20);
+  auto cold_result = cold.value().Wait();
+  ASSERT_TRUE(cold_result.ok()) << cold_result.status();
+  EXPECT_FALSE(cold_result.value()->degraded);
+
+  // A refit moves the model epoch; with the plane enabled the old-epoch
+  // entry stays cached — it is rung 2's stale fallback.
+  ASSERT_TRUE(h.service.SubmitFit(id, fit).ok());
+  h.Step(20);
+  EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNormal);
+
+  // Flood: ten 100ms filler requests against 2 virtual workers is ~500ms of
+  // backlog pressure. Tiny sweeps release ~one filler each while the ladder
+  // climbs one rung per dwell-satisfied update.
+  SubmitOptions heavy;
+  heavy.cost_ms = 100.0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.service.SubmitSimulate(filler.value(), 1, heavy).ok()) << i;
+  }
+  h.Step(1);
+  h.Step(1);
+  EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kReducedSampling);
+
+  // Rung 1: a cold query is clamped to brownout_samples and the response is
+  // marked degraded with the rung and reason.
+  auto clamped = h.service.SubmitWhatIf(id, SmallQuery(14.0, 256));
+  ASSERT_TRUE(clamped.ok());
+  h.Step(1);  // round-robin: the primary tenant's 10ms query releases next
+  auto clamped_result = clamped.value().Wait();
+  ASSERT_TRUE(clamped_result.ok()) << clamped_result.status();
+  EXPECT_TRUE(clamped_result.value()->degraded);
+  EXPECT_EQ(clamped_result.value()->degraded_reason, "reduced sampling");
+  EXPECT_GE(clamped_result.value()->degraded_rung, 1);
+
+  h.Step(1);
+  h.Step(1);
+  EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kStaleCache);
+
+  // Rung 2: the fresh-epoch miss for q1 is served one epoch back, marked
+  // "stale epoch", with the same payload content the old epoch computed.
+  ASSERT_TRUE(h.service.cache() != nullptr);
+  const uint64_t stale_hits_before = h.service.cache()->stats().stale_hits;
+  auto stale = h.service.SubmitWhatIf(id, q1);
+  ASSERT_TRUE(stale.ok());
+  h.Step(1);
+  auto stale_result = stale.value().Wait();
+  ASSERT_TRUE(stale_result.ok()) << stale_result.status();
+  EXPECT_TRUE(stale_result.value()->degraded);
+  EXPECT_EQ(stale_result.value()->degraded_reason, "stale epoch");
+  EXPECT_GE(stale_result.value()->degraded_rung, 2);
+  // Same answer, different object: the cached entry itself is never marked.
+  EXPECT_NE(stale_result.value().get(), cold_result.value().get());
+  ASSERT_EQ(stale_result.value()->candidates.size(),
+            cold_result.value()->candidates.size());
+  EXPECT_EQ(stale_result.value()->candidates[0].cluster_latency_s,
+            cold_result.value()->candidates[0].cluster_latency_s);
+  EXPECT_EQ(h.service.cache()->stats().stale_hits, stale_hits_before + 1);
+
+  // More flood pushes pressure past the last threshold: rung 3.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.service.SubmitSimulate(filler.value(), 1, heavy).ok()) << i;
+  }
+  h.Step(1);
+  h.Step(1);
+  EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNoColdWork);
+
+  // Rung 3 refuses cold fits at admission...
+  auto refused = h.service.SubmitFit(id, fit);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("brownout"), std::string::npos);
+  EXPECT_TRUE(RetryAfterMs(refused.status()).has_value());
+  // ...and cold what-if evaluation in the drain — while stale-servable
+  // queries still get their degraded answer.
+  auto cold_refused = h.service.SubmitWhatIf(id, SmallQuery(20.0, 256));
+  auto still_stale = h.service.SubmitWhatIf(id, q1);
+  ASSERT_TRUE(cold_refused.ok());
+  ASSERT_TRUE(still_stale.ok());
+  h.Step(6);  // capacity 12ms: both 10ms queries release across sweeps
+  h.Step(6);
+  const auto refused_result = cold_refused.value().Wait();
+  EXPECT_EQ(refused_result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused_result.status().message().find("NO_COLD_WORK"),
+            std::string::npos);
+  const auto stale_again = still_stale.value().Wait();
+  ASSERT_TRUE(stale_again.ok()) << stale_again.status();
+  EXPECT_TRUE(stale_again.value()->degraded);
+
+  // Recovery: one big sweep releases the whole backlog, pressure collapses,
+  // and the ladder walks back down to NORMAL — after which cold fits are
+  // admitted again and fresh queries are not degraded.
+  h.Step(2'000);
+  for (int i = 0; i < 8; ++i) h.Step(10);
+  EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNormal);
+  ASSERT_TRUE(h.service.SubmitFit(id, fit).ok());
+  h.Step(20);
+  auto fresh = h.service.SubmitWhatIf(id, SmallQuery(22.0, 256));
+  ASSERT_TRUE(fresh.ok());
+  h.Step(20);
+  auto fresh_result = fresh.value().Wait();
+  ASSERT_TRUE(fresh_result.ok()) << fresh_result.status();
+  EXPECT_FALSE(fresh_result.value()->degraded);
+
+  // The ladder's travel is in the decision log.
+  std::string joined;
+  for (const auto& line : h.service.overload_log()) joined += line + "\n";
+  EXPECT_NE(joined.find("brownout NORMAL->REDUCED_SAMPLING"),
+            std::string::npos);
+  EXPECT_NE(joined.find("brownout REDUCED_SAMPLING->STALE_CACHE"),
+            std::string::npos);
+  EXPECT_NE(joined.find("brownout STALE_CACHE->NO_COLD_WORK"),
+            std::string::npos);
+  EXPECT_NE(joined.find("brownout REDUCED_SAMPLING->NORMAL"),
+            std::string::npos);
+}
+
+// The plane at zero pressure is invisible: the same request script produces
+// bit-identical payloads with overload control enabled and disabled, because
+// at rung 0 every request flows through exactly the PR 6 code path.
+TEST(ServeOverloadTest, ZeroPressurePathMatchesPlaneDisabledBitExactly) {
+  auto run = [](bool enabled) {
+    TuningService::Options options;
+    options.num_threads = 0;
+    options.overload.enabled = enabled;
+    TuningService service(options);
+    auto id = service.AddTenant("zp", TinyConfig(11));
+    EXPECT_TRUE(id.ok());
+    int64_t now = 0;
+    auto step = [&] {
+      if (enabled) {
+        now += 10;  // capacity 20ms per step; sojourn under CoDel target
+        service.AdvanceVirtualTime(now);
+      }
+      service.RunPending();
+    };
+    EXPECT_TRUE(service.SubmitSimulate(id.value(), sim::kHoursPerWeek).ok());
+    step();
+    FitRequest fit;
+    fit.whatif.num_threads = 1;
+    EXPECT_TRUE(service.SubmitFit(id.value(), fit).ok());
+    step();
+    std::vector<double> bits;
+    for (int q = 0; q < 3; ++q) {
+      auto ticket = service.SubmitWhatIf(id.value(), SmallQuery(10.0 + q, 64));
+      EXPECT_TRUE(ticket.ok());
+      step();
+      auto result = ticket.value().Wait();
+      EXPECT_TRUE(result.ok()) << result.status();
+      EXPECT_FALSE(result.value()->degraded);
+      for (const auto& c : result.value()->candidates) {
+        bits.push_back(c.cluster_latency_s);
+        bits.push_back(c.cluster_latency_stderr_s);
+      }
+    }
+    return bits;
+  };
+  const std::vector<double> disabled = run(false);
+  const std::vector<double> enabled = run(true);
+  ASSERT_EQ(disabled.size(), enabled.size());
+  for (size_t i = 0; i < disabled.size(); ++i) {
+    EXPECT_EQ(disabled[i], enabled[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace kea::serve

@@ -212,6 +212,77 @@ TEST(WhatIfCacheTest, InvalidateTenantDropsOnlyThatTenant) {
   EXPECT_EQ(cache.InvalidateTenant(7), 0u);
 }
 
+// Returns MakeKey(tenant) with the epoch axes overridden: the shape of the
+// stale-epoch queries the brownout ladder's rung 2 issues.
+WhatIfCacheKey EpochKey(int tenant, uint64_t model_epoch,
+                        uint64_t deploy_epoch) {
+  WhatIfCacheKey key = MakeKey(tenant);
+  key.model_epoch = model_epoch;
+  key.deploy_epoch = deploy_epoch;
+  return key;
+}
+
+TEST(WhatIfCacheTest, LookupStaleServesOnlyStrictlyOlderEpochsWithinLag) {
+  WhatIfCache cache(8);
+  // The tenant's answer for this exact query, one and three refits ago.
+  cache.Insert(EpochKey(0, 2, 2), MakeResponsePtr(1.0));
+  cache.Insert(EpochKey(0, 4, 4), MakeResponsePtr(2.0));
+
+  // The exact-epoch entry is NOT a stale hit: Lookup's job, not LookupStale's.
+  EXPECT_EQ(cache.LookupStale(EpochKey(0, 4, 4), 1), nullptr);
+  // Newer entries never serve an older query.
+  EXPECT_EQ(cache.LookupStale(EpochKey(0, 1, 1), 1), nullptr);
+  // Beyond the lag window: refusing is better than answering from antiquity.
+  EXPECT_EQ(cache.LookupStale(EpochKey(0, 6, 6), 1), nullptr);
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+
+  // Within the window: the epoch-4 answer serves an epoch-5 query, and it is
+  // the cached payload itself (marking happens on a copy, never in place).
+  const WhatIfResponsePtr stale = cache.LookupStale(EpochKey(0, 5, 5), 1);
+  ASSERT_NE(stale, nullptr);
+  ExpectBitIdentical(MakeResponse(2.0), *stale);
+  EXPECT_FALSE(stale->degraded);
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+
+  // Both axes must lag: a model refit without a redeploy still disqualifies
+  // an entry whose deploy epoch is ahead of the query's.
+  EXPECT_EQ(cache.LookupStale(EpochKey(0, 5, 3), 1), nullptr);
+  // Another tenant's identical query never crosses the isolation boundary.
+  EXPECT_EQ(cache.LookupStale(EpochKey(1, 5, 5), 1), nullptr);
+}
+
+TEST(WhatIfCacheTest, LookupStalePrefersTheFreshestEligibleEntry) {
+  WhatIfCache cache(8);
+  cache.Insert(EpochKey(0, 3, 3), MakeResponsePtr(3.0));
+  cache.Insert(EpochKey(0, 4, 4), MakeResponsePtr(4.0));
+  const WhatIfResponsePtr stale = cache.LookupStale(EpochKey(0, 5, 5), 2);
+  ASSERT_NE(stale, nullptr);
+  ExpectBitIdentical(MakeResponse(4.0), *stale);
+}
+
+TEST(WhatIfCacheTest, MakeDegradedCopyIsPointerDistinctAndMarked) {
+  const WhatIfResponsePtr cached = MakeResponsePtr(0.7);
+  const WhatIfResponsePtr degraded = MakeDegradedCopy(*cached, 2, "stale epoch");
+  ASSERT_NE(degraded, nullptr);
+  // A fresh allocation: the shared cached payload was not written through.
+  EXPECT_NE(degraded.get(), cached.get());
+  EXPECT_FALSE(cached->degraded);
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->degraded_rung, 2);
+  EXPECT_EQ(degraded->degraded_reason, "stale epoch");
+  // The payload content itself is the cached answer, bit for bit.
+  ExpectBitIdentical(*cached, *degraded);
+}
+
+TEST(WhatIfCacheTest, NoStaleAnswerSurvivesInvalidateTenant) {
+  WhatIfCache cache(8);
+  cache.Insert(EpochKey(0, 2, 2), MakeResponsePtr(1.0));
+  ASSERT_NE(cache.LookupStale(EpochKey(0, 3, 3), 1), nullptr);
+  cache.InvalidateTenant(0);
+  EXPECT_EQ(cache.LookupStale(EpochKey(0, 3, 3), 1), nullptr)
+      << "an invalidated tenant must never be served a stale answer";
+}
+
 TEST(ConfigHashTest, SensitiveToCandidatesAndValues) {
   WhatIfRequest a, b;
   a.candidates.push_back({{sim::MachineGroupKey{0, 0}, 8.0}});
