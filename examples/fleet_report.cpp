@@ -10,6 +10,7 @@
 // Build & run:  ./build/examples/fleet_report
 
 #include <cstdio>
+#include <memory>
 
 #include "kea.h"
 #include "apps/experiment_planner.h"
@@ -172,11 +173,56 @@ int main() {
     }
   }
 
+  // --- Serving statusz: the tuning service under load ------------------------
+  // A short deterministic drive of kea::serve with overload control on: one
+  // tenant, a burst of work against the virtual clock, then the operational
+  // snapshot every instrument above feeds — rung, breakers, SLO burn,
+  // sojourn percentiles, cache hit ratio, queue depth.
+  {
+    serve::TuningService::Options sopt;
+    sopt.num_threads = 0;  // drain on this thread: fully deterministic
+    sopt.overload.enabled = true;
+    auto service = std::make_unique<serve::TuningService>(sopt);
+    apps::KeaSession::Config tiny;
+    tiny.machines = 50;
+    auto tenant = service->AddTenant("fleet-report", tiny);
+    if (tenant.ok()) {
+      serve::SubmitOptions submit;
+      submit.deadline_ms = 400;
+      int64_t now = 0;
+      for (int round = 0; round < 6; ++round) {
+        (void)service->SubmitSimulate(tenant.value(), 6, submit);
+        now += 50;
+        service->AdvanceVirtualTime(now);
+        service->RunPending();
+      }
+      now += 500;
+      service->AdvanceVirtualTime(now);
+      service->RunPending();
+      std::printf("\n%s", service->Statusz().c_str());
+    }
+  }
+
   // --- Ops view: what the pipeline itself did --------------------------------
   // Every deterministic counter the run incremented — fits, thread-pool jobs,
   // snapshot writes — rendered beside the fleet views above.
   std::printf("\n%s", telemetry::RenderObsPanel().c_str());
   std::string trace_summary = telemetry::RenderTraceSummary();
   if (!trace_summary.empty()) std::printf("\n%s", trace_summary.c_str());
+
+  // --- Prometheus exposition sample ------------------------------------------
+  // The same registry, rendered in Prometheus text format (deterministic
+  // instruments only here; pass include_timing for the full scrape).
+  std::string prom = obs::Registry::Get().RenderPrometheus(false);
+  size_t shown = 0, pos = 0;
+  std::printf("\nprometheus exposition sample:\n");
+  while (pos < prom.size() && shown < 12) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    std::printf("  %s\n", prom.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++shown;
+  }
+  std::printf("  ... (%zu bytes total)\n", prom.size());
   return 0;
 }

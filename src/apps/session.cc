@@ -10,6 +10,7 @@
 #include "common/journal.h"
 #include "common/snapshot.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "telemetry/perf_monitor.h"
 
@@ -600,6 +601,7 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
 }
 
 StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir) {
+  KEA_PHASE("session.journal_replay");
   KEA_ASSIGN_OR_RETURN(SnapshotReader snapshot,
                        SnapshotReader::Open(dir + kCheckpointFile));
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/shard.h"
 #include "obs/trace.h"
 
 namespace kea::common {
@@ -85,18 +86,30 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // All worker shards folded (see WorkerLoop); one epoch advance drains any
+  // residue the dispatching thread accumulated during this pool's jobs into
+  // the central base. Transient pools (ThreadPool::Run) therefore leave no
+  // per-thread shard memory behind.
+  obs::ShardRegistry::Get().AdvanceEpoch();
 }
 
 void ThreadPool::WorkerLoop() {
   t_current_pool = this;
-  std::unique_lock<std::mutex> lock(mu_);
-  uint64_t seen_generation = 0;
-  while (true) {
-    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
-    if (stopping_) return;
-    seen_generation = generation_;
-    DrainIndices(lock, seen_generation);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen_generation = 0;
+    while (true) {
+      work_cv_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) break;
+      seen_generation = generation_;
+      DrainIndices(lock, seen_generation);
+    }
   }
+  // Eagerly retire this worker's obs shard (the TLS destructor would too,
+  // but doing it here bounds shard-table growth deterministically even if
+  // the runtime defers TLS teardown).
+  obs::ShardRegistry::Get().FoldCurrentThread();
 }
 
 void ThreadPool::DrainIndices(std::unique_lock<std::mutex>& lock,

@@ -59,11 +59,15 @@ struct WindowMetrics {
   double latency_s = 0.0;      ///< Task-weighted mean latency (W-bar).
   double queue_p99_ms = 0.0;
   double utilization = 0.0;    ///< Mean CPU utilization.
+  /// Records whose mean task latency exceeded the SLO target (0 when the
+  /// SLO guardrail is disabled).
+  size_t slo_bad = 0;
 };
 
 WindowMetrics Measure(const telemetry::TelemetryStore& store,
                       const std::unordered_set<int>& machine_ids,
-                      sim::HourIndex begin, sim::HourIndex end) {
+                      sim::HourIndex begin, sim::HourIndex end,
+                      double slo_target_latency_s = 0.0) {
   WindowMetrics m;
   double weighted_latency = 0.0, util_sum = 0.0;
   std::vector<double> queue_latencies;
@@ -75,6 +79,10 @@ WindowMetrics Measure(const telemetry::TelemetryStore& store,
       continue;
     }
     ++m.records;
+    if (slo_target_latency_s > 0.0 &&
+        r.avg_task_latency_s > slo_target_latency_s) {
+      ++m.slo_bad;
+    }
     m.tasks += r.tasks_finished;
     weighted_latency += r.avg_task_latency_s * r.tasks_finished;
     util_sum += r.cpu_utilization;
@@ -118,6 +126,11 @@ std::string GuardrailEvaluation::Describe() const {
   add("latency", latency_ok, baseline_latency_s, observed_latency_s);
   add("queue_p99", queue_ok, baseline_queue_p99_ms, observed_queue_p99_ms);
   add("utilization", utilization_ok, baseline_utilization, observed_utilization);
+  if (slo_checked) {
+    out += "slo_burn";
+    out += slo_ok ? " ok (" : " TRIPPED (";
+    out += std::to_string(observed_slo_burn) + ") ";
+  }
   return out;
 }
 
@@ -167,8 +180,9 @@ GuardrailEvaluation GuardrailedRollout::Evaluate(
     sim::HourIndex baseline_begin, sim::HourIndex baseline_end,
     sim::HourIndex begin, sim::HourIndex end) const {
   std::unordered_set<int> ids(machine_ids.begin(), machine_ids.end());
+  const double slo_target = options_.guardrails.slo_target_latency_s;
   WindowMetrics baseline = Measure(store, ids, baseline_begin, baseline_end);
-  WindowMetrics observed = Measure(store, ids, begin, end);
+  WindowMetrics observed = Measure(store, ids, begin, end, slo_target);
 
   GuardrailEvaluation eval;
   eval.baseline_latency_s = baseline.latency_s;
@@ -192,6 +206,17 @@ GuardrailEvaluation GuardrailedRollout::Evaluate(
                   std::max(baseline.queue_p99_ms * t.max_queue_p99_ratio,
                            t.queue_p99_floor_ms);
   eval.utilization_ok = observed.utilization <= t.max_utilization;
+  if (t.slo_target_latency_s > 0.0) {
+    // Same burn-rate semantic as obs::SloTracker: fraction of bad
+    // observations over the window, divided by the error budget.
+    eval.slo_checked = true;
+    const double bad_fraction = static_cast<double>(observed.slo_bad) /
+                                static_cast<double>(observed.records);
+    const double budget = 1.0 - t.slo_objective;
+    eval.observed_slo_burn =
+        budget > 0.0 ? bad_fraction / budget : (bad_fraction > 0.0 ? 1e9 : 0.0);
+    eval.slo_ok = eval.observed_slo_burn <= t.max_slo_burn;
+  }
   return eval;
 }
 
@@ -317,6 +342,10 @@ std::string GuardrailedRollout::EncodeEvaluation(const GuardrailEvaluation& eval
   w.PutBool(eval.queue_ok);
   w.PutBool(eval.utilization_ok);
   w.PutBool(eval.measurable);
+  // SLO guardrail fields (appended; pre-SLO blobs simply end here).
+  w.PutBool(eval.slo_checked);
+  w.PutDouble(eval.observed_slo_burn);
+  w.PutBool(eval.slo_ok);
   return w.Release();
 }
 
@@ -333,6 +362,13 @@ Status GuardrailedRollout::DecodeEvaluation(const std::string& blob,
   KEA_RETURN_IF_ERROR(r.GetBool(&eval->queue_ok));
   KEA_RETURN_IF_ERROR(r.GetBool(&eval->utilization_ok));
   KEA_RETURN_IF_ERROR(r.GetBool(&eval->measurable));
+  if (!r.AtEnd()) {
+    // Blobs journaled before the SLO guardrail existed stop above; their
+    // defaults (slo_checked=false, slo_ok=true) reproduce the old verdict.
+    KEA_RETURN_IF_ERROR(r.GetBool(&eval->slo_checked));
+    KEA_RETURN_IF_ERROR(r.GetDouble(&eval->observed_slo_burn));
+    KEA_RETURN_IF_ERROR(r.GetBool(&eval->slo_ok));
+  }
   return Status::OK();
 }
 

@@ -30,6 +30,15 @@ struct GuardrailThresholds {
   /// Observed mean CPU utilization must stay at or below this cap (the
   /// "machines off the cliff" guard of Eq. 10).
   double max_utilization = 0.99;
+  /// SLO guardrail, disabled by default (0.0). When set, each observed
+  /// machine-hour whose mean task latency exceeds this target burns error
+  /// budget; the wave trips when the burn rate — bad fraction divided by
+  /// the budget (1 - slo_objective) — exceeds max_slo_burn. This is the
+  /// same burn-rate semantic obs::SloTracker uses in kea::serve, applied
+  /// to rollout observation windows.
+  double slo_target_latency_s = 0.0;
+  double slo_objective = 0.99;
+  double max_slo_burn = 1.0;
 };
 
 /// One guardrail evaluation: the baseline vs observed metric values and the
@@ -48,8 +57,17 @@ struct GuardrailEvaluation {
   /// False when the wave window had no usable telemetry at all — treated as
   /// a trip (never conclude "healthy" from silence).
   bool measurable = false;
+  /// SLO guardrail verdict. slo_checked records whether the guardrail was
+  /// enabled for this evaluation; slo_ok defaults true so evaluations
+  /// decoded from pre-SLO ledger blobs (and runs with the guardrail off)
+  /// pass unchanged.
+  bool slo_checked = false;
+  double observed_slo_burn = 0.0;
+  bool slo_ok = true;
 
-  bool pass() const { return measurable && latency_ok && queue_ok && utilization_ok; }
+  bool pass() const {
+    return measurable && latency_ok && queue_ok && utilization_ok && slo_ok;
+  }
   std::string Describe() const;
 };
 

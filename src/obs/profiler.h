@@ -1,0 +1,127 @@
+#ifndef KEA_OBS_PROFILER_H_
+#define KEA_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Always-on phase profiler (DESIGN.md "Observability v2").
+///
+/// Attributes wall time to a stack of NAMED PHASES ("fit", "mc.grid",
+/// "sweep.run", ...) per thread, cheap enough to leave on in production:
+/// entering a phase is one steady_clock read plus a child lookup on a
+/// per-thread trie node (usually a one-element scan); leaving is one clock
+/// read plus two relaxed atomic adds. No allocation after a phase path has
+/// been seen once on a thread.
+///
+/// Export is flamegraph-ready collapsed-stack text ("fit;mc.grid 1234"
+/// — self nanoseconds per path, merged across threads, sorted), written
+/// next to the Chrome trace by WriteTraceFromEnv. Self-overhead is
+/// reported from a startup calibration of the enter/leave cost times the
+/// observed scope count.
+///
+/// Wall-clock derived — never part of the deterministic exports.
+namespace kea::obs {
+
+class PhaseProfiler {
+ public:
+  static PhaseProfiler& Get();
+
+  /// Runtime switch (on by default; KEA_OBS_DISABLED builds compile the
+  /// scopes out).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Enter/leave the named phase on the calling thread. Prefer the
+  /// KEA_PHASE macro. `name` must outlive the process (string literal).
+  void Begin(const char* name);
+  void End();
+
+  /// Collapsed-stack ("folded") export: one "path;leaf <self_ns>" line per
+  /// distinct phase path, self time merged across threads, sorted by path.
+  std::string CollapsedStack() const;
+  /// Writes CollapsedStack() plus '#'-prefixed self-overhead trailer lines
+  /// to `path`. Returns false on I/O failure.
+  bool WriteCollapsedFile(const std::string& path) const;
+
+  /// Total scopes entered and the calibrated per-scope cost — the
+  /// profiler's own bill: overhead_ns ~= scopes * per-scope cost.
+  uint64_t scope_count() const;
+  double calibrated_scope_cost_ns() const;
+  std::string SelfOverheadSummary() const;
+
+  /// Drops all recorded phases (pointers invalidated). Tests only; callers
+  /// must be outside any phase on every thread.
+  void ResetForTest();
+
+ private:
+  struct Node {
+    std::string name;
+    Node* parent = nullptr;
+    // Inclusive wall ns and entry count; owner thread writes, export reads.
+    std::atomic<uint64_t> total_ns{0};
+    std::atomic<uint64_t> count{0};
+    std::vector<std::unique_ptr<Node>> children;  // mutated under mu_
+  };
+  struct ThreadRoot {
+    Node root;  // name "" — never exported itself
+  };
+  struct TlsState {
+    Node* current = nullptr;       // null until first Begin on this thread
+    std::vector<int64_t> starts;   // entry timestamps, one per open phase
+  };
+
+  PhaseProfiler() = default;
+  Node* ChildNamed(Node* parent, const char* name);
+  void CollectLocked(const Node& node, std::string* prefix,
+                     std::vector<std::pair<std::string, uint64_t>>* out) const;
+
+  static thread_local TlsState tls_;
+
+  mutable std::mutex mu_;  // guards roots_ and children edits
+  std::vector<std::unique_ptr<ThreadRoot>> roots_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> scopes_{0};
+  mutable std::atomic<uint64_t> calibrated_ns_bits_{0};  // double bits; 0 = not yet
+};
+
+/// RAII phase scope.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* name) {
+#ifndef KEA_OBS_DISABLED
+    PhaseProfiler& p = PhaseProfiler::Get();
+    if (p.enabled()) {
+      p.Begin(name);
+      active_ = true;
+    }
+#else
+    (void)name;
+#endif
+  }
+  ~PhaseScope() {
+#ifndef KEA_OBS_DISABLED
+    if (active_) PhaseProfiler::Get().End();
+#endif
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+#define KEA_PHASE_CONCAT_INNER(a, b) a##b
+#define KEA_PHASE_CONCAT(a, b) KEA_PHASE_CONCAT_INNER(a, b)
+/// Attributes the enclosing scope's wall time to phase `name`.
+#define KEA_PHASE(name) \
+  ::kea::obs::PhaseScope KEA_PHASE_CONCAT(kea_phase_scope_, __LINE__)(name)
+
+}  // namespace kea::obs
+
+#endif  // KEA_OBS_PROFILER_H_

@@ -1,0 +1,188 @@
+#include "obs/shard.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kea::obs {
+
+thread_local ShardRegistry::TlsHandle ShardRegistry::tls_handle_;
+thread_local ThreadBlock* ShardRegistry::tls_block_ = nullptr;
+
+ShardRegistry& ShardRegistry::GetSlow() {
+  static ShardRegistry* r = [] {  // never destroyed: slot indices outlive
+    ShardRegistry* p = new ShardRegistry();  // every caller
+    instance_.store(p, std::memory_order_release);
+    return p;
+  }();
+  return *r;
+}
+
+size_t ShardRegistry::AllocateSlots(size_t n, SlotKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t first = kinds_.size();
+  if (first + n > ThreadBlock::kMaxChunks * ShardChunk::kSlots) {
+    std::fprintf(stderr, "kea::obs: shard slot space exhausted (%zu slots)\n",
+                 first + n);
+    std::abort();
+  }
+  kinds_.resize(first + n, kind);
+  base_.resize(first + n, 0);
+  return first;
+}
+
+ThreadBlock* ShardRegistry::EnsureBlock() {
+  TlsHandle& h = tls_handle_;
+  if (h.retired) return nullptr;
+  auto owned = std::make_unique<ThreadBlock>();
+  ThreadBlock* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.push_back(std::move(owned));
+  }
+  h.block = raw;
+  tls_block_ = raw;
+  return raw;
+}
+
+ShardChunk* ShardRegistry::EnsureChunk(ThreadBlock* b, size_t chunk_index) {
+  // Only the owning thread allocates chunks, so a plain release store
+  // publishes the zero-initialised chunk to aggregating readers.
+  auto* c = new ShardChunk();
+  b->chunks[chunk_index].store(c, std::memory_order_release);
+  return c;
+}
+
+void ShardRegistry::AddBaseU64(size_t slot, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_[slot] += n;
+}
+
+void ShardRegistry::AddBaseF64(size_t slot, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_[slot] =
+      std::bit_cast<uint64_t>(std::bit_cast<double>(base_[slot]) + v);
+}
+
+namespace {
+
+std::atomic<uint64_t>* BlockSlot(const ThreadBlock& b, size_t slot) {
+  ShardChunk* c =
+      b.chunks[slot / ShardChunk::kSlots].load(std::memory_order_acquire);
+  return c == nullptr ? nullptr : &c->slots[slot % ShardChunk::kSlots];
+}
+
+}  // namespace
+
+uint64_t ShardRegistry::ReadU64(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = base_[slot];
+  for (const auto& b : live_) {
+    if (auto* s = BlockSlot(*b, slot)) {
+      total += s->load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double ShardRegistry::ReadF64(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = std::bit_cast<double>(base_[slot]);
+  for (const auto& b : live_) {
+    if (auto* s = BlockSlot(*b, slot)) {
+      total += std::bit_cast<double>(s->load(std::memory_order_relaxed));
+    }
+  }
+  return total;
+}
+
+void ShardRegistry::SnapshotU64(size_t first, size_t n, uint64_t* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) out[i] = base_[first + i];
+  for (const auto& b : live_) {
+    for (size_t i = 0; i < n; ++i) {
+      if (auto* s = BlockSlot(*b, first + i)) {
+        out[i] += s->load(std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void ShardRegistry::StoreU64(size_t slot, uint64_t v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_[slot] = v;
+  for (const auto& b : live_) {
+    if (auto* s = BlockSlot(*b, slot)) s->exchange(0, std::memory_order_relaxed);
+  }
+}
+
+void ShardRegistry::StoreF64(size_t slot, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_[slot] = std::bit_cast<uint64_t>(v);
+  for (const auto& b : live_) {
+    if (auto* s = BlockSlot(*b, slot)) s->exchange(0, std::memory_order_relaxed);
+  }
+}
+
+void ShardRegistry::DrainLocked(ThreadBlock* b) {
+  const size_t n = kinds_.size();
+  for (size_t slot = 0; slot < n; ++slot) {
+    auto* s = BlockSlot(*b, slot);
+    if (s == nullptr) {
+      slot |= ShardChunk::kSlots - 1;  // whole chunk absent: skip it
+      continue;
+    }
+    const uint64_t bits = s->exchange(0, std::memory_order_relaxed);
+    if (bits == 0) continue;
+    if (kinds_[slot] == SlotKind::kU64) {
+      base_[slot] += bits;
+    } else {
+      base_[slot] = std::bit_cast<uint64_t>(std::bit_cast<double>(base_[slot]) +
+                                            std::bit_cast<double>(bits));
+    }
+  }
+}
+
+void ShardRegistry::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : live_) DrainLocked(b.get());
+  ++epochs_;
+}
+
+void ShardRegistry::FoldCurrentThread() {
+  TlsHandle& h = tls_handle_;
+  ThreadBlock* b = h.block;
+  h.block = nullptr;
+  h.retired = true;
+  tls_block_ = nullptr;
+  if (b == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainLocked(b);
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->get() == b) {
+      live_.erase(it);
+      break;
+    }
+  }
+}
+
+ShardRegistry::TlsHandle::~TlsHandle() {
+  if (block != nullptr) ShardRegistry::Get().FoldCurrentThread();
+  retired = true;
+}
+
+size_t ShardRegistry::live_shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+uint64_t ShardRegistry::epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_;
+}
+
+size_t ShardRegistry::slot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kinds_.size();
+}
+
+}  // namespace kea::obs

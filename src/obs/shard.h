@@ -1,0 +1,187 @@
+#ifndef KEA_OBS_SHARD_H_
+#define KEA_OBS_SHARD_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+/// kea::obs sharding core (DESIGN.md "Observability v2").
+///
+/// Every instrument value lives in a dense SLOT index. Each thread owns a
+/// private ThreadBlock of slots; the hot path is one relaxed atomic RMW on
+/// the calling thread's own cache lines — no shared counter, no registry
+/// mutex. The aggregated value of a slot is
+///
+///     base[slot] + sum over live thread blocks of block[slot]
+///
+/// and is read under the shard mutex (cold path: renders, tests, statusz).
+/// Two events move shard residue into `base`:
+///
+///   - AdvanceEpoch(): atomically drains every live block into base
+///     (exchange(0) per slot, so concurrent increments are never lost);
+///     called by renders and by ThreadPool teardown.
+///   - thread exit: the thread's block is drained and retired via a TLS
+///     destructor (and eagerly by ThreadPool workers), so transient pools
+///     do not leak shard memory.
+///
+/// Slot kinds: kU64 accumulates with integer adds (order-independent, exact);
+/// kF64 accumulates doubles via single-writer CAS on the bit pattern.
+/// Deterministic exports that include kF64 slots (histogram sums) stay
+/// bit-identical across thread counts only when the observed values are
+/// integer-valued (exact in any fold order) — see DESIGN.md.
+namespace kea::obs {
+
+enum class SlotKind : uint8_t {
+  kU64 = 0,  // integer accumulator (counters, bucket counts)
+  kF64 = 1,  // double accumulator stored as bit pattern (histogram sums)
+};
+
+/// Fixed-size chunk of slots; chunks are allocated lazily by the owning
+/// thread the first time a slot in the chunk is touched.
+struct ShardChunk {
+  static constexpr size_t kSlots = 256;
+  std::atomic<uint64_t> slots[kSlots];
+  ShardChunk() {
+    for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One thread's private shard. Only the owning thread adds; other threads
+/// read (aggregation) or zero (RestoreTo/reset/epoch drain) the atomics.
+/// Chunk pointers are published with release stores and read with acquire
+/// loads so a reader never sees an uninitialised chunk.
+struct ThreadBlock {
+  static constexpr size_t kMaxChunks = 1024;  // 256Ki slots — far above need
+  std::atomic<ShardChunk*> chunks[kMaxChunks];
+  ThreadBlock() {
+    for (auto& c : chunks) c.store(nullptr, std::memory_order_relaxed);
+  }
+  ~ThreadBlock() {
+    for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+  }
+};
+
+/// Process-wide shard table. Leaked singleton (like Registry/Tracer) so slot
+/// indices cached in function-local statics outlive every caller.
+class ShardRegistry {
+ public:
+  /// Hot-path accessor: one inlined acquire load once the singleton exists
+  /// (every Counter::Increment goes through here, so the usual
+  /// function-local-static guard would be a per-increment call).
+  static ShardRegistry& Get() {
+    ShardRegistry* r = instance_.load(std::memory_order_acquire);
+    return r != nullptr ? *r : GetSlow();
+  }
+
+  /// Allocates `n` contiguous slots of `kind`; returns the first index.
+  /// Slots live forever. Aborts if the fixed slot space is exhausted
+  /// (programming error: instruments are created once, not per request).
+  size_t AllocateSlots(size_t n, SlotKind kind);
+
+  /// Hot path: add to the calling thread's shard. One relaxed fetch_add
+  /// (kU64) or one uncontended CAS (kF64) on thread-owned cache lines.
+  void AddU64(size_t slot, uint64_t n) {
+    std::atomic<uint64_t>* s = HotSlot(slot);
+    if (s != nullptr) {
+      s->fetch_add(n, std::memory_order_relaxed);
+    } else {
+      AddBaseU64(slot, n);  // thread is exiting; rare
+    }
+  }
+  void AddF64(size_t slot, double v) {
+    std::atomic<uint64_t>* s = HotSlot(slot);
+    if (s == nullptr) {
+      AddBaseF64(slot, v);  // thread is exiting; rare
+      return;
+    }
+    uint64_t observed = s->load(std::memory_order_relaxed);
+    uint64_t desired;
+    do {
+      desired = std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + v);
+    } while (!s->compare_exchange_weak(observed, desired,
+                                       std::memory_order_relaxed));
+  }
+
+  /// Aggregated reads: base + sum of live blocks, under the shard mutex.
+  uint64_t ReadU64(size_t slot) const;
+  double ReadF64(size_t slot) const;
+  /// Reads slots [first, first+n) in ONE locked pass — the snapshot renders
+  /// use so a histogram's exported count can be derived from the same read
+  /// as its buckets.
+  void SnapshotU64(size_t first, size_t n, uint64_t* out) const;
+
+  /// Sets the aggregated value to exactly `v`: base := v, every live shard
+  /// slot drained to zero. For RestoreTo (checkpoint/resume) and test
+  /// resets; racing writers keep only increments that land after the store.
+  void StoreU64(size_t slot, uint64_t v);
+  void StoreF64(size_t slot, double v);
+
+  /// Drains every live block into base (exchange(0) per slot — concurrent
+  /// increments are either captured or left for the next epoch, never
+  /// lost). Aggregated values are unchanged; per-thread residue becomes
+  /// centrally visible even if a reader later skips the block scan.
+  void AdvanceEpoch();
+
+  /// Drains and retires the calling thread's block; later adds from this
+  /// thread fall back to the (locked) base path. Called from the TLS
+  /// destructor and eagerly by ThreadPool workers on exit.
+  void FoldCurrentThread();
+
+  /// Introspection for tests / statusz.
+  size_t live_shard_count() const;
+  uint64_t epochs() const;
+  size_t slot_count() const;
+
+ private:
+  ShardRegistry() = default;
+
+  /// Constructs and publishes the leaked singleton (cold; thread-safe via
+  /// the function-local static inside).
+  static ShardRegistry& GetSlow();
+  inline static std::atomic<ShardRegistry*> instance_{nullptr};
+
+  // Returns the calling thread's slot, or nullptr if this thread's shard
+  // has been retired (thread exiting). Cold sub-paths are out-of-line.
+  std::atomic<uint64_t>* HotSlot(size_t slot) {
+    ThreadBlock* b = tls_block_;
+    if (b == nullptr) {
+      b = EnsureBlock();
+      if (b == nullptr) return nullptr;
+    }
+    const size_t ci = slot / ShardChunk::kSlots;
+    ShardChunk* c = b->chunks[ci].load(std::memory_order_acquire);
+    if (c == nullptr) c = EnsureChunk(b, ci);
+    return &c->slots[slot % ShardChunk::kSlots];
+  }
+
+  ThreadBlock* EnsureBlock();
+  static ShardChunk* EnsureChunk(ThreadBlock* b, size_t chunk_index);
+  void AddBaseU64(size_t slot, uint64_t n);
+  void AddBaseF64(size_t slot, double v);
+  // Drains `b` into base_. Caller holds mu_.
+  void DrainLocked(ThreadBlock* b);
+
+  // TLS handle: destructor retires this thread's block. `tls_block_` is a
+  // raw mirror of handle.block so the hot path is a single TLS load.
+  struct TlsHandle {
+    ThreadBlock* block = nullptr;
+    bool retired = false;
+    ~TlsHandle();
+  };
+  static thread_local TlsHandle tls_handle_;
+  static thread_local ThreadBlock* tls_block_;
+
+  mutable std::mutex mu_;
+  std::vector<SlotKind> kinds_;          // indexed by slot
+  std::vector<uint64_t> base_;           // aggregated residue, bit patterns
+  std::vector<std::unique_ptr<ThreadBlock>> live_;
+  uint64_t epochs_ = 0;
+};
+
+}  // namespace kea::obs
+
+#endif  // KEA_OBS_SHARD_H_

@@ -1,0 +1,82 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kea::obs {
+
+SloTracker::SloTracker(SloOptions opts) : opts_(opts) {
+  if (opts_.bucket_ms < 1) opts_.bucket_ms = 1;
+  if (opts_.slow_window_ms < opts_.bucket_ms)
+    opts_.slow_window_ms = opts_.bucket_ms;
+  if (opts_.fast_window_ms < opts_.bucket_ms)
+    opts_.fast_window_ms = opts_.bucket_ms;
+  // +1: a window of N buckets can straddle N+1 ring cells because "now"
+  // rarely lands on a bucket edge.
+  ring_.resize(
+      static_cast<size_t>(opts_.slow_window_ms / opts_.bucket_ms) + 1);
+}
+
+void SloTracker::Record(double latency_ms, bool error, int64_t now_ms) {
+  now_ms = std::max(now_ms, latest_ms_);
+  latest_ms_ = now_ms;
+  const int64_t start = (now_ms / opts_.bucket_ms) * opts_.bucket_ms;
+  Bucket& b = ring_[static_cast<size_t>((start / opts_.bucket_ms) %
+                                        static_cast<int64_t>(ring_.size()))];
+  if (b.start_ms != start) {
+    b.start_ms = start;
+    b.good = 0;
+    b.bad = 0;
+  }
+  const bool good = !error && latency_ms <= opts_.target_ms;
+  if (good) {
+    ++b.good;
+  } else {
+    ++b.bad;
+    ++bad_;
+  }
+  ++total_;
+}
+
+void SloTracker::WindowTotals(int64_t window_ms, int64_t now_ms,
+                              uint64_t* good, uint64_t* bad) const {
+  *good = 0;
+  *bad = 0;
+  const int64_t oldest = now_ms - window_ms;
+  for (const Bucket& b : ring_) {
+    if (b.start_ms < 0) continue;
+    // Include buckets overlapping (oldest, now]: stale cells left over from
+    // a previous ring lap have start_ms <= now - slow_window and drop out.
+    if (b.start_ms + opts_.bucket_ms <= oldest || b.start_ms > now_ms) {
+      continue;
+    }
+    *good += b.good;
+    *bad += b.bad;
+  }
+}
+
+double SloTracker::BurnRate(int64_t window_ms, int64_t now_ms) const {
+  uint64_t good = 0;
+  uint64_t bad = 0;
+  WindowTotals(window_ms, now_ms, &good, &bad);
+  const uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  const double budget = 1.0 - opts_.objective;
+  return budget <= 0.0 ? (bad > 0 ? 1e9 : 0.0) : bad_fraction / budget;
+}
+
+std::string SloTracker::Describe(int64_t now_ms) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "slo target=%.0fms objective=%.4f fast_burn=%.2f "
+                "slow_burn=%.2f alerting=%d events=%llu bad=%llu",
+                opts_.target_ms, opts_.objective, FastBurn(now_ms),
+                SlowBurn(now_ms), Alerting(now_ms) ? 1 : 0,
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(bad_));
+  return buf;
+}
+
+}  // namespace kea::obs

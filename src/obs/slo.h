@@ -1,0 +1,90 @@
+#ifndef KEA_OBS_SLO_H_
+#define KEA_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// SLO tracking for kea::obs (DESIGN.md "Observability v2").
+///
+/// An SloTracker measures a latency SLO ("objective fraction of events
+/// complete within target_ms, without error") and reports the ERROR-BUDGET
+/// BURN RATE over sliding windows: burn = (bad/total) / (1 - objective).
+/// Burn 1.0 consumes the budget exactly at the sustainable rate; the
+/// standard SRE multiwindow alert fires when BOTH a fast and a slow window
+/// burn hot — the fast window gives response time, the slow window filters
+/// blips.
+///
+/// The tracker is DETERMINISTIC: time is an explicit `now_ms` argument (the
+/// caller's virtual clock), never a wall clock, so kea::serve can drive its
+/// brownout ladder off the tracker and keep its decision trace bit-identical
+/// across worker counts. Not internally synchronized — callers serialize
+/// (serve records under its own mutex).
+namespace kea::obs {
+
+struct SloOptions {
+  double target_ms = 1000.0;  // latency target per event
+  double objective = 0.99;    // promised good fraction (0 < objective < 1)
+  int64_t fast_window_ms = 60'000;
+  int64_t slow_window_ms = 600'000;
+  double fast_burn_alert = 6.0;  // both must burn hot to alert
+  double slow_burn_alert = 2.0;
+  int64_t bucket_ms = 1000;  // ring granularity; windows round to buckets
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions opts);
+
+  /// Records one event at virtual time `now_ms`. Good means latency within
+  /// target AND no error. `now_ms` must be non-decreasing; regressions are
+  /// clamped to the newest time seen (virtual clocks never rewind, but the
+  /// tracker must not corrupt its ring if a caller misbehaves).
+  void Record(double latency_ms, bool error, int64_t now_ms);
+
+  /// Error-budget burn over the trailing `window_ms` ending at `now_ms`.
+  /// 0 when the window holds no events.
+  double BurnRate(int64_t window_ms, int64_t now_ms) const;
+
+  double FastBurn(int64_t now_ms) const {
+    return BurnRate(opts_.fast_window_ms, now_ms);
+  }
+  double SlowBurn(int64_t now_ms) const {
+    return BurnRate(opts_.slow_window_ms, now_ms);
+  }
+
+  /// Multiwindow alert: fast AND slow windows both over their thresholds.
+  bool Alerting(int64_t now_ms) const {
+    return FastBurn(now_ms) >= opts_.fast_burn_alert &&
+           SlowBurn(now_ms) >= opts_.slow_burn_alert;
+  }
+
+  /// Lifetime totals (not windowed).
+  uint64_t total() const { return total_; }
+  uint64_t bad() const { return bad_; }
+
+  const SloOptions& options() const { return opts_; }
+
+  /// One-line operator rendering for statusz.
+  std::string Describe(int64_t now_ms) const;
+
+ private:
+  struct Bucket {
+    int64_t start_ms = -1;  // bucket-aligned start; -1 = empty
+    uint64_t good = 0;
+    uint64_t bad = 0;
+  };
+  // Sums good/bad over buckets inside [now - window, now].
+  void WindowTotals(int64_t window_ms, int64_t now_ms, uint64_t* good,
+                    uint64_t* bad) const;
+
+  SloOptions opts_;
+  std::vector<Bucket> ring_;  // slow_window_ms / bucket_ms buckets
+  int64_t latest_ms_ = 0;
+  uint64_t total_ = 0;
+  uint64_t bad_ = 0;
+};
+
+}  // namespace kea::obs
+
+#endif  // KEA_OBS_SLO_H_

@@ -8,6 +8,9 @@
 #include <fstream>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
 namespace kea::obs {
 
 #ifndef KEA_OBS_DISABLED
@@ -89,6 +92,21 @@ uint64_t Tracer::BeginSpan(const char* name, Annotations args) {
   if (!TraceEnabled()) return 0;
   ThreadBuf* buf = LocalBuf();
   TlsState& tls = Tls();
+  // Bounded buffers: once this thread's buffer is full, new spans are
+  // dropped whole (no Begin recorded, id 0 so EndSpan no-ops, nothing
+  // pushed on the stack — children simply re-parent to the enclosing
+  // recorded span). End events bypass the cap so open spans always close.
+  const size_t cap = max_events_per_thread_.load(std::memory_order_relaxed);
+  if (cap != 0) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->events.size() >= cap) {
+      dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+      static Counter* dropped = Registry::Get().GetCounter(
+          "obs.trace.dropped_spans", "", Kind::kTiming);
+      dropped->Increment();
+      return 0;
+    }
+  }
   const uint64_t id = next_span_.fetch_add(1, std::memory_order_relaxed);
   TraceEvent ev;
   ev.phase = TraceEvent::Phase::kBegin;
@@ -138,6 +156,18 @@ uint64_t Tracer::ExchangeThreadDefaultParent(uint64_t span_id) {
   return prev;
 }
 
+void Tracer::SetMaxEventsPerThread(size_t max_events) {
+  max_events_per_thread_.store(max_events, std::memory_order_relaxed);
+}
+
+size_t Tracer::max_events_per_thread() const {
+  return max_events_per_thread_.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::dropped_span_count() const {
+  return dropped_spans_.load(std::memory_order_relaxed);
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& buf : bufs_) {
@@ -145,6 +175,7 @@ void Tracer::Clear() {
     buf->events.clear();
   }
   next_span_.store(1, std::memory_order_relaxed);
+  dropped_spans_.store(0, std::memory_order_relaxed);
 }
 
 size_t Tracer::event_count() const {
@@ -644,7 +675,15 @@ bool WriteTraceFromEnv(std::string* path_out, std::string* error) {
   const char* path = std::getenv("KEA_TRACE");
   if (path == nullptr || path[0] == '\0') return true;
   if (path_out) *path_out = path;
-  return Tracer::Get().WriteChromeTraceFile(path, error);
+  if (!Tracer::Get().WriteChromeTraceFile(path, error)) return false;
+  // The phase profile rides along next to the Chrome trace: feed the
+  // .folded file to flamegraph.pl or speedscope.
+  const std::string folded = std::string(path) + ".folded";
+  if (!PhaseProfiler::Get().WriteCollapsedFile(folded)) {
+    if (error) *error = "cannot write " + folded;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace kea::obs

@@ -74,8 +74,18 @@ class Tracer {
   /// callers can restore it (see ThreadPool::DrainIndices).
   uint64_t ExchangeThreadDefaultParent(uint64_t span_id);
 
-  /// Drops all recorded events and restarts span ids from 1. Only call with
-  /// no spans open.
+  /// Per-thread buffer bound: once a thread's buffer holds this many
+  /// events, further BeginSpan calls on it are DROPPED (counted in
+  /// dropped_span_count() and the exported `obs.trace.dropped_spans`
+  /// counter) so week-long traced runs cannot grow memory without bound.
+  /// End events for already-open spans always append, so the trace stays
+  /// well-formed (ValidateChromeTrace passes). 0 = unlimited.
+  void SetMaxEventsPerThread(size_t max_events);
+  size_t max_events_per_thread() const;
+  uint64_t dropped_span_count() const;
+
+  /// Drops all recorded events, restarts span ids from 1, and zeroes the
+  /// dropped-span count. Only call with no spans open.
   void Clear();
 
   size_t event_count() const;
@@ -109,6 +119,10 @@ class Tracer {
   mutable std::mutex mu_;  // guards bufs_
   std::vector<std::shared_ptr<ThreadBuf>> bufs_;
   std::atomic<uint64_t> next_span_{1};
+  // Default cap: ~1M events/thread (order 100MB worst case) — far above any
+  // test or example, low enough that an always-on weeklong run stays flat.
+  std::atomic<size_t> max_events_per_thread_{1u << 20};
+  std::atomic<uint64_t> dropped_spans_{0};
   uint64_t epoch_ns_ = 0;
 };
 
@@ -180,8 +194,10 @@ TraceValidation ValidateChromeTrace(const std::string& json);
 /// tracing and returns true. Call once at tool startup.
 bool EnableTracingFromEnv();
 
-/// When KEA_TRACE is set, writes the collected trace there. Returns false
-/// (with *error) on write failure, true otherwise (including "not set").
+/// When KEA_TRACE is set, writes the collected trace there, plus the phase
+/// profiler's flamegraph-ready collapsed stacks to "<path>.folded" (feed to
+/// flamegraph.pl / speedscope). Returns false (with *error) on write
+/// failure, true otherwise (including "not set").
 bool WriteTraceFromEnv(std::string* path_out = nullptr,
                        std::string* error = nullptr);
 

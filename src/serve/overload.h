@@ -10,6 +10,7 @@
 #include "common/retry_budget.h"
 #include "common/status.h"
 #include "common/virtual_clock.h"
+#include "obs/slo.h"
 
 namespace kea::serve {
 
@@ -220,6 +221,27 @@ struct OverloadOptions {
   int brownout_samples = 32;
   /// How many epochs back rung >= 2 may serve stale cache hits from.
   int stale_epoch_lag = 1;
+
+  /// SLO plane (ISSUE 9). While overload control is on, every release's
+  /// sojourn and every shed feed an obs::SloTracker against the virtual
+  /// clock — the same instrument operators see in statusz. With
+  /// `slo.enforce` additionally set, a multiwindow burn alert escalates the
+  /// published brownout rung one step beyond the ladder's pressure verdict
+  /// (logged as "slo_escalate"). enforce defaults OFF so the PR 8 decision
+  /// trace stays byte-identical under unchanged options.
+  struct SloGuard {
+    bool enforce = false;
+    obs::SloOptions slo{
+        .target_ms = 200.0,   // queue sojourn target per release
+        .objective = 0.9,     // virtual sojourns are coarse; modest objective
+        .fast_window_ms = 500,
+        .slow_window_ms = 5000,
+        .fast_burn_alert = 6.0,
+        .slow_burn_alert = 2.0,
+        .bucket_ms = 50,
+    };
+  };
+  SloGuard slo_guard;
 };
 
 }  // namespace kea::serve

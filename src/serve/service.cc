@@ -1,8 +1,11 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/random.h"
+#include "obs/profiler.h"
+#include "obs/shard.h"
 
 namespace kea::serve {
 
@@ -54,6 +57,30 @@ obs::Gauge* RungGauge() {
   return g;
 }
 
+// SLO plane instruments (kTiming: sojourns are virtual-clock artifacts of a
+// particular driver schedule, not logical event counts).
+obs::Histogram* SojournHistogram() {
+  static obs::Histogram* h = obs::Registry::Get().GetHistogram(
+      "serve.sojourn_ms", "", obs::ExponentialBuckets(1.0, 2.0, 16),
+      obs::Kind::kTiming);
+  return h;
+}
+obs::Gauge* FastBurnGauge() {
+  static obs::Gauge* g = obs::Registry::Get().GetGauge(
+      "serve.slo_fast_burn", "", obs::Kind::kTiming);
+  return g;
+}
+obs::Gauge* SlowBurnGauge() {
+  static obs::Gauge* g = obs::Registry::Get().GetGauge(
+      "serve.slo_slow_burn", "", obs::Kind::kTiming);
+  return g;
+}
+obs::Counter* SloEscalationsCounter() {
+  static obs::Counter* c = obs::Registry::Get().GetCounter(
+      "serve.slo_escalations", "", obs::Kind::kTiming);
+  return c;
+}
+
 }  // namespace
 
 TuningService::TuningService(const Options& options)
@@ -63,6 +90,11 @@ TuningService::TuningService(const Options& options)
       ladder_(options.overload.brownout) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<WhatIfCache>(options_.cache_capacity);
+  }
+  if (options_.overload.enabled) {
+    // Always track (statusz shows burn either way); only
+    // slo_guard.enforce lets the tracker move the rung.
+    slo_ = std::make_unique<obs::SloTracker>(options_.overload.slo_guard.slo);
   }
   workers_.reserve(options_.num_threads > 0 ? options_.num_threads : 0);
   for (int i = 0; i < options_.num_threads; ++i) {
@@ -85,6 +117,7 @@ TuningService::~TuningService() {
 
 void TuningService::RunOne(RequestQueue* queue, int tenant_id,
                            const std::function<bool()>& work) {
+  KEA_PHASE("serve.dispatch");
   const bool executed = work();
   queue->Done(tenant_id, executed);
 }
@@ -580,6 +613,8 @@ TuningService::SweepReport TuningService::AdvanceVirtualTime(int64_t now_ms) {
     Tenant* t = tenants[static_cast<size_t>(shed.first)];
     const CircuitBreaker::State before = t->breaker.state();
     t->breaker.RecordShed(now);
+    // A shed is an SLO error event: the client never got an answer.
+    if (slo_) slo_->Record(0.0, /*error=*/true, now);
     const CircuitBreaker::State after = t->breaker.state();
     overload_log_.push_back("t=" + std::to_string(now) + " tenant=" +
                             t->name + " " + kind + " id=" +
@@ -614,16 +649,37 @@ TuningService::SweepReport TuningService::AdvanceVirtualTime(int64_t now_ms) {
         queue_.unreleased_cost_ms() /
         std::max(options_.overload.virtual_workers, 1e-9);
     const BrownoutRung before_rung = ladder_.rung();
-    report.rung = ladder_.Update(report.pressure_ms);
-    rung_.store(static_cast<int>(report.rung), std::memory_order_relaxed);
-    RungGauge()->Set(static_cast<double>(static_cast<int>(report.rung)));
-    if (report.rung != before_rung) {
+    const BrownoutRung ladder_rung = ladder_.Update(report.pressure_ms);
+    report.rung = ladder_rung;
+    if (ladder_rung != before_rung) {
       BrownoutTransitionsCounter()->Increment();
       overload_log_.push_back(
           "t=" + std::to_string(now) + " brownout " + RungName(before_rung) +
-          "->" + RungName(report.rung) + " pressure_ms=" +
+          "->" + RungName(ladder_rung) + " pressure_ms=" +
           std::to_string(static_cast<int64_t>(report.pressure_ms)));
     }
+    // SLO guard: a multiwindow burn alert (fed by virtual-clock sojourns
+    // and sheds through THIS sweep's deadline expiries) escalates the
+    // published rung one step past the ladder's pressure verdict. The
+    // ladder's own state is untouched, so its hysteresis/dwell discipline
+    // resumes the moment the burn cools. Off by default: with enforce
+    // unset this block emits nothing and the decision trace is byte-
+    // identical to the pressure-only plane.
+    if (slo_ != nullptr && options_.overload.slo_guard.enforce &&
+        ladder_rung < BrownoutRung::kNoColdWork && slo_->Alerting(now)) {
+      report.rung =
+          static_cast<BrownoutRung>(static_cast<int>(ladder_rung) + 1);
+      SloEscalationsCounter()->Increment();
+      char burn[96];
+      std::snprintf(burn, sizeof(burn),
+                    " fast_burn=%.2f slow_burn=%.2f", slo_->FastBurn(now),
+                    slo_->SlowBurn(now));
+      overload_log_.push_back("t=" + std::to_string(now) + " slo_escalate " +
+                              RungName(ladder_rung) + "->" +
+                              RungName(report.rung) + burn);
+    }
+    rung_.store(static_cast<int>(report.rung), std::memory_order_relaxed);
+    RungGauge()->Set(static_cast<double>(static_cast<int>(report.rung)));
   }
   // Phase 4 — capacity release with the CoDel controller consulted at each
   // would-be dispatch. Virtual capacity accrues with virtual time, decoupled
@@ -643,6 +699,17 @@ TuningService::SweepReport TuningService::AdvanceVirtualTime(int64_t now_ms) {
     for (const auto& shed : report.queue.shed_codel) {
       record_shed(shed, "shed_codel");
     }
+    // Releases feed the SLO plane: sojourn against the virtual clock, in
+    // release order (deterministic). Published burn gauges are what
+    // statusz and the Prometheus surface show operators.
+    if (slo_ != nullptr) {
+      for (const auto& r : report.queue.releases) {
+        slo_->Record(static_cast<double>(r.sojourn_ms), /*error=*/false, now);
+        SojournHistogram()->Observe(static_cast<double>(r.sojourn_ms));
+      }
+      FastBurnGauge()->Set(slo_->FastBurn(now));
+      SlowBurnGauge()->Set(slo_->SlowBurn(now));
+    }
   }
   return report;
 }
@@ -657,6 +724,95 @@ CircuitBreaker::State TuningService::breaker_state(TenantId id) {
 std::vector<std::string> TuningService::overload_log() const {
   std::lock_guard<std::mutex> lock(overload_mu_);
   return overload_log_;
+}
+
+double TuningService::slo_fast_burn() const {
+  std::lock_guard<std::mutex> lock(overload_mu_);
+  return slo_ == nullptr ? 0.0 : slo_->FastBurn(clock_.now_ms());
+}
+
+double TuningService::slo_slow_burn() const {
+  std::lock_guard<std::mutex> lock(overload_mu_);
+  return slo_ == nullptr ? 0.0 : slo_->SlowBurn(clock_.now_ms());
+}
+
+std::string TuningService::Statusz() const {
+  char line[256];
+  std::string out;
+  out += "=== kea::serve statusz ===\n";
+  std::snprintf(line, sizeof(line), "virtual_now_ms: %lld\n",
+                static_cast<long long>(clock_.now_ms()));
+  out += line;
+  out += "brownout_rung: ";
+  out += RungName(
+      static_cast<BrownoutRung>(rung_.load(std::memory_order_relaxed)));
+  out += "\n";
+  {
+    std::lock_guard<std::mutex> tenants_lock(tenants_mu_);
+    std::lock_guard<std::mutex> lock(overload_mu_);
+    for (const auto& t : tenants_) {
+      std::snprintf(line, sizeof(line),
+                    "tenant[%d] %s: breaker=%s trips=%llu fast_fails=%llu\n",
+                    t->id, t->name.c_str(),
+                    CircuitBreaker::StateName(t->breaker.state()),
+                    static_cast<unsigned long long>(t->breaker.trips()),
+                    static_cast<unsigned long long>(t->breaker.fast_fails()));
+      out += line;
+    }
+    if (slo_ != nullptr) {
+      out += "slo: " + slo_->Describe(clock_.now_ms()) + "\n";
+    } else {
+      out += "slo: (overload control off)\n";
+    }
+  }
+  obs::Histogram* h = SojournHistogram();
+  std::snprintf(line, sizeof(line),
+                "sojourn_ms: p50=%.1f p95=%.1f p99=%.1f count=%llu\n",
+                h->Quantile(0.50), h->Quantile(0.95), h->Quantile(0.99),
+                static_cast<unsigned long long>(h->count()));
+  out += line;
+  if (cache_ != nullptr) {
+    const WhatIfCache::Stats cs = cache_->stats();
+    const uint64_t lookups = cs.hits + cs.misses;
+    std::snprintf(line, sizeof(line),
+                  "whatif_cache: size=%zu/%zu hit_ratio=%.3f stale_hits=%llu "
+                  "evictions=%llu\n",
+                  cache_->size(), cache_->capacity(),
+                  lookups == 0 ? 0.0
+                               : static_cast<double>(cs.hits) /
+                                     static_cast<double>(lookups),
+                  static_cast<unsigned long long>(cs.stale_hits),
+                  static_cast<unsigned long long>(cs.evictions));
+    out += line;
+  } else {
+    out += "whatif_cache: (disabled)\n";
+  }
+  const RequestQueue::Counters qc = queue_.counters();
+  std::snprintf(line, sizeof(line),
+                "queue: depth=%zu submitted=%llu accepted=%llu rejected=%llu "
+                "completed=%llu shed_deadline=%llu shed_codel=%llu\n",
+                queue_.depth(), static_cast<unsigned long long>(qc.submitted),
+                static_cast<unsigned long long>(qc.accepted),
+                static_cast<unsigned long long>(qc.rejected),
+                static_cast<unsigned long long>(qc.completed),
+                static_cast<unsigned long long>(qc.shed_deadline),
+                static_cast<unsigned long long>(qc.shed_codel));
+  out += line;
+  obs::ShardRegistry& shards = obs::ShardRegistry::Get();
+  std::snprintf(line, sizeof(line),
+                "obs_shards: slots=%zu live_threads=%zu epochs=%llu\n",
+                shards.slot_count(), shards.live_shard_count(),
+                static_cast<unsigned long long>(shards.epochs()));
+  out += line;
+  // Scope count only: the calibrated per-scope cost is a wall-clock
+  // measurement (SelfOverheadSummary / the collapsed-stack trailer carry
+  // it), and statusz must stay run-twice diffable for a fixed driver
+  // schedule.
+  std::snprintf(line, sizeof(line), "profiler: scopes=%llu\n",
+                static_cast<unsigned long long>(
+                    obs::PhaseProfiler::Get().scope_count()));
+  out += line;
+  return out;
 }
 
 }  // namespace kea::serve

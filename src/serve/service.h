@@ -247,6 +247,15 @@ class TuningService {
   }
   /// Breaker state for a tenant (kHealthy for unknown ids).
   CircuitBreaker::State breaker_state(TenantId id);
+  /// SLO burn rates over the fast / slow windows, as of the last sweep.
+  /// 0.0 while overload control is off (no tracker exists).
+  double slo_fast_burn() const;
+  double slo_slow_burn() const;
+  /// Human-readable operational snapshot: rung, per-tenant breaker states,
+  /// SLO burn, sojourn percentiles, cache hit ratio, queue depth/counters,
+  /// shard-registry epochs, and profiler self-overhead. Safe to call any
+  /// time; renders from the same instruments the Prometheus surface exports.
+  std::string Statusz() const;
   /// The ordered overload decision log: one line per admission-time decision
   /// (fast-fail, budget rejection) and per sweep event (shed, release count,
   /// rung and breaker transitions). Bit-identical across worker counts under
@@ -345,7 +354,7 @@ class TuningService {
   std::unique_ptr<WhatIfCache> cache_;
   std::atomic<bool> aborting_{false};
 
-  std::mutex tenants_mu_;
+  mutable std::mutex tenants_mu_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
 
   // -- Overload-control plane. codel_/ladder_/last_sweep_ms_ are touched
@@ -359,6 +368,9 @@ class TuningService {
   std::atomic<int> rung_{0};
   mutable std::mutex overload_mu_;
   std::vector<std::string> overload_log_;
+  /// SLO plane (null while overload control is off). Fed releases and sheds
+  /// under overload_mu_; read by statusz and the burn accessors.
+  std::unique_ptr<obs::SloTracker> slo_;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,173 @@
+// kea::obs v2 sharding proofs (ISSUE 9): conservation — the aggregated view
+// of a sharded instrument equals the sum of every thread's private truth at
+// every epoch boundary, no increment ever lost to a fold — and determinism —
+// the deterministic exports stay bit-identical across 1/4/8-thread runs of
+// the same logical work. Runs under `ctest -L tsan` so the shard table's
+// publication protocol (release chunk stores, acquire reads, exchange-based
+// drains) is exercised under the race detector.
+
+#include "obs/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace kea::obs {
+namespace {
+
+class ObsShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef KEA_OBS_DISABLED
+    GTEST_SKIP() << "observability compiled out (KEA_OBS=OFF)";
+#endif
+    Enable();
+    Registry::Get().ResetForTest();
+  }
+  void TearDown() override { Enable(); }
+};
+
+// N writer threads hammer a sharded counter and a histogram in rounds; at
+// every round boundary (all writers parked at a barrier) the main thread
+// advances the epoch and checks the aggregate against the exact number of
+// operations performed so far. This is the conservation contract: an epoch
+// fold moves residue from live shards into base without losing or double
+// counting a single increment, for both u64 (counter/bucket) and f64
+// (histogram sum) slots.
+TEST_F(ObsShardTest, EpochFoldsConserveEveryIncrement) {
+  Registry& reg = Registry::Get();
+  Counter* c = reg.GetCounter("shard.conserve");
+  Histogram* h =
+      reg.GetHistogram("shard.conserve_hist", "", {1.0, 8.0}, Kind::kDeterministic);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  constexpr int kPerRound = 2000;
+
+  std::barrier work_done(kThreads + 1);
+  std::barrier checked(kThreads + 1);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kPerRound; ++i) {
+          c->Increment();
+          // Integer-valued observations: double sums fold exactly in any
+          // order, cycling all three buckets (<=1, <=8, +inf).
+          h->Observe(static_cast<double>(1 + 3 * ((t + i) % 3)));
+        }
+        work_done.arrive_and_wait();
+        checked.arrive_and_wait();
+      }
+    });
+  }
+
+  const uint64_t epochs_before = ShardRegistry::Get().epochs();
+  for (int round = 0; round < kRounds; ++round) {
+    work_done.arrive_and_wait();  // all writers quiescent for this round
+    ShardRegistry::Get().AdvanceEpoch();
+    const uint64_t expect =
+        static_cast<uint64_t>(kThreads) * kPerRound * (round + 1);
+    EXPECT_EQ(c->value(), expect) << "round " << round;
+    EXPECT_EQ(h->count(), expect) << "round " << round;
+    std::vector<uint64_t> buckets = h->bucket_counts();
+    uint64_t bucket_total = 0;
+    for (uint64_t b : buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, expect) << "round " << round;
+    // Values cycle 1, 4, 7 uniformly within each writer's round.
+    const double mean_value = (1.0 + 4.0 + 7.0) / 3.0;
+    EXPECT_DOUBLE_EQ(h->sum(), mean_value * static_cast<double>(expect))
+        << "round " << round;
+    checked.arrive_and_wait();
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(ShardRegistry::Get().epochs(), epochs_before + kRounds);
+}
+
+// A thread's shard is drained and retired when the thread exits (TLS
+// destructor): its residue must be visible in the aggregate WITHOUT an
+// explicit epoch advance, and the live-shard table must not leak retired
+// blocks.
+TEST_F(ObsShardTest, ThreadExitFoldsResidueAndRetiresShard) {
+  Counter* c = Registry::Get().GetCounter("shard.exit_fold");
+  const size_t live_before = ShardRegistry::Get().live_shard_count();
+  std::thread t([c] {
+    for (int i = 0; i < 12345; ++i) c->Increment();
+  });
+  t.join();
+  EXPECT_EQ(c->value(), 12345u);
+  EXPECT_EQ(ShardRegistry::Get().live_shard_count(), live_before);
+}
+
+// A retired thread (explicit FoldCurrentThread) keeps counting correctly
+// through the locked base fallback — slower, never wrong.
+TEST_F(ObsShardTest, RetiredThreadFallsBackToBasePath) {
+  Counter* c = Registry::Get().GetCounter("shard.retired");
+  std::thread t([c] {
+    for (int i = 0; i < 100; ++i) c->Increment();
+    ShardRegistry::Get().FoldCurrentThread();
+    for (int i = 0; i < 50; ++i) c->Increment();  // base path
+  });
+  t.join();
+  EXPECT_EQ(c->value(), 150u);
+}
+
+// RestoreTo (checkpoint/resume) sets the aggregate to exactly v even while
+// other threads hold live shards with residue: base := v and every live slot
+// drains to zero in one locked pass.
+TEST_F(ObsShardTest, RestoreToResetsLiveShardResidue) {
+  Counter* c = Registry::Get().GetCounter("shard.restore");
+  constexpr int kThreads = 4;
+  std::barrier seeded(kThreads + 1);
+  std::barrier restored(kThreads + 1);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) c->Increment();  // residue in my shard
+      seeded.arrive_and_wait();
+      restored.arrive_and_wait();
+      for (int i = 0; i < 7; ++i) c->Increment();  // lands after the restore
+    });
+  }
+  seeded.arrive_and_wait();
+  c->RestoreTo(999);
+  EXPECT_EQ(c->value(), 999u);
+  restored.arrive_and_wait();
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(c->value(), 999u + kThreads * 7u);
+}
+
+// The determinism contract survives sharding: the same logical work produces
+// bit-identical deterministic exports at 1, 4 and 8 threads, including
+// histogram double sums (integer-valued observations fold exactly in any
+// order) and ThreadPool worker-exit folds.
+TEST_F(ObsShardTest, DeterministicExportsBitIdenticalAcross148Threads) {
+  auto run = [](int num_threads) {
+    Registry& reg = Registry::Get();
+    reg.ResetForTest();
+    Counter* c = reg.GetCounter("shard.det_count");
+    Histogram* h = reg.GetHistogram("shard.det_hist", "", {2.0, 16.0, 128.0},
+                                    Kind::kDeterministic);
+    common::ThreadPool::Run(num_threads, 64, [&](size_t i) {
+      c->Increment(i % 5);
+      h->Observe(static_cast<double>((i * 7) % 200));
+    });
+    return reg.RenderCsv(false) + "\n---\n" + reg.RenderJson(false) + "\n---\n" +
+           reg.RenderText(false);
+  };
+  const std::string at1 = run(1);
+  const std::string at4 = run(4);
+  const std::string at8 = run(8);
+  EXPECT_EQ(at1, at4);
+  EXPECT_EQ(at1, at8);
+}
+
+}  // namespace
+}  // namespace kea::obs

@@ -514,5 +514,66 @@ TEST_F(ObsTest, SelfTimeExcludesSameThreadChildren) {
   EXPECT_DOUBLE_EQ(rows[1].self_us, 40.0);
 }
 
+// ---------------------------------------------------------------------------
+// Bounded tracer buffers (ISSUE 9 S1)
+
+TEST_F(ObsTest, TracerCapDropsSpansWholeAndCountsThem) {
+  Tracer& tr = Tracer::Get();
+  EnableTracing();
+  tr.SetMaxEventsPerThread(4);
+  // Each begin is one buffered event; the cap admits a begin while the
+  // buffer holds fewer than 4 events, so the 5th span is dropped whole.
+  uint64_t a = tr.BeginSpan("a");
+  uint64_t b = tr.BeginSpan("b");
+  uint64_t c = tr.BeginSpan("c");
+  uint64_t d = tr.BeginSpan("d");
+  uint64_t e = tr.BeginSpan("e");  // buffer full -> dropped
+  EXPECT_NE(d, 0u);
+  EXPECT_EQ(e, 0u);  // dropped span id is 0, so its EndSpan no-ops
+  tr.EndSpan(e, "e");
+  tr.EndSpan(d, "d");  // end events bypass the cap: open spans always close
+  tr.EndSpan(c, "c");
+  tr.EndSpan(b, "b");
+  tr.EndSpan(a, "a");
+  EXPECT_EQ(tr.dropped_span_count(), 1u);
+  // The drop is exported as a counter so dashboards see truncated traces.
+  EXPECT_EQ(Registry::Get().CounterValue("obs.trace.dropped_spans"), 1u);
+  // Every recorded begin got its end: the capped trace stays well-formed.
+  TraceValidation v = ValidateChromeTrace(tr.ExportChromeTrace());
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.begins, 4u);
+  DisableTracing();
+  tr.SetMaxEventsPerThread(1u << 20);
+  tr.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram schema mismatch (ISSUE 9 S2)
+
+TEST_F(ObsTest, HistogramSchemaMismatchKeepsFirstSchemaAndCounts) {
+  Registry& reg = Registry::Get();
+  Histogram* first =
+      reg.GetHistogram("t.schema", "", {1.0, 10.0}, Kind::kDeterministic);
+  EXPECT_EQ(reg.CounterValue("kea.obs.schema_mismatch"), 0u);
+  // Same bounds in a different order are the same schema.
+  EXPECT_EQ(reg.GetHistogram("t.schema", "", {10.0, 1.0}, Kind::kDeterministic),
+            first);
+  EXPECT_EQ(reg.CounterValue("kea.obs.schema_mismatch"), 0u);
+  // Different bounds: the first caller's schema is kept (same instrument
+  // returned so call sites keep working) and the mismatch is counted.
+  Histogram* again = reg.GetHistogram("t.schema", "", {5.0}, Kind::kDeterministic);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(again->bounds(), (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(reg.CounterValue("kea.obs.schema_mismatch"), 1u);
+  // Every mismatched request counts (the stderr warning is once per
+  // instrument, but the counter keeps the full rate).
+  reg.GetHistogram("t.schema", "", {7.0}, Kind::kDeterministic);
+  EXPECT_EQ(reg.CounterValue("kea.obs.schema_mismatch"), 2u);
+  // The mismatch counter is deterministic: it shows up in the deterministic
+  // exports so a schema drift fails bit-identity checks loudly.
+  EXPECT_NE(reg.RenderText(false).find("kea.obs.schema_mismatch"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace kea::obs

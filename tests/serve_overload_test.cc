@@ -517,6 +517,82 @@ TEST(ServeOverloadTest, BrownoutLadderDegradesAndRecoversEndToEnd) {
             std::string::npos);
 }
 
+// SLO guard (kea::obs v2): a multiwindow burn alert escalates the PUBLISHED
+// rung one step past the ladder's pressure verdict — catching overload the
+// pressure plane cannot see (slow sojourns with a near-empty queue). The
+// ladder's own state never moves, so the escalation vanishes the moment the
+// burn cools, and with enforce unset (the default) the guard only observes:
+// the decision trace is byte-identical to the pressure-only plane.
+TEST(ServeOverloadTest, SloGuardEscalatesPublishedRungOnlyWhenEnforced) {
+  auto run = [](bool enforce) {
+    TuningService::Options options = OverloadedOptions();
+    options.overload.slo_guard.enforce = enforce;
+    Harness h(options);
+    auto tenant = h.service.AddTenant("slo", TinyConfig(9));
+    EXPECT_TRUE(tenant.ok());
+    // Eight 10ms requests parked for 400ms of virtual time: every release's
+    // sojourn (400ms) blows the 200ms SLO target, while 80ms of total
+    // backlog never pressures the ladder off NORMAL.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(h.service.SubmitSimulate(tenant.value(), 1).ok()) << i;
+    }
+    h.Step(400);  // releases all eight; the sweep records their sojourns
+    EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNormal);
+
+    // Next sweep, still inside both burn windows: fast AND slow are hot.
+    h.Step(50);
+    if (enforce) {
+      EXPECT_GE(h.service.slo_fast_burn(),
+                options.overload.slo_guard.slo.fast_burn_alert);
+      EXPECT_GE(h.service.slo_slow_burn(),
+                options.overload.slo_guard.slo.slow_burn_alert);
+      EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kReducedSampling);
+      // The operational snapshot shows the same burn the guard acted on.
+      const std::string statusz = h.service.Statusz();
+      EXPECT_NE(statusz.find("slo:"), std::string::npos) << statusz;
+      EXPECT_NE(statusz.find("burn"), std::string::npos);
+    } else {
+      // Observation-only: the tracker burns just as hot, the rung ignores it.
+      EXPECT_GE(h.service.slo_fast_burn(),
+                options.overload.slo_guard.slo.fast_burn_alert);
+      EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNormal);
+    }
+
+    // The bad sojourns age out of both windows: the escalation retracts on
+    // its own — no ladder hysteresis/dwell to unwind, because the ladder
+    // never moved.
+    h.Step(6'000);
+    h.Step(10);
+    EXPECT_EQ(h.service.brownout_rung(), BrownoutRung::kNormal);
+
+    std::string joined;
+    for (const auto& line : h.service.overload_log()) joined += line + "\n";
+    return joined;
+  };
+
+  const std::string enforced_log = run(true);
+  const std::string default_log = run(false);
+  EXPECT_NE(enforced_log.find("slo_escalate NORMAL->REDUCED_SAMPLING"),
+            std::string::npos)
+      << enforced_log;
+  EXPECT_EQ(default_log.find("slo_escalate"), std::string::npos)
+      << default_log;
+  // Strip the escalation lines from the enforced trace: what remains is
+  // byte-identical to the default trace — the guard adds decisions, it
+  // never perturbs the pressure plane's.
+  std::string stripped;
+  size_t pos = 0;
+  while (pos < enforced_log.size()) {
+    const size_t eol = enforced_log.find('\n', pos);
+    const std::string line = enforced_log.substr(pos, eol - pos);
+    if (line.find("slo_escalate") == std::string::npos) {
+      stripped += line + "\n";
+    }
+    pos = eol + 1;
+  }
+  EXPECT_EQ(stripped, default_log);
+}
+
 // The plane at zero pressure is invisible: the same request script produces
 // bit-identical payloads with overload control enabled and disabled, because
 // at rung 0 every request flows through exactly the PR 6 code path.
