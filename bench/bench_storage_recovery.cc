@@ -1,0 +1,270 @@
+// Measures what the self-healing durability plane costs and how fast it
+// recovers: the per-round cost of running durable (a durable guarded round
+// checkpoints after every simulate step so any crash window is covered — the
+// round is checkpoint-dominated by design), checkpoint write latency,
+// Resume() latency from the live checkpoint, fallback-restore latency as
+// corruption forces Resume() one, two, then three generations back, and
+// offline Journal::Scrub throughput over the ledger. Writes
+// BENCH_storage_recovery.json for the storage-chaos CI job.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/session.h"
+#include "bench/bench_util.h"
+#include "common/journal.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using kea::apps::KeaSession;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+[[noreturn]] void Die(const kea::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+constexpr int kMachines = 160;
+constexpr int kPreludeHours = 48;
+constexpr int kRounds = 4;
+constexpr uint64_t kSeed = 7;
+
+KeaSession::GuardedRoundOptions RoundOptions() {
+  KeaSession::GuardedRoundOptions options;
+  options.lookback_hours = kPreludeHours;
+  options.rollout.wave_fractions = {0.5, 1.0};
+  options.rollout.observe_hours_per_wave = 4;
+  options.rollout.baseline_hours = 8;
+  return options;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FlipByte(const std::string& path) {
+  std::string bytes = ReadBytes(path);
+  if (bytes.empty()) return;
+  bytes[bytes.size() / 2] ^= 0x5A;
+  WriteBytes(path, bytes);
+}
+
+/// Checkpoint generation paths in `dir`, newest first.
+std::vector<std::string> GenerationsNewestFirst(const std::string& dir) {
+  std::vector<std::pair<int, std::string>> found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    const std::string prefix = "checkpoint.kea.g";
+    if (name.rfind(prefix, 0) == 0) {
+      found.emplace_back(std::stoi(name.substr(prefix.size())),
+                         entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  for (const auto& [n, path] : found) paths.push_back(path);
+  return paths;
+}
+
+/// Runs `rounds` guarded rounds (Simulate(24) between them) on a fresh
+/// session and returns per-round latencies. With `durable`, the session
+/// journals every fleet mutation to `dir` and `checkpoint_ms`/`bytes` receive
+/// the explicit post-round checkpoint cost.
+std::vector<double> TimedRounds(bool durable, const std::string& dir,
+                                std::vector<double>* checkpoint_ms,
+                                size_t* checkpoint_bytes) {
+  KeaSession::Config config;
+  config.machines = kMachines;
+  config.seed = kSeed;
+  auto session_or = KeaSession::Create(config);
+  if (!session_or.ok()) Die(session_or.status());
+  auto session = std::move(session_or).value();
+  if (durable) {
+    KeaSession::DurabilityOptions options;
+    options.dir = dir;
+    options.keep_generations = 3;
+    auto status = session->EnableDurability(options);
+    if (!status.ok()) Die(status);
+  }
+  if (auto s = session->Simulate(kPreludeHours); !s.ok()) Die(s);
+
+  auto options = RoundOptions();
+  std::vector<double> latencies;
+  for (int i = 0; i < kRounds; ++i) {
+    auto start = Clock::now();
+    auto round = session->RunGuardedTuningRound(options);
+    if (!round.ok()) Die(round.status());
+    latencies.push_back(MsSince(start));
+    if (durable) {
+      auto ckpt_start = Clock::now();
+      if (auto s = session->Checkpoint(); !s.ok()) Die(s);
+      checkpoint_ms->push_back(MsSince(ckpt_start));
+      *checkpoint_bytes =
+          std::filesystem::file_size(dir + "/checkpoint.kea");
+    }
+    if (auto s = session->Simulate(24); !s.ok()) Die(s);
+  }
+  return latencies;
+}
+
+/// Resumes from `dir` and returns (latency ms, generations discarded).
+std::pair<double, size_t> TimedResume(const std::string& dir) {
+  auto start = Clock::now();
+  auto resumed = KeaSession::Resume(dir);
+  double ms = MsSince(start);
+  if (!resumed.ok()) Die(resumed.status());
+  return {ms, resumed.value()->resume_generations_discarded()};
+}
+
+}  // namespace
+
+int main() {
+  kea::bench::PrintBanner(
+      "Durability plane cost/recovery - checkpointing, fallback restore, "
+      "scrub",
+      "durable rounds are checkpoint-dominated; fallback cost grows with "
+      "depth");
+
+  const std::string dir = "bench_storage_state";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Warm-up, then the measured passes (identical schedule, same seed).
+  TimedRounds(false, dir, nullptr, nullptr);
+  std::vector<double> plain = TimedRounds(false, dir, nullptr, nullptr);
+  std::vector<double> checkpoint_ms;
+  size_t checkpoint_bytes = 0;
+  std::vector<double> durable =
+      TimedRounds(true, dir, &checkpoint_ms, &checkpoint_bytes);
+  double plain_ms = Mean(plain);
+  double durable_ms = Mean(durable);
+  // A durable round checkpoints after every internal simulate step; this is
+  // the whole difference between the two paths (the ledger appends are noise
+  // next to the checkpoint writes).
+  double checkpointing_ms_per_round = durable_ms - plain_ms;
+
+  // Snapshot the durable world so each fallback depth starts from the same
+  // on-disk state. After kRounds checkpoints with keep_generations=3 the dir
+  // holds the live checkpoint plus three generations.
+  std::map<std::string, std::string> world;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    world[entry.path().string()] = ReadBytes(entry.path().string());
+  }
+  auto restore_world = [&] {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    for (const auto& [path, bytes] : world) WriteBytes(path, bytes);
+  };
+
+  auto [resume_live_ms, live_discarded] = TimedResume(dir);
+  if (live_discarded != 0) {
+    std::fprintf(stderr, "clean resume discarded %zu generations\n",
+                 live_discarded);
+    return 1;
+  }
+
+  // Fallback restore: corrupt the live checkpoint plus the (depth-1) newest
+  // generations, forcing Resume() `depth` candidates back. Latency grows with
+  // depth because the restored checkpoint covers less and more of the ledger
+  // must be replayed.
+  std::vector<double> fallback_ms(4, 0.0);
+  for (size_t depth = 1; depth <= 3; ++depth) {
+    restore_world();
+    FlipByte(dir + "/checkpoint.kea");
+    std::vector<std::string> generations = GenerationsNewestFirst(dir);
+    if (generations.size() < 3) {
+      std::fprintf(stderr, "expected 3 generations, found %zu\n",
+                   generations.size());
+      return 1;
+    }
+    for (size_t g = 0; g + 1 < depth; ++g) FlipByte(generations[g]);
+    auto [ms, discarded] = TimedResume(dir);
+    if (discarded != depth) {
+      std::fprintf(stderr, "depth %zu resume discarded %zu\n", depth,
+                   discarded);
+      return 1;
+    }
+    fallback_ms[depth] = ms;
+  }
+  restore_world();
+
+  // Offline scrub throughput over the ledger (dry run: verify only).
+  const std::string ledger = dir + "/ledger.kea";
+  size_t ledger_bytes = std::filesystem::file_size(ledger);
+  auto scrub_start = Clock::now();
+  auto scrub = kea::Journal::Scrub(ledger, /*repair=*/false);
+  double scrub_ms = MsSince(scrub_start);
+  if (!scrub.ok()) Die(scrub.status());
+  double scrub_mb_per_s =
+      (static_cast<double>(ledger_bytes) / 1e6) / (scrub_ms / 1e3);
+
+  kea::bench::PrintRow({"path", "round ms (mean)", "checkpointing ms"}, 18);
+  kea::bench::PrintRow({"plain", kea::bench::Fmt(plain_ms, 2), "-"}, 18);
+  kea::bench::PrintRow({"durable", kea::bench::Fmt(durable_ms, 2),
+                        kea::bench::Fmt(checkpointing_ms_per_round, 2)},
+                       18);
+  std::printf("\ncheckpoint: %.2f ms (%zu bytes); resume (live): %.2f ms\n",
+              Mean(checkpoint_ms), checkpoint_bytes, resume_live_ms);
+  std::printf("fallback resume: 1 gen %.2f ms, 2 gen %.2f ms, 3 gen %.2f ms\n",
+              fallback_ms[1], fallback_ms[2], fallback_ms[3]);
+  std::printf("scrub: %zu ledger bytes in %.2f ms (%.1f MB/s, %zu records)\n",
+              ledger_bytes, scrub_ms, scrub_mb_per_s, scrub.value().records);
+
+  FILE* out = std::fopen("BENCH_storage_recovery.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_storage_recovery.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"machines\": %d,\n"
+               "  \"rounds\": %d,\n"
+               "  \"plain_round_ms\": %.3f,\n"
+               "  \"durable_round_ms\": %.3f,\n"
+               "  \"checkpointing_ms_per_round\": %.2f,\n"
+               "  \"checkpoint_ms\": %.3f,\n"
+               "  \"checkpoint_bytes\": %zu,\n"
+               "  \"resume_live_ms\": %.3f,\n"
+               "  \"fallback_resume_1gen_ms\": %.3f,\n"
+               "  \"fallback_resume_2gen_ms\": %.3f,\n"
+               "  \"fallback_resume_3gen_ms\": %.3f,\n"
+               "  \"ledger_bytes\": %zu,\n"
+               "  \"scrub_ms\": %.3f,\n"
+               "  \"scrub_mb_per_s\": %.1f\n"
+               "}\n",
+               kMachines, kRounds, plain_ms, durable_ms,
+               checkpointing_ms_per_round,
+               Mean(checkpoint_ms), checkpoint_bytes, resume_live_ms,
+               fallback_ms[1], fallback_ms[2], fallback_ms[3], ledger_bytes,
+               scrub_ms, scrub_mb_per_s);
+  std::fclose(out);
+  std::printf("wrote BENCH_storage_recovery.json\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/crash_point.h"
+#include "common/io.h"
 #include "common/journal.h"
 #include "common/snapshot.h"
 #include "obs/metrics.h"
@@ -52,6 +53,30 @@ obs::Counter* StepFreshCounter() {
   static obs::Counter* c =
       obs::Registry::Get().GetCounter("durable.step_fresh");
   return c;
+}
+// Self-healing durability plane. The mode gauge mirrors DurabilityMode
+// (0=off, 1=durable, 2=degraded); kTiming keeps mode flips out of the
+// deterministic export. The entry/restore counters are deterministic — they
+// only move when storage actually fails (injected or real).
+obs::Gauge* DurabilityModeGauge() {
+  static obs::Gauge* g = obs::Registry::Get().GetGauge("durability.mode");
+  return g;
+}
+obs::Counter* DegradedEntriesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.degraded_entries");
+  return c;
+}
+obs::Counter* DegradedRestoresCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.degraded_restores");
+  return c;
+}
+
+Status DegradedRefusal(const Status& reason) {
+  return Status::FailedPrecondition(
+      "degraded durability: deployments refused until the storage plane "
+      "heals (" + reason.message() + "); call TryRestoreDurability");
 }
 
 // ---- Bit-exact codecs for the checkpoint's "config" section. Everything a
@@ -468,7 +493,20 @@ Status KeaSession::Simulate(int hours) {
   // control-plane actions loses no telemetry. Inside a journaled round the
   // per-step checkpoints (which also cover the step's ledger event) own this.
   if (ledger_ != nullptr && !in_journaled_round_) {
-    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+    if (durability_mode_ == DurabilityMode::kDegraded) {
+      // Auto-probe: a healed disk re-checkpoints here (covering this call's
+      // telemetry); a still-broken one keeps the session degraded. Either
+      // way the simulation itself succeeded.
+      (void)TryRestoreDurability();
+    } else {
+      Status written = WriteCheckpoint(ledger_->next_seq());
+      if (!written.ok()) {
+        // Injected crashes (kAborted) and logic errors propagate; a storage
+        // plane failure degrades the session instead of losing the tick.
+        if (!IsStorageFailure(written)) return written;
+        EnterDegradedMode(written);
+      }
+    }
   }
   return Status::OK();
 }
@@ -514,11 +552,19 @@ size_t KeaSession::TotalDriftAlarms() const {
 }
 
 Status KeaSession::EnableDurability(const std::string& dir) {
+  DurabilityOptions options;
+  options.dir = dir;
+  return EnableDurability(options);
+}
+
+Status KeaSession::EnableDurability(const DurabilityOptions& options) {
   if (ledger_ != nullptr) {
     return Status::FailedPrecondition("durability already enabled");
   }
-  KEA_ASSIGN_OR_RETURN(ledger_, core::DeploymentLedger::Open(dir + kLedgerFile));
-  durability_dir_ = dir;
+  KEA_ASSIGN_OR_RETURN(
+      ledger_, core::DeploymentLedger::Open(options.dir + kLedgerFile));
+  durability_dir_ = options.dir;
+  keep_generations_ = options.keep_generations;
   deployment_.AttachLedger(ledger_.get());
   // The initial checkpoint covers whatever the (possibly pre-existing) ledger
   // holds, so Resume() of a never-crashed directory is a clean no-op restore.
@@ -527,8 +573,11 @@ Status KeaSession::EnableDurability(const std::string& dir) {
     deployment_.AttachLedger(nullptr);
     ledger_.reset();
     durability_dir_.clear();
+    return written;
   }
-  return written;
+  durability_mode_ = DurabilityMode::kDurable;
+  DurabilityModeGauge()->Set(1);
+  return Status::OK();
 }
 
 Status KeaSession::Checkpoint() {
@@ -536,7 +585,58 @@ Status KeaSession::Checkpoint() {
     return Status::FailedPrecondition(
         "EnableDurability must be called before Checkpoint");
   }
+  if (durability_mode_ == DurabilityMode::kDegraded) {
+    return Status::FailedPrecondition(
+        "degraded durability (" + degraded_reason_.message() +
+        "); call TryRestoreDurability before checkpointing");
+  }
   return WriteCheckpoint(ledger_->next_seq());
+}
+
+void KeaSession::EnterDegradedMode(const Status& reason) {
+  if (durability_mode_ == DurabilityMode::kDegraded) return;
+  durability_mode_ = DurabilityMode::kDegraded;
+  degraded_reason_ = reason;
+  DegradedEntriesCounter()->Increment();
+  DurabilityModeGauge()->Set(2);
+}
+
+Status KeaSession::TryRestoreDurability() {
+  if (durability_mode_ != DurabilityMode::kDegraded) {
+    return Status::FailedPrecondition(
+        "session is not in degraded-durability mode");
+  }
+  // In-memory progress is the authority: every event this session
+  // acknowledged reached the in-memory ledger, so the rebuilt plane must
+  // cover at least that much — a disk that lost acknowledged events is
+  // refused rather than silently rewound (never fabricate state).
+  const uint64_t covered = ledger_->next_seq();
+  StatusOr<std::unique_ptr<core::DeploymentLedger>> reopened =
+      core::DeploymentLedger::Open(durability_dir_ + kLedgerFile);
+  if (!reopened.ok()) return reopened.status();
+  if (reopened.value()->next_seq() < covered) {
+    return Status::Internal(
+        "ledger on disk holds " +
+        std::to_string(reopened.value()->next_seq()) +
+        " events but the session acknowledged " + std::to_string(covered) +
+        " — refusing to restore a plane that lost acknowledged events");
+  }
+  // Orphan disk events (appends that persisted but were reported failed)
+  // have seq >= covered, so the checkpoint below leaves them in the
+  // re-drive region: the next round replays their recorded payloads with
+  // the idempotency keys guaranteeing exactly-once effects.
+  ledger_ = std::move(reopened).value();
+  deployment_.AttachLedger(ledger_.get());
+  Status written = WriteCheckpoint(covered);
+  if (!written.ok()) {
+    if (IsStorageFailure(written)) degraded_reason_ = written;
+    return written;
+  }
+  durability_mode_ = DurabilityMode::kDurable;
+  degraded_reason_ = Status::OK();
+  DegradedRestoresCounter()->Increment();
+  DurabilityModeGauge()->Set(1);
+  return Status::OK();
 }
 
 Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
@@ -556,6 +656,7 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
   meta.PutU64(model_epoch_);
   meta.PutU64(deploy_epoch_);
   meta.PutI64(fabric_count_);
+  meta.PutI64(keep_generations_);
   snapshot.AddSection("meta", meta.Release());
 
   StateWriter config;
@@ -595,15 +696,40 @@ Status KeaSession::WriteCheckpoint(uint64_t covered_seq) {
     snapshot.AddSection("model_health", model_health_->SerializeState());
   }
 
-  KEA_RETURN_IF_ERROR(snapshot.WriteFile(durability_dir_ + kCheckpointFile));
+  KEA_RETURN_IF_ERROR(SnapshotGenerations::Write(
+      snapshot, durability_dir_ + kCheckpointFile, keep_generations_));
   if (covered_seq > durable_seq_) durable_seq_ = covered_seq;
   return Status::OK();
 }
 
 StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir) {
   KEA_PHASE("session.journal_replay");
-  KEA_ASSIGN_OR_RETURN(SnapshotReader snapshot,
-                       SnapshotReader::Open(dir + kCheckpointFile));
+  // The ledger first: its durable progress bounds which checkpoints are
+  // admissible. A checkpoint claiming coverage beyond the ledger's tail
+  // (a rotted or rewound ledger) would fabricate effects on replay, so the
+  // validator rejects it and the restore falls back a generation.
+  std::unique_ptr<core::DeploymentLedger> ledger;
+  KEA_ASSIGN_OR_RETURN(ledger, core::DeploymentLedger::Open(dir + kLedgerFile));
+  const uint64_t ledger_next = ledger->next_seq();
+  SnapshotGenerations::Validator admissible =
+      [ledger_next](const SnapshotReader& candidate) -> Status {
+    StatusOr<std::string> meta_blob = candidate.Section("meta");
+    if (!meta_blob.ok()) return meta_blob.status();
+    StateReader meta(meta_blob.value());
+    uint64_t covered = 0;
+    KEA_RETURN_IF_ERROR(meta.GetU64(&covered));
+    if (covered > ledger_next) {
+      return Status::FailedPrecondition(
+          "checkpoint covers " + std::to_string(covered) +
+          " ledger events but the ledger holds " +
+          std::to_string(ledger_next) + " — refusing to fabricate state");
+    }
+    return Status::OK();
+  };
+  KEA_ASSIGN_OR_RETURN(SnapshotGenerations::Restored restored,
+                       SnapshotGenerations::RestoreLatestValid(
+                           dir + kCheckpointFile, admissible));
+  SnapshotReader& snapshot = restored.reader;
 
   std::string config_blob;
   KEA_ASSIGN_OR_RETURN(config_blob, snapshot.Section("config"));
@@ -654,6 +780,12 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   // Pre-fabric checkpoints end here; their sessions have run zero fabrics.
   if (!meta.AtEnd()) {
     KEA_RETURN_IF_ERROR(meta.GetI64(&session->fabric_count_));
+  }
+  // Pre-generation checkpoints end here; their retention knob defaults.
+  if (!meta.AtEnd()) {
+    int64_t keep = 0;
+    KEA_RETURN_IF_ERROR(meta.GetI64(&keep));
+    session->keep_generations_ = static_cast<int>(keep);
   }
   if (!meta.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in checkpoint meta section");
@@ -749,9 +881,11 @@ StatusOr<std::unique_ptr<KeaSession>> KeaSession::Resume(const std::string& dir)
   }
 
   session->durability_dir_ = dir;
-  KEA_ASSIGN_OR_RETURN(session->ledger_,
-                       core::DeploymentLedger::Open(dir + kLedgerFile));
+  session->ledger_ = std::move(ledger);
   session->deployment_.AttachLedger(session->ledger_.get());
+  session->durability_mode_ = DurabilityMode::kDurable;
+  session->resume_generations_discarded_ = restored.discarded;
+  DurabilityModeGauge()->Set(1);
 
   // Rebuild the validation engine for a completed round: the fit window and
   // options are checkpointed, the fit itself is deterministic, so the refit
@@ -791,8 +925,15 @@ Status KeaSession::FitWhatIfEngine(const core::WhatIfEngine::Options& options,
   last_fit_end_ = now_;
   last_whatif_options_ = options;
   ++model_epoch_;
-  if (ledger_ != nullptr && !in_journaled_round_) {
-    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+  // Fitting is a model operation, not a deployment: in degraded mode it
+  // still runs, it just cannot persist.
+  if (ledger_ != nullptr && !in_journaled_round_ &&
+      durability_mode_ != DurabilityMode::kDegraded) {
+    Status written = WriteCheckpoint(ledger_->next_seq());
+    if (!written.ok()) {
+      if (!IsStorageFailure(written)) return written;
+      EnterDegradedMode(written);
+    }
   }
   return Status::OK();
 }
@@ -810,6 +951,9 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
     return Status::FailedPrecondition(
         "model-health breaker is open; deployments refused "
         "(use RunGuardedTuningRound to drive the refit cycle)");
+  }
+  if (durability_mode_ == DurabilityMode::kDegraded) {
+    return DegradedRefusal(degraded_reason_);
   }
   KEA_TRACE_SPAN("session.round", {{"kind", "yarn"},
                                    {"lookback_hours",
@@ -836,8 +980,16 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   deployment_ = core::DeploymentModule(deploy_options);
   KEA_RETURN_IF_ERROR(deployment_.RestoreState(module_state));
   if (ledger_ != nullptr) deployment_.AttachLedger(ledger_.get());
-  KEA_ASSIGN_OR_RETURN(round.applied, deployment_.ApplyConservatively(
-                                          round.plan.recommendations, &cluster_));
+  StatusOr<std::vector<core::AppliedChange>> applied =
+      deployment_.ApplyConservatively(round.plan.recommendations, &cluster_);
+  if (!applied.ok()) {
+    // Write-ahead discipline: a failed journal append touched no machine.
+    // Storage failures flip the session to degraded so later rounds are
+    // refused instead of repeatedly hammering a dead disk.
+    if (IsStorageFailure(applied.status())) EnterDegradedMode(applied.status());
+    return applied.status();
+  }
+  round.applied = std::move(applied).value();
 
   has_round_ = true;
   last_engine_ = std::make_unique<core::WhatIfEngine>(std::move(engine));
@@ -848,19 +1000,42 @@ StatusOr<KeaSession::TuningRound> KeaSession::RunYarnTuningRound(
   ++model_epoch_;
   if (!round.applied.empty()) ++deploy_epoch_;
   if (ledger_ != nullptr) {
-    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+    Status written = WriteCheckpoint(ledger_->next_seq());
+    if (!written.ok()) {
+      // The applies are already journaled; only their checkpoint is missing,
+      // which resume's re-drive repairs. Degrade rather than fail the round.
+      if (!IsStorageFailure(written)) return written;
+      EnterDegradedMode(written);
+    }
   }
   return round;
 }
 
 StatusOr<KeaSession::GuardedRound> KeaSession::RunGuardedTuningRound(
     const GuardedRoundOptions& options) {
+  // The durability breaker outranks everything: a degraded storage plane
+  // refuses any round (even safe-mode rounds persist breaker state).
+  if (durability_mode_ == DurabilityMode::kDegraded) {
+    return DegradedRefusal(degraded_reason_);
+  }
   // The breaker gates both the plain and the durable paths: while open, the
   // session holds the last known-good config and only drives the refit cycle.
   if (model_health_ != nullptr && model_health_->in_safe_mode()) {
-    return RunSafeModeRound(options);
+    StatusOr<GuardedRound> round = RunSafeModeRound(options);
+    if (!round.ok() && IsStorageFailure(round.status())) {
+      EnterDegradedMode(round.status());
+    }
+    return round;
   }
-  if (ledger_ != nullptr) return RunGuardedTuningRoundDurable(options);
+  if (ledger_ != nullptr) {
+    StatusOr<GuardedRound> round = RunGuardedTuningRoundDurable(options);
+    if (!round.ok() && IsStorageFailure(round.status())) {
+      // Journaled steps that already ran are on disk (or re-drivable);
+      // degrade so nothing further reaches the fleet until the plane heals.
+      EnterDegradedMode(round.status());
+    }
+    return round;
+  }
   if (options.lookback_hours <= 0) {
     return Status::InvalidArgument("lookback_hours must be positive");
   }
@@ -1199,7 +1374,17 @@ StatusOr<core::ExperimentFabric::Report> KeaSession::RunExperimentFabric(
   if (now_ == 0) {
     return Status::FailedPrecondition("simulate telemetry before flighting");
   }
-  if (ledger_ != nullptr) return RunExperimentFabricDurable(requests, options);
+  if (durability_mode_ == DurabilityMode::kDegraded) {
+    return DegradedRefusal(degraded_reason_);
+  }
+  if (ledger_ != nullptr) {
+    StatusOr<core::ExperimentFabric::Report> report =
+        RunExperimentFabricDurable(requests, options);
+    if (!report.ok() && IsStorageFailure(report.status())) {
+      EnterDegradedMode(report.status());
+    }
+    return report;
+  }
   KEA_TRACE_SPAN("session.fabric", {{"kind", "plain"},
                                     {"requests",
                                      std::to_string(requests.size())}});
@@ -1354,10 +1539,18 @@ StatusOr<core::ValidationReport> KeaSession::ValidateModels(
 }
 
 Status KeaSession::RollbackLastDeployment() {
+  if (durability_mode_ == DurabilityMode::kDegraded) {
+    return DegradedRefusal(degraded_reason_);
+  }
   KEA_RETURN_IF_ERROR(deployment_.RollbackLast(&cluster_));
   ++deploy_epoch_;
   if (ledger_ != nullptr && !in_journaled_round_) {
-    KEA_RETURN_IF_ERROR(WriteCheckpoint(ledger_->next_seq()));
+    Status written = WriteCheckpoint(ledger_->next_seq());
+    if (!written.ok()) {
+      if (!IsStorageFailure(written)) return written;
+      // The rollback is journaled; only its checkpoint is missing.
+      EnterDegradedMode(written);
+    }
   }
   return Status::OK();
 }

@@ -83,6 +83,25 @@ class KeaSession {
     core::ModelHealth::Options health;
   };
 
+  /// Durable control-plane configuration (see EnableDurability).
+  struct DurabilityOptions {
+    /// Root of the durable state; must exist. The ledger lives at
+    /// `<dir>/ledger.kea`, the checkpoint at `<dir>/checkpoint.kea`.
+    std::string dir;
+    /// Rotated checkpoint generations retained for fallback restore
+    /// (`checkpoint.kea.g<N>`, newest N highest). Resume() falls back
+    /// generation by generation past corrupt or inadmissible checkpoints.
+    /// 0 keeps only the live file — the pre-generation behavior.
+    int keep_generations = 3;
+  };
+
+  /// Durability health of the session (the ModelHealth discipline applied to
+  /// storage): kDurable is the normal write-ahead regime; kDegraded means the
+  /// storage plane failed — the session keeps tuning on in-memory state but
+  /// refuses anything that would touch the fleet until TryRestoreDurability
+  /// (or the auto-probe in Simulate) brings the plane back.
+  enum class DurabilityMode { kOff = 0, kDurable = 1, kDegraded = 2 };
+
   /// One guarded tuning round's artifacts: the plan plus the staged-rollout
   /// state machine's report (which waves ran, what the guardrails measured,
   /// whether rollback fired).
@@ -129,11 +148,32 @@ class KeaSession {
   ///     in-flight round from its last journaled step.
   /// An initial checkpoint is written immediately.
   Status EnableDurability(const std::string& dir);
+  /// As above with explicit knobs (generation retention).
+  Status EnableDurability(const DurabilityOptions& options);
 
   /// Atomically writes a full-session checkpoint (telemetry, sim clock, RNG
   /// cursors, applied-config state, deployment/ledger bookkeeping) covering
-  /// everything journaled so far. FailedPrecondition before EnableDurability.
+  /// everything journaled so far. FailedPrecondition before EnableDurability
+  /// and in degraded-durability mode (heal first; see TryRestoreDurability).
   Status Checkpoint();
+
+  DurabilityMode durability_mode() const { return durability_mode_; }
+  /// The storage failure that forced degraded mode; OK when not degraded.
+  const Status& degraded_reason() const { return degraded_reason_; }
+  /// Checkpoint generations the last Resume() had to discard before finding
+  /// a valid one (0 = the live checkpoint restored cleanly).
+  size_t resume_generations_discarded() const {
+    return resume_generations_discarded_;
+  }
+
+  /// Attempts to leave degraded-durability mode: re-opens the ledger from
+  /// disk (salvaged by the journal layer), verifies it still holds every
+  /// event this session acknowledged, and re-checkpoints the full in-memory
+  /// state. On success the session is kDurable again; orphan ledger events
+  /// (appends that persisted but were reported failed) are re-driven by the
+  /// next round exactly once. Never fabricates state: a disk that lost
+  /// acknowledged events is refused. FailedPrecondition unless degraded.
+  Status TryRestoreDurability();
 
   /// Reconstructs a session purely from the durable state under `dir`: the
   /// checkpoint defines the state, the ledger defines the progress. A round
@@ -289,6 +329,10 @@ class KeaSession {
       const std::vector<core::FlightRequest>& requests,
       const FabricRoundOptions& options);
 
+  /// Marks the storage plane failed: records the reason, bumps the
+  /// durability.mode gauge and degraded counters. Idempotent.
+  void EnterDegradedMode(const Status& reason);
+
   /// Round body while the ModelHealth breaker is open: hold config, refuse
   /// deployment, attempt the scheduled refit when due.
   StatusOr<GuardedRound> RunSafeModeRound(const GuardedRoundOptions& options);
@@ -336,6 +380,11 @@ class KeaSession {
   std::unique_ptr<core::DeploymentLedger> ledger_;
   /// Ledger events below this are covered by the newest checkpoint.
   uint64_t durable_seq_ = 0;
+  /// Self-healing durability plane state (see DurabilityMode).
+  DurabilityMode durability_mode_ = DurabilityMode::kOff;
+  Status degraded_reason_ = Status::OK();
+  int keep_generations_ = 3;
+  size_t resume_generations_discarded_ = 0;
   /// Guarded rounds completed (numbers the ledger's round keys).
   int64_t round_count_ = 0;
   /// Fabric runs completed (numbers the ledger's fabric keys).

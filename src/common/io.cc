@@ -1,0 +1,232 @@
+#include "common/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "obs/metrics.h"
+
+namespace kea {
+namespace {
+
+// durability.retries counts retry attempts the Io seam spent absorbing
+// transient storage faults — deterministic: it only moves when faults are
+// injected (or a real disk misbehaves).
+obs::Counter* RetriesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.retries");
+  return c;
+}
+obs::Counter* RetriesExhaustedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.retries_exhausted");
+  return c;
+}
+
+Status InjectedStatus(StorageFaultKind kind, StorageOp op,
+                      const std::string& path) {
+  const std::string what = std::string(StorageFaultKindName(kind)) + " (" +
+                           StorageOpName(op) + ") on " + path;
+  switch (kind) {
+    case StorageFaultKind::kTransientEio:
+    case StorageFaultKind::kPersistentEio:
+      return Status::Unavailable("storage: injected " + what);
+    case StorageFaultKind::kEnospc:
+      return Status::ResourceExhausted("storage: injected " + what);
+    default:
+      return Status::Internal("storage: injected " + what);
+  }
+}
+
+}  // namespace
+
+Io& Io::Get() {
+  static Io* io = new Io();
+  return *io;
+}
+
+StorageFaultInjector::Decision Io::Decide(StorageOp op,
+                                          const std::string& path) {
+  if (injector_ == nullptr) return StorageFaultInjector::Decision();
+  return injector_->Next(op, path);
+}
+
+StatusOr<std::string> Io::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t retries_before = retry_.stats().retries;
+  std::string content;
+  Status st = retry_.Run([&](int) -> Status {
+    auto d = Decide(StorageOp::kRead, path);
+    if (d.Is(StorageFaultKind::kTransientEio) ||
+        d.Is(StorageFaultKind::kPersistentEio)) {
+      return InjectedStatus(d.kind, StorageOp::kRead, path);
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::NotFound("cannot open file: " + path);
+    }
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    if (d.faulted) {
+      // At-rest corruption: the bytes rotted on disk; the image the caller
+      // sees is damaged and its CRC machinery is expected to reject it.
+      StorageFaultInjector::ApplyCorruption(d.kind, d.draw, &content);
+    }
+    return Status::OK();
+  });
+  const int64_t delta = retry_.stats().retries - retries_before;
+  if (delta > 0) RetriesCounter()->Increment(static_cast<uint64_t>(delta));
+  if (!st.ok()) {
+    if (RetryPolicy::IsTransient(st.code())) {
+      RetriesExhaustedCounter()->Increment();
+    }
+    return st;
+  }
+  return content;
+}
+
+Status Io::WriteFile(const std::string& path, const std::string& content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t retries_before = retry_.stats().retries;
+  Status st = retry_.Run([&](int) -> Status {
+    auto d = Decide(StorageOp::kWrite, path);
+    if (d.Is(StorageFaultKind::kTransientEio) ||
+        d.Is(StorageFaultKind::kPersistentEio) ||
+        d.Is(StorageFaultKind::kEnospc)) {
+      return InjectedStatus(d.kind, StorageOp::kWrite, path);
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("storage: cannot open file for write: " + path);
+    }
+    if (d.Is(StorageFaultKind::kShortWrite)) {
+      // Persist a torn prefix, then fail without retry: the damage is on
+      // disk and recovery (not a rewrite loop) must deal with it.
+      out.write(content.data(),
+                static_cast<std::streamsize>(content.size() / 2));
+      out.flush();
+      return InjectedStatus(d.kind, StorageOp::kWrite, path);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("storage: write failed: " + path);
+    }
+    auto f = Decide(StorageOp::kFlush, path);
+    if (f.faulted) {
+      // A failed whole-file flush is retry-safe: the rewrite starts over.
+      return InjectedStatus(f.kind, StorageOp::kFlush, path);
+    }
+    return Status::OK();
+  });
+  const int64_t delta = retry_.stats().retries - retries_before;
+  if (delta > 0) RetriesCounter()->Increment(static_cast<uint64_t>(delta));
+  if (!st.ok() && RetryPolicy::IsTransient(st.code())) {
+    RetriesExhaustedCounter()->Increment();
+  }
+  return st;
+}
+
+Status Io::AppendFile(const std::string& path, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t retries_before = retry_.stats().retries;
+  Status st = retry_.Run([&](int) -> Status {
+    auto d = Decide(StorageOp::kWrite, path);
+    if (d.Is(StorageFaultKind::kTransientEio) ||
+        d.Is(StorageFaultKind::kPersistentEio) ||
+        d.Is(StorageFaultKind::kEnospc)) {
+      // Pre-write faults: nothing reached the file, a retry is safe.
+      return InjectedStatus(d.kind, StorageOp::kWrite, path);
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out.is_open()) {
+      return Status::Internal("storage: cannot open file for append: " + path);
+    }
+    if (d.Is(StorageFaultKind::kShortWrite)) {
+      out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+      out.flush();
+      return InjectedStatus(d.kind, StorageOp::kWrite, path);
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("storage: append failed: " + path);
+    }
+    auto f = Decide(StorageOp::kFlush, path);
+    if (f.faulted) {
+      // The bytes may already be durable; retrying would duplicate the
+      // record. Fail non-retryably — the journal scrubber and the ledger's
+      // idempotency keys own recovery for this case.
+      return Status::Internal(
+          "storage: injected flush fault after append on " + path +
+          " (record durability indeterminate)");
+    }
+    return Status::OK();
+  });
+  const int64_t delta = retry_.stats().retries - retries_before;
+  if (delta > 0) RetriesCounter()->Increment(static_cast<uint64_t>(delta));
+  if (!st.ok() && RetryPolicy::IsTransient(st.code())) {
+    RetriesExhaustedCounter()->Increment();
+  }
+  return st;
+}
+
+Status Io::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t retries_before = retry_.stats().retries;
+  Status st = retry_.Run([&](int) -> Status {
+    auto d = Decide(StorageOp::kRename, from);
+    if (d.faulted) {
+      return InjectedStatus(d.kind, StorageOp::kRename, from);
+    }
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal("storage: rename failed: " + from + " -> " + to);
+    }
+    return Status::OK();
+  });
+  const int64_t delta = retry_.stats().retries - retries_before;
+  if (delta > 0) RetriesCounter()->Increment(static_cast<uint64_t>(delta));
+  if (!st.ok() && RetryPolicy::IsTransient(st.code())) {
+    RetriesExhaustedCounter()->Increment();
+  }
+  return st;
+}
+
+void Io::RemoveFile(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+void Io::SetFaultInjector(StorageFaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
+StorageFaultInjector* Io::fault_injector() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injector_;
+}
+
+void Io::SetRetryOptions(const RetryPolicy::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RetryPolicy fresh(options);
+  fresh.RestoreStats(retry_.stats());
+  retry_ = fresh;
+}
+
+RetryPolicy::Stats Io::retry_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_.stats();
+}
+
+void Io::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = nullptr;
+  retry_ = RetryPolicy();
+}
+
+bool IsStorageFailure(const Status& s) {
+  return !s.ok() && s.code() != StatusCode::kAborted &&
+         s.message().find("storage:") != std::string::npos;
+}
+
+}  // namespace kea

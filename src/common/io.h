@@ -1,0 +1,78 @@
+#ifndef KEA_COMMON_IO_H_
+#define KEA_COMMON_IO_H_
+
+#include <mutex>
+#include <string>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/storage_fault.h"
+
+namespace kea {
+
+/// Process-global seam for durable-path file I/O. Everything `Journal`,
+/// `SnapshotWriter/Reader`, `AtomicWriteFile` and `CsvWriter` persist or
+/// read back flows through these four primitives, so a single installed
+/// `StorageFaultInjector` covers the entire durability plane, and a single
+/// bounded `RetryPolicy` absorbs transient faults everywhere.
+///
+/// Fault/retry semantics per primitive (DESIGN.md "Storage fault model"):
+///   - ReadFile: retried on transient EIO (reads are idempotent). At-rest
+///     corruption (bit flip / zero page / truncate) perturbs the returned
+///     image, never the file — the caller's CRC machinery must catch it.
+///   - WriteFile: whole-file truncate+write+flush. Retried on transient
+///     EIO/flush faults (a rewrite is idempotent). A short write persists a
+///     torn prefix and fails without retry.
+///   - AppendFile: append+flush. Only pre-write faults are retried: once
+///     bytes may have reached the file, a retry could duplicate the record,
+///     so short writes and flush faults fail with a non-retryable status
+///     and recovery is left to the journal scrubber / ledger re-drive.
+///   - Rename: retried on transient EIO.
+///
+/// Injected and real failures all carry a "storage:" message prefix so
+/// callers (KeaSession's degraded-durability mode) can classify them.
+/// With no injector installed the primitives are plain filesystem calls —
+/// byte-identical behavior, no extra draws.
+class Io {
+ public:
+  static Io& Get();
+
+  StatusOr<std::string> ReadFile(const std::string& path);
+  Status WriteFile(const std::string& path, const std::string& content);
+  Status AppendFile(const std::string& path, const std::string& data);
+  Status Rename(const std::string& from, const std::string& to);
+
+  /// Best-effort delete for error-path cleanup and generation pruning.
+  /// Never fault-injected: a broken disk must not be able to block the
+  /// cleanup that keeps it from filling with stray temp files.
+  void RemoveFile(const std::string& path);
+
+  /// Installs a fault injector (not owned; nullptr to clear). An injector
+  /// with an empty profile and nothing armed is bit-exact pass-through.
+  void SetFaultInjector(StorageFaultInjector* injector);
+  StorageFaultInjector* fault_injector() const;
+
+  void SetRetryOptions(const RetryPolicy::Options& options);
+  RetryPolicy::Stats retry_stats() const;
+
+  /// Clears the injector and resets retry options/stats to defaults.
+  void ResetForTest();
+
+ private:
+  Io() = default;
+
+  StorageFaultInjector::Decision Decide(StorageOp op, const std::string& path);
+
+  mutable std::mutex mu_;
+  StorageFaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+};
+
+/// True when `s` is a storage-plane failure surfaced through the Io seam
+/// (injected or real), as opposed to a crash-point kAborted or a domain
+/// error. KeaSession uses this to decide when to enter degraded mode.
+bool IsStorageFailure(const Status& s);
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_IO_H_

@@ -1,10 +1,11 @@
 #include "common/journal.h"
 
 #include <chrono>
-#include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "common/crash_point.h"
+#include "common/io.h"
 #include "obs/metrics.h"
 
 namespace kea {
@@ -25,6 +26,11 @@ obs::Counter* AppendBytesCounter() {
 obs::Counter* TornTailsCounter() {
   static obs::Counter* c =
       obs::Registry::Get().GetCounter("journal.torn_tails_recovered");
+  return c;
+}
+obs::Counter* ScrubRepairsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.scrub_repairs");
   return c;
 }
 obs::Histogram* AppendLatencyHistogram() {
@@ -89,35 +95,82 @@ const uint32_t* CrcTable() {
   return table;
 }
 
+// Shared record scan for Open() and Scrub(): walks `data` (which must start
+// with the magic) and returns the intact records plus the byte offset where
+// the valid prefix ends. A short header, a length past EOF, or a CRC
+// mismatch stops the scan — anything beyond that point is corrupt tail.
+struct JournalScan {
+  std::vector<std::string> records;
+  size_t good_end = kMagicLen;
+};
+
+Status ScanJournal(const std::string& data, const std::string& path,
+                   JournalScan* out) {
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not a KEA journal: " + path);
+  }
+  size_t pos = kMagicLen;
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderLen) break;  // Torn header.
+    const uint32_t len = LoadU32(data.data() + pos);
+    const uint32_t crc = LoadU32(data.data() + pos + 4);
+    if (data.size() - pos - kHeaderLen < len) break;  // Torn payload.
+    if (Crc32(data.data() + pos + kHeaderLen, len) != crc) break;  // Bit rot.
+    out->records.emplace_back(data.data() + pos + kHeaderLen, len);
+    pos += kHeaderLen + len;
+    out->good_end = pos;
+  }
+  return Status::OK();
+}
+
+// Preserves the corrupt tail for post-mortems. Best-effort and deliberately
+// NOT routed through the Io seam: a broken disk must not be able to block
+// the salvage that follows.
+std::string QuarantineTail(const std::string& path, const std::string& data,
+                           size_t good_end) {
+  const std::string qpath = path + ".quarantine";
+  std::ofstream out(qpath, std::ios::binary | std::ios::trunc);
+  if (out.is_open()) {
+    out.write(data.data() + good_end,
+              static_cast<std::streamsize>(data.size() - good_end));
+    out.flush();
+  }
+  return qpath;
+}
+
 }  // namespace
 
-uint32_t Crc32(const char* data, size_t size) {
+uint32_t Crc32Extend(uint32_t crc, const char* data, size_t size) {
   const uint32_t* table = CrcTable();
-  uint32_t c = 0xffffffffu;
+  uint32_t c = crc ^ 0xffffffffu;
   for (size_t i = 0; i < size; ++i) {
     c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }
 
+uint32_t Crc32(const char* data, size_t size) {
+  return Crc32Extend(0, data, size);
+}
+
 Status AtomicWriteFile(const std::string& path, const std::string& content) {
   const auto start = std::chrono::steady_clock::now();
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::Internal("cannot open temp file for write: " + tmp);
-    }
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out.good()) {
-      return Status::Internal("write failed for temp file: " + tmp);
-    }
+  Status written = Io::Get().WriteFile(tmp, content);
+  if (!written.ok()) {
+    // Never strand a temp file on a live error path (a short write may have
+    // persisted a torn prefix). The removal is injection-proof by design.
+    Io::Get().RemoveFile(tmp);
+    return written;
   }
-  // A crash here leaves the old `path` intact and only an orphan .tmp behind.
+  // A crash here leaves the old `path` intact and only an orphan .tmp behind
+  // — that is the process-death model, where no cleanup can run.
   KEA_CRASH_POINT("atomic_write.before_rename");
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  Status renamed = Io::Get().Rename(tmp, path);
+  if (!renamed.ok()) {
+    Io::Get().RemoveFile(tmp);
+    return renamed;
   }
   AtomicWritesCounter()->Increment();
   AtomicWriteBytesCounter()->Increment(content.size());
@@ -128,17 +181,10 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::NotFound("cannot open file: " + path);
-  }
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  return content;
+  return Io::Get().ReadFile(path);
 }
 
 StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
-  std::vector<std::string> records;
   RecoveryInfo info;
   std::string data;
   bool exists = false;
@@ -147,60 +193,59 @@ StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
     if (read.ok()) {
       exists = true;
       data = std::move(read).value();
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
     }
   }
 
-  size_t good_end = kMagicLen;
+  JournalScan scan;
   if (exists && !data.empty()) {
-    if (data.size() < kMagicLen ||
-        std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
-      return Status::InvalidArgument("not a KEA journal: " + path);
-    }
-    size_t pos = kMagicLen;
-    while (pos < data.size()) {
-      if (data.size() - pos < kHeaderLen) break;  // Torn header.
-      const uint32_t len = LoadU32(data.data() + pos);
-      const uint32_t crc = LoadU32(data.data() + pos + 4);
-      if (data.size() - pos - kHeaderLen < len) break;  // Torn payload.
-      if (Crc32(data.data() + pos + kHeaderLen, len) != crc) break;  // Bit rot.
-      records.emplace_back(data.data() + pos + kHeaderLen, len);
-      pos += kHeaderLen + len;
-      good_end = pos;
-    }
-    info.records = records.size();
-    if (good_end < data.size()) {
+    KEA_RETURN_IF_ERROR(ScanJournal(data, path, &scan));
+    info.records = scan.records.size();
+    if (scan.good_end < data.size()) {
       info.tail_truncated = true;
-      info.dropped_bytes = data.size() - good_end;
+      info.dropped_bytes = data.size() - scan.good_end;
     }
   }
 
-  auto journal =
-      std::unique_ptr<Journal>(new Journal(path, std::move(records), info));
   if (!exists || data.empty()) {
     // Fresh journal: write the magic via truncation.
-    journal->out_.open(path, std::ios::binary | std::ios::trunc);
-    if (!journal->out_.is_open()) {
-      return Status::Internal("cannot create journal: " + path);
-    }
-    journal->out_.write(kMagic, kMagicLen);
-    journal->out_.flush();
-    if (!journal->out_.good()) {
-      return Status::Internal("cannot write journal magic: " + path);
-    }
-    return journal;
+    KEA_RETURN_IF_ERROR(Io::Get().WriteFile(path, std::string(kMagic, kMagicLen)));
+    return std::unique_ptr<Journal>(
+        new Journal(path, std::vector<std::string>(), info));
   }
 
   if (info.tail_truncated) {
     TornTailsCounter()->Increment();
+    ScrubRepairsCounter()->Increment();
     // Physically drop the torn tail so the next append starts at a record
-    // boundary: rewrite the intact prefix atomically, then reopen for append.
-    KEA_RETURN_IF_ERROR(AtomicWriteFile(path, data.substr(0, good_end)));
+    // boundary — but preserve the dropped bytes first: salvage must never
+    // silently destroy evidence.
+    info.quarantine_path = QuarantineTail(path, data, scan.good_end);
+    KEA_RETURN_IF_ERROR(AtomicWriteFile(path, data.substr(0, scan.good_end)));
   }
-  journal->out_.open(path, std::ios::binary | std::ios::app);
-  if (!journal->out_.is_open()) {
-    return Status::Internal("cannot open journal for append: " + path);
+  return std::unique_ptr<Journal>(
+      new Journal(path, std::move(scan.records), info));
+}
+
+StatusOr<Journal::ScrubReport> Journal::Scrub(const std::string& path,
+                                              bool repair) {
+  ScrubReport report;
+  std::string data;
+  KEA_ASSIGN_OR_RETURN(data, ReadFileToString(path));
+  JournalScan scan;
+  KEA_RETURN_IF_ERROR(ScanJournal(data, path, &scan));
+  report.records = scan.records.size();
+  if (scan.good_end >= data.size()) return report;  // Clean.
+
+  report.corrupt_bytes = data.size() - scan.good_end;
+  if (repair) {
+    report.quarantine_path = QuarantineTail(path, data, scan.good_end);
+    KEA_RETURN_IF_ERROR(AtomicWriteFile(path, data.substr(0, scan.good_end)));
+    report.repaired = true;
+    ScrubRepairsCounter()->Increment();
   }
-  return journal;
+  return report;
 }
 
 Status Journal::Append(const std::string& payload) {
@@ -212,21 +257,20 @@ Status Journal::Append(const std::string& payload) {
 
   // Injected torn write: persist the header plus half the payload — a
   // realistic power-loss artifact — then fail. Recovery at the next Open()
-  // must drop exactly these bytes and keep every earlier record.
+  // must drop exactly these bytes and keep every earlier record. Written
+  // directly (not via Io): this models a process dying mid-write, not an
+  // I/O error the seam should see.
   Status torn = CrashPoints::Check("journal.append.torn");
   if (!torn.ok()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
     const size_t partial = kHeaderLen + payload.size() / 2;
-    out_.write(framed.data(), static_cast<std::streamsize>(partial));
-    out_.flush();
+    out.write(framed.data(), static_cast<std::streamsize>(partial));
+    out.flush();
     return torn;
   }
 
   const auto start = std::chrono::steady_clock::now();
-  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-  out_.flush();
-  if (!out_.good()) {
-    return Status::Internal("journal append failed: " + path_);
-  }
+  KEA_RETURN_IF_ERROR(Io::Get().AppendFile(path_, framed));
   records_.push_back(payload);
   AppendsCounter()->Increment();
   AppendBytesCounter()->Increment(framed.size());

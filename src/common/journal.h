@@ -2,7 +2,6 @@
 #define KEA_COMMON_JOURNAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,13 +15,25 @@ namespace kea {
 uint32_t Crc32(const char* data, size_t size);
 inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
 
+/// Incremental CRC-32: extends `crc` (a previous Crc32/Crc32Extend result,
+/// or 0 for an empty prefix) with more bytes, without concatenating buffers.
+uint32_t Crc32Extend(uint32_t crc, const char* data, size_t size);
+inline uint32_t Crc32Extend(uint32_t crc, const std::string& s) {
+  return Crc32Extend(crc, s.data(), s.size());
+}
+
 /// Crash-safe whole-file replacement: the content is written to
-/// `<path>.tmp`, flushed, and renamed over `path`. A crash (or injected
-/// failure) at any point leaves either the old file or the new one — never a
-/// truncated hybrid. Crash point: "atomic_write.before_rename".
+/// `<path>.tmp`, flushed, and renamed over `path` — all through the
+/// `common::Io` seam, so injected storage faults and bounded retries apply.
+/// A crash (or injected failure) at any point leaves either the old file or
+/// the new one — never a truncated hybrid — and every error path removes
+/// the temp file, so a live process never strands `<path>.tmp`. Crash
+/// point: "atomic_write.before_rename" (a simulated process death, which
+/// deliberately leaves the orphan temp a real crash would).
 Status AtomicWriteFile(const std::string& path, const std::string& content);
 
-/// Reads a whole file into a string. NotFound when it cannot be opened.
+/// Reads a whole file into a string via the `common::Io` seam. NotFound
+/// when it cannot be opened.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /// An append-only, length-prefixed, CRC-checked record log — the write-ahead
@@ -34,19 +45,39 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 /// Open() replays existing records and recovers from a torn tail: a final
 /// record with a short header, a length pointing past EOF, or a CRC mismatch
 /// is detected, dropped, and physically truncated — it is never misparsed,
-/// and no earlier record is lost. Append() flushes each record before
-/// returning, so everything appended before a crash is replayed after it.
+/// and no earlier record is lost. The dropped bytes are quarantined to
+/// `<path>.quarantine` for post-mortems before the file is repaired.
+/// Append() flushes each record before returning, so everything appended
+/// before a crash is replayed after it.
 class Journal {
  public:
   struct RecoveryInfo {
     size_t records = 0;        ///< Intact records replayed at Open().
     bool tail_truncated = false;
     size_t dropped_bytes = 0;  ///< Bytes of torn tail discarded.
+    std::string quarantine_path;  ///< Where the dropped tail was preserved.
+  };
+
+  /// Offline integrity report from Scrub().
+  struct ScrubReport {
+    size_t records = 0;           ///< Intact records found.
+    size_t corrupt_bytes = 0;     ///< Bytes past the valid prefix.
+    bool repaired = false;        ///< File rewritten to the valid prefix.
+    std::string quarantine_path;  ///< Set when corrupt bytes were preserved.
   };
 
   /// Opens (creating if absent) the journal at `path` and replays it.
   /// Returns InvalidArgument when the file exists but is not a KEA journal.
   static StatusOr<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  /// CRC-verifies every record of the journal at `path` without opening it
+  /// for appends. With `repair` set, salvages the valid prefix in place:
+  /// the corrupt tail is quarantined to `<path>.quarantine` and the file is
+  /// atomically rewritten to end at the last intact record. A mid-file CRC
+  /// mismatch is treated as the start of the corrupt tail — everything
+  /// after it is quarantined, and no record is ever fabricated or altered.
+  static StatusOr<ScrubReport> Scrub(const std::string& path,
+                                     bool repair = true);
 
   /// Appends one record and flushes it to the OS. Crash point
   /// "journal.append.torn" writes a deliberately torn prefix of the record
@@ -66,7 +97,6 @@ class Journal {
   std::string path_;
   std::vector<std::string> records_;
   RecoveryInfo recovery_;
-  std::ofstream out_;
 };
 
 }  // namespace kea

@@ -1,8 +1,12 @@
 #include "common/snapshot.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <set>
 
+#include "common/io.h"
 #include "common/journal.h"
 #include "obs/metrics.h"
 
@@ -22,6 +26,11 @@ obs::Histogram* SnapshotWriteLatencyHistogram() {
   static obs::Histogram* h = obs::Registry::Get().GetHistogram(
       "snapshot.write_us", "", obs::LatencyBucketsUs(), obs::Kind::kTiming);
   return h;
+}
+obs::Counter* GenerationsDiscardedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Get().GetCounter("durability.generations_discarded");
+  return c;
 }
 
 constexpr char kMagic[] = "KEASNP01";
@@ -62,7 +71,9 @@ Status SnapshotWriter::WriteFile(const std::string& path) const {
     AppendU32(static_cast<uint32_t>(name.size()), &out);
     out += name;
     AppendU32(static_cast<uint32_t>(content.size()), &out);
-    AppendU32(Crc32(content), &out);
+    // The CRC covers name and content: a rotted name byte must not be able
+    // to silently rename (and thereby hide) a section.
+    AppendU32(Crc32Extend(Crc32(name), content), &out);
     out += content;
   }
   const auto start = std::chrono::steady_clock::now();
@@ -91,7 +102,14 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   size_t pos = kMagicLen;
   uint32_t section_count = 0;
   KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &section_count));
-  while (pos < data.size()) {
+  std::set<std::string> seen;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    if (pos >= data.size()) {
+      return Status::InvalidArgument(
+          "snapshot section count mismatch: declared " +
+          std::to_string(section_count) + " sections, found " +
+          std::to_string(reader.sections_.size()));
+    }
     uint32_t name_len = 0, content_len = 0, crc = 0;
     KEA_RETURN_IF_ERROR(ParseU32(data, &pos, &name_len));
     if (data.size() - pos < name_len) {
@@ -107,19 +125,115 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
     }
     std::string content(data.data() + pos, content_len);
     pos += content_len;
-    if (Crc32(content) != crc) {
+    if (Crc32Extend(Crc32(name), content) != crc) {
       return Status::InvalidArgument("snapshot CRC mismatch in section '" +
+                                     name + "'");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("snapshot has duplicate section '" +
                                      name + "'");
     }
     reader.sections_.emplace_back(std::move(name), std::move(content));
   }
-  if (reader.sections_.size() != section_count) {
-    return Status::InvalidArgument("snapshot truncated: expected " +
-                                   std::to_string(section_count) +
-                                   " sections, found " +
-                                   std::to_string(reader.sections_.size()));
+  if (pos != data.size()) {
+    return Status::InvalidArgument(
+        "snapshot trailer mismatch: " + std::to_string(data.size() - pos) +
+        " trailing bytes after " + std::to_string(section_count) +
+        " declared sections");
   }
   return reader;
+}
+
+Status SnapshotGenerations::Write(const SnapshotWriter& snapshot,
+                                  const std::string& path, int keep) {
+  if (keep <= 0) return snapshot.WriteFile(path);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    // Rotate the live checkpoint out of the way before installing the new
+    // one. A crash (or fault) between the rotate and the install leaves no
+    // live file, but the rotated generation still restores.
+    std::vector<uint64_t> gens = List(path);
+    const uint64_t next = gens.empty() ? 1 : gens.back() + 1;
+    KEA_RETURN_IF_ERROR(Io::Get().Rename(path, GenerationPath(path, next)));
+  }
+  KEA_RETURN_IF_ERROR(snapshot.WriteFile(path));
+  std::vector<uint64_t> gens = List(path);
+  while (static_cast<int>(gens.size()) > keep) {
+    // Best-effort, injection-proof prune: a broken disk must not be able to
+    // fail a checkpoint that already installed.
+    Io::Get().RemoveFile(GenerationPath(path, gens.front()));
+    gens.erase(gens.begin());
+  }
+  return Status::OK();
+}
+
+std::string SnapshotGenerations::GenerationPath(const std::string& path,
+                                                uint64_t generation) {
+  return path + ".g" + std::to_string(generation);
+}
+
+std::vector<uint64_t> SnapshotGenerations::List(const std::string& path) {
+  std::vector<uint64_t> gens;
+  const std::filesystem::path live(path);
+  std::filesystem::path dir = live.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = live.filename().string() + ".g";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(prefix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    gens.push_back(std::stoull(digits));
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+StatusOr<SnapshotGenerations::Restored> SnapshotGenerations::RestoreLatestValid(
+    const std::string& path, const Validator& validate) {
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  candidates.emplace_back(0, path);  // The live file is newest.
+  std::vector<uint64_t> gens = List(path);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    candidates.emplace_back(*it, GenerationPath(path, *it));
+  }
+
+  size_t discarded = 0;
+  Status last_error = Status::NotFound("no snapshot at " + path);
+  bool any_exists = false;
+  for (const auto& [gen, cpath] : candidates) {
+    auto opened = SnapshotReader::Open(cpath);
+    if (!opened.ok()) {
+      if (opened.status().code() == StatusCode::kNotFound) continue;
+      // Exists but unreadable or corrupt: discard and fall back.
+      any_exists = true;
+      ++discarded;
+      last_error = opened.status();
+      continue;
+    }
+    any_exists = true;
+    if (validate) {
+      Status valid = validate(opened.value());
+      if (!valid.ok()) {
+        ++discarded;
+        last_error = valid;
+        continue;
+      }
+    }
+    if (discarded > 0) GenerationsDiscardedCounter()->Increment(discarded);
+    Restored restored;
+    restored.reader = std::move(opened).value();
+    restored.source_path = cpath;
+    restored.generation = gen;
+    restored.discarded = discarded;
+    return restored;
+  }
+  if (discarded > 0) GenerationsDiscardedCounter()->Increment(discarded);
+  if (!any_exists) return Status::NotFound("no snapshot at " + path);
+  return last_error;
 }
 
 StatusOr<std::string> SnapshotReader::Section(const std::string& name) const {

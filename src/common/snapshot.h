@@ -2,6 +2,7 @@
 #define KEA_COMMON_SNAPSHOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,9 +20,11 @@ namespace kea {
 /// On-disk layout:
 ///   magic "KEASNP01"
 ///   [u32 section_count]
-///   repeated: [u32 name_len][name][u32 content_len][u32 crc32(content)][content]
+///   repeated: [u32 name_len][name][u32 content_len][u32 crc32(name+content)][content]
 /// The up-front count catches truncation at an exact section boundary, which
-/// the per-section CRCs alone cannot.
+/// the per-section CRCs alone cannot. The CRC covers the section NAME as
+/// well as its content: a bit flip in a name would otherwise silently turn
+/// an optional section invisible — state loss with no error anywhere.
 class SnapshotWriter {
  public:
   /// Adds a named section. Names must be unique; content is arbitrary bytes.
@@ -36,7 +39,9 @@ class SnapshotWriter {
 
 /// Reads a snapshot container, verifying every section's CRC. A snapshot
 /// that fails any check is rejected whole — partial trust would defeat the
-/// all-or-nothing guarantee the writer provides.
+/// all-or-nothing guarantee the writer provides. Rejected with distinct
+/// errors: truncation mid-section, fewer sections than declared, trailing
+/// bytes past the declared count, duplicate section names, CRC mismatch.
 class SnapshotReader {
  public:
   static StatusOr<SnapshotReader> Open(const std::string& path);
@@ -50,6 +55,44 @@ class SnapshotReader {
 
  private:
   std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Keep-last-K snapshot generations: every checkpoint write first rotates
+/// the live file `<path>` to `<path>.g<N+1>` (monotonic generation numbers),
+/// then installs the new container atomically, then prunes to the newest
+/// `keep` rotated generations. Restore walks the live file and then the
+/// generations newest-first, so a corrupted or half-installed checkpoint
+/// falls back to the newest older one that still validates — the caller
+/// replays the journal tail from there to catch up.
+class SnapshotGenerations {
+ public:
+  /// Writes `snapshot` to `path` with rotation. `keep <= 0` disables
+  /// rotation entirely — byte-identical to SnapshotWriter::WriteFile.
+  static Status Write(const SnapshotWriter& snapshot, const std::string& path,
+                      int keep);
+
+  /// Rotated generation numbers present next to `path`, ascending.
+  static std::vector<uint64_t> List(const std::string& path);
+
+  /// `<path>.g<generation>`.
+  static std::string GenerationPath(const std::string& path,
+                                    uint64_t generation);
+
+  struct Restored {
+    SnapshotReader reader;
+    std::string source_path;
+    uint64_t generation = 0;  ///< 0 = the live file.
+    size_t discarded = 0;     ///< Newer candidates skipped as invalid.
+  };
+  /// Opens the newest candidate that (a) parses with all CRCs intact and
+  /// (b) passes `validate` (optional — e.g. "checkpoint coverage must not
+  /// exceed what the ledger holds"). Candidates that exist but fail either
+  /// check are counted in `discarded` and bump the
+  /// `durability.generations_discarded` counter. NotFound only when no
+  /// candidate exists at all; otherwise the last candidate's error.
+  using Validator = std::function<Status(const SnapshotReader&)>;
+  static StatusOr<Restored> RestoreLatestValid(const std::string& path,
+                                               const Validator& validate = {});
 };
 
 /// Little-endian binary codec for component state blobs (RNG cursors, fault

@@ -1,0 +1,253 @@
+#include "common/storage_fault.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace kea {
+namespace {
+
+// Substream salt family for storage fault decisions — disjoint from the
+// telemetry and fleet injector salts by construction (distinct high bits).
+constexpr uint64_t kStorageSalt = 0x57064A11F00D0000ull;
+
+uint64_t OpSalt(StorageOp op) {
+  return kStorageSalt + static_cast<uint64_t>(op);
+}
+
+}  // namespace
+
+const char* StorageOpName(StorageOp op) {
+  switch (op) {
+    case StorageOp::kRead:
+      return "read";
+    case StorageOp::kWrite:
+      return "write";
+    case StorageOp::kFlush:
+      return "flush";
+    case StorageOp::kRename:
+      return "rename";
+  }
+  return "unknown";
+}
+
+const char* StorageFaultKindName(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kTransientEio:
+      return "transient_eio";
+    case StorageFaultKind::kPersistentEio:
+      return "persistent_eio";
+    case StorageFaultKind::kEnospc:
+      return "enospc";
+    case StorageFaultKind::kShortWrite:
+      return "short_write";
+    case StorageFaultKind::kBitFlip:
+      return "bit_flip";
+    case StorageFaultKind::kZeroPage:
+      return "zero_page";
+    case StorageFaultKind::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+bool StorageFaultProfile::empty() const {
+  return read_eio_rate == 0.0 && write_eio_rate == 0.0 &&
+         flush_eio_rate == 0.0 && rename_eio_rate == 0.0 &&
+         enospc_rate == 0.0 && short_write_rate == 0.0 &&
+         bit_flip_rate == 0.0 && zero_page_rate == 0.0 &&
+         truncate_rate == 0.0;
+}
+
+StorageFaultProfile StorageFaultProfile::Moderate() {
+  StorageFaultProfile p;
+  p.read_eio_rate = 0.01;
+  p.write_eio_rate = 0.01;
+  p.flush_eio_rate = 0.005;
+  p.rename_eio_rate = 0.005;
+  p.persistent_fraction = 0.0;  // all transient: retries absorb everything
+  p.bit_flip_rate = 0.002;
+  return p;
+}
+
+StorageFaultInjector::StorageFaultInjector(const StorageFaultProfile& profile,
+                                           uint64_t seed)
+    : profile_(profile), seed_(seed) {}
+
+StorageFaultInjector::Decision StorageFaultInjector::Next(
+    StorageOp op, const std::string& path) {
+  (void)path;  // faults stick per op, not per path — "the disk is gone"
+  std::lock_guard<std::mutex> lock(mu_);
+  const int o = static_cast<int>(op);
+  const uint64_t index = calls_[o]++;
+  counters_.ops++;
+  if (recording_) recorded_[o] = calls_[o];
+
+  Decision d;
+  d.draw = MixSeed(seed_, MixSeed(OpSalt(op), index));
+  std::optional<StorageFaultKind> kind = DecideLocked(op, index, d.draw);
+  if (kind.has_value()) {
+    d.faulted = true;
+    d.kind = *kind;
+    switch (*kind) {
+      case StorageFaultKind::kTransientEio:
+        counters_.transient_eio++;
+        break;
+      case StorageFaultKind::kPersistentEio:
+        counters_.persistent_eio++;
+        sticky_[o] = StorageFaultKind::kPersistentEio;
+        break;
+      case StorageFaultKind::kEnospc:
+        counters_.enospc++;
+        sticky_[o] = StorageFaultKind::kEnospc;
+        break;
+      case StorageFaultKind::kShortWrite:
+        counters_.short_writes++;
+        break;
+      case StorageFaultKind::kBitFlip:
+      case StorageFaultKind::kZeroPage:
+      case StorageFaultKind::kTruncate:
+        counters_.corrupted_reads++;
+        break;
+    }
+  }
+  return d;
+}
+
+std::optional<StorageFaultKind> StorageFaultInjector::DecideLocked(
+    StorageOp op, uint64_t index, uint64_t draw) {
+  const int o = static_cast<int>(op);
+  // Sticky faults fire first: a dead disk fails every subsequent op.
+  auto sticky = sticky_.find(o);
+  if (sticky != sticky_.end()) return sticky->second;
+
+  // Armed faults (the sweep harness) beat the profile.
+  for (const Armed& a : armed_) {
+    if (a.op == op && static_cast<uint64_t>(a.occurrence) == index) {
+      return a.kind;
+    }
+  }
+
+  if (profile_.empty()) return std::nullopt;
+  Rng rng(draw);
+  auto hit = [&rng](double rate) {
+    return rate > 0.0 && rng.Uniform() < rate;
+  };
+  double eio_rate = 0.0;
+  switch (op) {
+    case StorageOp::kRead:
+      eio_rate = profile_.read_eio_rate;
+      break;
+    case StorageOp::kWrite:
+      eio_rate = profile_.write_eio_rate;
+      break;
+    case StorageOp::kFlush:
+      eio_rate = profile_.flush_eio_rate;
+      break;
+    case StorageOp::kRename:
+      eio_rate = profile_.rename_eio_rate;
+      break;
+  }
+  if (hit(eio_rate)) {
+    return rng.Uniform() < profile_.persistent_fraction
+               ? StorageFaultKind::kPersistentEio
+               : StorageFaultKind::kTransientEio;
+  }
+  if (op == StorageOp::kWrite) {
+    if (hit(profile_.enospc_rate)) return StorageFaultKind::kEnospc;
+    if (hit(profile_.short_write_rate)) return StorageFaultKind::kShortWrite;
+  }
+  if (op == StorageOp::kRead) {
+    if (hit(profile_.bit_flip_rate)) return StorageFaultKind::kBitFlip;
+    if (hit(profile_.zero_page_rate)) return StorageFaultKind::kZeroPage;
+    if (hit(profile_.truncate_rate)) return StorageFaultKind::kTruncate;
+  }
+  return std::nullopt;
+}
+
+void StorageFaultInjector::ApplyCorruption(StorageFaultKind kind,
+                                           uint64_t draw, std::string* data) {
+  if (data == nullptr || data->empty()) return;
+  Rng rng(MixSeed(draw, 0xC0AA0F7ull));
+  switch (kind) {
+    case StorageFaultKind::kBitFlip: {
+      const size_t byte = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data->size()) - 1));
+      const int bit = static_cast<int>(rng.UniformInt(0, 7));
+      (*data)[byte] = static_cast<char>((*data)[byte] ^ (1 << bit));
+      break;
+    }
+    case StorageFaultKind::kZeroPage: {
+      constexpr size_t kPage = 64;
+      const size_t pages = (data->size() + kPage - 1) / kPage;
+      const size_t page = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
+      const size_t begin = page * kPage;
+      const size_t end = std::min(begin + kPage, data->size());
+      for (size_t i = begin; i < end; ++i) (*data)[i] = '\0';
+      break;
+    }
+    case StorageFaultKind::kTruncate: {
+      const size_t keep = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data->size()) - 1));
+      data->resize(keep);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StorageFaultInjector::Arm(StorageOp op, int occurrence,
+                               StorageFaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.push_back(Armed{op, occurrence, kind});
+}
+
+void StorageFaultInjector::ClearArmed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
+
+void StorageFaultInjector::ClearPersistent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sticky_.clear();
+}
+
+void StorageFaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  sticky_.clear();
+  counters_ = Counters();
+  for (int i = 0; i < 4; ++i) {
+    calls_[i] = 0;
+    recorded_[i] = 0;
+  }
+}
+
+void StorageFaultInjector::SetRecording(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = on;
+  if (on) {
+    for (int i = 0; i < 4; ++i) recorded_[i] = 0;
+  }
+}
+
+std::vector<std::pair<std::string, int>> StorageFaultInjector::Reached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int>> out;
+  for (int i = 0; i < 4; ++i) {
+    if (recorded_[i] > 0) {
+      out.emplace_back(StorageOpName(static_cast<StorageOp>(i)),
+                       static_cast<int>(recorded_[i]));
+    }
+  }
+  return out;
+}
+
+StorageFaultInjector::Counters StorageFaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace kea

@@ -1,0 +1,160 @@
+#ifndef KEA_COMMON_STORAGE_FAULT_H_
+#define KEA_COMMON_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kea {
+
+/// The four primitive operations the `Io` seam exposes to fault injection.
+/// Whole-file writes decide a kWrite fault for the data phase and a kFlush
+/// fault for the sync phase; journal appends do the same, so every byte on
+/// the durable path passes through exactly one injectable decision per phase.
+enum class StorageOp { kRead = 0, kWrite = 1, kFlush = 2, kRename = 3 };
+const char* StorageOpName(StorageOp op);
+
+/// Fault taxonomy (DESIGN.md "Storage fault model & self-healing durability").
+///
+///   kTransientEio   — the op fails once, before any byte is persisted; a
+///                     bounded retry is expected to absorb it.
+///   kPersistentEio  — the op fails and keeps failing for this StorageOp
+///                     until ClearPersistent() ("the disk is gone").
+///   kEnospc         — write-path only; maps to kResourceExhausted and
+///                     sticks like a full disk until ClearPersistent().
+///   kShortWrite     — write-path only; a prefix of the data is persisted,
+///                     then the op fails with a non-retryable error (the
+///                     bytes on disk are torn — recovery, not retry).
+///   kBitFlip        — read-path at-rest corruption: one bit of the image
+///                     read back is flipped.
+///   kZeroPage       — read-path: a 64-byte aligned page of the image reads
+///                     back as zeroes.
+///   kTruncate       — read-path: the image reads back truncated.
+enum class StorageFaultKind {
+  kTransientEio = 0,
+  kPersistentEio = 1,
+  kEnospc = 2,
+  kShortWrite = 3,
+  kBitFlip = 4,
+  kZeroPage = 5,
+  kTruncate = 6,
+};
+const char* StorageFaultKindName(StorageFaultKind kind);
+
+/// Fault rates per operation. All zero (`empty()`) means the injector is
+/// pass-through: it still counts occurrences (so sweeps can enumerate fault
+/// points) but never perturbs an op — installed-but-empty is bit-exact with
+/// not installed at all.
+struct StorageFaultProfile {
+  double read_eio_rate = 0.0;
+  double write_eio_rate = 0.0;
+  double flush_eio_rate = 0.0;
+  double rename_eio_rate = 0.0;
+  /// Share of injected EIOs that stick to the op (persistent vs transient).
+  double persistent_fraction = 0.0;
+  double enospc_rate = 0.0;       // write phase only
+  double short_write_rate = 0.0;  // write phase only
+  double bit_flip_rate = 0.0;     // read phase only
+  double zero_page_rate = 0.0;    // read phase only
+  double truncate_rate = 0.0;     // read phase only
+
+  bool empty() const;
+  static StorageFaultProfile None() { return StorageFaultProfile(); }
+  /// Mild background rot: occasional transient EIO everywhere plus rare
+  /// read corruption — survivable with retries and generation fallback.
+  static StorageFaultProfile Moderate();
+};
+
+/// Deterministic storage fault injector in the style of
+/// `TelemetryFaultInjector` / `FleetFaultInjector`: every decision for the
+/// i-th occurrence of an op is a pure function of (seed, op, i) via seeded
+/// substreams, so a run with a given profile replays bit-identically.
+///
+/// Two modes compose:
+///   - Profile mode: rate-driven faults for chaos runs (`Moderate()`).
+///   - Armed mode, mirroring `CrashPoints`: `Arm(op, occurrence, kind)`
+///     makes exactly that occurrence fail with exactly that kind — the
+///     exhaustive sweep in storage_recovery_test enumerates occurrences
+///     recorded by a reference run (`SetRecording` / `Reached`).
+///
+/// Thread safety: all methods lock; the `Io` seam calls `Next()` under its
+/// own op lock as well, so decisions are totally ordered per process.
+class StorageFaultInjector {
+ public:
+  explicit StorageFaultInjector(const StorageFaultProfile& profile,
+                                uint64_t seed = 0);
+
+  /// Decision for the next occurrence of `op` on `path`: the fault to
+  /// inject (if any) plus a substream seed for corruption placement.
+  struct Decision {
+    bool faulted = false;
+    StorageFaultKind kind = StorageFaultKind::kTransientEio;  // iff faulted
+    uint64_t draw = 0;
+
+    bool Is(StorageFaultKind k) const { return faulted && kind == k; }
+  };
+  Decision Next(StorageOp op, const std::string& path);
+
+  /// Deterministically corrupts an in-memory read image according to `kind`
+  /// (kBitFlip / kZeroPage / kTruncate) using `draw` as the substream seed.
+  /// Pure function — also usable by tests to rot bytes at rest.
+  static void ApplyCorruption(StorageFaultKind kind, uint64_t draw,
+                              std::string* data);
+
+  // --- Armed mode (sweep harness), CrashPoints discipline ---------------
+  /// Makes the `occurrence`-th (0-based) future occurrence of `op` fail
+  /// with `kind`. Several arms may be registered at once.
+  void Arm(StorageOp op, int occurrence, StorageFaultKind kind);
+  void ClearArmed();
+  /// Clears sticky faults (persistent EIO / ENOSPC) — "disk replaced".
+  void ClearPersistent();
+  /// ClearArmed + ClearPersistent + zeroes counters and occurrence cursors.
+  void Reset();
+
+  /// When recording, every occurrence is tallied so a reference run can
+  /// enumerate the sweep space.
+  void SetRecording(bool on);
+  /// (op name, occurrences seen) pairs for ops reached while recording.
+  std::vector<std::pair<std::string, int>> Reached() const;
+
+  struct Counters {
+    uint64_t ops = 0;
+    uint64_t transient_eio = 0;
+    uint64_t persistent_eio = 0;
+    uint64_t enospc = 0;
+    uint64_t short_writes = 0;
+    uint64_t corrupted_reads = 0;
+  };
+  Counters counters() const;
+
+  const StorageFaultProfile& profile() const { return profile_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Armed {
+    StorageOp op;
+    int occurrence;
+    StorageFaultKind kind;
+  };
+
+  std::optional<StorageFaultKind> DecideLocked(StorageOp op, uint64_t index,
+                                               uint64_t draw);
+
+  mutable std::mutex mu_;
+  StorageFaultProfile profile_;
+  uint64_t seed_;
+  bool recording_ = false;
+  uint64_t calls_[4] = {0, 0, 0, 0};    // occurrence cursor per op
+  uint64_t recorded_[4] = {0, 0, 0, 0};  // occurrences seen while recording
+  std::vector<Armed> armed_;
+  std::map<int, StorageFaultKind> sticky_;  // op -> persistent fault
+  Counters counters_;
+};
+
+}  // namespace kea
+
+#endif  // KEA_COMMON_STORAGE_FAULT_H_

@@ -94,6 +94,10 @@ StatusOr<const DeploymentLedger::Event*> DeploymentLedger::Append(
   return &events_.back();
 }
 
+StatusOr<Journal::ScrubReport> DeploymentLedger::VerifyIntegrity() const {
+  return Journal::Scrub(journal_->path(), /*repair=*/false);
+}
+
 const DeploymentLedger::Event* DeploymentLedger::Find(
     const std::string& key) const {
   auto it = by_key_.find(key);

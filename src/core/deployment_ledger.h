@@ -79,6 +79,12 @@ class DeploymentLedger {
   uint64_t next_seq() const { return events_.size(); }
   const Journal::RecoveryInfo& recovery() const { return journal_->recovery(); }
 
+  /// Dry-run integrity check of the backing journal on disk
+  /// (Journal::Scrub without repair): CRC-verifies every record and reports
+  /// the valid-prefix boundary. Read-only — never truncates, quarantines,
+  /// or rewrites, so it is safe to call on a live ledger.
+  StatusOr<Journal::ScrubReport> VerifyIntegrity() const;
+
   /// CSV dump of every applied change in the ledger — per-machine rows from
   /// rollout waves (kWaveApplied) and per-group rows from module batches
   /// (kApply), in ledger order. Columns:

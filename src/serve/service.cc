@@ -750,14 +750,32 @@ std::string TuningService::Statusz() const {
   {
     std::lock_guard<std::mutex> tenants_lock(tenants_mu_);
     std::lock_guard<std::mutex> lock(overload_mu_);
+    auto mode_name = [](apps::KeaSession::DurabilityMode m) {
+      switch (m) {
+        case apps::KeaSession::DurabilityMode::kOff:
+          return "OFF";
+        case apps::KeaSession::DurabilityMode::kDurable:
+          return "DURABLE";
+        case apps::KeaSession::DurabilityMode::kDegraded:
+          return "DEGRADED";
+      }
+      return "UNKNOWN";
+    };
     for (const auto& t : tenants_) {
       std::snprintf(line, sizeof(line),
-                    "tenant[%d] %s: breaker=%s trips=%llu fast_fails=%llu\n",
+                    "tenant[%d] %s: breaker=%s trips=%llu fast_fails=%llu "
+                    "durability=%s\n",
                     t->id, t->name.c_str(),
                     CircuitBreaker::StateName(t->breaker.state()),
                     static_cast<unsigned long long>(t->breaker.trips()),
-                    static_cast<unsigned long long>(t->breaker.fast_fails()));
+                    static_cast<unsigned long long>(t->breaker.fast_fails()),
+                    mode_name(t->session->durability_mode()));
       out += line;
+      if (t->session->durability_mode() ==
+          apps::KeaSession::DurabilityMode::kDegraded) {
+        out += "  degraded_reason: " +
+               t->session->degraded_reason().message() + "\n";
+      }
     }
     if (slo_ != nullptr) {
       out += "slo: " + slo_->Describe(clock_.now_ms()) + "\n";
@@ -811,6 +829,27 @@ std::string TuningService::Statusz() const {
   std::snprintf(line, sizeof(line), "profiler: scopes=%llu\n",
                 static_cast<unsigned long long>(
                     obs::PhaseProfiler::Get().scope_count()));
+  out += line;
+  // Durability panel: the self-healing storage plane's global tallies
+  // (retries absorbed, scrub salvages, generation fallbacks, degraded-mode
+  // round trips) — deterministic counters, so statusz stays diffable.
+  obs::Registry& registry = obs::Registry::Get();
+  std::snprintf(
+      line, sizeof(line),
+      "durability: retries=%llu retries_exhausted=%llu scrub_repairs=%llu "
+      "generations_discarded=%llu degraded_entries=%llu "
+      "degraded_restores=%llu\n",
+      static_cast<unsigned long long>(registry.CounterValue("durability.retries")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("durability.retries_exhausted")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("durability.scrub_repairs")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("durability.generations_discarded")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("durability.degraded_entries")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("durability.degraded_restores")));
   out += line;
   return out;
 }

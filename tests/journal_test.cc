@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/crash_point.h"
 #include "common/snapshot.h"
@@ -121,6 +122,76 @@ TEST_F(JournalTest, InjectedTornAppendRecoversOnReopen) {
   EXPECT_TRUE(recovered->recovery().tail_truncated);
   EXPECT_GT(recovered->recovery().dropped_bytes, 0u);
   std::remove(path.c_str());
+}
+
+TEST_F(JournalTest, MultiRecordTornTailKeepsEveryEarlierRecord) {
+  const std::string path = TempPath("journal_multi_torn.kea");
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
+  const std::vector<std::string> payloads = {"zero", "one records",
+                                             "two is the last whole one",
+                                             "three never lands"};
+  {
+    auto journal = std::move(Journal::Open(path)).value();
+    for (const std::string& p : payloads) ASSERT_TRUE(journal->Append(p).ok());
+  }
+  const std::string intact = ReadAll(path);
+  // Record boundaries: magic, then [8-byte header + payload] each.
+  std::vector<size_t> ends = {8};
+  for (const std::string& p : payloads) ends.push_back(ends.back() + 8 + p.size());
+
+  // Tear the file mid-way through every record in turn: recovery keeps the
+  // whole prefix of earlier records — never fewer, never a fabricated one.
+  for (size_t victim = 0; victim < payloads.size(); ++victim) {
+    const size_t cut = (ends[victim] + ends[victim + 1]) / 2;
+    WriteRaw(path, intact.substr(0, cut));
+    auto journal = std::move(Journal::Open(path)).value();
+    ASSERT_EQ(journal->size(), victim) << "tear inside record " << victim;
+    for (size_t i = 0; i < victim; ++i) {
+      EXPECT_EQ(journal->records()[i], payloads[i]);
+    }
+    EXPECT_TRUE(journal->recovery().tail_truncated);
+    EXPECT_EQ(journal->recovery().dropped_bytes, cut - ends[victim]);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
+}
+
+TEST_F(JournalTest, MidFileCrcMismatchQuarantinesEverythingAfter) {
+  const std::string path = TempPath("journal_midfile_crc.kea");
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
+  {
+    auto journal = std::move(Journal::Open(path)).value();
+    ASSERT_TRUE(journal->Append("survivor").ok());
+    ASSERT_TRUE(journal->Append("rotted").ok());
+    ASSERT_TRUE(journal->Append("intact but unreachable").ok());
+  }
+  const std::string intact = ReadAll(path);
+  // Flip one payload bit of the MIDDLE record. The records after it are
+  // byte-perfect on disk, but a record stream is only trustworthy as a
+  // prefix: resynchronizing past a corrupt record could misparse payload
+  // bytes as headers, so everything after the damage is quarantined.
+  const size_t r1_payload = 8 + (8 + 8) + 8;  // magic, record 0, r1 header.
+  std::string bytes = intact;
+  bytes[r1_payload + 2] ^= 0x08;
+  WriteRaw(path, bytes);
+
+  auto journal = std::move(Journal::Open(path)).value();
+  ASSERT_EQ(journal->size(), 1u);
+  EXPECT_EQ(journal->records()[0], "survivor");
+  EXPECT_TRUE(journal->recovery().tail_truncated);
+  EXPECT_EQ(journal->recovery().dropped_bytes, bytes.size() - (8 + 16));
+  // The quarantine holds the damaged record AND the intact-but-unreachable
+  // one — evidence is preserved even when it cannot be trusted...
+  EXPECT_EQ(ReadAll(journal->recovery().quarantine_path),
+            bytes.substr(8 + 16));
+  // ...and the repaired journal never resurrects the unreachable record.
+  auto reopened = std::move(Journal::Open(path)).value();
+  ASSERT_EQ(reopened->size(), 1u);
+  EXPECT_FALSE(reopened->recovery().tail_truncated);
+  std::remove(path.c_str());
+  std::remove((path + ".quarantine").c_str());
 }
 
 TEST_F(JournalTest, AtomicWriteCrashLeavesOldFileIntact) {
